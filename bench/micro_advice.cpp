@@ -1,0 +1,92 @@
+// M1b — microbenchmarks for the advice machinery: ComputeAdvice end to
+// end, RetrieveLabel on node views, advice encode/decode, and the codec
+// primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "advice/min_time.hpp"
+#include "coding/codec.hpp"
+#include "families/necklace.hpp"
+#include "portgraph/builders.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+
+void BM_ComputeAdvice(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  portgraph::PortGraph g = portgraph::random_connected(n, n, 13);
+  for (auto _ : state) {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(g, repo, 1);
+    advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p);
+    benchmark::DoNotOptimize(adv.phi);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ComputeAdvice)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ComputeAdviceDeepPhi(benchmark::State& state) {
+  families::Necklace nk =
+      families::necklace_member(5, static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(nk.graph, repo, 1);
+    advice::MinTimeAdvice adv = advice::compute_advice(nk.graph, repo, p);
+    benchmark::DoNotOptimize(adv.phi);
+  }
+}
+BENCHMARK(BM_ComputeAdviceDeepPhi)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RetrieveLabel(benchmark::State& state) {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 17);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 1);
+  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p);
+  int phi = static_cast<int>(adv.phi);
+  for (auto _ : state) {
+    // Fresh labeler each iteration — as every node does.
+    advice::Labeler labeler(repo, adv.e1, adv.e2);
+    benchmark::DoNotOptimize(labeler.retrieve_label(p.view(phi, 0)));
+  }
+}
+BENCHMARK(BM_RetrieveLabel);
+
+void BM_AdviceEncode(benchmark::State& state) {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 19);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 1);
+  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adv.to_bits().size());
+  }
+}
+BENCHMARK(BM_AdviceEncode);
+
+void BM_AdviceDecode(benchmark::State& state) {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 19);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 1);
+  coding::BitString bits = advice::compute_advice(g, repo, p).to_bits();
+  for (auto _ : state) {
+    advice::MinTimeAdvice back = advice::MinTimeAdvice::from_bits(bits);
+    benchmark::DoNotOptimize(back.phi);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits.size() / 8));
+}
+BENCHMARK(BM_AdviceDecode);
+
+void BM_ConcatCodec(benchmark::State& state) {
+  std::vector<coding::BitString> parts;
+  for (std::uint64_t i = 0; i < 256; ++i) parts.push_back(coding::bin(i * 37));
+  for (auto _ : state) {
+    coding::BitString enc = coding::concat(parts);
+    benchmark::DoNotOptimize(coding::decode(enc).size());
+  }
+}
+BENCHMARK(BM_ConcatCodec);
+
+}  // namespace

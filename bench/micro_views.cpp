@@ -1,0 +1,102 @@
+// M1a — microbenchmarks for the view substrate: refinement throughput,
+// interning, canonical comparison, truncation, and full COM simulation
+// rounds. These quantify the cost model behind every experiment table.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "portgraph/builders.hpp"
+#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+
+void BM_ProfileRefinement(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  portgraph::PortGraph g = portgraph::random_connected(n, n, 7);
+  for (auto _ : state) {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(g, repo);
+    benchmark::DoNotOptimize(p.election_index);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ProfileRefinement)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_ViewIntern(benchmark::State& state) {
+  views::ViewRepo repo;
+  views::ViewId leaf = repo.leaf(3);
+  std::vector<views::ChildRef> kids{{0, leaf}, {1, leaf}, {2, leaf}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.intern(kids));
+  }
+}
+BENCHMARK(BM_ViewIntern);
+
+void BM_ViewCompare(benchmark::State& state) {
+  portgraph::PortGraph g =
+      portgraph::random_connected(64, 64, 3);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 6);
+  views::ViewId a = p.view(6, 0);
+  views::ViewId b = p.view(6, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.compare(a, b));
+  }
+}
+BENCHMARK(BM_ViewCompare);
+
+void BM_ViewTruncate(benchmark::State& state) {
+  portgraph::PortGraph g = portgraph::random_connected(64, 64, 3);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.truncate(p.view(8, 0), 4));
+  }
+}
+BENCHMARK(BM_ViewTruncate);
+
+// One full COM round across the whole network, as the engine executes it.
+class IdleProgram final : public sim::FullInfoProgram {
+ public:
+  [[nodiscard]] bool has_output() const override { return false; }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+ protected:
+  void on_view(int) override {}
+};
+
+void BM_ComRounds(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  portgraph::PortGraph g = portgraph::random_connected(n, n, 11);
+  int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    views::ViewRepo repo;
+    std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+    for (std::size_t v = 0; v < n; ++v)
+      programs.push_back(std::make_unique<IdleProgram>());
+    sim::Engine engine(g, repo);
+    sim::RunMetrics m = engine.run(programs, rounds);
+    benchmark::DoNotOptimize(m.rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ComRounds)->Args({64, 8})->Args({256, 8})->Args({256, 16});
+
+void BM_SerializedSize(benchmark::State& state) {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 5);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.serialized_size_bits(p.view(8, 0)));
+  }
+}
+BENCHMARK(BM_SerializedSize);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// E10 — the paper's concluding open question (Section 5).
+//
+// "The intriguing open question left by our results is how the minimum
+// size of advice behaves in the range of election time strictly between
+// phi and D + phi" — large enough to elect with a map, too small for all
+// nodes to see every view difference.
+//
+// This table instruments the question with the best *known* upper bounds:
+// for each intermediate time tau we run the depth-tau generalization of
+// Elect (Algorithm 5/6 labeling views at depth tau), whose advice stays
+// Theta(n log n) across the whole open range, and at tau = D + phi the
+// Remark algorithm, where the advice collapses to O(log D + log phi).
+// The open question is precisely whether anything can beat the first row
+// group before the last row. Workload: a long-diameter necklace so the
+// open range is wide.
+
+#include <iostream>
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "election/baselines.hpp"
+#include "election/elect_program.hpp"
+#include "election/harness.hpp"
+#include "election/verify.hpp"
+#include "families/necklace.hpp"
+#include "util/table.hpp"
+#include "views/profile.hpp"
+
+using namespace anole;
+
+int main() {
+  families::Necklace nk = families::necklace_member(7, 3, 2);
+  const portgraph::PortGraph& g = nk.graph;
+  views::ViewRepo probe;
+  views::ViewProfile profile = views::compute_profile(g, probe);
+  int phi = profile.election_index;
+  int diameter = g.diameter();
+
+  util::Table table({"time tau", "algorithm", "rounds", "advice bits",
+                     "elected"});
+
+  for (int tau = phi; tau <= diameter + phi;
+       tau += std::max(1, (diameter + phi - phi) / 6)) {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(g, repo, 1);
+    advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p, tau);
+    coding::BitString bits = adv.to_bits();
+    auto decoded = std::make_shared<const advice::MinTimeAdvice>(
+        advice::MinTimeAdvice::from_bits(bits));
+    std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      programs.push_back(std::make_unique<election::ElectProgram>(decoded));
+    sim::Engine engine(g, repo);
+    sim::RunMetrics metrics = engine.run(programs, tau + 1);
+    bool ok = !metrics.timed_out &&
+              election::verify_election(g, metrics.outputs).ok;
+    table.add_row({util::Table::num(tau), "Elect@depth tau",
+                   util::Table::num(metrics.rounds),
+                   util::Table::num(bits.size()), ok ? "yes" : "NO"});
+  }
+
+  {
+    election::ElectionRun run = election::run_remark(g);
+    table.add_row({util::Table::num(diameter + phi), "Remark(D,phi)",
+                   util::Table::num(run.metrics.rounds),
+                   util::Table::num(run.advice_bits),
+                   run.ok() ? "yes" : "NO"});
+  }
+
+  table.print(
+      std::cout,
+      "E10 / Section 5 open question — necklace(k=7, phi=3): n = " +
+          std::to_string(g.n()) + ", D = " + std::to_string(diameter) +
+          ", phi = " + std::to_string(phi) +
+          ". Between time phi and D + phi the best known advice stays "
+          "Theta(n log n); at D + phi it collapses to O(log D + log phi). "
+          "Whether the collapse can start earlier is open.");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E2 — Theorem 3.2 / Figure 1 (lower bound for election index 1).
+//
+// Paper claim: there are n_k-node graphs (the family G_k of clique-ring
+// permutations, Fig. 1) with election index 1 such that election in time 1
+// requires advice of size Omega(n log log n). The proof rests on:
+//   (a) Claim 3.8 — every member of G_k has election index exactly 1;
+//   (b) the Observation — corresponding clique-attachment nodes in any two
+//       members have equal B^1, so a time-1 algorithm with equal advice
+//       outputs identical port sequences at them (Claim 3.9: all (k-1)!
+//       members need distinct advice);
+//   (c) |G_k| = (k-1)!  =>  >= log2((k-1)!) bits for some member, and
+//       log2((k-1)!) = Theta(n_k log log n_k).
+//
+// The table verifies (a) and (b) on sampled members and reports the (c)
+// curve: log2((k-1)!) vs n_k log2 log2 n_k. The last column cross-feeds
+// the advice of one member into our own Elect algorithm running on a
+// different member and reports the failure — a live demonstration that
+// shared advice breaks time-1 election.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "election/elect_program.hpp"
+#include "election/verify.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "util/table.hpp"
+#include "views/profile.hpp"
+
+using namespace anole;
+
+namespace {
+
+double log2_factorial(int m) {
+  double s = 0;
+  for (int i = 2; i <= m; ++i) s += std::log2(static_cast<double>(i));
+  return s;
+}
+
+// Runs Elect on `victim` with advice computed for `source`; returns true
+// iff the (mis-advised) run still elected a single leader.
+bool cross_feed_succeeds(const portgraph::PortGraph& source,
+                         const portgraph::PortGraph& victim) {
+  views::ViewRepo repo;
+  views::ViewProfile sp = views::compute_profile(source, repo, 1);
+  auto adv = std::make_shared<const advice::MinTimeAdvice>(
+      advice::compute_advice(source, repo, sp));
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  for (std::size_t v = 0; v < victim.n(); ++v)
+    programs.push_back(std::make_unique<election::ElectProgram>(adv));
+  sim::Engine engine(victim, repo);
+  try {
+    sim::RunMetrics metrics =
+        engine.run(programs, static_cast<int>(adv->phi) + 1);
+    if (metrics.timed_out) return false;
+    return election::verify_election(victim, metrics.outputs).ok;
+  } catch (const std::logic_error&) {
+    return false;  // advice not even decodable against the victim's views
+  }
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"k", "n_k", "phi(all)", "B1 obs", "|G_k| bits lb",
+                     "n loglog n", "ratio", "cross-feed"});
+
+  for (int k : {5, 6, 8, 12, 16, 24, 32}) {
+    families::RingOfCliques a = families::g_family_member(k, 1);
+    families::RingOfCliques b = families::g_family_member(k, 2);
+
+    // (a) Claim 3.8 on two sampled members.
+    views::ViewRepo repo;
+    views::ViewProfile pa = views::compute_profile(a.graph, repo);
+    views::ViewProfile pb = views::compute_profile(b.graph, repo);
+    bool phi_one = pa.feasible && pb.feasible && pa.election_index == 1 &&
+                   pb.election_index == 1;
+
+    // (b) The observation: same clique -> same B^1 at its joint across
+    // members (shared repo makes ids comparable).
+    bool obs = true;
+    for (int t = 0; t < k && obs; ++t) {
+      int pos_a = -1, pos_b = -1;
+      for (int i = 0; i < k; ++i) {
+        if (a.assignment[static_cast<std::size_t>(i)] ==
+            static_cast<std::uint64_t>(t))
+          pos_a = i;
+        if (b.assignment[static_cast<std::size_t>(i)] ==
+            static_cast<std::uint64_t>(t))
+          pos_b = i;
+      }
+      obs = pa.view(1, a.joints[static_cast<std::size_t>(pos_a)]) ==
+            pb.view(1, b.joints[static_cast<std::size_t>(pos_b)]);
+    }
+
+    // (c) The bound curve.
+    double n_k = static_cast<double>(a.graph.n());
+    double lb_bits = log2_factorial(k - 1);
+    double scale = n_k * std::log2(std::log2(n_k));
+
+    bool cross = cross_feed_succeeds(a.graph, b.graph);
+
+    table.add_row({util::Table::num(k), util::Table::num(a.graph.n()),
+                   phi_one ? "1" : "VIOLATED", obs ? "holds" : "VIOLATED",
+                   util::Table::num(lb_bits, 1), util::Table::num(scale, 1),
+                   util::Table::num(lb_bits / scale, 3),
+                   cross ? "SURVIVED (unexpected)" : "breaks (expected)"});
+  }
+
+  table.print(
+      std::cout,
+      "E2 / Theorem 3.2, Fig. 1 — family G_k (phi = 1): members need "
+      "distinct advice; advice lower bound log2((k-1)!) = "
+      "Theta(n log log n). 'ratio' must stay bounded away from 0; "
+      "cross-feeding advice between members must break election.");
+  return 0;
+}

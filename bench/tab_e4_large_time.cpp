@@ -1,0 +1,104 @@
+// E4 — Theorem 4.1 (upper bounds for election in large time).
+//
+// Paper claim: for any graph of diameter D and election index phi and any
+// integer constant c > 1,
+//   Election1 elects in <= D + phi + c   with O(log phi)        advice bits,
+//   Election2 elects in <= D + c*phi     with O(log log phi)    advice bits,
+//   Election3 elects in <= D + phi^c     with O(log log log phi) advice bits,
+//   Election4 elects in <= D + c^phi     with O(log(log* phi))  advice bits.
+//
+// For each variant the table reports measured rounds against the exact
+// bound and the measured advice size against the paper's Theta expression.
+// Workloads: necklaces with prescribed phi (2..6) and a random graph.
+// (Variant 3's bound needs phi >= 2 — see the remark in generic.hpp.)
+
+#include <cmath>
+#include <iostream>
+
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "portgraph/builders.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+using namespace anole;
+
+namespace {
+
+const char* variant_name(election::LargeTimeVariant v) {
+  switch (v) {
+    case election::LargeTimeVariant::kPhiPlusC:
+      return "E1: D+phi+c";
+    case election::LargeTimeVariant::kCTimesPhi:
+      return "E2: D+c*phi";
+    case election::LargeTimeVariant::kPhiPowC:
+      return "E3: D+phi^c";
+    case election::LargeTimeVariant::kCPowPhi:
+      return "E4: D+c^phi";
+  }
+  return "?";
+}
+
+double advice_scale(election::LargeTimeVariant v, double phi) {
+  double l = std::max(1.0, std::log2(phi));
+  switch (v) {
+    case election::LargeTimeVariant::kPhiPlusC:
+      return l;
+    case election::LargeTimeVariant::kCTimesPhi:
+      return std::max(1.0, std::log2(l));
+    case election::LargeTimeVariant::kPhiPowC:
+      return std::max(1.0, std::log2(std::max(1.0, std::log2(l))));
+    case election::LargeTimeVariant::kCPowPhi: {
+      return std::max(1.0, std::log2(1.0 + util::log_star(
+                                               static_cast<std::uint64_t>(phi))));
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table({"graph", "c", "n", "D", "phi", "variant", "rounds",
+                     "bound", "within", "advice bits", "Theta scale"});
+
+  std::vector<std::pair<std::string, portgraph::PortGraph>> graphs;
+  for (int phi : {2, 3, 4, 6})
+    graphs.emplace_back("necklace(phi=" + std::to_string(phi) + ")",
+                        families::necklace_member(5, phi, 1).graph);
+  graphs.emplace_back("random(24,16)", portgraph::random_connected(24, 16, 3));
+
+  for (std::uint64_t c : {std::uint64_t{2}, std::uint64_t{3}})
+  for (const auto& [name, g] : graphs) {
+    for (election::LargeTimeVariant v :
+         {election::LargeTimeVariant::kPhiPlusC,
+          election::LargeTimeVariant::kCTimesPhi,
+          election::LargeTimeVariant::kPhiPowC,
+          election::LargeTimeVariant::kCPowPhi}) {
+      election::ElectionRun run = election::run_large_time(g, v, c);
+      std::uint64_t bound = election::large_time_bound(
+          v, static_cast<std::uint64_t>(run.diameter),
+          static_cast<std::uint64_t>(run.phi), c);
+      bool within = run.ok() &&
+                    static_cast<std::uint64_t>(run.metrics.rounds) <= bound;
+      // Variant 3's Theorem 4.1 budget assumes phi >= 2.
+      bool exempt = (v == election::LargeTimeVariant::kPhiPowC && run.phi < 2);
+      table.add_row(
+          {name, util::Table::num(c), util::Table::num(g.n()),
+           util::Table::num(run.diameter),
+           util::Table::num(run.phi), variant_name(v),
+           util::Table::num(run.metrics.rounds), util::Table::num(bound),
+           within ? "yes" : (exempt ? "n/a (phi<2)" : "VIOLATED"),
+           util::Table::num(run.advice_bits),
+           util::Table::num(advice_scale(v, static_cast<double>(run.phi)),
+                            2)});
+    }
+  }
+
+  table.print(
+      std::cout,
+      "E4 / Theorem 4.1 — Election1..4 (c in {2,3}): rounds must stay within "
+      "the exact bound; advice bits track the Theta scale column "
+      "(log phi, log log phi, log log log phi, log log* phi).");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E6 — Proposition 4.1 / Figure 9 (constant advice never suffices).
+//
+// Paper claim: no algorithm using advice of constant size performs leader
+// election in all feasible graphs, for any allocated time. The proof takes
+// c graphs H_1..H_c exhausting the c advice values, builds the composite
+// hairy ring G from their gamma-stretches (Fig. 9), and shows that the two
+// foci of the stretch of H_{j0} (the graph whose advice G shares) have the
+// same B^T as the cut node in H_{j0} — so they output identical short
+// paths pointing at two different "leaders".
+//
+// The table verifies the view equalities (foci vs original cut node, and
+// the two foci against each other) and then demonstrates the failure live:
+// it runs our Elect algorithm on G with the advice computed for each H_j
+// and shows that every one of the c advice strings fails on G, while G's
+// own (non-constant!) advice succeeds.
+
+#include <iostream>
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "election/elect_program.hpp"
+#include "election/harness.hpp"
+#include "families/hairy.hpp"
+#include "util/table.hpp"
+#include "views/profile.hpp"
+
+using namespace anole;
+
+namespace {
+
+bool elect_with_advice(const portgraph::PortGraph& victim,
+                       const portgraph::PortGraph& source) {
+  views::ViewRepo repo;
+  views::ViewProfile sp = views::compute_profile(source, repo, 1);
+  auto adv = std::make_shared<const advice::MinTimeAdvice>(
+      advice::compute_advice(source, repo, sp));
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  for (std::size_t v = 0; v < victim.n(); ++v)
+    programs.push_back(std::make_unique<election::ElectProgram>(adv));
+  sim::Engine engine(victim, repo);
+  try {
+    sim::RunMetrics metrics =
+        engine.run(programs, static_cast<int>(adv->phi) + 1);
+    return !metrics.timed_out &&
+           election::verify_election(victim, metrics.outputs).ok;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Three hairy rings playing the role of H_1..H_c (c = 3 advice values).
+  std::vector<families::HairyRing> rings;
+  rings.push_back(families::hairy_ring({1, 0, 2}));
+  rings.push_back(families::hairy_ring({0, 3, 1}));
+  rings.push_back(families::hairy_ring({2, 1, 0, 4}));
+  const int gamma = 12;
+  families::PropositionGraph g = families::proposition_graph(rings, gamma);
+
+  {
+    util::Table table({"H_j", "n(H_j)", "focus A = z_j", "focus B = z_j",
+                       "A = B", "depth checked"});
+    views::ViewRepo repo;
+    const int t = 4;
+    views::ViewProfile pg = views::compute_profile(g.graph, repo, t);
+    for (std::size_t j = 0; j < rings.size(); ++j) {
+      views::ViewProfile pj = views::compute_profile(rings[j].graph, repo, t);
+      portgraph::NodeId a = g.layouts[j].ring_of_copy[gamma / 2][0];
+      portgraph::NodeId b = g.layouts[j].ring_of_copy[gamma / 2 + 1][0];
+      bool ea = pg.view(t, a) == pj.view(t, rings[j].ring[0]);
+      bool eb = pg.view(t, b) == pj.view(t, rings[j].ring[0]);
+      table.add_row({"H_" + std::to_string(j + 1),
+                     util::Table::num(rings[j].graph.n()),
+                     ea ? "holds" : "VIOLATED", eb ? "holds" : "VIOLATED",
+                     pg.view(t, a) == pg.view(t, b) ? "holds" : "VIOLATED",
+                     util::Table::num(t)});
+    }
+    table.print(
+        std::cout,
+        "E6.A / Prop 4.1, Fig. 9 — composite graph G (n = " +
+            std::to_string(g.graph.n()) +
+            "): the stretch foci are indistinguishable from the original "
+            "cut node (and from each other) at the checked depth, so a "
+            "time-bounded algorithm with H_j's advice must output the same "
+            "short path at both foci — two different leaders");
+  }
+
+  {
+    util::Table table({"advice source", "advice works on G?", "expected"});
+    for (std::size_t j = 0; j < rings.size(); ++j) {
+      bool ok = elect_with_advice(g.graph, rings[j].graph);
+      table.add_row({"H_" + std::to_string(j + 1),
+                     ok ? "SUCCEEDS (unexpected)" : "fails",
+                     "fails (Prop 4.1)"});
+    }
+    election::ElectionRun own = election::run_min_time(g.graph);
+    table.add_row({"G itself (" + std::to_string(own.advice_bits) + " bits)",
+                   own.ok() ? "succeeds" : "FAILS (unexpected)",
+                   "succeeds"});
+    table.print(std::cout,
+                "E6.B / Prop 4.1 — live demonstration: each of the c "
+                "constant-budget advice strings fails on G; only G's own "
+                "advice (size growing with G) elects correctly");
+  }
+  return 0;
+}

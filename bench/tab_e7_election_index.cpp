@@ -1,0 +1,81 @@
+// E7 — Propositions 2.1 and 2.2 (the election index).
+//
+// Prop 2.1: the election index equals the smallest depth at which all
+// augmented truncated views are distinct (this is what compute_profile
+// measures; the map baseline elects in exactly that many rounds).
+// Prop 2.2: phi = O(D log(n/D)) for every feasible n-node graph of
+// diameter D.
+//
+// The table scans graph families and reports n, D, phi, the normalized
+// ratio phi / (D * max(1, log2(n/D))) — which Prop 2.2 bounds by a
+// constant — and the map-baseline round count (must equal phi).
+
+#include <cmath>
+#include <iostream>
+
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "util/table.hpp"
+#include "views/profile.hpp"
+
+using namespace anole;
+
+namespace {
+
+void report(util::Table& table, const std::string& name,
+            const portgraph::PortGraph& g, bool run_map_check) {
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  if (!p.feasible) {
+    table.add_row({name, util::Table::num(g.n()), "-", "infeasible", "-",
+                   "-"});
+    return;
+  }
+  int d = g.diameter();
+  double ratio = static_cast<double>(p.election_index) /
+                 (static_cast<double>(d) *
+                  std::max(1.0, std::log2(static_cast<double>(g.n()) / d)));
+  std::string map_rounds = "-";
+  if (run_map_check) {
+    election::ElectionRun run = election::run_map(g);
+    map_rounds = run.ok() && run.metrics.rounds == run.phi
+                     ? util::Table::num(run.metrics.rounds)
+                     : "VIOLATED";
+  }
+  table.add_row({name, util::Table::num(g.n()), util::Table::num(d),
+                 util::Table::num(p.election_index),
+                 util::Table::num(ratio, 3), map_rounds});
+}
+
+}  // namespace
+
+int main() {
+  util::Table table(
+      {"graph", "n", "D", "phi", "phi/(D log(n/D))", "map rounds"});
+
+  for (std::size_t n : {16, 32, 64, 128}) {
+    report(table, "random sparse", portgraph::random_connected(n, n / 4, n),
+           n <= 64);
+    report(table, "random dense", portgraph::random_connected(n, 2 * n, n),
+           n <= 64);
+  }
+  report(table, "path(33)", portgraph::path(33), false);
+  report(table, "grid(5x7)", portgraph::grid(5, 7), true);
+  report(table, "binary_tree(31)", portgraph::binary_tree(31), true);
+  for (int phi : {2, 4, 8})
+    report(table, "necklace(phi=" + std::to_string(phi) + ")",
+           families::necklace_member(5, phi, 1).graph, false);
+  report(table, "G_k(k=8)", families::g_family_member(8, 3).graph, false);
+  report(table, "ring(16) [symmetric]", portgraph::ring(16), false);
+  report(table, "hypercube(4) [symmetric]", portgraph::hypercube(4), false);
+
+  table.print(
+      std::cout,
+      "E7 / Props 2.1-2.2 — election index across families: the ratio "
+      "column must stay bounded (phi = O(D log(n/D))); the map baseline "
+      "elects in exactly phi rounds (Prop 2.1); symmetric graphs are "
+      "infeasible");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// M2 — message-size accounting for the full-information protocol.
+//
+// The LOCAL model allows arbitrary message sizes, and COM sends "the whole
+// current view" every round. A literal view *tree* grows like Delta^r; our
+// hash-consed DAG representation (DESIGN.md) keeps the same information in
+// O(n * r) records. This table measures, per round, the serialized DAG
+// message size against the flat tree encoding a naive implementation would
+// ship — quantifying why the substrate is feasible at all.
+
+#include <iostream>
+#include <memory>
+
+#include "advice/naive.hpp"
+#include "portgraph/builders.hpp"
+#include "util/table.hpp"
+#include "views/profile.hpp"
+
+using namespace anole;
+
+int main() {
+  util::Table table({"graph", "round r", "DAG records", "DAG bits",
+                     "flat tree bits", "tree/DAG"});
+
+  std::vector<std::pair<std::string, portgraph::PortGraph>> graphs;
+  graphs.emplace_back("random(32, deg~4)",
+                      portgraph::random_connected(32, 32, 3));
+  graphs.emplace_back("random(64, deg~8)",
+                      portgraph::random_connected(64, 192, 4));
+  graphs.emplace_back("grid(6x6)", portgraph::grid(6, 6));
+
+  constexpr std::uint64_t kCap = UINT64_C(1) << 62;
+  for (const auto& [name, g] : graphs) {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(g, repo, 12);
+    for (int r : {1, 2, 4, 8, 12}) {
+      views::ViewId view = p.view(r, 0);
+      std::size_t records = repo.dag_records(view);
+      std::size_t dag_bits = repo.serialized_size_bits(view);
+      std::uint64_t tree_bits = advice::naive_tree_code_bits(repo, view);
+      table.add_row(
+          {name, util::Table::num(r), util::Table::num(records),
+           util::Table::num(dag_bits),
+           tree_bits >= kCap ? ">= 2^62" : util::Table::num(tree_bits),
+           tree_bits >= kCap
+               ? "astronomical"
+               : util::Table::num(
+                     static_cast<double>(tree_bits) / dag_bits, 1)});
+    }
+  }
+
+  table.print(
+      std::cout,
+      "M2 — COM message sizes per round: the hash-consed DAG stays "
+      "polynomial (<= n records per level) while the literal view tree "
+      "grows like Delta^r. Equal information content, verified by the "
+      "sim tests (B^r reproduced exactly).");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Advice/time trade-off explorer: runs the whole algorithm portfolio of
+// the paper on one graph (user-selectable size and seed) and prints the
+// measured frontier — how the advice requirement collapses from ~n log n
+// bits at time phi down to a handful of bits once the time budget exceeds
+// the diameter.
+//
+// Usage: advice_time_tradeoff [n] [extra_edges] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "election/harness.hpp"
+#include "portgraph/builders.hpp"
+#include "util/table.hpp"
+#include "views/profile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace anole;
+
+  std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40;
+  std::size_t extra = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : n / 2;
+  std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  portgraph::PortGraph g = portgraph::random_connected(n, extra, seed);
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  if (!profile.feasible) {
+    std::cout << "This graph is infeasible (symmetric views): no algorithm "
+                 "can elect a leader, with any advice. Try another seed.\n";
+    return 0;
+  }
+
+  util::Table table({"algorithm", "time model", "rounds", "advice bits"});
+  auto add = [&table](const std::string& name, const std::string& model,
+                      const election::ElectionRun& run) {
+    table.add_row({name, model,
+                   run.ok() ? util::Table::num(run.metrics.rounds)
+                            : "FAILED",
+                   util::Table::num(run.advice_bits)});
+  };
+
+  add("Elect (min time)", "phi", election::run_min_time(g));
+  add("Map baseline", "phi", election::run_map(g));
+  add("Remark (D,phi)", "D+phi", election::run_remark(g));
+  add("Election1", "D+phi+c",
+      election::run_large_time(g, election::LargeTimeVariant::kPhiPlusC, 2));
+  add("Election2", "D+c*phi",
+      election::run_large_time(g, election::LargeTimeVariant::kCTimesPhi, 2));
+  add("Election3", "D+phi^c",
+      election::run_large_time(g, election::LargeTimeVariant::kPhiPowC, 2));
+  add("Election4", "D+c^phi",
+      election::run_large_time(g, election::LargeTimeVariant::kCPowPhi, 2));
+  add("SizeOnly", "D+n+1", election::run_size_only(g));
+
+  table.print(std::cout,
+              "advice/time frontier on random graph: n = " +
+                  std::to_string(n) + ", D = " +
+                  std::to_string(g.diameter()) + ", phi = " +
+                  std::to_string(profile.election_index));
+  std::cout << "Reading guide: the first two rows show the price of "
+               "electing in minimum time phi; once the time budget exceeds "
+               "D the advice collapses to O(log phi) bits and below — the "
+               "exponential hierarchy of Theorem 4.1.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Asynchronous deployment: the paper's Section 1 remark says the
+// synchronous LOCAL process "can be simulated in an asynchronous network
+// using time-stamps". This example runs the same minimum-time election
+// protocol under ten different adversarial message schedules and shows
+// that every schedule produces bit-identical outputs — the synchronizer
+// makes the algorithm deployment-ready on networks with arbitrary delays.
+
+#include <iostream>
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "election/elect_program.hpp"
+#include "election/verify.hpp"
+#include "portgraph/builders.hpp"
+#include "sim/async.hpp"
+#include "views/profile.hpp"
+
+int main() {
+  using namespace anole;
+
+  portgraph::PortGraph g = portgraph::random_connected(20, 14, 99);
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo, 1);
+  auto adv = std::make_shared<const advice::MinTimeAdvice>(
+      advice::compute_advice(g, repo, profile));
+  std::cout << "network: n = " << g.n() << ", phi = "
+            << profile.election_index << "\n\n";
+
+  std::vector<std::vector<int>> reference;
+  for (std::uint64_t schedule = 1; schedule <= 10; ++schedule) {
+    std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      programs.push_back(std::make_unique<election::ElectProgram>(adv));
+    sim::AsyncEngine engine(g, repo);
+    sim::AsyncMetrics metrics = engine.run(programs, 50, schedule);
+    election::VerifyResult verdict =
+        election::verify_election(g, metrics.outputs);
+    bool identical = reference.empty() || metrics.outputs == reference;
+    if (reference.empty()) reference = metrics.outputs;
+    std::cout << "schedule " << schedule << ": " << metrics.deliveries
+              << " deliveries, leader " << verdict.leader << ", outputs "
+              << (identical ? "identical" : "DIFFER (bug!)") << '\n';
+    if (!verdict.ok || !identical) return 1;
+  }
+  std::cout << "\nAll adversarial schedules agree: the time-stamp "
+               "synchronizer reproduces the synchronous execution "
+               "exactly.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "advice/build_trie.hpp"
+
+#include <algorithm>
+
+namespace anole::advice {
+namespace {
+
+using views::ViewId;
+using views::ViewRepo;
+
+Trie build_depth1(ViewRepo& repo, std::vector<ViewId>& s) {
+  ANOLE_CHECK(!s.empty());
+  if (s.size() == 1) return Trie::single_leaf();
+
+  // Do codes of different lengths exist?
+  std::size_t max_len = 0, min_len = SIZE_MAX;
+  for (ViewId b : s) {
+    std::size_t len = repo.encode_depth1(b).size();
+    max_len = std::max(max_len, len);
+    min_len = std::min(min_len, len);
+  }
+  std::vector<ViewId> left, right;
+  std::uint64_t qa, qb;
+  if (min_len != max_len) {
+    qa = 0;
+    qb = max_len;  // query: |bin(B)| < max ?
+    for (ViewId b : s)
+      (repo.encode_depth1(b).size() < max_len ? left : right).push_back(b);
+  } else {
+    // Smallest 1-based index where some codes differ.
+    std::size_t j = 0;
+    bool found = false;
+    for (; j < max_len && !found; ++j) {
+      bool first = repo.encode_depth1(s[0])[j];
+      for (std::size_t k = 1; k < s.size(); ++k)
+        if (repo.encode_depth1(s[k])[j] != first) {
+          found = true;
+          break;
+        }
+    }
+    ANOLE_CHECK_MSG(found, "depth-1 views with identical codes in BuildTrie");
+    --j;  // the loop overshoots by one
+    qa = 1;
+    qb = j + 1;  // 1-based bit index
+    for (ViewId b : s)
+      (!repo.encode_depth1(b)[j] ? left : right).push_back(b);
+  }
+  ANOLE_CHECK(!left.empty() && !right.empty());
+  return Trie::internal(qa, qb, build_depth1(repo, left),
+                        build_depth1(repo, right));
+}
+
+Trie build_deep(ViewRepo& repo, Labeler& labeler, std::vector<ViewId>& s) {
+  ANOLE_CHECK(!s.empty());
+  if (s.size() == 1) return Trie::single_leaf();
+
+  // The two canonically smallest views of S determine the discriminatory
+  // index and subview.
+  std::vector<ViewId> sorted = s;
+  std::sort(sorted.begin(), sorted.end(), [&repo](ViewId a, ViewId b) {
+    return repo.compare(a, b) == std::strong_ordering::less;
+  });
+  ViewId u = sorted[0], v = sorted[1];
+  std::span<const views::ChildRef> cu = repo.children(u);
+  std::span<const views::ChildRef> cv = repo.children(v);
+  ANOLE_CHECK_MSG(cu.size() == cv.size(),
+                  "views in one deep BuildTrie class differ in degree");
+  std::size_t disc = cu.size();
+  for (std::size_t i = 0; i < cu.size(); ++i) {
+    if (cu[i].second != cv[i].second) {
+      disc = i;
+      break;
+    }
+  }
+  ANOLE_CHECK_MSG(disc < cu.size(),
+                  "distinct views with equal truncations have no "
+                  "discriminatory index");
+  ViewId b_disc =
+      repo.compare(cu[disc].second, cv[disc].second) == std::strong_ordering::less
+          ? cu[disc].second
+          : cv[disc].second;
+
+  // S' = views whose disc-th child view differs from the subview.
+  std::vector<ViewId> left, right;
+  for (ViewId b : s)
+    (repo.children(b)[disc].second != b_disc ? left : right).push_back(b);
+  ANOLE_CHECK(!left.empty() && !right.empty());
+
+  std::uint64_t label = labeler.retrieve_label(b_disc);
+  return Trie::internal(static_cast<std::uint64_t>(disc), label,
+                        build_deep(repo, labeler, left),
+                        build_deep(repo, labeler, right));
+}
+
+}  // namespace
+
+Trie build_trie_depth1(ViewRepo& repo, std::vector<ViewId> s) {
+  return build_depth1(repo, s);
+}
+
+Trie build_trie_deep(ViewRepo& repo, Labeler& labeler,
+                     std::vector<ViewId> s) {
+  return build_deep(repo, labeler, s);
+}
+
+}  // namespace anole::advice

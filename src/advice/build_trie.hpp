@@ -1,0 +1,29 @@
+#pragma once
+// BuildTrie (Algorithm 4): constructs a trie discriminating between all
+// views of a set S.
+//
+// Depth-1 mode (E1 empty): splits S on the lengths and bits of the exact
+// binary codes bin(B) (Prop. 3.3).
+// Deep mode (depth >= 2, all views in S share the same truncation one
+// level up): splits on the discriminatory index/subview of S, whose label
+// is computed with RetrieveLabel against the already-built (E1, E2) prefix.
+
+#include <vector>
+
+#include "advice/labeler.hpp"
+#include "advice/trie.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::advice {
+
+/// Depth-1 BuildTrie(S, ∅, ()): S must hold distinct depth-1 views.
+[[nodiscard]] Trie build_trie_depth1(views::ViewRepo& repo,
+                                     std::vector<views::ViewId> s);
+
+/// Deep BuildTrie(S, E1, E2(i-1)): S must hold distinct depth-l (l >= 2)
+/// views that all share one depth-(l-1) truncation. `labeler` wraps the
+/// (E1, E2) prefix built so far.
+[[nodiscard]] Trie build_trie_deep(views::ViewRepo& repo, Labeler& labeler,
+                                   std::vector<views::ViewId> s);
+
+}  // namespace anole::advice

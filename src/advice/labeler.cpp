@@ -1,0 +1,80 @@
+#include "advice/labeler.hpp"
+
+namespace anole::advice {
+
+std::uint64_t Labeler::local_label(views::ViewId b,
+                                   const std::vector<std::uint64_t>& x,
+                                   const Trie& trie) {
+  std::int32_t idx = trie.root();
+  std::uint64_t acc = 0;
+  for (;;) {
+    const Trie::Node& node = trie.node(idx);
+    if (node.is_leaf) return acc + 1;
+    bool left = false;
+    if (x.empty()) {
+      // Depth-1 queries against the exact binary code of B (Prop. 3.3).
+      const coding::BitString& code = repo_->encode_depth1(b);
+      if (node.a == 0 && code.size() < node.b) left = true;
+      if (node.a == 1) {
+        ANOLE_CHECK_MSG(node.b >= 1 && node.b <= code.size(),
+                        "bit query index " << node.b << " out of range");
+        if (!code[static_cast<std::size_t>(node.b - 1)]) left = true;
+      }
+    } else {
+      // Deep query: "is the (a+1)-th term of X different from b?"
+      ANOLE_CHECK_MSG(node.a < x.size(),
+                      "child index " << node.a << " out of range");
+      if (x[static_cast<std::size_t>(node.a)] != node.b) left = true;
+    }
+    if (left) {
+      idx = node.left;
+    } else {
+      acc += static_cast<std::uint64_t>(trie.node(node.left).leaves_below);
+      idx = node.right;
+    }
+  }
+}
+
+std::uint64_t Labeler::retrieve_label(views::ViewId b) {
+  if (auto it = memo_.find(b); it != memo_.end()) return it->second;
+  int d = repo_->depth(b);
+  ANOLE_CHECK_MSG(d >= 1, "retrieve_label needs depth >= 1");
+
+  std::uint64_t result;
+  if (d == 1) {
+    result = local_label(b, {}, *e1_);
+  } else {
+    // X: labels of the root's children (the neighbors' depth-(d-1) views),
+    // in port order.
+    std::span<const views::ChildRef> kids = repo_->children(b);
+    std::vector<std::uint64_t> x;
+    x.reserve(kids.size());
+    // Copy out first: retrieve_label recursion may intern (via truncate)
+    // and invalidate the span.
+    std::vector<views::ViewId> kid_ids;
+    kid_ids.reserve(kids.size());
+    for (const auto& [port, child] : kids) kid_ids.push_back(child);
+    for (views::ViewId child : kid_ids) x.push_back(retrieve_label(child));
+
+    views::ViewId b_prime = repo_->truncate(b, d - 1);
+    std::uint64_t label = retrieve_label(b_prime);
+
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 1; i <= label; ++i) {
+      const Trie* trie = e2_->find(static_cast<std::uint64_t>(d), i);
+      if (trie != nullptr) {
+        if (i < label)
+          sum += static_cast<std::uint64_t>(trie->num_leaves());
+        else
+          sum += local_label(b, x, *trie);
+      } else {
+        sum += 1;
+      }
+    }
+    result = sum;
+  }
+  memo_.emplace(b, result);
+  return result;
+}
+
+}  // namespace anole::advice

@@ -1,0 +1,45 @@
+#pragma once
+// LocalLabel (Algorithm 2) and RetrieveLabel (Algorithm 3): the pure label
+// functions over augmented truncated views that both the oracle and every
+// node evaluate. Sharing one implementation makes oracle/node agreement
+// hold by construction.
+//
+// RetrieveLabel(B, E1, E2) assigns every depth-d view a temporary label in
+// {1..|S_d|} (S_d = the set of depth-d views in the graph), injectively at
+// every depth, by walking the level tries with the labels of the root's
+// children as the query context.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "advice/nested_list.hpp"
+#include "advice/trie.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::advice {
+
+class Labeler {
+ public:
+  /// Borrows everything; e2 may keep growing (append-only) while this
+  /// Labeler is alive — the oracle relies on that during ComputeAdvice.
+  Labeler(views::ViewRepo& repo, const Trie& e1, const NestedList& e2)
+      : repo_(&repo), e1_(&e1), e2_(&e2) {}
+
+  /// RetrieveLabel(B, E1, E2) for a view of depth >= 1. Memoized.
+  [[nodiscard]] std::uint64_t retrieve_label(views::ViewId b);
+
+  /// LocalLabel(B, X, T) — exposed for the oracle's BuildTrie and tests.
+  /// X empty means depth-1 bit queries against bin(B).
+  [[nodiscard]] std::uint64_t local_label(views::ViewId b,
+                                          const std::vector<std::uint64_t>& x,
+                                          const Trie& trie);
+
+ private:
+  views::ViewRepo* repo_;
+  const Trie* e1_;
+  const NestedList* e2_;
+  std::unordered_map<views::ViewId, std::uint64_t> memo_;
+};
+
+}  // namespace anole::advice

@@ -1,0 +1,158 @@
+#include "advice/min_time.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "advice/build_trie.hpp"
+
+namespace anole::advice {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+using views::ViewId;
+using views::ViewRepo;
+
+coding::BitString MinTimeAdvice::to_bits() const {
+  coding::BitString a1 = coding::concat({e1.to_bits(), e2.to_bits()});
+  coding::BitString a2 = coding::encode_tree(bfs_tree);
+  return coding::concat({coding::bin(phi), a1, a2});
+}
+
+MinTimeAdvice MinTimeAdvice::from_bits(const coding::BitString& bits) {
+  std::vector<coding::BitString> parts = coding::decode(bits);
+  ANOLE_CHECK_MSG(parts.size() == 3, "advice must have 3 items");
+  MinTimeAdvice adv;
+  adv.phi = coding::parse_bin(parts[0]);
+  std::vector<coding::BitString> a1 = coding::decode(parts[1]);
+  ANOLE_CHECK_MSG(a1.size() == 2, "A1 must have 2 items");
+  adv.e1 = Trie::from_bits(a1[0]);
+  adv.e2 = NestedList::from_bits(a1[1]);
+  adv.bfs_tree = coding::decode_tree(parts[2]);
+  return adv;
+}
+
+coding::PortTree canonical_bfs_tree(const PortGraph& g, NodeId root,
+                                    const std::vector<std::uint64_t>& labels) {
+  std::vector<int> dist = g.bfs_distances(root);
+  std::size_t n = g.n();
+  // Parent of u (dist l+1): the neighbor at dist l behind the smallest
+  // port at u.
+  std::vector<NodeId> parent(n, -1);
+  std::vector<Port> up_port(n, -1), down_port(n, -1);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (static_cast<NodeId>(u) == root) continue;
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(u)); ++p) {
+      const auto& he = g.at(static_cast<NodeId>(u), p);
+      if (dist[static_cast<std::size_t>(he.neighbor)] ==
+          dist[u] - 1) {
+        parent[u] = he.neighbor;
+        down_port[u] = p;           // port at u (child side)
+        up_port[u] = he.rev_port;   // port at the parent side
+        break;
+      }
+    }
+    ANOLE_CHECK(parent[u] >= 0);
+  }
+  // Assemble children lists sorted by the parent-side port.
+  std::vector<std::vector<NodeId>> children(n);
+  for (std::size_t u = 0; u < n; ++u)
+    if (parent[u] >= 0) children[static_cast<std::size_t>(parent[u])]
+        .push_back(static_cast<NodeId>(u));
+  for (auto& kids : children)
+    std::sort(kids.begin(), kids.end(), [&](NodeId a, NodeId b) {
+      return up_port[static_cast<std::size_t>(a)] <
+             up_port[static_cast<std::size_t>(b)];
+    });
+
+  // Recursive assembly without recursion depth worries (graphs can be long
+  // chains): explicit stack, post-order.
+  std::vector<std::unique_ptr<coding::PortTree>> built(n);
+  // Process nodes in decreasing BFS distance so children are ready first.
+  std::vector<NodeId> order(n);
+  for (std::size_t u = 0; u < n; ++u) order[u] = static_cast<NodeId>(u);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return dist[static_cast<std::size_t>(a)] > dist[static_cast<std::size_t>(b)];
+  });
+  for (NodeId u : order) {
+    auto node = std::make_unique<coding::PortTree>();
+    node->label = labels[static_cast<std::size_t>(u)];
+    for (NodeId child : children[static_cast<std::size_t>(u)]) {
+      node->children.push_back(coding::PortTree::Edge{
+          .up_port = up_port[static_cast<std::size_t>(child)],
+          .down_port = down_port[static_cast<std::size_t>(child)],
+          .child = std::move(built[static_cast<std::size_t>(child)])});
+    }
+    built[static_cast<std::size_t>(u)] = std::move(node);
+  }
+  return std::move(*built[static_cast<std::size_t>(root)]);
+}
+
+MinTimeAdvice compute_advice(const PortGraph& g, ViewRepo& repo,
+                             const views::ViewProfile& profile, int depth) {
+  ANOLE_CHECK_MSG(profile.feasible,
+                  "ComputeAdvice requires a feasible graph");
+  int phi = depth < 0 ? profile.election_index : depth;
+  ANOLE_CHECK_MSG(phi >= profile.election_index,
+                  "exchange depth below the election index");
+  views::ViewProfile extended;  // local copy only if we must extend
+  const views::ViewProfile* prof = &profile;
+  if (profile.computed_depth() < phi) {
+    extended = profile;
+    views::extend_profile(g, repo, extended, phi);
+    prof = &extended;
+  }
+  const views::ViewProfile& p = *prof;
+  std::size_t n = g.n();
+
+  MinTimeAdvice adv;
+  adv.phi = static_cast<std::uint64_t>(phi);
+
+  // E1 <- BuildTrie(S1, ∅, ()).
+  std::vector<ViewId> s1(p.ids[1]);
+  std::sort(s1.begin(), s1.end());
+  s1.erase(std::unique(s1.begin(), s1.end()), s1.end());
+  adv.e1 = build_trie_depth1(repo, s1);
+
+  // E2 built level by level; one labeler sees the growing (E1, E2).
+  Labeler labeler(repo, adv.e1, adv.e2);
+  for (int i = 2; i <= phi; ++i) {
+    NestedList::Level level;
+    level.depth = static_cast<std::uint64_t>(i);
+    // Group the depth-i views by their depth-(i-1) truncation class. The
+    // paper iterates "for all B' at depth i-1"; we iterate classes keyed
+    // by the (already injective) label of B' so the couples are emitted in
+    // increasing label order — deterministic and order-independent.
+    std::map<std::uint64_t, std::vector<ViewId>> classes;
+    for (std::size_t v = 0; v < n; ++v) {
+      ViewId b_prev = p.view(i - 1, static_cast<NodeId>(v));
+      ViewId b_cur = p.view(i, static_cast<NodeId>(v));
+      classes[labeler.retrieve_label(b_prev)].push_back(b_cur);
+    }
+    for (auto& [j, members] : classes) {
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+      if (members.size() > 1)
+        level.couples.emplace_back(
+            j, build_trie_deep(repo, labeler, std::move(members)));
+    }
+    adv.e2.append_level(std::move(level));
+  }
+
+  // Final labels at depth phi; the root r is the node labeled 1.
+  std::vector<std::uint64_t> labels(n);
+  NodeId root = -1;
+  for (std::size_t v = 0; v < n; ++v) {
+    labels[v] = labeler.retrieve_label(p.view(phi, static_cast<NodeId>(v)));
+    ANOLE_CHECK_MSG(labels[v] >= 1 && labels[v] <= n,
+                    "RetrieveLabel out of range: " << labels[v]);
+    if (labels[v] == 1) root = static_cast<NodeId>(v);
+  }
+  ANOLE_CHECK_MSG(root >= 0, "no node received label 1");
+  adv.bfs_tree = canonical_bfs_tree(g, root, labels);
+  return adv;
+}
+
+}  // namespace anole::advice

@@ -1,0 +1,106 @@
+#include "advice/naive.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "advice/min_time.hpp"
+#include "util/math.hpp"
+
+namespace anole::advice {
+
+using portgraph::NodeId;
+using views::ViewId;
+
+coding::BitString NaiveAdvice::to_bits() const {
+  std::vector<coding::BitString> parts;
+  parts.reserve(sorted_codes.size() + 2);
+  parts.push_back(coding::bin(sorted_codes.size()));
+  for (const auto& code : sorted_codes) parts.push_back(code);
+  parts.push_back(coding::encode_tree(bfs_tree));
+  return coding::concat(parts);
+}
+
+NaiveAdvice NaiveAdvice::from_bits(const coding::BitString& bits) {
+  std::vector<coding::BitString> parts = coding::decode(bits);
+  ANOLE_CHECK(parts.size() >= 2);
+  NaiveAdvice adv;
+  std::size_t count = static_cast<std::size_t>(coding::parse_bin(parts[0]));
+  ANOLE_CHECK_MSG(parts.size() == count + 2, "naive advice length mismatch");
+  adv.sorted_codes.assign(parts.begin() + 1, parts.end() - 1);
+  adv.bfs_tree = coding::decode_tree(parts.back());
+  return adv;
+}
+
+NaiveAdvice compute_naive_advice(const portgraph::PortGraph& g,
+                                 views::ViewRepo& repo,
+                                 const views::ViewProfile& profile) {
+  ANOLE_CHECK_MSG(profile.feasible && profile.election_index == 1,
+                  "the naive scheme is defined for election index 1");
+  std::size_t n = g.n();
+
+  NaiveAdvice adv;
+  adv.sorted_codes.reserve(n);
+  for (std::size_t v = 0; v < n; ++v)
+    adv.sorted_codes.push_back(
+        repo.encode_depth1(profile.view(1, static_cast<NodeId>(v))));
+  std::sort(adv.sorted_codes.begin(), adv.sorted_codes.end());
+
+  // Rank labels (1-based; all codes distinct since phi = 1).
+  std::vector<std::uint64_t> labels(n);
+  NodeId root = -1;
+  for (std::size_t v = 0; v < n; ++v) {
+    const coding::BitString& code =
+        repo.encode_depth1(profile.view(1, static_cast<NodeId>(v)));
+    auto it = std::lower_bound(adv.sorted_codes.begin(),
+                               adv.sorted_codes.end(), code);
+    labels[v] = static_cast<std::uint64_t>(
+                    std::distance(adv.sorted_codes.begin(), it)) +
+                1;
+    if (labels[v] == 1) root = static_cast<NodeId>(v);
+  }
+  ANOLE_CHECK(root >= 0);
+  adv.bfs_tree = canonical_bfs_tree(g, root, labels);
+  return adv;
+}
+
+void NaiveElectProgram::on_view(int rounds) {
+  if (done_ || rounds != 1) return;
+  const coding::BitString& code = repo().encode_depth1(view());
+  auto it = std::lower_bound(advice_->sorted_codes.begin(),
+                             advice_->sorted_codes.end(), code);
+  ANOLE_CHECK_MSG(it != advice_->sorted_codes.end() && *it == code,
+                  "own view code not in the naive advice list");
+  std::uint64_t rank = static_cast<std::uint64_t>(
+                           std::distance(advice_->sorted_codes.begin(), it)) +
+                       1;
+  output_ = advice_->bfs_tree.path_ports(rank, 1);
+  done_ = true;
+}
+
+std::uint64_t naive_tree_code_bits(const views::ViewRepo& repo,
+                                   views::ViewId view) {
+  constexpr std::uint64_t kCap = UINT64_C(1) << 62;
+  std::unordered_map<ViewId, std::uint64_t> memo;
+  // Post-order accumulation over the DAG; tree size = sum over children of
+  // (edge label bits + subtree size), counted with multiplicity.
+  auto rec = [&](auto&& self, ViewId v) -> std::uint64_t {
+    if (auto it = memo.find(v); it != memo.end()) return it->second;
+    std::uint64_t bits =
+        util::bit_length(static_cast<std::uint64_t>(repo.degree(v)));
+    for (const auto& [port, child] : repo.children(v)) {
+      std::uint64_t sub = self(self, child);
+      std::uint64_t edge =
+          util::bit_length(static_cast<std::uint64_t>(port)) + 8;
+      if (sub >= kCap || bits >= kCap - sub || bits + sub >= kCap - edge) {
+        bits = kCap;
+        break;
+      }
+      bits += sub + edge;
+    }
+    memo.emplace(v, bits);
+    return bits;
+  };
+  return rec(rec, view);
+}
+
+}  // namespace anole::advice

@@ -1,0 +1,70 @@
+#pragma once
+// The naive advice scheme the paper dismisses in Section 3 — implemented,
+// so the ablation benchmark can measure exactly the gap the trie design
+// closes.
+//
+// "A naive way in which nodes could attribute themselves distinct labels
+// ... nodes could list all possible augmented truncated views at depth
+// phi, order them lexicographically, and then each node could adopt as
+// its label the rank in this list." Listing all *possible* views is
+// infinite; the implementable variant ships the list of views *present in
+// G*: the advice contains, sorted, the exact binary code of every node's
+// B^phi, and the BFS tree labeled by ranks. For phi = 1 that is
+// Theta(sum |bin(B^1(v))|) = Theta(n^2 log n) bits on dense graphs —
+// versus the trie scheme's O(n log n). For phi > 1 the codes are view
+// *trees* and grow like Delta^phi; naive_tree_code_bits estimates their
+// size (saturating) without materializing them.
+
+#include <cstdint>
+#include <memory>
+
+#include "coding/tree_codec.hpp"
+#include "sim/full_info.hpp"
+#include "views/profile.hpp"
+
+namespace anole::advice {
+
+/// The decoded naive advice: the sorted code list and the rank-labeled
+/// canonical BFS tree.
+struct NaiveAdvice {
+  std::vector<coding::BitString> sorted_codes;  ///< bin(B^1) per class
+  coding::PortTree bfs_tree;                    ///< labels = 1-based ranks
+
+  [[nodiscard]] coding::BitString to_bits() const;
+  [[nodiscard]] static NaiveAdvice from_bits(const coding::BitString& bits);
+};
+
+/// Oracle for the naive scheme. Requires election index 1 (the paper's
+/// own discussion of the naive scheme is at phi = 1; beyond that the
+/// codes explode — see naive_tree_code_bits).
+[[nodiscard]] NaiveAdvice compute_naive_advice(
+    const portgraph::PortGraph& g, views::ViewRepo& repo,
+    const views::ViewProfile& profile);
+
+/// Node algorithm: one COM round, rank lookup, path in the advice tree.
+class NaiveElectProgram final : public sim::FullInfoProgram {
+ public:
+  explicit NaiveElectProgram(std::shared_ptr<const NaiveAdvice> adv)
+      : advice_(std::move(adv)) {}
+
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return output_; }
+
+ protected:
+  void on_view(int rounds) override;
+
+ private:
+  std::shared_ptr<const NaiveAdvice> advice_;
+  std::vector<int> output_;
+  bool done_ = false;
+};
+
+/// Size in bits of the *flat tree* encoding of a view (each depth-d view
+/// written out as its full port-labeled tree, the way the naive scheme
+/// would have to ship depth-phi views). Saturates at 2^62. This is the
+/// quantity that grows like Delta^phi and motivates the paper's recursive
+/// trie construction for phi > 1.
+[[nodiscard]] std::uint64_t naive_tree_code_bits(const views::ViewRepo& repo,
+                                                 views::ViewId view);
+
+}  // namespace anole::advice

@@ -1,0 +1,69 @@
+#include "advice/nested_list.hpp"
+
+#include "util/check.hpp"
+
+namespace anole::advice {
+
+void NestedList::append_level(Level level) {
+  ANOLE_CHECK_MSG(levels_.empty() || levels_.back().depth < level.depth,
+                  "E2 levels must be appended in increasing depth order");
+  levels_.push_back(std::move(level));
+}
+
+const NestedList::Level* NestedList::level(std::uint64_t depth) const {
+  for (const Level& l : levels_)
+    if (l.depth == depth) return &l;
+  return nullptr;
+}
+
+const Trie* NestedList::find(std::uint64_t depth, std::uint64_t j) const {
+  const Level* l = level(depth);
+  if (l == nullptr) return nullptr;
+  for (const auto& [label, trie] : l->couples)
+    if (label == j) return &trie;
+  return nullptr;
+}
+
+coding::BitString NestedList::to_bits() const {
+  std::vector<coding::BitString> outer;
+  outer.reserve(levels_.size() * 2);
+  for (const Level& l : levels_) {
+    outer.push_back(coding::bin(l.depth));
+    std::vector<coding::BitString> inner;
+    inner.reserve(l.couples.size() * 2);
+    for (const auto& [j, trie] : l.couples) {
+      inner.push_back(coding::bin(j));
+      inner.push_back(trie.to_bits());
+    }
+    outer.push_back(coding::concat(inner));
+  }
+  return coding::concat(outer);
+}
+
+NestedList NestedList::from_bits(const coding::BitString& bits) {
+  NestedList out;
+  if (bits.empty()) return out;
+  std::vector<coding::BitString> outer = coding::decode(bits);
+  ANOLE_CHECK_MSG(outer.size() % 2 == 0, "E2 code must pair depths and lists");
+  for (std::size_t k = 0; k < outer.size(); k += 2) {
+    Level level;
+    level.depth = coding::parse_bin(outer[k]);
+    const coding::BitString& list_bits = outer[k + 1];
+    if (!list_bits.empty()) {
+      std::vector<coding::BitString> inner = coding::decode(list_bits);
+      ANOLE_CHECK_MSG(inner.size() % 2 == 0,
+                      "L(i) code must pair labels and tries");
+      for (std::size_t c = 0; c < inner.size(); c += 2)
+        level.couples.emplace_back(coding::parse_bin(inner[c]),
+                                   Trie::from_bits(inner[c + 1]));
+    }
+    out.append_level(std::move(level));
+  }
+  return out;
+}
+
+bool NestedList::operator==(const NestedList& other) const {
+  return to_bits() == other.to_bits();
+}
+
+}  // namespace anole::advice

@@ -1,0 +1,49 @@
+#pragma once
+// The nested list E2 of Algorithm 5 (ComputeAdvice): a list of couples
+// (i, L(i)) for i = 2..phi, where L(i) is a list of couples (j, T_j); T_j
+// is the trie discriminating among the depth-i views of all nodes whose
+// depth-(i-1) view has label j (only labels with >= 2 extensions appear).
+//
+// Binary code, as in the paper: bin(E2) = Concat(bin(i_1), bin(L(i_1)),
+// ...), with bin(L) = Concat(bin(j_1), bin(T_1), ...). An empty list codes
+// to the empty string.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "advice/trie.hpp"
+
+namespace anole::advice {
+
+class NestedList {
+ public:
+  struct Level {
+    std::uint64_t depth = 0;
+    std::vector<std::pair<std::uint64_t, Trie>> couples;
+  };
+
+  /// Appends the level (depth, couples); depths must be appended in
+  /// increasing order (Algorithm 5 appends (i, L(i)) for i = 2,3,...).
+  void append_level(Level level);
+
+  [[nodiscard]] const std::vector<Level>& levels() const noexcept {
+    return levels_;
+  }
+
+  /// The trie for (depth, label j), or nullptr when |S_depth(j)| < 2.
+  [[nodiscard]] const Trie* find(std::uint64_t depth, std::uint64_t j) const;
+
+  /// Whether an (i, L(i)) entry exists for this depth at all.
+  [[nodiscard]] const Level* level(std::uint64_t depth) const;
+
+  [[nodiscard]] coding::BitString to_bits() const;
+  [[nodiscard]] static NestedList from_bits(const coding::BitString& bits);
+
+  bool operator==(const NestedList& other) const;
+
+ private:
+  std::vector<Level> levels_;
+};
+
+}  // namespace anole::advice

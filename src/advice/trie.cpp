@@ -1,0 +1,95 @@
+#include "advice/trie.hpp"
+
+#include "util/check.hpp"
+
+namespace anole::advice {
+
+Trie Trie::single_leaf() {
+  Trie t;
+  t.nodes_.push_back(Node{});
+  t.root_ = 0;
+  return t;
+}
+
+std::int32_t Trie::absorb(const Trie& other) {
+  std::int32_t offset = static_cast<std::int32_t>(nodes_.size());
+  for (const Node& n : other.nodes_) {
+    Node copy = n;
+    if (copy.left >= 0) copy.left += offset;
+    if (copy.right >= 0) copy.right += offset;
+    nodes_.push_back(copy);
+  }
+  return other.root_ + offset;
+}
+
+Trie Trie::internal(std::uint64_t a, std::uint64_t b, Trie left, Trie right) {
+  ANOLE_CHECK(!left.empty() && !right.empty());
+  Trie t;
+  std::int32_t l = t.absorb(left);
+  std::int32_t r = t.absorb(right);
+  Node root;
+  root.is_leaf = false;
+  root.a = a;
+  root.b = b;
+  root.left = l;
+  root.right = r;
+  root.leaves_below =
+      t.node(l).leaves_below + t.node(r).leaves_below;
+  t.nodes_.push_back(root);
+  t.root_ = static_cast<std::int32_t>(t.nodes_.size() - 1);
+  return t;
+}
+
+namespace {
+
+void emit(const Trie& t, std::int32_t idx,
+          std::vector<coding::BitString>& parts) {
+  const Trie::Node& n = t.node(idx);
+  if (n.is_leaf) {
+    parts.push_back(coding::bin(0));
+    return;
+  }
+  parts.push_back(coding::bin(1));
+  parts.push_back(coding::bin(n.a));
+  parts.push_back(coding::bin(n.b));
+  emit(t, n.left, parts);
+  emit(t, n.right, parts);
+}
+
+Trie parse(const std::vector<coding::BitString>& parts, std::size_t& pos) {
+  ANOLE_CHECK_MSG(pos < parts.size(), "trie code truncated");
+  std::uint64_t tag = coding::parse_bin(parts[pos++]);
+  if (tag == 0) return Trie::single_leaf();
+  ANOLE_CHECK_MSG(tag == 1, "bad trie node tag " << tag);
+  ANOLE_CHECK(pos + 1 < parts.size());
+  std::uint64_t a = coding::parse_bin(parts[pos++]);
+  std::uint64_t b = coding::parse_bin(parts[pos++]);
+  Trie left = parse(parts, pos);
+  Trie right = parse(parts, pos);
+  return Trie::internal(a, b, std::move(left), std::move(right));
+}
+
+}  // namespace
+
+coding::BitString Trie::to_bits() const {
+  ANOLE_CHECK(!empty());
+  std::vector<coding::BitString> parts;
+  emit(*this, root_, parts);
+  return coding::concat(parts);
+}
+
+Trie Trie::from_bits(const coding::BitString& bits) {
+  std::vector<coding::BitString> parts = coding::decode(bits);
+  std::size_t pos = 0;
+  Trie t = parse(parts, pos);
+  ANOLE_CHECK_MSG(pos == parts.size(), "trailing data after trie code");
+  return t;
+}
+
+bool Trie::operator==(const Trie& other) const {
+  // Structural equality via codes (node ids may be laid out differently).
+  if (empty() || other.empty()) return empty() == other.empty();
+  return to_bits() == other.to_bits();
+}
+
+}  // namespace anole::advice

@@ -1,0 +1,66 @@
+#pragma once
+// The discrimination tries of Section 3.
+//
+// A trie is a rooted binary tree whose leaves correspond to objects (here:
+// augmented truncated views of graph nodes) and whose internal nodes carry
+// yes/no queries (a,b); the left child (port 0) is the "no" branch, the
+// right child (port 1) the "yes" branch.
+//
+// Query semantics (Algorithm 2, LocalLabel):
+//  * depth-1 tries (argument list X empty):
+//      (0,t): "is |bin(B)| < t?"            — yes goes LEFT
+//      (1,j): "is the j-th bit of bin(B) 0?" — yes goes LEFT  (1-indexed)
+//  * deeper tries (X = labels of the root's children):
+//      (i,l): "is X[i+1] != l?"             — yes goes LEFT
+//
+// Binary code: a recursive Concat-based encoding of equivalent size to the
+// paper's DFS-walk code (leaves contribute O(1) bits; internal nodes O(log)
+// bits per query component) — see DESIGN.md on codec substitutions.
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/codec.hpp"
+
+namespace anole::advice {
+
+class Trie {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    std::uint64_t a = 0, b = 0;  ///< the query (internal nodes only)
+    std::int32_t left = -1, right = -1;
+    std::int32_t leaves_below = 1;  ///< leaf count of this subtree
+  };
+
+  /// A single-leaf trie (the "(0)"-labeled node of Algorithm 4).
+  static Trie single_leaf();
+
+  /// An internal root with query (a,b) and the two subtries.
+  static Trie internal(std::uint64_t a, std::uint64_t b, Trie left,
+                       Trie right);
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::int32_t root() const noexcept { return root_; }
+  [[nodiscard]] const Node& node(std::int32_t idx) const {
+    return nodes_[static_cast<std::size_t>(idx)];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int num_leaves() const {
+    return empty() ? 0 : node(root_).leaves_below;
+  }
+
+  [[nodiscard]] coding::BitString to_bits() const;
+  [[nodiscard]] static Trie from_bits(const coding::BitString& bits);
+
+  bool operator==(const Trie& other) const;
+
+ private:
+  // Appends `other`'s nodes, returning the translated root index.
+  std::int32_t absorb(const Trie& other);
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace anole::advice

@@ -1,0 +1,38 @@
+#include "coding/bitstring.hpp"
+
+#include <algorithm>
+
+namespace anole::coding {
+
+BitString BitString::from_string(const std::string& s) {
+  BitString b;
+  for (char c : s) {
+    ANOLE_CHECK_MSG(c == '0' || c == '1', "bad bit char '" << c << "'");
+    b.push_back(c == '1');
+  }
+  return b;
+}
+
+bool BitString::operator==(const BitString& other) const {
+  if (size_ != other.size_) return false;
+  // Trailing bits of the last word are zero by construction on both sides.
+  return words_ == other.words_;
+}
+
+bool BitString::operator<(const BitString& other) const {
+  std::size_t common = std::min(size_, other.size_);
+  for (std::size_t i = 0; i < common; ++i) {
+    bool a = (*this)[i], b = other[i];
+    if (a != b) return !a;  // 0 < 1
+  }
+  return size_ < other.size_;
+}
+
+std::string BitString::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back((*this)[i] ? '1' : '0');
+  return s;
+}
+
+}  // namespace anole::coding

@@ -1,0 +1,74 @@
+#pragma once
+// BitString: a growable sequence of bits, MSB-first within the logical
+// stream, used for all advice strings in the paper.
+//
+// The paper measures advice in bits, so this type is the unit of account
+// for every "size of advice" column in the experiment tables.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anole::coding {
+
+class BitString {
+ public:
+  BitString() = default;
+
+  /// Builds from a string of '0'/'1' characters (test convenience).
+  static BitString from_string(const std::string& s);
+
+  void push_back(bool bit) {
+    if (size_ % 64 == 0) words_.push_back(0);
+    if (bit) words_.back() |= (UINT64_C(1) << (size_ % 64));
+    ++size_;
+  }
+
+  void append(const BitString& other) {
+    for (std::size_t i = 0; i < other.size(); ++i) push_back(other[i]);
+  }
+
+  bool operator[](std::size_t i) const {
+    ANOLE_DCHECK(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool operator==(const BitString& other) const;
+
+  /// Lexicographic order on bit sequences (shorter prefix < longer when
+  /// equal so far) — the order the paper uses on binary representations.
+  bool operator<(const BitString& other) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// Cursor for sequentially decoding a BitString.
+class BitReader {
+ public:
+  explicit BitReader(const BitString& bits) : bits_(&bits) {}
+
+  bool read_bit() {
+    ANOLE_CHECK_MSG(pos_ < bits_->size(), "BitReader past end");
+    return (*bits_)[pos_++];
+  }
+
+  bool at_end() const noexcept { return pos_ >= bits_->size(); }
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return bits_->size() - pos_; }
+
+ private:
+  const BitString* bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace anole::coding

@@ -1,0 +1,79 @@
+#include "coding/codec.hpp"
+
+#include "util/math.hpp"
+
+namespace anole::coding {
+
+BitString bin(std::uint64_t x) {
+  BitString b;
+  std::uint32_t len = util::bit_length(x);
+  for (std::uint32_t i = 0; i < len; ++i)
+    b.push_back((x >> (len - 1 - i)) & 1);
+  return b;
+}
+
+std::uint64_t parse_bin(const BitString& b) {
+  ANOLE_CHECK_MSG(!b.empty(), "parse_bin on empty string");
+  ANOLE_CHECK_MSG(b.size() <= 64, "parse_bin overflow: " << b.size()
+                                                         << " bits");
+  std::uint64_t x = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) x = (x << 1) | (b[i] ? 1 : 0);
+  return x;
+}
+
+BitString concat(const std::vector<BitString>& parts) {
+  BitString out;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    if (p > 0) {  // separator 01
+      out.push_back(false);
+      out.push_back(true);
+    }
+    const BitString& part = parts[p];
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      out.push_back(part[i]);
+      out.push_back(part[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<BitString> decode(const BitString& encoded) {
+  ANOLE_CHECK_MSG(encoded.size() % 2 == 0,
+                  "Concat code has odd length " << encoded.size());
+  std::vector<BitString> parts;
+  parts.emplace_back();
+  for (std::size_t i = 0; i < encoded.size(); i += 2) {
+    bool a = encoded[i], b = encoded[i + 1];
+    if (a == b) {
+      parts.back().push_back(a);
+    } else {
+      ANOLE_CHECK_MSG(!a && b, "invalid Concat pair 10 at bit " << i);
+      parts.emplace_back();
+    }
+  }
+  return parts;
+}
+
+BitString encode_ints(const std::vector<std::uint64_t>& vals) {
+  std::vector<BitString> parts;
+  parts.reserve(vals.size() + 1);
+  parts.push_back(bin(vals.size()));
+  for (std::uint64_t v : vals) parts.push_back(bin(v));
+  return concat(parts);
+}
+
+std::vector<std::uint64_t> decode_ints(const BitString& b) {
+  std::vector<BitString> parts = decode(b);
+  ANOLE_CHECK(!parts.empty());
+  std::uint64_t count = parse_bin(parts[0]);
+  ANOLE_CHECK_MSG(parts.size() == count + 1,
+                  "encode_ints count mismatch: " << parts.size() - 1
+                                                 << " vs " << count);
+  std::vector<std::uint64_t> vals;
+  vals.reserve(count);
+  for (std::size_t i = 1; i < parts.size(); ++i)
+    vals.push_back(parse_bin(parts[i]));
+  return vals;
+}
+
+}  // namespace anole::coding

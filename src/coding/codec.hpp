@@ -1,0 +1,47 @@
+#pragma once
+// The paper's binary encodings (Section 3, "technical issues concerning
+// coding various objects by binary strings"):
+//
+//  * bin(x)            — standard binary representation of an integer,
+//                        MSB first, bin(0) = "0".
+//  * Concat(A1,...,Ak) — encodes a sequence of binary substrings by
+//                        doubling each digit of each substring and putting
+//                        "01" between consecutive substrings. Example from
+//                        the paper: Concat((01),(00)) = (0011010000).
+//  * Decode            — the inverse of Concat.
+//
+// Concat increases the total number of bits by a constant factor (2x plus
+// two bits per separator), which is what the paper's O(n log n) accounting
+// relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/bitstring.hpp"
+
+namespace anole::coding {
+
+/// bin(x): binary representation, most significant bit first. bin(0)="0".
+[[nodiscard]] BitString bin(std::uint64_t x);
+
+/// Inverse of bin(). The input must be non-empty.
+[[nodiscard]] std::uint64_t parse_bin(const BitString& b);
+
+/// Concat(A1,...,Ak) with the doubling/separator scheme described above.
+/// Concat of an empty list is the empty string.
+[[nodiscard]] BitString concat(const std::vector<BitString>& parts);
+
+/// Decode(Concat(A1,...,Ak)) = (A1,...,Ak). The empty string decodes to a
+/// single empty substring (Concat of one empty part is also empty; the
+/// paper never concatenates zero parts).
+[[nodiscard]] std::vector<BitString> decode(const BitString& encoded);
+
+/// Convenience: Concat of the binary representations of a list of integers,
+/// with a count prefix so that the empty list is unambiguous:
+/// encode_ints(v) = Concat(bin(v.size()), bin(v[0]), ..., bin(v.back())).
+[[nodiscard]] BitString encode_ints(const std::vector<std::uint64_t>& vals);
+
+/// Inverse of encode_ints().
+[[nodiscard]] std::vector<std::uint64_t> decode_ints(const BitString& b);
+
+}  // namespace anole::coding

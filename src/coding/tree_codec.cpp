@@ -1,0 +1,144 @@
+#include "coding/tree_codec.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace anole::coding {
+namespace {
+
+// Root-to-node list of edges; empty if label is at the root.
+bool find_path(const PortTree& node, std::uint64_t label,
+               std::vector<const PortTree::Edge*>& path) {
+  if (node.label == label) return true;
+  for (const auto& e : node.children) {
+    path.push_back(&e);
+    if (find_path(*e.child, label, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+void emit_walk(const PortTree& node, std::vector<std::uint64_t>& s1,
+               std::vector<std::uint64_t>& s2) {
+  s2.push_back(node.label);
+  for (const auto& e : node.children) {
+    s1.push_back(static_cast<std::uint64_t>(e.up_port));
+    s1.push_back(static_cast<std::uint64_t>(e.down_port));
+    emit_walk(*e.child, s1, s2);
+    s1.push_back(static_cast<std::uint64_t>(e.down_port));
+    s1.push_back(static_cast<std::uint64_t>(e.up_port));
+  }
+}
+
+// Parses the walk of one subtree. `pos` indexes pairs in s1. `entry_port`
+// is the port at this node toward its parent, or -1 at the root.
+void parse_walk(const std::vector<std::uint64_t>& s1, std::size_t& pos,
+                const std::vector<std::uint64_t>& s2, std::size_t& next_label,
+                int entry_port, PortTree& node) {
+  ANOLE_CHECK(next_label < s2.size());
+  node.label = s2[next_label++];
+  while (pos * 2 < s1.size()) {
+    int a = static_cast<int>(s1[pos * 2]);
+    int b = static_cast<int>(s1[pos * 2 + 1]);
+    if (a == entry_port) {
+      ++pos;  // consume the upward traversal; caller resumes at the parent
+      return;
+    }
+    ++pos;  // downward traversal to a new child
+    auto child = std::make_unique<PortTree>();
+    parse_walk(s1, pos, s2, next_label, b, *child);
+    node.children.push_back(
+        PortTree::Edge{.up_port = a, .down_port = b, .child = std::move(child)});
+  }
+  ANOLE_CHECK_MSG(entry_port < 0, "tree walk ended inside a subtree");
+}
+
+}  // namespace
+
+std::size_t PortTree::size() const {
+  std::size_t n = 1;
+  for (const auto& e : children) n += e.child->size();
+  return n;
+}
+
+const PortTree* PortTree::find(std::uint64_t target) const {
+  if (label == target) return this;
+  for (const auto& e : children)
+    if (const PortTree* hit = e.child->find(target)) return hit;
+  return nullptr;
+}
+
+std::vector<int> PortTree::path_ports(std::uint64_t from,
+                                      std::uint64_t to) const {
+  std::vector<const Edge*> from_path, to_path;
+  ANOLE_CHECK_MSG(find_path(*this, from, from_path),
+                  "label " << from << " not in tree");
+  ANOLE_CHECK_MSG(find_path(*this, to, to_path),
+                  "label " << to << " not in tree");
+  // Strip the common prefix (edges above the LCA are shared).
+  std::size_t common = 0;
+  while (common < from_path.size() && common < to_path.size() &&
+         from_path[common] == to_path[common])
+    ++common;
+  std::vector<int> ports;
+  // Walk up from `from` to the LCA: near end is the child side.
+  for (std::size_t i = from_path.size(); i > common; --i) {
+    ports.push_back(from_path[i - 1]->down_port);
+    ports.push_back(from_path[i - 1]->up_port);
+  }
+  // Walk down from the LCA to `to`: near end is the parent side.
+  for (std::size_t i = common; i < to_path.size(); ++i) {
+    ports.push_back(to_path[i]->up_port);
+    ports.push_back(to_path[i]->down_port);
+  }
+  return ports;
+}
+
+bool PortTree::operator==(const PortTree& other) const {
+  if (label != other.label || children.size() != other.children.size())
+    return false;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const auto& a = children[i];
+    const auto& b = other.children[i];
+    if (a.up_port != b.up_port || a.down_port != b.down_port ||
+        !(*a.child == *b.child))
+      return false;
+  }
+  return true;
+}
+
+BitString encode_tree(const PortTree& tree) {
+  std::vector<std::uint64_t> s1, s2;
+  emit_walk(tree, s1, s2);
+  std::vector<BitString> parts;
+  parts.reserve(2 + s1.size() + s2.size());
+  parts.push_back(bin(s2.size()));  // node count n; |S1| = 4(n-1)
+  for (std::uint64_t p : s1) parts.push_back(bin(p));
+  for (std::uint64_t l : s2) parts.push_back(bin(l));
+  return concat(parts);
+}
+
+PortTree decode_tree(const BitString& bits) {
+  std::vector<BitString> parts = decode(bits);
+  ANOLE_CHECK(!parts.empty());
+  std::size_t n = static_cast<std::size_t>(parse_bin(parts[0]));
+  ANOLE_CHECK_MSG(n >= 1, "tree code with zero nodes");
+  ANOLE_CHECK_MSG(parts.size() == 1 + 4 * (n - 1) + n,
+                  "tree code length mismatch: " << parts.size() << " parts, n="
+                                                << n);
+  std::vector<std::uint64_t> s1, s2;
+  s1.reserve(4 * (n - 1));
+  s2.reserve(n);
+  for (std::size_t i = 0; i < 4 * (n - 1); ++i)
+    s1.push_back(parse_bin(parts[1 + i]));
+  for (std::size_t i = 0; i < n; ++i)
+    s2.push_back(parse_bin(parts[1 + 4 * (n - 1) + i]));
+  PortTree root;
+  std::size_t pos = 0, next_label = 0;
+  parse_walk(s1, pos, s2, next_label, /*entry_port=*/-1, root);
+  ANOLE_CHECK_MSG(next_label == n, "tree walk did not visit all nodes");
+  return root;
+}
+
+}  // namespace anole::coding

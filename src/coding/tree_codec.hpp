@@ -1,0 +1,62 @@
+#pragma once
+// Labeled rooted trees with two-sided port numbers and the paper's
+// DFS-walk binary code for them (Section 3, Proposition 3.1).
+//
+// The BFS tree that forms item A2 of the advice is such a tree: each node
+// carries an integer label (the RetrieveLabel value of the graph node it
+// represents) and each tree edge carries the two port numbers it has in the
+// underlying graph.
+//
+// Code layout, following the paper: a DFS walk starting and ending at the
+// root, children explored in increasing order of the parent-side port;
+// every edge traversal records the (near, far) port pair, so S1 has
+// 4(n-1) entries; S2 lists the n node labels in order of first visit.
+// We flatten (S1,S2) into one Concat with a node-count prefix so that the
+// single-node tree is unambiguous; this changes the length only by O(log n).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coding/codec.hpp"
+
+namespace anole::coding {
+
+/// A rooted tree node. Children are kept sorted by `up_port` (the port at
+/// *this* node on the edge to the child), matching the canonical BFS-tree
+/// convention the paper uses.
+struct PortTree {
+  struct Edge {
+    int up_port;    ///< port at the parent endpoint of this edge
+    int down_port;  ///< port at the child endpoint of this edge
+    std::unique_ptr<PortTree> child;
+  };
+
+  std::uint64_t label = 0;
+  std::vector<Edge> children;
+
+  /// Number of nodes in the subtree rooted here.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Finds the node with the given label; returns nullptr if absent.
+  /// Also fills `path` (port pairs near,far per step, root-ward) when found:
+  /// the sequence of (down_port, up_port) pairs from that node up to *this*.
+  [[nodiscard]] const PortTree* find(std::uint64_t label) const;
+
+  /// Sequence of port numbers (p1,q1,...,pk,qk) of the unique simple path
+  /// from the node labeled `from` to the node labeled `to`, where p_i is the
+  /// port at the near end of the i-th edge walking from `from` to `to`.
+  /// Both labels must exist in the tree.
+  [[nodiscard]] std::vector<int> path_ports(std::uint64_t from,
+                                            std::uint64_t to) const;
+
+  bool operator==(const PortTree& other) const;
+};
+
+/// bin(T): the paper's binary code of a labeled tree.
+[[nodiscard]] BitString encode_tree(const PortTree& tree);
+
+/// Inverse of encode_tree().
+[[nodiscard]] PortTree decode_tree(const BitString& bits);
+
+}  // namespace anole::coding

@@ -1,0 +1,104 @@
+#include "election/baselines.hpp"
+
+#include <unordered_set>
+
+namespace anole::election {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using views::ViewId;
+
+coding::BitString map_advice(const portgraph::PortGraph& g) {
+  return portgraph::encode_graph(g);
+}
+
+void MapProgram::on_view(int rounds) {
+  if (done_ || rounds != state_->phi) return;
+  views::ViewRepo& vr = repo();
+  const portgraph::PortGraph& map = state_->map;
+
+  // Locate every map node's B^phi in the shared repo; our own view id then
+  // identifies our position on the map (unique because rounds = phi).
+  views::ViewProfile profile =
+      views::compute_profile(map, vr, /*min_depth=*/state_->phi);
+  const auto& level = profile.ids[static_cast<std::size_t>(state_->phi)];
+  NodeId self = -1;
+  for (std::size_t v = 0; v < level.size(); ++v)
+    if (level[v] == view()) {
+      self = static_cast<NodeId>(v);
+      break;
+    }
+  ANOLE_CHECK_MSG(self >= 0, "own view not found on the map");
+  NodeId leader = views::argmin_view(vr, level);
+
+  // Lexicographically smallest shortest path self -> leader on the map.
+  std::vector<int> dist = map.bfs_distances(leader);
+  NodeId cur = self;
+  while (cur != leader) {
+    for (Port p = 0; p < map.degree(cur); ++p) {
+      const auto& he = map.at(cur, p);
+      if (dist[static_cast<std::size_t>(he.neighbor)] ==
+          dist[static_cast<std::size_t>(cur)] - 1) {
+        output_.push_back(p);
+        output_.push_back(he.rev_port);
+        cur = he.neighbor;
+        break;
+      }
+    }
+  }
+  done_ = true;
+}
+
+coding::BitString remark_advice(std::uint64_t diameter, std::uint64_t phi) {
+  return coding::concat({coding::bin(diameter), coding::bin(phi)});
+}
+
+RemarkProgram RemarkProgram::from_advice(const coding::BitString& adv) {
+  std::vector<coding::BitString> parts = coding::decode(adv);
+  ANOLE_CHECK(parts.size() == 2);
+  return RemarkProgram(coding::parse_bin(parts[0]),
+                       coding::parse_bin(parts[1]));
+}
+
+void RemarkProgram::on_view(int rounds) {
+  if (done_ || rounds != diameter_ + phi_) return;
+  views::ViewRepo& vr = repo();
+
+  // All graph nodes appear within depth D of the view; their B^phi are all
+  // visible (depth D + phi view). Pick the canonically smallest.
+  std::vector<std::vector<ViewId>> levels{{view()}};
+  for (int l = 0; l < diameter_; ++l) {
+    std::unordered_set<ViewId> next;
+    for (ViewId v : levels.back())
+      for (const auto& [port, child] : vr.children(v)) next.insert(child);
+    levels.emplace_back(next.begin(), next.end());
+  }
+  ViewId bmin = views::kInvalidView;
+  for (const auto& level : levels)
+    for (ViewId v : level) {
+      ViewId t = vr.truncate(v, phi_);
+      if (bmin == views::kInvalidView ||
+          vr.compare(t, bmin) == std::strong_ordering::less)
+        bmin = t;
+    }
+  int target_level = -1;
+  for (int l = 0; l <= diameter_ && target_level < 0; ++l)
+    for (ViewId v : levels[static_cast<std::size_t>(l)])
+      if (vr.truncate(v, phi_) == bmin) {
+        target_level = l;
+        break;
+      }
+  ANOLE_CHECK(target_level >= 0);
+  auto paths = views::best_paths(vr, view(), target_level);
+  const std::vector<int>* best = nullptr;
+  for (ViewId v : levels[static_cast<std::size_t>(target_level)]) {
+    if (vr.truncate(v, phi_) != bmin) continue;
+    const auto& path = paths.at(v).ports;
+    if (best == nullptr || path < *best) best = &path;
+  }
+  ANOLE_CHECK(best != nullptr);
+  output_ = *best;
+  done_ = true;
+}
+
+}  // namespace anole::election

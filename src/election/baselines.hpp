@@ -1,0 +1,77 @@
+#pragma once
+// Baseline algorithms the paper discusses around the main results:
+//
+//  * MapProgram — "nodes know the map": the naive maximal advice
+//    (Theta(m log n) bits, the faithful map). Elects in the minimum
+//    possible time phi (Proposition 2.1's upper-bound direction).
+//  * RemarkProgram — the remark after Theorem 4.1: advice (D, phi), i.e.
+//    O(log D + log phi) bits, elects in time exactly D + phi.
+//  * SizeOnlyProgram — advice n (O(log n) bits): runs Generic(n), valid
+//    because phi <= n - 1 always; elects in time <= D + n + 1.
+//
+// Together with Elect and Election1..4 these populate the advice-vs-time
+// frontier of experiment E9.
+
+#include <memory>
+
+#include "election/generic.hpp"
+#include "portgraph/io.hpp"
+#include "sim/full_info.hpp"
+#include "views/paths.hpp"
+#include "views/profile.hpp"
+
+namespace anole::election {
+
+/// Shared decoded state of the map advice (one per run; contents identical
+/// for every node, as the advice is).
+struct MapAdviceState {
+  portgraph::PortGraph map;
+  int phi = 0;
+};
+
+/// Builds the map advice string for g.
+[[nodiscard]] coding::BitString map_advice(const portgraph::PortGraph& g);
+
+class MapProgram final : public sim::FullInfoProgram {
+ public:
+  explicit MapProgram(std::shared_ptr<const MapAdviceState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return output_; }
+
+ protected:
+  void on_view(int rounds) override;
+
+ private:
+  std::shared_ptr<const MapAdviceState> state_;
+  std::vector<int> output_;
+  bool done_ = false;
+};
+
+/// Advice for RemarkProgram: Concat(bin(D), bin(phi)).
+[[nodiscard]] coding::BitString remark_advice(std::uint64_t diameter,
+                                              std::uint64_t phi);
+
+class RemarkProgram final : public sim::FullInfoProgram {
+ public:
+  RemarkProgram(std::uint64_t diameter, std::uint64_t phi)
+      : diameter_(static_cast<int>(diameter)), phi_(static_cast<int>(phi)) {}
+
+  /// Constructs from the decoded advice string.
+  static RemarkProgram from_advice(const coding::BitString& adv);
+
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return output_; }
+
+ protected:
+  void on_view(int rounds) override;
+
+ private:
+  int diameter_;
+  int phi_;
+  std::vector<int> output_;
+  bool done_ = false;
+};
+
+}  // namespace anole::election

@@ -1,0 +1,43 @@
+#pragma once
+// Algorithm Elect (Algorithm 6): minimum-time leader election with the
+// oracle advice of Theorem 3.1.
+//
+//   for i = 0..phi-1: COM(i)
+//   x <- RetrieveLabel(B^phi(u), E1, E2)
+//   output the port sequence of the unique simple path in the advice BFS
+//   tree from the node labeled x to the node labeled 1.
+
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "sim/full_info.hpp"
+
+namespace anole::election {
+
+class ElectProgram final : public sim::FullInfoProgram {
+ public:
+  /// All nodes receive the *same* advice object (the decoded binary
+  /// string); decoding is exercised separately by the advice round-trip
+  /// tests, so the simulation shares one decoded copy.
+  explicit ElectProgram(std::shared_ptr<const advice::MinTimeAdvice> adv)
+      : advice_(std::move(adv)) {}
+
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return output_; }
+
+ protected:
+  void on_view(int rounds) override {
+    if (done_ || static_cast<std::uint64_t>(rounds) != advice_->phi) return;
+    advice::Labeler labeler(repo(), advice_->e1, advice_->e2);
+    std::uint64_t label = labeler.retrieve_label(view());
+    output_ = advice_->bfs_tree.path_ports(label, 1);
+    done_ = true;
+  }
+
+ private:
+  std::shared_ptr<const advice::MinTimeAdvice> advice_;
+  std::vector<int> output_;
+  bool done_ = false;
+};
+
+}  // namespace anole::election

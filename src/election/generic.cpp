@@ -1,0 +1,133 @@
+#include "election/generic.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/math.hpp"
+#include "views/paths.hpp"
+
+namespace anole::election {
+
+using views::ViewId;
+
+void GenericProgram::on_view(int rounds) {
+  // After `rounds` rounds the node holds B = B^rounds. The first check of
+  // the repeat loop happens after COM(x), i.e. with B^{x+1} in hand
+  // (r = rounds - 1 in the paper's indexing).
+  if (done_ || rounds < x_ + 1) return;
+  views::ViewRepo& vr = repo();
+
+  // Level sets of the view DAG: level l holds the distinct views of the
+  // tree nodes at depth l (views of depth rounds - l).
+  int max_level = rounds - x_;  // deepest level whose B^x is visible
+  std::vector<std::vector<ViewId>> levels{{view()}};
+  for (int l = 0; l < max_level; ++l) {
+    std::unordered_set<ViewId> next;
+    for (ViewId v : levels.back())
+      for (const auto& [port, child] : vr.children(v)) next.insert(child);
+    levels.emplace_back(next.begin(), next.end());
+  }
+
+  // X: depth-x views of tree nodes at depth <= r - x = rounds - 1 - x.
+  // Y: depth-x views at depth exactly r - x + 1 = rounds - x.
+  std::unordered_set<ViewId> x_set;
+  for (int l = 0; l <= max_level - 1; ++l)
+    for (ViewId v : levels[static_cast<std::size_t>(l)])
+      x_set.insert(vr.truncate(v, x_));
+  bool y_subset = true;
+  for (ViewId v : levels[static_cast<std::size_t>(max_level)]) {
+    if (!x_set.contains(vr.truncate(v, x_))) {
+      y_subset = false;
+      break;
+    }
+  }
+  if (!y_subset) return;
+
+  // Bmin: canonically smallest depth-x view seen.
+  ViewId bmin = views::kInvalidView;
+  for (ViewId v : x_set)
+    if (bmin == views::kInvalidView ||
+        vr.compare(v, bmin) == std::strong_ordering::less)
+      bmin = v;
+
+  // W: records of smallest tree depth whose depth-x view is Bmin; among
+  // them, the lexicographically smallest port sequence.
+  int target_level = -1;
+  for (int l = 0; l <= max_level && target_level < 0; ++l)
+    for (ViewId v : levels[static_cast<std::size_t>(l)])
+      if (vr.truncate(v, x_) == bmin) {
+        target_level = l;
+        break;
+      }
+  ANOLE_CHECK(target_level >= 0);
+
+  auto paths = views::best_paths(vr, view(), target_level);
+  const std::vector<int>* best = nullptr;
+  for (ViewId v : levels[static_cast<std::size_t>(target_level)]) {
+    if (vr.truncate(v, x_) != bmin) continue;
+    const auto& path = paths.at(v).ports;
+    if (best == nullptr || path < *best) best = &path;
+  }
+  ANOLE_CHECK(best != nullptr);
+  output_ = *best;
+  done_ = true;
+}
+
+coding::BitString large_time_advice(LargeTimeVariant variant,
+                                    std::uint64_t phi) {
+  ANOLE_CHECK(phi >= 1);
+  switch (variant) {
+    case LargeTimeVariant::kPhiPlusC:
+      return coding::bin(phi);
+    case LargeTimeVariant::kCTimesPhi:
+      return coding::bin(util::floor_log2(phi));
+    case LargeTimeVariant::kPhiPowC:
+      // floor(log log phi); clamp the phi < 2 edge to 0.
+      return coding::bin(
+          phi < 2 ? 0 : util::floor_log2(util::floor_log2(phi) == 0
+                                             ? 1
+                                             : util::floor_log2(phi)));
+    case LargeTimeVariant::kCPowPhi:
+      return coding::bin(util::log_star(phi));
+  }
+  ANOLE_CHECK_MSG(false, "bad variant");
+  return {};
+}
+
+std::uint64_t large_time_parameter(LargeTimeVariant variant,
+                                   const coding::BitString& adv) {
+  std::uint64_t v = coding::parse_bin(adv);
+  switch (variant) {
+    case LargeTimeVariant::kPhiPlusC:
+      return v;  // P1 = phi
+    case LargeTimeVariant::kCTimesPhi:
+      return (UINT64_C(1) << (v + 1)) - 1;  // P2 = 2^{floor(log phi)+1} - 1
+    case LargeTimeVariant::kPhiPowC:
+      // P3 = 2^(2^{floor(log log phi)+1}) - 1
+      return util::ipow(2, UINT64_C(1) << (v + 1)) - 1;
+    case LargeTimeVariant::kCPowPhi:
+      // P4 = tower(log* phi + 1, 2) - 1
+      return util::tower(static_cast<std::uint32_t>(v) + 1, 2) - 1;
+  }
+  ANOLE_CHECK_MSG(false, "bad variant");
+  return 0;
+}
+
+std::uint64_t large_time_bound(LargeTimeVariant variant,
+                               std::uint64_t diameter, std::uint64_t phi,
+                               std::uint64_t c) {
+  switch (variant) {
+    case LargeTimeVariant::kPhiPlusC:
+      return diameter + phi + c;
+    case LargeTimeVariant::kCTimesPhi:
+      return diameter + c * phi;
+    case LargeTimeVariant::kPhiPowC:
+      return diameter + util::ipow(phi, c);
+    case LargeTimeVariant::kCPowPhi:
+      return diameter + util::ipow(c, phi);
+  }
+  ANOLE_CHECK_MSG(false, "bad variant");
+  return 0;
+}
+
+}  // namespace anole::election

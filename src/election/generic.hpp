@@ -1,0 +1,63 @@
+#pragma once
+// Algorithm Generic(x) (Algorithm 7) and the four large-time election
+// algorithms Election1..4 built on it (Algorithm 8 / Theorem 4.1), plus
+// the advice encodings A_1..A_4.
+//
+// Generic(x), for any x >= phi: acquire B^x, then keep exchanging views;
+// in the round where the set Y of depth-x views discovered at the frontier
+// is contained in the set X of those already known, all depth-x views of
+// the graph have been seen — output the (shortest, lexicographically
+// smallest) path to the node with the canonically smallest depth-x view.
+// Works in time <= D + x + 1 (Lemma 4.1).
+
+#include <cstdint>
+
+#include "coding/codec.hpp"
+#include "sim/full_info.hpp"
+
+namespace anole::election {
+
+class GenericProgram : public sim::FullInfoProgram {
+ public:
+  explicit GenericProgram(std::uint64_t x) : x_(static_cast<int>(x)) {
+    ANOLE_CHECK(x >= 1);
+  }
+
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return output_; }
+
+ protected:
+  void on_view(int rounds) override;
+
+ private:
+  int x_;
+  bool done_ = false;
+  std::vector<int> output_;
+};
+
+/// The four time regimes of Section 4: offsets phi+c, c*phi, phi^c, c^phi
+/// above the diameter.
+enum class LargeTimeVariant {
+  kPhiPlusC = 1,   ///< Election1: advice bin(phi),             size Θ(log phi)
+  kCTimesPhi = 2,  ///< Election2: advice bin(floor(log phi)),  size Θ(log log phi)
+  kPhiPowC = 3,    ///< Election3: advice bin(floor(log log phi))
+  kCPowPhi = 4,    ///< Election4: advice bin(log* phi)
+};
+
+/// The advice string A_i for the given variant and election index.
+[[nodiscard]] coding::BitString large_time_advice(LargeTimeVariant variant,
+                                                  std::uint64_t phi);
+
+/// The parameter P_i >= phi that Election_i derives from its advice.
+[[nodiscard]] std::uint64_t large_time_parameter(LargeTimeVariant variant,
+                                                 const coding::BitString& adv);
+
+/// The time bound D + offset_i(phi, c) that Theorem 4.1 proves for
+/// Election_i. (For variant 3 the bound holds for phi >= 2; phi = 1 is
+/// covered by variants 1/2 — see the Theorem 4.1 proof, which uses
+/// phi^c >= phi^2.)
+[[nodiscard]] std::uint64_t large_time_bound(LargeTimeVariant variant,
+                                             std::uint64_t diameter,
+                                             std::uint64_t phi, std::uint64_t c);
+
+}  // namespace anole::election

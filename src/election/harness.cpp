@@ -1,0 +1,137 @@
+#include "election/harness.hpp"
+
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "election/baselines.hpp"
+#include "election/elect_program.hpp"
+#include "views/profile.hpp"
+
+namespace anole::election {
+
+using portgraph::PortGraph;
+
+namespace {
+
+using ProgramList = std::vector<std::unique_ptr<sim::NodeProgram>>;
+
+ElectionRun run_programs(const PortGraph& g, views::ViewRepo& repo,
+                         ProgramList programs, int max_rounds,
+                         bool meter_messages = false) {
+  sim::Engine engine(g, repo);
+  ElectionRun run;
+  run.metrics = engine.run(programs, max_rounds, meter_messages);
+  run.verdict = run.metrics.timed_out
+                    ? VerifyResult{false, -1, "simulation timed out"}
+                    : verify_election(g, run.metrics.outputs);
+  return run;
+}
+
+}  // namespace
+
+ElectionRun run_min_time(const PortGraph& g, bool meter_messages) {
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo, /*min_depth=*/1);
+  ANOLE_CHECK_MSG(profile.feasible, "run_min_time on an infeasible graph");
+  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, profile);
+  coding::BitString bits = adv.to_bits();
+  // Round-trip through the binary string: the nodes run on what the oracle
+  // actually transmits.
+  auto decoded = std::make_shared<const advice::MinTimeAdvice>(
+      advice::MinTimeAdvice::from_bits(bits));
+
+  ProgramList programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<ElectProgram>(decoded));
+  ElectionRun run = run_programs(g, repo, std::move(programs),
+                                 profile.election_index + 1, meter_messages);
+  run.advice_bits = bits.size();
+  run.phi = profile.election_index;
+  return run;
+}
+
+ElectionRun run_large_time(const PortGraph& g, LargeTimeVariant variant,
+                           std::uint64_t c) {
+  ANOLE_CHECK(c >= 2);
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  ANOLE_CHECK_MSG(profile.feasible, "run_large_time on an infeasible graph");
+  std::uint64_t phi = static_cast<std::uint64_t>(profile.election_index);
+  coding::BitString bits = large_time_advice(variant, phi);
+  std::uint64_t p = large_time_parameter(variant, bits);
+  ANOLE_CHECK_MSG(p >= phi, "P_i < phi — advice decoding broken");
+
+  int diameter = g.diameter();
+  ProgramList programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<GenericProgram>(p));
+  ElectionRun run =
+      run_programs(g, repo, std::move(programs),
+                   diameter + static_cast<int>(p) + 2);
+  run.advice_bits = bits.size();
+  run.phi = profile.election_index;
+  run.diameter = diameter;
+  return run;
+}
+
+ElectionRun run_map(const PortGraph& g) {
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  ANOLE_CHECK_MSG(profile.feasible, "run_map on an infeasible graph");
+  coding::BitString bits = map_advice(g);
+  auto state = std::make_shared<MapAdviceState>();
+  state->map = portgraph::decode_graph(bits);
+  state->phi = profile.election_index;
+
+  ProgramList programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<MapProgram>(state));
+  ElectionRun run = run_programs(g, repo, std::move(programs),
+                                 profile.election_index + 1);
+  run.advice_bits = bits.size();
+  run.phi = profile.election_index;
+  return run;
+}
+
+ElectionRun run_remark(const PortGraph& g) {
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  ANOLE_CHECK_MSG(profile.feasible, "run_remark on an infeasible graph");
+  int diameter = g.diameter();
+  std::uint64_t phi = static_cast<std::uint64_t>(profile.election_index);
+  coding::BitString bits =
+      remark_advice(static_cast<std::uint64_t>(diameter), phi);
+
+  ProgramList programs;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    programs.push_back(std::make_unique<RemarkProgram>(
+        RemarkProgram::from_advice(bits)));
+  }
+  ElectionRun run = run_programs(g, repo, std::move(programs),
+                                 diameter + static_cast<int>(phi) + 1);
+  run.advice_bits = bits.size();
+  run.phi = profile.election_index;
+  run.diameter = diameter;
+  return run;
+}
+
+ElectionRun run_size_only(const PortGraph& g) {
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  ANOLE_CHECK_MSG(profile.feasible, "run_size_only on an infeasible graph");
+  coding::BitString bits = coding::bin(g.n());
+  std::uint64_t p = coding::parse_bin(bits);
+
+  int diameter = g.diameter();
+  ProgramList programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<GenericProgram>(p));
+  ElectionRun run = run_programs(g, repo, std::move(programs),
+                                 diameter + static_cast<int>(p) + 2);
+  run.advice_bits = bits.size();
+  run.phi = profile.election_index;
+  run.diameter = diameter;
+  return run;
+}
+
+}  // namespace anole::election

@@ -1,0 +1,42 @@
+#pragma once
+// One-call harness: build the advice, run the protocol on the LOCAL
+// engine, verify the outputs, and report rounds/advice-size — the unit of
+// work for examples, tests and every experiment table.
+
+#include <cstdint>
+
+#include "election/generic.hpp"
+#include "election/verify.hpp"
+#include "sim/engine.hpp"
+
+namespace anole::election {
+
+struct ElectionRun {
+  VerifyResult verdict;
+  sim::RunMetrics metrics;
+  std::size_t advice_bits = 0;
+  int phi = -1;       ///< election index of the input graph
+  int diameter = -1;  ///< filled when the harness needed it (else -1)
+
+  [[nodiscard]] bool ok() const { return verdict.ok && !metrics.timed_out; }
+};
+
+/// Theorem 3.1: ComputeAdvice + Elect. Elects in exactly phi rounds.
+[[nodiscard]] ElectionRun run_min_time(const portgraph::PortGraph& g,
+                                       bool meter_messages = false);
+
+/// Theorem 4.1: Election_i for the given variant and constant c > 1.
+[[nodiscard]] ElectionRun run_large_time(const portgraph::PortGraph& g,
+                                         LargeTimeVariant variant,
+                                         std::uint64_t c);
+
+/// Baseline: full-map advice, elects in phi rounds.
+[[nodiscard]] ElectionRun run_map(const portgraph::PortGraph& g);
+
+/// Baseline (remark after Thm 4.1): advice (D, phi), elects in D + phi.
+[[nodiscard]] ElectionRun run_remark(const portgraph::PortGraph& g);
+
+/// Baseline: advice n only; Generic(n), elects in <= D + n + 1.
+[[nodiscard]] ElectionRun run_size_only(const portgraph::PortGraph& g);
+
+}  // namespace anole::election

@@ -1,0 +1,79 @@
+#include "election/lb_schedules.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace anole::election {
+
+namespace {
+constexpr std::uint64_t kCap = UINT64_C(1) << 62;
+}
+
+std::uint64_t lb_time_offset(LargeTimeVariant variant, std::uint64_t x,
+                             std::uint64_t c) {
+  switch (variant) {
+    case LargeTimeVariant::kPhiPlusC:
+      return x + c;
+    case LargeTimeVariant::kCTimesPhi:
+      return c * x;
+    case LargeTimeVariant::kPhiPowC:
+      return util::ipow(x, c);
+    case LargeTimeVariant::kCPowPhi:
+      return util::ipow(c, x);
+  }
+  ANOLE_CHECK_MSG(false, "bad variant");
+  return 0;
+}
+
+std::uint64_t lb_index_budget(LargeTimeVariant variant, std::uint64_t x,
+                              std::uint64_t c) {
+  switch (variant) {
+    case LargeTimeVariant::kPhiPlusC:
+      return (c + 2) * x + 1;
+    case LargeTimeVariant::kCTimesPhi:
+      return util::ipow(c + 2, x);
+    case LargeTimeVariant::kPhiPowC: {
+      std::uint64_t e = util::ipow(c, 3 * x);
+      if (e >= 62 + c) return kCap;
+      return util::ipow(2, e - c);
+    }
+    case LargeTimeVariant::kCPowPhi: {
+      std::uint64_t t = util::tower(static_cast<std::uint32_t>(x), c);
+      return t >= 62 ? kCap : util::ipow(2, t);
+    }
+  }
+  ANOLE_CHECK_MSG(false, "bad variant");
+  return 0;
+}
+
+std::uint64_t lb_k_star(LargeTimeVariant variant, std::uint64_t alpha,
+                        std::uint64_t c) {
+  if (variant == LargeTimeVariant::kPhiPlusC)
+    return alpha >= 1 ? (alpha - 1) / (c + 2) : 0;  // closed form
+  std::uint64_t k = 0;
+  for (;;) {
+    std::uint64_t b = lb_index_budget(variant, k + 1, c);
+    if (b > alpha || b >= kCap) break;  // saturation guard
+    ++k;
+  }
+  return k;
+}
+
+double lb_growth(LargeTimeVariant variant, std::uint64_t alpha) {
+  double a = static_cast<double>(alpha);
+  switch (variant) {
+    case LargeTimeVariant::kPhiPlusC:
+      return a;
+    case LargeTimeVariant::kCTimesPhi:
+      return std::log2(a);
+    case LargeTimeVariant::kPhiPowC:
+      return std::log2(std::max(2.0, std::log2(a)));
+    case LargeTimeVariant::kCPowPhi:
+      return static_cast<double>(util::log_star(alpha));
+  }
+  ANOLE_CHECK_MSG(false, "bad variant");
+  return 0;
+}
+
+}  // namespace anole::election

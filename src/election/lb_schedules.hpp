@@ -1,0 +1,38 @@
+#pragma once
+// The parametrization of Theorem 4.2's inductive lower-bound construction:
+// for each of the four time regimes, the proof picks functions
+//   A(x,c) — the time offset above D the algorithm is allowed,
+//   B(x,c) — the election-index budget of the k-th sequence T_k,
+//   R(alpha) — the growth of k* (the number of sequences, hence of
+//              necessarily-distinct advice strings) in alpha,
+// and k* is maximal with B(k*, c) <= alpha. The minimum advice is then
+// Omega(log k*) = Omega(log R(alpha)).
+//
+//   part 1 (D+phi+c):  A = x+c,  B = (c+2)x + 1,        R = alpha
+//   part 2 (D+c*phi):  A = cx,   B = (c+2)^x,           R = log alpha
+//   part 3 (D+phi^c):  A = x^c,  B = 2^(c^(3x) - c),    R = log log alpha
+//   part 4 (D+c^phi):  A = c^x,  B = 2^tower(x, c),     R = log* alpha
+
+#include <cstdint>
+
+#include "election/generic.hpp"
+
+namespace anole::election {
+
+/// A(x, c) for the given regime (saturating at 2^62).
+[[nodiscard]] std::uint64_t lb_time_offset(LargeTimeVariant variant,
+                                           std::uint64_t x, std::uint64_t c);
+
+/// B(x, c) for the given regime (saturating at 2^62).
+[[nodiscard]] std::uint64_t lb_index_budget(LargeTimeVariant variant,
+                                            std::uint64_t x, std::uint64_t c);
+
+/// k* = max { k : B(k, c) <= alpha }.
+[[nodiscard]] std::uint64_t lb_k_star(LargeTimeVariant variant,
+                                      std::uint64_t alpha, std::uint64_t c);
+
+/// The paper's R(alpha) for the regime — the asymptotic shape k* follows
+/// (returned as a double for table normalization).
+[[nodiscard]] double lb_growth(LargeTimeVariant variant, std::uint64_t alpha);
+
+}  // namespace anole::election

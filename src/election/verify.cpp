@@ -1,0 +1,49 @@
+#include "election/verify.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace anole::election {
+
+using portgraph::NodeId;
+
+VerifyResult verify_election(const portgraph::PortGraph& g,
+                             const std::vector<std::vector<int>>& outputs) {
+  VerifyResult result;
+  if (outputs.size() != g.n()) {
+    result.error = "outputs missing for some nodes";
+    return result;
+  }
+  NodeId leader = -1;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    auto nodes = g.walk(static_cast<NodeId>(v), outputs[v]);
+    if (!nodes) {
+      std::ostringstream oss;
+      oss << "node " << v << ": output does not code a valid walk";
+      result.error = oss.str();
+      return result;
+    }
+    std::unordered_set<NodeId> seen(nodes->begin(), nodes->end());
+    if (seen.size() != nodes->size()) {
+      std::ostringstream oss;
+      oss << "node " << v << ": path is not simple";
+      result.error = oss.str();
+      return result;
+    }
+    NodeId end = nodes->back();
+    if (leader < 0) {
+      leader = end;
+    } else if (end != leader) {
+      std::ostringstream oss;
+      oss << "node " << v << " elected " << end << " but earlier nodes elected "
+          << leader;
+      result.error = oss.str();
+      return result;
+    }
+  }
+  result.ok = true;
+  result.leader = leader;
+  return result;
+}
+
+}  // namespace anole::election

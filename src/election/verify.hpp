@@ -1,0 +1,25 @@
+#pragma once
+// Output verification: leader election succeeded iff every node output a
+// sequence of port numbers coding a *simple* path in the graph and all
+// paths end at one common node (the leader). This is the paper's
+// definition of the task (Section 1, Model and Problem Description).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::election {
+
+struct VerifyResult {
+  bool ok = false;
+  portgraph::NodeId leader = -1;
+  std::string error;  ///< human-readable diagnosis on failure
+};
+
+[[nodiscard]] VerifyResult verify_election(
+    const portgraph::PortGraph& g,
+    const std::vector<std::vector<int>>& outputs);
+
+}  // namespace anole::election

@@ -1,0 +1,90 @@
+#include "families/cliques.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace anole::families {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+
+std::uint64_t f_family_size(int x) {
+  ANOLE_CHECK_MSG(x >= 2, "F(x) needs x >= 2");
+  return util::ipow(static_cast<std::uint64_t>(x - 1),
+                    static_cast<std::uint64_t>(x));
+}
+
+std::vector<int> f_sequence(int x, std::uint64_t t) {
+  ANOLE_CHECK_MSG(t < f_family_size(x),
+                  "clique index " << t << " out of range for F(" << x << ")");
+  std::vector<int> h(static_cast<std::size_t>(x));
+  std::uint64_t base = static_cast<std::uint64_t>(x - 1);
+  for (int j = 0; j < x; ++j) {
+    h[static_cast<std::size_t>(j)] = static_cast<int>(t % base) + 1;
+    t /= base;
+  }
+  return h;
+}
+
+namespace {
+
+// Base-clique port at node v_j (j in 0..x-1) toward neighbor `to`, where
+// `to` = -1 means r and otherwise v_to. Canonical rule: v_j enumerates its
+// neighbors in the order (r, v_0, ..., v_{x-1} omitting v_j) and assigns
+// ports 0,1,... in that order.
+Port base_port_at_vj(int x, int j, int to) {
+  if (to < 0) return 0;  // toward r
+  ANOLE_CHECK(to != j && to < x);
+  return static_cast<Port>(to < j ? to + 1 : to);
+}
+
+}  // namespace
+
+std::vector<NodeId> attach_f_clique(PortGraph& g, NodeId w, int x,
+                                    std::uint64_t t) {
+  std::vector<int> h = f_sequence(x, t);
+  std::vector<NodeId> v(static_cast<std::size_t>(x));
+  for (int i = 0; i < x; ++i) v[static_cast<std::size_t>(i)] = g.add_node();
+
+  auto port_at = [&](int j, int to) {
+    // Perturbed port at v_j: (base + h_j) mod x.
+    return static_cast<Port>(
+        (base_port_at_vj(x, j, to) + h[static_cast<std::size_t>(j)]) % x);
+  };
+  // Edges r—v_i: port i at r (the F(x) defining convention).
+  for (int i = 0; i < x; ++i)
+    g.add_edge(w, static_cast<Port>(i), v[static_cast<std::size_t>(i)],
+               port_at(i, -1));
+  // Edges v_j—v_k.
+  for (int j = 0; j < x; ++j)
+    for (int k = j + 1; k < x; ++k)
+      g.add_edge(v[static_cast<std::size_t>(j)], port_at(j, k),
+                 v[static_cast<std::size_t>(k)], port_at(k, j));
+  return v;
+}
+
+PortGraph f_clique(int x, std::uint64_t t) {
+  PortGraph g;
+  NodeId r = g.add_node();
+  attach_f_clique(g, r, x, t);
+  g.validate();
+  return g;
+}
+
+int f_parameter_for(std::uint64_t k) {
+  // The paper's x = ceil(2 log k / log log k), raised until (x-1)^x >= k
+  // and clamped to >= 3 so all constructions have the degrees they assume.
+  int x = 3;
+  if (k >= 4) {
+    double lg = std::log2(static_cast<double>(k));
+    double lglg = std::log2(lg);
+    if (lglg > 0)
+      x = std::max(3, static_cast<int>(std::ceil(2.0 * lg / lglg)));
+  }
+  while (f_family_size(x) < k) ++x;
+  return x;
+}
+
+}  // namespace anole::families

@@ -1,0 +1,44 @@
+#pragma once
+// The family F(x) of port-perturbed cliques (paper Section 3, used by both
+// Theorem 3.2 and Theorem 3.3).
+//
+// F(x) = {C_1,...,C_y}, y = (x-1)^x, consists of (x+1)-node cliques with
+// nodes r, v_0,...,v_{x-1}. In the base clique C, the port at r toward v_i
+// is i; ports at the v_j are assigned canonically (see f_clique). Clique
+// C_t is obtained from C by replacing every port p at node v_j with
+// (p + h_j) mod x, where (h_0,...,h_{x-1}) is the t-th sequence over
+// {1,...,x-1}^x (mixed-radix enumeration).
+//
+// The defining property (used in Claims 3.8/3.10): any two distinct cliques
+// of F(x), attached anywhere by their r nodes, give their non-r nodes
+// pairwise distinct augmented truncated views at depth 1.
+
+#include <cstdint>
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::families {
+
+/// Number of cliques in F(x) = (x-1)^x, saturated at 2^62.
+[[nodiscard]] std::uint64_t f_family_size(int x);
+
+/// The perturbation sequence (h_0,...,h_{x-1}) of C_t, each h_j in
+/// {1,...,x-1}; t < f_family_size(x).
+[[nodiscard]] std::vector<int> f_sequence(int x, std::uint64_t t);
+
+/// Standalone clique C_t of F(x): node 0 is r, node 1+i is v_i.
+[[nodiscard]] portgraph::PortGraph f_clique(int x, std::uint64_t t);
+
+/// Attaches a copy of C_t to node `w` of `g` (identifying w with r):
+/// adds x fresh nodes; the port at w toward v_i is i, so w must have ports
+/// 0..x-1 free. Returns the ids of the new nodes v_0..v_{x-1}.
+std::vector<portgraph::NodeId> attach_f_clique(portgraph::PortGraph& g,
+                                               portgraph::NodeId w, int x,
+                                               std::uint64_t t);
+
+/// Smallest x >= 3 such that (x-1)^x >= k — the paper uses
+/// x = ceil(2 log k / log log k) for k >= 2^16; this helper makes the
+/// construction well-defined for the small k our experiments instantiate.
+[[nodiscard]] int f_parameter_for(std::uint64_t k);
+
+}  // namespace anole::families

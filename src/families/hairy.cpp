@@ -1,0 +1,108 @@
+#include "families/hairy.hpp"
+
+#include <algorithm>
+
+namespace anole::families {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+
+namespace {
+
+// Adds the star of node w (if size > 0): leaves get port 0; at w the star
+// edges take ports 2, 3, ..., size+1 (0 and 1 are the ring ports).
+void attach_star(PortGraph& g, NodeId w, int size) {
+  for (int s = 0; s < size; ++s) {
+    NodeId leaf = g.add_node();
+    g.add_edge(w, static_cast<Port>(2 + s), leaf, 0);
+  }
+}
+
+// Emits one gamma-stretch into g and returns the node images.
+StretchLayout emit_stretch(PortGraph& g, const HairyRing& h,
+                           std::size_t cut_at, int gamma) {
+  ANOLE_CHECK(gamma >= 1);
+  ANOLE_CHECK(cut_at < h.ring.size());
+  std::size_t n = h.ring.size();
+  StretchLayout layout;
+  for (int c = 0; c < gamma; ++c) {
+    std::vector<NodeId> img(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t orig = (cut_at + i) % n;
+      img[i] = g.add_node();
+      attach_star(g, img[i], h.star_sizes[orig]);
+    }
+    // Clockwise path edges of this copy: port 0 forward, port 1 backward
+    // (exactly the ring ports, minus the removed edge {w_1, w_n}).
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      g.add_edge(img[i], 0, img[i + 1], 1);
+    // Reconnect to the previous copy through the removed-edge port pair.
+    if (c > 0) g.add_edge(layout.last_of_copy.back(), 0, img[0], 1);
+    layout.first_of_copy.push_back(img[0]);
+    layout.last_of_copy.push_back(img[n - 1]);
+    layout.ring_of_copy.push_back(std::move(img));
+  }
+  return layout;
+}
+
+}  // namespace
+
+HairyRing hairy_ring(const std::vector<int>& star_sizes) {
+  ANOLE_CHECK_MSG(star_sizes.size() >= 3, "hairy ring needs >= 3 ring nodes");
+  int max_size = *std::max_element(star_sizes.begin(), star_sizes.end());
+  ANOLE_CHECK_MSG(std::count(star_sizes.begin(), star_sizes.end(), max_size) ==
+                      1,
+                  "the maximum star must be unique (feasibility)");
+  HairyRing out;
+  out.star_sizes = star_sizes;
+  PortGraph& g = out.graph;
+  std::size_t n = star_sizes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId w = g.add_node();
+    out.ring.push_back(w);
+    attach_star(g, w, star_sizes[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    g.add_edge(out.ring[i], 0, out.ring[(i + 1) % n], 1);
+  g.validate();
+  return out;
+}
+
+Stretch gamma_stretch(const HairyRing& h, std::size_t cut_at, int gamma) {
+  Stretch s;
+  s.layout = emit_stretch(s.graph, h, cut_at, gamma);
+  return s;
+}
+
+PropositionGraph proposition_graph(const std::vector<HairyRing>& rings,
+                                   int gamma) {
+  ANOLE_CHECK(!rings.empty());
+  ANOLE_CHECK(gamma >= 1);
+  PropositionGraph out;
+  PortGraph& g = out.graph;
+  for (const HairyRing& h : rings) {
+    StretchLayout layout = emit_stretch(g, h, /*cut_at=*/0, gamma);
+    if (!out.layouts.empty())
+      // Chain this stretch to the previous one with the ring port pair.
+      g.add_edge(out.layouts.back().last_of_copy.back(), 0,
+                 layout.first_of_copy.front(), 1);
+    out.layouts.push_back(std::move(layout));
+  }
+  // Close the loop through the center of a fresh gamma-star: the center's
+  // ring-like ports 0/1 join the chain ends; its star leaves take 2..γ+1.
+  NodeId center = g.add_node();
+  out.star_center = center;
+  g.add_edge(center, 0, out.layouts.front().first_of_copy.front(), 1);
+  g.add_edge(out.layouts.back().last_of_copy.back(), 0, center, 1);
+  attach_star(g, center, gamma);
+  g.validate();
+  // Feasibility: the center must be the unique node of maximum degree.
+  for (std::size_t v = 0; v < g.n(); ++v)
+    if (static_cast<NodeId>(v) != center)
+      ANOLE_CHECK_MSG(g.degree(static_cast<NodeId>(v)) < g.degree(center),
+                      "gamma too small: star center degree not unique max");
+  return out;
+}
+
+}  // namespace anole::families

@@ -1,0 +1,77 @@
+#pragma once
+// Hairy rings, cuts and gamma-stretches (paper Proposition 4.1, Fig. 9):
+// the family showing that *constant-size* advice cannot elect a leader in
+// all feasible graphs regardless of the allocated time.
+//
+// A hairy ring is a ring (ports 0 clockwise / 1 counterclockwise) with a
+// k-star attached at every node (the star center is identified with the
+// ring node; star sizes may be 0), such that the maximum star size on the
+// ring is unique — which makes the graph feasible (unique max degree).
+//
+// The cut at ring node w removes the counterclockwise ring edge of w; the
+// gamma-stretch chains gamma copies of the cut into a long path of copies,
+// reconnecting consecutive copies with the same port pair the removed ring
+// edge had, so that nodes deep inside a stretch are locally
+// indistinguishable from nodes of the original hairy ring. (The paper
+// states the reconnecting ports as 0 at the first node and 1 at the last;
+// we use the orientation-consistent assignment — 1 at the first node, 0 at
+// the last — which is what makes the copies locally identical to the ring;
+// see DESIGN.md on pinned "arbitrary" choices.)
+
+#include <cstdint>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::families {
+
+struct HairyRing {
+  portgraph::PortGraph graph;
+  /// Ring node ids in clockwise order (w_1..w_n).
+  std::vector<portgraph::NodeId> ring;
+  std::vector<int> star_sizes;
+};
+
+/// Builds the hairy ring with the given star sizes (one per ring node,
+/// entries >= 0, maximum must be unique, ring size >= 3).
+[[nodiscard]] HairyRing hairy_ring(const std::vector<int>& star_sizes);
+
+/// Node images of one stretch inside a host graph.
+struct StretchLayout {
+  /// Image of the cut's first node (w_1 copy) per copy, in order.
+  std::vector<portgraph::NodeId> first_of_copy;
+  /// Image of the cut's last node (w_n copy) per copy, in order.
+  std::vector<portgraph::NodeId> last_of_copy;
+  /// ring_of_copy[c][i] = image in copy c of the ring node at clockwise
+  /// offset i from the cut node.
+  std::vector<std::vector<portgraph::NodeId>> ring_of_copy;
+};
+
+struct Stretch {
+  portgraph::PortGraph graph;
+  StretchLayout layout;
+};
+
+/// The gamma-stretch of hairy ring `h` cut at ring position `cut_at`
+/// (index into h.ring). gamma >= 1; gamma == 1 is the cut itself. The
+/// result is a path of copies and is NOT itself a valid PortGraph (the two
+/// end nodes have a free port); callers embed it, as Proposition 4.1 does.
+[[nodiscard]] Stretch gamma_stretch(const HairyRing& h, std::size_t cut_at,
+                                    int gamma);
+
+/// The composite graph G of Proposition 4.1: the gamma-stretches of the
+/// given hairy rings (each cut at ring position 0), chained in order,
+/// closed through a gamma-star whose center joins the first node of the
+/// first stretch and the last node of the last stretch. The center is the
+/// unique node of maximum degree gamma + 2, so G is again a (feasible)
+/// hairy ring.
+struct PropositionGraph {
+  portgraph::PortGraph graph;
+  std::vector<StretchLayout> layouts;  ///< one per input ring, in order
+  portgraph::NodeId star_center = -1;
+};
+
+[[nodiscard]] PropositionGraph proposition_graph(
+    const std::vector<HairyRing>& rings, int gamma);
+
+}  // namespace anole::families

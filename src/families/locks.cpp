@@ -1,0 +1,293 @@
+#include "families/locks.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace anole::families {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+
+std::vector<NodeId> attach_clique_at(PortGraph& g, NodeId w, int size) {
+  ANOLE_CHECK_MSG(size >= 2, "clique size must be >= 2");
+  int extra = size - 1;
+  std::vector<NodeId> q(static_cast<std::size_t>(extra));
+  for (int m = 0; m < extra; ++m) q[static_cast<std::size_t>(m)] = g.add_node();
+  // q_m ports: 0..size-3 toward the other fresh nodes, size-2 toward w;
+  // at w each new edge takes the smallest free port.
+  auto first_free = [&g](NodeId v) {
+    const auto& row = g.neighbors(v);
+    for (std::size_t p = 0; p < row.size(); ++p)
+      if (row[p].neighbor < 0) return static_cast<Port>(p);
+    return static_cast<Port>(row.size());
+  };
+  for (int m = 0; m < extra; ++m)
+    g.add_edge(w, first_free(w), q[static_cast<std::size_t>(m)],
+               static_cast<Port>(extra - 1));
+  for (int j = 0; j < extra; ++j)
+    for (int m = j + 1; m < extra; ++m)
+      g.add_edge(q[static_cast<std::size_t>(j)], static_cast<Port>(m - 1),
+                 q[static_cast<std::size_t>(m)], static_cast<Port>(j));
+  return q;
+}
+
+Lock z_lock(int z) {
+  ANOLE_CHECK_MSG(z >= 4, "z-lock needs z >= 4");
+  Lock out;
+  out.z = z;
+  PortGraph& g = out.graph;
+  NodeId w = g.add_node();  // central
+  NodeId s = g.add_node();  // principal (port 0 at w)
+  NodeId t = g.add_node();
+  // 3-cycle w -> s -> t -> w with ports 0 (clockwise), 1 (counter).
+  g.add_edge(w, 0, s, 1);
+  g.add_edge(s, 0, t, 1);
+  g.add_edge(t, 0, w, 1);
+  attach_clique_at(g, w, z);  // clique ports 2..z at w
+  out.central = w;
+  out.principal = s;
+  g.validate();
+  return out;
+}
+
+namespace {
+
+// Copies `src` into `dst` (fresh nodes, identical ports); returns the map.
+std::vector<NodeId> copy_into(PortGraph& dst, const PortGraph& src) {
+  std::vector<NodeId> map(src.n());
+  for (std::size_t v = 0; v < src.n(); ++v) map[v] = dst.add_node();
+  for (std::size_t v = 0; v < src.n(); ++v) {
+    for (Port p = 0; p < src.degree(static_cast<NodeId>(v)); ++p) {
+      const auto& he = src.at(static_cast<NodeId>(v), p);
+      if (static_cast<std::size_t>(he.neighbor) < v) continue;
+      dst.add_edge(map[v], p, map[static_cast<std::size_t>(he.neighbor)],
+                   he.rev_port);
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+LockChain s0_member(int alpha, int c, int i) {
+  ANOLE_CHECK(alpha >= 1 && c >= 2 && i >= 0);
+  int span = alpha + c + 2;           // chain length (edges)
+  int xi = 4 + 2 * i * span + i;      // x_i
+  LockChain out;
+  PortGraph& g = out.graph;
+
+  // Left lock: x_i-lock.
+  Lock left = z_lock(xi);
+  std::vector<NodeId> lmap = copy_into(g, left.graph);
+  out.left_central = lmap[static_cast<std::size_t>(left.central)];
+  out.left_principal = lmap[static_cast<std::size_t>(left.principal)];
+  out.left_z = xi;
+
+  // Right lock: (x_i + 2(alpha+c+2))-lock.
+  int zr = xi + 2 * span;
+  Lock right = z_lock(zr);
+  std::vector<NodeId> rmap = copy_into(g, right.graph);
+  out.right_central = rmap[static_cast<std::size_t>(right.central)];
+  out.right_principal = rmap[static_cast<std::size_t>(right.principal)];
+  out.right_z = zr;
+
+  // Chain u - w_1 - ... - w_{alpha+c+1} - v with a clique of size x_i + 2j
+  // at w_j. Ports outside the locks are assigned deterministically:
+  // cliques first, then chain edges on the smallest free ports.
+  int internal = span - 1;  // alpha+c+1 internal nodes
+  std::vector<NodeId> w(static_cast<std::size_t>(internal));
+  for (int j = 1; j <= internal; ++j) {
+    NodeId node = g.add_node();
+    w[static_cast<std::size_t>(j - 1)] = node;
+    attach_clique_at(g, node, xi + 2 * j);
+  }
+  NodeId prev = out.left_central;
+  for (int j = 0; j < internal; ++j) {
+    g.add_edge_auto(prev, w[static_cast<std::size_t>(j)]);
+    prev = w[static_cast<std::size_t>(j)];
+  }
+  g.add_edge_auto(prev, out.right_central);
+  out.left_chain_end = w.front();
+  out.right_chain_end = w.back();
+
+  g.validate();
+  return out;
+}
+
+PrunedView pruned_view(const PortGraph& g, NodeId u,
+                       const std::vector<Port>& excluded, int ell) {
+  ANOLE_CHECK(ell >= 1);
+  PrunedView out;
+  out.root = out.tree.add_node();
+
+  struct Item {
+    NodeId orig;        // node of g this tree node copies
+    NodeId copy;        // node in the tree
+    Port entry_port;    // port at `orig` back toward the parent (-1 at root)
+    int depth;
+  };
+  std::deque<Item> queue{{u, out.root, -1, 0}};
+  while (!queue.empty()) {
+    Item it = queue.front();
+    queue.pop_front();
+    if (it.depth == ell) {
+      out.leaves.push_back(it.copy);
+      continue;
+    }
+    for (Port p = 0; p < g.degree(it.orig); ++p) {
+      if (p == it.entry_port) continue;
+      if (it.depth == 0 &&
+          std::find(excluded.begin(), excluded.end(), p) != excluded.end())
+        continue;
+      const auto& he = g.at(it.orig, p);
+      NodeId child = out.tree.add_node();
+      out.tree.add_edge(it.copy, p, child, he.rev_port);
+      queue.push_back({he.neighbor, child, he.rev_port, it.depth + 1});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Emits T(L): keeps `central` (already present in dst with its clique and
+// chain edge, cycle ports 0/1 free), grows the pruned view of `host` from
+// `host_central` through its cycle ports, and attaches a clique of size
+// base + 4*step*f to the f-th leaf (f = 1..t, BFS order).
+// Returns the number of leaves t.
+int emit_lock_transform(PortGraph& dst, NodeId central,
+                        const PortGraph& host, NodeId host_central,
+                        int ell, int clique_base, int step_offset) {
+  // Excluded ports at the root: everything except the two cycle ports 0,1.
+  std::vector<Port> excluded;
+  for (Port p = 2; p < host.degree(host_central); ++p) excluded.push_back(p);
+  PrunedView pv = pruned_view(host, host_central, excluded, ell);
+
+  // Graft the pruned view into dst, identifying pv.root with `central`.
+  std::vector<NodeId> map(pv.tree.n(), -1);
+  map[static_cast<std::size_t>(pv.root)] = central;
+  for (std::size_t v = 0; v < pv.tree.n(); ++v)
+    if (map[v] < 0) map[v] = dst.add_node();
+  for (std::size_t v = 0; v < pv.tree.n(); ++v) {
+    for (Port p = 0; p < static_cast<Port>(pv.tree.neighbors(
+                             static_cast<NodeId>(v)).size()); ++p) {
+      const auto& he = pv.tree.neighbors(static_cast<NodeId>(v))
+                           [static_cast<std::size_t>(p)];
+      if (he.neighbor < 0) continue;  // unassigned slot at a leaf
+      if (static_cast<std::size_t>(he.neighbor) < v) continue;
+      dst.add_edge(map[v], p, map[static_cast<std::size_t>(he.neighbor)],
+                   he.rev_port);
+    }
+  }
+  // Degree-coding cliques on the leaves.
+  int f = 1;
+  for (NodeId leaf : pv.leaves) {
+    attach_clique_at(dst, map[static_cast<std::size_t>(leaf)],
+                     clique_base + 4 * (f + step_offset));
+    ++f;
+  }
+  return static_cast<int>(pv.leaves.size());
+}
+
+// Highest-degree node of dst among ids >= from (the freshly added part).
+NodeId argmax_degree(const PortGraph& g, NodeId from) {
+  NodeId best = from;
+  for (NodeId v = from; static_cast<std::size_t>(v) < g.n(); ++v)
+    if (g.degree(v) > g.degree(best)) best = v;
+  return best;
+}
+
+}  // namespace
+
+LockChain merge_locks(const LockChain& h1, const LockChain& h2, int ell,
+                      int chain_len) {
+  ANOLE_CHECK(ell >= 1 && chain_len >= 2);
+  LockChain out;
+  PortGraph& g = out.graph;
+
+  // --- Copy H1 without the 3-cycle of its right lock. ---
+  // The right lock's cycle nodes are the two neighbors of right_central
+  // through ports 0 and 1.
+  auto copy_without_cycle = [&g](const LockChain& h, NodeId central)
+      -> std::vector<NodeId> {
+    NodeId s = h.graph.at(central, 0).neighbor;
+    NodeId t = h.graph.at(central, 1).neighbor;
+    std::vector<NodeId> map(h.graph.n(), -1);
+    for (std::size_t v = 0; v < h.graph.n(); ++v) {
+      if (static_cast<NodeId>(v) == s || static_cast<NodeId>(v) == t) continue;
+      map[v] = g.add_node();
+    }
+    for (std::size_t v = 0; v < h.graph.n(); ++v) {
+      if (map[v] < 0) continue;
+      for (Port p = 0; p < h.graph.degree(static_cast<NodeId>(v)); ++p) {
+        const auto& he = h.graph.at(static_cast<NodeId>(v), p);
+        if (map[static_cast<std::size_t>(he.neighbor)] < 0) continue;
+        if (static_cast<std::size_t>(he.neighbor) < v) continue;
+        g.add_edge(map[v], p, map[static_cast<std::size_t>(he.neighbor)],
+                   he.rev_port);
+      }
+    }
+    return map;
+  };
+
+  std::vector<NodeId> map1 = copy_without_cycle(h1, h1.right_central);
+  out.left_central = map1[static_cast<std::size_t>(h1.left_central)];
+  out.left_principal = map1[static_cast<std::size_t>(h1.left_principal)];
+  out.left_z = h1.left_z;
+  out.left_chain_end = map1[static_cast<std::size_t>(h1.left_chain_end)];
+  NodeId b_prime = map1[static_cast<std::size_t>(h1.right_central)];
+  out.t2_central = b_prime;
+
+  // x = largest degree of the constituent graphs (paper: of any previously
+  // constructed graph).
+  int x = 0;
+  for (std::size_t v = 0; v < h1.graph.n(); ++v)
+    x = std::max(x, h1.graph.degree(static_cast<NodeId>(v)));
+  for (std::size_t v = 0; v < h2.graph.n(); ++v)
+    x = std::max(x, h2.graph.degree(static_cast<NodeId>(v)));
+
+  // --- T(L2): pruned view of H1 from its right central node. ---
+  NodeId t2_begin = static_cast<NodeId>(g.n());
+  int t_leaves = emit_lock_transform(g, b_prime, h1.graph, h1.right_central,
+                                     ell, x, /*step_offset=*/0);
+  NodeId a = argmax_degree(g, t2_begin);
+
+  // --- Copy H2 without the 3-cycle of its LEFT lock, transform it. ---
+  // (Mirror of the above; the paper's leaf cliques use x + 4f + 4t + 4.)
+  std::vector<NodeId> map2 = copy_without_cycle(h2, h2.left_central);
+  out.right_central = map2[static_cast<std::size_t>(h2.right_central)];
+  out.right_principal = map2[static_cast<std::size_t>(h2.right_principal)];
+  out.right_z = h2.right_z;
+  out.right_chain_end = map2[static_cast<std::size_t>(h2.right_chain_end)];
+  NodeId b_dblprime = map2[static_cast<std::size_t>(h2.left_central)];
+  out.t3_central = b_dblprime;
+
+  NodeId t3_begin = static_cast<NodeId>(g.n());
+  emit_lock_transform(g, b_dblprime, h2.graph, h2.left_central, ell, x + 4,
+                      /*step_offset=*/t_leaves);
+  NodeId b = argmax_degree(g, t3_begin);
+
+  // --- X: clique-studded chain g_1..g_{chain_len}. ---
+  int y = 0;
+  for (NodeId v = t3_begin; static_cast<std::size_t>(v) < g.n(); ++v)
+    y = std::max(y, g.degree(v));
+  std::vector<NodeId> chain(static_cast<std::size_t>(chain_len));
+  for (int f = 1; f <= chain_len; ++f) {
+    NodeId node = g.add_node();
+    chain[static_cast<std::size_t>(f - 1)] = node;
+    attach_clique_at(g, node, y + 4 * f);
+  }
+  for (int f = 0; f + 1 < chain_len; ++f)
+    g.add_edge_auto(chain[static_cast<std::size_t>(f)],
+                    chain[static_cast<std::size_t>(f + 1)]);
+
+  // --- Assembly: a - g_1, g_{chain_len} - b, on smallest free ports. ---
+  g.add_edge_auto(a, chain.front());
+  g.add_edge_auto(chain.back(), b);
+
+  g.validate();
+  return out;
+}
+
+}  // namespace anole::families

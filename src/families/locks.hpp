@@ -1,0 +1,84 @@
+#pragma once
+// z-locks, the lock-chain family S_0/T_0 and the merge operation of
+// Theorem 4.2 (Figs. 3-8) — the lower-bound machinery for election in
+// large time.
+//
+// A z-lock (Fig. 3) is a 3-cycle (ports 0,1 clockwise) with a clique of
+// size z attached by identifying one clique node with a cycle node; the
+// identified node (degree z+1) is the *central* node, and the cycle node
+// behind the central node's port 0 is the *principal* node.
+//
+// An S_0 member G_i (Fig. 5) is  L1 * M * L2 : an x_i-lock, a chain of
+// alpha+c+1 internal nodes each carrying a clique of growing size, and an
+// (x_i + 2(alpha+c+2))-lock, where x_i = 4 + 2i(alpha+c+2) + i.
+//
+// The merge operation (Figs. 6-8) joins two lock-chain graphs H' and H''
+// into  L1 * M' * T(L2) * X * T(L3) * M'' * L4 , where T(L) replaces a
+// lock's 3-cycle by the pruned view of its central node at depth ell
+// (paper: ell = B(k+1,c)) with degree-coding cliques on the pruned view's
+// leaves, and X is a long clique-studded chain. The paper's full-scale
+// parameters are astronomically large (they are proof devices, not
+// systems); merge_locks exposes ell and the X-chain length so the
+// construction can be instantiated and its structural claims (Claim 4.2,
+// the view-agreement property 9) verified at reduced scale. See DESIGN.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::families {
+
+/// A standalone z-lock (z >= 4).
+struct Lock {
+  portgraph::PortGraph graph;
+  portgraph::NodeId central = -1;
+  portgraph::NodeId principal = -1;
+  int z = 0;
+};
+
+[[nodiscard]] Lock z_lock(int z);
+
+/// Attaches a clique of the given size to `w` by identification: `w` gains
+/// size-1 edges using its smallest free ports; the fresh nodes use
+/// contiguous ports. Returns the new node ids.
+std::vector<portgraph::NodeId> attach_clique_at(portgraph::PortGraph& g,
+                                                portgraph::NodeId w,
+                                                int size);
+
+/// A graph of the form L1 * M * L2 with its distinguished nodes.
+struct LockChain {
+  portgraph::PortGraph graph;
+  portgraph::NodeId left_central = -1, left_principal = -1;
+  portgraph::NodeId right_central = -1, right_principal = -1;
+  int left_z = 0, right_z = 0;
+  /// The chain node adjacent to each lock's central node (c' and c'' in
+  /// the paper's merge description).
+  portgraph::NodeId left_chain_end = -1, right_chain_end = -1;
+  /// Set by merge_locks only: images in the merged graph of the two
+  /// transformed locks' central nodes (b' and b'' in the paper).
+  portgraph::NodeId t2_central = -1, t3_central = -1;
+};
+
+/// The i-th member of the sequence S_0 for parameters (alpha, c).
+[[nodiscard]] LockChain s0_member(int alpha, int c, int i);
+
+/// Materialized pruned view PV_g(u, excluded, ell): a tree embedded in a
+/// fresh graph. Leaves at depth ell keep only their entry port.
+struct PrunedView {
+  portgraph::PortGraph tree;
+  portgraph::NodeId root = -1;
+  std::vector<portgraph::NodeId> leaves;  ///< in BFS order (m_1..m_t)
+};
+
+[[nodiscard]] PrunedView pruned_view(const portgraph::PortGraph& g,
+                                     portgraph::NodeId u,
+                                     const std::vector<portgraph::Port>& excluded,
+                                     int ell);
+
+/// The merge of two lock-chain graphs with pruning depth `ell` and an
+/// X-chain of `chain_len` nodes (paper: ell = B(k+1,c), chain_len = 2n).
+[[nodiscard]] LockChain merge_locks(const LockChain& h1, const LockChain& h2,
+                                    int ell, int chain_len);
+
+}  // namespace anole::families

@@ -1,0 +1,116 @@
+#include "families/necklace.hpp"
+
+#include "families/cliques.hpp"
+#include "util/math.hpp"
+
+namespace anole::families {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+
+std::uint64_t necklace_family_size(int k) {
+  ANOLE_CHECK(k >= 3);
+  int x = f_parameter_for(static_cast<std::uint64_t>(k));
+  return util::ipow(static_cast<std::uint64_t>(x + 1),
+                    static_cast<std::uint64_t>(k - 3));
+}
+
+Necklace necklace(int k, int phi, std::vector<int> code) {
+  ANOLE_CHECK_MSG(k >= 3, "necklace needs k >= 3");
+  ANOLE_CHECK_MSG(phi >= 2, "necklace needs phi >= 2 (Theorem 3.3 has phi > 1)");
+  int x = f_parameter_for(static_cast<std::uint64_t>(k));
+  ANOLE_CHECK(code.size() == static_cast<std::size_t>(k));
+  ANOLE_CHECK_MSG(code.front() == 0 && code.back() == 0 &&
+                      code[static_cast<std::size_t>(k - 2)] == 0,
+                  "necklace boundary digits c_1, c_{k-1}, c_k must be 0");
+  for (int c : code) ANOLE_CHECK(c >= 0 && c <= x);
+
+  Necklace out;
+  out.code = code;
+  out.x = x;
+  out.phi = phi;
+  PortGraph& g = out.graph;
+
+  // Joints w_1..w_k, each with its emerald E_i = C_i from F(x) (ports
+  // 0..x-1 at the joint).
+  for (int i = 1; i <= k; ++i) {
+    NodeId w = g.add_node();
+    out.joints.push_back(w);
+    attach_f_clique(g, w, x, static_cast<std::uint64_t>(i - 1));
+  }
+
+  // Ray ports at a joint toward diamond node j: base x (low range) or 2x
+  // (high range), by the paper's parity rules.
+  auto low = [&](int j) { return static_cast<Port>(x + j); };
+  auto high = [&](int j) { return static_cast<Port>(2 * x + j); };
+
+  // Diamonds D_1..D_{k-1}. Diamond node ports before the code shift:
+  // 0..x-2 inside the clique, x-1 on the ray to w_i, x on the ray to
+  // w_{i+1}; the code adds c_i mod (x+1) to every port of every D_i node.
+  for (int i = 1; i <= k - 1; ++i) {
+    int shift = code[static_cast<std::size_t>(i - 1)];  // c_i
+    auto dport = [&](int p) { return static_cast<Port>((p + shift) % (x + 1)); };
+    std::vector<NodeId> d(static_cast<std::size_t>(x));
+    for (int j = 0; j < x; ++j) d[static_cast<std::size_t>(j)] = g.add_node();
+    // In-diamond clique edges (canonical base ports as in F(x) cliques).
+    for (int j = 0; j < x; ++j)
+      for (int m = j + 1; m < x; ++m)
+        g.add_edge(d[static_cast<std::size_t>(j)], dport(m - 1),
+                   d[static_cast<std::size_t>(m)], dport(j));
+    // Rays. Left joint w_i: for 1 < i < k even, D_{i-1} uses the low range
+    // and D_i the high range; for odd i it is the other way; w_1 and w_k
+    // use the low range toward their unique diamond.
+    for (int j = 0; j < x; ++j) {
+      NodeId wl = out.joints[static_cast<std::size_t>(i - 1)];   // w_i
+      NodeId wr = out.joints[static_cast<std::size_t>(i)];       // w_{i+1}
+      // Port at w_i toward its right diamond D_i:
+      Port pl = (i == 1) ? low(j) : (i % 2 == 0 ? high(j) : low(j));
+      // Port at w_{i+1} toward its left diamond D_i:
+      Port pr = (i + 1 == k) ? low(j)
+                             : ((i + 1) % 2 == 0 ? low(j) : high(j));
+      g.add_edge(d[static_cast<std::size_t>(j)], dport(x - 1), wl, pl);
+      g.add_edge(d[static_cast<std::size_t>(j)], dport(x), wr, pr);
+    }
+  }
+
+  // Chains of phi-1 nodes at w_1 and w_k; a_0 / b_0 are the leaves.
+  auto attach_chain = [&](NodeId joint) -> NodeId {
+    int len = phi - 1;  // nodes a_0..a_{phi-2}
+    std::vector<NodeId> a(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) a[static_cast<std::size_t>(i)] = g.add_node();
+    // Internal chain edges: port 0 at a_i toward a_{i+1}, port 1 at a_{i+1}
+    // toward a_i.
+    for (int i = 0; i + 1 < len; ++i)
+      g.add_edge(a[static_cast<std::size_t>(i)], 0,
+                 a[static_cast<std::size_t>(i + 1)], 1);
+    // a_{phi-2} — joint edge: port 0 at the chain end, port 2x at the joint.
+    g.add_edge(a[static_cast<std::size_t>(len - 1)], 0, joint,
+               static_cast<Port>(2 * x));
+    return a[0];
+  };
+  out.left_leaf = attach_chain(out.joints.front());
+  out.right_leaf = attach_chain(out.joints.back());
+
+  g.validate();
+  return out;
+}
+
+Necklace m_graph(int k, int phi) {
+  return necklace(k, phi, std::vector<int>(static_cast<std::size_t>(k), 0));
+}
+
+Necklace necklace_member(int k, int phi, std::uint64_t index) {
+  ANOLE_CHECK_MSG(index < necklace_family_size(k),
+                  "necklace index out of range");
+  int x = f_parameter_for(static_cast<std::uint64_t>(k));
+  std::vector<int> code(static_cast<std::size_t>(k), 0);
+  std::uint64_t base = static_cast<std::uint64_t>(x + 1);
+  for (int i = 2; i <= k - 2; ++i) {  // free digits c_2..c_{k-2}
+    code[static_cast<std::size_t>(i - 1)] = static_cast<int>(index % base);
+    index /= base;
+  }
+  return necklace(k, phi, std::move(code));
+}
+
+}  // namespace anole::families

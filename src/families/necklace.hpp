@@ -1,0 +1,63 @@
+#pragma once
+// k-necklaces (paper Theorem 3.3, Fig. 2): the lower-bound family for
+// election in minimum time phi > 1, and our workhorse for graphs with a
+// *prescribed* election index.
+//
+// The base graph M_k consists of:
+//   * joints w_1..w_k,
+//   * diamonds D_1..D_{k-1}: x-node cliques, every node attached by rays
+//     to w_i and w_{i+1},
+//   * emeralds E_1..E_k: distinct cliques of F(x) attached at the joints,
+//   * two chains (a_0..a_{phi-2}), (b_0..b_{phi-2}) hanging off w_1 and
+//     w_k; a_0/b_0 are the left/right leaves.
+//
+// Ports (all as prescribed in the paper): inside a diamond 0..x-2; ray to
+// w_i has port x-1, ray to w_{i+1} port x at the diamond node; emerald
+// ports as in F(x); at the joints ray ports come from {x..2x-1} and
+// {2x..3x-1} with parity depending on the joint index; 2x toward the chain
+// at w_1/w_k; chain ports as specified (leaf port 0).
+//
+// A k-necklace N(code) perturbs diamond D_i's node ports by +c_i mod (x+1)
+// where code = (c_1..c_k). There are k-1 diamonds, so c_k is unused; the
+// boundary diamonds must stay unshifted, c_1 = c_{k-1} = 0, which is what
+// makes the left/right-leaf views equal across the family (the paper
+// states "c_1 = c_k = 0" but counts (x+1)^{k-3} necklaces — exactly the
+// free digits c_2..c_{k-2} — so the intended pinned digits are the two
+// boundary *diamonds*; see DESIGN.md on pinned choices).
+//
+// Claim 3.10: every k-necklace has election index exactly phi.
+// Claim 3.11 observation: across all codes, the left leaves share B^phi,
+// and the right leaves share B^phi.
+
+#include <cstdint>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::families {
+
+struct Necklace {
+  portgraph::PortGraph graph;
+  std::vector<portgraph::NodeId> joints;      ///< w_1..w_k
+  portgraph::NodeId left_leaf = -1;           ///< a_0
+  portgraph::NodeId right_leaf = -1;          ///< b_0
+  std::vector<int> code;                      ///< (c_1..c_k)
+  int x = 0;
+  int phi = 0;                                ///< target election index
+};
+
+/// Number of k-necklaces = (x+1)^(k-3) codes (free digits c_2..c_{k-2}).
+[[nodiscard]] std::uint64_t necklace_family_size(int k);
+
+/// The base graph M_k for the given phi >= 2 (all-zero code).
+[[nodiscard]] Necklace m_graph(int k, int phi);
+
+/// The necklace with the given code; code.size() == k,
+/// c_1 = c_{k-1} = c_k = 0, entries in 0..x.
+[[nodiscard]] Necklace necklace(int k, int phi, std::vector<int> code);
+
+/// The necklace whose code is the `index`-th in the mixed-radix
+/// enumeration of {0..x}^(k-2).
+[[nodiscard]] Necklace necklace_member(int k, int phi, std::uint64_t index);
+
+}  // namespace anole::families

@@ -1,0 +1,57 @@
+#include "families/ring_of_cliques.hpp"
+
+#include <numeric>
+
+#include "families/cliques.hpp"
+#include "util/prng.hpp"
+
+namespace anole::families {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+
+RingOfCliques ring_of_cliques(int k, std::vector<std::uint64_t> assignment) {
+  ANOLE_CHECK_MSG(k >= 3, "ring of cliques needs k >= 3");
+  ANOLE_CHECK(assignment.size() == static_cast<std::size_t>(k));
+  ANOLE_CHECK_MSG(assignment[0] == 0, "the clique at w_1 must stay fixed");
+  int x = f_parameter_for(static_cast<std::uint64_t>(k));
+
+  RingOfCliques out;
+  out.x = x;
+  out.assignment = std::move(assignment);
+  PortGraph& g = out.graph;
+  out.joints.reserve(static_cast<std::size_t>(k));
+  for (int t = 0; t < k; ++t) {
+    NodeId w = g.add_node();
+    out.joints.push_back(w);
+    attach_f_clique(g, w, x, out.assignment[static_cast<std::size_t>(t)]);
+  }
+  // Ring edges: port x = clockwise (w_t -> w_{t+1}), port x+1 =
+  // counterclockwise, at every ring node.
+  for (int t = 0; t < k; ++t) {
+    NodeId u = out.joints[static_cast<std::size_t>(t)];
+    NodeId v = out.joints[static_cast<std::size_t>((t + 1) % k)];
+    g.add_edge(u, static_cast<Port>(x), v, static_cast<Port>(x + 1));
+  }
+  g.validate();
+  return out;
+}
+
+RingOfCliques h_graph(int k) {
+  std::vector<std::uint64_t> assignment(static_cast<std::size_t>(k));
+  std::iota(assignment.begin(), assignment.end(), 0);
+  return ring_of_cliques(k, std::move(assignment));
+}
+
+RingOfCliques g_family_member(int k, std::uint64_t seed) {
+  std::vector<std::uint64_t> assignment(static_cast<std::size_t>(k));
+  std::iota(assignment.begin(), assignment.end(), 0);
+  util::SplitMix64 rng(seed);
+  // Fisher-Yates over positions 1..k-1 (w_1 keeps C_1, as in the paper).
+  for (std::size_t i = assignment.size() - 1; i > 1; --i)
+    std::swap(assignment[i], assignment[1 + rng.below(i)]);
+  return ring_of_cliques(k, std::move(assignment));
+}
+
+}  // namespace anole::families

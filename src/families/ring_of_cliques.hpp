@@ -1,0 +1,40 @@
+#pragma once
+// The graphs H_k and the family G_k of Theorem 3.2 (Fig. 1): a ring of k
+// nodes w_1..w_k, each carrying a distinct clique of F(x) attached by its
+// r node, with ring ports x (clockwise) and x+1 (counterclockwise).
+//
+// G_k keeps the clique at w_1 fixed and permutes the cliques attached to
+// the other ring nodes: (k-1)! graphs, all with election index 1
+// (Claim 3.8), any two of which must receive different advice for election
+// in time 1 (Claim 3.9).
+
+#include <cstdint>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::families {
+
+struct RingOfCliques {
+  portgraph::PortGraph graph;
+  /// Ring node ids w_1..w_k (w[t] is the attachment node of clique
+  /// assignment[t]).
+  std::vector<portgraph::NodeId> joints;
+  /// assignment[t] = index (into F(x)) of the clique attached at w_{t+1}.
+  std::vector<std::uint64_t> assignment;
+  int x = 0;
+};
+
+/// H_k itself: clique C_t at ring node w_t (identity assignment).
+[[nodiscard]] RingOfCliques h_graph(int k);
+
+/// A member of G_k: the clique at w_1 stays C_1; the cliques at w_2..w_k
+/// are permuted by the seeded Fisher-Yates shuffle. seed 0 gives H_k.
+[[nodiscard]] RingOfCliques g_family_member(int k, std::uint64_t seed);
+
+/// A member of G_k from an explicit assignment (assignment[0] must be 0 and
+/// the entries must be a permutation of 0..k-1).
+[[nodiscard]] RingOfCliques ring_of_cliques(int k,
+                                            std::vector<std::uint64_t> assignment);
+
+}  // namespace anole::families

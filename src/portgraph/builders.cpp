@@ -1,0 +1,254 @@
+#include "portgraph/builders.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "util/prng.hpp"
+
+namespace anole::portgraph {
+
+PortGraph ring(std::size_t n) {
+  ANOLE_CHECK_MSG(n >= 3, "ring needs n >= 3");
+  PortGraph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t w = (v + 1) % n;
+    g.add_edge(static_cast<NodeId>(v), 0, static_cast<NodeId>(w), 1);
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph path(std::size_t n) {
+  ANOLE_CHECK_MSG(n >= 2, "path needs n >= 2");
+  PortGraph g(n);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    Port pu = 0;                              // toward higher index
+    Port pv = (v + 1 == n - 1) ? 0 : 1;       // endpoint has only port 0
+    g.add_edge(static_cast<NodeId>(v), pu, static_cast<NodeId>(v + 1), pv);
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph clique(std::size_t n) {
+  ANOLE_CHECK_MSG(n >= 2, "clique needs n >= 2");
+  PortGraph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      // Neighbor v (> u) is u's (v-1)-th neighbor in id order if v > u,
+      // i.e. port v-1 at u; symmetrically u is v's u-th neighbor.
+      g.add_edge(static_cast<NodeId>(u), static_cast<Port>(v - 1),
+                 static_cast<NodeId>(v), static_cast<Port>(u));
+    }
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph grid(std::size_t rows, std::size_t cols) {
+  ANOLE_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  PortGraph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  // Assign ports in (up, down, left, right) order per node.
+  auto port_of = [&](std::size_t r, std::size_t c, int dir) {
+    Port p = 0;
+    const bool has[4] = {r > 0, r + 1 < rows, c > 0, c + 1 < cols};
+    for (int d = 0; d < dir; ++d)
+      if (has[d]) ++p;
+    return p;
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (r + 1 < rows)  // down edge: dir 1 here, dir 0 (up) there
+        g.add_edge(id(r, c), port_of(r, c, 1), id(r + 1, c),
+                   port_of(r + 1, c, 0));
+      if (c + 1 < cols)  // right edge: dir 3 here, dir 2 (left) there
+        g.add_edge(id(r, c), port_of(r, c, 3), id(r, c + 1),
+                   port_of(r, c + 1, 2));
+    }
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph hypercube(std::size_t d) {
+  ANOLE_CHECK_MSG(d >= 1, "hypercube needs d >= 1");
+  std::size_t n = std::size_t{1} << d;
+  PortGraph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < d; ++i) {
+      std::size_t w = v ^ (std::size_t{1} << i);
+      if (v < w)
+        g.add_edge(static_cast<NodeId>(v), static_cast<Port>(i),
+                   static_cast<NodeId>(w), static_cast<Port>(i));
+    }
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph complete_bipartite(std::size_t a, std::size_t b) {
+  ANOLE_CHECK(a >= 1 && b >= 1 && a + b >= 2);
+  PortGraph g(a + b);
+  for (std::size_t u = 0; u < a; ++u)
+    for (std::size_t v = 0; v < b; ++v)
+      g.add_edge(static_cast<NodeId>(u), static_cast<Port>(v),
+                 static_cast<NodeId>(a + v), static_cast<Port>(u));
+  g.validate();
+  return g;
+}
+
+PortGraph binary_tree(std::size_t n) {
+  ANOLE_CHECK_MSG(n >= 2, "binary_tree needs n >= 2");
+  PortGraph g(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    std::size_t parent = (v - 1) / 2;
+    g.add_edge_auto(static_cast<NodeId>(parent), static_cast<NodeId>(v));
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph random_connected(std::size_t n, std::size_t extra_edges,
+                           std::uint64_t seed) {
+  ANOLE_CHECK_MSG(n >= 2, "random_connected needs n >= 2");
+  util::SplitMix64 rng(seed);
+  PortGraph g(n);
+  std::set<std::pair<NodeId, NodeId>> used;
+  auto key = [](NodeId u, NodeId v) {
+    return std::pair{std::min(u, v), std::max(u, v)};
+  };
+  // Random spanning tree: attach node v to a uniformly random earlier node.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t v = 1; v < n; ++v) {
+    NodeId u = static_cast<NodeId>(rng.below(v));
+    g.add_edge_auto(u, static_cast<NodeId>(v));
+    used.insert(key(u, static_cast<NodeId>(v)));
+  }
+  std::size_t max_extra = n * (n - 1) / 2 - (n - 1);
+  extra_edges = std::min(extra_edges, max_extra);
+  while (extra_edges > 0) {
+    NodeId u = static_cast<NodeId>(rng.below(n));
+    NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v || used.contains(key(u, v))) continue;
+    g.add_edge_auto(u, v);
+    used.insert(key(u, v));
+    --extra_edges;
+  }
+  PortGraph shuffled = shuffle_ports(g, util::derive_seed(seed, 1));
+  shuffled.validate();
+  return shuffled;
+}
+
+PortGraph shuffle_ports(const PortGraph& g, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  // perm[v][old_port] = new_port
+  std::vector<std::vector<Port>> perm(g.n());
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    int d = g.degree(static_cast<NodeId>(v));
+    perm[v].resize(static_cast<std::size_t>(d));
+    std::iota(perm[v].begin(), perm[v].end(), 0);
+    for (std::size_t i = perm[v].size(); i > 1; --i)
+      std::swap(perm[v][i - 1], perm[v][rng.below(i)]);
+  }
+  PortGraph out(g.n());
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      const HalfEdge& he = g.at(static_cast<NodeId>(v), p);
+      if (static_cast<std::size_t>(he.neighbor) < v) continue;  // add once
+      Port np = perm[v][static_cast<std::size_t>(p)];
+      Port nq = perm[static_cast<std::size_t>(he.neighbor)]
+                    [static_cast<std::size_t>(he.rev_port)];
+      out.add_edge(static_cast<NodeId>(v), np, he.neighbor, nq);
+    }
+  }
+  return out;
+}
+
+PortGraph torus(std::size_t rows, std::size_t cols) {
+  ANOLE_CHECK_MSG(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+  PortGraph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  // Ports: 0 = up, 1 = down, 2 = left, 3 = right, everywhere.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), 1, id((r + 1) % rows, c), 0);      // down/up
+      g.add_edge(id(r, c), 3, id(r, (c + 1) % cols), 2);      // right/left
+    }
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph lollipop(std::size_t head, std::size_t tail) {
+  ANOLE_CHECK(head >= 3 && tail >= 1);
+  PortGraph g(head + tail);
+  for (std::size_t u = 0; u < head; ++u)
+    for (std::size_t v = u + 1; v < head; ++v)
+      g.add_edge(static_cast<NodeId>(u), static_cast<Port>(v - 1),
+                 static_cast<NodeId>(v), static_cast<Port>(u));
+  // Path off clique node 0 on its next free port.
+  NodeId prev = 0;
+  for (std::size_t t = 0; t < tail; ++t) {
+    NodeId next = static_cast<NodeId>(head + t);
+    g.add_edge_auto(prev, next);
+    prev = next;
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph wheel(std::size_t rim) {
+  ANOLE_CHECK_MSG(rim >= 3, "wheel needs rim >= 3");
+  PortGraph g(rim + 1);
+  NodeId hub = static_cast<NodeId>(rim);
+  for (std::size_t v = 0; v < rim; ++v) {
+    std::size_t w = (v + 1) % rim;
+    g.add_edge(static_cast<NodeId>(v), 0, static_cast<NodeId>(w), 1);
+  }
+  for (std::size_t v = 0; v < rim; ++v)
+    g.add_edge(hub, static_cast<Port>(v), static_cast<NodeId>(v), 2);
+  g.validate();
+  return g;
+}
+
+PortGraph caterpillar(std::size_t spine, const std::vector<int>& leg_count) {
+  ANOLE_CHECK(spine >= 2);
+  PortGraph g(spine);
+  for (std::size_t v = 0; v + 1 < spine; ++v)
+    g.add_edge_auto(static_cast<NodeId>(v), static_cast<NodeId>(v + 1));
+  for (std::size_t v = 0; v < spine && v < leg_count.size(); ++v) {
+    for (int l = 0; l < leg_count[v]; ++l) {
+      NodeId leaf = g.add_node();
+      g.add_edge_auto(static_cast<NodeId>(v), leaf);
+    }
+  }
+  g.validate();
+  return g;
+}
+
+PortGraph disjoint_union(const PortGraph& a, const PortGraph& b) {
+  PortGraph g(a.n() + b.n());
+  auto copy_edges = [&g](const PortGraph& src, NodeId offset) {
+    for (std::size_t v = 0; v < src.n(); ++v) {
+      for (Port p = 0; p < src.degree(static_cast<NodeId>(v)); ++p) {
+        const HalfEdge& he = src.at(static_cast<NodeId>(v), p);
+        if (static_cast<std::size_t>(he.neighbor) < v) continue;
+        g.add_edge(static_cast<NodeId>(v) + offset, p, he.neighbor + offset,
+                   he.rev_port);
+      }
+    }
+  };
+  copy_edges(a, 0);
+  copy_edges(b, static_cast<NodeId>(a.n()));
+  return g;
+}
+
+}  // namespace anole::portgraph

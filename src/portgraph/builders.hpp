@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic builders for standard port-numbered graphs, plus seeded
+// random graphs. All builders produce validated graphs; port assignments
+// are canonical (documented per builder) so experiments are reproducible.
+
+#include <cstdint>
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::portgraph {
+
+/// Cycle 0-1-...-(n-1)-0, n >= 3. Port 0 = clockwise (to v+1), port 1 =
+/// counterclockwise at every node — the fully symmetric ring (infeasible).
+[[nodiscard]] PortGraph ring(std::size_t n);
+
+/// Path 0-1-...-(n-1), n >= 2. Interior nodes: port 0 toward higher index,
+/// port 1 toward lower; endpoints have the single port 0.
+[[nodiscard]] PortGraph path(std::size_t n);
+
+/// Complete graph on n >= 2 nodes. At node i the neighbors in increasing
+/// id order receive ports 0..n-2.
+[[nodiscard]] PortGraph clique(std::size_t n);
+
+/// rows x cols grid, row-major ids. Ports at each node enumerate the
+/// existing neighbors in the order (up, down, left, right).
+[[nodiscard]] PortGraph grid(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube; port i at every node crosses dimension i.
+/// Vertex-transitive with identical views everywhere: the canonical
+/// infeasible example beyond the 2-node graph.
+[[nodiscard]] PortGraph hypercube(std::size_t d);
+
+/// Complete bipartite K_{a,b}; ports enumerate the other side in id order.
+[[nodiscard]] PortGraph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Complete binary tree with n nodes (heap layout). Ports enumerate
+/// (parent, left child, right child) in that order where present.
+[[nodiscard]] PortGraph binary_tree(std::size_t n);
+
+/// Connected random graph: a random spanning tree plus `extra_edges`
+/// additional random non-parallel edges; ports are assigned in insertion
+/// order and then shuffled per node. Deterministic in `seed`.
+[[nodiscard]] PortGraph random_connected(std::size_t n,
+                                         std::size_t extra_edges,
+                                         std::uint64_t seed);
+
+/// Applies an independent uniformly random permutation to the port numbers
+/// of every node (the graph stays the same up to port renaming).
+[[nodiscard]] PortGraph shuffle_ports(const PortGraph& g, std::uint64_t seed);
+
+/// Disjoint union of `a` and `b`: nodes of `b` are re-numbered to follow
+/// those of `a`. The result is disconnected; callers add bridging edges.
+[[nodiscard]] PortGraph disjoint_union(const PortGraph& a, const PortGraph& b);
+
+/// rows x cols torus (both >= 3): port i crosses direction i in
+/// (up, down, left, right) order at every node. Vertex-transitive with a
+/// consistent orientation — infeasible, like the ring.
+[[nodiscard]] PortGraph torus(std::size_t rows, std::size_t cols);
+
+/// Lollipop: a clique of size `head` (>= 3) with a path of `tail` extra
+/// nodes (>= 1) hanging off clique node 0. Highly asymmetric; the classic
+/// small-phi / large-D shape.
+[[nodiscard]] PortGraph lollipop(std::size_t head, std::size_t tail);
+
+/// Wheel: a hub adjacent to all `rim` (>= 3) ring nodes. The hub is the
+/// unique max-degree node, so the graph is feasible.
+[[nodiscard]] PortGraph wheel(std::size_t rim);
+
+/// Caterpillar: a spine path of `spine` (>= 2) nodes, leg_count[i] legs
+/// (degree-1 leaves) at spine node i. leg_count may be shorter than the
+/// spine (missing entries mean 0 legs).
+[[nodiscard]] PortGraph caterpillar(std::size_t spine,
+                                    const std::vector<int>& leg_count);
+
+}  // namespace anole::portgraph

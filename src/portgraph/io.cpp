@@ -1,0 +1,112 @@
+#include "portgraph/io.hpp"
+
+#include <istream>
+#include <sstream>
+
+namespace anole::portgraph {
+
+coding::BitString encode_graph(const PortGraph& g) {
+  std::vector<std::uint64_t> vals;
+  vals.push_back(g.n());
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    vals.push_back(static_cast<std::uint64_t>(g.degree(static_cast<NodeId>(v))));
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      const HalfEdge& he = g.at(static_cast<NodeId>(v), p);
+      vals.push_back(static_cast<std::uint64_t>(he.neighbor));
+      vals.push_back(static_cast<std::uint64_t>(he.rev_port));
+    }
+  }
+  return coding::encode_ints(vals);
+}
+
+PortGraph decode_graph(const coding::BitString& bits) {
+  std::vector<std::uint64_t> vals = coding::decode_ints(bits);
+  ANOLE_CHECK(!vals.empty());
+  std::size_t pos = 0;
+  std::size_t n = static_cast<std::size_t>(vals[pos++]);
+  PortGraph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    ANOLE_CHECK(pos < vals.size());
+    std::size_t deg = static_cast<std::size_t>(vals[pos++]);
+    for (std::size_t p = 0; p < deg; ++p) {
+      ANOLE_CHECK(pos + 1 < vals.size());
+      NodeId u = static_cast<NodeId>(vals[pos++]);
+      Port q = static_cast<Port>(vals[pos++]);
+      if (static_cast<std::size_t>(u) >= v) continue;  // add each edge once
+      // Edge {u, v} seen from v through port p; add with both ports.
+      g.add_edge(u, q, static_cast<NodeId>(v), static_cast<Port>(p));
+    }
+  }
+  ANOLE_CHECK_MSG(pos == vals.size(), "trailing data in graph code");
+  g.validate();
+  return g;
+}
+
+std::string to_edge_list(const PortGraph& g) {
+  std::ostringstream oss;
+  oss << "anole-graph 1\n";
+  oss << "n " << g.n() << '\n';
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      const HalfEdge& he = g.at(static_cast<NodeId>(v), p);
+      if (static_cast<std::size_t>(he.neighbor) < v) continue;
+      oss << "e " << v << ' ' << p << ' ' << he.neighbor << ' '
+          << he.rev_port << '\n';
+    }
+  }
+  return oss.str();
+}
+
+PortGraph from_edge_list(std::istream& in) {
+  std::string line;
+  ANOLE_CHECK_MSG(std::getline(in, line) &&
+                      line.rfind("anole-graph 1", 0) == 0,
+                  "missing 'anole-graph 1' header");
+  PortGraph g;
+  bool have_n = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag[0] == '#') continue;
+    if (tag == "n") {
+      std::size_t n = 0;
+      ANOLE_CHECK_MSG(static_cast<bool>(ls >> n), "bad 'n' line");
+      ANOLE_CHECK_MSG(!have_n, "duplicate 'n' line");
+      g = PortGraph(n);
+      have_n = true;
+    } else if (tag == "e") {
+      ANOLE_CHECK_MSG(have_n, "'e' line before 'n'");
+      long long u, pu, v, pv;
+      ANOLE_CHECK_MSG(static_cast<bool>(ls >> u >> pu >> v >> pv),
+                      "bad 'e' line: " << line);
+      g.add_edge(static_cast<NodeId>(u), static_cast<Port>(pu),
+                 static_cast<NodeId>(v), static_cast<Port>(pv));
+    } else {
+      ANOLE_CHECK_MSG(false, "unknown line tag '" << tag << "'");
+    }
+  }
+  ANOLE_CHECK_MSG(have_n, "no 'n' line");
+  g.validate();
+  return g;
+}
+
+PortGraph from_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return from_edge_list(in);
+}
+
+std::string to_text(const PortGraph& g) {
+  std::ostringstream oss;
+  oss << "n=" << g.n() << " m=" << g.m() << '\n';
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    oss << v << ":";
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      const HalfEdge& he = g.at(static_cast<NodeId>(v), p);
+      oss << " " << p << "->" << he.neighbor << "(" << he.rev_port << ")";
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace anole::portgraph

@@ -1,0 +1,29 @@
+#pragma once
+// Binary and text serialization of port graphs. The binary code is the
+// "faithful map" advice of the paper's baseline discussion: the total
+// information about the network, Theta(m log n) bits.
+
+#include <iosfwd>
+#include <string>
+
+#include "coding/codec.hpp"
+#include "portgraph/port_graph.hpp"
+
+namespace anole::portgraph {
+
+/// bin(G): n, then per node the degree and per port (neighbor, rev_port).
+[[nodiscard]] coding::BitString encode_graph(const PortGraph& g);
+[[nodiscard]] PortGraph decode_graph(const coding::BitString& bits);
+
+/// Human-readable adjacency dump (one line per node) for examples/tools.
+[[nodiscard]] std::string to_text(const PortGraph& g);
+
+/// Parseable edge-list format:
+///   anole-graph 1
+///   n <N>
+///   e <u> <pu> <v> <pv>     (one line per edge; '#' starts a comment)
+[[nodiscard]] std::string to_edge_list(const PortGraph& g);
+[[nodiscard]] PortGraph from_edge_list(std::istream& in);
+[[nodiscard]] PortGraph from_edge_list(const std::string& text);
+
+}  // namespace anole::portgraph

@@ -1,0 +1,166 @@
+#include "portgraph/port_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace anole::portgraph {
+
+std::size_t PortGraph::m() const noexcept {
+  // Count only assigned slots: partially built graphs (pruned views,
+  // stretches) may have placeholder ports awaiting later edges.
+  std::size_t half = 0;
+  for (const auto& row : adj_)
+    for (const HalfEdge& he : row)
+      if (he.neighbor >= 0) ++half;
+  return half / 2;
+}
+
+void PortGraph::add_edge(NodeId u, Port pu, NodeId v, Port pv) {
+  ANOLE_CHECK_MSG(u != v, "self-loop at node " << u);
+  ANOLE_CHECK(u >= 0 && static_cast<std::size_t>(u) < adj_.size());
+  ANOLE_CHECK(v >= 0 && static_cast<std::size_t>(v) < adj_.size());
+  auto& ru = adj_[static_cast<std::size_t>(u)];
+  auto& rv = adj_[static_cast<std::size_t>(v)];
+  if (ru.size() <= static_cast<std::size_t>(pu))
+    ru.resize(static_cast<std::size_t>(pu) + 1);
+  if (rv.size() <= static_cast<std::size_t>(pv))
+    rv.resize(static_cast<std::size_t>(pv) + 1);
+  ANOLE_CHECK_MSG(ru[static_cast<std::size_t>(pu)].neighbor < 0,
+                  "port " << pu << " at node " << u << " already used");
+  ANOLE_CHECK_MSG(rv[static_cast<std::size_t>(pv)].neighbor < 0,
+                  "port " << pv << " at node " << v << " already used");
+  ru[static_cast<std::size_t>(pu)] = HalfEdge{v, pv};
+  rv[static_cast<std::size_t>(pv)] = HalfEdge{u, pu};
+}
+
+std::pair<Port, Port> PortGraph::add_edge_auto(NodeId u, NodeId v) {
+  auto first_free = [&](NodeId w) -> Port {
+    const auto& row = adj_[static_cast<std::size_t>(w)];
+    for (std::size_t p = 0; p < row.size(); ++p)
+      if (row[p].neighbor < 0) return static_cast<Port>(p);
+    return static_cast<Port>(row.size());
+  };
+  Port pu = first_free(u);
+  Port pv = first_free(v);
+  add_edge(u, pu, v, pv);
+  return {pu, pv};
+}
+
+std::optional<Port> PortGraph::port_to(NodeId u, NodeId v) const {
+  const auto& row = adj_[static_cast<std::size_t>(u)];
+  for (std::size_t p = 0; p < row.size(); ++p)
+    if (row[p].neighbor == v) return static_cast<Port>(p);
+  return std::nullopt;
+}
+
+void PortGraph::validate() const {
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    const auto& row = adj_[v];
+    std::vector<NodeId> seen;
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      const HalfEdge& he = row[p];
+      ANOLE_CHECK_MSG(he.neighbor >= 0,
+                      "unassigned port " << p << " at node " << v);
+      ANOLE_CHECK_MSG(static_cast<std::size_t>(he.neighbor) < adj_.size(),
+                      "dangling edge at node " << v);
+      ANOLE_CHECK_MSG(he.neighbor != static_cast<NodeId>(v),
+                      "self-loop at node " << v);
+      seen.push_back(he.neighbor);
+      // Two-sided consistency.
+      const auto& back = adj_[static_cast<std::size_t>(he.neighbor)];
+      ANOLE_CHECK_MSG(
+          he.rev_port >= 0 &&
+              static_cast<std::size_t>(he.rev_port) < back.size(),
+          "bad reverse port at node " << v << " port " << p);
+      const HalfEdge& rev = back[static_cast<std::size_t>(he.rev_port)];
+      ANOLE_CHECK_MSG(rev.neighbor == static_cast<NodeId>(v) &&
+                          rev.rev_port == static_cast<Port>(p),
+                      "port inconsistency on edge {" << v << ","
+                                                     << he.neighbor << "}");
+    }
+    std::sort(seen.begin(), seen.end());
+    ANOLE_CHECK_MSG(std::adjacent_find(seen.begin(), seen.end()) == seen.end(),
+                    "multi-edge at node " << v);
+  }
+  ANOLE_CHECK_MSG(connected(), "graph is not connected");
+}
+
+bool PortGraph::connected() const {
+  if (adj_.empty()) return true;
+  std::vector<int> dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d < 0; });
+}
+
+std::vector<int> PortGraph::bfs_distances(NodeId src) const {
+  std::vector<int> dist(adj_.size(), -1);
+  std::deque<NodeId> queue{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (const HalfEdge& he : adj_[static_cast<std::size_t>(v)]) {
+      if (he.neighbor >= 0 && dist[static_cast<std::size_t>(he.neighbor)] < 0) {
+        dist[static_cast<std::size_t>(he.neighbor)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(he.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+int PortGraph::diameter() const {
+  int diam = 0;
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    std::vector<int> dist = bfs_distances(static_cast<NodeId>(v));
+    for (int d : dist) {
+      ANOLE_CHECK_MSG(d >= 0, "diameter of a disconnected graph");
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+std::optional<std::vector<NodeId>> PortGraph::walk(
+    NodeId start, const std::vector<int>& port_seq) const {
+  if (port_seq.size() % 2 != 0) return std::nullopt;
+  std::vector<NodeId> nodes{start};
+  NodeId cur = start;
+  for (std::size_t i = 0; i < port_seq.size(); i += 2) {
+    Port p = port_seq[i];
+    Port q = port_seq[i + 1];
+    if (p < 0 || p >= degree(cur)) return std::nullopt;
+    const HalfEdge& he = at(cur, p);
+    if (he.rev_port != q) return std::nullopt;
+    cur = he.neighbor;
+    nodes.push_back(cur);
+  }
+  return nodes;
+}
+
+bool is_port_isomorphism(const PortGraph& a, const PortGraph& b,
+                         const std::vector<NodeId>& f) {
+  if (a.n() != b.n() || f.size() != a.n()) return false;
+  std::vector<bool> hit(b.n(), false);
+  for (NodeId img : f) {
+    if (img < 0 || static_cast<std::size_t>(img) >= b.n() ||
+        hit[static_cast<std::size_t>(img)])
+      return false;
+    hit[static_cast<std::size_t>(img)] = true;
+  }
+  for (std::size_t v = 0; v < a.n(); ++v) {
+    NodeId fv = f[v];
+    if (a.degree(static_cast<NodeId>(v)) != b.degree(fv)) return false;
+    for (Port p = 0; p < a.degree(static_cast<NodeId>(v)); ++p) {
+      const HalfEdge& ha = a.at(static_cast<NodeId>(v), p);
+      const HalfEdge& hb = b.at(fv, p);
+      if (hb.neighbor != f[static_cast<std::size_t>(ha.neighbor)] ||
+          hb.rev_port != ha.rev_port)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace anole::portgraph

@@ -1,0 +1,103 @@
+#pragma once
+// PortGraph: the paper's network model — a simple undirected connected
+// graph whose nodes are anonymous but whose edge endpoints carry local
+// port numbers: at a node v of degree d, the d incident edges are numbered
+// 0..d-1 with no relation between the two endpoints of an edge.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anole::portgraph {
+
+using NodeId = std::int32_t;
+using Port = std::int32_t;
+
+/// One endpoint record: following port `p` at node `v` leads to
+/// adj(v)[p].neighbor, entering it through port adj(v)[p].rev_port.
+struct HalfEdge {
+  NodeId neighbor = -1;
+  Port rev_port = -1;
+
+  bool operator==(const HalfEdge&) const = default;
+};
+
+class PortGraph {
+ public:
+  PortGraph() = default;
+  explicit PortGraph(std::size_t n) : adj_(n) {}
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t n() const noexcept { return adj_.size(); }
+
+  /// Number of edges.
+  [[nodiscard]] std::size_t m() const noexcept;
+
+  [[nodiscard]] int degree(NodeId v) const {
+    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// The half-edge reached through port `p` at node `v`.
+  [[nodiscard]] const HalfEdge& at(NodeId v, Port p) const {
+    const auto& row = adj_[static_cast<std::size_t>(v)];
+    ANOLE_DCHECK(p >= 0 && static_cast<std::size_t>(p) < row.size());
+    return row[static_cast<std::size_t>(p)];
+  }
+
+  [[nodiscard]] const std::vector<HalfEdge>& neighbors(NodeId v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Adds a fresh isolated node and returns its id.
+  NodeId add_node() {
+    adj_.emplace_back();
+    return static_cast<NodeId>(adj_.size() - 1);
+  }
+
+  /// Adds the edge {u,v} with the given ports. The port slots are created
+  /// on demand (intermediate slots are filled with placeholder -1 entries
+  /// and must all be assigned before validate() passes).
+  void add_edge(NodeId u, Port pu, NodeId v, Port pv);
+
+  /// Adds the edge {u,v} using the lowest unassigned port at each endpoint.
+  /// Returns the (pu, pv) pair used.
+  std::pair<Port, Port> add_edge_auto(NodeId u, NodeId v);
+
+  /// Port at `u` leading to `v`, if the edge exists.
+  [[nodiscard]] std::optional<Port> port_to(NodeId u, NodeId v) const;
+
+  /// Verifies the model invariants: no self-loops, no multi-edges, port
+  /// numbers contiguous 0..deg-1, two-sided consistency, connectivity.
+  /// Throws std::logic_error with a description on violation.
+  void validate() const;
+
+  /// True iff the graph is connected (n()==0 counts as connected).
+  [[nodiscard]] bool connected() const;
+
+  /// BFS distances from `src` (-1 for unreachable).
+  [[nodiscard]] std::vector<int> bfs_distances(NodeId src) const;
+
+  /// Exact diameter (max over all pairs); O(n*m). Graph must be connected.
+  [[nodiscard]] int diameter() const;
+
+  /// Walks the path (p1,q1,...,pk,qk) from `start`: follows port p_i and
+  /// checks the far-end port is q_i. Returns the sequence of visited nodes
+  /// (k+1 entries, including `start`), or nullopt if some step is invalid.
+  [[nodiscard]] std::optional<std::vector<NodeId>> walk(
+      NodeId start, const std::vector<int>& port_seq) const;
+
+  bool operator==(const PortGraph&) const = default;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adj_;
+};
+
+/// True iff `f` (a permutation of node ids) is a port-preserving isomorphism
+/// from `a` to `b`.
+[[nodiscard]] bool is_port_isomorphism(const PortGraph& a, const PortGraph& b,
+                                       const std::vector<NodeId>& f);
+
+}  // namespace anole::portgraph

@@ -1,0 +1,145 @@
+#include "sim/async.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/prng.hpp"
+
+namespace anole::sim {
+
+using portgraph::NodeId;
+using portgraph::Port;
+
+namespace {
+
+struct Stamped {
+  int round;                 // sender's round (the time-stamp)
+  views::ViewId view;
+  Port sender_port;          // port at the sender
+};
+
+struct Link {
+  NodeId to;                 // receiving node
+  Port to_port;              // port at the receiver
+  std::deque<Stamped> fifo;  // in-flight, FIFO per link
+};
+
+}  // namespace
+
+AsyncMetrics AsyncEngine::run(
+    std::span<const std::unique_ptr<NodeProgram>> programs, int max_rounds,
+    std::uint64_t adversary_seed) {
+  const portgraph::PortGraph& g = *graph_;
+  ANOLE_CHECK_MSG(programs.size() == g.n(), "need one program per node");
+  std::size_t n = g.n();
+  util::SplitMix64 adversary(adversary_seed);
+
+  AsyncMetrics metrics;
+  metrics.decision_round.assign(n, -1);
+  metrics.outputs.resize(n);
+
+  // One directed link per half-edge; links[v] are v's *outgoing* links in
+  // port order.
+  std::vector<std::vector<Link>> links(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      const auto& he = g.at(static_cast<NodeId>(v), p);
+      links[v].push_back(Link{he.neighbor, he.rev_port, {}});
+    }
+  }
+
+  // Per-node synchronizer state: current local round, and the buffer of
+  // stamped messages for rounds >= round (buffer[v][r - round(v)][p]).
+  std::vector<int> round(n, 0);
+  std::vector<std::deque<std::vector<Stamped>>> buffer(n);
+  std::vector<std::deque<std::vector<bool>>> present(n);
+
+  auto ensure_slot = [&](std::size_t v, int r) {
+    while (buffer[v].size() <=
+           static_cast<std::size_t>(r - round[v])) {
+      buffer[v].emplace_back(
+          static_cast<std::size_t>(g.degree(static_cast<NodeId>(v))));
+      present[v].emplace_back(
+          static_cast<std::size_t>(g.degree(static_cast<NodeId>(v))), false);
+    }
+  };
+
+  auto note_decision = [&](std::size_t v) {
+    if (metrics.decision_round[v] < 0 && programs[v]->has_output()) {
+      metrics.decision_round[v] = round[v];
+      metrics.outputs[v] = programs[v]->output();
+    }
+  };
+  auto all_decided = [&] {
+    return std::none_of(metrics.decision_round.begin(),
+                        metrics.decision_round.end(),
+                        [](int r) { return r < 0; });
+  };
+
+  auto broadcast = [&](std::size_t v) {
+    // Node v emits its round-`round[v]` message on all ports. Decided
+    // nodes keep participating (a decision is not a crash).
+    views::ViewId out = programs[v]->outgoing(round[v]);
+    for (std::size_t p = 0; p < links[v].size(); ++p)
+      links[v][p].fifo.push_back(
+          Stamped{round[v], out, static_cast<Port>(p)});
+  };
+
+  for (std::size_t v = 0; v < n; ++v) {
+    programs[v]->start(*repo_, g.degree(static_cast<NodeId>(v)));
+    note_decision(v);
+  }
+  if (!all_decided())
+    for (std::size_t v = 0; v < n; ++v) broadcast(v);
+
+  std::vector<Message> inbox;
+  while (!all_decided()) {
+    // Adversary: pick a uniformly random non-empty link and deliver its
+    // head message (FIFO per link, otherwise fully adversarial).
+    std::vector<std::pair<std::size_t, std::size_t>> busy;
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t p = 0; p < links[v].size(); ++p)
+        if (!links[v][p].fifo.empty()) busy.emplace_back(v, p);
+    if (busy.empty()) {
+      metrics.timed_out = true;  // deadlock: nothing in flight, undecided
+      break;
+    }
+    auto [sv, sp] = busy[adversary.below(busy.size())];
+    Link& link = links[sv][sp];
+    Stamped msg = link.fifo.front();
+    link.fifo.pop_front();
+    ++metrics.deliveries;
+
+    std::size_t tv = static_cast<std::size_t>(link.to);
+    ensure_slot(tv, msg.round);
+    std::size_t slot = static_cast<std::size_t>(msg.round - round[tv]);
+    std::size_t tp = static_cast<std::size_t>(link.to_port);
+    ANOLE_CHECK_MSG(!present[tv][slot][tp],
+                    "duplicate stamped message on a link");
+    buffer[tv][slot][tp] = msg;
+    present[tv][slot][tp] = true;
+
+    // Advance the receiver while its current round is complete.
+    while (!buffer[tv].empty() &&
+           std::all_of(present[tv][0].begin(), present[tv][0].end(),
+                       [](bool b) { return b; })) {
+      inbox.clear();
+      for (const Stamped& s : buffer[tv][0])
+        inbox.push_back(Message{s.view, s.sender_port});
+      programs[tv]->deliver(round[tv], inbox);
+      buffer[tv].pop_front();
+      present[tv].pop_front();
+      ++round[tv];
+      metrics.max_round = std::max(metrics.max_round, round[tv]);
+      note_decision(tv);
+      if (round[tv] > max_rounds) {
+        metrics.timed_out = true;
+        return metrics;
+      }
+      if (!all_decided()) broadcast(tv);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace anole::sim

@@ -1,0 +1,80 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace anole::sim {
+
+RunMetrics Engine::run(
+    std::span<const std::unique_ptr<NodeProgram>> programs, int max_rounds,
+    bool meter_messages) {
+  const portgraph::PortGraph& g = *graph_;
+  ANOLE_CHECK_MSG(programs.size() == g.n(),
+                  "need one program per node: " << programs.size() << " vs "
+                                                << g.n());
+  std::size_t n = g.n();
+  RunMetrics metrics;
+  metrics.decision_round.assign(n, -1);
+  metrics.outputs.resize(n);
+
+  auto note_decisions = [&](int round) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (metrics.decision_round[v] < 0 && programs[v]->has_output()) {
+        metrics.decision_round[v] = round;
+        metrics.outputs[v] = programs[v]->output();
+      }
+    }
+  };
+  auto all_decided = [&] {
+    return std::none_of(metrics.decision_round.begin(),
+                        metrics.decision_round.end(),
+                        [](int r) { return r < 0; });
+  };
+
+  for (std::size_t v = 0; v < n; ++v)
+    programs[v]->start(*repo_, g.degree(static_cast<portgraph::NodeId>(v)));
+  note_decisions(0);
+
+  std::vector<views::ViewId> outbox(n);
+  std::vector<Message> inbox;
+  int round = 0;
+  while (!all_decided()) {
+    if (round >= max_rounds) {
+      metrics.timed_out = true;
+      break;
+    }
+    for (std::size_t v = 0; v < n; ++v)
+      outbox[v] = programs[v]->outgoing(round);
+    if (meter_messages) {
+      for (std::size_t v = 0; v < n; ++v) {
+        std::size_t bits = repo_->serialized_size_bits(outbox[v]);
+        std::size_t copies = static_cast<std::size_t>(
+            g.degree(static_cast<portgraph::NodeId>(v)));
+        metrics.message_count += copies;
+        metrics.total_message_bits += bits * copies;
+        metrics.max_message_bits = std::max(metrics.max_message_bits, bits);
+      }
+    } else {
+      for (std::size_t v = 0; v < n; ++v)
+        metrics.message_count +=
+            static_cast<std::size_t>(g.degree(static_cast<portgraph::NodeId>(v)));
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& row = g.neighbors(static_cast<portgraph::NodeId>(v));
+      inbox.clear();
+      inbox.reserve(row.size());
+      for (const auto& he : row) {
+        // The message on port p comes from `he.neighbor`, which sent it
+        // through its port `he.rev_port`.
+        inbox.push_back(Message{outbox[static_cast<std::size_t>(he.neighbor)],
+                                he.rev_port});
+      }
+      programs[v]->deliver(round, inbox);
+    }
+    ++round;
+    note_decisions(round);
+  }
+  metrics.rounds = round;
+  return metrics;
+}
+
+}  // namespace anole::sim

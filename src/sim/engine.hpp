@@ -1,0 +1,94 @@
+#pragma once
+// Synchronous LOCAL-model simulation engine (paper Section 1).
+//
+// Communication proceeds in rounds; all nodes start simultaneously; in each
+// round every node exchanges messages with all neighbors and computes. The
+// information a node v has after r rounds is exactly the augmented
+// truncated view B^r(v), so the only message our protocols ever need is the
+// sender's current view; messages are therefore view ids into a shared
+// ViewRepo (hash-consed payloads — see DESIGN.md). When node u sends
+// through its port q, the receiver v sees the message on its port p
+// together with q: the pair (q, payload) is exactly the edge label the view
+// definition gives v, and u includes q explicitly (it knows which port it
+// is using).
+//
+// Producing an output does not halt a node: it keeps participating in COM
+// (in the LOCAL model a decision is not a crash). The engine runs until
+// every node has produced an output or `max_rounds` is exceeded.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::sim {
+
+struct Message {
+  views::ViewId view = views::kInvalidView;
+  portgraph::Port sender_port = -1;
+};
+
+/// Per-node deterministic protocol. One instance per node; instances must
+/// not share mutable state (anonymity: a program may depend only on its
+/// degree, the rounds' messages, and the common advice given at creation).
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once before round 0. The node initially knows only its degree.
+  virtual void start(views::ViewRepo& repo, int degree) = 0;
+
+  /// The message to send to all neighbors in the given round (COM-style;
+  /// the engine annotates it with the outgoing port per neighbor).
+  [[nodiscard]] virtual views::ViewId outgoing(int round) = 0;
+
+  /// Delivers the round's inbox: inbox[p] is the message received through
+  /// port p. Called after all outgoing() calls of the round.
+  virtual void deliver(int round, std::span<const Message> inbox) = 0;
+
+  /// Whether the node has decided (checked after start() and after each
+  /// deliver()).
+  [[nodiscard]] virtual bool has_output() const = 0;
+
+  /// The decision: a sequence (p1,q1,...,pk,qk) of port numbers coding a
+  /// path from this node to the elected leader.
+  [[nodiscard]] virtual std::vector<int> output() const = 0;
+};
+
+struct RunMetrics {
+  /// Rounds executed until every node had an output.
+  int rounds = 0;
+  /// Round (1-based: "after round r") at which each node decided;
+  /// 0 means it decided before any communication.
+  std::vector<int> decision_round;
+  /// Per-node outputs.
+  std::vector<std::vector<int>> outputs;
+  /// Total messages delivered and their total/maximum serialized size.
+  std::size_t message_count = 0;
+  std::size_t total_message_bits = 0;
+  std::size_t max_message_bits = 0;
+  /// True iff the run hit max_rounds before everyone decided.
+  bool timed_out = false;
+};
+
+class Engine {
+ public:
+  /// The engine borrows the graph and the repo; both must outlive it.
+  Engine(const portgraph::PortGraph& graph, views::ViewRepo& repo)
+      : graph_(&graph), repo_(&repo) {}
+
+  /// Runs one program per node until all decide. `programs` must have
+  /// size n. When `meter_messages` is false the (expensive) serialized
+  /// size accounting is skipped.
+  RunMetrics run(std::span<const std::unique_ptr<NodeProgram>> programs,
+                 int max_rounds, bool meter_messages = false);
+
+ private:
+  const portgraph::PortGraph* graph_;
+  views::ViewRepo* repo_;
+};
+
+}  // namespace anole::sim

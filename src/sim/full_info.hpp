@@ -1,0 +1,52 @@
+#pragma once
+// FullInfoProgram: the paper's COM subroutine (Algorithm 1) as a reusable
+// protocol base class.
+//
+//   Algorithm 1 COM(i): send B^i(u) to all neighbors; receive B^i(v) from
+//   each neighbor v.
+//
+// "When all nodes repeat this subroutine for i = 0,...,t-1, every node
+// acquires its augmented truncated view at depth t." A subclass only
+// decides *when* to stop and *what* to output from the acquired view.
+
+#include "sim/engine.hpp"
+
+namespace anole::sim {
+
+class FullInfoProgram : public NodeProgram {
+ public:
+  void start(views::ViewRepo& repo, int degree) final {
+    repo_ = &repo;
+    degree_ = degree;
+    view_ = repo.leaf(degree);
+    on_view(0);
+  }
+
+  [[nodiscard]] views::ViewId outgoing(int /*round*/) final { return view_; }
+
+  void deliver(int round, std::span<const Message> inbox) final {
+    std::vector<views::ChildRef> kids;
+    kids.reserve(inbox.size());
+    for (const Message& msg : inbox)
+      kids.emplace_back(msg.sender_port, msg.view);
+    view_ = repo_->intern(kids);
+    on_view(round + 1);
+  }
+
+ protected:
+  /// Hook invoked whenever the node's knowledge grows: after `rounds`
+  /// rounds of COM the node holds B^rounds — available as view().
+  virtual void on_view(int rounds) = 0;
+
+  [[nodiscard]] views::ViewRepo& repo() const { return *repo_; }
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+  /// B^r(u) where r is the number of completed rounds.
+  [[nodiscard]] views::ViewId view() const noexcept { return view_; }
+
+ private:
+  views::ViewRepo* repo_ = nullptr;
+  int degree_ = 0;
+  views::ViewId view_ = views::kInvalidView;
+};
+
+}  // namespace anole::sim

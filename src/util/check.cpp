@@ -1,0 +1,13 @@
+#include "util/check.hpp"
+
+namespace anole::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream oss;
+  oss << "ANOLE_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace anole::util

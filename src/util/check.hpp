@@ -1,0 +1,41 @@
+#pragma once
+// Lightweight runtime checking macros.
+//
+// ANOLE_CHECK is always on (graph validity, protocol invariants: violating
+// them means the simulation result is meaningless, so we prefer a loud stop
+// over silent corruption). ANOLE_DCHECK compiles out in NDEBUG builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anole::util {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace anole::util
+
+#define ANOLE_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::anole::util::check_failed(#cond, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define ANOLE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream anole_oss_;                                   \
+      anole_oss_ << msg;                                               \
+      ::anole::util::check_failed(#cond, __FILE__, __LINE__,           \
+                                  anole_oss_.str());                   \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define ANOLE_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define ANOLE_DCHECK(cond) ANOLE_CHECK(cond)
+#endif

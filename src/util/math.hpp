@@ -1,0 +1,69 @@
+#pragma once
+// Integer math used throughout the paper's algorithms: floor(log2),
+// iterated logarithm log*, and the tower-of-powers notation  ic  defined by
+// 0c = 1 and (i+1)c = c^(ic)  (Section 4 of the paper).
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace anole::util {
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  std::uint32_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Number of bits in the standard binary representation of x (bin(0)="0").
+constexpr std::uint32_t bit_length(std::uint64_t x) noexcept {
+  return x == 0 ? 1 : floor_log2(x) + 1;
+}
+
+/// Iterated logarithm base 2: the number of times log2 must be applied to x
+/// before the result is <= 1. log*(1) = 0, log*(2) = 1, log*(4) = 2,
+/// log*(16) = 3, log*(65536) = 4.
+constexpr std::uint32_t log_star(std::uint64_t x) noexcept {
+  std::uint32_t r = 0;
+  // Work with the real-valued log via repeated floor_log2; for the tower
+  // milestones (2, 4, 16, 65536, ...) this matches the exact definition.
+  while (x > 1) {
+    x = floor_log2(x);
+    ++r;
+  }
+  return r;
+}
+
+/// Tower of powers: tower(i, c) = ic with 0c = 1, (i+1)c = c^(ic).
+/// Saturates at `cap` to avoid overflow (the paper only ever *compares*
+/// towers against graph parameters, so saturation is safe).
+constexpr std::uint64_t tower(std::uint32_t i, std::uint64_t c,
+                              std::uint64_t cap = UINT64_C(1) << 62) {
+  if (c <= 1) return 1;  // degenerate base: the tower never grows
+  std::uint64_t v = 1;
+  for (std::uint32_t k = 0; k < i; ++k) {
+    // v' = c^v, computed with saturation.
+    std::uint64_t p = 1;
+    for (std::uint64_t e = 0; e < v; ++e) {
+      if (p > cap / c) return cap;
+      p *= c;
+    }
+    v = p;
+    if (v >= cap) return cap;
+  }
+  return v;
+}
+
+/// Saturating integer power base^exp (cap as in tower()).
+constexpr std::uint64_t ipow(std::uint64_t base, std::uint64_t exp,
+                             std::uint64_t cap = UINT64_C(1) << 62) {
+  std::uint64_t p = 1;
+  for (std::uint64_t e = 0; e < exp; ++e) {
+    if (base != 0 && p > cap / base) return cap;
+    p *= base;
+  }
+  return p;
+}
+
+}  // namespace anole::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anole::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ANOLE_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ANOLE_CHECK_MSG(cells.size() == header_.size(),
+                  "row width " << cells.size() << " != header width "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+std::string Table::num(unsigned long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os, const std::string& caption) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 < row.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+
+  if (!caption.empty()) os << caption << '\n';
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os << '\n';
+}
+
+}  // namespace anole::util

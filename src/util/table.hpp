@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text table printer for the benchmark harnesses.
+//
+// Every experiment binary prints one or more tables in the same style as the
+// paper reports its bounds: a header row, aligned numeric columns, and a
+// caption tying the table to the theorem/figure it regenerates.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace anole::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string num(double v, int precision = 3);
+  static std::string num(long long v);
+  static std::string num(unsigned long long v);
+  static std::string num(int v) { return num(static_cast<long long>(v)); }
+  static std::string num(std::size_t v) {
+    return num(static_cast<unsigned long long>(v));
+  }
+
+  /// Renders the table with column alignment to `os`.
+  void print(std::ostream& os, const std::string& caption = {}) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anole::util

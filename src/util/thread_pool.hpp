@@ -1,0 +1,55 @@
+#pragma once
+// Minimal fixed-size thread pool used by the benchmark harnesses to run
+// independent (graph, parameter) cells of a sweep in parallel.
+//
+// The LOCAL-model simulation itself stays single-threaded per graph so that
+// round semantics remain deterministic; parallelism only spans independent
+// experiment cells, which share no mutable state (each cell owns its graph
+// and its ViewRepo).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace anole::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  static void parallel_for(std::size_t count,
+                           const std::function<void(std::size_t)>& fn,
+                           std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace anole::util

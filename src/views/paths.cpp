@@ -1,0 +1,46 @@
+#include "views/paths.hpp"
+
+#include <algorithm>
+
+namespace anole::views {
+
+std::unordered_map<ViewId, DagPath> best_paths(const ViewRepo& repo,
+                                               ViewId root, int max_level) {
+  std::unordered_map<ViewId, DagPath> best;
+  best.emplace(root, DagPath{0, {}});
+  std::vector<ViewId> frontier{root};
+  for (int level = 0; level < max_level && !frontier.empty(); ++level) {
+    // Deterministic expansion order: sort the frontier by its (already
+    // final) best paths so children inherit lexicographically minimal
+    // prefixes in one pass.
+    std::sort(frontier.begin(), frontier.end(), [&](ViewId a, ViewId b) {
+      return best.at(a).ports < best.at(b).ports;
+    });
+    std::vector<ViewId> next;
+    for (ViewId v : frontier) {
+      const DagPath& base = best.at(v);
+      std::span<const ChildRef> kids = repo.children(v);
+      for (std::size_t p = 0; p < kids.size(); ++p) {
+        const auto& [rev_port, child] = kids[p];
+        std::vector<int> cand = base.ports;
+        cand.push_back(static_cast<int>(p));
+        cand.push_back(static_cast<int>(rev_port));
+        auto it = best.find(child);
+        if (it == best.end()) {
+          best.emplace(child, DagPath{level + 1, std::move(cand)});
+          next.push_back(child);
+        } else if (it->second.level == level + 1 &&
+                   cand < it->second.ports) {
+          it->second.ports = std::move(cand);
+        }
+        // A record found at an earlier level keeps its shorter path: view
+        // ids encode their depth, so records at different levels never
+        // collide and `level` strictly increases per frontier pass.
+      }
+    }
+    frontier = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace anole::views

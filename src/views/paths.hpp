@@ -1,0 +1,33 @@
+#pragma once
+// Path extraction inside a view DAG.
+//
+// A node running Generic(x) or the map-based baseline must output "the
+// sequence of port numbers corresponding to the shortest path from u to w
+// in B" (Algorithm 7): a root-to-node path in its own view tree. Because we
+// store views as DAGs, all view-tree nodes with the same subtree collapse
+// into one record; for each record this utility computes the best path from
+// the root, where best = (shortest level, then lexicographically smallest
+// port sequence). That is exactly the tie-break Algorithm 7 specifies for
+// the set W.
+
+#include <unordered_map>
+#include <vector>
+
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+
+struct DagPath {
+  /// Level in the view tree (= depth(root) - depth(view id)).
+  int level = 0;
+  /// Port pairs (p1,q1,...,pk,qk) from the root to this record.
+  std::vector<int> ports;
+};
+
+/// Best path per reachable record of the DAG rooted at `root`, exploring
+/// levels 0..max_level (pass depth(root) to reach everything).
+/// Keys are view ids; a view id of depth d occurs at level depth(root)-d.
+[[nodiscard]] std::unordered_map<ViewId, DagPath> best_paths(
+    const ViewRepo& repo, ViewId root, int max_level);
+
+}  // namespace anole::views

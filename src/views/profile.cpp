@@ -1,0 +1,86 @@
+#include "views/profile.hpp"
+
+#include <unordered_set>
+
+namespace anole::views {
+namespace {
+
+std::size_t distinct_count(const std::vector<ViewId>& level) {
+  std::unordered_set<ViewId> set(level.begin(), level.end());
+  return set.size();
+}
+
+void compute_next_level(const portgraph::PortGraph& g, ViewRepo& repo,
+                        const std::vector<ViewId>& prev,
+                        std::vector<ViewId>& next) {
+  std::size_t n = g.n();
+  next.resize(n);
+  std::vector<ChildRef> kids;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& row = g.neighbors(static_cast<portgraph::NodeId>(v));
+    kids.clear();
+    kids.reserve(row.size());
+    for (const auto& he : row)
+      kids.emplace_back(he.rev_port,
+                        prev[static_cast<std::size_t>(he.neighbor)]);
+    next[v] = repo.intern(kids);
+  }
+}
+
+}  // namespace
+
+ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
+                            int min_depth) {
+  ANOLE_CHECK_MSG(g.n() >= 1, "profile of an empty graph");
+  ViewProfile profile;
+  std::size_t n = g.n();
+
+  std::vector<ViewId> level(n);
+  for (std::size_t v = 0; v < n; ++v)
+    level[v] = repo.leaf(g.degree(static_cast<portgraph::NodeId>(v)));
+  profile.ids.push_back(level);
+  profile.class_counts.push_back(distinct_count(level));
+
+  for (;;) {
+    int t = profile.computed_depth();
+    std::size_t classes = profile.class_counts.back();
+    if (classes == n && profile.election_index < 0) {
+      profile.feasible = true;
+      profile.election_index = t;
+    }
+    bool stabilized =
+        t >= 1 && classes == profile.class_counts[static_cast<std::size_t>(t) - 1];
+    bool done = (profile.feasible || stabilized) && t >= min_depth;
+    if (done) break;
+
+    std::vector<ViewId> next;
+    compute_next_level(g, repo, profile.ids.back(), next);
+    profile.ids.push_back(std::move(next));
+    profile.class_counts.push_back(distinct_count(profile.ids.back()));
+  }
+  return profile;
+}
+
+void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
+                    ViewProfile& profile, int depth) {
+  while (profile.computed_depth() < depth) {
+    std::vector<ViewId> next;
+    compute_next_level(g, repo, profile.ids.back(), next);
+    profile.ids.push_back(std::move(next));
+    profile.class_counts.push_back(distinct_count(profile.ids.back()));
+  }
+}
+
+portgraph::NodeId argmin_view(const ViewRepo& repo,
+                              const std::vector<ViewId>& level) {
+  ANOLE_CHECK(!level.empty());
+  std::size_t best = 0;
+  for (std::size_t v = 1; v < level.size(); ++v) {
+    if (level[v] != level[best] &&
+        repo.compare(level[v], level[best]) == std::strong_ordering::less)
+      best = v;
+  }
+  return static_cast<portgraph::NodeId>(best);
+}
+
+}  // namespace anole::views

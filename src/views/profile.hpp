@@ -1,0 +1,62 @@
+#pragma once
+// Whole-graph view refinement: computes B^t(v) for every node and
+// increasing t, the election index, and feasibility.
+//
+// Proposition 2.1: the election index of a feasible graph equals the
+// smallest depth at which all augmented truncated views are distinct.
+// The per-level class partition refines as t grows (B^t equality implies
+// B^{t-1} equality); if the number of classes is the same at two
+// consecutive depths the partition is a fixed point and will never become
+// finer (standard refinement argument), so the graph is infeasible unless
+// all n classes are already distinct.
+
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+
+struct ViewProfile {
+  /// ids[t][v] = ViewId of B^t(v); levels 0..computed_depth.
+  std::vector<std::vector<ViewId>> ids;
+
+  /// Number of distinct views at each computed depth.
+  std::vector<std::size_t> class_counts;
+
+  /// True iff all views become distinct at some depth (graph is feasible
+  /// for leader election when the map is known — Yamashita/Kameda via [44]).
+  bool feasible = false;
+
+  /// The election index phi: smallest depth with all views distinct.
+  /// Only meaningful when feasible.
+  int election_index = -1;
+
+  [[nodiscard]] int computed_depth() const {
+    return static_cast<int>(ids.size()) - 1;
+  }
+
+  /// The view of node v at depth t (t <= computed_depth).
+  [[nodiscard]] ViewId view(int t, portgraph::NodeId v) const {
+    return ids[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)];
+  }
+};
+
+/// Computes B^t for t = 0,1,... until the partition stabilizes or all views
+/// are distinct — and in any case up to at least `min_depth` levels (pass
+/// e.g. the depth an algorithm will inspect). All views are interned into
+/// `repo`.
+[[nodiscard]] ViewProfile compute_profile(const portgraph::PortGraph& g,
+                                          ViewRepo& repo, int min_depth = 0);
+
+/// Extends an existing profile with levels up to `depth` (no-op if already
+/// computed that far).
+void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
+                    ViewProfile& profile, int depth);
+
+/// The node whose depth-t view is canonically smallest (ties impossible
+/// when t >= election index; otherwise the lowest-numbered witness).
+[[nodiscard]] portgraph::NodeId argmin_view(const ViewRepo& repo,
+                                            const std::vector<ViewId>& level);
+
+}  // namespace anole::views

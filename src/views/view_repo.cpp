@@ -1,0 +1,206 @@
+#include "views/view_repo.hpp"
+
+#include <algorithm>
+
+#include "coding/codec.hpp"
+#include "util/math.hpp"
+
+namespace anole::views {
+namespace {
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_key(int degree, int depth,
+                       std::span<const ChildRef> children) {
+  std::uint64_t h = hash_mix(static_cast<std::uint64_t>(degree),
+                             static_cast<std::uint64_t>(depth));
+  for (const auto& [port, child] : children) {
+    h = hash_mix(h, static_cast<std::uint64_t>(port));
+    h = hash_mix(h, static_cast<std::uint64_t>(child));
+  }
+  return h;
+}
+
+}  // namespace
+
+ViewId ViewRepo::leaf(int degree) {
+  ANOLE_CHECK(degree >= 0);
+  return intern_impl(degree, 0, {});
+}
+
+ViewId ViewRepo::intern(std::span<const ChildRef> children) {
+  ANOLE_CHECK_MSG(!children.empty(), "intern of a degree-0 inner view");
+  int child_depth = depth(children.front().second);
+  for (const auto& [port, child] : children) {
+    ANOLE_CHECK(port >= 0);
+    ANOLE_CHECK_MSG(depth(child) == child_depth,
+                    "children at mixed depths in intern()");
+  }
+  return intern_impl(static_cast<int>(children.size()), child_depth + 1,
+                     children);
+}
+
+ViewId ViewRepo::intern_impl(int degree, int depth,
+                             std::span<const ChildRef> children) {
+  std::uint64_t h = hash_key(degree, depth, children);
+  auto& bucket = index_[h];
+  for (ViewId cand : bucket) {
+    const Record& r = records_[static_cast<std::size_t>(cand)];
+    if (r.degree != degree || r.depth != depth ||
+        r.child_count != children.size())
+      continue;
+    std::span<const ChildRef> existing(child_pool_.data() + r.child_begin,
+                                       r.child_count);
+    if (std::equal(existing.begin(), existing.end(), children.begin()))
+      return cand;
+  }
+  Record r;
+  r.degree = degree;
+  r.depth = depth;
+  r.child_begin = static_cast<std::uint32_t>(child_pool_.size());
+  r.child_count = static_cast<std::uint32_t>(children.size());
+  child_pool_.insert(child_pool_.end(), children.begin(), children.end());
+  records_.push_back(r);
+  ViewId id = static_cast<ViewId>(records_.size() - 1);
+  bucket.push_back(id);
+  return id;
+}
+
+std::span<const ChildRef> ViewRepo::children(ViewId v) const {
+  const Record& r = rec(v);
+  return {child_pool_.data() + r.child_begin, r.child_count};
+}
+
+std::strong_ordering ViewRepo::compare(ViewId a, ViewId b) const {
+  if (a == b) return std::strong_ordering::equal;
+  const Record& ra = rec(a);
+  const Record& rb = rec(b);
+  ANOLE_CHECK_MSG(ra.depth == rb.depth, "comparing views of unequal depth");
+  std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                       << 32) |
+                      static_cast<std::uint32_t>(b);
+  if (auto it = compare_memo_.find(key); it != compare_memo_.end())
+    return it->second < 0 ? std::strong_ordering::less
+                          : std::strong_ordering::greater;
+  std::strong_ordering result = std::strong_ordering::equal;
+  if (ra.degree != rb.degree) {
+    result = ra.degree <=> rb.degree;
+  } else {
+    std::span<const ChildRef> ca = children(a);
+    std::span<const ChildRef> cb = children(b);
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      if (ca[i].first != cb[i].first) {
+        result = ca[i].first <=> cb[i].first;
+        break;
+      }
+      if (auto sub = compare(ca[i].second, cb[i].second);
+          sub != std::strong_ordering::equal) {
+        result = sub;
+        break;
+      }
+    }
+  }
+  // Hash-consing guarantees structurally equal views share an id, so two
+  // distinct ids at equal depth must differ somewhere.
+  ANOLE_CHECK_MSG(result != std::strong_ordering::equal,
+                  "distinct ids compared equal — interning broken");
+  compare_memo_.emplace(key, result < 0 ? -1 : +1);
+  return result;
+}
+
+ViewId ViewRepo::truncate(ViewId v, int x) {
+  const Record r = rec(v);
+  ANOLE_CHECK_MSG(x >= 0 && x <= r.depth,
+                  "truncate to depth " << x << " of a depth-" << r.depth
+                                       << " view");
+  if (x == r.depth) return v;
+  if (x == 0) return leaf(r.degree);
+  std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v))
+                       << 32) |
+                      static_cast<std::uint32_t>(x);
+  if (auto it = truncate_memo_.find(key); it != truncate_memo_.end())
+    return it->second;
+  // Copy the child list first: the recursive truncate() interns new records
+  // and may reallocate the child pool, invalidating spans into it.
+  std::span<const ChildRef> src = children(v);
+  std::vector<ChildRef> kids(src.begin(), src.end());
+  for (auto& [port, child] : kids) child = truncate(child, x - 1);
+  ViewId out = intern(kids);
+  truncate_memo_.emplace(key, out);
+  return out;
+}
+
+std::size_t ViewRepo::dag_records(ViewId v) const {
+  std::vector<ViewId> stack{v};
+  std::unordered_map<ViewId, bool> seen;
+  seen[v] = true;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    ViewId cur = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& [port, child] : children(cur)) {
+      if (!seen[child]) {
+        seen[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t ViewRepo::serialized_size_bits(ViewId v) const {
+  // Canonical wire format: record list in topological order; each record
+  // stores its degree and, per child, the reverse port and the index of the
+  // child record. All integers in fixed width sized for this DAG.
+  std::vector<ViewId> order{v};
+  std::unordered_map<ViewId, bool> seen;
+  seen[v] = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (const auto& [port, child] : children(order[i])) {
+      if (!seen[child]) {
+        seen[child] = true;
+        order.push_back(child);
+      }
+    }
+  }
+  std::size_t records = order.size();
+  int max_deg = 0, max_port = 0;
+  std::size_t edges = 0;
+  for (ViewId id : order) {
+    max_deg = std::max(max_deg, degree(id));
+    for (const auto& [port, child] : children(id)) {
+      max_port = std::max(max_port, static_cast<int>(port));
+      ++edges;
+    }
+  }
+  std::size_t deg_bits = util::bit_length(static_cast<std::uint64_t>(max_deg));
+  std::size_t port_bits =
+      util::bit_length(static_cast<std::uint64_t>(max_port));
+  std::size_t ref_bits = util::bit_length(records);
+  return 64  // header: record count + widths
+         + records * deg_bits + edges * (port_bits + ref_bits);
+}
+
+const coding::BitString& ViewRepo::encode_depth1(ViewId v) {
+  ANOLE_CHECK_MSG(depth(v) == 1, "encode_depth1 needs a depth-1 view");
+  auto it = depth1_code_memo_.find(v);
+  if (it != depth1_code_memo_.end()) return it->second;
+  std::vector<coding::BitString> triples;
+  std::span<const ChildRef> kids = children(v);
+  triples.reserve(kids.size());
+  for (std::size_t j = 0; j < kids.size(); ++j) {
+    const auto& [rev_port, child] = kids[j];
+    triples.push_back(coding::concat(
+        {coding::bin(j), coding::bin(static_cast<std::uint64_t>(rev_port)),
+         coding::bin(static_cast<std::uint64_t>(degree(child)))}));
+  }
+  coding::BitString code = coding::concat(triples);
+  auto [ins, ok] = depth1_code_memo_.emplace(v, std::move(code));
+  return ins->second;
+}
+
+}  // namespace anole::views

@@ -1,0 +1,115 @@
+#pragma once
+// Hash-consed augmented truncated views (the central notion of the paper).
+//
+// The augmented truncated view B^t(v) is the depth-t truncation of the
+// (infinite) view from v, with leaves labeled by their degrees in the graph
+// (paper Section 1). Recursively:
+//
+//   B^0(v)     = a single node labeled deg(v)
+//   B^{t+1}(v) = root of degree deg(v); the child reached through port j
+//                carries the edge-label pair (j, rev_port_j) and is the
+//                root of B^t(u_j), where u_j is v's j-th neighbor.
+//
+// A ViewRepo stores each distinct view once (content-addressed interning):
+// a view is a record (degree, [(rev_port_j, child_view_id)]) whose children
+// are views one level shallower. Sharing equal subtrees turns the
+// exponential-size view tree into a DAG with at most n records per level,
+// while preserving the information content exactly — two nodes have equal
+// views iff they receive the same ViewId.
+//
+// The repo also provides the canonical total order on equal-depth views
+// used wherever the paper orders views "lexicographically by binary
+// representation" (any fixed canonical order is equivalent for the
+// algorithms; see DESIGN.md), truncation to a smaller depth, the exact
+// depth-1 bit encoding of Proposition 3.3 (needed by BuildTrie's bit
+// queries), and serialized-size accounting for message metering.
+//
+// A ViewRepo is NOT thread-safe; every experiment cell owns its own repo.
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "coding/bitstring.hpp"
+#include "portgraph/port_graph.hpp"
+
+namespace anole::views {
+
+using ViewId = std::int32_t;
+inline constexpr ViewId kInvalidView = -1;
+
+/// (rev_port, child view id) — the edge label half not implied by position,
+/// plus the subtree.
+using ChildRef = std::pair<portgraph::Port, ViewId>;
+
+class ViewRepo {
+ public:
+  ViewRepo() = default;
+  ViewRepo(const ViewRepo&) = delete;
+  ViewRepo& operator=(const ViewRepo&) = delete;
+
+  /// Interns the depth-0 view of a node with the given degree.
+  [[nodiscard]] ViewId leaf(int degree);
+
+  /// Interns a depth-(d+1) view from children of equal depth d, listed in
+  /// port order (child j is reached through port j; degree = children size).
+  [[nodiscard]] ViewId intern(std::span<const ChildRef> children);
+
+  [[nodiscard]] int degree(ViewId v) const { return rec(v).degree; }
+  [[nodiscard]] int depth(ViewId v) const { return rec(v).depth; }
+  [[nodiscard]] std::span<const ChildRef> children(ViewId v) const;
+
+  /// Canonical structural order on views of equal depth: compares degree,
+  /// then children pairwise by (rev_port, recursive order). Total order;
+  /// a == b iff the ids are equal (hash-consing).
+  [[nodiscard]] std::strong_ordering compare(ViewId a, ViewId b) const;
+
+  /// The depth-x truncation of view v (x <= depth(v)).
+  [[nodiscard]] ViewId truncate(ViewId v, int x);
+
+  /// Number of distinct records reachable from v (DAG size).
+  [[nodiscard]] std::size_t dag_records(ViewId v) const;
+
+  /// Bits of a standard serialized encoding of the DAG rooted at v
+  /// (record list with degree, rev-ports and child indices). This is the
+  /// message-size metric reported by the simulator.
+  [[nodiscard]] std::size_t serialized_size_bits(ViewId v) const;
+
+  /// Exact binary code of a depth-1 view, following Proposition 3.3:
+  /// Concat over ports j of Concat(bin(j), bin(a_j), bin(b_j)) where a_j is
+  /// the reverse port and b_j the neighbor degree. BuildTrie's depth-1
+  /// queries ("length < t", "j-th bit is 1") inspect exactly these bits.
+  [[nodiscard]] const coding::BitString& encode_depth1(ViewId v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  struct Record {
+    int degree = 0;
+    int depth = 0;
+    std::uint32_t child_begin = 0;
+    std::uint32_t child_count = 0;
+  };
+
+  [[nodiscard]] const Record& rec(ViewId v) const {
+    ANOLE_DCHECK(v >= 0 && static_cast<std::size_t>(v) < records_.size());
+    return records_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] ViewId intern_impl(int degree, int depth,
+                                   std::span<const ChildRef> children);
+
+  std::vector<Record> records_;
+  std::vector<ChildRef> child_pool_;
+  // Interning index: hash of (degree, depth, children) -> candidate ids.
+  std::unordered_map<std::uint64_t, std::vector<ViewId>> index_;
+  // Memoization tables.
+  mutable std::unordered_map<std::uint64_t, std::int8_t> compare_memo_;
+  std::unordered_map<std::uint64_t, ViewId> truncate_memo_;
+  std::unordered_map<ViewId, coding::BitString> depth1_code_memo_;
+};
+
+}  // namespace anole::views

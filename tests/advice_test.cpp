@@ -1,0 +1,303 @@
+// Tests for the advice machinery of Theorem 3.1: trie/nested-list codecs,
+// LocalLabel/RetrieveLabel injectivity (Claims 3.2/3.4/3.7), BuildTrie
+// structure (Claims 3.1/3.6), ComputeAdvice output size (Theorem 3.1 part
+// 1), and full advice round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "advice/build_trie.hpp"
+#include "advice/min_time.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "views/profile.hpp"
+
+namespace anole::advice {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+using views::ViewId;
+using views::ViewRepo;
+
+TEST(Trie, SingleLeaf) {
+  Trie t = Trie::single_leaf();
+  EXPECT_EQ(t.num_leaves(), 1);
+  EXPECT_TRUE(t.node(t.root()).is_leaf);
+}
+
+TEST(Trie, InternalCombines) {
+  Trie t = Trie::internal(1, 5, Trie::single_leaf(),
+                          Trie::internal(0, 3, Trie::single_leaf(),
+                                         Trie::single_leaf()));
+  EXPECT_EQ(t.num_leaves(), 3);
+  EXPECT_EQ(t.size(), 5u);  // 2|S|-1 nodes for |S| leaves (Claim 3.1)
+  const Trie::Node& root = t.node(t.root());
+  EXPECT_FALSE(root.is_leaf);
+  EXPECT_EQ(root.a, 1u);
+  EXPECT_EQ(root.b, 5u);
+}
+
+TEST(Trie, CodecRoundTrip) {
+  Trie t = Trie::internal(
+      0, 42,
+      Trie::internal(1, 7, Trie::single_leaf(), Trie::single_leaf()),
+      Trie::single_leaf());
+  Trie back = Trie::from_bits(t.to_bits());
+  EXPECT_TRUE(back == t);
+  EXPECT_EQ(back.num_leaves(), 3);
+}
+
+TEST(Trie, CodecRejectsGarbage) {
+  EXPECT_THROW(Trie::from_bits(coding::BitString::from_string("1111")),
+               std::logic_error);
+}
+
+TEST(NestedListCodec, EmptyRoundTrip) {
+  NestedList e2;
+  EXPECT_TRUE(e2.to_bits().empty());
+  NestedList back = NestedList::from_bits(e2.to_bits());
+  EXPECT_TRUE(back.levels().empty());
+}
+
+TEST(NestedListCodec, RoundTripWithEmptyAndFullLevels) {
+  NestedList e2;
+  e2.append_level({2, {}});
+  NestedList::Level l3;
+  l3.depth = 3;
+  l3.couples.emplace_back(4, Trie::single_leaf());
+  l3.couples.emplace_back(
+      9, Trie::internal(2, 2, Trie::single_leaf(), Trie::single_leaf()));
+  e2.append_level(std::move(l3));
+  NestedList back = NestedList::from_bits(e2.to_bits());
+  EXPECT_TRUE(back == e2);
+  ASSERT_NE(back.find(3, 9), nullptr);
+  EXPECT_EQ(back.find(3, 9)->num_leaves(), 2);
+  EXPECT_EQ(back.find(3, 5), nullptr);
+  EXPECT_EQ(back.find(2, 1), nullptr);
+  EXPECT_NE(back.level(2), nullptr);
+  EXPECT_EQ(back.level(7), nullptr);
+}
+
+TEST(NestedList, RejectsOutOfOrderLevels) {
+  NestedList e2;
+  e2.append_level({3, {}});
+  EXPECT_THROW(e2.append_level({2, {}}), std::logic_error);
+}
+
+// Claims 3.1 + 3.2: depth-1 BuildTrie has 2|S|-1 nodes and LocalLabel is
+// an injection into {1..|S|}.
+TEST(BuildTrie, DepthOneDiscriminatesAllViews) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    PortGraph g = portgraph::random_connected(16, 12, seed);
+    ViewRepo repo;
+    views::ViewProfile profile = views::compute_profile(g, repo, 1);
+    std::vector<ViewId> s1(profile.ids[1]);
+    std::sort(s1.begin(), s1.end());
+    s1.erase(std::unique(s1.begin(), s1.end()), s1.end());
+
+    Trie e1 = build_trie_depth1(repo, s1);
+    EXPECT_EQ(e1.num_leaves(), static_cast<int>(s1.size()));
+    EXPECT_EQ(e1.size(), 2 * s1.size() - 1);
+
+    NestedList empty;
+    Labeler labeler(repo, e1, empty);
+    std::set<std::uint64_t> labels;
+    for (ViewId b : s1) {
+      std::uint64_t l = labeler.local_label(b, {}, e1);
+      EXPECT_GE(l, 1u);
+      EXPECT_LE(l, s1.size());
+      labels.insert(l);
+    }
+    EXPECT_EQ(labels.size(), s1.size());  // injective
+  }
+}
+
+// Claims 3.4 + 3.7: RetrieveLabel is injective on the views of each depth
+// and lands in {1..|S_d|}.
+TEST(RetrieveLabel, InjectiveAtEveryDepth) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    PortGraph g = portgraph::random_connected(14, 6, seed);
+    ViewRepo repo;
+    views::ViewProfile profile = views::compute_profile(g, repo, 1);
+    if (!profile.feasible) continue;
+    MinTimeAdvice adv = compute_advice(g, repo, profile);
+    Labeler labeler(repo, adv.e1, adv.e2);
+    for (int d = 1; d <= profile.election_index; ++d) {
+      std::vector<ViewId> views_d(profile.ids[static_cast<std::size_t>(d)]);
+      std::sort(views_d.begin(), views_d.end());
+      views_d.erase(std::unique(views_d.begin(), views_d.end()),
+                    views_d.end());
+      std::set<std::uint64_t> labels;
+      for (ViewId b : views_d) {
+        std::uint64_t l = labeler.retrieve_label(b);
+        EXPECT_GE(l, 1u);
+        EXPECT_LE(l, views_d.size()) << "depth " << d;
+        labels.insert(l);
+      }
+      EXPECT_EQ(labels.size(), views_d.size()) << "depth " << d;
+    }
+  }
+}
+
+// Oracle/node agreement: a fresh Labeler (as each node creates) produces
+// the same labels as the oracle's.
+TEST(RetrieveLabel, DeterministicAcrossLabelerInstances) {
+  PortGraph g = portgraph::random_connected(12, 8, 3);
+  ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo, 1);
+  ASSERT_TRUE(profile.feasible);
+  MinTimeAdvice adv = compute_advice(g, repo, profile);
+  int phi = profile.election_index;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    Labeler a(repo, adv.e1, adv.e2);
+    Labeler b(repo, adv.e1, adv.e2);
+    ViewId view = profile.view(phi, static_cast<NodeId>(v));
+    EXPECT_EQ(a.retrieve_label(view), b.retrieve_label(view));
+  }
+}
+
+TEST(ComputeAdvice, LabelsArePermutationAndBfsTreeConsistent) {
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    PortGraph g = portgraph::random_connected(18, 14, seed);
+    ViewRepo repo;
+    views::ViewProfile profile = views::compute_profile(g, repo, 1);
+    ASSERT_TRUE(profile.feasible);
+    MinTimeAdvice adv = compute_advice(g, repo, profile);
+
+    Labeler labeler(repo, adv.e1, adv.e2);
+    std::set<std::uint64_t> labels;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      labels.insert(labeler.retrieve_label(
+          profile.view(profile.election_index, static_cast<NodeId>(v))));
+    EXPECT_EQ(labels.size(), g.n());
+    EXPECT_EQ(*labels.begin(), 1u);
+    EXPECT_EQ(*labels.rbegin(), g.n());
+
+    // The BFS tree spans all labels and its root is labeled 1.
+    EXPECT_EQ(adv.bfs_tree.size(), g.n());
+    EXPECT_EQ(adv.bfs_tree.label, 1u);
+    for (std::uint64_t l = 1; l <= g.n(); ++l)
+      EXPECT_NE(adv.bfs_tree.find(l), nullptr);
+  }
+}
+
+TEST(ComputeAdvice, BfsTreePathsAreRealGraphPaths) {
+  PortGraph g = portgraph::random_connected(15, 10, 21);
+  ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo, 1);
+  ASSERT_TRUE(profile.feasible);
+  MinTimeAdvice adv = compute_advice(g, repo, profile);
+  Labeler labeler(repo, adv.e1, adv.e2);
+  int phi = profile.election_index;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    std::uint64_t label = labeler.retrieve_label(
+        profile.view(phi, static_cast<NodeId>(v)));
+    std::vector<int> ports = adv.bfs_tree.path_ports(label, 1);
+    auto nodes = g.walk(static_cast<NodeId>(v), ports);
+    ASSERT_TRUE(nodes.has_value()) << "node " << v;
+    // Simple path (BFS-tree paths are).
+    std::set<NodeId> distinct(nodes->begin(), nodes->end());
+    EXPECT_EQ(distinct.size(), nodes->size());
+  }
+}
+
+TEST(ComputeAdvice, AdviceRoundTripsThroughBits) {
+  for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{5}}) {
+    PortGraph g = portgraph::random_connected(13, 9, seed);
+    ViewRepo repo;
+    views::ViewProfile profile = views::compute_profile(g, repo, 1);
+    ASSERT_TRUE(profile.feasible);
+    MinTimeAdvice adv = compute_advice(g, repo, profile);
+    coding::BitString bits = adv.to_bits();
+    MinTimeAdvice back = MinTimeAdvice::from_bits(bits);
+    EXPECT_EQ(back.phi, adv.phi);
+    EXPECT_TRUE(back.e1 == adv.e1);
+    EXPECT_TRUE(back.e2 == adv.e2);
+    EXPECT_TRUE(back.bfs_tree == adv.bfs_tree);
+    EXPECT_EQ(back.to_bits(), bits);
+  }
+}
+
+// Theorem 3.1 part 1: advice length O(n log n) — check a concrete constant
+// across sizes and graph families.
+TEST(ComputeAdvice, SizeIsNearLinear) {
+  for (std::size_t n : {std::size_t{10}, std::size_t{20}, std::size_t{40},
+                        std::size_t{80}}) {
+    PortGraph g = portgraph::random_connected(n, n / 2, 7);
+    ViewRepo repo;
+    views::ViewProfile profile = views::compute_profile(g, repo, 1);
+    ASSERT_TRUE(profile.feasible);
+    MinTimeAdvice adv = compute_advice(g, repo, profile);
+    double bits = static_cast<double>(adv.to_bits().size());
+    double budget = 80.0 * static_cast<double>(n) *
+                    std::log2(static_cast<double>(n));
+    EXPECT_LE(bits, budget) << "n=" << n;
+  }
+}
+
+// Necklaces exercise the deep (phi > 1) trie machinery.
+TEST(ComputeAdvice, WorksOnNecklacesWithLargePhi) {
+  for (int phi : {2, 3, 5}) {
+    families::Necklace nk = families::necklace_member(5, phi, 3);
+    ViewRepo repo;
+    views::ViewProfile profile = views::compute_profile(nk.graph, repo, 1);
+    ASSERT_TRUE(profile.feasible);
+    ASSERT_EQ(profile.election_index, phi);
+    MinTimeAdvice adv = compute_advice(nk.graph, repo, profile);
+    EXPECT_EQ(adv.phi, static_cast<std::uint64_t>(phi));
+    // E2 has exactly the levels 2..phi.
+    EXPECT_EQ(adv.e2.levels().size(), static_cast<std::size_t>(phi - 1));
+    Labeler labeler(repo, adv.e1, adv.e2);
+    std::set<std::uint64_t> labels;
+    for (std::size_t v = 0; v < nk.graph.n(); ++v)
+      labels.insert(labeler.retrieve_label(
+          profile.view(phi, static_cast<NodeId>(v))));
+    EXPECT_EQ(labels.size(), nk.graph.n());
+  }
+}
+
+// Distinct members of G_k must receive distinct advice under our oracle
+// (consistency side of Claim 3.9).
+TEST(ComputeAdvice, DistinctRingOfCliquesMembersGetDistinctAdvice) {
+  std::set<std::string> advices;
+  for (std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{1},
+                             std::uint64_t{2}, std::uint64_t{3}}) {
+    families::RingOfCliques g = families::g_family_member(6, seed);
+    ViewRepo repo;
+    views::ViewProfile profile = views::compute_profile(g.graph, repo, 1);
+    ASSERT_TRUE(profile.feasible);
+    MinTimeAdvice adv = compute_advice(g.graph, repo, profile);
+    advices.insert(adv.to_bits().to_string());
+  }
+  EXPECT_GE(advices.size(), 3u);  // distinct permutations -> distinct advice
+}
+
+
+// The generalized exchange horizon (paper Section 5 open question): advice
+// computed for any depth tau >= phi still yields a label permutation, and
+// Elect with it runs in exactly tau rounds.
+TEST(ComputeAdvice, GeneralizedDepthStillInjective) {
+  PortGraph g = portgraph::random_connected(12, 8, 19);
+  ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo, 1);
+  ASSERT_TRUE(profile.feasible);
+  int phi = profile.election_index;
+  for (int tau : {phi, phi + 1, phi + 3}) {
+    MinTimeAdvice adv = compute_advice(g, repo, profile, tau);
+    EXPECT_EQ(adv.phi, static_cast<std::uint64_t>(tau));
+    Labeler labeler(repo, adv.e1, adv.e2);
+    views::ViewProfile p2 = views::compute_profile(g, repo, tau);
+    std::set<std::uint64_t> labels;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      labels.insert(labeler.retrieve_label(p2.view(tau, static_cast<NodeId>(v))));
+    EXPECT_EQ(labels.size(), g.n()) << "tau " << tau;
+  }
+  EXPECT_THROW(compute_advice(g, repo, profile, phi - 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace anole::advice

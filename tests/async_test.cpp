@@ -1,0 +1,117 @@
+// Tests for the asynchronous execution with time-stamp synchronizer:
+// under ANY adversarial delivery schedule, every protocol produces
+// bit-identical outputs to the synchronous run (the paper's Section 1
+// remark), and the synchronizer's bookkeeping stays consistent.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "election/elect_program.hpp"
+#include "election/generic.hpp"
+#include "election/verify.hpp"
+#include "portgraph/builders.hpp"
+#include "sim/async.hpp"
+#include "views/profile.hpp"
+
+namespace anole::sim {
+namespace {
+
+using portgraph::PortGraph;
+
+std::vector<std::unique_ptr<NodeProgram>> elect_programs(
+    const PortGraph& g, views::ViewRepo& repo) {
+  views::ViewProfile profile = views::compute_profile(g, repo, 1);
+  auto adv = std::make_shared<const advice::MinTimeAdvice>(
+      advice::compute_advice(g, repo, profile));
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<election::ElectProgram>(adv));
+  return programs;
+}
+
+std::vector<std::unique_ptr<NodeProgram>> generic_programs(
+    const PortGraph& g, std::uint64_t x) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<election::GenericProgram>(x));
+  return programs;
+}
+
+TEST(Async, ElectOutputsMatchSynchronousUnderManySchedules) {
+  PortGraph g = portgraph::random_connected(14, 9, 3);
+  views::ViewRepo repo;
+
+  auto sync_programs = elect_programs(g, repo);
+  Engine sync_engine(g, repo);
+  RunMetrics sync = sync_engine.run(sync_programs, 50);
+  ASSERT_FALSE(sync.timed_out);
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto programs = elect_programs(g, repo);
+    AsyncEngine engine(g, repo);
+    AsyncMetrics metrics = engine.run(programs, 50, seed);
+    ASSERT_FALSE(metrics.timed_out) << "seed " << seed;
+    EXPECT_EQ(metrics.outputs, sync.outputs) << "seed " << seed;
+    EXPECT_EQ(metrics.decision_round, sync.decision_round)
+        << "seed " << seed;
+  }
+}
+
+TEST(Async, GenericOutputsMatchSynchronous) {
+  PortGraph g = portgraph::random_connected(12, 8, 7);
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  ASSERT_TRUE(profile.feasible);
+  std::uint64_t x =
+      static_cast<std::uint64_t>(profile.election_index) + 1;
+
+  auto sync_programs = generic_programs(g, x);
+  Engine sync_engine(g, repo);
+  RunMetrics sync = sync_engine.run(sync_programs, 100);
+  ASSERT_FALSE(sync.timed_out);
+
+  for (std::uint64_t seed : {std::uint64_t{11}, std::uint64_t{22},
+                             std::uint64_t{33}}) {
+    auto programs = generic_programs(g, x);
+    AsyncEngine engine(g, repo);
+    AsyncMetrics metrics = engine.run(programs, 100, seed);
+    ASSERT_FALSE(metrics.timed_out);
+    EXPECT_EQ(metrics.outputs, sync.outputs) << "seed " << seed;
+    election::VerifyResult verdict =
+        election::verify_election(g, metrics.outputs);
+    EXPECT_TRUE(verdict.ok) << verdict.error;
+  }
+}
+
+TEST(Async, DeliveryCountAccountsAllRounds) {
+  // Every node must receive deg(v) messages per completed round; the
+  // adversary delivers each exactly once.
+  PortGraph g = portgraph::path(5);
+  views::ViewRepo repo;
+  auto programs = elect_programs(g, repo);
+  AsyncEngine engine(g, repo);
+  AsyncMetrics metrics = engine.run(programs, 50, 99);
+  ASSERT_FALSE(metrics.timed_out);
+  // Lower bound: everyone completed `decision_round` rounds.
+  std::size_t expected_min = 0;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    expected_min += static_cast<std::size_t>(
+                        g.degree(static_cast<portgraph::NodeId>(v))) *
+                    static_cast<std::size_t>(metrics.decision_round[v]);
+  EXPECT_GE(metrics.deliveries, expected_min);
+}
+
+TEST(Async, RoundCapReportsTimeout) {
+  PortGraph g = portgraph::path(4);
+  views::ViewRepo repo;
+  // Generic with a huge x never finishes within the cap.
+  auto programs = generic_programs(g, 1000);
+  AsyncEngine engine(g, repo);
+  AsyncMetrics metrics = engine.run(programs, 5, 1);
+  EXPECT_TRUE(metrics.timed_out);
+}
+
+}  // namespace
+}  // namespace anole::sim

@@ -1,0 +1,103 @@
+// Tests for the second wave of builders (torus, lollipop, wheel,
+// caterpillar), the edge-list text format, and their interaction with the
+// feasibility machinery.
+
+#include <gtest/gtest.h>
+
+#include "portgraph/builders.hpp"
+#include "portgraph/io.hpp"
+#include "views/profile.hpp"
+
+namespace anole::portgraph {
+namespace {
+
+TEST(Torus, StructureAndSymmetry) {
+  PortGraph g = torus(3, 4);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 24u);
+  for (std::size_t v = 0; v < g.n(); ++v)
+    EXPECT_EQ(g.degree(static_cast<NodeId>(v)), 4);
+  // Consistently oriented torus: infeasible (all views equal forever).
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  EXPECT_FALSE(p.feasible);
+  EXPECT_EQ(p.class_counts[0], 1u);
+}
+
+TEST(Lollipop, StructureAndFeasibility) {
+  PortGraph g = lollipop(5, 7);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 10u + 7u);
+  EXPECT_EQ(g.degree(0), 5);        // clique node with the tail
+  EXPECT_EQ(g.degree(11), 1);       // tail end
+  EXPECT_EQ(g.diameter(), 8);       // across the clique + tail
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  EXPECT_TRUE(p.feasible);
+}
+
+TEST(Wheel, HubIsUniqueMaximum) {
+  PortGraph g = wheel(6);
+  EXPECT_EQ(g.n(), 7u);
+  EXPECT_EQ(g.degree(6), 6);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_EQ(g.diameter(), 2);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  EXPECT_TRUE(p.feasible);
+}
+
+TEST(Wheel, SymmetricRimNeedsDepthToSplit) {
+  // All rim nodes look alike at depth 0 (degree 3); the hub's ports break
+  // the tie at depth >= 1.
+  PortGraph g = wheel(5);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  ASSERT_TRUE(p.feasible);
+  EXPECT_GE(p.election_index, 1);
+}
+
+TEST(Caterpillar, LegsAttachWhereRequested) {
+  PortGraph g = caterpillar(4, {2, 0, 3});
+  EXPECT_EQ(g.n(), 4u + 5u);
+  EXPECT_EQ(g.degree(0), 3);  // spine end: 1 spine + 2 legs
+  EXPECT_EQ(g.degree(1), 2);  // spine middle, no legs
+  EXPECT_EQ(g.degree(2), 5);  // 2 spine + 3 legs
+  EXPECT_EQ(g.degree(3), 1);  // bare spine end
+}
+
+TEST(EdgeList, RoundTripsEveryBuilder) {
+  std::vector<PortGraph> graphs;
+  graphs.push_back(grid(3, 3));
+  graphs.push_back(torus(3, 3));
+  graphs.push_back(lollipop(4, 3));
+  graphs.push_back(wheel(5));
+  graphs.push_back(caterpillar(3, {1, 2}));
+  graphs.push_back(random_connected(20, 15, 9));
+  for (const PortGraph& g : graphs) {
+    PortGraph back = from_edge_list(to_edge_list(g));
+    EXPECT_EQ(back, g);
+  }
+}
+
+TEST(EdgeList, AcceptsCommentsAndRejectsGarbage) {
+  PortGraph g = from_edge_list(
+      "anole-graph 1\nn 2\n# a comment\ne 0 0 1 0\n");
+  EXPECT_EQ(g.n(), 2u);
+  EXPECT_THROW(from_edge_list("not a graph"), std::logic_error);
+  EXPECT_THROW(from_edge_list("anole-graph 1\ne 0 0 1 0\n"),
+               std::logic_error);  // edge before n
+  EXPECT_THROW(from_edge_list("anole-graph 1\nn 2\nz 1 2\n"),
+               std::logic_error);  // unknown tag
+  EXPECT_THROW(from_edge_list("anole-graph 1\nn 2\ne 0 0\n"),
+               std::logic_error);  // short edge line
+}
+
+TEST(EdgeList, ValidatesResult) {
+  // Dangling ports must be caught by validate() inside the parser.
+  EXPECT_THROW(from_edge_list("anole-graph 1\nn 3\ne 0 0 1 0\n"),
+               std::logic_error);  // node 2 disconnected
+}
+
+}  // namespace
+}  // namespace anole::portgraph

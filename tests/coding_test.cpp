@@ -1,0 +1,240 @@
+// Tests for the paper's binary codecs: bin(x), the doubling Concat/Decode
+// scheme, the labeled-tree DFS-walk code, and round-trip properties on
+// randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include "coding/bitstring.hpp"
+#include "coding/codec.hpp"
+#include "coding/tree_codec.hpp"
+#include "util/prng.hpp"
+
+namespace anole::coding {
+namespace {
+
+TEST(BitString, PushAndIndex) {
+  BitString b;
+  b.push_back(true);
+  b.push_back(false);
+  b.push_back(true);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b[0]);
+  EXPECT_FALSE(b[1]);
+  EXPECT_TRUE(b[2]);
+}
+
+TEST(BitString, FromToString) {
+  BitString b = BitString::from_string("0110101");
+  EXPECT_EQ(b.to_string(), "0110101");
+  EXPECT_EQ(b.size(), 7u);
+}
+
+TEST(BitString, EqualityIncludesLength) {
+  EXPECT_EQ(BitString::from_string("01"), BitString::from_string("01"));
+  EXPECT_FALSE(BitString::from_string("01") == BitString::from_string("010"));
+  EXPECT_FALSE(BitString::from_string("01") == BitString::from_string("00"));
+}
+
+TEST(BitString, LexicographicOrder) {
+  // 0 < 1 bitwise; shorter prefix precedes its extensions.
+  EXPECT_LT(BitString::from_string("0"), BitString::from_string("1"));
+  EXPECT_LT(BitString::from_string("01"), BitString::from_string("011"));
+  EXPECT_LT(BitString::from_string("0011"), BitString::from_string("01"));
+  EXPECT_FALSE(BitString::from_string("1") < BitString::from_string("0111"));
+}
+
+TEST(BitString, AppendConcatenates) {
+  BitString a = BitString::from_string("10");
+  a.append(BitString::from_string("01"));
+  EXPECT_EQ(a.to_string(), "1001");
+}
+
+TEST(BitString, CrossesWordBoundary) {
+  BitString b;
+  for (int i = 0; i < 200; ++i) b.push_back(i % 3 == 0);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(b[static_cast<std::size_t>(i)],
+                                          i % 3 == 0);
+}
+
+TEST(BitReader, SequentialRead) {
+  BitString b = BitString::from_string("101");
+  BitReader r(b);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.read_bit(), std::logic_error);
+}
+
+TEST(Bin, StandardRepresentation) {
+  EXPECT_EQ(bin(0).to_string(), "0");
+  EXPECT_EQ(bin(1).to_string(), "1");
+  EXPECT_EQ(bin(2).to_string(), "10");
+  EXPECT_EQ(bin(5).to_string(), "101");
+  EXPECT_EQ(bin(255).to_string(), "11111111");
+}
+
+TEST(Bin, RoundTrip) {
+  for (std::uint64_t x : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+                          std::uint64_t{3}, std::uint64_t{17},
+                          std::uint64_t{1000000}, UINT64_MAX}) {
+    EXPECT_EQ(parse_bin(bin(x)), x);
+  }
+}
+
+TEST(Concat, PaperExample) {
+  // Concat((01),(00)) = (0011010000) — the example in Section 3.
+  BitString enc = concat(
+      {BitString::from_string("01"), BitString::from_string("00")});
+  EXPECT_EQ(enc.to_string(), "0011010000");
+}
+
+TEST(Concat, DecodeInverts) {
+  std::vector<BitString> parts{BitString::from_string("01"),
+                               BitString::from_string(""),
+                               BitString::from_string("11110")};
+  std::vector<BitString> back = decode(concat(parts));
+  ASSERT_EQ(back.size(), parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) EXPECT_EQ(back[i], parts[i]);
+}
+
+TEST(Concat, SizeIsLinear) {
+  // |Concat| = 2*sum(|A_i|) + 2*(k-1): the constant-factor blowup the
+  // paper's O(n log n) accounting uses.
+  std::vector<BitString> parts{bin(5), bin(1000), bin(3)};
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(concat(parts).size(), 2 * total + 2 * (parts.size() - 1));
+}
+
+TEST(Concat, RejectsInvalidPair) {
+  EXPECT_THROW(decode(BitString::from_string("10")), std::logic_error);
+  EXPECT_THROW(decode(BitString::from_string("001")), std::logic_error);
+}
+
+TEST(Concat, NestedConcatRoundTrip) {
+  BitString inner = concat({bin(7), bin(9)});
+  BitString outer = concat({bin(1), inner, bin(2)});
+  std::vector<BitString> parts = decode(outer);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parse_bin(parts[0]), 1u);
+  EXPECT_EQ(parse_bin(parts[2]), 2u);
+  std::vector<BitString> inner_parts = decode(parts[1]);
+  ASSERT_EQ(inner_parts.size(), 2u);
+  EXPECT_EQ(parse_bin(inner_parts[0]), 7u);
+  EXPECT_EQ(parse_bin(inner_parts[1]), 9u);
+}
+
+TEST(Concat, RandomizedRoundTrip) {
+  util::SplitMix64 rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<BitString> parts;
+    std::size_t k = 1 + rng.below(8);
+    for (std::size_t i = 0; i < k; ++i) {
+      BitString p;
+      std::size_t len = rng.below(20);
+      for (std::size_t j = 0; j < len; ++j) p.push_back(rng.chance(1, 2));
+      parts.push_back(std::move(p));
+    }
+    std::vector<BitString> back = decode(concat(parts));
+    ASSERT_EQ(back.size(), parts.size());
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(back[i], parts[i]);
+  }
+}
+
+TEST(EncodeInts, RoundTripIncludingEmpty) {
+  for (const std::vector<std::uint64_t>& v :
+       {std::vector<std::uint64_t>{}, {0ULL}, {1ULL, 2ULL, 3ULL},
+        {42ULL, 0ULL, 99999ULL}}) {
+    EXPECT_EQ(decode_ints(encode_ints(v)), v);
+  }
+}
+
+PortTree make_leaf(std::uint64_t label) {
+  PortTree t;
+  t.label = label;
+  return t;
+}
+
+void add_child(PortTree& parent, int up, int down, PortTree child) {
+  parent.children.push_back(PortTree::Edge{
+      up, down, std::make_unique<PortTree>(std::move(child))});
+}
+
+TEST(TreeCodec, SingleNode) {
+  PortTree t = make_leaf(7);
+  PortTree back = decode_tree(encode_tree(t));
+  EXPECT_EQ(back.label, 7u);
+  EXPECT_TRUE(back.children.empty());
+  EXPECT_EQ(back.size(), 1u);
+}
+
+TEST(TreeCodec, SmallTreeRoundTrip) {
+  PortTree root = make_leaf(1);
+  PortTree a = make_leaf(2);
+  add_child(a, 0, 3, make_leaf(4));
+  add_child(root, 0, 1, std::move(a));
+  add_child(root, 2, 0, make_leaf(3));
+  BitString code = encode_tree(root);
+  PortTree back = decode_tree(code);
+  EXPECT_TRUE(back == root);
+  EXPECT_EQ(back.size(), 4u);
+}
+
+// Random labeled trees round-trip through the DFS-walk code.
+TEST(TreeCodec, RandomizedRoundTrip) {
+  util::SplitMix64 rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random tree on 1..40 nodes; ports are made locally-consistent:
+    // children get distinct up_ports; down_port arbitrary.
+    std::size_t n = 1 + rng.below(40);
+    std::vector<PortTree> pool;
+    pool.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) pool.push_back(make_leaf(i + 1));
+    // Link nodes i>0 under a random earlier node (heap-style forest build,
+    // children attached in increasing up_port order).
+    std::vector<int> fanout(n, 0);
+    std::vector<int> parent(n, -1);
+    for (std::size_t i = n; i-- > 1;) parent[i] = static_cast<int>(rng.below(i));
+    // Attach in decreasing id order so every node's children are final when
+    // it is attached; the down_port (port at the child toward its parent)
+    // must be distinct from the child's own child-ports, as in any real
+    // port-numbered tree — use its first unused port.
+    for (std::size_t i = n; i-- > 1;) {
+      std::size_t p = static_cast<std::size_t>(parent[i]);
+      int down = fanout[i];
+      add_child(pool[p], fanout[p]++, down, std::move(pool[i]));
+    }
+    BitString code = encode_tree(pool[0]);
+    PortTree back = decode_tree(code);
+    EXPECT_TRUE(back == pool[0]) << "trial " << trial;
+  }
+}
+
+TEST(TreeCodec, PathPorts) {
+  // root(1) -(0/1)- a(2) -(2/0)- b(3);  root -(5/4)- c(4)
+  PortTree root = make_leaf(1);
+  PortTree a = make_leaf(2);
+  add_child(a, 2, 0, make_leaf(3));
+  add_child(root, 0, 1, std::move(a));
+  add_child(root, 5, 4, make_leaf(4));
+
+  // Path from 3 up to the root 1: (0,2) then (1,0).
+  EXPECT_EQ(root.path_ports(3, 1), (std::vector<int>{0, 2, 1, 0}));
+  // Path from 3 to 4 via the root: up, up, then down (5,4).
+  EXPECT_EQ(root.path_ports(3, 4), (std::vector<int>{0, 2, 1, 0, 5, 4}));
+  // Path from the root down to 3.
+  EXPECT_EQ(root.path_ports(1, 3), (std::vector<int>{0, 1, 2, 0}));
+  // Trivial path.
+  EXPECT_TRUE(root.path_ports(2, 2).empty());
+}
+
+TEST(TreeCodec, FindLocatesLabels) {
+  PortTree root = make_leaf(10);
+  add_child(root, 0, 0, make_leaf(20));
+  EXPECT_NE(root.find(20), nullptr);
+  EXPECT_EQ(root.find(99), nullptr);
+}
+
+}  // namespace
+}  // namespace anole::coding

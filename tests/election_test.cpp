@@ -1,0 +1,274 @@
+// Integration tests for the election algorithms: Elect runs in exactly phi
+// rounds (Theorem 3.1 part 2), Generic(x) within D+x+1 (Lemma 4.1),
+// Election1..4 within their Theorem 4.1 budgets, baselines behave as the
+// paper's remarks state, and the verifier rejects malformed outputs.
+
+#include <gtest/gtest.h>
+
+#include "election/baselines.hpp"
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "util/math.hpp"
+
+namespace anole::election {
+namespace {
+
+using portgraph::PortGraph;
+
+std::vector<PortGraph> test_graphs() {
+  std::vector<PortGraph> graphs;
+  graphs.push_back(portgraph::random_connected(12, 8, 1));
+  graphs.push_back(portgraph::random_connected(20, 5, 2));
+  graphs.push_back(portgraph::random_connected(30, 40, 3));
+  graphs.push_back(portgraph::path(9));
+  graphs.push_back(families::g_family_member(5, 4).graph);
+  graphs.push_back(families::necklace_member(5, 2, 1).graph);
+  graphs.push_back(families::necklace_member(5, 4, 2).graph);
+  return graphs;
+}
+
+TEST(Verify, AcceptsCommonLeader) {
+  PortGraph g = portgraph::path(3);  // 0-1-2
+  // Everyone points at node 1 (node 1's port toward 2 is 0, toward 0 is 1).
+  std::vector<std::vector<int>> outputs{{0, 1}, {}, {0, 0}};
+  VerifyResult r = verify_election(g, outputs);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.leader, 1);
+}
+
+TEST(Verify, RejectsSplitVote) {
+  PortGraph g = portgraph::path(3);
+  std::vector<std::vector<int>> outputs{{}, {}, {}};  // everyone picks self
+  VerifyResult r = verify_election(g, outputs);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("elected"), std::string::npos);
+}
+
+TEST(Verify, RejectsNonSimplePath) {
+  PortGraph g = portgraph::path(3);
+  // 0 -> 1 -> 0 -> 1: walks back and forth.
+  std::vector<std::vector<int>> outputs{{0, 1, 1, 0, 0, 1}, {}, {0, 0}};
+  VerifyResult r = verify_election(g, outputs);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not simple"), std::string::npos);
+}
+
+TEST(Verify, RejectsInvalidWalk) {
+  PortGraph g = portgraph::path(3);
+  std::vector<std::vector<int>> outputs{{7, 7}, {}, {0, 0}};
+  VerifyResult r = verify_election(g, outputs);
+  EXPECT_FALSE(r.ok);
+}
+
+// Theorem 3.1 part 2: Elect performs leader election in time phi.
+TEST(MinTime, ElectsInExactlyPhiRounds) {
+  for (const PortGraph& g : test_graphs()) {
+    ElectionRun run = run_min_time(g);
+    ASSERT_TRUE(run.ok()) << run.verdict.error;
+    EXPECT_EQ(run.metrics.rounds, run.phi);
+    for (int r : run.metrics.decision_round) EXPECT_EQ(r, run.phi);
+    EXPECT_GT(run.advice_bits, 0u);
+  }
+}
+
+TEST(MinTime, AllNodesAgreeOnLeaderViaSimplePaths) {
+  PortGraph g = portgraph::random_connected(25, 20, 9);
+  ElectionRun run = run_min_time(g, /*meter_messages=*/true);
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_GE(run.verdict.leader, 0);
+  EXPECT_GT(run.metrics.total_message_bits, 0u);
+}
+
+// Lemma 4.1: Generic(x) with x >= phi elects within D + x + 1 rounds.
+TEST(Generic, WithinLemmaBoundForVariousX) {
+  PortGraph g = portgraph::random_connected(16, 10, 5);
+  views::ViewRepo probe_repo;
+  views::ViewProfile profile = views::compute_profile(g, probe_repo);
+  ASSERT_TRUE(profile.feasible);
+  int phi = profile.election_index;
+  int diameter = g.diameter();
+
+  for (int x : {phi, phi + 1, phi + 3, phi + 7}) {
+    views::ViewRepo repo;
+    std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      programs.push_back(
+          std::make_unique<GenericProgram>(static_cast<std::uint64_t>(x)));
+    sim::Engine engine(g, repo);
+    sim::RunMetrics metrics = engine.run(programs, diameter + x + 2);
+    EXPECT_FALSE(metrics.timed_out) << "x=" << x;
+    EXPECT_LE(metrics.rounds, diameter + x + 1) << "x=" << x;
+    VerifyResult v = verify_election(g, metrics.outputs);
+    EXPECT_TRUE(v.ok) << v.error;
+  }
+}
+
+// All Generic(x) parameterizations elect the same leader: the node with
+// the canonically smallest view (stability across the time spectrum).
+TEST(Generic, LeaderIndependentOfX) {
+  PortGraph g = portgraph::random_connected(14, 9, 6);
+  views::ViewRepo probe_repo;
+  views::ViewProfile profile = views::compute_profile(g, probe_repo);
+  ASSERT_TRUE(profile.feasible);
+  int phi = profile.election_index;
+  int diameter = g.diameter();
+
+  portgraph::NodeId leader = -1;
+  for (int x : {phi, phi + 2, phi + 5}) {
+    views::ViewRepo repo;
+    std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      programs.push_back(
+          std::make_unique<GenericProgram>(static_cast<std::uint64_t>(x)));
+    sim::Engine engine(g, repo);
+    sim::RunMetrics metrics = engine.run(programs, diameter + x + 2);
+    VerifyResult verdict = verify_election(g, metrics.outputs);
+    ASSERT_TRUE(verdict.ok);
+    if (leader < 0)
+      leader = verdict.leader;
+    else
+      EXPECT_EQ(verdict.leader, leader) << "x=" << x;
+  }
+}
+
+TEST(LargeTimeAdvice, SizesMatchTheoremFourOne) {
+  // |A1| = Theta(log phi), |A2| = Theta(log log phi), etc. Check exact
+  // encodings at milestones.
+  EXPECT_EQ(large_time_advice(LargeTimeVariant::kPhiPlusC, 12).size(),
+            util::bit_length(12));
+  EXPECT_EQ(large_time_advice(LargeTimeVariant::kCTimesPhi, 12).size(),
+            util::bit_length(util::floor_log2(12)));
+  EXPECT_EQ(large_time_advice(LargeTimeVariant::kPhiPowC, 12).size(),
+            util::bit_length(util::floor_log2(util::floor_log2(12))));
+  EXPECT_EQ(large_time_advice(LargeTimeVariant::kCPowPhi, 12).size(),
+            util::bit_length(util::log_star(12)));
+}
+
+TEST(LargeTimeAdvice, ParameterDominatesPhi) {
+  for (std::uint64_t phi = 1; phi <= 300; ++phi) {
+    for (LargeTimeVariant v :
+         {LargeTimeVariant::kPhiPlusC, LargeTimeVariant::kCTimesPhi,
+          LargeTimeVariant::kPhiPowC, LargeTimeVariant::kCPowPhi}) {
+      coding::BitString adv = large_time_advice(v, phi);
+      EXPECT_GE(large_time_parameter(v, adv), phi)
+          << "variant " << static_cast<int>(v) << " phi " << phi;
+    }
+  }
+}
+
+TEST(LargeTimeAdvice, ParameterWithinTheoremBudget) {
+  // P1 = phi; P2 + 1 <= 2 phi; P3 + 1 <= phi^2 (phi >= 2); P4 + 1 <= 2^phi.
+  for (std::uint64_t phi = 2; phi <= 300; ++phi) {
+    EXPECT_EQ(large_time_parameter(LargeTimeVariant::kPhiPlusC,
+                                   large_time_advice(LargeTimeVariant::kPhiPlusC,
+                                                     phi)),
+              phi);
+    EXPECT_LE(large_time_parameter(LargeTimeVariant::kCTimesPhi,
+                                   large_time_advice(LargeTimeVariant::kCTimesPhi,
+                                                     phi)) +
+                  1,
+              2 * phi);
+    EXPECT_LE(large_time_parameter(LargeTimeVariant::kPhiPowC,
+                                   large_time_advice(LargeTimeVariant::kPhiPowC,
+                                                     phi)) +
+                  1,
+              phi * phi);
+    EXPECT_LE(large_time_parameter(LargeTimeVariant::kCPowPhi,
+                                   large_time_advice(LargeTimeVariant::kCPowPhi,
+                                                     phi)) +
+                  1,
+              util::ipow(2, phi));
+  }
+}
+
+// Theorem 4.1 end-to-end: each Election_i elects within its time budget.
+TEST(LargeTime, AllVariantsElectWithinBudget) {
+  for (int phi : {2, 3}) {
+    families::Necklace nk = families::necklace_member(5, phi, 1);
+    const PortGraph& g = nk.graph;
+    for (LargeTimeVariant v :
+         {LargeTimeVariant::kPhiPlusC, LargeTimeVariant::kCTimesPhi,
+          LargeTimeVariant::kPhiPowC, LargeTimeVariant::kCPowPhi}) {
+      ElectionRun run = run_large_time(g, v, /*c=*/2);
+      ASSERT_TRUE(run.ok()) << "variant " << static_cast<int>(v) << ": "
+                            << run.verdict.error;
+      std::uint64_t budget = large_time_bound(
+          v, static_cast<std::uint64_t>(run.diameter),
+          static_cast<std::uint64_t>(run.phi), 2);
+      EXPECT_LE(static_cast<std::uint64_t>(run.metrics.rounds), budget)
+          << "variant " << static_cast<int>(v) << " phi " << phi;
+    }
+  }
+}
+
+TEST(Baselines, MapElectsInPhiRounds) {
+  for (std::uint64_t seed : {std::uint64_t{2}, std::uint64_t{8}}) {
+    PortGraph g = portgraph::random_connected(12, 8, seed);
+    ElectionRun run = run_map(g);
+    ASSERT_TRUE(run.ok()) << run.verdict.error;
+    EXPECT_EQ(run.metrics.rounds, run.phi);
+  }
+}
+
+TEST(Baselines, RemarkElectsInDPlusPhi) {
+  PortGraph g = portgraph::random_connected(14, 10, 4);
+  ElectionRun run = run_remark(g);
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_EQ(run.metrics.rounds, run.diameter + run.phi);
+  // Advice is two integers: O(log D + log phi) bits.
+  EXPECT_LE(run.advice_bits,
+            2 * (util::bit_length(static_cast<std::uint64_t>(run.diameter)) +
+                 util::bit_length(static_cast<std::uint64_t>(run.phi))) +
+                4);
+}
+
+TEST(Baselines, SizeOnlyElectsWithinDPlusNPlusOne) {
+  PortGraph g = portgraph::random_connected(10, 6, 12);
+  ElectionRun run = run_size_only(g);
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_LE(run.metrics.rounds,
+            run.diameter + static_cast<int>(g.n()) + 1);
+  EXPECT_EQ(run.advice_bits, util::bit_length(g.n()));
+}
+
+TEST(Baselines, SameDepthAlgorithmsElectTheSameLeader) {
+  // Remark(D,phi) and Election1 (= Generic(phi)) both pick the node with
+  // the canonically smallest *depth-phi* view, so they must agree.
+  // (Algorithms comparing views at different depths — e.g. SizeOnly at
+  // depth n — may legitimately pick a different node: the canonical order
+  // at a larger depth can rank an earlier-DFS deep difference above a
+  // later shallow one. The paper only requires each algorithm to be
+  // internally consistent.)
+  PortGraph g = portgraph::random_connected(13, 9, 15);
+  ElectionRun a = run_remark(g);
+  ElectionRun c = run_large_time(g, LargeTimeVariant::kPhiPlusC, 2);
+  ASSERT_TRUE(a.ok() && c.ok());
+  EXPECT_EQ(a.verdict.leader, c.verdict.leader);
+  // SizeOnly still elects *some* single leader.
+  ElectionRun b = run_size_only(g);
+  ASSERT_TRUE(b.ok());
+}
+
+// Paper Section 1 / Prop 4.1 core: with no (or misleading) advice,
+// identical views force identical outputs — two nodes with equal views
+// elect "different leaders" relative to themselves.
+TEST(Impossibility, EqualViewsForceEqualOutputs) {
+  // Feed the necklace's two leaves (equal B^{phi-1}) a protocol that stops
+  // one round too early: Generic(phi - 1) — formally Generic requires
+  // x >= phi, so instead run Elect with advice computed for phi but
+  // truncated exchange is impossible... The clean check: in a *different*
+  // member of the family (same advice), the outputs collide. Covered by
+  // the E2/E6 benches; here, check the primitive: equal views at depth t
+  // imply equal COM transcripts (sim_test covers the ring); and the two
+  // leaves of one necklace have equal views at phi-1.
+  families::Necklace nk = families::necklace_member(5, 3, 2);
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(nk.graph, repo, 3);
+  EXPECT_EQ(profile.view(2, nk.left_leaf), profile.view(2, nk.right_leaf));
+  EXPECT_NE(profile.view(3, nk.left_leaf), profile.view(3, nk.right_leaf));
+}
+
+}  // namespace
+}  // namespace anole::election

@@ -1,0 +1,365 @@
+// Tests for the lower-bound graph families: each construction is validated
+// against the structural claims the paper's proofs rely on (Claims 3.8,
+// 3.10, the Theorem 3.2/3.3 observations, Claim 4.2, Proposition 4.1's
+// view equalities).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "families/cliques.hpp"
+#include "families/hairy.hpp"
+#include "families/locks.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "util/math.hpp"
+#include "views/profile.hpp"
+
+namespace anole::families {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+using views::compute_profile;
+using views::ViewProfile;
+using views::ViewRepo;
+
+TEST(CliqueFamily, SizeAndSequences) {
+  EXPECT_EQ(f_family_size(3), 8u);    // 2^3
+  EXPECT_EQ(f_family_size(4), 81u);   // 3^4
+  std::set<std::vector<int>> seqs;
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    std::vector<int> h = f_sequence(3, t);
+    EXPECT_EQ(h.size(), 3u);
+    for (int v : h) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, 2);
+    }
+    seqs.insert(h);
+  }
+  EXPECT_EQ(seqs.size(), 8u);  // enumeration is injective
+}
+
+TEST(CliqueFamily, CliqueIsValidWithPrescribedRootPorts) {
+  for (int x : {3, 4, 5}) {
+    for (std::uint64_t t : {std::uint64_t{0}, std::uint64_t{3}}) {
+      PortGraph c = f_clique(x, t);
+      EXPECT_EQ(c.n(), static_cast<std::size_t>(x) + 1);
+      EXPECT_EQ(c.degree(0), x);  // r
+      // Port i at r leads to v_i regardless of the perturbation.
+      for (int i = 0; i < x; ++i)
+        EXPECT_EQ(c.at(0, i).neighbor, 1 + i);
+      for (int i = 1; i <= x; ++i) EXPECT_EQ(c.degree(i), x);
+    }
+  }
+}
+
+TEST(CliqueFamily, DistinctMembersDiffer) {
+  PortGraph a = f_clique(4, 0);
+  PortGraph b = f_clique(4, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CliqueFamily, ParameterCoversK) {
+  for (std::uint64_t k : {std::uint64_t{4}, std::uint64_t{16},
+                          std::uint64_t{100}, std::uint64_t{5000}}) {
+    int x = f_parameter_for(k);
+    EXPECT_GE(f_family_size(x), k);
+    EXPECT_GE(x, 3);
+  }
+}
+
+
+// The defining property of F(x) (used by Claims 3.8 and 3.10): attaching
+// two *distinct* cliques of F(x) by their r nodes to symmetric positions
+// still leaves all clique nodes with pairwise distinct depth-1 views.
+TEST(CliqueFamily, DistinctMembersSeparateDepthOneViews) {
+  const int x = 4;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    for (std::uint64_t t = s + 1; t < 4; ++t) {
+      PortGraph g;
+      NodeId a = g.add_node();
+      NodeId b = g.add_node();
+      attach_f_clique(g, a, x, s);
+      attach_f_clique(g, b, x, t);
+      g.add_edge(a, x, b, x);  // symmetric bridge
+      g.validate();
+      ViewRepo repo;
+      ViewProfile p = compute_profile(g, repo, 1);
+      // All 2x clique nodes (degree x each) have distinct B^1; only the
+      // two attachment nodes could require more depth.
+      std::set<views::ViewId> clique_views;
+      std::size_t clique_nodes = 0;
+      for (std::size_t v = 0; v < g.n(); ++v) {
+        if (static_cast<NodeId>(v) == a || static_cast<NodeId>(v) == b)
+          continue;
+        clique_views.insert(p.view(1, static_cast<NodeId>(v)));
+        ++clique_nodes;
+      }
+      EXPECT_EQ(clique_views.size(), clique_nodes)
+          << "cliques " << s << " and " << t;
+    }
+  }
+}
+
+TEST(RingOfCliques, StructureOfH) {
+  RingOfCliques h = h_graph(6);
+  int x = h.x;
+  EXPECT_EQ(h.graph.n(), 6u * (static_cast<std::size_t>(x) + 1));
+  for (NodeId w : h.joints) EXPECT_EQ(h.graph.degree(w), x + 2);
+  // Ring ports: x clockwise, x+1 counterclockwise.
+  EXPECT_EQ(h.graph.at(h.joints[0], x).neighbor, h.joints[1]);
+  EXPECT_EQ(h.graph.at(h.joints[0], x + 1).neighbor, h.joints[5]);
+}
+
+// Claim 3.8: every member of G_k has election index exactly 1.
+TEST(RingOfCliques, ClaimThreeEightElectionIndexOne) {
+  for (std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{1},
+                             std::uint64_t{7}}) {
+    RingOfCliques g = g_family_member(7, seed);
+    ViewRepo repo;
+    ViewProfile profile = compute_profile(g.graph, repo);
+    ASSERT_TRUE(profile.feasible) << "seed " << seed;
+    EXPECT_EQ(profile.election_index, 1) << "seed " << seed;
+  }
+}
+
+// The Theorem 3.2 observation: corresponding attachment nodes of the same
+// clique C_t have equal B^1 across different members of G_k.
+TEST(RingOfCliques, ObservationCorrespondingJointsShareDepthOneViews) {
+  RingOfCliques g1 = g_family_member(6, 1);
+  RingOfCliques g2 = g_family_member(6, 2);
+  ViewRepo repo;  // shared: ids comparable across graphs
+  ViewProfile p1 = compute_profile(g1.graph, repo, 1);
+  ViewProfile p2 = compute_profile(g2.graph, repo, 1);
+  for (int t = 0; t < 6; ++t) {
+    // Position of clique t in each member.
+    int pos1 = -1, pos2 = -1;
+    for (int i = 0; i < 6; ++i) {
+      if (g1.assignment[static_cast<std::size_t>(i)] ==
+          static_cast<std::uint64_t>(t))
+        pos1 = i;
+      if (g2.assignment[static_cast<std::size_t>(i)] ==
+          static_cast<std::uint64_t>(t))
+        pos2 = i;
+    }
+    ASSERT_GE(pos1, 0);
+    ASSERT_GE(pos2, 0);
+    EXPECT_EQ(p1.view(1, g1.joints[static_cast<std::size_t>(pos1)]),
+              p2.view(1, g2.joints[static_cast<std::size_t>(pos2)]))
+        << "clique " << t;
+  }
+}
+
+TEST(RingOfCliques, DistinctSeedsGiveDistinctAssignments) {
+  RingOfCliques a = g_family_member(8, 1);
+  RingOfCliques b = g_family_member(8, 2);
+  EXPECT_NE(a.assignment, b.assignment);
+  EXPECT_EQ(a.assignment[0], 0u);
+  EXPECT_EQ(b.assignment[0], 0u);
+}
+
+TEST(Necklace, StructureOfM) {
+  Necklace m = m_graph(4, 3);
+  int x = m.x;
+  const PortGraph& g = m.graph;
+  // Joints: w_1/w_k degree 2x+1, middle joints 3x.
+  EXPECT_EQ(g.degree(m.joints.front()), 2 * x + 1);
+  EXPECT_EQ(g.degree(m.joints.back()), 2 * x + 1);
+  EXPECT_EQ(g.degree(m.joints[1]), 3 * x);
+  EXPECT_EQ(g.degree(m.joints[2]), 3 * x);
+  // Leaves have degree 1, port 0.
+  EXPECT_EQ(g.degree(m.left_leaf), 1);
+  EXPECT_EQ(g.degree(m.right_leaf), 1);
+  // n = k joints + k*x emerald nodes + (k-1)*x diamond nodes + 2(phi-1).
+  EXPECT_EQ(g.n(), 4u + 4u * static_cast<std::size_t>(x) +
+                       3u * static_cast<std::size_t>(x) + 2u * 2u);
+}
+
+// Claim 3.10: every k-necklace has election index exactly phi.
+TEST(Necklace, ClaimThreeTenElectionIndex) {
+  for (int phi : {2, 3, 4}) {
+    for (std::uint64_t idx : {std::uint64_t{0}, std::uint64_t{1},
+                              std::uint64_t{5}}) {
+      Necklace nk = necklace_member(5, phi, idx);
+      ViewRepo repo;
+      ViewProfile profile = compute_profile(nk.graph, repo);
+      ASSERT_TRUE(profile.feasible) << "phi " << phi << " idx " << idx;
+      EXPECT_EQ(profile.election_index, phi)
+          << "phi " << phi << " idx " << idx;
+    }
+  }
+}
+
+// The Theorem 3.3 observation: across codes, left leaves share B^phi and
+// right leaves share B^phi (codes start and end with 0).
+TEST(Necklace, ObservationLeavesShareDepthPhiViews) {
+  const int k = 5, phi = 3;
+  ViewRepo repo;
+  Necklace n0 = necklace_member(k, phi, 0);
+  ViewProfile p0 = compute_profile(n0.graph, repo, phi);
+  for (std::uint64_t idx : {std::uint64_t{1}, std::uint64_t{3},
+                            std::uint64_t{7}}) {
+    Necklace ni = necklace_member(k, phi, idx);
+    ViewProfile pi = compute_profile(ni.graph, repo, phi);
+    EXPECT_EQ(p0.view(phi, n0.left_leaf), pi.view(phi, ni.left_leaf));
+    EXPECT_EQ(p0.view(phi, n0.right_leaf), pi.view(phi, ni.right_leaf));
+    // And the leaves are NOT distinguished one level earlier within one
+    // graph (this is why the election index is phi, not less).
+    EXPECT_EQ(pi.view(phi - 1, ni.left_leaf), pi.view(phi - 1, ni.right_leaf));
+    EXPECT_NE(pi.view(phi, ni.left_leaf), pi.view(phi, ni.right_leaf));
+  }
+}
+
+TEST(Necklace, FamilySizeFormula) {
+  int x = f_parameter_for(5);
+  EXPECT_EQ(necklace_family_size(5),
+            util::ipow(static_cast<std::uint64_t>(x) + 1, 2));
+}
+
+TEST(Necklace, RejectsBadCodes) {
+  EXPECT_THROW(necklace(4, 3, {1, 0, 0, 0}), std::logic_error);
+  EXPECT_THROW(necklace(4, 3, {0, 0, 1, 0}), std::logic_error);  // c_{k-1}
+  EXPECT_THROW(necklace(4, 1, {0, 0, 0, 0}), std::logic_error);
+}
+
+TEST(Locks, ZLockStructure) {
+  Lock l = z_lock(5);
+  EXPECT_EQ(l.graph.n(), 7u);  // 3-cycle + (z-1) clique nodes
+  EXPECT_EQ(l.graph.degree(l.central), 6);  // z+1
+  EXPECT_EQ(l.graph.at(l.central, 0).neighbor, l.principal);
+  EXPECT_EQ(l.graph.degree(l.principal), 2);
+}
+
+TEST(Locks, S0MemberStructure) {
+  const int alpha = 2, c = 2;
+  LockChain g0 = s0_member(alpha, c, 0);
+  LockChain g1 = s0_member(alpha, c, 1);
+  EXPECT_EQ(g0.left_z, 4);
+  EXPECT_EQ(g0.right_z, 4 + 2 * (alpha + c + 2));
+  EXPECT_LT(g0.right_z, g1.left_z);  // property 2 (sizes strictly grow)
+  // Distance between principal nodes equals the diameter (property 10).
+  std::vector<int> dist = g0.graph.bfs_distances(g0.left_principal);
+  int diam = g0.graph.diameter();
+  EXPECT_EQ(dist[static_cast<std::size_t>(g0.right_principal)], diam);
+}
+
+// Claim 4.1: the election index of all graphs in S_0 is 1.
+TEST(Locks, ClaimFourOneElectionIndexOne) {
+  for (int i : {0, 1}) {
+    LockChain g = s0_member(2, 2, i);
+    ViewRepo repo;
+    ViewProfile profile = compute_profile(g.graph, repo);
+    ASSERT_TRUE(profile.feasible);
+    EXPECT_EQ(profile.election_index, 1);
+  }
+}
+
+TEST(Locks, PrunedViewIsTreeOfRightDepth) {
+  LockChain g = s0_member(1, 2, 0);
+  // Prune from the right central node, keeping only the cycle ports.
+  std::vector<portgraph::Port> excluded;
+  for (portgraph::Port p = 2; p < g.graph.degree(g.right_central); ++p)
+    excluded.push_back(p);
+  PrunedView pv = pruned_view(g.graph, g.right_central, excluded, 4);
+  EXPECT_GT(pv.leaves.size(), 0u);
+  EXPECT_EQ(pv.tree.m(), pv.tree.n() - 1);  // tree
+  // Every leaf sits at distance 4 from the root (Claim 4.3: no node of
+  // degree 1 exists in lock chains, so all branches extend fully).
+  std::vector<int> dist = pv.tree.bfs_distances(pv.root);
+  for (NodeId leaf : pv.leaves)
+    EXPECT_EQ(dist[static_cast<std::size_t>(leaf)], 4);
+}
+
+// Claim 4.2 instantiated: after the merge (which replaces each inner
+// lock's 3-cycle by a depth-ell pruned view), the central node's
+// augmented truncated view at depth ell-1 is unchanged.
+TEST(Locks, ClaimFourTwoViewPreservation) {
+  const int ell = 3, chain_len = 4;
+  LockChain h1 = s0_member(1, 2, 0);
+  LockChain h2 = s0_member(1, 2, 1);
+  LockChain q = merge_locks(h1, h2, ell, chain_len);
+
+  ViewRepo repo;
+  ViewProfile ph1 = compute_profile(h1.graph, repo, ell - 1);
+  ViewProfile pq = compute_profile(q.graph, repo, ell - 1);
+  // The merged graph keeps H1's ids for the copied part: left central node
+  // is id 0 in both (copy order), and the right central of H1 is preserved
+  // under the same id mapping. We locate them through the recorded fields.
+  EXPECT_EQ(ph1.view(ell - 1, h1.left_principal),
+            pq.view(ell - 1, q.left_principal));
+  // Property 9 (scaled): principal nodes of the merged graph cannot be
+  // told apart from those of the constituents up to depth
+  // dist + ell - 1; at least the left lock's principal agrees at ell-1.
+  ViewProfile ph2 = compute_profile(h2.graph, repo, ell - 1);
+  EXPECT_EQ(ph2.view(ell - 1, h2.right_principal),
+            pq.view(ell - 1, q.right_principal));
+}
+
+TEST(Locks, MergeProducesValidGraphWithBothLocks) {
+  LockChain h1 = s0_member(1, 2, 0);
+  LockChain h2 = s0_member(1, 2, 1);
+  LockChain q = merge_locks(h1, h2, 2, 4);
+  EXPECT_EQ(q.graph.degree(q.left_central), h1.left_z + 2);  // z+1 +chain
+  EXPECT_EQ(q.left_z, h1.left_z);
+  EXPECT_EQ(q.right_z, h2.right_z);
+  EXPECT_GT(q.graph.n(), h1.graph.n());
+}
+
+TEST(Hairy, RingStructureAndFeasibility) {
+  HairyRing h = hairy_ring({2, 0, 3, 1});
+  EXPECT_EQ(h.graph.n(), 4u + 6u);
+  ViewRepo repo;
+  ViewProfile profile = compute_profile(h.graph, repo);
+  EXPECT_TRUE(profile.feasible);  // unique max degree
+}
+
+TEST(Hairy, RejectsTiedMaximum) {
+  EXPECT_THROW(hairy_ring({2, 2, 1}), std::logic_error);
+}
+
+TEST(Hairy, StretchReplicatesCut) {
+  HairyRing h = hairy_ring({1, 0, 2});
+  Stretch s = gamma_stretch(h, 0, 3);
+  EXPECT_EQ(s.layout.ring_of_copy.size(), 3u);
+  // Each copy contributes ring nodes + star leaves.
+  EXPECT_EQ(s.graph.n(), 3u * (3u + 3u));
+}
+
+// Proposition 4.1's key equality: the foci of stretch j in G have the same
+// B^T as the cut node z_j has in H_j, for T up to the stretch slack.
+TEST(Hairy, FociShareViewsWithOriginal) {
+  HairyRing h1 = hairy_ring({1, 0, 2});
+  HairyRing h2 = hairy_ring({0, 3, 1});
+  const int gamma = 12;
+  PropositionGraph g = proposition_graph({h1, h2}, gamma);
+
+  ViewRepo repo;
+  const int t = 4;  // depth << gamma * ring size
+  ViewProfile pg = compute_profile(g.graph, repo, t);
+  ViewProfile p1 = compute_profile(h1.graph, repo, t);
+  ViewProfile p2 = compute_profile(h2.graph, repo, t);
+
+  // A copy of the cut node deep inside the stretch (middle copy) sees the
+  // same depth-t neighborhood as the cut node in the original ring.
+  NodeId focus1 = g.layouts[0].ring_of_copy[gamma / 2][0];
+  NodeId focus1b = g.layouts[0].ring_of_copy[gamma / 2 + 1][0];
+  EXPECT_EQ(pg.view(t, focus1), p1.view(t, h1.ring[0]));
+  EXPECT_EQ(pg.view(t, focus1b), p1.view(t, h1.ring[0]));
+  EXPECT_EQ(pg.view(t, focus1), pg.view(t, focus1b));  // two equal foci
+
+  NodeId focus2 = g.layouts[1].ring_of_copy[gamma / 2][0];
+  EXPECT_EQ(pg.view(t, focus2), p2.view(t, h2.ring[0]));
+}
+
+TEST(Hairy, PropositionGraphIsFeasible) {
+  HairyRing h1 = hairy_ring({1, 0, 2});
+  HairyRing h2 = hairy_ring({0, 3, 1});
+  PropositionGraph g = proposition_graph({h1, h2}, 10);
+  ViewRepo repo;
+  ViewProfile profile = compute_profile(g.graph, repo);
+  EXPECT_TRUE(profile.feasible);
+}
+
+}  // namespace
+}  // namespace anole::families

@@ -1,0 +1,82 @@
+// Tests for the Theorem 4.2 schedule functions A(x,c), B(x,c), k*(alpha).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "election/lb_schedules.hpp"
+#include "util/math.hpp"
+
+namespace anole::election {
+namespace {
+
+TEST(LbSchedules, TimeOffsets) {
+  EXPECT_EQ(lb_time_offset(LargeTimeVariant::kPhiPlusC, 5, 2), 7u);
+  EXPECT_EQ(lb_time_offset(LargeTimeVariant::kCTimesPhi, 5, 2), 10u);
+  EXPECT_EQ(lb_time_offset(LargeTimeVariant::kPhiPowC, 5, 2), 25u);
+  EXPECT_EQ(lb_time_offset(LargeTimeVariant::kCPowPhi, 5, 2), 32u);
+}
+
+TEST(LbSchedules, IndexBudgets) {
+  // part 1: B(x,c) = (c+2)x + 1
+  EXPECT_EQ(lb_index_budget(LargeTimeVariant::kPhiPlusC, 1, 2), 5u);
+  EXPECT_EQ(lb_index_budget(LargeTimeVariant::kPhiPlusC, 3, 2), 13u);
+  // part 2: B(x,c) = (c+2)^x
+  EXPECT_EQ(lb_index_budget(LargeTimeVariant::kCTimesPhi, 3, 2), 64u);
+  // part 3: B(x,c) = 2^(c^(3x) - c); x=1,c=2: 2^(8-2) = 64
+  EXPECT_EQ(lb_index_budget(LargeTimeVariant::kPhiPowC, 1, 2), 64u);
+  // part 4: B(x,c) = 2^tower(x,c); x=2,c=2: 2^4 = 16
+  EXPECT_EQ(lb_index_budget(LargeTimeVariant::kCPowPhi, 2, 2), 16u);
+}
+
+TEST(LbSchedules, BudgetsAreMonotone) {
+  for (LargeTimeVariant v :
+       {LargeTimeVariant::kPhiPlusC, LargeTimeVariant::kCTimesPhi,
+        LargeTimeVariant::kPhiPowC, LargeTimeVariant::kCPowPhi}) {
+    constexpr std::uint64_t kCap = UINT64_C(1) << 62;
+    std::uint64_t prev = 0;
+    for (std::uint64_t x = 1; x <= 6; ++x) {
+      std::uint64_t b = lb_index_budget(v, x, 2);
+      if (b >= kCap) break;  // strictly monotone until saturation
+      EXPECT_GT(b, prev) << "variant " << static_cast<int>(v) << " x " << x;
+      prev = b;
+    }
+  }
+}
+
+TEST(LbSchedules, KStarDefinition) {
+  // k* = max k with B(k,c) <= alpha.
+  for (LargeTimeVariant v :
+       {LargeTimeVariant::kPhiPlusC, LargeTimeVariant::kCTimesPhi,
+        LargeTimeVariant::kPhiPowC, LargeTimeVariant::kCPowPhi}) {
+    for (std::uint64_t alpha :
+         {std::uint64_t{10}, std::uint64_t{1000}, std::uint64_t{1} << 20}) {
+      std::uint64_t k = lb_k_star(v, alpha, 2);
+      if (k > 0) {
+        EXPECT_LE(lb_index_budget(v, k, 2), alpha);
+      }
+      EXPECT_GT(lb_index_budget(v, k + 1, 2), alpha);
+    }
+  }
+}
+
+TEST(LbSchedules, HierarchyIsExponentiallySeparated) {
+  // For large alpha, k*_1 >> k*_2 >> k*_3-ish >> k*_4.
+  std::uint64_t alpha = UINT64_C(1) << 40;
+  std::uint64_t k1 = lb_k_star(LargeTimeVariant::kPhiPlusC, alpha, 2);
+  std::uint64_t k2 = lb_k_star(LargeTimeVariant::kCTimesPhi, alpha, 2);
+  std::uint64_t k4 = lb_k_star(LargeTimeVariant::kCPowPhi, alpha, 2);
+  EXPECT_GT(k1, 100 * k2);
+  EXPECT_GT(k2, k4);
+}
+
+TEST(LbSchedules, GrowthShapes) {
+  EXPECT_DOUBLE_EQ(lb_growth(LargeTimeVariant::kPhiPlusC, 1024), 1024.0);
+  EXPECT_DOUBLE_EQ(lb_growth(LargeTimeVariant::kCTimesPhi, 1024), 10.0);
+  EXPECT_NEAR(lb_growth(LargeTimeVariant::kPhiPowC, 1024), std::log2(10.0),
+              1e-9);
+  EXPECT_DOUBLE_EQ(lb_growth(LargeTimeVariant::kCPowPhi, 65536), 4.0);
+}
+
+}  // namespace
+}  // namespace anole::election

@@ -1,0 +1,204 @@
+// Tests for the port-numbered graph substrate: model invariants, builders,
+// BFS/diameter, walks, serialization, port shuffles.
+
+#include <gtest/gtest.h>
+
+#include "portgraph/builders.hpp"
+#include "portgraph/io.hpp"
+#include "portgraph/port_graph.hpp"
+
+namespace anole::portgraph {
+namespace {
+
+TEST(PortGraph, AddEdgeSetsBothSides) {
+  PortGraph g(2);
+  g.add_edge(0, 0, 1, 0);
+  EXPECT_EQ(g.at(0, 0).neighbor, 1);
+  EXPECT_EQ(g.at(0, 0).rev_port, 0);
+  EXPECT_EQ(g.at(1, 0).neighbor, 0);
+  EXPECT_EQ(g.m(), 1u);
+}
+
+TEST(PortGraph, RejectsSelfLoop) {
+  PortGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 0, 1), std::logic_error);
+}
+
+TEST(PortGraph, RejectsPortReuse) {
+  PortGraph g(3);
+  g.add_edge(0, 0, 1, 0);
+  EXPECT_THROW(g.add_edge(0, 0, 2, 0), std::logic_error);
+}
+
+TEST(PortGraph, ValidateCatchesHole) {
+  PortGraph g(3);
+  g.add_edge(0, 1, 1, 0);  // port 0 at node 0 left unassigned
+  g.add_edge(1, 1, 2, 0);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(PortGraph, ValidateCatchesDisconnected) {
+  PortGraph g(4);
+  g.add_edge(0, 0, 1, 0);
+  g.add_edge(2, 0, 3, 0);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(PortGraph, ValidateCatchesMultiEdge) {
+  PortGraph g(2);
+  g.add_edge(0, 0, 1, 0);
+  g.add_edge(0, 1, 1, 1);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(PortGraph, WalkFollowsPorts) {
+  PortGraph g = path(4);  // 0-1-2-3
+  auto nodes = g.walk(0, {0, 1, 0, 1, 0, 0});
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(PortGraph, WalkRejectsWrongFarPort) {
+  PortGraph g = path(3);
+  EXPECT_FALSE(g.walk(0, {0, 0}).has_value());  // far port is 1, not 0
+  EXPECT_FALSE(g.walk(0, {5, 1}).has_value());  // no such port
+  EXPECT_FALSE(g.walk(0, {0}).has_value());     // odd length
+}
+
+TEST(PortGraph, PortTo) {
+  PortGraph g = ring(5);
+  EXPECT_EQ(g.port_to(0, 1), 0);
+  EXPECT_EQ(g.port_to(1, 0), 1);
+  EXPECT_FALSE(g.port_to(0, 2).has_value());
+}
+
+TEST(Builders, RingStructure) {
+  PortGraph g = ring(6);
+  EXPECT_EQ(g.n(), 6u);
+  EXPECT_EQ(g.m(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_EQ(g.diameter(), 3);
+}
+
+TEST(Builders, PathStructure) {
+  PortGraph g = path(5);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(Builders, CliqueStructure) {
+  PortGraph g = clique(7);
+  EXPECT_EQ(g.m(), 21u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6);
+  EXPECT_EQ(g.diameter(), 1);
+}
+
+TEST(Builders, GridStructure) {
+  PortGraph g = grid(3, 4);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 3u * 3 + 4u * 2);  // 17 edges
+  EXPECT_EQ(g.degree(0), 2);          // corner
+  EXPECT_EQ(g.degree(5), 4);          // interior
+  EXPECT_EQ(g.diameter(), 5);
+}
+
+TEST(Builders, HypercubeStructure) {
+  PortGraph g = hypercube(4);
+  EXPECT_EQ(g.n(), 16u);
+  for (std::size_t v = 0; v < 16; ++v)
+    EXPECT_EQ(g.degree(static_cast<NodeId>(v)), 4);
+  EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(Builders, CompleteBipartite) {
+  PortGraph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.m(), 12u);
+  EXPECT_EQ(g.degree(0), 4);
+  EXPECT_EQ(g.degree(3), 3);
+}
+
+TEST(Builders, BinaryTree) {
+  PortGraph g = binary_tree(7);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.degree(6), 1);
+}
+
+TEST(Builders, RandomConnectedIsValidAndDeterministic) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 99ULL}) {
+    PortGraph a = random_connected(30, 20, seed);
+    PortGraph b = random_connected(30, 20, seed);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.n(), 30u);
+    EXPECT_EQ(a.m(), 49u);
+    EXPECT_TRUE(a.connected());
+  }
+  EXPECT_FALSE(random_connected(30, 20, 1) == random_connected(30, 20, 2));
+}
+
+TEST(Builders, RandomConnectedCapsExtraEdges) {
+  PortGraph g = random_connected(5, 1000, 3);
+  EXPECT_EQ(g.m(), 10u);  // complete graph
+}
+
+TEST(Builders, ShufflePortsPreservesStructure) {
+  PortGraph g = random_connected(20, 15, 5);
+  PortGraph s = shuffle_ports(g, 17);
+  s.validate();
+  EXPECT_EQ(s.n(), g.n());
+  EXPECT_EQ(s.m(), g.m());
+  for (std::size_t v = 0; v < g.n(); ++v)
+    EXPECT_EQ(s.degree(static_cast<NodeId>(v)),
+              g.degree(static_cast<NodeId>(v)));
+  // Same underlying edges: neighbor sets agree.
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      NodeId u = g.at(static_cast<NodeId>(v), p).neighbor;
+      EXPECT_TRUE(s.port_to(static_cast<NodeId>(v), u).has_value());
+    }
+  }
+}
+
+TEST(Builders, DisjointUnionOffsetsIds) {
+  PortGraph g = disjoint_union(ring(3), path(2));
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_FALSE(g.connected());
+  EXPECT_EQ(g.at(3, 0).neighbor, 4);
+}
+
+TEST(Isomorphism, DetectsPortIsomorphism) {
+  PortGraph a = ring(5);
+  std::vector<NodeId> rot{1, 2, 3, 4, 0};  // rotation preserves ports
+  EXPECT_TRUE(is_port_isomorphism(a, a, rot));
+  std::vector<NodeId> swap{1, 0, 2, 3, 4};  // breaks adjacency
+  EXPECT_FALSE(is_port_isomorphism(a, a, swap));
+}
+
+TEST(Io, GraphCodecRoundTrip) {
+  for (std::uint64_t seed : {11ULL, 12ULL}) {
+    PortGraph g = random_connected(25, 30, seed);
+    PortGraph back = decode_graph(encode_graph(g));
+    EXPECT_EQ(back, g);
+  }
+}
+
+TEST(Io, TextDumpMentionsAllNodes) {
+  std::string text = to_text(ring(4));
+  EXPECT_NE(text.find("n=4"), std::string::npos);
+  EXPECT_NE(text.find("3:"), std::string::npos);
+}
+
+TEST(Bfs, DistancesOnRing) {
+  PortGraph g = ring(8);
+  std::vector<int> d = g.bfs_distances(0);
+  EXPECT_EQ(d[4], 4);
+  EXPECT_EQ(d[7], 1);
+}
+
+}  // namespace
+}  // namespace anole::portgraph

@@ -1,0 +1,219 @@
+// Parameterized property suites: whole-pipeline invariants swept across
+// graph families, sizes and seeds (TEST_P), plus advice failure injection.
+//
+// Invariants checked per graph:
+//  I1  Elect decides in exactly phi rounds at every node (Thm 3.1.2).
+//  I2  The advice string round-trips and its size is O(n log n) (Thm 3.1.1).
+//  I3  All outputs are simple paths ending at one common node.
+//  I4  The leader is the node labeled 1 (canonically smallest B^phi).
+//  I5  Generic(phi) elects the same leader within D + phi + 1 rounds.
+//  I6  Message count equals rounds * 2m (full-information protocol).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "advice/min_time.hpp"
+#include "election/elect_program.hpp"
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "util/prng.hpp"
+#include "views/profile.hpp"
+
+namespace anole {
+namespace {
+
+using portgraph::PortGraph;
+
+struct GraphCase {
+  std::string name;
+  PortGraph graph;
+};
+
+std::vector<GraphCase> pipeline_cases() {
+  std::vector<GraphCase> cases;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    cases.push_back({"sparse_s" + std::to_string(seed),
+                     portgraph::random_connected(18, 6, seed)});
+    cases.push_back({"dense_s" + std::to_string(seed),
+                     portgraph::random_connected(18, 60, seed)});
+  }
+  cases.push_back({"grid4x5", portgraph::grid(4, 5)});
+  cases.push_back({"tree15", portgraph::binary_tree(15)});
+  cases.push_back({"path12", portgraph::path(12)});
+  for (int k : {5, 7})
+    cases.push_back({"gk" + std::to_string(k),
+                     families::g_family_member(k, 3).graph});
+  for (int phi : {2, 3, 5})
+    cases.push_back({"necklace_phi" + std::to_string(phi),
+                     families::necklace_member(5, phi, 2).graph});
+  return cases;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(PipelineProperty, MinTimeElectionInvariants) {
+  const PortGraph& g = GetParam().graph;
+  views::ViewRepo probe;
+  views::ViewProfile profile = views::compute_profile(g, probe, 1);
+  ASSERT_TRUE(profile.feasible);
+  int phi = profile.election_index;
+
+  election::ElectionRun run = election::run_min_time(g);
+  // I1
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_EQ(run.phi, phi);
+  EXPECT_EQ(run.metrics.rounds, phi);
+  for (int r : run.metrics.decision_round) EXPECT_EQ(r, phi);
+  // I2
+  double n = static_cast<double>(g.n());
+  EXPECT_LE(static_cast<double>(run.advice_bits),
+            90.0 * n * std::max(1.0, std::log2(n)));
+  // I3 is what run.ok() verified; I4:
+  views::ViewRepo repo;
+  views::ViewProfile p2 = views::compute_profile(g, repo, 1);
+  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p2);
+  advice::Labeler labeler(repo, adv.e1, adv.e2);
+  EXPECT_EQ(labeler.retrieve_label(
+                p2.view(phi, run.verdict.leader)),
+            1u);
+  // I6
+  EXPECT_EQ(run.metrics.message_count,
+            static_cast<std::size_t>(phi) * 2 * g.m());
+}
+
+TEST_P(PipelineProperty, GenericElectsCanonicalMinimum) {
+  const PortGraph& g = GetParam().graph;
+  // I5: Generic(phi) (= Election1) elects the node whose depth-phi view is
+  // canonically smallest, within D + phi + 1 rounds. (Elect may pick a
+  // *different* leader — the trie-label-1 node; the paper only requires
+  // each algorithm to be internally consistent.)
+  election::ElectionRun gen = election::run_large_time(
+      g, election::LargeTimeVariant::kPhiPlusC, 2);
+  ASSERT_TRUE(gen.ok()) << gen.verdict.error;
+  EXPECT_LE(gen.metrics.rounds, gen.diameter + gen.phi + 1);
+
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  ASSERT_TRUE(profile.feasible);
+  EXPECT_EQ(gen.verdict.leader,
+            views::argmin_view(
+                repo, profile.ids[static_cast<std::size_t>(
+                          profile.election_index)]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineProperty,
+                         ::testing::ValuesIn(pipeline_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// --- Failure injection: corrupted advice must never silently elect two
+// leaders while passing verification as "ok", and must never crash
+// uncontrolled (all failures are clean exceptions or verifier rejections).
+class AdviceCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdviceCorruption, CorruptedAdviceFailsCleanly) {
+  PortGraph g = portgraph::random_connected(14, 10, 77);
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo, 1);
+  ASSERT_TRUE(profile.feasible);
+  coding::BitString bits =
+      advice::compute_advice(g, repo, profile).to_bits();
+
+  util::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  // Flip one random bit.
+  std::size_t flip = rng.below(bits.size());
+  coding::BitString corrupted;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    corrupted.push_back(i == flip ? !bits[i] : bits[i]);
+
+  int clean_failures = 0, still_correct = 0;
+  try {
+    auto adv = std::make_shared<const advice::MinTimeAdvice>(
+        advice::MinTimeAdvice::from_bits(corrupted));
+    std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      programs.push_back(std::make_unique<election::ElectProgram>(adv));
+    sim::Engine engine(g, repo);
+    sim::RunMetrics metrics =
+        engine.run(programs, static_cast<int>(adv->phi) + 2);
+    if (metrics.timed_out) {
+      ++clean_failures;
+    } else {
+      election::VerifyResult verdict =
+          election::verify_election(g, metrics.outputs);
+      if (verdict.ok)
+        ++still_correct;  // a lucky flip may be harmless — acceptable
+      else
+        ++clean_failures;
+    }
+  } catch (const std::logic_error&) {
+    ++clean_failures;  // decode or labeling detected the corruption
+  }
+  EXPECT_EQ(clean_failures + still_correct, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, AdviceCorruption, ::testing::Range(0, 24));
+
+// --- Codec fuzz: Concat/Decode and the tree codec under random inputs of
+// growing size.
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, ConcatRoundTripsLargeRandomParts) {
+  util::SplitMix64 rng(GetParam());
+  std::vector<coding::BitString> parts;
+  std::size_t k = 1 + rng.below(40);
+  for (std::size_t i = 0; i < k; ++i) {
+    coding::BitString p;
+    std::size_t len = rng.below(300);
+    for (std::size_t j = 0; j < len; ++j) p.push_back(rng.chance(1, 2));
+    parts.push_back(std::move(p));
+  }
+  std::vector<coding::BitString> back = coding::decode(coding::concat(parts));
+  ASSERT_EQ(back.size(), parts.size());
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(back[i], parts[i]);
+}
+
+TEST_P(CodecFuzz, AdviceDecodeRejectsTruncation) {
+  PortGraph g = portgraph::random_connected(10, 6, GetParam());
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo, 1);
+  if (!profile.feasible) GTEST_SKIP();
+  coding::BitString bits =
+      advice::compute_advice(g, repo, profile).to_bits();
+  coding::BitString truncated;
+  for (std::size_t i = 0; i + 2 < bits.size() / 2; ++i)
+    truncated.push_back(bits[i]);
+  EXPECT_THROW(advice::MinTimeAdvice::from_bits(truncated),
+               std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- View invariants swept over depth pairs.
+class TruncateProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TruncateProperty, TruncationComposes) {
+  auto [a, b] = GetParam();
+  if (b > a) std::swap(a, b);
+  PortGraph g = portgraph::random_connected(12, 9, 31);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, a);
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    views::ViewId full = p.view(a, static_cast<portgraph::NodeId>(v));
+    // truncate(truncate(x, b'), b) == truncate(x, b) for any b <= b' <= a.
+    for (int mid = b; mid <= a; ++mid)
+      EXPECT_EQ(repo.truncate(repo.truncate(full, mid), b),
+                repo.truncate(full, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthPairs, TruncateProperty,
+    ::testing::Combine(::testing::Values(2, 4, 6), ::testing::Values(0, 1, 3)));
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,126 @@
+// Robustness sweeps: election under arbitrary port renamings, best-path
+// tie-breaking, stretch cut positions, and metering consistency.
+
+#include <gtest/gtest.h>
+
+#include "election/harness.hpp"
+#include "families/hairy.hpp"
+#include "portgraph/builders.hpp"
+#include "views/paths.hpp"
+#include "views/profile.hpp"
+
+namespace anole {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+
+// Port numbering is part of the model: renaming ports yields a different
+// (but equally valid) anonymous network. Election must succeed on every
+// renaming; the election index may legitimately change.
+class PortShuffle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PortShuffle, ElectionSurvivesAnyPortRenaming) {
+  PortGraph base = portgraph::random_connected(16, 12, 5);
+  PortGraph g = portgraph::shuffle_ports(base, GetParam());
+  g.validate();
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  ASSERT_TRUE(p.feasible);  // random dense graphs stay asymmetric
+  election::ElectionRun run = election::run_min_time(g);
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_EQ(run.metrics.rounds, p.election_index);
+}
+
+INSTANTIATE_TEST_SUITE_P(Renamings, PortShuffle,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BestPaths, TieBreaksLexicographically) {
+  // A 4-cycle with asymmetric ports reaches the antipodal node via two
+  // shortest paths; best_paths must pick the lexicographically smaller
+  // port sequence.
+  //     0 -p0/p1- 1
+  //     |         |
+  //     3 ------- 2 — 4 (pendant making node 2's degree unique)
+  PortGraph g(5);
+  g.add_edge(0, 0, 1, 0);
+  g.add_edge(1, 1, 2, 0);
+  g.add_edge(2, 1, 3, 0);
+  g.add_edge(3, 1, 0, 1);
+  g.add_edge(2, 2, 4, 0);
+  g.validate();
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 2);
+  auto paths = views::best_paths(repo, p.view(2, 0), 2);
+  // Node 2 (the unique degree-3 node) is reached at level 2 through node 1
+  // with ports (0,0,1,0) and through node 3 with ports (1,1,0,1); the
+  // lexicographic winner must be the former.
+  views::ViewId target = p.view(0, 2);
+  ASSERT_TRUE(paths.contains(target));
+  EXPECT_EQ(paths.at(target).ports, (std::vector<int>{0, 0, 1, 0}));
+}
+
+TEST(BestPaths, LevelZeroIsEmptyPath) {
+  PortGraph g = portgraph::path(3);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 2);
+  auto paths = views::best_paths(repo, p.view(2, 1), 0);
+  EXPECT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths.at(p.view(2, 1)).ports.empty());
+}
+
+TEST(Hairy, StretchFromEveryCutPosition) {
+  families::HairyRing h = families::hairy_ring({1, 0, 2, 0});
+  auto assigned_degree = [](const PortGraph& g, NodeId v) {
+    int d = 0;
+    for (const auto& he : g.neighbors(v))
+      if (he.neighbor >= 0) ++d;
+    return d;
+  };
+  for (std::size_t cut = 0; cut < 4; ++cut) {
+    families::Stretch s = families::gamma_stretch(h, cut, 3);
+    EXPECT_EQ(s.layout.ring_of_copy.size(), 3u);
+    // Copy 0 position 0 copies ring[cut]; at the stretch boundary it keeps
+    // its clockwise ring edge and its star, with port 1 left free.
+    NodeId first = s.layout.ring_of_copy[0][0];
+    EXPECT_EQ(assigned_degree(s.graph, first),
+              1 + h.star_sizes[cut]);
+    // Interior copies are full replicas: both ring edges present.
+    NodeId mid = s.layout.ring_of_copy[1][0];
+    EXPECT_EQ(assigned_degree(s.graph, mid), 2 + h.star_sizes[cut]);
+  }
+}
+
+TEST(Engine, MeteringDoesNotChangeOutcome) {
+  PortGraph g = portgraph::random_connected(12, 8, 3);
+  election::ElectionRun a = election::run_min_time(g, false);
+  election::ElectionRun b = election::run_min_time(g, true);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.metrics.outputs, b.metrics.outputs);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.message_count, b.metrics.message_count);
+  EXPECT_EQ(a.metrics.total_message_bits, 0u);
+  EXPECT_GT(b.metrics.total_message_bits, 0u);
+}
+
+TEST(Verify, EmptyOutputsMeanEveryoneElectsThemselves) {
+  // n >= 2 nodes all outputting the empty path elect n different leaders.
+  PortGraph g = portgraph::path(4);
+  std::vector<std::vector<int>> outputs(4);
+  election::VerifyResult r = election::verify_election(g, outputs);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Profile, MinDepthForcesExtraLevels) {
+  PortGraph g = portgraph::random_connected(10, 30, 2);  // phi likely 1
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 5);
+  EXPECT_GE(p.computed_depth(), 5);
+  ASSERT_TRUE(p.feasible);
+  // Distinctness persists at deeper levels (refinement never merges).
+  for (int t = p.election_index; t <= p.computed_depth(); ++t)
+    EXPECT_EQ(p.class_counts[static_cast<std::size_t>(t)], g.n());
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,167 @@
+// Tests for the LOCAL-model engine and the COM (full-information) protocol:
+// after r rounds every node's state is exactly B^r(v) (the paper's claim
+// about Algorithm 1), metrics are sane, and timeouts are reported.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "portgraph/builders.hpp"
+#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
+#include "views/profile.hpp"
+
+namespace anole::sim {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+using views::ViewId;
+
+// Test program: runs COM for `target` rounds, then outputs an empty path
+// and records the view it saw at each round count.
+class RecordingProgram final : public FullInfoProgram {
+ public:
+  explicit RecordingProgram(int target) : target_(target) {}
+
+  [[nodiscard]] bool has_output() const override {
+    return rounds_seen_ >= target_;
+  }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+  const std::vector<ViewId>& history() const { return history_; }
+
+ protected:
+  void on_view(int rounds) override {
+    rounds_seen_ = rounds;
+    history_.push_back(view());
+  }
+
+ private:
+  int target_;
+  int rounds_seen_ = 0;
+  std::vector<ViewId> history_;
+};
+
+TEST(Engine, ComAcquiresExactViews) {
+  // The fundamental fidelity property: after r rounds of COM, node v holds
+  // precisely B^r(v) as computed by the offline refinement.
+  for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{2}}) {
+    PortGraph g = portgraph::random_connected(15, 10, seed);
+    views::ViewRepo repo;
+    const int depth = 5;
+    views::ViewProfile profile = views::compute_profile(g, repo, depth);
+
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    std::vector<RecordingProgram*> raw;
+    for (std::size_t v = 0; v < g.n(); ++v) {
+      auto p = std::make_unique<RecordingProgram>(depth);
+      raw.push_back(p.get());
+      programs.push_back(std::move(p));
+    }
+    Engine engine(g, repo);
+    RunMetrics metrics = engine.run(programs, depth + 1);
+    EXPECT_FALSE(metrics.timed_out);
+    EXPECT_EQ(metrics.rounds, depth);
+    for (std::size_t v = 0; v < g.n(); ++v) {
+      ASSERT_EQ(raw[v]->history().size(), static_cast<std::size_t>(depth) + 1);
+      for (int t = 0; t <= depth; ++t)
+        EXPECT_EQ(raw[v]->history()[static_cast<std::size_t>(t)],
+                  profile.view(t, static_cast<NodeId>(v)))
+            << "node " << v << " round " << t;
+    }
+  }
+}
+
+TEST(Engine, DecisionRoundsRecorded) {
+  PortGraph g = portgraph::path(4);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<RecordingProgram>(2));
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, 10);
+  for (int r : metrics.decision_round) EXPECT_EQ(r, 2);
+  EXPECT_EQ(metrics.rounds, 2);
+}
+
+TEST(Engine, ImmediateDecisionTakesZeroRounds) {
+  PortGraph g = portgraph::path(3);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<RecordingProgram>(0));
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, 10);
+  EXPECT_EQ(metrics.rounds, 0);
+  for (int r : metrics.decision_round) EXPECT_EQ(r, 0);
+}
+
+TEST(Engine, TimeoutReported) {
+  PortGraph g = portgraph::path(3);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<RecordingProgram>(100));
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, 5);
+  EXPECT_TRUE(metrics.timed_out);
+  EXPECT_EQ(metrics.rounds, 5);
+}
+
+TEST(Engine, MessageCountMatchesModel) {
+  // Each round every node sends one message per incident edge: 2m per
+  // round in total.
+  PortGraph g = portgraph::ring(6);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<RecordingProgram>(3));
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, 10);
+  EXPECT_EQ(metrics.message_count, 3u * 2u * g.m());
+}
+
+TEST(Engine, MessageBitsGrowWithRounds) {
+  PortGraph g = portgraph::random_connected(12, 8, 5);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<RecordingProgram>(4));
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, 10, /*meter_messages=*/true);
+  EXPECT_GT(metrics.total_message_bits, 0u);
+  EXPECT_GT(metrics.max_message_bits, 64u);
+}
+
+TEST(Engine, RejectsWrongProgramCount) {
+  PortGraph g = portgraph::ring(4);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<RecordingProgram>(1));
+  Engine engine(g, repo);
+  EXPECT_THROW(engine.run(programs, 5), std::logic_error);
+}
+
+TEST(Engine, AnonymityNodesWithEqualViewsBehaveIdentically) {
+  // In the fully symmetric oriented ring all nodes must hold the same view
+  // at every round — the impossibility core of the paper.
+  PortGraph g = portgraph::ring(5);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  std::vector<RecordingProgram*> raw;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    auto p = std::make_unique<RecordingProgram>(4);
+    raw.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  Engine engine(g, repo);
+  engine.run(programs, 10);
+  for (int t = 0; t <= 4; ++t)
+    for (std::size_t v = 1; v < g.n(); ++v)
+      EXPECT_EQ(raw[v]->history()[static_cast<std::size_t>(t)],
+                raw[0]->history()[static_cast<std::size_t>(t)]);
+}
+
+}  // namespace
+}  // namespace anole::sim

@@ -1,0 +1,76 @@
+// Larger-scale end-to-end runs: the full oracle + simulation + verification
+// pipeline on graphs in the hundreds of nodes, plus repository growth
+// sanity (interning keeps memory polynomial). These complement the small
+// exhaustive tests with realistic sizes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "views/profile.hpp"
+
+namespace anole {
+namespace {
+
+TEST(Stress, MinTimeElectionAtFourHundredNodes) {
+  portgraph::PortGraph g = portgraph::random_connected(400, 300, 123);
+  election::ElectionRun run = election::run_min_time(g);
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_EQ(run.metrics.rounds, run.phi);
+  double n = 400.0;
+  EXPECT_LE(static_cast<double>(run.advice_bits),
+            90.0 * n * std::log2(n));
+}
+
+TEST(Stress, LargeTimeElectionOnWideNecklace) {
+  families::Necklace nk = families::necklace_member(9, 5, 17);
+  election::ElectionRun run = election::run_large_time(
+      nk.graph, election::LargeTimeVariant::kCTimesPhi, 2);
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_LE(run.metrics.rounds, run.diameter + 2 * run.phi);
+}
+
+TEST(Stress, GkFamilyScalesToK64) {
+  families::RingOfCliques g = families::g_family_member(64, 5);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g.graph, repo);
+  ASSERT_TRUE(p.feasible);
+  EXPECT_EQ(p.election_index, 1);
+  EXPECT_GT(g.graph.n(), 300u);
+}
+
+TEST(Stress, RepoStaysPolynomialOnDeepProfiles) {
+  portgraph::PortGraph g = portgraph::random_connected(200, 100, 9);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 30);
+  // <= n distinct views per level plus slack for truncation interning.
+  EXPECT_LE(repo.size(), 31u * 200u + 1000u);
+}
+
+TEST(Stress, LongPathHasLinearDiameterAndSmallPhi) {
+  portgraph::PortGraph g = portgraph::path(300);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  ASSERT_TRUE(p.feasible);
+  EXPECT_EQ(g.diameter(), 299);
+  // A path's views differentiate from the ends inward: phi = ceil of half.
+  EXPECT_LE(p.election_index, 150);
+  EXPECT_GE(p.election_index, 140);
+}
+
+TEST(Stress, RemarkBaselineOnLollipop) {
+  // Small phi (clique side) + large diameter (tail): the Remark algorithm
+  // must run the full D + phi.
+  portgraph::PortGraph g = portgraph::lollipop(12, 60);
+  election::ElectionRun run = election::run_remark(g);
+  ASSERT_TRUE(run.ok()) << run.verdict.error;
+  EXPECT_EQ(run.metrics.rounds, run.diameter + run.phi);
+  EXPECT_GE(run.diameter, 60);
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,166 @@
+// Unit tests for the util substrate: PRNG determinism, integer math used
+// by the Theorem 4.1 advice schemes, table rendering, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace anole {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances) {
+  util::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  util::SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, BelowRespectsBound) {
+  util::SplitMix64 g(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(g.below(bound), bound);
+  }
+}
+
+TEST(Prng, BelowCoversRange) {
+  util::SplitMix64 g(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(g.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Prng, RangeInclusive) {
+  util::SplitMix64 g(3);
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t v = g.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Prng, DeriveSeedIndependentStreams) {
+  EXPECT_NE(util::derive_seed(1, 0), util::derive_seed(1, 1));
+  EXPECT_NE(util::derive_seed(1, 0), util::derive_seed(2, 0));
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(util::floor_log2(1), 0u);
+  EXPECT_EQ(util::floor_log2(2), 1u);
+  EXPECT_EQ(util::floor_log2(3), 1u);
+  EXPECT_EQ(util::floor_log2(4), 2u);
+  EXPECT_EQ(util::floor_log2(1023), 9u);
+  EXPECT_EQ(util::floor_log2(1024), 10u);
+}
+
+TEST(Math, BitLength) {
+  EXPECT_EQ(util::bit_length(0), 1u);  // bin(0) = "0"
+  EXPECT_EQ(util::bit_length(1), 1u);
+  EXPECT_EQ(util::bit_length(2), 2u);
+  EXPECT_EQ(util::bit_length(255), 8u);
+  EXPECT_EQ(util::bit_length(256), 9u);
+}
+
+TEST(Math, LogStarMilestones) {
+  EXPECT_EQ(util::log_star(1), 0u);
+  EXPECT_EQ(util::log_star(2), 1u);
+  EXPECT_EQ(util::log_star(4), 2u);
+  EXPECT_EQ(util::log_star(16), 3u);
+  EXPECT_EQ(util::log_star(65536), 4u);
+}
+
+TEST(Math, TowerOfTwos) {
+  EXPECT_EQ(util::tower(0, 2), 1u);
+  EXPECT_EQ(util::tower(1, 2), 2u);
+  EXPECT_EQ(util::tower(2, 2), 4u);
+  EXPECT_EQ(util::tower(3, 2), 16u);
+  EXPECT_EQ(util::tower(4, 2), 65536u);
+}
+
+TEST(Math, TowerSaturates) {
+  EXPECT_EQ(util::tower(5, 2), UINT64_C(1) << 62);
+  EXPECT_EQ(util::tower(100, 3), UINT64_C(1) << 62);
+}
+
+TEST(Math, TowerDegenerateBase) { EXPECT_EQ(util::tower(10, 1), 1u); }
+
+TEST(Math, IpowBasics) {
+  EXPECT_EQ(util::ipow(2, 10), 1024u);
+  EXPECT_EQ(util::ipow(3, 0), 1u);
+  EXPECT_EQ(util::ipow(10, 19), UINT64_C(1) << 62);  // saturated
+}
+
+// The P_i >= phi invariant of Theorem 4.1 depends on this inequality.
+TEST(Math, TowerLogStarDominates) {
+  for (std::uint64_t phi = 1; phi <= 100000; phi = phi * 3 / 2 + 1) {
+    std::uint64_t p4 = util::tower(util::log_star(phi) + 1, 2) - 1;
+    EXPECT_GE(p4, phi) << "phi=" << phi;
+  }
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(ANOLE_CHECK_MSG(false, "boom " << 42), std::logic_error);
+  try {
+    ANOLE_CHECK_MSG(1 == 2, "ctx " << 7);
+    FAIL();
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 7"), std::string::npos);
+  }
+}
+
+TEST(Table, RendersAlignedRows) {
+  util::Table t({"a", "bee"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream oss;
+  t.print(oss, "caption");
+  std::string s = oss.str();
+  EXPECT_NE(s.find("caption"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsBadWidth) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::logic_error);
+}
+
+TEST(Table, NumFormats) {
+  EXPECT_EQ(util::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(util::Table::num(42), "42");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::vector<int> hits(64, 0);
+  util::ThreadPool::parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i] = static_cast<int>(i) + 1; },
+      4);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i], static_cast<int>(i) + 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  EXPECT_THROW(util::ThreadPool::parallel_for(
+                   8,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("task failed");
+                   },
+                   2),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace anole

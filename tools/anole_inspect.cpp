@@ -1,0 +1,152 @@
+// anole_inspect — command-line network analyzer.
+//
+// Reads a port-numbered graph (edge-list format, file or stdin) or builds
+// a named family, then reports: validity, n/m/degrees, diameter,
+// feasibility, election index, and — on request — the full advice/time
+// portfolio with a live simulated election.
+//
+// Usage:
+//   anole_inspect <file|-> [--elect]
+//   anole_inspect --family <name> [params...] [--elect] [--dump]
+//     families: random <n> <extra> <seed> | grid <r> <c> | ring <n> |
+//               necklace <k> <phi> <index> | gk <k> <seed> |
+//               hairy <s1,s2,...> | lollipop <head> <tail>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "election/harness.hpp"
+#include "families/hairy.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "portgraph/io.hpp"
+#include "util/table.hpp"
+#include "views/profile.hpp"
+
+using namespace anole;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: anole_inspect <file|-> [--elect]\n"
+         "       anole_inspect --family <name> [params...] [--elect] "
+         "[--dump]\n"
+         "families: random <n> <extra> <seed> | grid <r> <c> | ring <n> |\n"
+         "          necklace <k> <phi> <index> | gk <k> <seed> |\n"
+         "          hairy <s1,s2,...> | lollipop <head> <tail>\n";
+  return 2;
+}
+
+std::vector<int> parse_csv(const std::string& s) {
+  std::vector<int> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+portgraph::PortGraph build_family(const std::vector<std::string>& args) {
+  const std::string& name = args.at(0);
+  auto arg = [&](std::size_t i) { return std::stoull(args.at(i)); };
+  if (name == "random")
+    return portgraph::random_connected(arg(1), arg(2), arg(3));
+  if (name == "grid") return portgraph::grid(arg(1), arg(2));
+  if (name == "ring") return portgraph::ring(arg(1));
+  if (name == "lollipop") return portgraph::lollipop(arg(1), arg(2));
+  if (name == "necklace")
+    return families::necklace_member(static_cast<int>(arg(1)),
+                                     static_cast<int>(arg(2)), arg(3))
+        .graph;
+  if (name == "gk")
+    return families::g_family_member(static_cast<int>(arg(1)), arg(2)).graph;
+  if (name == "hairy") return families::hairy_ring(parse_csv(args.at(1))).graph;
+  throw std::runtime_error("unknown family: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  bool elect = false, dump = false;
+  std::vector<std::string> positional;
+  bool family_mode = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--elect")
+      elect = true;
+    else if (args[i] == "--dump")
+      dump = true;
+    else if (args[i] == "--family")
+      family_mode = true;
+    else
+      positional.push_back(args[i]);
+  }
+
+  portgraph::PortGraph g;
+  try {
+    if (family_mode) {
+      g = build_family(positional);
+    } else if (positional.size() == 1 && positional[0] == "-") {
+      g = portgraph::from_edge_list(std::cin);
+    } else if (positional.size() == 1) {
+      std::ifstream in(positional[0]);
+      if (!in) {
+        std::cerr << "cannot open " << positional[0] << '\n';
+        return 1;
+      }
+      g = portgraph::from_edge_list(in);
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  if (dump) std::cout << portgraph::to_edge_list(g);
+
+  views::ViewRepo repo;
+  views::ViewProfile profile = views::compute_profile(g, repo);
+  int min_deg = g.degree(0), max_deg = g.degree(0);
+  for (std::size_t v = 1; v < g.n(); ++v) {
+    min_deg = std::min(min_deg, g.degree(static_cast<portgraph::NodeId>(v)));
+    max_deg = std::max(max_deg, g.degree(static_cast<portgraph::NodeId>(v)));
+  }
+  std::cout << "nodes            : " << g.n() << '\n'
+            << "edges            : " << g.m() << '\n'
+            << "degree range     : [" << min_deg << ", " << max_deg << "]\n"
+            << "diameter         : " << g.diameter() << '\n'
+            << "feasible         : " << (profile.feasible ? "yes" : "no")
+            << '\n';
+  if (!profile.feasible) {
+    std::cout << "election index   : - (views never all distinct; no "
+                 "algorithm can elect here)\n";
+    return 0;
+  }
+  std::cout << "election index   : " << profile.election_index << '\n';
+
+  if (elect) {
+    util::Table table({"algorithm", "time model", "rounds", "advice bits",
+                       "ok"});
+    auto add = [&table](const std::string& name, const std::string& model,
+                        const election::ElectionRun& run) {
+      table.add_row({name, model, util::Table::num(run.metrics.rounds),
+                     util::Table::num(run.advice_bits),
+                     run.ok() ? "yes" : "NO"});
+    };
+    add("Elect", "phi", election::run_min_time(g));
+    add("Remark", "D+phi", election::run_remark(g));
+    add("Election1", "D+phi+c",
+        election::run_large_time(g, election::LargeTimeVariant::kPhiPlusC, 2));
+    add("Election4", "D+c^phi",
+        election::run_large_time(g, election::LargeTimeVariant::kCPowPhi, 2));
+    table.print(std::cout, "\nelection portfolio:");
+  }
+  return 0;
+}
