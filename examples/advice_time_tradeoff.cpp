@@ -4,14 +4,21 @@
 // bits at time phi down to a handful of bits once the time budget exceeds
 // the diameter.
 //
-// Usage: advice_time_tradeoff [n] [extra_edges] [seed]
+// This example doubles as the programmatic tour of the runner subsystem:
+// instead of registering a scenario it builds one on the fly (one cell per
+// algorithm, sharing nothing), executes the grid in parallel on an
+// ExperimentRunner, and renders the outcome through a ResultSink — the
+// same three steps every registered paper scenario goes through.
+//
+// Usage: advice_time_tradeoff [n] [extra_edges] [seed] [threads]
 
 #include <cstdlib>
 #include <iostream>
 
-#include "election/harness.hpp"
 #include "portgraph/builders.hpp"
-#include "util/table.hpp"
+#include "runner/portfolio.hpp"
+#include "runner/runner.hpp"
+#include "runner/sinks.hpp"
 #include "views/profile.hpp"
 
 int main(int argc, char** argv) {
@@ -20,6 +27,7 @@ int main(int argc, char** argv) {
   std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40;
   std::size_t extra = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : n / 2;
   std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  std::size_t threads = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
 
   portgraph::PortGraph g = portgraph::random_connected(n, extra, seed);
   views::ViewRepo repo;
@@ -30,36 +38,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  util::Table table({"algorithm", "time model", "rounds", "advice bits"});
-  auto add = [&table](const std::string& name, const std::string& model,
-                      const election::ElectionRun& run) {
-    table.add_row({name, model,
-                   run.ok() ? util::Table::num(run.metrics.rounds)
-                            : "FAILED",
-                   util::Table::num(run.advice_bits)});
-  };
+  // Build the scenario on the fly: one independent cell per algorithm.
+  runner::Scenario scenario;
+  scenario.name = "tradeoff";
+  scenario.reference = "Section 1 results + remark after Theorem 4.1";
+  scenario.tables.push_back(runner::TableSpec{
+      "frontier",
+      "advice/time frontier on random graph: n = " + std::to_string(n) +
+          ", D = " + std::to_string(g.diameter()) +
+          ", phi = " + std::to_string(profile.election_index),
+      {"algorithm", "time model", "rounds", "advice bits"}});
+  for (const runner::PortfolioAlgorithm& algo : runner::election_portfolio(2))
+    scenario.add_cell(algo.name, 0, [algo, g] {
+      election::ElectionRun run = algo.run(g);
+      return std::vector<runner::Row>{runner::Row{
+          algo.name, algo.model,
+          run.ok() ? runner::Value(run.metrics.rounds)
+                   : runner::Value("FAILED"),
+          run.advice_bits}};
+    });
 
-  add("Elect (min time)", "phi", election::run_min_time(g));
-  add("Map baseline", "phi", election::run_map(g));
-  add("Remark (D,phi)", "D+phi", election::run_remark(g));
-  add("Election1", "D+phi+c",
-      election::run_large_time(g, election::LargeTimeVariant::kPhiPlusC, 2));
-  add("Election2", "D+c*phi",
-      election::run_large_time(g, election::LargeTimeVariant::kCTimesPhi, 2));
-  add("Election3", "D+phi^c",
-      election::run_large_time(g, election::LargeTimeVariant::kPhiPowC, 2));
-  add("Election4", "D+c^phi",
-      election::run_large_time(g, election::LargeTimeVariant::kCPowPhi, 2));
-  add("SizeOnly", "D+n+1", election::run_size_only(g));
+  runner::ScenarioOutcome outcome =
+      runner::ExperimentRunner(runner::RunOptions{threads}).run(scenario);
+  runner::TextSink().emit(outcome, std::cout);
 
-  table.print(std::cout,
-              "advice/time frontier on random graph: n = " +
-                  std::to_string(n) + ", D = " +
-                  std::to_string(g.diameter()) + ", phi = " +
-                  std::to_string(profile.election_index));
   std::cout << "Reading guide: the first two rows show the price of "
                "electing in minimum time phi; once the time budget exceeds "
                "D the advice collapses to O(log phi) bits and below — the "
                "exponential hierarchy of Theorem 4.1.\n";
-  return 0;
+  return outcome.failures() == 0 ? 0 : 1;
 }

@@ -1,0 +1,28 @@
+#include "runner/portfolio.hpp"
+
+namespace anole::runner {
+
+std::vector<PortfolioAlgorithm> election_portfolio(std::uint64_t c) {
+  using election::LargeTimeVariant;
+  auto large = [c](LargeTimeVariant v) {
+    return [v, c](const portgraph::PortGraph& g) {
+      return election::run_large_time(g, v, c);
+    };
+  };
+  return {
+      {"Elect (Thm 3.1)", "phi",
+       [](const portgraph::PortGraph& g) { return election::run_min_time(g); }},
+      {"Map baseline", "phi",
+       [](const portgraph::PortGraph& g) { return election::run_map(g); }},
+      {"Remark(D,phi)", "D+phi",
+       [](const portgraph::PortGraph& g) { return election::run_remark(g); }},
+      {"Election1", "D+phi+c", large(LargeTimeVariant::kPhiPlusC)},
+      {"Election2", "D+c*phi", large(LargeTimeVariant::kCTimesPhi)},
+      {"Election3", "D+phi^c", large(LargeTimeVariant::kPhiPowC)},
+      {"Election4", "D+c^phi", large(LargeTimeVariant::kCPowPhi)},
+      {"SizeOnly(n)", "D+n+1",
+       [](const portgraph::PortGraph& g) { return election::run_size_only(g); }},
+  };
+}
+
+}  // namespace anole::runner

@@ -1,0 +1,29 @@
+#pragma once
+// The paper's full algorithm portfolio as a reusable list: every election
+// algorithm the repo implements, each with its time-model label and a
+// one-call entry point. One definition serves the E9 frontier scenario,
+// the advice_time_tradeoff example and `anole_inspect --elect`, which used
+// to hard-code overlapping subsets of the same eight rows.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "election/harness.hpp"
+
+namespace anole::runner {
+
+struct PortfolioAlgorithm {
+  std::string name;   ///< e.g. "Election2"
+  std::string model;  ///< allocated time, e.g. "D+c*phi"
+  std::function<election::ElectionRun(const portgraph::PortGraph&)> run;
+};
+
+/// All eight algorithms in the paper's narrative order (minimum time first,
+/// then the large-time hierarchy, then the size-only baseline), with the
+/// given constant c for Election1..4.
+[[nodiscard]] std::vector<PortfolioAlgorithm> election_portfolio(
+    std::uint64_t c = 2);
+
+}  // namespace anole::runner

@@ -1,0 +1,61 @@
+#include "runner/result.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace anole::runner {
+
+namespace {
+
+std::string format_real(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+}  // namespace
+
+std::string Value::text() const {
+  if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return std::to_string(*i);
+  if (const auto* r = std::get_if<Real>(&v_))
+    return format_real(r->value, r->precision);
+  return std::get<bool>(v_) ? "yes" : "no";
+}
+
+std::string Value::json() const {
+  if (const auto* s = std::get_if<std::string>(&v_))
+    return '"' + json_escape(*s) + '"';
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return std::to_string(*i);
+  if (const auto* r = std::get_if<Real>(&v_)) {
+    if (!std::isfinite(r->value)) return "null";
+    return format_real(r->value, r->precision);
+  }
+  return std::get<bool>(v_) ? "true" : "false";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace anole::runner

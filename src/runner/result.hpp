@@ -1,0 +1,61 @@
+#pragma once
+// Typed result values for the experiment-runner subsystem.
+//
+// Scenario cells return rows of Values instead of pre-formatted strings so
+// that every sink (text table, CSV, JSON) renders the same datum
+// consistently. Doubles carry an explicit precision, fixed by the scenario
+// author, which keeps every rendering byte-identical across runs and
+// thread counts — the determinism contract of the runner.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace anole::runner {
+
+class Value {
+ public:
+  Value() : v_(std::string{}) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned u) : v_(static_cast<std::int64_t>(u)) {}
+  Value(std::uint64_t u) : v_(static_cast<std::int64_t>(u)) {}
+  Value(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned long long u) : v_(static_cast<std::int64_t>(u)) {}
+  Value(bool b) : v_(b) {}
+
+  /// A real number rendered with a fixed decimal precision everywhere.
+  [[nodiscard]] static Value real(double value, int precision = 3) {
+    Value v;
+    v.v_ = Real{value, precision};
+    return v;
+  }
+
+  /// Rendering used by the text table and CSV sinks.
+  [[nodiscard]] std::string text() const;
+
+  /// JSON literal: numbers and booleans unquoted, strings escaped+quoted.
+  [[nodiscard]] std::string json() const;
+
+  [[nodiscard]] bool operator==(const Value& other) const = default;
+
+ private:
+  struct Real {
+    double value = 0;
+    int precision = 3;
+    [[nodiscard]] bool operator==(const Real&) const = default;
+  };
+  std::variant<std::string, std::int64_t, Real, bool> v_;
+};
+
+/// One result row; values are listed in the column order of the owning
+/// TableSpec.
+using Row = std::vector<Value>;
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace anole::runner

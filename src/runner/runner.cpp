@@ -1,0 +1,80 @@
+#include "runner/runner.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "util/thread_pool.hpp"
+
+namespace anole::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void execute_cell(const Scenario& scenario, const Cell& cell,
+                  CellOutcome& out) {
+  out.label = cell.label;
+  out.table = cell.table;
+  Clock::time_point start = Clock::now();
+  try {
+    out.rows = cell.run();
+    const TableSpec& spec = scenario.tables[cell.table];
+    for (const Row& row : out.rows) {
+      if (row.size() != spec.columns.size()) {
+        out.error = "row width " + std::to_string(row.size()) +
+                    " != table '" + spec.id + "' width " +
+                    std::to_string(spec.columns.size());
+        out.rows.clear();
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.rows.clear();
+    out.error = e.what();
+  } catch (...) {
+    out.rows.clear();
+    out.error = "unknown exception";
+  }
+  out.wall_ms = ms_since(start);
+}
+
+}  // namespace
+
+std::size_t ScenarioOutcome::failures() const {
+  std::size_t count = 0;
+  for (const CellOutcome& cell : cells)
+    if (!cell.ok()) ++count;
+  return count;
+}
+
+ScenarioOutcome ExperimentRunner::run(const Scenario& scenario) const {
+  ScenarioOutcome outcome;
+  outcome.name = scenario.name;
+  outcome.reference = scenario.reference;
+  outcome.deterministic = scenario.deterministic;
+  outcome.tables = scenario.tables;
+  outcome.cells.resize(scenario.cells.size());
+
+  Clock::time_point start = Clock::now();
+  if (options_.threads == 1 || scenario.serial ||
+      scenario.cells.size() <= 1) {
+    for (std::size_t i = 0; i < scenario.cells.size(); ++i)
+      execute_cell(scenario, scenario.cells[i], outcome.cells[i]);
+  } else {
+    util::ThreadPool pool(options_.threads);
+    for (std::size_t i = 0; i < scenario.cells.size(); ++i)
+      pool.submit([&scenario, &outcome, i] {
+        execute_cell(scenario, scenario.cells[i], outcome.cells[i]);
+      });
+    pool.wait_idle();
+  }
+  outcome.wall_ms = ms_since(start);
+  return outcome;
+}
+
+}  // namespace anole::runner

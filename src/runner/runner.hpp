@@ -1,0 +1,61 @@
+#pragma once
+// ExperimentRunner: executes a Scenario's cell grid on a util::ThreadPool.
+//
+// Each cell runs exactly once, on whichever worker picks it up; its rows,
+// wall time and any failure are written into a slot fixed by the cell's
+// declaration index. The reassembled ScenarioOutcome is therefore
+// identical for any thread count (timing aside) — the property the sinks
+// rely on for byte-identical structured output at --threads 1 vs N.
+//
+// A throwing cell does not abort the run: the exception is captured as the
+// cell's error string and the remaining cells still execute (failure
+// capture instead of aborts). Row widths are validated against the target
+// TableSpec on the worker, so a malformed scenario reports per-cell errors
+// rather than tearing down the whole sweep.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+
+namespace anole::runner {
+
+struct RunOptions {
+  /// Worker threads for the cell grid; 0 means hardware_concurrency.
+  std::size_t threads = 1;
+};
+
+struct CellOutcome {
+  std::string label;
+  std::size_t table = 0;
+  std::vector<Row> rows;
+  double wall_ms = 0.0;
+  std::string error;  ///< empty iff the cell completed
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct ScenarioOutcome {
+  std::string name;
+  std::string reference;
+  bool deterministic = true;
+  std::vector<TableSpec> tables;
+  /// One outcome per cell, in declaration order (thread-count independent).
+  std::vector<CellOutcome> cells;
+  double wall_ms = 0.0;
+
+  [[nodiscard]] std::size_t failures() const;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] ScenarioOutcome run(const Scenario& scenario) const;
+
+ private:
+  RunOptions options_;
+};
+
+}  // namespace anole::runner

@@ -1,0 +1,74 @@
+#include "runner/scenario.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace anole::runner {
+
+void Scenario::add_cell(std::string label, std::size_t table,
+                        std::function<std::vector<Row>()> run) {
+  ANOLE_CHECK_MSG(table < tables.size(),
+                  "cell '" << label << "' targets table " << table
+                           << " but scenario '" << name << "' has only "
+                           << tables.size());
+  ANOLE_CHECK(run != nullptr);
+  cells.push_back(Cell{std::move(label), table, std::move(run)});
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(std::string name,
+                           std::function<Scenario()> factory) {
+  ANOLE_CHECK(factory != nullptr);
+  auto [it, inserted] =
+      entries_.emplace(std::move(name), Entry{std::move(factory)});
+  ANOLE_CHECK_MSG(inserted, "duplicate scenario name: " << it->first);
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iterates in sorted order
+}
+
+const ScenarioRegistry::Entry& ScenarioRegistry::meta(
+    const std::string& name) const {
+  const Entry& entry = entries_.at(name);
+  if (!entry.meta_loaded) {
+    Scenario s = entry.factory();
+    entry.summary = std::move(s.summary);
+    entry.reference = std::move(s.reference);
+    entry.meta_loaded = true;
+  }
+  return entry;
+}
+
+const std::string& ScenarioRegistry::summary(const std::string& name) const {
+  return meta(name).summary;
+}
+
+const std::string& ScenarioRegistry::reference(const std::string& name) const {
+  return meta(name).reference;
+}
+
+Scenario ScenarioRegistry::make(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::out_of_range("unknown scenario: " + name);
+  Scenario s = it->second.factory();
+  ANOLE_CHECK_MSG(s.name == name, "scenario factory for '"
+                                      << name << "' produced '" << s.name
+                                      << "'");
+  return s;
+}
+
+}  // namespace anole::runner

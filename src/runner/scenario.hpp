@@ -1,0 +1,108 @@
+#pragma once
+// Declarative scenario descriptors and the global scenario registry.
+//
+// A Scenario is the declarative form of one experiment table group of the
+// paper (E1..E10, M1, M2): its output tables (header + caption) and a grid
+// of independent Cells. Each cell is a closure that, when executed, builds
+// its own graph(s) and ViewRepo, runs the algorithms, and returns typed
+// result rows for one of the scenario's tables. Because cells share no
+// mutable state they can execute in any order and on any number of threads
+// (see runner.hpp); determinism comes from seeded builders plus the fixed
+// (table, cell) declaration order in which results are reassembled.
+//
+// Every paper table registers itself with ANOLE_REGISTER_SCENARIO from its
+// translation unit in src/runner/scenarios/; the unified `anole_bench` CLI
+// and the tests enumerate the registry instead of hard-coding binaries.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/result.hpp"
+
+namespace anole::runner {
+
+/// One output table of a scenario: header columns plus the caption tying it
+/// to the theorem/figure it regenerates.
+struct TableSpec {
+  std::string id;       ///< short anchor, e.g. "E1" or "E5.A2"
+  std::string caption;  ///< full caption text (paper claim + reading guide)
+  std::vector<std::string> columns;
+};
+
+/// The parallel unit of work: produces rows for table `table` of the
+/// owning scenario. Must be self-contained (own graph, own ViewRepo).
+struct Cell {
+  std::string label;      ///< stable id, e.g. "necklace(phi=3)/k=7"
+  std::size_t table = 0;  ///< index into Scenario::tables
+  std::function<std::vector<Row>()> run;
+};
+
+struct Scenario {
+  std::string name;       ///< CLI key, e.g. "e1"
+  std::string summary;    ///< one-liner for `anole_bench --list`
+  std::string reference;  ///< paper anchor, e.g. "Theorem 3.1"
+  /// False for wall-clock measurement scenarios (M1): their values vary
+  /// run to run by nature. All paper tables are deterministic.
+  bool deterministic = true;
+  /// True for scenarios whose cells time themselves (M1): running them
+  /// concurrently would distort the measurements, so the runner executes
+  /// them one cell at a time regardless of the requested thread count.
+  bool serial = false;
+  std::vector<TableSpec> tables;
+  std::vector<Cell> cells;
+
+  /// Appends a cell producing rows for table `table`.
+  void add_cell(std::string label, std::size_t table,
+                std::function<std::vector<Row>()> run);
+};
+
+/// Name -> scenario factory. Factories are cheap: graph construction and
+/// all real work happen inside the cells, at run time. The factory is the
+/// single source of a scenario's summary/reference strings; the registry
+/// harvests them lazily for listings, so the two can never drift.
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry that ANOLE_REGISTER_SCENARIO populates
+  /// during static initialization (single-threaded; not locked).
+  static ScenarioRegistry& global();
+
+  void add(std::string name, std::function<Scenario()> factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+  [[nodiscard]] const std::string& summary(const std::string& name) const;
+  [[nodiscard]] const std::string& reference(const std::string& name) const;
+
+  /// Instantiates the scenario; throws std::out_of_range on unknown names.
+  [[nodiscard]] Scenario make(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::function<Scenario()> factory;
+    // Filled on first summary()/reference() access by running the factory.
+    mutable bool meta_loaded = false;
+    mutable std::string summary;
+    mutable std::string reference;
+  };
+  const Entry& meta(const std::string& name) const;
+  std::map<std::string, Entry> entries_;
+};
+
+struct ScenarioRegistrar {
+  ScenarioRegistrar(const char* name, Scenario (*factory)()) {
+    ScenarioRegistry::global().add(name, factory);
+  }
+};
+
+#define ANOLE_SCENARIO_CONCAT_(a, b) a##b
+#define ANOLE_SCENARIO_CONCAT(a, b) ANOLE_SCENARIO_CONCAT_(a, b)
+
+/// Registers `factory` (a `Scenario (*)()`) under `name` at load time.
+#define ANOLE_REGISTER_SCENARIO(name, factory)                            \
+  static const ::anole::runner::ScenarioRegistrar ANOLE_SCENARIO_CONCAT(  \
+      anole_scenario_registrar_, __COUNTER__)(name, factory)
+
+}  // namespace anole::runner

@@ -1,0 +1,35 @@
+#include "runner/scenarios/common.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "advice/min_time.hpp"
+#include "election/elect_program.hpp"
+#include "election/verify.hpp"
+#include "sim/engine.hpp"
+#include "views/profile.hpp"
+
+namespace anole::runner::scenarios {
+
+bool cross_feed_succeeds(const portgraph::PortGraph& source,
+                         const portgraph::PortGraph& victim) {
+  views::ViewRepo repo;
+  views::ViewProfile sp = views::compute_profile(source, repo, 1);
+  auto adv = std::make_shared<const advice::MinTimeAdvice>(
+      advice::compute_advice(source, repo, sp));
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  for (std::size_t v = 0; v < victim.n(); ++v)
+    programs.push_back(std::make_unique<election::ElectProgram>(adv));
+  sim::Engine engine(victim, repo);
+  try {
+    sim::RunMetrics metrics =
+        engine.run(programs, static_cast<int>(adv->phi) + 1);
+    return !metrics.timed_out &&
+           election::verify_election(victim, metrics.outputs).ok;
+  } catch (const std::logic_error&) {
+    return false;  // advice not even decodable against the victim's views
+  }
+}
+
+}  // namespace anole::runner::scenarios

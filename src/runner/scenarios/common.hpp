@@ -1,0 +1,16 @@
+#pragma once
+// Helpers shared by the lower-bound scenarios (E2, E3, E6): running the
+// minimum-time Elect algorithm on one graph with advice computed for
+// another, which the paper's counting arguments predict must fail.
+
+#include "portgraph/port_graph.hpp"
+
+namespace anole::runner::scenarios {
+
+/// Computes the Theorem 3.1 advice for `source` and runs Elect with it on
+/// `victim`; returns true iff the mis-advised run still elected a single
+/// leader (the lower-bound tables expect false).
+[[nodiscard]] bool cross_feed_succeeds(const portgraph::PortGraph& source,
+                                       const portgraph::PortGraph& victim);
+
+}  // namespace anole::runner::scenarios

@@ -1,0 +1,111 @@
+// E10 — the paper's concluding open question (Section 5).
+//
+// "The intriguing open question left by our results is how the minimum
+// size of advice behaves in the range of election time strictly between
+// phi and D + phi" — large enough to elect with a map, too small for all
+// nodes to see every view difference.
+//
+// Each cell instruments one intermediate time tau with the best *known*
+// upper bound: the depth-tau generalization of Elect (Algorithm 5/6
+// labeling views at depth tau), whose advice stays Theta(n log n) across
+// the whole open range; the final cell runs the Remark algorithm at
+// tau = D + phi, where the advice collapses to O(log D + log phi).
+// Workload: a long-diameter necklace so the open range is wide.
+
+#include <algorithm>
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "election/elect_program.hpp"
+#include "election/harness.hpp"
+#include "election/verify.hpp"
+#include "families/necklace.hpp"
+#include "runner/scenario.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+portgraph::PortGraph workload() {
+  return families::necklace_member(7, 3, 2).graph;
+}
+
+struct WorkloadParams {
+  int phi = 0;
+  int diameter = 0;
+};
+
+WorkloadParams workload_params(const portgraph::PortGraph& g) {
+  views::ViewRepo probe;
+  views::ViewProfile profile = views::compute_profile(g, probe);
+  return {profile.election_index, g.diameter()};
+}
+
+std::vector<Row> workload_cell() {
+  portgraph::PortGraph g = workload();
+  WorkloadParams p = workload_params(g);
+  return {Row{"necklace(k=7, phi=3)", g.n(), p.diameter, p.phi}};
+}
+
+std::vector<Row> depth_tau_cell(int tau) {
+  portgraph::PortGraph g = workload();
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 1);
+  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p, tau);
+  coding::BitString bits = adv.to_bits();
+  auto decoded = std::make_shared<const advice::MinTimeAdvice>(
+      advice::MinTimeAdvice::from_bits(bits));
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<election::ElectProgram>(decoded));
+  sim::Engine engine(g, repo);
+  sim::RunMetrics metrics = engine.run(programs, tau + 1);
+  bool ok = !metrics.timed_out &&
+            election::verify_election(g, metrics.outputs).ok;
+  return {Row{tau, "Elect@depth tau", metrics.rounds, bits.size(),
+              ok ? "yes" : "NO"}};
+}
+
+std::vector<Row> remark_cell() {
+  portgraph::PortGraph g = workload();
+  WorkloadParams p = workload_params(g);
+  election::ElectionRun run = election::run_remark(g);
+  return {Row{p.diameter + p.phi, "Remark(D,phi)", run.metrics.rounds,
+              run.advice_bits, run.ok() ? "yes" : "NO"}};
+}
+
+runner::Scenario make_e10() {
+  runner::Scenario s;
+  s.name = "e10";
+  s.summary = "the open range between time phi and D + phi";
+  s.reference = "Section 5 (open question)";
+  s.tables.push_back(runner::TableSpec{
+      "E10.W", "the workload graph", {"graph", "n", "D", "phi"}});
+  s.tables.push_back(runner::TableSpec{
+      "E10",
+      "between time phi and D + phi the best known advice stays "
+      "Theta(n log n); at D + phi it collapses to O(log D + log phi). "
+      "Whether the collapse can start earlier is open.",
+      {"time tau", "algorithm", "rounds", "advice bits", "elected"}});
+
+  s.add_cell("workload", 0, [] { return workload_cell(); });
+  // The tau grid must be fixed at declaration time, but factories must stay
+  // cheap: use the necklace's *prescribed* phi (exact by Claim 3.10) and a
+  // plain BFS diameter instead of a full view profile.
+  families::Necklace nk = families::necklace_member(7, 3, 2);
+  int phi = nk.phi;
+  int diameter = nk.graph.diameter();
+  for (int tau = phi; tau <= diameter + phi;
+       tau += std::max(1, diameter / 6))
+    s.add_cell("elect/tau=" + std::to_string(tau), 1,
+               [tau] { return depth_tau_cell(tau); });
+  s.add_cell("remark", 1, [] { return remark_cell(); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e10", make_e10);

@@ -1,0 +1,102 @@
+// E1 — Theorem 3.1 (upper bound for election in minimum time).
+//
+// Paper claim: for any n-node graph with election index phi, ComputeAdvice
+// emits O(n log n) bits and Elect performs leader election in time exactly
+// phi using that advice. Each cell builds one graph, runs the full
+// advice+election pipeline and reports the measured advice size, the
+// normalized ratio bits/(n log2 n) (which must stay bounded as n grows),
+// the rounds used (must equal phi), and the verifier verdict.
+
+#include <cmath>
+#include <functional>
+
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+std::vector<Row> min_time_row(const std::string& family,
+                              const portgraph::PortGraph& g) {
+  election::ElectionRun run = election::run_min_time(g);
+  double n = static_cast<double>(g.n());
+  double norm = static_cast<double>(run.advice_bits) / (n * std::log2(n));
+  return {Row{family, g.n(), run.phi, run.metrics.rounds, run.advice_bits,
+              Value::real(norm, 2),
+              run.ok() ? std::string("yes")
+                       : "NO: " + run.verdict.error}};
+}
+
+runner::Scenario make_e1() {
+  runner::Scenario s;
+  s.name = "e1";
+  s.summary = "Elect in minimum time phi with O(n log n) advice";
+  s.reference = "Theorem 3.1";
+  s.tables.push_back(runner::TableSpec{
+      "E1",
+      "Elect: advice O(n log n), time = phi (paper: upper bound O(n log n); "
+      "measured ratio must stay bounded and rounds must equal phi)",
+      {"family", "n", "phi", "rounds", "advice bits", "bits/(n log n)",
+       "elected"}});
+
+  auto add = [&s](std::string label, std::string family,
+                  std::function<portgraph::PortGraph()> build) {
+    s.add_cell(std::move(label), 0,
+               [family = std::move(family), build = std::move(build)] {
+                 return min_time_row(family, build());
+               });
+  };
+
+  for (std::size_t n : {16, 32, 64, 128, 256})
+    add("random/n=" + std::to_string(n), "random(m=1.5n)",
+        [n] { return portgraph::random_connected(n, n / 2, 42 + n); });
+  for (int k : {4, 6, 8, 12})
+    add("gk/k=" + std::to_string(k), "ring-of-cliques G_k",
+        [k] { return families::g_family_member(k, 7).graph; });
+  for (int phi : {2, 3, 4, 6})
+    add("necklace/phi=" + std::to_string(phi),
+        "necklace phi=" + std::to_string(phi),
+        [phi] { return families::necklace_member(5, phi, 1).graph; });
+  return s;
+}
+
+runner::Scenario make_smoke() {
+  runner::Scenario s;
+  s.name = "smoke";
+  s.summary = "tiny E1-style sweep for CI smoke runs and golden tests";
+  s.reference = "Theorem 3.1";
+  s.tables.push_back(runner::TableSpec{
+      "SMOKE",
+      "minimum-time election on three tiny feasible graphs (schema-locked "
+      "by tests/sinks_test.cpp)",
+      {"family", "n", "phi", "rounds", "advice bits", "elected"}});
+  auto add = [&s](std::string label, std::string family,
+                  std::function<portgraph::PortGraph()> build) {
+    s.add_cell(std::move(label), 0,
+               [family = std::move(family), build = std::move(build)] {
+                 portgraph::PortGraph g = build();
+                 election::ElectionRun run = election::run_min_time(g);
+                 return std::vector<Row>{
+                     Row{family, g.n(), run.phi, run.metrics.rounds,
+                         run.advice_bits,
+                         run.ok() ? std::string("yes")
+                                  : "NO: " + run.verdict.error}};
+               });
+  };
+  add("grid/3x4", "grid(3x4)", [] { return portgraph::grid(3, 4); });
+  add("wheel/5", "wheel(5)", [] { return portgraph::wheel(5); });
+  add("random/n=10", "random(10,5)",
+      [] { return portgraph::random_connected(10, 5, 7); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e1", make_e1);
+ANOLE_REGISTER_SCENARIO("smoke", make_smoke);

@@ -1,0 +1,99 @@
+// E2 — Theorem 3.2 / Figure 1 (lower bound for election index 1).
+//
+// Paper claim: there are n_k-node graphs (the family G_k of clique-ring
+// permutations, Fig. 1) with election index 1 such that election in time 1
+// requires advice of size Omega(n log log n). The proof rests on:
+//   (a) Claim 3.8 — every member of G_k has election index exactly 1;
+//   (b) the Observation — corresponding clique-attachment nodes in any two
+//       members have equal B^1, so a time-1 algorithm with equal advice
+//       outputs identical port sequences at them (Claim 3.9: all (k-1)!
+//       members need distinct advice);
+//   (c) |G_k| = (k-1)!  =>  >= log2((k-1)!) bits for some member, and
+//       log2((k-1)!) = Theta(n_k log log n_k).
+//
+// Each cell verifies (a) and (b) on sampled members of one G_k and reports
+// the (c) curve; the last column cross-feeds the advice of one member into
+// Elect running on a different member — a live demonstration that shared
+// advice breaks time-1 election.
+
+#include <cmath>
+
+#include "families/ring_of_cliques.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+double log2_factorial(int m) {
+  double s = 0;
+  for (int i = 2; i <= m; ++i) s += std::log2(static_cast<double>(i));
+  return s;
+}
+
+std::vector<Row> e2_cell(int k) {
+  families::RingOfCliques a = families::g_family_member(k, 1);
+  families::RingOfCliques b = families::g_family_member(k, 2);
+
+  // (a) Claim 3.8 on two sampled members.
+  views::ViewRepo repo;
+  views::ViewProfile pa = views::compute_profile(a.graph, repo);
+  views::ViewProfile pb = views::compute_profile(b.graph, repo);
+  bool phi_one = pa.feasible && pb.feasible && pa.election_index == 1 &&
+                 pb.election_index == 1;
+
+  // (b) The observation: same clique -> same B^1 at its joint across
+  // members (shared repo makes ids comparable).
+  bool obs = true;
+  for (int t = 0; t < k && obs; ++t) {
+    int pos_a = -1, pos_b = -1;
+    for (int i = 0; i < k; ++i) {
+      if (a.assignment[static_cast<std::size_t>(i)] ==
+          static_cast<std::uint64_t>(t))
+        pos_a = i;
+      if (b.assignment[static_cast<std::size_t>(i)] ==
+          static_cast<std::uint64_t>(t))
+        pos_b = i;
+    }
+    obs = pa.view(1, a.joints[static_cast<std::size_t>(pos_a)]) ==
+          pb.view(1, b.joints[static_cast<std::size_t>(pos_b)]);
+  }
+
+  // (c) The bound curve.
+  double n_k = static_cast<double>(a.graph.n());
+  double lb_bits = log2_factorial(k - 1);
+  double scale = n_k * std::log2(std::log2(n_k));
+
+  bool cross = runner::scenarios::cross_feed_succeeds(a.graph, b.graph);
+
+  return {Row{k, a.graph.n(), phi_one ? "1" : "VIOLATED",
+              obs ? "holds" : "VIOLATED", Value::real(lb_bits, 1),
+              Value::real(scale, 1), Value::real(lb_bits / scale, 3),
+              cross ? "SURVIVED (unexpected)" : "breaks (expected)"}};
+}
+
+runner::Scenario make_e2() {
+  runner::Scenario s;
+  s.name = "e2";
+  s.summary = "G_k lower bound: time-1 election needs Omega(n log log n) advice";
+  s.reference = "Theorem 3.2, Fig. 1";
+  s.tables.push_back(runner::TableSpec{
+      "E2",
+      "family G_k (phi = 1): members need distinct advice; advice lower "
+      "bound log2((k-1)!) = Theta(n log log n). 'ratio' must stay bounded "
+      "away from 0; cross-feeding advice between members must break "
+      "election.",
+      {"k", "n_k", "phi(all)", "B1 obs", "|G_k| bits lb", "n loglog n",
+       "ratio", "cross-feed"}});
+  for (int k : {5, 6, 8, 12, 16, 24, 32})
+    s.add_cell("gk/k=" + std::to_string(k), 0, [k] { return e2_cell(k); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e2", make_e2);

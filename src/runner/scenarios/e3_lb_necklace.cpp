@@ -1,0 +1,84 @@
+// E3 — Theorem 3.3 / Figure 2 (lower bound for election index phi > 1).
+//
+// Paper claim: for every phi > 1 there are n_k-node graphs (the
+// k-necklaces of Fig. 2) with election index exactly phi for which
+// election in time phi needs advice of size Omega(n (log log n)^2 / log n).
+// The proof rests on:
+//   (a) Claim 3.10 — every k-necklace has election index exactly phi;
+//   (b) the Observation — the left (resp. right) leaves of any two
+//       k-necklaces have equal B^phi, forcing equal outputs under equal
+//       advice (Claim 3.11: all members need distinct advice);
+//   (c) |N_k| = (x+1)^(k-3)  =>  >= (k-3) log2(x+1) bits for some member,
+//       which is Theta(k log log k) = Theta(n (log log n)^2 / log n).
+//
+// One cell per (phi, k) verifies (a) and (b) on sampled codes, reports the
+// (c) curve, and cross-feeds one necklace's Elect advice into another
+// member to demonstrate the failure concretely.
+
+#include <cmath>
+
+#include "families/cliques.hpp"
+#include "families/necklace.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+std::vector<Row> e3_cell(int phi, int k) {
+  int x = families::f_parameter_for(static_cast<std::uint64_t>(k));
+  families::Necklace a = families::necklace_member(k, phi, 0);
+  families::Necklace b = families::necklace_member(
+      k, phi, families::necklace_family_size(k) - 1);
+
+  views::ViewRepo repo;
+  views::ViewProfile pa = views::compute_profile(a.graph, repo, phi);
+  views::ViewProfile pb = views::compute_profile(b.graph, repo, phi);
+  bool phi_ok = pa.feasible && pb.feasible && pa.election_index == phi &&
+                pb.election_index == phi;
+  bool obs = pa.view(phi, a.left_leaf) == pb.view(phi, b.left_leaf) &&
+             pa.view(phi, a.right_leaf) == pb.view(phi, b.right_leaf);
+
+  double n_k = static_cast<double>(a.graph.n());
+  double lb_bits =
+      static_cast<double>(k - 3) * std::log2(static_cast<double>(x + 1));
+  double ll = std::log2(std::log2(n_k));
+  double scale = n_k * ll * ll / std::log2(n_k);
+  bool cross = runner::scenarios::cross_feed_succeeds(a.graph, b.graph);
+
+  return {Row{phi, k, a.graph.n(), phi_ok ? "exact" : "VIOLATED",
+              obs ? "holds" : "VIOLATED", Value::real(lb_bits, 1),
+              Value::real(scale, 1), Value::real(lb_bits / scale, 3),
+              cross ? "SURVIVED (unexpected)" : "breaks (expected)"}};
+}
+
+runner::Scenario make_e3() {
+  runner::Scenario s;
+  s.name = "e3";
+  s.summary =
+      "k-necklace lower bound: time-phi election needs "
+      "Omega(n (log log n)^2 / log n) advice";
+  s.reference = "Theorem 3.3, Fig. 2";
+  s.tables.push_back(runner::TableSpec{
+      "E3",
+      "k-necklaces (election index exactly phi): every member needs "
+      "distinct advice; lower bound (k-3)log2(x+1) = "
+      "Theta(n (log log n)^2 / log n). 'ratio' must stay bounded away from "
+      "0; cross-fed advice must break election.",
+      {"phi", "k", "n_k", "phi check", "leaf obs", "|N_k| bits lb",
+       "n(loglog n)^2/log n", "ratio", "cross-feed"}});
+  for (int phi : {2, 3, 4})
+    for (int k : {5, 7, 9, 12})
+      s.add_cell("necklace/phi=" + std::to_string(phi) +
+                     "/k=" + std::to_string(k),
+                 0, [phi, k] { return e3_cell(phi, k); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e3", make_e3);

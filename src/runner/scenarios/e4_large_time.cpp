@@ -1,0 +1,118 @@
+// E4 — Theorem 4.1 (upper bounds for election in large time).
+//
+// Paper claim: for any graph of diameter D and election index phi and any
+// integer constant c > 1,
+//   Election1 elects in <= D + phi + c   with O(log phi)        advice bits,
+//   Election2 elects in <= D + c*phi     with O(log log phi)    advice bits,
+//   Election3 elects in <= D + phi^c     with O(log log log phi) advice bits,
+//   Election4 elects in <= D + c^phi     with O(log(log* phi))  advice bits.
+//
+// One cell per (c, graph, variant) reports measured rounds against the
+// exact bound and the measured advice size against the paper's Theta
+// expression. Workloads: necklaces with prescribed phi (2..6) and a random
+// graph. (Variant 3's bound needs phi >= 2 — see the remark in
+// generic.hpp.)
+
+#include <cmath>
+#include <functional>
+
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "util/math.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+const char* variant_name(election::LargeTimeVariant v) {
+  switch (v) {
+    case election::LargeTimeVariant::kPhiPlusC:
+      return "E1: D+phi+c";
+    case election::LargeTimeVariant::kCTimesPhi:
+      return "E2: D+c*phi";
+    case election::LargeTimeVariant::kPhiPowC:
+      return "E3: D+phi^c";
+    case election::LargeTimeVariant::kCPowPhi:
+      return "E4: D+c^phi";
+  }
+  return "?";
+}
+
+double advice_scale(election::LargeTimeVariant v, double phi) {
+  double l = std::max(1.0, std::log2(phi));
+  switch (v) {
+    case election::LargeTimeVariant::kPhiPlusC:
+      return l;
+    case election::LargeTimeVariant::kCTimesPhi:
+      return std::max(1.0, std::log2(l));
+    case election::LargeTimeVariant::kPhiPowC:
+      return std::max(1.0, std::log2(std::max(1.0, std::log2(l))));
+    case election::LargeTimeVariant::kCPowPhi:
+      return std::max(
+          1.0,
+          std::log2(1.0 + util::log_star(static_cast<std::uint64_t>(phi))));
+  }
+  return 1;
+}
+
+std::vector<Row> e4_cell(const std::string& name,
+                         const portgraph::PortGraph& g,
+                         election::LargeTimeVariant v, std::uint64_t c) {
+  election::ElectionRun run = election::run_large_time(g, v, c);
+  std::uint64_t bound = election::large_time_bound(
+      v, static_cast<std::uint64_t>(run.diameter),
+      static_cast<std::uint64_t>(run.phi), c);
+  bool within =
+      run.ok() && static_cast<std::uint64_t>(run.metrics.rounds) <= bound;
+  // Variant 3's Theorem 4.1 budget assumes phi >= 2.
+  bool exempt = (v == election::LargeTimeVariant::kPhiPowC && run.phi < 2);
+  return {Row{name, c, g.n(), run.diameter, run.phi, variant_name(v),
+              run.metrics.rounds, bound,
+              within ? "yes" : (exempt ? "n/a (phi<2)" : "VIOLATED"),
+              run.advice_bits,
+              Value::real(advice_scale(v, static_cast<double>(run.phi)), 2)}};
+}
+
+runner::Scenario make_e4() {
+  runner::Scenario s;
+  s.name = "e4";
+  s.summary = "Election1..4: rounds within bound, advice on the Theta scale";
+  s.reference = "Theorem 4.1";
+  s.tables.push_back(runner::TableSpec{
+      "E4",
+      "Election1..4 (c in {2,3}): rounds must stay within the exact bound; "
+      "advice bits track the Theta scale column (log phi, log log phi, "
+      "log log log phi, log log* phi).",
+      {"graph", "c", "n", "D", "phi", "variant", "rounds", "bound", "within",
+       "advice bits", "Theta scale"}});
+
+  std::vector<std::pair<std::string, std::function<portgraph::PortGraph()>>>
+      graphs;
+  for (int phi : {2, 3, 4, 6})
+    graphs.emplace_back("necklace(phi=" + std::to_string(phi) + ")",
+                        [phi] { return families::necklace_member(5, phi, 1).graph; });
+  graphs.emplace_back("random(24,16)",
+                      [] { return portgraph::random_connected(24, 16, 3); });
+
+  for (std::uint64_t c : {std::uint64_t{2}, std::uint64_t{3}})
+    for (const auto& [name, build] : graphs)
+      for (election::LargeTimeVariant v :
+           {election::LargeTimeVariant::kPhiPlusC,
+            election::LargeTimeVariant::kCTimesPhi,
+            election::LargeTimeVariant::kPhiPowC,
+            election::LargeTimeVariant::kCPowPhi})
+        s.add_cell(name + "/c=" + std::to_string(c) + "/variant=" +
+                       std::to_string(static_cast<int>(v)),
+                   0, [name = name, build = build, v, c] {
+                     return e4_cell(name, build(), v, c);
+                   });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e4", make_e4);

@@ -1,0 +1,106 @@
+// E6 — Proposition 4.1 / Figure 9 (constant advice never suffices).
+//
+// Paper claim: no algorithm using advice of constant size performs leader
+// election in all feasible graphs, for any allocated time. The proof takes
+// c graphs H_1..H_c exhausting the c advice values, builds the composite
+// hairy ring G from their gamma-stretches (Fig. 9), and shows that the two
+// foci of the stretch of H_{j0} (the graph whose advice G shares) have the
+// same B^T as the cut node in H_{j0} — so they output identical short
+// paths pointing at two different "leaders".
+//
+// Table A verifies the view equalities (foci vs original cut node, and
+// the two foci against each other); table B demonstrates the failure
+// live: Elect on G with the advice computed for each H_j fails for every
+// one of the c advice strings, while G's own (non-constant!) advice
+// succeeds.
+
+#include <vector>
+
+#include "election/harness.hpp"
+#include "families/hairy.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+constexpr int kGamma = 12;
+
+std::vector<families::HairyRing> make_rings() {
+  std::vector<families::HairyRing> rings;
+  rings.push_back(families::hairy_ring({1, 0, 2}));
+  rings.push_back(families::hairy_ring({0, 3, 1}));
+  rings.push_back(families::hairy_ring({2, 1, 0, 4}));
+  return rings;
+}
+
+std::vector<Row> view_equalities_cell(std::size_t j) {
+  std::vector<families::HairyRing> rings = make_rings();
+  families::PropositionGraph g = families::proposition_graph(rings, kGamma);
+  views::ViewRepo repo;
+  const int t = 4;
+  views::ViewProfile pg = views::compute_profile(g.graph, repo, t);
+  views::ViewProfile pj = views::compute_profile(rings[j].graph, repo, t);
+  portgraph::NodeId a = g.layouts[j].ring_of_copy[kGamma / 2][0];
+  portgraph::NodeId b = g.layouts[j].ring_of_copy[kGamma / 2 + 1][0];
+  bool ea = pg.view(t, a) == pj.view(t, rings[j].ring[0]);
+  bool eb = pg.view(t, b) == pj.view(t, rings[j].ring[0]);
+  return {Row{"H_" + std::to_string(j + 1), rings[j].graph.n(),
+              g.graph.n(), ea ? "holds" : "VIOLATED",
+              eb ? "holds" : "VIOLATED",
+              pg.view(t, a) == pg.view(t, b) ? "holds" : "VIOLATED", t}};
+}
+
+std::vector<Row> cross_advice_cell(std::size_t j) {
+  std::vector<families::HairyRing> rings = make_rings();
+  families::PropositionGraph g = families::proposition_graph(rings, kGamma);
+  bool ok = runner::scenarios::cross_feed_succeeds(rings[j].graph, g.graph);
+  return {Row{"H_" + std::to_string(j + 1),
+              ok ? "SUCCEEDS (unexpected)" : "fails", "fails (Prop 4.1)"}};
+}
+
+std::vector<Row> own_advice_cell() {
+  std::vector<families::HairyRing> rings = make_rings();
+  families::PropositionGraph g = families::proposition_graph(rings, kGamma);
+  election::ElectionRun own = election::run_min_time(g.graph);
+  return {Row{"G itself (" + std::to_string(own.advice_bits) + " bits)",
+              own.ok() ? "succeeds" : "FAILS (unexpected)", "succeeds"}};
+}
+
+runner::Scenario make_e6() {
+  runner::Scenario s;
+  s.name = "e6";
+  s.summary = "constant-size advice cannot elect in all feasible graphs";
+  s.reference = "Proposition 4.1, Fig. 9";
+  s.tables.push_back(runner::TableSpec{
+      "E6.A",
+      "composite graph G: the stretch foci are indistinguishable from the "
+      "original cut node (and from each other) at the checked depth, so a "
+      "time-bounded algorithm with H_j's advice must output the same short "
+      "path at both foci — two different leaders",
+      {"H_j", "n(H_j)", "n(G)", "focus A = z_j", "focus B = z_j", "A = B",
+       "depth checked"}});
+  s.tables.push_back(runner::TableSpec{
+      "E6.B",
+      "live demonstration: each of the c constant-budget advice strings "
+      "fails on G; only G's own advice (size growing with G) elects "
+      "correctly",
+      {"advice source", "advice works on G?", "expected"}});
+
+  for (std::size_t j = 0; j < 3; ++j)
+    s.add_cell("views/H_" + std::to_string(j + 1), 0,
+               [j] { return view_equalities_cell(j); });
+  for (std::size_t j = 0; j < 3; ++j)
+    s.add_cell("cross/H_" + std::to_string(j + 1), 1,
+               [j] { return cross_advice_cell(j); });
+  s.add_cell("own-advice", 1, [] { return own_advice_cell(); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e6", make_e6);

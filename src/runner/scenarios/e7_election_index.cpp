@@ -1,0 +1,96 @@
+// E7 — Propositions 2.1 and 2.2 (the election index).
+//
+// Prop 2.1: the election index equals the smallest depth at which all
+// augmented truncated views are distinct (this is what compute_profile
+// measures; the map baseline elects in exactly that many rounds).
+// Prop 2.2: phi = O(D log(n/D)) for every feasible n-node graph of
+// diameter D.
+//
+// One cell per graph reports n, D, phi, the normalized ratio
+// phi / (D * max(1, log2(n/D))) — which Prop 2.2 bounds by a constant —
+// and the map-baseline round count (must equal phi).
+
+#include <cmath>
+#include <functional>
+
+#include "election/harness.hpp"
+#include "families/necklace.hpp"
+#include "families/ring_of_cliques.hpp"
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+std::vector<Row> e7_cell(const std::string& name,
+                         const portgraph::PortGraph& g, bool run_map_check) {
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  if (!p.feasible)
+    return {Row{name, g.n(), "-", "infeasible", "-", "-"}};
+  int d = g.diameter();
+  double ratio = static_cast<double>(p.election_index) /
+                 (static_cast<double>(d) *
+                  std::max(1.0, std::log2(static_cast<double>(g.n()) / d)));
+  Value map_rounds = "-";
+  if (run_map_check) {
+    election::ElectionRun run = election::run_map(g);
+    map_rounds = run.ok() && run.metrics.rounds == run.phi
+                     ? Value(run.metrics.rounds)
+                     : Value("VIOLATED");
+  }
+  return {Row{name, g.n(), d, p.election_index, Value::real(ratio, 3),
+              map_rounds}};
+}
+
+runner::Scenario make_e7() {
+  runner::Scenario s;
+  s.name = "e7";
+  s.summary = "election index across families: phi = O(D log(n/D))";
+  s.reference = "Propositions 2.1-2.2";
+  s.tables.push_back(runner::TableSpec{
+      "E7",
+      "election index across families: the ratio column must stay bounded "
+      "(phi = O(D log(n/D))); the map baseline elects in exactly phi "
+      "rounds (Prop 2.1); symmetric graphs are infeasible",
+      {"graph", "n", "D", "phi", "phi/(D log(n/D))", "map rounds"}});
+
+  auto add = [&s](std::string label, std::string name,
+                  std::function<portgraph::PortGraph()> build,
+                  bool map_check) {
+    s.add_cell(std::move(label), 0,
+               [name = std::move(name), build = std::move(build), map_check] {
+                 return e7_cell(name, build(), map_check);
+               });
+  };
+
+  for (std::size_t n : {16, 32, 64, 128}) {
+    add("random-sparse/n=" + std::to_string(n), "random sparse",
+        [n] { return portgraph::random_connected(n, n / 4, n); }, n <= 64);
+    add("random-dense/n=" + std::to_string(n), "random dense",
+        [n] { return portgraph::random_connected(n, 2 * n, n); }, n <= 64);
+  }
+  add("path/33", "path(33)", [] { return portgraph::path(33); }, false);
+  add("grid/5x7", "grid(5x7)", [] { return portgraph::grid(5, 7); }, true);
+  add("btree/31", "binary_tree(31)",
+      [] { return portgraph::binary_tree(31); }, true);
+  for (int phi : {2, 4, 8})
+    add("necklace/phi=" + std::to_string(phi),
+        "necklace(phi=" + std::to_string(phi) + ")",
+        [phi] { return families::necklace_member(5, phi, 1).graph; }, false);
+  add("gk/k=8", "G_k(k=8)",
+      [] { return families::g_family_member(8, 3).graph; }, false);
+  add("ring/16", "ring(16) [symmetric]", [] { return portgraph::ring(16); },
+      false);
+  add("hypercube/4", "hypercube(4) [symmetric]",
+      [] { return portgraph::hypercube(4); }, false);
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e7", make_e7);

@@ -1,0 +1,77 @@
+// E9 — the advice-vs-time frontier (Section 1 "Our results" + the remark
+// after Theorem 4.1), on a single graph.
+//
+// Paper narrative: the minimum advice for election drops in exponential
+// jumps as the allocated time grows —
+//   time phi        : ~n log n bits      (Theorem 3.1, near-tight)
+//   time D + phi    : O(log D + log phi) (remark after Theorem 4.1)
+//   time D + phi + c: Theta(log phi)
+//   time D + c*phi  : Theta(log log phi)
+//   time D + phi^c  : Theta(log log log phi)
+//   time D + c^phi  : Theta(log(log* phi))
+//   time D + n + 1  : O(log n)           (size-only baseline)
+//   map known       : Theta(m log n) advice, time phi (naive baseline)
+//
+// One cell per algorithm (the shared runner::election_portfolio) runs on
+// the same necklace and reports measured rounds and advice bits — the
+// frontier the paper's Figure-free evaluation describes in prose.
+
+#include "families/necklace.hpp"
+#include "runner/portfolio.hpp"
+#include "runner/scenario.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+// A necklace with phi = 4: large enough to see the advice hierarchy.
+portgraph::PortGraph workload() {
+  return families::necklace_member(6, 4, 3).graph;
+}
+
+std::vector<Row> workload_cell() {
+  portgraph::PortGraph g = workload();
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo);
+  return {Row{"necklace(k=6, phi=4)", g.n(), g.diameter(),
+              p.election_index}};
+}
+
+std::vector<Row> algorithm_cell(std::size_t index) {
+  runner::PortfolioAlgorithm algo =
+      runner::election_portfolio(/*c=*/2).at(index);
+  election::ElectionRun run = algo.run(workload());
+  return {Row{algo.name, algo.model, run.metrics.rounds, run.advice_bits,
+              static_cast<std::int64_t>(run.verdict.leader),
+              run.ok() ? "yes" : "NO"}};
+}
+
+runner::Scenario make_e9() {
+  runner::Scenario s;
+  s.name = "e9";
+  s.summary = "advice/time frontier: the full algorithm portfolio on one graph";
+  s.reference = "Section 1 results + remark after Theorem 4.1";
+  s.tables.push_back(runner::TableSpec{
+      "E9.W", "the workload graph", {"graph", "n", "D", "phi"}});
+  s.tables.push_back(runner::TableSpec{
+      "E9",
+      "advice/time frontier on necklace(k=6, phi=4): advice shrinks in the "
+      "paper's exponential jumps as allocated time grows; every row must "
+      "elect the leader.",
+      {"algorithm", "time model", "rounds", "advice bits", "leader", "ok"}});
+
+  s.add_cell("workload", 0, [] { return workload_cell(); });
+  std::vector<runner::PortfolioAlgorithm> portfolio =
+      runner::election_portfolio(2);
+  for (std::size_t i = 0; i < portfolio.size(); ++i)
+    s.add_cell("algo/" + portfolio[i].name, 1,
+               [i] { return algorithm_cell(i); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("e9", make_e9);

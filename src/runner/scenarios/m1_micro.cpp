@@ -1,0 +1,240 @@
+// M1 — microbenchmarks for the view substrate (m1-views) and the advice
+// machinery (m1-advice), the former google-benchmark binaries folded into
+// the scenario registry so they run through the same CLI as every table.
+//
+// Each cell times one operation with a simple adaptive loop (warm-up run,
+// then repeat until a fixed wall-clock budget) and reports ns/op. These
+// scenarios are marked non-deterministic: their values vary run to run by
+// nature, and they are excluded from the byte-identical output contract.
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "advice/min_time.hpp"
+#include "coding/codec.hpp"
+#include "families/necklace.hpp"
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+constexpr double kBudgetMs = 80.0;
+constexpr std::int64_t kMaxIters = 1 << 18;
+
+/// Times `op` (already set up): one warm-up call, then repeats until the
+/// wall-clock budget is spent. Returns a table row fragment.
+std::vector<Row> time_op(const std::string& benchmark, const std::string& arg,
+                         const std::function<void()>& op) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm-up
+  std::int64_t iters = 0;
+  Clock::time_point start = Clock::now();
+  double elapsed_ms = 0;
+  while (elapsed_ms < kBudgetMs && iters < kMaxIters) {
+    op();
+    ++iters;
+    elapsed_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
+                     .count();
+  }
+  double ns_per_op = elapsed_ms * 1e6 / static_cast<double>(iters);
+  return {Row{benchmark, arg, iters, Value::real(ns_per_op, 0)}};
+}
+
+const std::vector<std::string> kMicroColumns = {"benchmark", "arg",
+                                                "iterations", "ns/op"};
+
+// ----------------------------------------------------------- m1-views
+
+class IdleProgram final : public sim::FullInfoProgram {
+ public:
+  [[nodiscard]] bool has_output() const override { return false; }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+ protected:
+  void on_view(int) override {}
+};
+
+std::vector<Row> bm_profile_refinement(std::size_t n) {
+  portgraph::PortGraph g = portgraph::random_connected(n, n, 7);
+  return time_op("profile_refinement", "n=" + std::to_string(n), [&g] {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(g, repo);
+    (void)p.election_index;
+  });
+}
+
+std::vector<Row> bm_view_intern() {
+  views::ViewRepo repo;
+  views::ViewId leaf = repo.leaf(3);
+  std::vector<views::ChildRef> kids{{0, leaf}, {1, leaf}, {2, leaf}};
+  return time_op("view_intern", "-", [&] { (void)repo.intern(kids); });
+}
+
+std::vector<Row> bm_view_compare() {
+  portgraph::PortGraph g = portgraph::random_connected(64, 64, 3);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 6);
+  views::ViewId a = p.view(6, 0);
+  views::ViewId b = p.view(6, 1);
+  return time_op("view_compare", "depth=6",
+                 [&] { (void)repo.compare(a, b); });
+}
+
+std::vector<Row> bm_view_truncate() {
+  portgraph::PortGraph g = portgraph::random_connected(64, 64, 3);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 8);
+  return time_op("view_truncate", "8->4",
+                 [&] { (void)repo.truncate(p.view(8, 0), 4); });
+}
+
+std::vector<Row> bm_com_rounds(std::size_t n, int rounds) {
+  portgraph::PortGraph g = portgraph::random_connected(n, n, 11);
+  return time_op(
+      "com_rounds", "n=" + std::to_string(n) + ",r=" + std::to_string(rounds),
+      [&g, rounds] {
+        views::ViewRepo repo;
+        std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+        for (std::size_t v = 0; v < g.n(); ++v)
+          programs.push_back(std::make_unique<IdleProgram>());
+        sim::Engine engine(g, repo);
+        (void)engine.run(programs, rounds);
+      });
+}
+
+std::vector<Row> bm_serialized_size() {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 5);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 8);
+  return time_op("serialized_size", "depth=8",
+                 [&] { (void)repo.serialized_size_bits(p.view(8, 0)); });
+}
+
+runner::Scenario make_m1_views() {
+  runner::Scenario s;
+  s.name = "m1-views";
+  s.summary = "microbenchmarks of the view substrate (refinement, interning, "
+              "COM rounds)";
+  s.reference = "view substrate cost model";
+  s.deterministic = false;
+  s.serial = true;  // concurrent cells would contend with the timed loops
+  s.tables.push_back(runner::TableSpec{
+      "M1a",
+      "view substrate operations: refinement throughput, interning, "
+      "canonical comparison, truncation, full COM simulation rounds",
+      kMicroColumns});
+  for (std::size_t n : {32, 128, 512})
+    s.add_cell("profile/n=" + std::to_string(n), 0,
+               [n] { return bm_profile_refinement(n); });
+  s.add_cell("intern", 0, [] { return bm_view_intern(); });
+  s.add_cell("compare", 0, [] { return bm_view_compare(); });
+  s.add_cell("truncate", 0, [] { return bm_view_truncate(); });
+  s.add_cell("com/64x8", 0, [] { return bm_com_rounds(64, 8); });
+  s.add_cell("com/256x8", 0, [] { return bm_com_rounds(256, 8); });
+  s.add_cell("com/256x16", 0, [] { return bm_com_rounds(256, 16); });
+  s.add_cell("serialized_size", 0, [] { return bm_serialized_size(); });
+  return s;
+}
+
+// ----------------------------------------------------------- m1-advice
+
+std::vector<Row> bm_compute_advice(std::size_t n) {
+  portgraph::PortGraph g = portgraph::random_connected(n, n, 13);
+  return time_op("compute_advice", "n=" + std::to_string(n), [&g] {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(g, repo, 1);
+    advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p);
+    (void)adv.phi;
+  });
+}
+
+std::vector<Row> bm_compute_advice_deep(int phi) {
+  families::Necklace nk = families::necklace_member(5, phi, 1);
+  return time_op("compute_advice_deep", "phi=" + std::to_string(phi), [&nk] {
+    views::ViewRepo repo;
+    views::ViewProfile p = views::compute_profile(nk.graph, repo, 1);
+    advice::MinTimeAdvice adv = advice::compute_advice(nk.graph, repo, p);
+    (void)adv.phi;
+  });
+}
+
+std::vector<Row> bm_retrieve_label() {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 17);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 1);
+  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p);
+  int phi = static_cast<int>(adv.phi);
+  return time_op("retrieve_label", "n=128", [&] {
+    // Fresh labeler each iteration — as every node does.
+    advice::Labeler labeler(repo, adv.e1, adv.e2);
+    (void)labeler.retrieve_label(p.view(phi, 0));
+  });
+}
+
+std::vector<Row> bm_advice_encode() {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 19);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 1);
+  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, p);
+  return time_op("advice_encode", "n=128",
+                 [&] { (void)adv.to_bits().size(); });
+}
+
+std::vector<Row> bm_advice_decode() {
+  portgraph::PortGraph g = portgraph::random_connected(128, 128, 19);
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(g, repo, 1);
+  coding::BitString bits = advice::compute_advice(g, repo, p).to_bits();
+  return time_op("advice_decode", "n=128", [&bits] {
+    advice::MinTimeAdvice back = advice::MinTimeAdvice::from_bits(bits);
+    (void)back.phi;
+  });
+}
+
+std::vector<Row> bm_concat_codec() {
+  std::vector<coding::BitString> parts;
+  for (std::uint64_t i = 0; i < 256; ++i) parts.push_back(coding::bin(i * 37));
+  return time_op("concat_codec", "256 parts", [&parts] {
+    coding::BitString enc = coding::concat(parts);
+    (void)coding::decode(enc).size();
+  });
+}
+
+runner::Scenario make_m1_advice() {
+  runner::Scenario s;
+  s.name = "m1-advice";
+  s.summary = "microbenchmarks of the advice machinery (ComputeAdvice, "
+              "labels, codec)";
+  s.reference = "advice machinery cost model";
+  s.deterministic = false;
+  s.serial = true;  // concurrent cells would contend with the timed loops
+  s.tables.push_back(runner::TableSpec{
+      "M1b",
+      "advice machinery: ComputeAdvice end to end, RetrieveLabel on node "
+      "views, advice encode/decode, codec primitives",
+      kMicroColumns});
+  for (std::size_t n : {32, 128, 512})
+    s.add_cell("advice/n=" + std::to_string(n), 0,
+               [n] { return bm_compute_advice(n); });
+  for (int phi : {2, 4, 8})
+    s.add_cell("advice-deep/phi=" + std::to_string(phi), 0,
+               [phi] { return bm_compute_advice_deep(phi); });
+  s.add_cell("retrieve_label", 0, [] { return bm_retrieve_label(); });
+  s.add_cell("encode", 0, [] { return bm_advice_encode(); });
+  s.add_cell("decode", 0, [] { return bm_advice_decode(); });
+  s.add_cell("concat", 0, [] { return bm_concat_codec(); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("m1-views", make_m1_views);
+ANOLE_REGISTER_SCENARIO("m1-advice", make_m1_advice);

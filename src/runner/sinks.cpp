@@ -1,0 +1,152 @@
+#include "runner/sinks.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace anole::runner {
+
+namespace {
+
+std::string format_ms(double ms) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(2);
+  oss << ms;
+  return oss.str();
+}
+
+/// Rows of `table_index`, flattened over cells in declaration order.
+template <typename Fn>
+void for_each_table_row(const ScenarioOutcome& outcome,
+                        std::size_t table_index, Fn&& fn) {
+  for (const CellOutcome& cell : outcome.cells) {
+    if (cell.table != table_index || !cell.ok()) continue;
+    for (const Row& row : cell.rows) fn(cell, row);
+  }
+}
+
+}  // namespace
+
+void TextSink::emit(const ScenarioOutcome& outcome, std::ostream& os) const {
+  os << "scenario " << outcome.name;
+  if (!outcome.reference.empty()) os << " (" << outcome.reference << ")";
+  os << '\n' << '\n';
+  for (std::size_t t = 0; t < outcome.tables.size(); ++t) {
+    const TableSpec& spec = outcome.tables[t];
+    util::Table table(spec.columns);
+    for_each_table_row(outcome, t,
+                       [&table](const CellOutcome&, const Row& row) {
+                         std::vector<std::string> cells;
+                         cells.reserve(row.size());
+                         for (const Value& v : row) cells.push_back(v.text());
+                         table.add_row(std::move(cells));
+                       });
+    table.print(os, spec.id + " — " + spec.caption);
+  }
+  if (outcome.failures() > 0) {
+    util::Table table({"cell", "error"});
+    for (const CellOutcome& cell : outcome.cells)
+      if (!cell.ok()) table.add_row({cell.label, cell.error});
+    table.print(os, "FAILED cells (" + std::to_string(outcome.failures()) +
+                        " of " + std::to_string(outcome.cells.size()) + "):");
+  }
+  if (options_.timing) {
+    util::Table table({"cell", "wall ms"});
+    for (const CellOutcome& cell : outcome.cells)
+      table.add_row({cell.label, format_ms(cell.wall_ms)});
+    table.print(os, "per-cell wall clock (total " +
+                        format_ms(outcome.wall_ms) + " ms):");
+  }
+}
+
+void CsvSink::emit(const ScenarioOutcome& outcome, std::ostream& os) const {
+  for (std::size_t t = 0; t < outcome.tables.size(); ++t) {
+    const TableSpec& spec = outcome.tables[t];
+    std::vector<std::string> columns{"table", "cell"};
+    columns.insert(columns.end(), spec.columns.begin(), spec.columns.end());
+    if (options_.timing) columns.push_back("wall_ms");
+    util::Table table(std::move(columns));
+    for_each_table_row(
+        outcome, t, [&](const CellOutcome& cell, const Row& row) {
+          std::vector<std::string> cells{spec.id, cell.label};
+          for (const Value& v : row) cells.push_back(v.text());
+          if (options_.timing) cells.push_back(format_ms(cell.wall_ms));
+          table.add_row(std::move(cells));
+        });
+    table.print_csv(os);
+    if (t + 1 < outcome.tables.size()) os << '\n';
+  }
+  if (outcome.failures() > 0) {
+    os << '\n';
+    util::Table table({"failed_cell", "error"});
+    for (const CellOutcome& cell : outcome.cells)
+      if (!cell.ok()) table.add_row({cell.label, cell.error});
+    table.print_csv(os);
+  }
+}
+
+void JsonSink::emit(const ScenarioOutcome& outcome, std::ostream& os) const {
+  os << "{\n";
+  os << "  \"scenario\": \"" << json_escape(outcome.name) << "\",\n";
+  os << "  \"reference\": \"" << json_escape(outcome.reference) << "\",\n";
+  os << "  \"deterministic\": " << (outcome.deterministic ? "true" : "false")
+     << ",\n";
+  if (options_.timing)
+    os << "  \"wall_ms\": " << format_ms(outcome.wall_ms) << ",\n";
+  os << "  \"tables\": [";
+  for (std::size_t t = 0; t < outcome.tables.size(); ++t) {
+    const TableSpec& spec = outcome.tables[t];
+    os << (t == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"id\": \"" << json_escape(spec.id) << "\",\n";
+    os << "      \"caption\": \"" << json_escape(spec.caption) << "\",\n";
+    os << "      \"columns\": [";
+    for (std::size_t c = 0; c < spec.columns.size(); ++c)
+      os << (c ? ", " : "") << '"' << json_escape(spec.columns[c]) << '"';
+    os << "],\n";
+    os << "      \"rows\": [";
+    bool first_row = true;
+    for_each_table_row(
+        outcome, t, [&](const CellOutcome& cell, const Row& row) {
+          os << (first_row ? "\n" : ",\n");
+          first_row = false;
+          os << "        {\"cell\": \"" << json_escape(cell.label)
+             << "\", \"values\": {";
+          for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? ", " : "") << '"' << json_escape(spec.columns[c])
+               << "\": " << row[c].json();
+          }
+          os << "}";
+          if (options_.timing) os << ", \"wall_ms\": " << format_ms(cell.wall_ms);
+          os << "}";
+        });
+    os << (first_row ? "]\n" : "\n      ]\n");
+    os << "    }";
+  }
+  os << (outcome.tables.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"failures\": [";
+  bool first_failure = true;
+  for (const CellOutcome& cell : outcome.cells) {
+    if (cell.ok()) continue;
+    os << (first_failure ? "\n" : ",\n");
+    first_failure = false;
+    os << "    {\"cell\": \"" << json_escape(cell.label) << "\", \"error\": \""
+       << json_escape(cell.error) << "\"}";
+  }
+  os << (first_failure ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
+std::unique_ptr<ResultSink> make_sink(const std::string& format,
+                                      SinkOptions options) {
+  if (format == "text") return std::make_unique<TextSink>(options);
+  if (format == "csv") return std::make_unique<CsvSink>(options);
+  if (format == "json") return std::make_unique<JsonSink>(options);
+  throw std::invalid_argument("unknown format: " + format +
+                              " (expected text, csv or json)");
+}
+
+}  // namespace anole::runner

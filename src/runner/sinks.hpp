@@ -1,0 +1,65 @@
+#pragma once
+// Structured output sinks for scenario outcomes.
+//
+// Three renderings of the same ScenarioOutcome:
+//   text — the classic aligned tables (util::Table), one per TableSpec;
+//   csv  — one CSV block per table with leading (table, cell) columns,
+//          RFC-4180 escaping via util::Table::print_csv;
+//   json — a single object locked down by the golden test in
+//          tests/sinks_test.cpp (see DESIGN.md for the schema).
+//
+// Wall-clock fields are emitted only when SinkOptions::timing is set: they
+// are the one run-to-run varying part of an outcome, and the default
+// output must be byte-identical across runs and thread counts.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace anole::runner {
+
+struct SinkOptions {
+  bool timing = false;  ///< include per-cell / total wall-clock milliseconds
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void emit(const ScenarioOutcome& outcome, std::ostream& os) const = 0;
+};
+
+class TextSink final : public ResultSink {
+ public:
+  explicit TextSink(SinkOptions options = {}) : options_(options) {}
+  void emit(const ScenarioOutcome& outcome, std::ostream& os) const override;
+
+ private:
+  SinkOptions options_;
+};
+
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(SinkOptions options = {}) : options_(options) {}
+  void emit(const ScenarioOutcome& outcome, std::ostream& os) const override;
+
+ private:
+  SinkOptions options_;
+};
+
+class JsonSink final : public ResultSink {
+ public:
+  explicit JsonSink(SinkOptions options = {}) : options_(options) {}
+  void emit(const ScenarioOutcome& outcome, std::ostream& os) const override;
+
+ private:
+  SinkOptions options_;
+};
+
+/// Factory for the CLI: format is "text", "csv" or "json"; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] std::unique_ptr<ResultSink> make_sink(const std::string& format,
+                                                    SinkOptions options = {});
+
+}  // namespace anole::runner

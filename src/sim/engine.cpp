@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace anole::sim {
 
@@ -12,6 +13,7 @@ RunMetrics Engine::run(
                   "need one program per node: " << programs.size() << " vs "
                                                 << g.n());
   std::size_t n = g.n();
+  auto wall_start = std::chrono::steady_clock::now();
   RunMetrics metrics;
   metrics.decision_round.assign(n, -1);
   metrics.outputs.resize(n);
@@ -74,6 +76,9 @@ RunMetrics Engine::run(
     note_decisions(round);
   }
   metrics.rounds = round;
+  metrics.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
   return metrics;
 }
 

@@ -72,6 +72,9 @@ struct RunMetrics {
   std::size_t max_message_bits = 0;
   /// True iff the run hit max_rounds before everyone decided.
   bool timed_out = false;
+  /// Wall-clock time of the simulation, for per-cell reporting by the
+  /// experiment runner. Excluded from deterministic structured output.
+  double wall_ms = 0.0;
 };
 
 class Engine {

@@ -56,4 +56,24 @@ void Table::print(std::ostream& os, const std::string& caption) const {
   os << '\n';
 }
 
+void Table::print_csv(std::ostream& os) const {
+  auto escape = [](const std::string& cell) -> std::string {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << escape(row[c]);
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
 }  // namespace anole::util

@@ -30,6 +30,10 @@ class Table {
   /// Renders the table with column alignment to `os`.
   void print(std::ostream& os, const std::string& caption = {}) const;
 
+  /// Renders the table as RFC-4180 CSV (header + rows, no caption): cells
+  /// containing commas, quotes or newlines are quoted, quotes doubled.
+  void print_csv(std::ostream& os) const;
+
   std::size_t rows() const noexcept { return rows_.size(); }
 
  private:

@@ -1,0 +1,163 @@
+// Unit tests for the experiment-runner subsystem: the scenario registry,
+// deterministic reassembly of parallel cell grids, and failure capture.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sinks.hpp"
+
+namespace anole {
+namespace {
+
+using runner::Row;
+using runner::Value;
+
+std::string to_json(const runner::ScenarioOutcome& outcome,
+                    runner::SinkOptions options = {}) {
+  std::ostringstream oss;
+  runner::JsonSink(options).emit(outcome, oss);
+  return oss.str();
+}
+
+TEST(Registry, ContainsEveryPaperScenario) {
+  const runner::ScenarioRegistry& registry =
+      runner::ScenarioRegistry::global();
+  for (const char* name : {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+                           "e9", "e10", "m2", "m1-views", "m1-advice",
+                           "smoke"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_GE(registry.names().size(), 14u);
+}
+
+TEST(Registry, FactoriesProduceRunnableScenarios) {
+  const runner::ScenarioRegistry& registry =
+      runner::ScenarioRegistry::global();
+  for (const std::string& name : registry.names()) {
+    runner::Scenario s = registry.make(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_FALSE(s.tables.empty()) << name;
+    EXPECT_FALSE(s.cells.empty()) << name;
+    for (const runner::Cell& cell : s.cells)
+      EXPECT_LT(cell.table, s.tables.size()) << name << "/" << cell.label;
+  }
+}
+
+TEST(Registry, UnknownScenarioThrows) {
+  EXPECT_THROW(runner::ScenarioRegistry::global().make("no-such-scenario"),
+               std::out_of_range);
+}
+
+TEST(Registry, DuplicateNameRejected) {
+  runner::ScenarioRegistry registry;
+  auto factory = [] { return runner::Scenario{}; };
+  registry.add("dup", factory);
+  EXPECT_THROW(registry.add("dup", factory), std::logic_error);
+}
+
+TEST(Registry, ListingMetadataComesFromTheFactory) {
+  runner::ScenarioRegistry registry;
+  registry.add("meta", [] {
+    runner::Scenario s;
+    s.name = "meta";
+    s.summary = "the one true summary";
+    s.reference = "Lemma 0";
+    return s;
+  });
+  EXPECT_EQ(registry.summary("meta"), "the one true summary");
+  EXPECT_EQ(registry.reference("meta"), "Lemma 0");
+}
+
+runner::Scenario staggered_scenario() {
+  // Cells finish in scrambled order on purpose: later cells are faster.
+  runner::Scenario s;
+  s.name = "staggered";
+  s.tables.push_back(
+      runner::TableSpec{"T", "ordering probe", {"index", "square"}});
+  for (int i = 0; i < 12; ++i)
+    s.add_cell("cell/" + std::to_string(i), 0, [i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds((12 - i) % 5));
+      return std::vector<Row>{Row{i, i * i}};
+    });
+  return s;
+}
+
+TEST(ExperimentRunner, ResultsKeepDeclarationOrderUnderParallelism) {
+  runner::ScenarioOutcome outcome =
+      runner::ExperimentRunner(runner::RunOptions{4})
+          .run(staggered_scenario());
+  ASSERT_EQ(outcome.cells.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(outcome.cells[static_cast<std::size_t>(i)].label,
+              "cell/" + std::to_string(i));
+    ASSERT_EQ(outcome.cells[static_cast<std::size_t>(i)].rows.size(), 1u);
+    EXPECT_EQ(outcome.cells[static_cast<std::size_t>(i)].rows[0][0],
+              Value(i));
+  }
+}
+
+TEST(ExperimentRunner, OutputByteIdenticalAcrossThreadCounts) {
+  runner::ScenarioOutcome one =
+      runner::ExperimentRunner(runner::RunOptions{1})
+          .run(staggered_scenario());
+  runner::ScenarioOutcome four =
+      runner::ExperimentRunner(runner::RunOptions{4})
+          .run(staggered_scenario());
+  EXPECT_EQ(to_json(one), to_json(four));
+}
+
+TEST(ExperimentRunner, RegisteredSmokeScenarioDeterministicAcrossThreads) {
+  runner::Scenario smoke = runner::ScenarioRegistry::global().make("smoke");
+  runner::ScenarioOutcome one =
+      runner::ExperimentRunner(runner::RunOptions{1}).run(smoke);
+  runner::ScenarioOutcome four =
+      runner::ExperimentRunner(runner::RunOptions{4}).run(smoke);
+  std::string json = to_json(one);
+  EXPECT_EQ(json, to_json(four));
+  EXPECT_NE(json.find("\"scenario\": \"smoke\""), std::string::npos);
+  EXPECT_EQ(one.failures(), 0u);
+}
+
+TEST(ExperimentRunner, CapturesFailuresWithoutAborting) {
+  runner::Scenario s;
+  s.name = "failures";
+  s.tables.push_back(runner::TableSpec{"T", "", {"a", "b"}});
+  s.add_cell("ok", 0, [] { return std::vector<Row>{Row{1, 2}}; });
+  s.add_cell("throws", 0, []() -> std::vector<Row> {
+    throw std::runtime_error("cell exploded");
+  });
+  s.add_cell("bad-width", 0, [] { return std::vector<Row>{Row{1}}; });
+  s.add_cell("also-ok", 0, [] { return std::vector<Row>{Row{3, 4}}; });
+
+  runner::ScenarioOutcome outcome =
+      runner::ExperimentRunner(runner::RunOptions{2}).run(s);
+  EXPECT_EQ(outcome.failures(), 2u);
+  EXPECT_TRUE(outcome.cells[0].ok());
+  EXPECT_EQ(outcome.cells[1].error, "cell exploded");
+  EXPECT_NE(outcome.cells[2].error.find("row width 1"), std::string::npos);
+  EXPECT_TRUE(outcome.cells[3].ok());
+  // Failed cells contribute no rows but keep their slots.
+  EXPECT_TRUE(outcome.cells[1].rows.empty());
+}
+
+TEST(ExperimentRunner, ZeroThreadsMeansHardwareConcurrency) {
+  runner::Scenario s;
+  s.name = "zero";
+  s.tables.push_back(runner::TableSpec{"T", "", {"x"}});
+  s.add_cell("a", 0, [] { return std::vector<Row>{Row{7}}; });
+  s.add_cell("b", 0, [] { return std::vector<Row>{Row{8}}; });
+  runner::ScenarioOutcome outcome =
+      runner::ExperimentRunner(runner::RunOptions{0}).run(s);
+  EXPECT_EQ(outcome.failures(), 0u);
+  ASSERT_EQ(outcome.cells.size(), 2u);
+  EXPECT_EQ(outcome.cells[1].rows[0][0], Value(8));
+}
+
+}  // namespace
+}  // namespace anole

@@ -1,0 +1,151 @@
+// Golden-output tests for the result sinks. The JSON golden locks the
+// emitted schema: if this test breaks, downstream consumers of
+// anole_bench --format json break too — change it deliberately.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/runner.hpp"
+#include "runner/sinks.hpp"
+
+namespace anole {
+namespace {
+
+using runner::Row;
+using runner::Value;
+
+// A tiny E1-style scenario with fixed values: same column shape as the
+// real E1 table, but pure rows so the golden bytes never drift.
+runner::Scenario tiny_e1_style() {
+  runner::Scenario s;
+  s.name = "tiny-e1";
+  s.reference = "Theorem 3.1";
+  s.tables.push_back(runner::TableSpec{
+      "E1", "tiny fixture",
+      {"family", "n", "phi", "rounds", "advice bits", "bits/(n log n)",
+       "elected"}});
+  s.add_cell("grid/2x3", 0, [] {
+    return std::vector<Row>{
+        Row{"grid(2x3)", 6, 1, 1, 120, Value::real(7.7385, 2), "yes"}};
+  });
+  s.add_cell("wheel/4", 0, [] {
+    return std::vector<Row>{
+        Row{"wheel(4)", 5, 1, 1, 96, Value::real(8.2707, 2), "yes"}};
+  });
+  return s;
+}
+
+runner::ScenarioOutcome run_tiny(std::size_t threads = 2) {
+  return runner::ExperimentRunner(runner::RunOptions{threads})
+      .run(tiny_e1_style());
+}
+
+std::string emit(const runner::ResultSink& sink,
+                 const runner::ScenarioOutcome& outcome) {
+  std::ostringstream oss;
+  sink.emit(outcome, oss);
+  return oss.str();
+}
+
+TEST(JsonSink, GoldenTinyE1Scenario) {
+  const std::string expected = R"json({
+  "scenario": "tiny-e1",
+  "reference": "Theorem 3.1",
+  "deterministic": true,
+  "tables": [
+    {
+      "id": "E1",
+      "caption": "tiny fixture",
+      "columns": ["family", "n", "phi", "rounds", "advice bits", "bits/(n log n)", "elected"],
+      "rows": [
+        {"cell": "grid/2x3", "values": {"family": "grid(2x3)", "n": 6, "phi": 1, "rounds": 1, "advice bits": 120, "bits/(n log n)": 7.74, "elected": "yes"}},
+        {"cell": "wheel/4", "values": {"family": "wheel(4)", "n": 5, "phi": 1, "rounds": 1, "advice bits": 96, "bits/(n log n)": 8.27, "elected": "yes"}}
+      ]
+    }
+  ],
+  "failures": []
+}
+)json";
+  EXPECT_EQ(emit(runner::JsonSink(), run_tiny()), expected);
+}
+
+TEST(JsonSink, TimingFieldsOnlyWhenRequested) {
+  runner::ScenarioOutcome outcome = run_tiny();
+  EXPECT_EQ(emit(runner::JsonSink(), outcome).find("wall_ms"),
+            std::string::npos);
+  std::string timed =
+      emit(runner::JsonSink(runner::SinkOptions{true}), outcome);
+  EXPECT_NE(timed.find("\"wall_ms\": "), std::string::npos);
+}
+
+TEST(JsonSink, FailuresAndEscaping) {
+  runner::Scenario s;
+  s.name = "fail";
+  s.tables.push_back(runner::TableSpec{"T", "", {"a"}});
+  s.add_cell("boom", 0, []() -> std::vector<Row> {
+    throw std::runtime_error("quote \" and\nnewline");
+  });
+  std::string json = emit(
+      runner::JsonSink(),
+      runner::ExperimentRunner(runner::RunOptions{1}).run(s));
+  EXPECT_NE(json.find("\"failures\": [\n    {\"cell\": \"boom\", \"error\": "
+                      "\"quote \\\" and\\nnewline\"}"),
+            std::string::npos);
+}
+
+TEST(CsvSink, GoldenTinyE1Scenario) {
+  const std::string expected =
+      "table,cell,family,n,phi,rounds,advice bits,bits/(n log n),elected\n"
+      "E1,grid/2x3,grid(2x3),6,1,1,120,7.74,yes\n"
+      "E1,wheel/4,wheel(4),5,1,1,96,8.27,yes\n";
+  EXPECT_EQ(emit(runner::CsvSink(), run_tiny()), expected);
+}
+
+TEST(CsvSink, EscapesSpecialCells) {
+  runner::Scenario s;
+  s.name = "csv";
+  s.tables.push_back(runner::TableSpec{"T", "", {"text"}});
+  s.add_cell("c", 0, [] {
+    return std::vector<Row>{Row{"a,b \"quoted\""}};
+  });
+  std::string csv = emit(
+      runner::CsvSink(),
+      runner::ExperimentRunner(runner::RunOptions{1}).run(s));
+  EXPECT_EQ(csv, "table,cell,text\nT,c,\"a,b \"\"quoted\"\"\"\n");
+}
+
+TEST(TextSink, RendersCaptionRowsAndFailures) {
+  runner::Scenario s = tiny_e1_style();
+  s.add_cell("broken", 0,
+             []() -> std::vector<Row> { throw std::runtime_error("nope"); });
+  std::string text = emit(
+      runner::TextSink(),
+      runner::ExperimentRunner(runner::RunOptions{2}).run(s));
+  EXPECT_NE(text.find("E1 — tiny fixture"), std::string::npos);
+  EXPECT_NE(text.find("grid(2x3)"), std::string::npos);
+  EXPECT_NE(text.find("FAILED cells (1 of 3):"), std::string::npos);
+  EXPECT_NE(text.find("nope"), std::string::npos);
+}
+
+TEST(Sinks, FactoryKnowsAllFormatsAndRejectsOthers) {
+  EXPECT_NE(runner::make_sink("text"), nullptr);
+  EXPECT_NE(runner::make_sink("csv"), nullptr);
+  EXPECT_NE(runner::make_sink("json"), nullptr);
+  EXPECT_THROW(runner::make_sink("xml"), std::invalid_argument);
+}
+
+TEST(Value, RenderingRules) {
+  EXPECT_EQ(Value("x").text(), "x");
+  EXPECT_EQ(Value("x").json(), "\"x\"");
+  EXPECT_EQ(Value(42).json(), "42");
+  EXPECT_EQ(Value(true).text(), "yes");
+  EXPECT_EQ(Value(true).json(), "true");
+  EXPECT_EQ(Value::real(3.14159, 2).text(), "3.14");
+  EXPECT_EQ(Value::real(3.14159, 2).json(), "3.14");
+  EXPECT_EQ(runner::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+}  // namespace
+}  // namespace anole

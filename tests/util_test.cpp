@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/check.hpp"
@@ -143,6 +146,18 @@ TEST(Table, NumFormats) {
   EXPECT_EQ(util::Table::num(42), "42");
 }
 
+TEST(Table, PrintCsvEscapes) {
+  util::Table t({"name", "note"});
+  t.add_row({"plain", "a,b"});
+  t.add_row({"quo\"te", "line\nbreak"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(),
+            "name,note\n"
+            "plain,\"a,b\"\n"
+            "\"quo\"\"te\",\"line\nbreak\"\n");
+}
+
 TEST(ThreadPool, RunsAllTasks) {
   std::vector<int> hits(64, 0);
   util::ThreadPool::parallel_for(
@@ -160,6 +175,48 @@ TEST(ThreadPool, PropagatesException) {
                    },
                    2),
                std::runtime_error);
+}
+
+TEST(ThreadPool, LaterIndicesStillRunAfterThrow) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(util::ThreadPool::parallel_for(
+                   16,
+                   [&](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 0) throw std::runtime_error("first fails");
+                   },
+                   2),
+               std::runtime_error);
+  // parallel_for only rethrows after wait_idle: every task still executed.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  util::ThreadPool pool(2);
+  pool.wait_idle();  // must not block
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, WaitIdleDrainsAllSubmittedTasks) {
+  util::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i)
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      done.fetch_add(1);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  util::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) pool.submit([&done] { done.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 8 * (round + 1));
+  }
 }
 
 }  // namespace

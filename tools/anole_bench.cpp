@@ -1,0 +1,168 @@
+// anole_bench — the unified experiment CLI.
+//
+// Every paper table (E1..E10, M1, M2) is a registered scenario; this
+// binary replaces the former one-binary-per-table bench drivers. Cells of
+// a scenario run in parallel on a thread pool; structured results are
+// reassembled in declaration order, so output is byte-identical for any
+// --threads value (see src/runner/ and DESIGN.md).
+//
+// Usage:
+//   anole_bench --list
+//   anole_bench --scenario <name|all> [--scenario <name> ...]
+//               [--threads N] [--format text|json|csv] [--out FILE]
+//               [--timing]
+//
+// Exit status: 0 on success, 1 if any cell failed, 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sinks.hpp"
+#include "util/table.hpp"
+
+using namespace anole;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: anole_bench --list\n"
+        "       anole_bench --scenario <name|all> [--scenario <name> ...]\n"
+        "                   [--threads N] [--format text|json|csv]\n"
+        "                   [--out FILE] [--timing]\n"
+        "\n"
+        "  --list       list registered scenarios and exit\n"
+        "  --scenario   scenario to run ('all' = every registered one)\n"
+        "  --threads    worker threads for the cell grid (default 1;\n"
+        "               0 = hardware concurrency)\n"
+        "  --format     output format (default text)\n"
+        "  --out        write results to FILE instead of stdout\n"
+        "  --timing     include wall-clock fields (non-deterministic)\n";
+  return code;
+}
+
+int list_scenarios() {
+  const runner::ScenarioRegistry& registry = runner::ScenarioRegistry::global();
+  util::Table table({"scenario", "reference", "summary"});
+  for (const std::string& name : registry.names())
+    table.add_row({name, registry.reference(name), registry.summary(name)});
+  table.print(std::cout, "registered scenarios:");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+
+  std::vector<std::string> selected;
+  std::size_t threads = 1;
+  std::string format = "text";
+  std::string out_path;
+  bool timing = false;
+  bool list = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "missing value for " << arg << '\n';
+        std::exit(usage(std::cerr, 2));
+      }
+      return args[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--scenario") {
+      selected.push_back(next());
+    } else if (arg == "--threads") {
+      const std::string& value = next();
+      try {
+        std::size_t pos = 0;
+        threads = std::stoul(value, &pos);
+        if (pos != value.size() || threads > 4096)
+          throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        std::cerr << "--threads expects a number in [0, 4096], got '" << value
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg == "--format") {
+      format = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return usage(std::cerr, 2);
+    }
+  }
+
+  if (list) return list_scenarios();
+  if (selected.empty()) {
+    std::cerr << "no scenario selected\n";
+    return usage(std::cerr, 2);
+  }
+
+  const runner::ScenarioRegistry& registry = runner::ScenarioRegistry::global();
+  std::vector<std::string> names;
+  for (const std::string& name : selected) {
+    if (name == "all") {
+      std::vector<std::string> all = registry.names();
+      names.insert(names.end(), all.begin(), all.end());
+    } else if (registry.contains(name)) {
+      names.push_back(name);
+    } else {
+      std::cerr << "unknown scenario: " << name
+                << " (try anole_bench --list)\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<runner::ResultSink> sink;
+  try {
+    sink = runner::make_sink(format, runner::SinkOptions{timing});
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "cannot open " << out_path << '\n';
+      return 2;
+    }
+  }
+  std::ostream& os = out_path.empty() ? std::cout : file;
+
+  runner::ExperimentRunner exp_runner(runner::RunOptions{threads});
+  std::size_t total_failures = 0;
+  bool json_array = format == "json" && names.size() > 1;
+  if (json_array) os << "[\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    runner::ScenarioOutcome outcome =
+        exp_runner.run(registry.make(names[i]));
+    total_failures += outcome.failures();
+    sink->emit(outcome, os);
+    if (json_array && i + 1 < names.size()) os << ",";
+    if (format == "text" && i + 1 < names.size()) os << '\n';
+    std::cerr << names[i] << ": " << outcome.cells.size() << " cells, "
+              << outcome.failures() << " failed\n";
+  }
+  if (json_array) os << "]\n";
+
+  if (total_failures > 0) {
+    std::cerr << total_failures << " cell(s) failed\n";
+    return 1;
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include "families/ring_of_cliques.hpp"
 #include "portgraph/builders.hpp"
 #include "portgraph/io.hpp"
+#include "runner/portfolio.hpp"
 #include "util/table.hpp"
 #include "views/profile.hpp"
 
@@ -134,18 +135,14 @@ int main(int argc, char** argv) {
   if (elect) {
     util::Table table({"algorithm", "time model", "rounds", "advice bits",
                        "ok"});
-    auto add = [&table](const std::string& name, const std::string& model,
-                        const election::ElectionRun& run) {
-      table.add_row({name, model, util::Table::num(run.metrics.rounds),
+    for (const runner::PortfolioAlgorithm& algo :
+         runner::election_portfolio(/*c=*/2)) {
+      election::ElectionRun run = algo.run(g);
+      table.add_row({algo.name, algo.model,
+                     util::Table::num(run.metrics.rounds),
                      util::Table::num(run.advice_bits),
                      run.ok() ? "yes" : "NO"});
-    };
-    add("Elect", "phi", election::run_min_time(g));
-    add("Remark", "D+phi", election::run_remark(g));
-    add("Election1", "D+phi+c",
-        election::run_large_time(g, election::LargeTimeVariant::kPhiPlusC, 2));
-    add("Election4", "D+c^phi",
-        election::run_large_time(g, election::LargeTimeVariant::kCPowPhi, 2));
+    }
     table.print(std::cout, "\nelection portfolio:");
   }
   return 0;
