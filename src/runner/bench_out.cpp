@@ -1,0 +1,71 @@
+#include "runner/bench_out.hpp"
+
+#include <cstddef>
+#include <optional>
+
+namespace anole::runner {
+
+namespace {
+
+/// Index of the column named `name`, if any.
+std::optional<std::size_t> column_index(const TableSpec& spec,
+                                        const std::string& name) {
+  for (std::size_t c = 0; c < spec.columns.size(); ++c)
+    if (spec.columns[c] == name) return c;
+  return std::nullopt;
+}
+
+/// The bits column: exact "total bits" wins, else the first column whose
+/// name mentions bits (e.g. M2's "DAG bits").
+std::optional<std::size_t> bits_column(const TableSpec& spec) {
+  if (auto exact = column_index(spec, "total bits")) return exact;
+  for (std::size_t c = 0; c < spec.columns.size(); ++c)
+    if (spec.columns[c].find("bits") != std::string::npos) return c;
+  return std::nullopt;
+}
+
+/// Parses a Value's JSON rendering as a non-negative integer (bench
+/// records only harvest counters; strings/reals yield nullopt).
+std::optional<long long> as_integer(const Value& v) {
+  const std::string j = v.json();
+  if (j.empty() || j.front() == '"') return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    long long parsed = std::stoll(j, &pos);
+    if (pos != j.size() || parsed < 0) return std::nullopt;
+    return parsed;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void write_bench_records(const ScenarioOutcome& outcome, std::ostream& os) {
+  for (const CellOutcome& cell : outcome.cells) {
+    if (!cell.ok()) continue;
+    const TableSpec& spec = outcome.tables[cell.table];
+    std::optional<std::size_t> n_col = column_index(spec, "n");
+    std::optional<std::size_t> rounds_col = column_index(spec, "rounds");
+    std::optional<std::size_t> bits_col = bits_column(spec);
+    for (const Row& row : cell.rows) {
+      os << "{\"scenario\": \"" << json_escape(outcome.name)
+         << "\", \"cell\": \"" << json_escape(cell.label)
+         << "\", \"wall_ms\": " << format_ms(cell.wall_ms);
+      std::optional<long long> n, rounds;
+      if (n_col) n = as_integer(row[*n_col]);
+      if (rounds_col) rounds = as_integer(row[*rounds_col]);
+      if (n_col) os << ", \"n\": " << row[*n_col].json();
+      if (rounds_col) os << ", \"rounds\": " << row[*rounds_col].json();
+      if (bits_col) os << ", \"bits\": " << row[*bits_col].json();
+      if (n && rounds && cell.wall_ms > 0.0) {
+        double cps = static_cast<double>(*n) * static_cast<double>(*rounds) *
+                     1000.0 / cell.wall_ms;
+        os << ", \"cells_per_sec\": " << static_cast<long long>(cps);
+      }
+      os << "}\n";
+    }
+  }
+}
+
+}  // namespace anole::runner

@@ -1,0 +1,31 @@
+#pragma once
+// Perf-trajectory records for `anole_bench --bench-out FILE`.
+//
+// Structured scenario output is deliberately deterministic (no wall-clock
+// fields), so performance over time needs its own channel: one JSON-lines
+// record per completed cell row, appended to FILE so successive runs (and
+// successive commits, via the CI artifact BENCH_scale.json) accumulate a
+// comparable history. Schema (DESIGN.md §6):
+//
+//   {"scenario": "s1", "cell": "random/n=1024", "wall_ms": 169.21,
+//    "n": 1024, "rounds": 8, "bits": 4162327260, "cells_per_sec": 48418}
+//
+// "n", "rounds" and "bits" are harvested from the row by column name ("n",
+// "rounds", and "total bits" — falling back to the first column containing
+// "bits"); they are omitted when the table has no such column, so the flag
+// works with every scenario, not just S1. "cells_per_sec" (node-rounds
+// simulated per second) is emitted when both "n" and "rounds" are numeric.
+
+#include <ostream>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace anole::runner {
+
+/// Appends one JSON-lines bench record per completed cell row of `outcome`
+/// to `os` (see schema above). Failed cells are skipped. The caller owns
+/// the stream (anole_bench opens FILE in append mode, once, up front).
+void write_bench_records(const ScenarioOutcome& outcome, std::ostream& os);
+
+}  // namespace anole::runner

@@ -35,6 +35,8 @@ std::string Value::json() const {
   return std::get<bool>(v_) ? "true" : "false";
 }
 
+std::string format_ms(double ms) { return format_real(ms, 2); }
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

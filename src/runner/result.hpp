@@ -58,4 +58,8 @@ using Row = std::vector<Value>;
 /// Escapes a string for embedding in a JSON string literal (no quotes).
 [[nodiscard]] std::string json_escape(const std::string& s);
 
+/// Fixed two-decimal rendering of a wall-clock millisecond figure — the
+/// one format every timing field (sinks, bench records) uses.
+[[nodiscard]] std::string format_ms(double ms);
+
 }  // namespace anole::runner

@@ -67,6 +67,13 @@ runner::Scenario make_m2() {
   add("random/64", "random(64, deg~8)",
       [] { return portgraph::random_connected(64, 192, 4); });
   add("grid/6x6", "grid(6x6)", [] { return portgraph::grid(6, 6); });
+  // Larger graphs, reachable now that size accounting is incremental
+  // (DESIGN.md §1): the old per-query DAG traversal made these cells the
+  // bottleneck of every metered sweep.
+  add("random/128", "random(128, deg~6)",
+      [] { return portgraph::random_connected(128, 256, 6); });
+  add("random/256", "random(256, deg~6)",
+      [] { return portgraph::random_connected(256, 512, 7); });
   return s;
 }
 

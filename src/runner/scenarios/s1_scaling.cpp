@@ -1,0 +1,108 @@
+// S1 — scaling sweep for the metered view substrate.
+//
+// The paper's size/time trade-off tables (M2, E4, E8) only become
+// interesting at scales the naive metering path could not reach: pricing
+// "the whole current view" once per node per round with a full DAG
+// traversal made metered runs O(n^2 * t) over an O(n * t) substrate. With
+// incremental DAG statistics (DESIGN.md §1) and once-per-distinct-view
+// metering (§3), the same runs are dominated by the simulation itself.
+// S1 sweeps n across three families with metering on:
+//
+//   ring    — fully symmetric: one distinct view per round, the metering
+//             best case (n messages, one size computation);
+//   clique  — dense and feasible (phi = 1): n distinct views per round,
+//             the largest per-view DAGs;
+//   random  — sparse connected graphs, the typical workload.
+//
+// Every value reported is deterministic (byte-identical across --threads,
+// like all paper tables); wall-clock throughput is tracked separately via
+// `anole_bench --bench-out` (BENCH_scale.json — see DESIGN.md §6).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
+#include "views/view_repo.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+/// COM for a fixed number of rounds, then a (content-free) decision: S1
+/// measures the substrate under metering load, not an election.
+class ComForRounds final : public sim::FullInfoProgram {
+ public:
+  explicit ComForRounds(int target) : target_(target) {}
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+ protected:
+  void on_view(int rounds) override {
+    if (rounds >= target_) done_ = true;
+  }
+
+ private:
+  int target_;
+  bool done_ = false;
+};
+
+std::vector<Row> s1_cell(const std::string& family,
+                         const portgraph::PortGraph& g, int rounds) {
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  programs.reserve(g.n());
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<ComForRounds>(rounds));
+  sim::Engine engine(g, repo);
+  sim::RunMetrics m =
+      engine.run(programs, rounds + 1, /*meter_messages=*/true);
+  std::size_t last_distinct = m.distinct_views_per_round.empty()
+                                  ? 0
+                                  : m.distinct_views_per_round.back();
+  return {Row{family, g.n(), m.rounds, m.total_message_bits,
+              m.max_message_bits, last_distinct, repo.size()}};
+}
+
+runner::Scenario make_s1() {
+  runner::Scenario s;
+  s.name = "s1";
+  s.summary = "scaling sweep: metered COM across n for ring/clique/random";
+  s.reference = "DESIGN.md §1/§3 (metered substrate scaling)";
+  s.tables.push_back(runner::TableSpec{
+      "S1",
+      "Metered COM at scale: total/max message bits, distinct outgoing "
+      "views in the last round (= size computations per round), and the "
+      "hash-consed repo size. Ring is the symmetric best case (1 distinct "
+      "view), clique the dense worst case (n distinct views), random the "
+      "typical workload. All values deterministic; wall-clock throughput "
+      "is tracked via --bench-out (BENCH_scale.json).",
+      {"family", "n", "rounds", "total bits", "max msg bits",
+       "distinct views", "repo records"}});
+
+  auto add = [&s](std::string family, std::size_t n, int rounds,
+                  std::function<portgraph::PortGraph()> build) {
+    s.add_cell(family + "/n=" + std::to_string(n), 0,
+               [family, rounds, build = std::move(build)] {
+                 return s1_cell(family, build(), rounds);
+               });
+  };
+  for (std::size_t n : {1024, 4096, 16384})
+    add("ring", n, 32, [n] { return portgraph::ring(n); });
+  for (std::size_t n : {32, 64, 128})
+    add("clique", n, 6, [n] { return portgraph::clique(n); });
+  for (std::size_t n : {64, 256, 1024})
+    add("random", n, 8,
+        [n] { return portgraph::random_connected(n, 2 * n, 9); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("s1", make_s1);

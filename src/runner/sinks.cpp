@@ -1,7 +1,6 @@
 #include "runner/sinks.hpp"
 
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 
 #include "util/table.hpp"
@@ -9,14 +8,6 @@
 namespace anole::runner {
 
 namespace {
-
-std::string format_ms(double ms) {
-  std::ostringstream oss;
-  oss.setf(std::ios::fixed);
-  oss.precision(2);
-  oss << ms;
-  return oss.str();
-}
 
 /// Rows of `table_index`, flattened over cells in declaration order.
 template <typename Fn>

@@ -38,6 +38,12 @@ RunMetrics Engine::run(
 
   std::vector<views::ViewId> outbox(n);
   std::vector<Message> inbox;
+  // Metering scratch: the sorted distinct outgoing views of one round and
+  // their sizes. Many nodes share a view (anonymity: equal-view nodes are
+  // indistinguishable), so each distinct ViewId is priced exactly once per
+  // round instead of once per node.
+  std::vector<views::ViewId> distinct;
+  std::vector<std::size_t> distinct_bits;
   int round = 0;
   while (!all_decided()) {
     if (round >= max_rounds) {
@@ -47,14 +53,29 @@ RunMetrics Engine::run(
     for (std::size_t v = 0; v < n; ++v)
       outbox[v] = programs[v]->outgoing(round);
     if (meter_messages) {
+      distinct.assign(outbox.begin(), outbox.end());
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      distinct_bits.resize(distinct.size());
+      for (std::size_t i = 0; i < distinct.size(); ++i) {
+        std::size_t bits = repo_->serialized_size_bits(distinct[i]);
+        distinct_bits[i] = bits;
+        metrics.max_message_bits = std::max(metrics.max_message_bits, bits);
+      }
+      std::size_t round_bits = 0;
       for (std::size_t v = 0; v < n; ++v) {
-        std::size_t bits = repo_->serialized_size_bits(outbox[v]);
+        std::size_t i = static_cast<std::size_t>(
+            std::lower_bound(distinct.begin(), distinct.end(), outbox[v]) -
+            distinct.begin());
         std::size_t copies = static_cast<std::size_t>(
             g.degree(static_cast<portgraph::NodeId>(v)));
         metrics.message_count += copies;
-        metrics.total_message_bits += bits * copies;
-        metrics.max_message_bits = std::max(metrics.max_message_bits, bits);
+        round_bits += distinct_bits[i] * copies;
       }
+      metrics.total_message_bits += round_bits;
+      metrics.bits_per_round.push_back(round_bits);
+      metrics.distinct_views_per_round.push_back(distinct.size());
     } else {
       for (std::size_t v = 0; v < n; ++v)
         metrics.message_count +=

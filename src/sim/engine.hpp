@@ -70,6 +70,13 @@ struct RunMetrics {
   std::size_t message_count = 0;
   std::size_t total_message_bits = 0;
   std::size_t max_message_bits = 0;
+  /// Per-round metering breakdowns (filled only when metering is on):
+  /// bits_per_round[r] is the total bits sent in round r across all edges,
+  /// distinct_views_per_round[r] the number of distinct outgoing views that
+  /// round — the number of size computations the engine actually performs
+  /// (each distinct view is metered once per round, not once per node).
+  std::vector<std::size_t> bits_per_round;
+  std::vector<std::size_t> distinct_views_per_round;
   /// True iff the run hit max_rounds before everyone decided.
   bool timed_out = false;
   /// Wall-clock time of the simulation, for per-cell reporting by the

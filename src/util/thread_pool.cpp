@@ -1,7 +1,7 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
 #include <exception>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -38,11 +38,28 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mu_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    // Hand the first captured task exception to exactly one waiter and
+    // reset, so the pool stays usable for further submit/wait cycles.
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
+  // Decrements in_flight_ even when the task throws: a leaked exception
+  // would otherwise skip the decrement and hang wait_idle forever.
+  struct InFlightGuard {
+    ThreadPool* pool;
+    ~InFlightGuard() {
+      std::scoped_lock lock(pool->mu_);
+      --pool->in_flight_;
+      if (pool->in_flight_ == 0) pool->cv_idle_.notify_all();
+    }
+  };
   for (;;) {
     std::function<void()> task;
     {
@@ -52,11 +69,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
-    {
+    InFlightGuard guard{this};
+    try {
+      task();
+    } catch (...) {
+      // A throwing task must not escape the worker (std::terminate); the
+      // first exception surfaces from wait_idle, the rest are dropped.
       std::scoped_lock lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
+      if (!first_error_) first_error_ = std::current_exception();
     }
   }
 }
@@ -65,20 +85,9 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t threads) {
   ThreadPool pool(threads);
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&, i] {
-      try {
-        fn(i);
-      } catch (...) {
-        std::scoped_lock lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  for (std::size_t i = 0; i < count; ++i)
+    pool.submit([&fn, i] { fn(i); });
+  pool.wait_idle();  // rethrows the first task exception, if any
 }
 
 }  // namespace anole::util

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -26,10 +27,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. A throwing task never
+  /// escapes its worker thread (which would std::terminate the process):
+  /// the first exception is captured and rethrown from wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. If any task threw,
+  /// rethrows the first captured exception (later ones are dropped); the
+  /// pool stays usable afterwards.
   void wait_idle();
 
   std::size_t size() const noexcept { return workers_.size(); }
@@ -50,6 +55,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  ///< guarded by mu_
 };
 
 }  // namespace anole::util

@@ -24,6 +24,11 @@ std::uint64_t hash_key(int degree, int depth,
   return h;
 }
 
+/// Packs two 32-bit payloads into one memo key.
+std::uint64_t pack_key(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
 }  // namespace
 
 ViewId ViewRepo::leaf(int degree) {
@@ -62,6 +67,17 @@ ViewId ViewRepo::intern_impl(int degree, int depth,
   r.depth = depth;
   r.child_begin = static_cast<std::uint32_t>(child_pool_.size());
   r.child_count = static_cast<std::uint32_t>(children.size());
+  // Max over the reachable DAG composes record-by-record: children are
+  // already interned, so their DAG maxima are final.
+  r.sub_max_degree = degree;
+  r.sub_max_port = 0;
+  for (const auto& [port, child] : children) {
+    const Record& c = records_[static_cast<std::size_t>(child)];
+    r.sub_max_degree = std::max(r.sub_max_degree, c.sub_max_degree);
+    r.sub_max_port =
+        std::max({r.sub_max_port, static_cast<std::int32_t>(port),
+                  c.sub_max_port});
+  }
   child_pool_.insert(child_pool_.end(), children.begin(), children.end());
   records_.push_back(r);
   ViewId id = static_cast<ViewId>(records_.size() - 1);
@@ -76,113 +92,203 @@ std::span<const ChildRef> ViewRepo::children(ViewId v) const {
 
 std::strong_ordering ViewRepo::compare(ViewId a, ViewId b) const {
   if (a == b) return std::strong_ordering::equal;
-  const Record& ra = rec(a);
-  const Record& rb = rec(b);
-  ANOLE_CHECK_MSG(ra.depth == rb.depth, "comparing views of unequal depth");
-  std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
-                       << 32) |
-                      static_cast<std::uint32_t>(b);
-  if (auto it = compare_memo_.find(key); it != compare_memo_.end())
-    return it->second < 0 ? std::strong_ordering::less
-                          : std::strong_ordering::greater;
-  std::strong_ordering result = std::strong_ordering::equal;
-  if (ra.degree != rb.degree) {
-    result = ra.degree <=> rb.degree;
-  } else {
-    std::span<const ChildRef> ca = children(a);
-    std::span<const ChildRef> cb = children(b);
-    for (std::size_t i = 0; i < ca.size(); ++i) {
-      if (ca[i].first != cb[i].first) {
-        result = ca[i].first <=> cb[i].first;
-        break;
-      }
-      if (auto sub = compare(ca[i].second, cb[i].second);
-          sub != std::strong_ordering::equal) {
-        result = sub;
-        break;
-      }
+  ANOLE_CHECK_MSG(rec(a).depth == rec(b).depth,
+                  "comparing views of unequal depth");
+  // Verdicts are memoized under the normalized (smaller id, larger id) key;
+  // the stored sign is relative to that orientation, so one entry serves
+  // both compare(a, b) and the mirrored compare(b, a).
+  auto lookup = [this](ViewId x, ViewId y) -> std::int8_t {
+    bool swapped = x > y;
+    auto it = compare_memo_.find(swapped ? pack_key(static_cast<std::uint32_t>(y),
+                                                    static_cast<std::uint32_t>(x))
+                                         : pack_key(static_cast<std::uint32_t>(x),
+                                                    static_cast<std::uint32_t>(y)));
+    if (it == compare_memo_.end()) return 0;
+    return swapped ? static_cast<std::int8_t>(-it->second) : it->second;
+  };
+  auto store = [this](ViewId x, ViewId y, std::int8_t sign) {
+    if (x > y) {
+      std::swap(x, y);
+      sign = static_cast<std::int8_t>(-sign);
     }
+    compare_memo_.emplace(pack_key(static_cast<std::uint32_t>(x),
+                                   static_cast<std::uint32_t>(y)),
+                          sign);
+  };
+  if (std::int8_t hit = lookup(a, b); hit != 0)
+    return hit < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+
+  // Iterative descent to the first structural difference. Lexicographic
+  // order means that difference decides every frame on the path: each
+  // parent was waiting on its first unequal child pair, so one verdict
+  // resolves (and memoizes) the whole stack. Depth of the explicit stack
+  // is bounded by the view depth — no call-stack recursion.
+  struct Frame {
+    ViewId a, b;
+    std::uint32_t i = 0;  ///< next child index to examine
+  };
+  std::vector<Frame> stack{{a, b, 0}};
+  for (;;) {
+    Frame& f = stack.back();
+    const Record& ra = rec(f.a);
+    const Record& rb = rec(f.b);
+    std::int8_t verdict = 0;
+    if (ra.degree != rb.degree) {
+      verdict = ra.degree < rb.degree ? -1 : +1;
+    } else {
+      std::span<const ChildRef> ca = children(f.a);
+      std::span<const ChildRef> cb = children(f.b);
+      bool descended = false;
+      while (f.i < ca.size()) {
+        const auto& [pa, xa] = ca[f.i];
+        const auto& [pb, xb] = cb[f.i];
+        if (pa != pb) {
+          verdict = pa < pb ? -1 : +1;
+          break;
+        }
+        if (xa != xb) {
+          if (std::int8_t hit = lookup(xa, xb); hit != 0) {
+            verdict = hit;
+            break;
+          }
+          ++f.i;  // before push_back: it invalidates the reference f
+          stack.push_back(Frame{xa, xb, 0});
+          descended = true;
+          break;
+        }
+        ++f.i;
+      }
+      if (descended) continue;
+    }
+    // Hash-consing guarantees structurally equal views share an id, so two
+    // distinct ids at equal depth must differ somewhere.
+    ANOLE_CHECK_MSG(verdict != 0,
+                    "distinct ids compared equal — interning broken");
+    for (const Frame& fr : stack) store(fr.a, fr.b, verdict);
+    return verdict < 0 ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
   }
-  // Hash-consing guarantees structurally equal views share an id, so two
-  // distinct ids at equal depth must differ somewhere.
-  ANOLE_CHECK_MSG(result != std::strong_ordering::equal,
-                  "distinct ids compared equal — interning broken");
-  compare_memo_.emplace(key, result < 0 ? -1 : +1);
-  return result;
 }
 
 ViewId ViewRepo::truncate(ViewId v, int x) {
-  const Record r = rec(v);
-  ANOLE_CHECK_MSG(x >= 0 && x <= r.depth,
-                  "truncate to depth " << x << " of a depth-" << r.depth
-                                       << " view");
-  if (x == r.depth) return v;
-  if (x == 0) return leaf(r.degree);
-  std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v))
-                       << 32) |
-                      static_cast<std::uint32_t>(x);
-  if (auto it = truncate_memo_.find(key); it != truncate_memo_.end())
+  {
+    const Record& r = rec(v);
+    ANOLE_CHECK_MSG(x >= 0 && x <= r.depth,
+                    "truncate to depth " << x << " of a depth-" << r.depth
+                                         << " view");
+    if (x == r.depth) return v;
+    if (x == 0) return leaf(r.degree);
+  }
+  if (auto it = truncate_memo_.find(pack_key(static_cast<std::uint32_t>(v),
+                                             static_cast<std::uint32_t>(x)));
+      it != truncate_memo_.end())
     return it->second;
-  // Copy the child list first: the recursive truncate() interns new records
-  // and may reallocate the child pool, invalidating spans into it.
-  std::span<const ChildRef> src = children(v);
-  std::vector<ChildRef> kids(src.begin(), src.end());
-  for (auto& [port, child] : kids) child = truncate(child, x - 1);
-  ViewId out = intern(kids);
-  truncate_memo_.emplace(key, out);
-  return out;
+
+  // Iterative post-order worklist. A frame rebuilds one record at its
+  // target depth; trivial child targets (own depth, zero) resolve inline,
+  // memo hits resolve by lookup, everything else pushes a frame. Frames
+  // hold their own child vectors because intern()/leaf() reallocate the
+  // child pool, invalidating spans into it.
+  struct Frame {
+    ViewId id;
+    int target;
+    std::vector<ChildRef> kids;  ///< rebuilt children; size() = progress
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{v, x, {}});
+  for (;;) {
+    Frame& f = stack.back();
+    if (f.kids.size() == rec(f.id).child_count) {
+      ViewId out = intern(f.kids);
+      truncate_memo_.emplace(pack_key(static_cast<std::uint32_t>(f.id),
+                                      static_cast<std::uint32_t>(f.target)),
+                             out);
+      if (stack.size() == 1) return out;
+      stack.pop_back();
+      continue;  // the parent's next lookup hits the memo entry just added
+    }
+    const ChildRef c = children(f.id)[f.kids.size()];
+    int target = f.target - 1;
+    const Record& child = rec(c.second);
+    if (target == child.depth) {
+      f.kids.emplace_back(c.first, c.second);
+      continue;
+    }
+    if (target == 0) {
+      int child_degree = child.degree;  // leaf() may reallocate records_
+      f.kids.emplace_back(c.first, leaf(child_degree));
+      continue;
+    }
+    auto it = truncate_memo_.find(pack_key(static_cast<std::uint32_t>(c.second),
+                                           static_cast<std::uint32_t>(target)));
+    if (it != truncate_memo_.end()) {
+      f.kids.emplace_back(c.first, it->second);
+      continue;
+    }
+    stack.push_back(Frame{c.second, target, {}});
+  }
 }
 
-std::size_t ViewRepo::dag_records(ViewId v) const {
-  std::vector<ViewId> stack{v};
-  std::unordered_map<ViewId, bool> seen;
-  seen[v] = true;
-  std::size_t count = 0;
-  while (!stack.empty()) {
-    ViewId cur = stack.back();
-    stack.pop_back();
-    ++count;
-    for (const auto& [port, child] : children(cur)) {
-      if (!seen[child]) {
-        seen[child] = true;
-        stack.push_back(child);
-      }
-    }
+void ViewRepo::begin_epoch() const {
+  visit_mark_.resize(records_.size(), 0);
+  if (++visit_epoch_ == 0) {  // wrapped: stale marks could alias, clear all
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0u);
+    visit_epoch_ = 1;
   }
-  return count;
+}
+
+bool ViewRepo::mark_visited(ViewId v) const {
+  std::uint32_t& m = visit_mark_[static_cast<std::size_t>(v)];
+  if (m == visit_epoch_) return false;
+  m = visit_epoch_;
+  return true;
+}
+
+DagStats ViewRepo::stats(ViewId v) const {
+  const Record& root = rec(v);
+  if (count_memo_.size() < records_.size()) count_memo_.resize(records_.size());
+  CountEntry& entry = count_memo_[static_cast<std::size_t>(v)];
+  if (entry.records == 0) {
+    // One iterative traversal per id, ever; the reusable epoch marker
+    // replaces the per-call heap-allocated seen-map of the old path.
+    begin_epoch();
+    visit_stack_.clear();
+    visit_stack_.push_back(v);
+    (void)mark_visited(v);
+    std::uint64_t records = 0;
+    std::uint64_t edges = 0;
+    while (!visit_stack_.empty()) {
+      ViewId cur = visit_stack_.back();
+      visit_stack_.pop_back();
+      const Record& r = rec(cur);
+      ++records;
+      edges += r.child_count;
+      std::span<const ChildRef> kids(child_pool_.data() + r.child_begin,
+                                     r.child_count);
+      for (const auto& [port, child] : kids)
+        if (mark_visited(child)) visit_stack_.push_back(child);
+    }
+    entry.records = records;
+    entry.edges = edges;
+  }
+  return DagStats{static_cast<std::size_t>(entry.records),
+                  static_cast<std::size_t>(entry.edges),
+                  static_cast<int>(root.sub_max_degree),
+                  static_cast<int>(root.sub_max_port)};
 }
 
 std::size_t ViewRepo::serialized_size_bits(ViewId v) const {
   // Canonical wire format: record list in topological order; each record
   // stores its degree and, per child, the reverse port and the index of the
   // child record. All integers in fixed width sized for this DAG.
-  std::vector<ViewId> order{v};
-  std::unordered_map<ViewId, bool> seen;
-  seen[v] = true;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    for (const auto& [port, child] : children(order[i])) {
-      if (!seen[child]) {
-        seen[child] = true;
-        order.push_back(child);
-      }
-    }
-  }
-  std::size_t records = order.size();
-  int max_deg = 0, max_port = 0;
-  std::size_t edges = 0;
-  for (ViewId id : order) {
-    max_deg = std::max(max_deg, degree(id));
-    for (const auto& [port, child] : children(id)) {
-      max_port = std::max(max_port, static_cast<int>(port));
-      ++edges;
-    }
-  }
-  std::size_t deg_bits = util::bit_length(static_cast<std::uint64_t>(max_deg));
+  DagStats s = stats(v);
+  std::size_t deg_bits =
+      util::bit_length(static_cast<std::uint64_t>(s.max_degree));
   std::size_t port_bits =
-      util::bit_length(static_cast<std::uint64_t>(max_port));
-  std::size_t ref_bits = util::bit_length(records);
+      util::bit_length(static_cast<std::uint64_t>(s.max_port));
+  std::size_t ref_bits = util::bit_length(s.records);
   return 64  // header: record count + widths
-         + records * deg_bits + edges * (port_bits + ref_bits);
+         + s.records * deg_bits + s.edges * (port_bits + ref_bits);
 }
 
 const coding::BitString& ViewRepo::encode_depth1(ViewId v) {

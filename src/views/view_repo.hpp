@@ -24,6 +24,15 @@
 // depth-1 bit encoding of Proposition 3.3 (needed by BuildTrie's bit
 // queries), and serialized-size accounting for message metering.
 //
+// Size accounting is incremental (DESIGN.md §1): the DAG-wide maximum
+// degree and reverse port of every record are maintained at intern time
+// (max composes over shared substructure), and the distinct record/edge
+// counts are computed at most once per id by an iterative epoch-marked
+// traversal and memoized. Metered simulations therefore pay O(reachable
+// DAG) once per distinct view ever queried, and O(1) per query after that
+// — instead of one full traversal with a heap-allocated seen-map per node
+// per round.
+//
 // A ViewRepo is NOT thread-safe; every experiment cell owns its own repo.
 
 #include <compare>
@@ -45,6 +54,16 @@ inline constexpr ViewId kInvalidView = -1;
 /// plus the subtree.
 using ChildRef = std::pair<portgraph::Port, ViewId>;
 
+/// Exact aggregate statistics of the DAG reachable from one view record
+/// (the record itself included). These determine the serialized message
+/// size; see ViewRepo::serialized_size_bits.
+struct DagStats {
+  std::size_t records = 0;  ///< distinct reachable records
+  std::size_t edges = 0;    ///< child references summed over those records
+  int max_degree = 0;       ///< largest record degree in the DAG
+  int max_port = 0;         ///< largest reverse port on any edge (0 if none)
+};
+
 class ViewRepo {
  public:
   ViewRepo() = default;
@@ -64,18 +83,29 @@ class ViewRepo {
 
   /// Canonical structural order on views of equal depth: compares degree,
   /// then children pairwise by (rev_port, recursive order). Total order;
-  /// a == b iff the ids are equal (hash-consing).
+  /// a == b iff the ids are equal (hash-consing). Iterative (safe for
+  /// views of any depth); verdicts are memoized under a normalized key so
+  /// the mirrored query compare(b, a) is a lookup.
   [[nodiscard]] std::strong_ordering compare(ViewId a, ViewId b) const;
 
-  /// The depth-x truncation of view v (x <= depth(v)).
+  /// The depth-x truncation of view v (x <= depth(v)). Iterative worklist
+  /// with memoization; safe for views of any depth.
   [[nodiscard]] ViewId truncate(ViewId v, int x);
 
+  /// Exact statistics of the DAG reachable from v. Max degree/port are
+  /// O(1) (maintained at intern time); record/edge counts are computed at
+  /// most once per id and memoized, so repeated queries are O(1).
+  [[nodiscard]] DagStats stats(ViewId v) const;
+
   /// Number of distinct records reachable from v (DAG size).
-  [[nodiscard]] std::size_t dag_records(ViewId v) const;
+  [[nodiscard]] std::size_t dag_records(ViewId v) const {
+    return stats(v).records;
+  }
 
   /// Bits of a standard serialized encoding of the DAG rooted at v
   /// (record list with degree, rev-ports and child indices). This is the
-  /// message-size metric reported by the simulator.
+  /// message-size metric reported by the simulator. O(1) amortized: a pure
+  /// arithmetic function of stats(v).
   [[nodiscard]] std::size_t serialized_size_bits(ViewId v) const;
 
   /// Exact binary code of a depth-1 view, following Proposition 3.3:
@@ -92,6 +122,17 @@ class ViewRepo {
     int depth = 0;
     std::uint32_t child_begin = 0;
     std::uint32_t child_count = 0;
+    // Incremental DAG-wide maxima, fixed at intern time: max composes over
+    // shared substructure, so these equal the maxima over the reachable DAG.
+    std::int32_t sub_max_degree = 0;
+    std::int32_t sub_max_port = 0;
+  };
+
+  /// Lazily-computed distinct record/edge counts of the reachable DAG.
+  /// records == 0 marks a not-yet-computed entry (every DAG has >= 1).
+  struct CountEntry {
+    std::uint64_t records = 0;
+    std::uint64_t edges = 0;
   };
 
   [[nodiscard]] const Record& rec(ViewId v) const {
@@ -102,6 +143,10 @@ class ViewRepo {
   [[nodiscard]] ViewId intern_impl(int degree, int depth,
                                    std::span<const ChildRef> children);
 
+  /// Marks v visited in the current epoch; returns false if already marked.
+  [[nodiscard]] bool mark_visited(ViewId v) const;
+  void begin_epoch() const;
+
   std::vector<Record> records_;
   std::vector<ChildRef> child_pool_;
   // Interning index: hash of (degree, depth, children) -> candidate ids.
@@ -110,6 +155,12 @@ class ViewRepo {
   mutable std::unordered_map<std::uint64_t, std::int8_t> compare_memo_;
   std::unordered_map<std::uint64_t, ViewId> truncate_memo_;
   std::unordered_map<ViewId, coding::BitString> depth1_code_memo_;
+  mutable std::vector<CountEntry> count_memo_;
+  // Reusable epoch-marked visited set + traversal stack: replaces the
+  // per-call heap-allocated seen-maps of the pre-incremental traversals.
+  mutable std::vector<std::uint32_t> visit_mark_;
+  mutable std::uint32_t visit_epoch_ = 0;
+  mutable std::vector<ViewId> visit_stack_;
 };
 
 }  // namespace anole::views

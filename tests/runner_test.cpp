@@ -29,11 +29,11 @@ TEST(Registry, ContainsEveryPaperScenario) {
   const runner::ScenarioRegistry& registry =
       runner::ScenarioRegistry::global();
   for (const char* name : {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-                           "e9", "e10", "m2", "m1-views", "m1-advice",
+                           "e9", "e10", "m2", "m1-views", "m1-advice", "s1",
                            "smoke"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
-  EXPECT_GE(registry.names().size(), 14u);
+  EXPECT_GE(registry.names().size(), 15u);
 }
 
 TEST(Registry, FactoriesProduceRunnableScenarios) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "portgraph/builders.hpp"
@@ -132,6 +133,83 @@ TEST(Engine, MessageBitsGrowWithRounds) {
   RunMetrics metrics = engine.run(programs, 10, /*meter_messages=*/true);
   EXPECT_GT(metrics.total_message_bits, 0u);
   EXPECT_GT(metrics.max_message_bits, 64u);
+}
+
+TEST(Engine, DistinctMeteringMatchesPerNodeAccounting) {
+  // The engine meters each distinct outgoing view once per round; the
+  // totals must equal the naive per-node accounting (size of B^r(v) times
+  // deg(v), summed over nodes and rounds), recomputed here from the
+  // recorded per-round views.
+  PortGraph g = portgraph::random_connected(14, 10, 6);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  std::vector<RecordingProgram*> raw;
+  const int depth = 5;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    auto p = std::make_unique<RecordingProgram>(depth);
+    raw.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, depth + 1, /*meter_messages=*/true);
+  ASSERT_EQ(metrics.rounds, depth);
+  std::size_t expected_total = 0, expected_max = 0;
+  std::vector<std::size_t> expected_per_round(depth, 0);
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    std::size_t copies =
+        static_cast<std::size_t>(g.degree(static_cast<NodeId>(v)));
+    for (int r = 0; r < depth; ++r) {
+      // In round r each node sends B^r(v) to every neighbor.
+      std::size_t bits = repo.serialized_size_bits(
+          raw[v]->history()[static_cast<std::size_t>(r)]);
+      expected_total += bits * copies;
+      expected_max = std::max(expected_max, bits);
+      expected_per_round[static_cast<std::size_t>(r)] += bits * copies;
+    }
+  }
+  EXPECT_EQ(metrics.total_message_bits, expected_total);
+  EXPECT_EQ(metrics.max_message_bits, expected_max);
+  ASSERT_EQ(metrics.bits_per_round.size(), static_cast<std::size_t>(depth));
+  ASSERT_EQ(metrics.distinct_views_per_round.size(),
+            static_cast<std::size_t>(depth));
+  for (int r = 0; r < depth; ++r) {
+    EXPECT_EQ(metrics.bits_per_round[static_cast<std::size_t>(r)],
+              expected_per_round[static_cast<std::size_t>(r)]);
+    EXPECT_GE(metrics.distinct_views_per_round[static_cast<std::size_t>(r)],
+              1u);
+    EXPECT_LE(metrics.distinct_views_per_round[static_cast<std::size_t>(r)],
+              g.n());
+  }
+  std::size_t sum = 0;
+  for (std::size_t b : metrics.bits_per_round) sum += b;
+  EXPECT_EQ(sum, metrics.total_message_bits);
+}
+
+TEST(Engine, SymmetricRingHasOneDistinctViewPerRound) {
+  // Anonymity makes all ring nodes' views equal every round, so the
+  // distinct-once metering performs exactly one size computation per
+  // round — the contract behind the S1 ring scaling cells.
+  PortGraph g = portgraph::ring(8);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<RecordingProgram>(4));
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, 10, /*meter_messages=*/true);
+  ASSERT_EQ(metrics.distinct_views_per_round.size(), 4u);
+  for (std::size_t d : metrics.distinct_views_per_round) EXPECT_EQ(d, 1u);
+}
+
+TEST(Engine, PerRoundBreakdownsEmptyWhenUnmetered) {
+  PortGraph g = portgraph::path(4);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<RecordingProgram>(3));
+  Engine engine(g, repo);
+  RunMetrics metrics = engine.run(programs, 10);
+  EXPECT_TRUE(metrics.bits_per_round.empty());
+  EXPECT_TRUE(metrics.distinct_views_per_round.empty());
 }
 
 TEST(Engine, RejectsWrongProgramCount) {

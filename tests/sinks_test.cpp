@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runner/bench_out.hpp"
 #include "runner/runner.hpp"
 #include "runner/sinks.hpp"
 
@@ -114,6 +115,65 @@ TEST(CsvSink, EscapesSpecialCells) {
       runner::CsvSink(),
       runner::ExperimentRunner(runner::RunOptions{1}).run(s));
   EXPECT_EQ(csv, "table,cell,text\nT,c,\"a,b \"\"quoted\"\"\"\n");
+}
+
+TEST(CsvSink, EscapesQuotesCommasNewlinesEndToEnd) {
+  // RFC-4180 end to end through Table::print_csv: quotes doubled, any cell
+  // containing a comma, quote or line break wrapped in quotes — including
+  // the cell label column the sink prepends.
+  runner::Scenario s;
+  s.name = "csv-esc";
+  s.tables.push_back(runner::TableSpec{"T", "", {"name", "note"}});
+  s.add_cell("cell,with \"label\"", 0, [] {
+    return std::vector<Row>{Row{"plain", "a,b"},
+                            Row{"quo\"te", "line\nbreak"},
+                            Row{"cr\rcell", "all,of\n\"it\""}};
+  });
+  std::string csv =
+      emit(runner::CsvSink(),
+           runner::ExperimentRunner(runner::RunOptions{1}).run(s));
+  EXPECT_EQ(csv,
+            "table,cell,name,note\n"
+            "T,\"cell,with \"\"label\"\"\",plain,\"a,b\"\n"
+            "T,\"cell,with \"\"label\"\"\",\"quo\"\"te\",\"line\nbreak\"\n"
+            "T,\"cell,with \"\"label\"\"\",\"cr\rcell\",\"all,of\n\"\"it\"\"\"\n");
+}
+
+TEST(BenchOut, RecordsHarvestNamedColumns) {
+  runner::Scenario s;
+  s.name = "s1";
+  s.tables.push_back(
+      runner::TableSpec{"S1", "", {"family", "n", "rounds", "total bits"}});
+  s.add_cell("ring/n=8", 0, [] {
+    return std::vector<Row>{Row{"ring", 8, 4, 1234}};
+  });
+  runner::ScenarioOutcome outcome =
+      runner::ExperimentRunner(runner::RunOptions{1}).run(s);
+  ASSERT_EQ(outcome.cells.size(), 1u);
+  outcome.cells[0].wall_ms = 2.0;  // pin the one non-deterministic field
+  std::ostringstream oss;
+  runner::write_bench_records(outcome, oss);
+  EXPECT_EQ(oss.str(),
+            "{\"scenario\": \"s1\", \"cell\": \"ring/n=8\", \"wall_ms\": 2.00"
+            ", \"n\": 8, \"rounds\": 4, \"bits\": 1234"
+            ", \"cells_per_sec\": 16000}\n");
+}
+
+TEST(BenchOut, OmitsFieldsWithoutMatchingColumnsAndSkipsFailures) {
+  runner::Scenario s;
+  s.name = "plain";
+  s.tables.push_back(runner::TableSpec{"P", "", {"label", "value"}});
+  s.add_cell("ok", 0, [] { return std::vector<Row>{Row{"x", 7}}; });
+  s.add_cell("bad", 0, []() -> std::vector<Row> {
+    throw std::runtime_error("cell failed");
+  });
+  runner::ScenarioOutcome outcome =
+      runner::ExperimentRunner(runner::RunOptions{1}).run(s);
+  outcome.cells[0].wall_ms = 1.0;
+  std::ostringstream oss;
+  runner::write_bench_records(outcome, oss);
+  EXPECT_EQ(oss.str(),
+            "{\"scenario\": \"plain\", \"cell\": \"ok\", \"wall_ms\": 1.00}\n");
 }
 
 TEST(TextSink, RendersCaptionRowsAndFailures) {

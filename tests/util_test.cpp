@@ -209,6 +209,29 @@ TEST(ThreadPool, WaitIdleDrainsAllSubmittedTasks) {
   EXPECT_EQ(done.load(), 32);
 }
 
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdleWithoutTerminate) {
+  // A throwing task must neither escape its worker thread (std::terminate)
+  // nor skip the in-flight decrement (which would hang wait_idle forever).
+  util::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the failure did not poison later tasks
+  // The error is delivered exactly once and the pool stays usable.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, FirstTaskExceptionWinsAndQueueDrains) {
+  util::ThreadPool pool(2);
+  for (int i = 0; i < 16; ++i)
+    pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // error already consumed; must not rethrow or block
+}
+
 TEST(ThreadPool, ReusableAfterWaitIdle) {
   util::ThreadPool pool(2);
   std::atomic<int> done{0};

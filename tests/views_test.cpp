@@ -13,6 +13,7 @@
 #include "coding/codec.hpp"
 
 #include "portgraph/builders.hpp"
+#include "util/math.hpp"
 #include "views/paths.hpp"
 #include "views/profile.hpp"
 #include "views/view_repo.hpp"
@@ -164,6 +165,113 @@ TEST(ViewRepo, Depth1EncodingsDistinctForDistinctViews) {
         codes.emplace(repo.encode_depth1(id).to_string(), id);
     EXPECT_EQ(it->second, id) << "same code for different views";
   }
+}
+
+// Independent reference for the incremental DAG statistics: a full
+// traversal with a std::set seen-set, the way the pre-incremental code
+// computed sizes. The memoized fast path must agree exactly.
+DagStats naive_stats(const ViewRepo& repo, ViewId root) {
+  DagStats s;
+  std::set<ViewId> seen{root};
+  std::vector<ViewId> stack{root};
+  while (!stack.empty()) {
+    ViewId cur = stack.back();
+    stack.pop_back();
+    ++s.records;
+    s.max_degree = std::max(s.max_degree, repo.degree(cur));
+    for (const auto& [port, child] : repo.children(cur)) {
+      ++s.edges;
+      s.max_port = std::max(s.max_port, static_cast<int>(port));
+      if (seen.insert(child).second) stack.push_back(child);
+    }
+  }
+  return s;
+}
+
+std::size_t naive_serialized_bits(const DagStats& s) {
+  return 64 +
+         s.records * util::bit_length(static_cast<std::uint64_t>(s.max_degree)) +
+         s.edges * (util::bit_length(static_cast<std::uint64_t>(s.max_port)) +
+                    util::bit_length(s.records));
+}
+
+TEST(ViewRepo, StatsMatchNaiveTraversalEverywhere) {
+  // Property test: on random and structured graphs, for every view of
+  // every node at every depth, the incremental stats (intern-time maxima +
+  // memoized counts) equal a from-scratch traversal, and repeated queries
+  // are stable.
+  std::vector<PortGraph> graphs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed)
+    graphs.push_back(portgraph::random_connected(14, 10, seed));
+  graphs.push_back(portgraph::grid(4, 4));
+  graphs.push_back(portgraph::clique(6));
+  graphs.push_back(portgraph::path(7));
+  for (const PortGraph& g : graphs) {
+    ViewRepo repo;
+    const int max_t = 5;
+    ViewProfile profile = compute_profile(g, repo, max_t);
+    for (int t = 0; t <= max_t; ++t) {
+      for (std::size_t v = 0; v < g.n(); ++v) {
+        ViewId id = profile.view(t, static_cast<NodeId>(v));
+        DagStats expected = naive_stats(repo, id);
+        DagStats got = repo.stats(id);
+        EXPECT_EQ(got.records, expected.records) << "depth " << t;
+        EXPECT_EQ(got.edges, expected.edges) << "depth " << t;
+        EXPECT_EQ(got.max_degree, expected.max_degree) << "depth " << t;
+        EXPECT_EQ(got.max_port, expected.max_port) << "depth " << t;
+        EXPECT_EQ(repo.dag_records(id), expected.records);
+        EXPECT_EQ(repo.serialized_size_bits(id),
+                  naive_serialized_bits(expected));
+        // Second query hits the memo; must not drift.
+        EXPECT_EQ(repo.stats(id).records, expected.records);
+      }
+    }
+  }
+}
+
+TEST(ViewRepo, StatsSurviveInterleavedInterning) {
+  // Stats queried mid-construction stay correct as the repo keeps growing
+  // (the memo tables and epoch marker must track the record count).
+  PortGraph g = portgraph::random_connected(12, 9, 13);
+  ViewRepo repo;
+  ViewProfile profile = compute_profile(g, repo, 2);
+  ViewId early = profile.view(2, 0);
+  DagStats before = repo.stats(early);
+  extend_profile(g, repo, profile, 6);
+  ViewId late = profile.view(6, 0);
+  EXPECT_EQ(repo.stats(early).records, before.records);
+  EXPECT_EQ(repo.stats(early).edges, before.edges);
+  DagStats expected = naive_stats(repo, late);
+  EXPECT_EQ(repo.stats(late).records, expected.records);
+  EXPECT_EQ(repo.stats(late).edges, expected.edges);
+}
+
+TEST(ViewRepo, DeepChainsCompareAndTruncateWithoutRecursion) {
+  // Two degree-1 chains 120000 deep differing only at the bottom leaf:
+  // the recursive compare/truncate of the pre-iterative code would
+  // overflow the call stack here. Also exercises the mirrored compare
+  // memo (the b-vs-a query is a lookup of the normalized entry).
+  constexpr int kDepth = 120000;
+  ViewRepo repo;
+  ViewId a = repo.leaf(1);
+  ViewId b = repo.leaf(2);
+  for (int i = 0; i < kDepth; ++i) {
+    std::vector<ChildRef> ka{{0, a}};
+    std::vector<ChildRef> kb{{0, b}};
+    a = repo.intern(ka);
+    b = repo.intern(kb);
+  }
+  ASSERT_EQ(repo.depth(a), kDepth);
+  EXPECT_EQ(repo.compare(a, b), std::strong_ordering::less);
+  EXPECT_EQ(repo.compare(b, a), std::strong_ordering::greater);
+  // Truncating from the top cuts both chains above their differing leaves:
+  // hash-consing must collapse the results to the same id.
+  ViewId ta = repo.truncate(a, kDepth / 2);
+  ViewId tb = repo.truncate(b, kDepth / 2);
+  EXPECT_EQ(repo.depth(ta), kDepth / 2);
+  EXPECT_EQ(ta, tb);
+  // Deep stats traversal is iterative too.
+  EXPECT_EQ(repo.dag_records(a), static_cast<std::size_t>(kDepth) + 1);
 }
 
 TEST(ViewRepo, DagSizeIsPolynomial) {

@@ -10,7 +10,7 @@
 //   anole_bench --list
 //   anole_bench --scenario <name|all> [--scenario <name> ...]
 //               [--threads N] [--format text|json|csv] [--out FILE]
-//               [--timing]
+//               [--timing] [--bench-out FILE]
 //
 // Exit status: 0 on success, 1 if any cell failed, 2 on usage errors.
 
@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/bench_out.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sinks.hpp"
@@ -32,7 +33,7 @@ int usage(std::ostream& os, int code) {
   os << "usage: anole_bench --list\n"
         "       anole_bench --scenario <name|all> [--scenario <name> ...]\n"
         "                   [--threads N] [--format text|json|csv]\n"
-        "                   [--out FILE] [--timing]\n"
+        "                   [--out FILE] [--timing] [--bench-out FILE]\n"
         "\n"
         "  --list       list registered scenarios and exit\n"
         "  --scenario   scenario to run ('all' = every registered one)\n"
@@ -40,7 +41,10 @@ int usage(std::ostream& os, int code) {
         "               0 = hardware concurrency)\n"
         "  --format     output format (default text)\n"
         "  --out        write results to FILE instead of stdout\n"
-        "  --timing     include wall-clock fields (non-deterministic)\n";
+        "  --timing     include wall-clock fields (non-deterministic)\n"
+        "  --bench-out  append one JSON-lines perf record per cell row to\n"
+        "               FILE (scenario, cell, wall_ms, n, rounds, bits) —\n"
+        "               the perf trajectory channel (see DESIGN.md)\n";
   return code;
 }
 
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::string format = "text";
   std::string out_path;
+  std::string bench_out_path;
   bool timing = false;
   bool list = false;
 
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
       format = next();
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--bench-out") {
+      bench_out_path = next();
     } else if (arg == "--timing") {
       timing = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -144,6 +151,17 @@ int main(int argc, char** argv) {
   }
   std::ostream& os = out_path.empty() ? std::cout : file;
 
+  // Opened once, up front: a bad path is a usage error before any scenario
+  // runs, and a single stream keeps the records appendable mid-sweep.
+  std::ofstream bench_out;
+  if (!bench_out_path.empty()) {
+    bench_out.open(bench_out_path, std::ios::app);
+    if (!bench_out) {
+      std::cerr << "cannot open bench-out file: " << bench_out_path << '\n';
+      return 2;
+    }
+  }
+
   runner::ExperimentRunner exp_runner(runner::RunOptions{threads});
   std::size_t total_failures = 0;
   bool json_array = format == "json" && names.size() > 1;
@@ -153,6 +171,7 @@ int main(int argc, char** argv) {
         exp_runner.run(registry.make(names[i]));
     total_failures += outcome.failures();
     sink->emit(outcome, os);
+    if (bench_out.is_open()) runner::write_bench_records(outcome, bench_out);
     if (json_array && i + 1 < names.size()) os << ",";
     if (format == "text" && i + 1 < names.size()) os << '\n';
     std::cerr << names[i] << ": " << outcome.cells.size() << " cells, "
