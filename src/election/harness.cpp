@@ -5,6 +5,7 @@
 #include "advice/min_time.hpp"
 #include "election/baselines.hpp"
 #include "election/elect_program.hpp"
+#include "sim/full_info.hpp"
 #include "views/profile.hpp"
 
 namespace anole::election {
@@ -18,14 +19,22 @@ using ProgramList = std::vector<std::unique_ptr<sim::NodeProgram>>;
 ElectionRun run_programs(const PortGraph& g, views::ViewRepo& repo,
                          ProgramList programs, int max_rounds,
                          bool meter_messages = false) {
-  sim::Engine engine(g, repo);
+  // Every protocol in the portfolio is COM-style (a FullInfoProgram), so
+  // rounds advance through batched refinement; run_full_info falls back to
+  // the general engine by itself if that ever stops being true.
   ElectionRun run;
-  run.metrics = engine.run(programs, max_rounds, meter_messages);
+  run.metrics = sim::run_full_info(g, repo, programs, max_rounds,
+                                   meter_messages);
   run.verdict = run.metrics.timed_out
                     ? VerifyResult{false, -1, "simulation timed out"}
                     : verify_election(g, run.metrics.outputs);
   return run;
 }
+
+/// Profile options for harnesses that only need feasibility + phi: the
+/// per-level history is dropped (O(n) memory instead of O(n·phi)).
+constexpr views::ProfileOptions kPhiOnly{.min_depth = 0,
+                                         .keep_history = false};
 
 }  // namespace
 
@@ -54,7 +63,7 @@ ElectionRun run_large_time(const PortGraph& g, LargeTimeVariant variant,
                            std::uint64_t c) {
   ANOLE_CHECK(c >= 2);
   views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo);
+  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
   ANOLE_CHECK_MSG(profile.feasible, "run_large_time on an infeasible graph");
   std::uint64_t phi = static_cast<std::uint64_t>(profile.election_index);
   coding::BitString bits = large_time_advice(variant, phi);
@@ -75,8 +84,10 @@ ElectionRun run_large_time(const PortGraph& g, LargeTimeVariant variant,
 }
 
 ElectionRun run_map(const PortGraph& g) {
+  // The nodes recompute the map's profile themselves in MapProgram; the
+  // harness only needs phi, so the history is dropped here too.
   views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo);
+  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
   ANOLE_CHECK_MSG(profile.feasible, "run_map on an infeasible graph");
   coding::BitString bits = map_advice(g);
   auto state = std::make_shared<MapAdviceState>();
@@ -95,7 +106,7 @@ ElectionRun run_map(const PortGraph& g) {
 
 ElectionRun run_remark(const PortGraph& g) {
   views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo);
+  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
   ANOLE_CHECK_MSG(profile.feasible, "run_remark on an infeasible graph");
   int diameter = g.diameter();
   std::uint64_t phi = static_cast<std::uint64_t>(profile.election_index);
@@ -117,7 +128,7 @@ ElectionRun run_remark(const PortGraph& g) {
 
 ElectionRun run_size_only(const PortGraph& g) {
   views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo);
+  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
   ANOLE_CHECK_MSG(profile.feasible, "run_size_only on an infeasible graph");
   coding::BitString bits = coding::bin(g.n());
   std::uint64_t p = coding::parse_bin(bits);

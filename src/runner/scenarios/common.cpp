@@ -1,16 +1,25 @@
 #include "runner/scenarios/common.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "advice/min_time.hpp"
 #include "election/elect_program.hpp"
 #include "election/verify.hpp"
-#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
 #include "views/profile.hpp"
 
 namespace anole::runner::scenarios {
+
+std::unique_ptr<util::ThreadPool> intra_cell_pool(std::size_t n) {
+  if (n < 4096) return nullptr;  // gather/hash overhead beats the win
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::make_unique<util::ThreadPool>(std::min<std::size_t>(4, hw));
+}
 
 bool cross_feed_succeeds(const portgraph::PortGraph& source,
                          const portgraph::PortGraph& victim) {
@@ -21,10 +30,9 @@ bool cross_feed_succeeds(const portgraph::PortGraph& source,
   std::vector<std::unique_ptr<sim::NodeProgram>> programs;
   for (std::size_t v = 0; v < victim.n(); ++v)
     programs.push_back(std::make_unique<election::ElectProgram>(adv));
-  sim::Engine engine(victim, repo);
   try {
-    sim::RunMetrics metrics =
-        engine.run(programs, static_cast<int>(adv->phi) + 1);
+    sim::RunMetrics metrics = sim::run_full_info(
+        victim, repo, programs, static_cast<int>(adv->phi) + 1);
     return !metrics.timed_out &&
            election::verify_election(victim, metrics.outputs).ok;
   } catch (const std::logic_error&) {

@@ -1,9 +1,13 @@
 #pragma once
-// Helpers shared by the lower-bound scenarios (E2, E3, E6): running the
-// minimum-time Elect algorithm on one graph with advice computed for
-// another, which the paper's counting arguments predict must fail.
+// Helpers shared by scenario cells: the cross-feed run of the lower-bound
+// scenarios (E2, E3, E6) and the intra-cell refinement pool policy of the
+// scaling sweeps (S1, V1).
+
+#include <cstddef>
+#include <memory>
 
 #include "portgraph/port_graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace anole::runner::scenarios {
 
@@ -12,5 +16,13 @@ namespace anole::runner::scenarios {
 /// leader (the lower-bound tables expect false).
 [[nodiscard]] bool cross_feed_succeeds(const portgraph::PortGraph& source,
                                        const portgraph::PortGraph& victim);
+
+/// Pool for a cell's own gather/hash phase (views::Refiner), or nullptr
+/// when the graph is too small to benefit. Capped at a few workers: cells
+/// already run concurrently under the runner's --threads pool, so an
+/// uncapped hardware_concurrency pool per cell would oversubscribe the
+/// machine and add noise to the --bench-out perf records.
+[[nodiscard]] std::unique_ptr<util::ThreadPool> intra_cell_pool(
+    std::size_t n);
 
 }  // namespace anole::runner::scenarios

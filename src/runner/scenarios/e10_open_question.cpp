@@ -21,6 +21,7 @@
 #include "election/verify.hpp"
 #include "families/necklace.hpp"
 #include "runner/scenario.hpp"
+#include "sim/full_info.hpp"
 #include "views/profile.hpp"
 
 namespace {
@@ -61,8 +62,7 @@ std::vector<Row> depth_tau_cell(int tau) {
   std::vector<std::unique_ptr<sim::NodeProgram>> programs;
   for (std::size_t v = 0; v < g.n(); ++v)
     programs.push_back(std::make_unique<election::ElectProgram>(decoded));
-  sim::Engine engine(g, repo);
-  sim::RunMetrics metrics = engine.run(programs, tau + 1);
+  sim::RunMetrics metrics = sim::run_full_info(g, repo, programs, tau + 1);
   bool ok = !metrics.timed_out &&
             election::verify_election(g, metrics.outputs).ok;
   return {Row{tau, "Elect@depth tau", metrics.rounds, bits.size(),

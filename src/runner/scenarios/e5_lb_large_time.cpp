@@ -23,6 +23,7 @@
 #include "election/verify.hpp"
 #include "families/locks.hpp"
 #include "runner/scenario.hpp"
+#include "sim/full_info.hpp"
 #include "views/profile.hpp"
 
 namespace {
@@ -110,8 +111,8 @@ std::vector<Row> a3_cell() {
       programs.push_back(std::make_unique<election::RemarkProgram>(
           static_cast<std::uint64_t>(it.d),
           static_cast<std::uint64_t>(it.phi)));
-    sim::Engine engine(q.graph, repo);
-    sim::RunMetrics metrics = engine.run(programs, it.d + it.phi + 1);
+    sim::RunMetrics metrics =
+        sim::run_full_info(q.graph, repo, programs, it.d + it.phi + 1);
     bool ok = !metrics.timed_out &&
               election::verify_election(q.graph, metrics.outputs).ok;
     rows.push_back(Row{

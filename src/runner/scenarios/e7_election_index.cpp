@@ -29,7 +29,9 @@ using runner::Value;
 std::vector<Row> e7_cell(const std::string& name,
                          const portgraph::PortGraph& g, bool run_map_check) {
   views::ViewRepo repo;
-  views::ViewProfile p = views::compute_profile(g, repo);
+  // Only feasibility and phi are read — no need to retain every level.
+  views::ViewProfile p = views::compute_profile(
+      g, repo, views::ProfileOptions{.keep_history = false});
   if (!p.feasible)
     return {Row{name, g.n(), "-", "infeasible", "-", "-"}};
   int d = g.diameter();

@@ -29,6 +29,7 @@
 #include "families/necklace.hpp"
 #include "portgraph/builders.hpp"
 #include "runner/scenario.hpp"
+#include "sim/full_info.hpp"
 #include "views/profile.hpp"
 
 namespace {
@@ -48,8 +49,7 @@ std::pair<std::size_t, bool> run_naive(const portgraph::PortGraph& g) {
   std::vector<std::unique_ptr<sim::NodeProgram>> programs;
   for (std::size_t v = 0; v < g.n(); ++v)
     programs.push_back(std::make_unique<advice::NaiveElectProgram>(decoded));
-  sim::Engine engine(g, repo);
-  sim::RunMetrics metrics = engine.run(programs, 2);
+  sim::RunMetrics metrics = sim::run_full_info(g, repo, programs, 2);
   bool ok = !metrics.timed_out &&
             election::verify_election(g, metrics.outputs).ok;
   return {bits.size(), ok};

@@ -25,6 +25,7 @@
 
 #include "portgraph/builders.hpp"
 #include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
 #include "sim/engine.hpp"
 #include "sim/full_info.hpp"
 #include "views/view_repo.hpp"
@@ -60,9 +61,13 @@ std::vector<Row> s1_cell(const std::string& family,
   programs.reserve(g.n());
   for (std::size_t v = 0; v < g.n(); ++v)
     programs.push_back(std::make_unique<ComForRounds>(rounds));
-  sim::Engine engine(g, repo);
-  sim::RunMetrics m =
-      engine.run(programs, rounds + 1, /*meter_messages=*/true);
+  // Batched refinement per round (DESIGN.md §7); the big cells also get
+  // intra-cell parallelism for the gather/hash phase. All reported values
+  // are pool-independent, so the table stays byte-identical.
+  std::unique_ptr<util::ThreadPool> pool =
+      runner::scenarios::intra_cell_pool(g.n());
+  sim::RunMetrics m = sim::run_full_info(g, repo, programs, rounds + 1,
+                                         /*meter_messages=*/true, pool.get());
   std::size_t last_distinct = m.distinct_views_per_round.empty()
                                   ? 0
                                   : m.distinct_views_per_round.back();

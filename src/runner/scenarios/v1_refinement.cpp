@@ -1,0 +1,84 @@
+// V1 — batched level-synchronous refinement microbenchmark (DESIGN.md §7).
+//
+// Where S1 stresses the metered COM *simulation*, V1 stresses the offline
+// refinement substrate itself: compute_profile driven by views::Refiner
+// (dedup-before-intern, flat interning index, parallel gather/hash) on the
+// workloads that shape its cost profile:
+//
+//   ring    — one class per level: dedup collapses the whole level to a
+//             single intern; swept deep (min_depth) at n = 65536;
+//   path    — the deep-refinement extreme: phi ~ n/2 levels, the O(n·t)
+//             history the keep_history=false mode exists for;
+//   random  — shallow profiles over wide levels, the typical workload;
+//   clique  — the densest signatures (n-1 children each).
+//
+// Every reported value is deterministic and pool-independent; wall-clock
+// throughput rides the --bench-out channel ("n" / "rounds" columns feed
+// cells_per_sec) next to S1 in the CI perf artifact.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
+#include "views/profile.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+std::vector<Row> v1_cell(const std::string& family,
+                         const portgraph::PortGraph& g, int min_depth) {
+  views::ViewRepo repo;
+  std::unique_ptr<util::ThreadPool> pool =
+      runner::scenarios::intra_cell_pool(g.n());
+  views::ViewProfile p = views::compute_profile(
+      g, repo,
+      views::ProfileOptions{.min_depth = min_depth,
+                            .keep_history = false,
+                            .pool = pool.get()});
+  return {Row{family, g.n(), p.computed_depth(), p.class_counts.back(),
+              p.feasible ? Value(p.election_index) : Value("-"),
+              repo.size()}};
+}
+
+runner::Scenario make_v1() {
+  runner::Scenario s;
+  s.name = "v1";
+  s.summary = "refinement microbenchmark: batched compute_profile at scale";
+  s.reference = "DESIGN.md §7 (batched refinement)";
+  s.tables.push_back(runner::TableSpec{
+      "V1",
+      "Batched view refinement at scale: levels computed (\"rounds\"), the "
+      "final class count of the refinement partition, the election index "
+      "where feasible, and the hash-consed repo size. Profiles run with "
+      "keep_history=false (only the deepest level retained) and an "
+      "intra-cell pool for the gather/hash phase; all values are "
+      "deterministic and thread-count independent. Wall-clock throughput "
+      "is tracked via --bench-out.",
+      {"family", "n", "rounds", "classes", "phi", "repo records"}});
+
+  auto add = [&s](std::string label, std::string family, int min_depth,
+                  std::function<portgraph::PortGraph()> build) {
+    s.add_cell(std::move(label), 0,
+               [family = std::move(family), min_depth,
+                build = std::move(build)] {
+                 return v1_cell(family, build(), min_depth);
+               });
+  };
+  add("ring/n=65536", "ring", 32, [] { return portgraph::ring(65536); });
+  add("path/n=2049", "path", 0, [] { return portgraph::path(2049); });
+  add("random/n=16384", "random", 0,
+      [] { return portgraph::random_connected(16384, 32768, 9); });
+  add("clique/n=512", "clique", 2, [] { return portgraph::clique(512); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("v1", make_v1);

@@ -2,8 +2,58 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 
 namespace anole::sim {
+
+namespace internal {
+
+DecisionTracker::DecisionTracker(
+    std::span<const std::unique_ptr<NodeProgram>> programs,
+    RunMetrics& metrics)
+    : programs_(programs), metrics_(&metrics), undecided_(programs.size()) {
+  std::iota(undecided_.begin(), undecided_.end(), 0u);
+}
+
+void DecisionTracker::note(int round) {
+  undecided_.erase(
+      std::remove_if(undecided_.begin(), undecided_.end(),
+                     [&](std::uint32_t v) {
+                       if (!programs_[v]->has_output()) return false;
+                       metrics_->decision_round[v] = round;
+                       metrics_->outputs[v] = programs_[v]->output();
+                       return true;
+                     }),
+      undecided_.end());
+}
+
+void meter_round(const portgraph::PortGraph& g, const views::ViewRepo& repo,
+                 std::span<const views::ViewId> outbox,
+                 std::span<const views::ViewId> sorted_distinct,
+                 std::vector<std::size_t>& size_scratch, RunMetrics& metrics) {
+  size_scratch.resize(sorted_distinct.size());
+  for (std::size_t i = 0; i < sorted_distinct.size(); ++i) {
+    std::size_t bits = repo.serialized_size_bits(sorted_distinct[i]);
+    size_scratch[i] = bits;
+    metrics.max_message_bits = std::max(metrics.max_message_bits, bits);
+  }
+  std::size_t round_bits = 0;
+  for (std::size_t v = 0; v < outbox.size(); ++v) {
+    std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(sorted_distinct.begin(), sorted_distinct.end(),
+                         outbox[v]) -
+        sorted_distinct.begin());
+    std::size_t copies = static_cast<std::size_t>(
+        g.degree(static_cast<portgraph::NodeId>(v)));
+    metrics.message_count += copies;
+    round_bits += size_scratch[i] * copies;
+  }
+  metrics.total_message_bits += round_bits;
+  metrics.bits_per_round.push_back(round_bits);
+  metrics.distinct_views_per_round.push_back(sorted_distinct.size());
+}
+
+}  // namespace internal
 
 RunMetrics Engine::run(
     std::span<const std::unique_ptr<NodeProgram>> programs, int max_rounds,
@@ -17,24 +67,11 @@ RunMetrics Engine::run(
   RunMetrics metrics;
   metrics.decision_round.assign(n, -1);
   metrics.outputs.resize(n);
-
-  auto note_decisions = [&](int round) {
-    for (std::size_t v = 0; v < n; ++v) {
-      if (metrics.decision_round[v] < 0 && programs[v]->has_output()) {
-        metrics.decision_round[v] = round;
-        metrics.outputs[v] = programs[v]->output();
-      }
-    }
-  };
-  auto all_decided = [&] {
-    return std::none_of(metrics.decision_round.begin(),
-                        metrics.decision_round.end(),
-                        [](int r) { return r < 0; });
-  };
+  internal::DecisionTracker decisions(programs, metrics);
 
   for (std::size_t v = 0; v < n; ++v)
     programs[v]->start(*repo_, g.degree(static_cast<portgraph::NodeId>(v)));
-  note_decisions(0);
+  decisions.note(0);
 
   std::vector<views::ViewId> outbox(n);
   std::vector<Message> inbox;
@@ -45,7 +82,7 @@ RunMetrics Engine::run(
   std::vector<views::ViewId> distinct;
   std::vector<std::size_t> distinct_bits;
   int round = 0;
-  while (!all_decided()) {
+  while (!decisions.all_decided()) {
     if (round >= max_rounds) {
       metrics.timed_out = true;
       break;
@@ -53,29 +90,9 @@ RunMetrics Engine::run(
     for (std::size_t v = 0; v < n; ++v)
       outbox[v] = programs[v]->outgoing(round);
     if (meter_messages) {
-      distinct.assign(outbox.begin(), outbox.end());
-      std::sort(distinct.begin(), distinct.end());
-      distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                     distinct.end());
-      distinct_bits.resize(distinct.size());
-      for (std::size_t i = 0; i < distinct.size(); ++i) {
-        std::size_t bits = repo_->serialized_size_bits(distinct[i]);
-        distinct_bits[i] = bits;
-        metrics.max_message_bits = std::max(metrics.max_message_bits, bits);
-      }
-      std::size_t round_bits = 0;
-      for (std::size_t v = 0; v < n; ++v) {
-        std::size_t i = static_cast<std::size_t>(
-            std::lower_bound(distinct.begin(), distinct.end(), outbox[v]) -
-            distinct.begin());
-        std::size_t copies = static_cast<std::size_t>(
-            g.degree(static_cast<portgraph::NodeId>(v)));
-        metrics.message_count += copies;
-        round_bits += distinct_bits[i] * copies;
-      }
-      metrics.total_message_bits += round_bits;
-      metrics.bits_per_round.push_back(round_bits);
-      metrics.distinct_views_per_round.push_back(distinct.size());
+      distinct = views::distinct_ids(outbox);
+      internal::meter_round(g, *repo_, outbox, distinct, distinct_bits,
+                            metrics);
     } else {
       for (std::size_t v = 0; v < n; ++v)
         metrics.message_count +=
@@ -94,7 +111,7 @@ RunMetrics Engine::run(
       programs[v]->deliver(round, inbox);
     }
     ++round;
-    note_decisions(round);
+    decisions.note(round);
   }
   metrics.rounds = round;
   metrics.wall_ms = std::chrono::duration<double, std::milli>(

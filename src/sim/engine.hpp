@@ -101,4 +101,42 @@ class Engine {
   views::ViewRepo* repo_;
 };
 
+namespace internal {
+// Round bookkeeping shared by Engine::run and run_full_info (the batched
+// COM fast path, sim/full_info.hpp). One definition keeps the two paths'
+// metrics byte-identical by construction rather than by parallel edits.
+
+/// Records each node's first has_output() round and its output, scanning
+/// only the still-undecided nodes: once a node decides it is never
+/// rescanned, so the per-round check is O(remaining), not O(n).
+class DecisionTracker {
+ public:
+  /// Borrows both; they must outlive the tracker.
+  DecisionTracker(std::span<const std::unique_ptr<NodeProgram>> programs,
+                  RunMetrics& metrics);
+
+  /// Scans the undecided nodes in ascending node order; records
+  /// round/output for those that now have output and drops them.
+  void note(int round);
+
+  [[nodiscard]] bool all_decided() const { return undecided_.empty(); }
+
+ private:
+  std::span<const std::unique_ptr<NodeProgram>> programs_;
+  RunMetrics* metrics_;
+  std::vector<std::uint32_t> undecided_;
+};
+
+/// Prices one metered round (the §3 metering contract): each id of
+/// `sorted_distinct` — the ascending distinct values of `outbox` — is
+/// sized exactly once; every delivered copy is charged size × sender
+/// degree. Updates the totals and per-round breakdowns of `metrics`;
+/// `size_scratch` only avoids a per-round allocation.
+void meter_round(const portgraph::PortGraph& g, const views::ViewRepo& repo,
+                 std::span<const views::ViewId> outbox,
+                 std::span<const views::ViewId> sorted_distinct,
+                 std::vector<std::size_t>& size_scratch, RunMetrics& metrics);
+
+}  // namespace internal
+
 }  // namespace anole::sim

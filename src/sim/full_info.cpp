@@ -1,0 +1,93 @@
+#include "sim/full_info.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "views/refiner.hpp"
+
+namespace anole::sim {
+
+RunMetrics run_full_info(const portgraph::PortGraph& graph,
+                         views::ViewRepo& repo,
+                         std::span<const std::unique_ptr<NodeProgram>> programs,
+                         int max_rounds, bool meter_messages,
+                         util::ThreadPool* pool) {
+  const portgraph::PortGraph& g = graph;
+  ANOLE_CHECK_MSG(programs.size() == g.n(),
+                  "need one program per node: " << programs.size() << " vs "
+                                                << g.n());
+  std::size_t n = g.n();
+
+  // The batched advance is exact only for COM: outgoing/deliver are final
+  // in FullInfoProgram. Anything else goes through the general engine.
+  std::vector<FullInfoProgram*> fips(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    fips[v] = dynamic_cast<FullInfoProgram*>(programs[v].get());
+    if (fips[v] == nullptr)
+      return Engine(g, repo).run(programs, max_rounds, meter_messages);
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  RunMetrics metrics;
+  metrics.decision_round.assign(n, -1);
+  metrics.outputs.resize(n);
+  internal::DecisionTracker decisions(programs, metrics);
+
+  for (std::size_t v = 0; v < n; ++v)
+    fips[v]->start(repo, g.degree(static_cast<portgraph::NodeId>(v)));
+  decisions.note(0);
+
+  std::size_t degree_sum = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    degree_sum +=
+        static_cast<std::size_t>(g.degree(static_cast<portgraph::NodeId>(v)));
+
+  views::Refiner refiner(g, repo, pool);
+  std::vector<views::ViewId> level(n);
+  for (std::size_t v = 0; v < n; ++v) level[v] = fips[v]->view();
+  std::vector<views::ViewId> next(n);
+  // Distinct ids of the current level, ascending: one sort-unique seeds
+  // round 0; every later round reads the refiner's dedup output directly
+  // (still valid — the next advance() happens after the metering).
+  std::vector<views::ViewId> seed_distinct;
+  if (meter_messages) seed_distinct = views::distinct_ids(level);
+  bool seeded = true;
+  std::vector<std::size_t> distinct_bits;
+
+  int round = 0;
+  while (!decisions.all_decided()) {
+    if (round >= max_rounds) {
+      metrics.timed_out = true;
+      break;
+    }
+    // Every node's outgoing message is its current view: `level` IS the
+    // round's outbox — the shared metering helper prices it exactly as
+    // Engine::run does.
+    if (meter_messages) {
+      internal::meter_round(g, repo, level,
+                            seeded ? std::span<const views::ViewId>(
+                                         seed_distinct)
+                                   : refiner.distinct(),
+                            distinct_bits, metrics);
+    } else {
+      metrics.message_count += degree_sum;
+    }
+
+    refiner.advance(level, next);
+    level.swap(next);
+    seeded = false;
+    // on_view hooks may touch the shared repo: sequential, in node order
+    // (the same order Engine::run delivers inboxes).
+    for (std::size_t v = 0; v < n; ++v)
+      fips[v]->advance_to(level[v], round + 1);
+    ++round;
+    decisions.note(round);
+  }
+  metrics.rounds = round;
+  metrics.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+  return metrics;
+}
+
+}  // namespace anole::sim

@@ -8,10 +8,41 @@
 // "When all nodes repeat this subroutine for i = 0,...,t-1, every node
 // acquires its augmented truncated view at depth t." A subclass only
 // decides *when* to stop and *what* to output from the acquired view.
+//
+// Because outgoing() and deliver() are final here, a COM round is fully
+// determined by the level vector of current views — which is exactly what
+// views::Refiner batch-advances. run_full_info() exploits that: it runs
+// FullInfoProgram protocols through batched refinement, one Refiner
+// advance per round instead of n intern calls, with metrics byte-identical
+// to Engine::run (see DESIGN.md §7).
+
+#include <memory>
 
 #include "sim/engine.hpp"
 
+namespace anole::util {
+class ThreadPool;
+}  // namespace anole::util
+
 namespace anole::sim {
+
+class FullInfoProgram;
+
+/// Fast path for COM-style protocols: when every program is a
+/// FullInfoProgram, rounds are advanced by batched level refinement
+/// (views::Refiner) — dedup the level's signatures, intern each distinct
+/// one once, hand every node its next view — instead of one inbox build +
+/// intern per node. Metrics (decision rounds, outputs, message counts and
+/// bits, per-round breakdowns) are byte-identical to Engine::run on the
+/// same inputs, and independent of `pool` (which only parallelizes the
+/// refiner's gather/hash phase). If some program is NOT a FullInfoProgram
+/// the call falls back to Engine::run — so callers may wire it in
+/// unconditionally.
+RunMetrics run_full_info(const portgraph::PortGraph& graph,
+                         views::ViewRepo& repo,
+                         std::span<const std::unique_ptr<NodeProgram>> programs,
+                         int max_rounds, bool meter_messages = false,
+                         util::ThreadPool* pool = nullptr);
 
 class FullInfoProgram : public NodeProgram {
  public:
@@ -44,6 +75,18 @@ class FullInfoProgram : public NodeProgram {
   [[nodiscard]] views::ViewId view() const noexcept { return view_; }
 
  private:
+  friend RunMetrics run_full_info(
+      const portgraph::PortGraph&, views::ViewRepo&,
+      std::span<const std::unique_ptr<NodeProgram>>, int, bool,
+      util::ThreadPool*);
+
+  /// Batched-refinement equivalent of deliver(): the interned next view is
+  /// handed over directly, skipping the per-node inbox and intern.
+  void advance_to(views::ViewId next, int rounds) {
+    view_ = next;
+    on_view(rounds);
+  }
+
   views::ViewRepo* repo_ = nullptr;
   int degree_ = 0;
   views::ViewId view_ = views::kInvalidView;

@@ -1,86 +1,88 @@
 #include "views/profile.hpp"
 
-#include <unordered_set>
+#include <algorithm>
+
+#include "views/refiner.hpp"
 
 namespace anole::views {
 namespace {
 
-std::size_t distinct_count(const std::vector<ViewId>& level) {
-  std::unordered_set<ViewId> set(level.begin(), level.end());
-  return set.size();
-}
-
-void compute_next_level(const portgraph::PortGraph& g, ViewRepo& repo,
-                        const std::vector<ViewId>& prev,
-                        std::vector<ViewId>& next) {
-  std::size_t n = g.n();
-  next.resize(n);
-  std::vector<ChildRef> kids;
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto& row = g.neighbors(static_cast<portgraph::NodeId>(v));
-    kids.clear();
-    kids.reserve(row.size());
-    for (const auto& he : row)
-      kids.emplace_back(he.rev_port,
-                        prev[static_cast<std::size_t>(he.neighbor)]);
-    next[v] = repo.intern(kids);
-  }
+/// Appends a freshly advanced level, honoring the history mode.
+void push_level(ViewProfile& profile, std::vector<ViewId>&& level,
+                std::size_t classes) {
+  if (profile.keep_history || profile.ids.empty())
+    profile.ids.push_back(std::move(level));
+  else
+    profile.ids.back() = std::move(level);
+  profile.class_counts.push_back(classes);
 }
 
 }  // namespace
 
 ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
-                            int min_depth) {
+                            const ProfileOptions& opts) {
   ANOLE_CHECK_MSG(g.n() >= 1, "profile of an empty graph");
   ViewProfile profile;
+  profile.keep_history = opts.keep_history;
   std::size_t n = g.n();
+  Refiner refiner(g, repo, opts.pool);
 
-  std::vector<ViewId> level(n);
-  for (std::size_t v = 0; v < n; ++v)
-    level[v] = repo.leaf(g.degree(static_cast<portgraph::NodeId>(v)));
-  profile.ids.push_back(level);
-  profile.class_counts.push_back(distinct_count(level));
+  std::vector<ViewId> level;
+  std::size_t classes = refiner.init_level(level);
+  push_level(profile, std::move(level), classes);
 
   for (;;) {
     int t = profile.computed_depth();
-    std::size_t classes = profile.class_counts.back();
+    classes = profile.class_counts.back();
     if (classes == n && profile.election_index < 0) {
       profile.feasible = true;
       profile.election_index = t;
     }
     bool stabilized =
         t >= 1 && classes == profile.class_counts[static_cast<std::size_t>(t) - 1];
-    bool done = (profile.feasible || stabilized) && t >= min_depth;
+    bool done = (profile.feasible || stabilized) && t >= opts.min_depth;
     if (done) break;
 
     std::vector<ViewId> next;
-    compute_next_level(g, repo, profile.ids.back(), next);
-    profile.ids.push_back(std::move(next));
-    profile.class_counts.push_back(distinct_count(profile.ids.back()));
+    std::size_t next_classes = refiner.advance(profile.ids.back(), next);
+    push_level(profile, std::move(next), next_classes);
   }
   return profile;
 }
 
+ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
+                            int min_depth) {
+  return compute_profile(g, repo, ProfileOptions{.min_depth = min_depth});
+}
+
 void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
-                    ViewProfile& profile, int depth) {
+                    ViewProfile& profile, int depth, util::ThreadPool* pool) {
+  if (profile.computed_depth() >= depth) return;
+  Refiner refiner(g, repo, pool);
   while (profile.computed_depth() < depth) {
     std::vector<ViewId> next;
-    compute_next_level(g, repo, profile.ids.back(), next);
-    profile.ids.push_back(std::move(next));
-    profile.class_counts.push_back(distinct_count(profile.ids.back()));
+    std::size_t classes = refiner.advance(profile.ids.back(), next);
+    push_level(profile, std::move(next), classes);
   }
 }
 
 portgraph::NodeId argmin_view(const ViewRepo& repo,
                               const std::vector<ViewId>& level) {
   ANOLE_CHECK(!level.empty());
-  std::size_t best = 0;
-  for (std::size_t v = 1; v < level.size(); ++v) {
-    if (level[v] != level[best] &&
-        repo.compare(level[v], level[best]) == std::strong_ordering::less)
-      best = v;
+  // A level usually has far fewer distinct ids than entries (the class
+  // count of the refinement partition), and compare() walks view structure
+  // — so dedup first, compare only distinct representatives, then return
+  // the lowest-numbered witness of the canonical minimum.
+  std::vector<ViewId> distinct = distinct_ids(level);
+  ViewId best = distinct.front();
+  for (std::size_t i = 1; i < distinct.size(); ++i) {
+    if (repo.compare(distinct[i], best) == std::strong_ordering::less)
+      best = distinct[i];
   }
-  return static_cast<portgraph::NodeId>(best);
+  for (std::size_t v = 0; v < level.size(); ++v)
+    if (level[v] == best) return static_cast<portgraph::NodeId>(v);
+  ANOLE_CHECK_MSG(false, "argmin witness vanished — unreachable");
+  return -1;
 }
 
 }  // namespace anole::views

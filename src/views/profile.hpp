@@ -9,20 +9,35 @@
 // consecutive depths the partition is a fixed point and will never become
 // finer (standard refinement argument), so the graph is infeasible unless
 // all n classes are already distinct.
+//
+// Levels are advanced by views::Refiner (batched dedup-before-intern, see
+// refiner.hpp and DESIGN.md §7): each level's class count is a byproduct
+// of the batched dedup, and the optional thread pool parallelizes the
+// gather/hash phase without changing a single id.
 
 #include <vector>
 
 #include "portgraph/port_graph.hpp"
 #include "views/view_repo.hpp"
 
+namespace anole::util {
+class ThreadPool;
+}  // namespace anole::util
+
 namespace anole::views {
 
 struct ViewProfile {
-  /// ids[t][v] = ViewId of B^t(v); levels 0..computed_depth.
+  /// ids[t][v] = ViewId of B^t(v); levels 0..computed_depth. When the
+  /// profile was built with keep_history = false, only the *last* level is
+  /// stored (ids.size() == 1) — class_counts still covers every level.
   std::vector<std::vector<ViewId>> ids;
 
   /// Number of distinct views at each computed depth.
   std::vector<std::size_t> class_counts;
+
+  /// False when only the deepest level is retained (O(n) memory instead of
+  /// O(n·t) — see ProfileOptions::keep_history).
+  bool keep_history = true;
 
   /// True iff all views become distinct at some depth (graph is feasible
   /// for leader election when the map is known — Yamashita/Kameda via [44]).
@@ -33,29 +48,59 @@ struct ViewProfile {
   int election_index = -1;
 
   [[nodiscard]] int computed_depth() const {
-    return static_cast<int>(ids.size()) - 1;
+    return static_cast<int>(class_counts.size()) - 1;
   }
 
-  /// The view of node v at depth t (t <= computed_depth).
+  /// The view of node v at depth t (t <= computed_depth; without history,
+  /// only t == computed_depth is available).
   [[nodiscard]] ViewId view(int t, portgraph::NodeId v) const {
-    return ids[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)];
+    if (!keep_history)
+      ANOLE_CHECK_MSG(t == computed_depth(),
+                      "level " << t << " was dropped (keep_history = false)");
+    const auto& level = keep_history ? ids[static_cast<std::size_t>(t)]
+                                     : ids.back();
+    return level[static_cast<std::size_t>(v)];
+  }
+
+  /// The deepest computed level (valid in both history modes).
+  [[nodiscard]] const std::vector<ViewId>& last_level() const {
+    return ids.back();
   }
 };
 
+struct ProfileOptions {
+  /// Compute at least this many levels (pass e.g. the depth an algorithm
+  /// will inspect) even if the partition stabilizes earlier.
+  int min_depth = 0;
+  /// When false, retain only the deepest level in `ids` — the class counts
+  /// (and hence feasibility / election index) are unaffected. Use for deep
+  /// sweeps that only need the final partition.
+  bool keep_history = true;
+  /// Optional pool for the Refiner's gather/hash phase. Output (ids and
+  /// counts alike) is identical for any pool, including none.
+  util::ThreadPool* pool = nullptr;
+};
+
 /// Computes B^t for t = 0,1,... until the partition stabilizes or all views
-/// are distinct — and in any case up to at least `min_depth` levels (pass
-/// e.g. the depth an algorithm will inspect). All views are interned into
-/// `repo`.
+/// are distinct — and in any case up to at least `opts.min_depth` levels.
+/// All views are interned into `repo`.
+[[nodiscard]] ViewProfile compute_profile(const portgraph::PortGraph& g,
+                                          ViewRepo& repo,
+                                          const ProfileOptions& opts);
+
+/// Convenience overload: full history, no pool.
 [[nodiscard]] ViewProfile compute_profile(const portgraph::PortGraph& g,
                                           ViewRepo& repo, int min_depth = 0);
 
 /// Extends an existing profile with levels up to `depth` (no-op if already
-/// computed that far).
+/// computed that far). Honors the profile's history mode.
 void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
-                    ViewProfile& profile, int depth);
+                    ViewProfile& profile, int depth,
+                    util::ThreadPool* pool = nullptr);
 
 /// The node whose depth-t view is canonically smallest (ties impossible
 /// when t >= election index; otherwise the lowest-numbered witness).
+/// Dedups the level first, so compare() runs only on distinct ids.
 [[nodiscard]] portgraph::NodeId argmin_view(const ViewRepo& repo,
                                             const std::vector<ViewId>& level);
 

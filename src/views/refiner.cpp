@@ -1,0 +1,137 @@
+#include "views/refiner.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace anole::views {
+namespace {
+
+using portgraph::NodeId;
+
+// Below this many nodes a level is advanced sequentially even when a pool
+// is available: submitting tasks costs more than the gather saves.
+constexpr std::size_t kMinParallelNodes = 2048;
+
+/// Runs fn(begin, end) over [0, n) — chunked across `pool` when it pays,
+/// inline otherwise. fn must only touch per-node state in its range.
+template <typename Fn>
+void for_node_ranges(util::ThreadPool* pool, std::size_t n, const Fn& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n < kMinParallelNodes) {
+    fn(0, n);
+    return;
+  }
+  // A few chunks per worker evens out load without flooding the queue.
+  std::size_t chunks = std::min(pool->size() * 4,
+                                (n + kMinParallelNodes - 1) / kMinParallelNodes);
+  std::size_t per_chunk = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t begin = c * per_chunk;
+    std::size_t end = std::min(n, begin + per_chunk);
+    if (begin >= end) break;
+    pool->submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool->wait_idle();
+}
+
+std::size_t table_capacity_for(std::size_t n) {
+  std::size_t cap = 16;
+  while (cap < 2 * n) cap *= 2;
+  return cap;
+}
+
+}  // namespace
+
+Refiner::Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
+                 util::ThreadPool* pool)
+    : graph_(&g), repo_(&repo), pool_(pool) {
+  std::size_t n = g.n();
+  ANOLE_CHECK_MSG(n >= 1, "refining an empty graph");
+  offset_.resize(n + 1);
+  offset_[0] = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    int degree = g.degree(static_cast<NodeId>(v));
+    has_degree0_ = has_degree0_ || degree == 0;
+    offset_[v + 1] = offset_[v] + static_cast<std::uint32_t>(degree);
+  }
+  arena_.resize(offset_[n]);
+  hash_.resize(n);
+}
+
+std::size_t Refiner::init_level(std::vector<ViewId>& level) {
+  std::size_t n = graph_->n();
+  level.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    level[v] = repo_->leaf(graph_->degree(static_cast<NodeId>(v)));
+  distinct_ = distinct_ids(level);
+  return distinct_.size();
+}
+
+std::size_t Refiner::advance(const std::vector<ViewId>& prev,
+                             std::vector<ViewId>& next) {
+  const portgraph::PortGraph& g = *graph_;
+  std::size_t n = g.n();
+  ANOLE_CHECK_MSG(prev.size() == n,
+                  "level size " << prev.size() << " vs n = " << n);
+  ANOLE_CHECK_MSG(&prev != &next, "advance needs distinct level vectors");
+  // Same loud stop ViewRepo::intern gives the per-node path: a degree-0
+  // node has no inner views, so advancing past depth 0 is invalid.
+  ANOLE_CHECK_MSG(!has_degree0_, "advance of a degree-0 (isolated) node");
+  int depth = repo_->depth(prev[0]) + 1;
+  next.resize(n);
+
+  // Gather + hash: disjoint arena ranges per node, so the phase is safe to
+  // chunk across the pool and its result is independent of thread count.
+  for_node_ranges(pool_, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      const auto& row = g.neighbors(static_cast<NodeId>(v));
+      ChildRef* sig = arena_.data() + offset_[v];
+      for (std::size_t p = 0; p < row.size(); ++p)
+        sig[p] = ChildRef{row[p].rev_port,
+                          prev[static_cast<std::size_t>(row[p].neighbor)]};
+      hash_[v] = ViewRepo::signature_hash(static_cast<int>(row.size()), depth,
+                                          {sig, row.size()});
+    }
+  });
+
+  // Dedup + intern, sequential in node order: ids are assigned exactly as
+  // the per-node intern loop would assign them (determinism contract).
+  table_.assign(table_capacity_for(n), Slot{});
+  distinct_.clear();
+  std::size_t mask = table_.size() - 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t h = hash_[v];
+    std::span<const ChildRef> sig(arena_.data() + offset_[v],
+                                  offset_[v + 1] - offset_[v]);
+    std::size_t i = h & mask;
+    for (;;) {
+      Slot& slot = table_[i];
+      if (slot.id == kInvalidView) {
+        ViewId id = repo_->intern_hashed(static_cast<int>(sig.size()), depth,
+                                         sig, h);
+        slot = Slot{h, static_cast<std::uint32_t>(v), id};
+        distinct_.push_back(id);
+        next[v] = id;
+        break;
+      }
+      if (slot.hash == h) {
+        std::span<const ChildRef> seen(
+            arena_.data() + offset_[slot.node],
+            offset_[slot.node + 1] - offset_[slot.node]);
+        if (seen.size() == sig.size() &&
+            std::equal(seen.begin(), seen.end(), sig.begin())) {
+          next[v] = slot.id;
+          break;
+        }
+      }
+      i = (i + 1) & mask;
+    }
+  }
+  // Fresh records get ascending ids already, but a signature may match a
+  // record interned before this refinement (e.g. a second run over the
+  // same repo) — sort so distinct() is always ascending.
+  std::sort(distinct_.begin(), distinct_.end());
+  return distinct_.size();
+}
+
+}  // namespace anole::views

@@ -1,0 +1,87 @@
+#pragma once
+// Batched level-synchronous view refinement (DESIGN.md §7).
+//
+// Advancing every node from B^t to B^{t+1} is one step of partition
+// refinement (Proposition 2.1): node v's next view is determined by its
+// signature (deg(v), [(rev_port_j, id of B^t(u_j))]), and the number of
+// *distinct* signatures per level — the refinement class count — is
+// usually far below n. The per-node path (one ViewRepo::intern per node
+// per level) pays a hash + probe + child-span compare for every node
+// anyway; a Refiner advances the whole level at once instead:
+//
+//   1. gather: every node's signature is written into a flat arena at a
+//      precomputed offset (prefix sums of degrees) and its signature hash
+//      is computed — embarrassingly parallel across the optional
+//      util::ThreadPool, each worker writing disjoint node ranges;
+//   2. dedup + intern: one sequential pass in node order probes a
+//      level-local open-addressing table with the precomputed hashes,
+//      interning each distinct signature exactly once (at its first
+//      occurrence) and reusing the id for every duplicate;
+//   3. scatter: ids land in node order, and the level's class count (and
+//      the distinct id list) falls out of the dedup for free — no
+//      per-level unordered_set recount.
+//
+// Determinism: the dedup/intern pass runs in ascending node order, so ids
+// are assigned in exactly the order the per-node loop would have assigned
+// them — profiles built through a Refiner are id-identical to the naive
+// path and independent of the pool's thread count (the parallel phase only
+// fills disjoint slots; it never interns). tests/refiner_test.cpp pins
+// both properties.
+//
+// A Refiner borrows its graph, repo and pool; all must outlive it. Like
+// the repo it serves, a Refiner is not thread-safe — one per cell.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::util {
+class ThreadPool;
+}  // namespace anole::util
+
+namespace anole::views {
+
+class Refiner {
+ public:
+  /// `pool == nullptr` (or a tiny level) keeps the gather phase sequential.
+  /// The pool must not be shared with concurrent wait_idle() users while a
+  /// refinement is in flight.
+  Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
+          util::ThreadPool* pool = nullptr);
+
+  /// Fills `level` with every node's depth-0 view id; returns the level's
+  /// class count (number of distinct degrees).
+  std::size_t init_level(std::vector<ViewId>& level);
+
+  /// Advances a whole level: next[v] = id of B^{t+1}(v) from prev[u] =
+  /// id of B^t(u). Returns the new level's class count. `prev` and `next`
+  /// must be distinct vectors; prev.size() must be n.
+  std::size_t advance(const std::vector<ViewId>& prev,
+                      std::vector<ViewId>& next);
+
+  /// The distinct ids of the level most recently produced by init_level()
+  /// or advance(), in ascending id order.
+  [[nodiscard]] std::span<const ViewId> distinct() const { return distinct_; }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t node = 0;          ///< first node with this signature
+    ViewId id = kInvalidView;        ///< kInvalidView marks an empty slot
+  };
+
+  const portgraph::PortGraph* graph_;
+  ViewRepo* repo_;
+  util::ThreadPool* pool_;
+  bool has_degree0_ = false;           ///< advance() must reject such graphs
+  std::vector<std::uint32_t> offset_;  ///< n+1 prefix sums of degrees
+  std::vector<ChildRef> arena_;        ///< gathered signatures, 2m entries
+  std::vector<std::uint64_t> hash_;    ///< per-node signature hash
+  std::vector<Slot> table_;            ///< level-local dedup table
+  std::vector<ViewId> distinct_;
+};
+
+}  // namespace anole::views

@@ -13,8 +13,25 @@ std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
-std::uint64_t hash_key(int degree, int depth,
-                       std::span<const ChildRef> children) {
+/// Packs two 32-bit payloads into one memo key.
+std::uint64_t pack_key(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+// Initial capacity of the open-addressing interning index (power of two).
+constexpr std::size_t kIndexInitialCapacity = 1024;
+
+}  // namespace
+
+std::vector<ViewId> distinct_ids(std::span<const ViewId> ids) {
+  std::vector<ViewId> out(ids.begin(), ids.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::uint64_t ViewRepo::signature_hash(int degree, int depth,
+                                       std::span<const ChildRef> children) {
   std::uint64_t h = hash_mix(static_cast<std::uint64_t>(degree),
                              static_cast<std::uint64_t>(depth));
   for (const auto& [port, child] : children) {
@@ -23,13 +40,6 @@ std::uint64_t hash_key(int degree, int depth,
   }
   return h;
 }
-
-/// Packs two 32-bit payloads into one memo key.
-std::uint64_t pack_key(std::uint32_t hi, std::uint32_t lo) {
-  return (static_cast<std::uint64_t>(hi) << 32) | lo;
-}
-
-}  // namespace
 
 ViewId ViewRepo::leaf(int degree) {
   ANOLE_CHECK(degree >= 0);
@@ -50,17 +60,42 @@ ViewId ViewRepo::intern(std::span<const ChildRef> children) {
 
 ViewId ViewRepo::intern_impl(int degree, int depth,
                              std::span<const ChildRef> children) {
-  std::uint64_t h = hash_key(degree, depth, children);
-  auto& bucket = index_[h];
-  for (ViewId cand : bucket) {
-    const Record& r = records_[static_cast<std::size_t>(cand)];
-    if (r.degree != degree || r.depth != depth ||
-        r.child_count != children.size())
-      continue;
-    std::span<const ChildRef> existing(child_pool_.data() + r.child_begin,
-                                       r.child_count);
-    if (std::equal(existing.begin(), existing.end(), children.begin()))
-      return cand;
+  return intern_hashed(degree, depth, children,
+                       signature_hash(degree, depth, children));
+}
+
+void ViewRepo::index_grow() {
+  std::vector<IndexSlot> old = std::move(index_);
+  index_.assign(old.empty() ? kIndexInitialCapacity : old.size() * 2,
+                IndexSlot{});
+  std::size_t mask = index_.size() - 1;
+  for (const IndexSlot& slot : old) {
+    if (slot.id == kInvalidView) continue;
+    std::size_t i = slot.hash & mask;
+    while (index_[i].id != kInvalidView) i = (i + 1) & mask;
+    index_[i] = slot;
+  }
+}
+
+ViewId ViewRepo::intern_hashed(int degree, int depth,
+                               std::span<const ChildRef> children,
+                               std::uint64_t hash) {
+  ANOLE_DCHECK(hash == signature_hash(degree, depth, children));
+  if (index_.empty()) index_grow();
+  std::size_t mask = index_.size() - 1;
+  std::size_t i = hash & mask;
+  while (index_[i].id != kInvalidView) {
+    if (index_[i].hash == hash) {
+      const Record& r = records_[static_cast<std::size_t>(index_[i].id)];
+      if (r.degree == degree && r.depth == depth &&
+          r.child_count == children.size()) {
+        std::span<const ChildRef> existing(child_pool_.data() + r.child_begin,
+                                           r.child_count);
+        if (std::equal(existing.begin(), existing.end(), children.begin()))
+          return index_[i].id;
+      }
+    }
+    i = (i + 1) & mask;
   }
   Record r;
   r.degree = degree;
@@ -81,7 +116,9 @@ ViewId ViewRepo::intern_impl(int degree, int depth,
   child_pool_.insert(child_pool_.end(), children.begin(), children.end());
   records_.push_back(r);
   ViewId id = static_cast<ViewId>(records_.size() - 1);
-  bucket.push_back(id);
+  index_[i] = IndexSlot{hash, id};
+  // Keep the load factor under 3/4 so probe chains stay short.
+  if (++index_used_ * 4 >= index_.size() * 3) index_grow();
   return id;
 }
 

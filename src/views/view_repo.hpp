@@ -33,6 +33,14 @@
 // — instead of one full traversal with a heap-allocated seen-map per node
 // per round.
 //
+// The interning index is a flat open-addressing table (DESIGN.md §7): one
+// contiguous allocation of (hash, id) slots probed linearly, instead of
+// the former chained unordered_map<hash, vector<ViewId>> whose every probe
+// chased bucket and vector nodes. views::Refiner drives the batched
+// level-refinement path through intern_hashed(), passing signature hashes
+// it precomputed (possibly in parallel) so the index never rehashes a
+// signature the refiner already hashed.
+//
 // A ViewRepo is NOT thread-safe; every experiment cell owns its own repo.
 
 #include <compare>
@@ -53,6 +61,11 @@ inline constexpr ViewId kInvalidView = -1;
 /// (rev_port, child view id) — the edge label half not implied by position,
 /// plus the subtree.
 using ChildRef = std::pair<portgraph::Port, ViewId>;
+
+/// The ascending distinct ids of a level/outbox vector — the id set of one
+/// refinement class partition. One definition for every caller that needs
+/// a per-level distinct set (metering, argmin, level-0 class counts).
+[[nodiscard]] std::vector<ViewId> distinct_ids(std::span<const ViewId> ids);
 
 /// Exact aggregate statistics of the DAG reachable from one view record
 /// (the record itself included). These determine the serialized message
@@ -116,7 +129,14 @@ class ViewRepo {
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
+  /// The stable signature hash the interning index keys on. Exposed so
+  /// views::Refiner can precompute level hashes (in parallel) and hand them
+  /// back through the batched intern path without rehashing.
+  [[nodiscard]] static std::uint64_t signature_hash(
+      int degree, int depth, std::span<const ChildRef> children);
+
  private:
+  friend class Refiner;
   struct Record {
     int degree = 0;
     int depth = 0;
@@ -143,14 +163,31 @@ class ViewRepo {
   [[nodiscard]] ViewId intern_impl(int degree, int depth,
                                    std::span<const ChildRef> children);
 
+  /// Interns a record whose signature hash the caller already computed
+  /// (must equal signature_hash(degree, depth, children)). The batched
+  /// entry point used by Refiner; intern_impl forwards here.
+  [[nodiscard]] ViewId intern_hashed(int degree, int depth,
+                                     std::span<const ChildRef> children,
+                                     std::uint64_t hash);
+
+  /// Doubles the open-addressing index and re-places every occupied slot.
+  void index_grow();
+
   /// Marks v visited in the current epoch; returns false if already marked.
   [[nodiscard]] bool mark_visited(ViewId v) const;
   void begin_epoch() const;
 
   std::vector<Record> records_;
   std::vector<ChildRef> child_pool_;
-  // Interning index: hash of (degree, depth, children) -> candidate ids.
-  std::unordered_map<std::uint64_t, std::vector<ViewId>> index_;
+  // Interning index: flat open-addressing table (linear probing, power-of-
+  // two capacity). id == kInvalidView marks an empty slot; the signature
+  // hash is stored so probes compare one word before touching the record.
+  struct IndexSlot {
+    std::uint64_t hash = 0;
+    ViewId id = kInvalidView;
+  };
+  std::vector<IndexSlot> index_;
+  std::size_t index_used_ = 0;
   // Memoization tables.
   mutable std::unordered_map<std::uint64_t, std::int8_t> compare_memo_;
   std::unordered_map<std::uint64_t, ViewId> truncate_memo_;

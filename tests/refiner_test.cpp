@@ -1,0 +1,391 @@
+// Tests for the batched refinement subsystem (DESIGN.md §7): Refiner-built
+// profiles are id-identical to a naive per-node intern reference; the
+// keep_history=false mode drops levels but nothing else; run_full_info is
+// byte-identical to Engine::run and to itself across thread counts; the
+// flat interning index survives a 65536-node ring stress.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "families/hairy.hpp"
+#include "portgraph/builders.hpp"
+#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
+#include "util/thread_pool.hpp"
+#include "views/profile.hpp"
+#include "views/refiner.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+
+// The pre-Refiner reference: one ViewRepo::intern per node per level and a
+// per-level unordered_set recount — exactly the code compute_profile used
+// before batching. Ids must match the batched path *as integers*, because
+// the Refiner interns each level's distinct signatures in first-occurrence
+// node order, the same order this loop interns them.
+ViewProfile naive_profile(const PortGraph& g, ViewRepo& repo, int min_depth) {
+  ViewProfile profile;
+  std::size_t n = g.n();
+  std::vector<ViewId> level(n);
+  for (std::size_t v = 0; v < n; ++v)
+    level[v] = repo.leaf(g.degree(static_cast<NodeId>(v)));
+  auto distinct_count = [](const std::vector<ViewId>& ids) {
+    return std::unordered_set<ViewId>(ids.begin(), ids.end()).size();
+  };
+  profile.ids.push_back(level);
+  profile.class_counts.push_back(distinct_count(level));
+  for (;;) {
+    int t = profile.computed_depth();
+    std::size_t classes = profile.class_counts.back();
+    if (classes == n && profile.election_index < 0) {
+      profile.feasible = true;
+      profile.election_index = t;
+    }
+    bool stabilized =
+        t >= 1 &&
+        classes == profile.class_counts[static_cast<std::size_t>(t) - 1];
+    if ((profile.feasible || stabilized) && t >= min_depth) break;
+    const std::vector<ViewId>& prev = profile.ids.back();
+    std::vector<ViewId> next(n);
+    std::vector<ChildRef> kids;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& row = g.neighbors(static_cast<NodeId>(v));
+      kids.clear();
+      for (const auto& he : row)
+        kids.emplace_back(he.rev_port,
+                          prev[static_cast<std::size_t>(he.neighbor)]);
+      next[v] = repo.intern(kids);
+    }
+    profile.ids.push_back(std::move(next));
+    profile.class_counts.push_back(distinct_count(profile.ids.back()));
+  }
+  return profile;
+}
+
+std::vector<PortGraph> property_graphs() {
+  std::vector<PortGraph> graphs;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed)
+    graphs.push_back(portgraph::random_connected(24, 20, seed));
+  graphs.push_back(portgraph::ring(16));
+  graphs.push_back(portgraph::clique(7));
+  graphs.push_back(portgraph::path(15));
+  graphs.push_back(portgraph::grid(4, 5));
+  graphs.push_back(families::hairy_ring({2, 0, 3, 1, 0, 2, 1}).graph);
+  graphs.push_back(
+      families::hairy_ring({0, 4, 0, 1, 2, 0, 0, 3, 1, 0}).graph);
+  return graphs;
+}
+
+TEST(Refiner, ProfilesIdenticalToNaivePerNodeIntern) {
+  // The property the whole PR rests on: batched dedup-before-intern
+  // assigns exactly the ids (and hence class counts, feasibility and
+  // election index) of the per-node reference, on every level.
+  for (const PortGraph& g : property_graphs()) {
+    ViewRepo repo_naive;
+    ViewRepo repo_batched;
+    const int min_depth = 4;
+    ViewProfile want = naive_profile(g, repo_naive, min_depth);
+    ViewProfile got = compute_profile(g, repo_batched, min_depth);
+    ASSERT_EQ(got.class_counts, want.class_counts);
+    EXPECT_EQ(got.feasible, want.feasible);
+    EXPECT_EQ(got.election_index, want.election_index);
+    ASSERT_EQ(got.ids.size(), want.ids.size());
+    for (std::size_t t = 0; t < want.ids.size(); ++t)
+      EXPECT_EQ(got.ids[t], want.ids[t]) << "level " << t;
+    // Both repos interned the same records in the same order.
+    EXPECT_EQ(repo_batched.size(), repo_naive.size());
+  }
+}
+
+TEST(Refiner, DistinctIsTheSortedLevelSet) {
+  PortGraph g = portgraph::random_connected(30, 25, 7);
+  ViewRepo repo;
+  Refiner refiner(g, repo);
+  std::vector<ViewId> level;
+  std::size_t classes = refiner.init_level(level);
+  for (int t = 0; t < 4; ++t) {
+    std::vector<ViewId> expect(level.begin(), level.end());
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    EXPECT_EQ(classes, expect.size());
+    ASSERT_EQ(refiner.distinct().size(), expect.size());
+    EXPECT_TRUE(std::equal(refiner.distinct().begin(),
+                           refiner.distinct().end(), expect.begin()));
+    std::vector<ViewId> next;
+    classes = refiner.advance(level, next);
+    level = std::move(next);
+  }
+}
+
+TEST(Refiner, AdvanceIsPoolInvariant) {
+  PortGraph g = portgraph::random_connected(6000, 9000, 11);
+  util::ThreadPool pool(4);
+  ViewRepo repo_seq;
+  ViewRepo repo_par;
+  ViewProfile a = compute_profile(g, repo_seq, ProfileOptions{.min_depth = 3});
+  ViewProfile b = compute_profile(
+      g, repo_par, ProfileOptions{.min_depth = 3, .pool = &pool});
+  EXPECT_EQ(a.class_counts, b.class_counts);
+  ASSERT_EQ(a.ids.size(), b.ids.size());
+  for (std::size_t t = 0; t < a.ids.size(); ++t)
+    EXPECT_EQ(a.ids[t], b.ids[t]) << "level " << t;
+}
+
+TEST(Profile, KeepHistoryFalseKeepsEverythingButTheLevels) {
+  for (const PortGraph& g : property_graphs()) {
+    ViewRepo repo_full;
+    ViewRepo repo_last;
+    ViewProfile full = compute_profile(g, repo_full, 3);
+    ViewProfile last = compute_profile(
+        g, repo_last, ProfileOptions{.min_depth = 3, .keep_history = false});
+    EXPECT_EQ(last.class_counts, full.class_counts);
+    EXPECT_EQ(last.feasible, full.feasible);
+    EXPECT_EQ(last.election_index, full.election_index);
+    EXPECT_EQ(last.computed_depth(), full.computed_depth());
+    ASSERT_EQ(last.ids.size(), 1u);
+    EXPECT_EQ(last.last_level(), full.last_level());
+    int t = full.computed_depth();
+    for (std::size_t v = 0; v < g.n(); ++v)
+      EXPECT_EQ(last.view(t, static_cast<NodeId>(v)),
+                full.view(t, static_cast<NodeId>(v)));
+  }
+}
+
+TEST(Profile, ExtendHonorsHistoryMode) {
+  PortGraph g = portgraph::random_connected(12, 8, 3);
+  ViewRepo repo_full;
+  ViewRepo repo_last;
+  ViewProfile full = compute_profile(g, repo_full);
+  ViewProfile last = compute_profile(
+      g, repo_last, ProfileOptions{.keep_history = false});
+  int target = full.computed_depth() + 3;
+  extend_profile(g, repo_full, full, target);
+  extend_profile(g, repo_last, last, target);
+  EXPECT_EQ(last.computed_depth(), target);
+  EXPECT_EQ(last.class_counts, full.class_counts);
+  ASSERT_EQ(last.ids.size(), 1u);
+  EXPECT_EQ(last.last_level(), full.last_level());
+}
+
+TEST(Profile, ArgminViewDedupsButAnswersAsBefore) {
+  // Duplicate-heavy level: every ring node shares one view, so the witness
+  // is node 0 by the lowest-index rule.
+  {
+    PortGraph g = portgraph::ring(12);
+    ViewRepo repo;
+    ViewProfile p = compute_profile(g, repo, 3);
+    EXPECT_EQ(argmin_view(repo, p.last_level()), 0);
+  }
+  // General levels: the answer must match the pre-dedup O(n)-compare scan.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    PortGraph g = portgraph::random_connected(20, 14, seed);
+    ViewRepo repo;
+    ViewProfile p = compute_profile(g, repo, 2);
+    for (int t = 0; t <= p.computed_depth(); ++t) {
+      const auto& level = p.ids[static_cast<std::size_t>(t)];
+      std::size_t best = 0;
+      for (std::size_t v = 1; v < level.size(); ++v)
+        if (level[v] != level[best] &&
+            repo.compare(level[v], level[best]) == std::strong_ordering::less)
+          best = v;
+      EXPECT_EQ(argmin_view(repo, level), static_cast<NodeId>(best))
+          << "seed " << seed << " level " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anole::views
+
+namespace anole::sim {
+namespace {
+
+using portgraph::PortGraph;
+using views::ViewId;
+
+/// COM for `target` rounds, recording every view seen.
+class ComRecorder final : public FullInfoProgram {
+ public:
+  explicit ComRecorder(int target) : target_(target) {}
+  [[nodiscard]] bool has_output() const override {
+    return rounds_seen_ >= target_;
+  }
+  [[nodiscard]] std::vector<int> output() const override {
+    return {rounds_seen_};
+  }
+  const std::vector<ViewId>& history() const { return history_; }
+
+ protected:
+  void on_view(int rounds) override {
+    rounds_seen_ = rounds;
+    history_.push_back(view());
+  }
+
+ private:
+  int target_;
+  int rounds_seen_ = 0;
+  std::vector<ViewId> history_;
+};
+
+/// Deliberately NOT a FullInfoProgram: exercises the engine fallback.
+class LeafEcho final : public NodeProgram {
+ public:
+  void start(views::ViewRepo& repo, int degree) override {
+    leaf_ = repo.leaf(degree);
+  }
+  [[nodiscard]] views::ViewId outgoing(int /*round*/) override {
+    return leaf_;
+  }
+  void deliver(int round, std::span<const Message> /*inbox*/) override {
+    done_ = round >= 1;
+  }
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+ private:
+  views::ViewId leaf_ = views::kInvalidView;
+  bool done_ = false;
+};
+
+void expect_metrics_equal(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.decision_round, b.decision_round);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.message_count, b.message_count);
+  EXPECT_EQ(a.total_message_bits, b.total_message_bits);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+  EXPECT_EQ(a.bits_per_round, b.bits_per_round);
+  EXPECT_EQ(a.distinct_views_per_round, b.distinct_views_per_round);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+}
+
+struct ComRun {
+  RunMetrics metrics;
+  std::vector<std::vector<ViewId>> histories;
+};
+
+ComRun run_with(const PortGraph& g, int target, int max_rounds, bool meter,
+                bool batched, util::ThreadPool* pool = nullptr) {
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  std::vector<ComRecorder*> raw;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    auto p = std::make_unique<ComRecorder>(target);
+    raw.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  ComRun out;
+  out.metrics = batched
+                    ? run_full_info(g, repo, programs, max_rounds, meter, pool)
+                    : Engine(g, repo).run(programs, max_rounds, meter);
+  for (ComRecorder* p : raw) out.histories.push_back(p->history());
+  return out;
+}
+
+TEST(RunFullInfo, ByteIdenticalToEngine) {
+  std::vector<PortGraph> graphs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed)
+    graphs.push_back(portgraph::random_connected(18, 14, seed));
+  graphs.push_back(portgraph::ring(32));
+  graphs.push_back(portgraph::clique(9));
+  for (const PortGraph& g : graphs) {
+    for (bool meter : {false, true}) {
+      ComRun engine = run_with(g, 6, 8, meter, /*batched=*/false);
+      ComRun batched = run_with(g, 6, 8, meter, /*batched=*/true);
+      expect_metrics_equal(batched.metrics, engine.metrics);
+      // Same repo evolution: the views every node saw are id-identical.
+      EXPECT_EQ(batched.histories, engine.histories);
+    }
+  }
+}
+
+TEST(RunFullInfo, TimeoutMatchesEngine) {
+  PortGraph g = portgraph::path(5);
+  ComRun engine = run_with(g, 100, 4, true, /*batched=*/false);
+  ComRun batched = run_with(g, 100, 4, true, /*batched=*/true);
+  EXPECT_TRUE(batched.metrics.timed_out);
+  expect_metrics_equal(batched.metrics, engine.metrics);
+}
+
+TEST(RunFullInfo, StaggeredDecisionsMatchEngine) {
+  // Nodes decide at different rounds: exercises the shrinking undecided
+  // list on both paths (a node's output is captured exactly once, at its
+  // first has_output round).
+  PortGraph g = portgraph::random_connected(16, 12, 5);
+  for (bool batched : {false, true}) {
+    views::ViewRepo repo;
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      programs.push_back(std::make_unique<ComRecorder>(static_cast<int>(v % 5)));
+    RunMetrics m = batched ? run_full_info(g, repo, programs, 10, false)
+                           : Engine(g, repo).run(programs, 10, false);
+    EXPECT_FALSE(m.timed_out);
+    EXPECT_EQ(m.rounds, 4);
+    for (std::size_t v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(m.decision_round[v], static_cast<int>(v % 5)) << "node " << v;
+      ASSERT_EQ(m.outputs[v].size(), 1u);
+      EXPECT_EQ(m.outputs[v][0], static_cast<int>(v % 5));
+    }
+  }
+}
+
+TEST(RunFullInfo, ThreadCountInvariant) {
+  // The satellite contract: one pool worker vs several produce the same
+  // bytes — metrics and per-node view histories alike.
+  PortGraph g = portgraph::random_connected(5000, 7500, 21);
+  util::ThreadPool pool(4);
+  ComRun seq = run_with(g, 4, 6, true, /*batched=*/true, nullptr);
+  ComRun par = run_with(g, 4, 6, true, /*batched=*/true, &pool);
+  expect_metrics_equal(par.metrics, seq.metrics);
+  EXPECT_EQ(par.histories, seq.histories);
+}
+
+TEST(RunFullInfo, FallsBackToEngineForNonComPrograms) {
+  PortGraph g = portgraph::random_connected(10, 8, 2);
+  RunMetrics want;
+  RunMetrics got;
+  for (bool batched : {false, true}) {
+    views::ViewRepo repo;
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (std::size_t v = 0; v < g.n(); ++v)
+      programs.push_back(std::make_unique<LeafEcho>());
+    RunMetrics m = batched ? run_full_info(g, repo, programs, 5, true)
+                           : Engine(g, repo).run(programs, 5, true);
+    (batched ? got : want) = m;
+  }
+  expect_metrics_equal(got, want);
+}
+
+TEST(RunFullInfo, StressRing65536) {
+  // The metering best case at scale: one distinct view per round, priced
+  // once, on a 65536-node ring — the level-synchronous sweep the batched
+  // path exists for. Checks the exact metering identities.
+  constexpr std::size_t kN = 65536;
+  constexpr int kRounds = 8;
+  PortGraph g = portgraph::ring(kN);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < kN; ++v)
+    programs.push_back(std::make_unique<ComRecorder>(kRounds));
+  util::ThreadPool pool(0);
+  RunMetrics m =
+      run_full_info(g, repo, programs, kRounds + 1, true, &pool);
+  EXPECT_FALSE(m.timed_out);
+  EXPECT_EQ(m.rounds, kRounds);
+  EXPECT_EQ(m.message_count, 2 * kN * kRounds);
+  ASSERT_EQ(m.distinct_views_per_round.size(),
+            static_cast<std::size_t>(kRounds));
+  for (std::size_t d : m.distinct_views_per_round) EXPECT_EQ(d, 1u);
+  // Ring views are fully symmetric: one record per level in the repo.
+  EXPECT_EQ(repo.size(), static_cast<std::size_t>(kRounds) + 1);
+  for (int r : m.decision_round) EXPECT_EQ(r, kRounds);
+}
+
+}  // namespace
+}  // namespace anole::sim
