@@ -48,9 +48,11 @@ int main(int argc, char** argv) {
           ", D = " + std::to_string(g.diameter()) +
           ", phi = " + std::to_string(profile.election_index),
       {"algorithm", "time model", "rounds", "advice bits"}});
+  // Cells execute in parallel and must not share mutable state, so each
+  // builds its own ElectionContext (one profile + diameter per cell).
   for (const runner::PortfolioAlgorithm& algo : runner::election_portfolio(2))
     scenario.add_cell(algo.name, 0, [algo, g] {
-      election::ElectionRun run = algo.run(g);
+      election::ElectionRun run = algo.run_on(g);
       return std::vector<runner::Row>{runner::Row{
           algo.name, algo.model,
           run.ok() ? runner::Value(run.metrics.rounds)

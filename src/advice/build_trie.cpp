@@ -55,7 +55,9 @@ Trie build_deep(ViewRepo& repo, Labeler& labeler, std::vector<ViewId>& s) {
   if (s.size() == 1) return Trie::single_leaf();
 
   // The two canonically smallest views of S determine the discriminatory
-  // index and subview.
+  // index and subview. Profile views carry canonical ranks, so this sort
+  // (and the subview compare below) is integer comparison, not a DAG walk
+  // (DESIGN.md §8) — V2's trie-sort cells benchmark exactly this kernel.
   std::vector<ViewId> sorted = s;
   std::sort(sorted.begin(), sorted.end(), [&repo](ViewId a, ViewId b) {
     return repo.compare(a, b) == std::strong_ordering::less;

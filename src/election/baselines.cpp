@@ -18,10 +18,14 @@ void MapProgram::on_view(int rounds) {
   const portgraph::PortGraph& map = state_->map;
 
   // Locate every map node's B^phi in the shared repo; our own view id then
-  // identifies our position on the map (unique because rounds = phi).
-  views::ViewProfile profile =
-      views::compute_profile(map, vr, /*min_depth=*/state_->phi);
-  const auto& level = profile.ids[static_cast<std::size_t>(state_->phi)];
+  // identifies our position on the map (unique because rounds = phi). The
+  // profile is computed once per run and shared through the advice state —
+  // every node would derive the identical levels from the identical map.
+  if (!state_->map_profile.has_value())
+    state_->map_profile =
+        views::compute_profile(map, vr, /*min_depth=*/state_->phi);
+  const auto& level =
+      state_->map_profile->ids[static_cast<std::size_t>(state_->phi)];
   NodeId self = -1;
   for (std::size_t v = 0; v < level.size(); ++v)
     if (level[v] == view()) {
@@ -73,6 +77,8 @@ void RemarkProgram::on_view(int rounds) {
       for (const auto& [port, child] : vr.children(v)) next.insert(child);
     levels.emplace_back(next.begin(), next.end());
   }
+  // Truncations of subviews land on refined depth-phi node views, which
+  // carry canonical ranks: the minimum tracking is integer comparison.
   ViewId bmin = views::kInvalidView;
   for (const auto& level : levels)
     for (ViewId v : level) {

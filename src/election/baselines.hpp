@@ -13,6 +13,7 @@
 // frontier of experiment E9.
 
 #include <memory>
+#include <optional>
 
 #include "election/generic.hpp"
 #include "portgraph/io.hpp"
@@ -27,6 +28,12 @@ namespace anole::election {
 struct MapAdviceState {
   portgraph::PortGraph map;
   int phi = 0;
+  /// The decoded map's view profile, computed against the run's shared
+  /// repo by the first node that needs it and reused by every other node
+  /// (they would recompute the identical profile: same map, same repo,
+  /// nodes run sequentially in node order). Mutable lazy cache — the
+  /// advice content the state models stays immutable.
+  mutable std::optional<views::ViewProfile> map_profile;
 };
 
 /// Builds the map advice string for g.

@@ -43,7 +43,9 @@ void GenericProgram::on_view(int rounds) {
   }
   if (!y_subset) return;
 
-  // Bmin: canonically smallest depth-x view seen.
+  // Bmin: canonically smallest depth-x view seen. Depth-x views of graph
+  // nodes are refined (hence ranked) in every harness flow, so this
+  // per-round minimum tracking is integer rank comparison (DESIGN.md §8).
   ViewId bmin = views::kInvalidView;
   for (ViewId v : x_set)
     if (bmin == views::kInvalidView ||

@@ -31,18 +31,14 @@ ElectionRun run_programs(const PortGraph& g, views::ViewRepo& repo,
   return run;
 }
 
-/// Profile options for harnesses that only need feasibility + phi: the
-/// per-level history is dropped (O(n) memory instead of O(n·phi)).
-constexpr views::ProfileOptions kPhiOnly{.min_depth = 0,
-                                         .keep_history = false};
-
 }  // namespace
 
-ElectionRun run_min_time(const PortGraph& g, bool meter_messages) {
-  views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo, /*min_depth=*/1);
-  ANOLE_CHECK_MSG(profile.feasible, "run_min_time on an infeasible graph");
-  advice::MinTimeAdvice adv = advice::compute_advice(g, repo, profile);
+ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages) {
+  ANOLE_CHECK_MSG(ctx.feasible(), "run_min_time on an infeasible graph");
+  ANOLE_CHECK_MSG(ctx.profile.keep_history,
+                  "run_min_time needs a context with level history");
+  advice::MinTimeAdvice adv =
+      advice::compute_advice(ctx.g, ctx.repo, ctx.profile);
   coding::BitString bits = adv.to_bits();
   // Round-trip through the binary string: the nodes run on what the oracle
   // actually transmits.
@@ -50,99 +46,117 @@ ElectionRun run_min_time(const PortGraph& g, bool meter_messages) {
       advice::MinTimeAdvice::from_bits(bits));
 
   ProgramList programs;
-  for (std::size_t v = 0; v < g.n(); ++v)
+  for (std::size_t v = 0; v < ctx.g.n(); ++v)
     programs.push_back(std::make_unique<ElectProgram>(decoded));
-  ElectionRun run = run_programs(g, repo, std::move(programs),
-                                 profile.election_index + 1, meter_messages);
+  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+                                 ctx.phi() + 1, meter_messages);
   run.advice_bits = bits.size();
-  run.phi = profile.election_index;
+  run.phi = ctx.phi();
+  return run;
+}
+
+ElectionRun run_min_time(const PortGraph& g, bool meter_messages) {
+  ElectionContext ctx(g);
+  return run_min_time(ctx, meter_messages);
+}
+
+ElectionRun run_large_time(ElectionContext& ctx, LargeTimeVariant variant,
+                           std::uint64_t c) {
+  ANOLE_CHECK(c >= 2);
+  ANOLE_CHECK_MSG(ctx.feasible(), "run_large_time on an infeasible graph");
+  std::uint64_t phi = static_cast<std::uint64_t>(ctx.phi());
+  coding::BitString bits = large_time_advice(variant, phi);
+  std::uint64_t p = large_time_parameter(variant, bits);
+  ANOLE_CHECK_MSG(p >= phi, "P_i < phi — advice decoding broken");
+
+  int diameter = ctx.diameter();
+  ProgramList programs;
+  for (std::size_t v = 0; v < ctx.g.n(); ++v)
+    programs.push_back(std::make_unique<GenericProgram>(p));
+  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+                                 diameter + static_cast<int>(p) + 2);
+  run.advice_bits = bits.size();
+  run.phi = ctx.phi();
+  run.diameter = diameter;
   return run;
 }
 
 ElectionRun run_large_time(const PortGraph& g, LargeTimeVariant variant,
                            std::uint64_t c) {
-  ANOLE_CHECK(c >= 2);
-  views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
-  ANOLE_CHECK_MSG(profile.feasible, "run_large_time on an infeasible graph");
-  std::uint64_t phi = static_cast<std::uint64_t>(profile.election_index);
-  coding::BitString bits = large_time_advice(variant, phi);
-  std::uint64_t p = large_time_parameter(variant, bits);
-  ANOLE_CHECK_MSG(p >= phi, "P_i < phi — advice decoding broken");
+  // Only feasibility + phi are read: no need to retain every level.
+  ElectionContext ctx(g, /*keep_history=*/false);
+  return run_large_time(ctx, variant, c);
+}
 
-  int diameter = g.diameter();
+ElectionRun run_map(ElectionContext& ctx) {
+  ANOLE_CHECK_MSG(ctx.feasible(), "run_map on an infeasible graph");
+  coding::BitString bits = map_advice(ctx.g);
+  auto state = std::make_shared<MapAdviceState>();
+  state->map = portgraph::decode_graph(bits);
+  state->phi = ctx.phi();
+
   ProgramList programs;
-  for (std::size_t v = 0; v < g.n(); ++v)
-    programs.push_back(std::make_unique<GenericProgram>(p));
-  ElectionRun run =
-      run_programs(g, repo, std::move(programs),
-                   diameter + static_cast<int>(p) + 2);
+  for (std::size_t v = 0; v < ctx.g.n(); ++v)
+    programs.push_back(std::make_unique<MapProgram>(state));
+  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+                                 ctx.phi() + 1);
   run.advice_bits = bits.size();
-  run.phi = profile.election_index;
-  run.diameter = diameter;
+  run.phi = ctx.phi();
   return run;
 }
 
 ElectionRun run_map(const PortGraph& g) {
-  // The nodes recompute the map's profile themselves in MapProgram; the
-  // harness only needs phi, so the history is dropped here too.
-  views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
-  ANOLE_CHECK_MSG(profile.feasible, "run_map on an infeasible graph");
-  coding::BitString bits = map_advice(g);
-  auto state = std::make_shared<MapAdviceState>();
-  state->map = portgraph::decode_graph(bits);
-  state->phi = profile.election_index;
-
-  ProgramList programs;
-  for (std::size_t v = 0; v < g.n(); ++v)
-    programs.push_back(std::make_unique<MapProgram>(state));
-  ElectionRun run = run_programs(g, repo, std::move(programs),
-                                 profile.election_index + 1);
-  run.advice_bits = bits.size();
-  run.phi = profile.election_index;
-  return run;
+  // The nodes share one profile of the decoded map (MapAdviceState); the
+  // harness itself only needs phi, so the history is dropped here.
+  ElectionContext ctx(g, /*keep_history=*/false);
+  return run_map(ctx);
 }
 
-ElectionRun run_remark(const PortGraph& g) {
-  views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
-  ANOLE_CHECK_MSG(profile.feasible, "run_remark on an infeasible graph");
-  int diameter = g.diameter();
-  std::uint64_t phi = static_cast<std::uint64_t>(profile.election_index);
+ElectionRun run_remark(ElectionContext& ctx) {
+  ANOLE_CHECK_MSG(ctx.feasible(), "run_remark on an infeasible graph");
+  int diameter = ctx.diameter();
+  std::uint64_t phi = static_cast<std::uint64_t>(ctx.phi());
   coding::BitString bits =
       remark_advice(static_cast<std::uint64_t>(diameter), phi);
 
   ProgramList programs;
-  for (std::size_t v = 0; v < g.n(); ++v) {
+  for (std::size_t v = 0; v < ctx.g.n(); ++v) {
     programs.push_back(std::make_unique<RemarkProgram>(
         RemarkProgram::from_advice(bits)));
   }
-  ElectionRun run = run_programs(g, repo, std::move(programs),
+  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
                                  diameter + static_cast<int>(phi) + 1);
   run.advice_bits = bits.size();
-  run.phi = profile.election_index;
+  run.phi = ctx.phi();
+  run.diameter = diameter;
+  return run;
+}
+
+ElectionRun run_remark(const PortGraph& g) {
+  ElectionContext ctx(g, /*keep_history=*/false);
+  return run_remark(ctx);
+}
+
+ElectionRun run_size_only(ElectionContext& ctx) {
+  ANOLE_CHECK_MSG(ctx.feasible(), "run_size_only on an infeasible graph");
+  coding::BitString bits = coding::bin(ctx.g.n());
+  std::uint64_t p = coding::parse_bin(bits);
+
+  int diameter = ctx.diameter();
+  ProgramList programs;
+  for (std::size_t v = 0; v < ctx.g.n(); ++v)
+    programs.push_back(std::make_unique<GenericProgram>(p));
+  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+                                 diameter + static_cast<int>(p) + 2);
+  run.advice_bits = bits.size();
+  run.phi = ctx.phi();
   run.diameter = diameter;
   return run;
 }
 
 ElectionRun run_size_only(const PortGraph& g) {
-  views::ViewRepo repo;
-  views::ViewProfile profile = views::compute_profile(g, repo, kPhiOnly);
-  ANOLE_CHECK_MSG(profile.feasible, "run_size_only on an infeasible graph");
-  coding::BitString bits = coding::bin(g.n());
-  std::uint64_t p = coding::parse_bin(bits);
-
-  int diameter = g.diameter();
-  ProgramList programs;
-  for (std::size_t v = 0; v < g.n(); ++v)
-    programs.push_back(std::make_unique<GenericProgram>(p));
-  ElectionRun run = run_programs(g, repo, std::move(programs),
-                                 diameter + static_cast<int>(p) + 2);
-  run.advice_bits = bits.size();
-  run.phi = profile.election_index;
-  run.diameter = diameter;
-  return run;
+  ElectionContext ctx(g, /*keep_history=*/false);
+  return run_size_only(ctx);
 }
 
 }  // namespace anole::election

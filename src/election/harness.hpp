@@ -2,14 +2,51 @@
 // One-call harness: build the advice, run the protocol on the LOCAL
 // engine, verify the outputs, and report rounds/advice-size — the unit of
 // work for examples, tests and every experiment table.
+//
+// Every entry point exists in two forms: a per-graph convenience overload
+// that sets up everything itself, and an ElectionContext overload through
+// which callers running several algorithms on ONE graph (the eight-row
+// portfolio of E9 / anole_inspect --elect, the E7 map check) share a
+// single ViewRepo + ViewProfile + memoized diameter instead of
+// recomputing the refinement from scratch per algorithm. Sharing is safe:
+// every run's verdict, rounds and advice bits depend only on the graph
+// structure and the canonical view order, never on repo pre-state.
 
 #include <cstdint>
 
 #include "election/generic.hpp"
 #include "election/verify.hpp"
 #include "sim/engine.hpp"
+#include "views/profile.hpp"
 
 namespace anole::election {
+
+/// Per-graph shared state for running several election algorithms on the
+/// same graph: one repo, one profile (full history by default, so
+/// ComputeAdvice's level walks work), one diameter computation (memoized
+/// inside PortGraph). Borrow semantics: the graph must outlive the
+/// context. Not thread-safe — one context per scenario cell.
+struct ElectionContext {
+  /// keep_history = false retains only the deepest level (use when no
+  /// algorithm needing level history — run_min_time — will run).
+  explicit ElectionContext(const portgraph::PortGraph& graph,
+                           bool keep_history = true)
+      : g(graph),
+        profile(views::compute_profile(
+            graph, repo,
+            views::ProfileOptions{.min_depth = keep_history ? 1 : 0,
+                                  .keep_history = keep_history})) {}
+  ElectionContext(const ElectionContext&) = delete;
+  ElectionContext& operator=(const ElectionContext&) = delete;
+
+  [[nodiscard]] bool feasible() const { return profile.feasible; }
+  [[nodiscard]] int phi() const { return profile.election_index; }
+  [[nodiscard]] int diameter() const { return g.diameter(); }
+
+  const portgraph::PortGraph& g;
+  views::ViewRepo repo;
+  views::ViewProfile profile;
+};
 
 struct ElectionRun {
   VerifyResult verdict;
@@ -22,21 +59,30 @@ struct ElectionRun {
 };
 
 /// Theorem 3.1: ComputeAdvice + Elect. Elects in exactly phi rounds.
+/// The context form needs level history (ElectionContext's default).
+[[nodiscard]] ElectionRun run_min_time(ElectionContext& ctx,
+                                       bool meter_messages = false);
 [[nodiscard]] ElectionRun run_min_time(const portgraph::PortGraph& g,
                                        bool meter_messages = false);
 
 /// Theorem 4.1: Election_i for the given variant and constant c > 1.
+[[nodiscard]] ElectionRun run_large_time(ElectionContext& ctx,
+                                         LargeTimeVariant variant,
+                                         std::uint64_t c);
 [[nodiscard]] ElectionRun run_large_time(const portgraph::PortGraph& g,
                                          LargeTimeVariant variant,
                                          std::uint64_t c);
 
 /// Baseline: full-map advice, elects in phi rounds.
+[[nodiscard]] ElectionRun run_map(ElectionContext& ctx);
 [[nodiscard]] ElectionRun run_map(const portgraph::PortGraph& g);
 
 /// Baseline (remark after Thm 4.1): advice (D, phi), elects in D + phi.
+[[nodiscard]] ElectionRun run_remark(ElectionContext& ctx);
 [[nodiscard]] ElectionRun run_remark(const portgraph::PortGraph& g);
 
 /// Baseline: advice n only; Generic(n), elects in <= D + n + 1.
+[[nodiscard]] ElectionRun run_size_only(ElectionContext& ctx);
 [[nodiscard]] ElectionRun run_size_only(const portgraph::PortGraph& g);
 
 }  // namespace anole::election

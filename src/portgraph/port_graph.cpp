@@ -31,6 +31,7 @@ void PortGraph::add_edge(NodeId u, Port pu, NodeId v, Port pv) {
                   "port " << pv << " at node " << v << " already used");
   ru[static_cast<std::size_t>(pu)] = HalfEdge{v, pv};
   rv[static_cast<std::size_t>(pv)] = HalfEdge{u, pu};
+  diameter_cache_ = -1;
 }
 
 std::pair<Port, Port> PortGraph::add_edge_auto(NodeId u, NodeId v) {
@@ -111,6 +112,7 @@ std::vector<int> PortGraph::bfs_distances(NodeId src) const {
 }
 
 int PortGraph::diameter() const {
+  if (diameter_cache_ >= 0) return diameter_cache_;
   int diam = 0;
   for (std::size_t v = 0; v < adj_.size(); ++v) {
     std::vector<int> dist = bfs_distances(static_cast<NodeId>(v));
@@ -119,6 +121,7 @@ int PortGraph::diameter() const {
       diam = std::max(diam, d);
     }
   }
+  diameter_cache_ = diam;
   return diam;
 }
 

@@ -54,6 +54,7 @@ class PortGraph {
   /// Adds a fresh isolated node and returns its id.
   NodeId add_node() {
     adj_.emplace_back();
+    diameter_cache_ = -1;
     return static_cast<NodeId>(adj_.size() - 1);
   }
 
@@ -80,7 +81,11 @@ class PortGraph {
   /// BFS distances from `src` (-1 for unreachable).
   [[nodiscard]] std::vector<int> bfs_distances(NodeId src) const;
 
-  /// Exact diameter (max over all pairs); O(n*m). Graph must be connected.
+  /// Exact diameter (max over all pairs). Graph must be connected. The
+  /// O(n*m) all-sources BFS runs once; later calls return the memoized
+  /// value (harnesses and scenario cells ask repeatedly for one graph).
+  /// Not safe against a concurrent *first* call on a shared const graph;
+  /// cells own their graphs, so this never happens in the runner.
   [[nodiscard]] int diameter() const;
 
   /// Walks the path (p1,q1,...,pk,qk) from `start`: follows port p_i and
@@ -89,10 +94,13 @@ class PortGraph {
   [[nodiscard]] std::optional<std::vector<NodeId>> walk(
       NodeId start, const std::vector<int>& port_seq) const;
 
-  bool operator==(const PortGraph&) const = default;
+  /// Structural equality (adjacency only; the diameter cache is ignored).
+  bool operator==(const PortGraph& other) const { return adj_ == other.adj_; }
 
  private:
   std::vector<std::vector<HalfEdge>> adj_;
+  /// Memoized diameter(); -1 = not computed yet (also reset by mutation).
+  mutable int diameter_cache_ = -1;
 };
 
 /// True iff `f` (a permutation of node ids) is a port-preserving isomorphism

@@ -3,25 +3,26 @@
 namespace anole::runner {
 
 std::vector<PortfolioAlgorithm> election_portfolio(std::uint64_t c) {
+  using election::ElectionContext;
   using election::LargeTimeVariant;
   auto large = [c](LargeTimeVariant v) {
-    return [v, c](const portgraph::PortGraph& g) {
-      return election::run_large_time(g, v, c);
+    return [v, c](ElectionContext& ctx) {
+      return election::run_large_time(ctx, v, c);
     };
   };
   return {
       {"Elect (Thm 3.1)", "phi",
-       [](const portgraph::PortGraph& g) { return election::run_min_time(g); }},
+       [](ElectionContext& ctx) { return election::run_min_time(ctx); }},
       {"Map baseline", "phi",
-       [](const portgraph::PortGraph& g) { return election::run_map(g); }},
+       [](ElectionContext& ctx) { return election::run_map(ctx); }},
       {"Remark(D,phi)", "D+phi",
-       [](const portgraph::PortGraph& g) { return election::run_remark(g); }},
+       [](ElectionContext& ctx) { return election::run_remark(ctx); }},
       {"Election1", "D+phi+c", large(LargeTimeVariant::kPhiPlusC)},
       {"Election2", "D+c*phi", large(LargeTimeVariant::kCTimesPhi)},
       {"Election3", "D+phi^c", large(LargeTimeVariant::kPhiPowC)},
       {"Election4", "D+c^phi", large(LargeTimeVariant::kCPowPhi)},
       {"SizeOnly(n)", "D+n+1",
-       [](const portgraph::PortGraph& g) { return election::run_size_only(g); }},
+       [](ElectionContext& ctx) { return election::run_size_only(ctx); }},
   };
 }
 

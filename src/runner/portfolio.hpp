@@ -17,7 +17,18 @@ namespace anole::runner {
 struct PortfolioAlgorithm {
   std::string name;   ///< e.g. "Election2"
   std::string model;  ///< allocated time, e.g. "D+c*phi"
-  std::function<election::ElectionRun(const portgraph::PortGraph&)> run;
+  /// Runs on a shared per-graph context (election::ElectionContext): the
+  /// eight algorithms reuse one ViewRepo + ViewProfile + memoized diameter
+  /// instead of recomputing the refinement per row. Callers running a
+  /// single algorithm build a throwaway context via run_on().
+  std::function<election::ElectionRun(election::ElectionContext&)> run;
+
+  /// Convenience: one-shot context for this algorithm alone.
+  [[nodiscard]] election::ElectionRun run_on(
+      const portgraph::PortGraph& g) const {
+    election::ElectionContext ctx(g);
+    return run(ctx);
+  }
 };
 
 /// All eight algorithms in the paper's narrative order (minimum time first,

@@ -14,6 +14,29 @@
 
 namespace anole::runner::scenarios {
 
+std::vector<views::ViewId> naive_unranked_level(const portgraph::PortGraph& g,
+                                                views::ViewRepo& repo,
+                                                int depth) {
+  std::size_t n = g.n();
+  std::vector<views::ViewId> level(n);
+  for (std::size_t v = 0; v < n; ++v)
+    level[v] = repo.leaf(g.degree(static_cast<portgraph::NodeId>(v)));
+  std::vector<views::ViewId> next(n);
+  std::vector<views::ChildRef> kids;
+  for (int t = 0; t < depth; ++t) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& row = g.neighbors(static_cast<portgraph::NodeId>(v));
+      kids.clear();
+      for (const auto& he : row)
+        kids.emplace_back(he.rev_port,
+                          level[static_cast<std::size_t>(he.neighbor)]);
+      next[v] = repo.intern(kids);
+    }
+    level.swap(next);
+  }
+  return level;
+}
+
 std::unique_ptr<util::ThreadPool> intra_cell_pool(std::size_t n) {
   if (n < 4096) return nullptr;  // gather/hash overhead beats the win
   std::size_t hw = std::thread::hardware_concurrency();

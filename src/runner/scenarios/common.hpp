@@ -1,13 +1,16 @@
 #pragma once
 // Helpers shared by scenario cells: the cross-feed run of the lower-bound
-// scenarios (E2, E3, E6) and the intra-cell refinement pool policy of the
-// scaling sweeps (S1, V1).
+// scenarios (E2, E3, E6), the intra-cell refinement pool policy of the
+// scaling sweeps (S1, V1), and the unranked-baseline level builder of the
+// ordering benchmarks (V2, m1-views).
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "portgraph/port_graph.hpp"
 #include "util/thread_pool.hpp"
+#include "views/view_repo.hpp"
 
 namespace anole::runner::scenarios {
 
@@ -16,6 +19,15 @@ namespace anole::runner::scenarios {
 /// leader (the lower-bound tables expect false).
 [[nodiscard]] bool cross_feed_succeeds(const portgraph::PortGraph& source,
                                        const portgraph::PortGraph& victim);
+
+/// Every node's depth-`depth` view, built through the per-node intern loop
+/// instead of views::Refiner — the resulting records carry no canonical
+/// ranks, so every ordering query on them takes the structural-compare
+/// path. This is the pre-rank baseline the V2 ordering cells and the
+/// m1-views compare microbenchmark measure against; ids are identical to
+/// the refiner's (same interning order), only the ranks are absent.
+[[nodiscard]] std::vector<views::ViewId> naive_unranked_level(
+    const portgraph::PortGraph& g, views::ViewRepo& repo, int depth);
 
 /// Pool for a cell's own gather/hash phase (views::Refiner), or nullptr
 /// when the graph is too small to benefit. Capped at a few workers: cells

@@ -28,24 +28,24 @@ using runner::Value;
 
 std::vector<Row> e7_cell(const std::string& name,
                          const portgraph::PortGraph& g, bool run_map_check) {
-  views::ViewRepo repo;
-  // Only feasibility and phi are read — no need to retain every level.
-  views::ViewProfile p = views::compute_profile(
-      g, repo, views::ProfileOptions{.keep_history = false});
-  if (!p.feasible)
+  // One context per cell: the map check below reuses its profile and repo
+  // instead of refining the same graph a second time. Only feasibility and
+  // phi are read from the profile, so the level history is dropped.
+  election::ElectionContext ctx(g, /*keep_history=*/false);
+  if (!ctx.feasible())
     return {Row{name, g.n(), "-", "infeasible", "-", "-"}};
-  int d = g.diameter();
-  double ratio = static_cast<double>(p.election_index) /
+  int d = ctx.diameter();
+  double ratio = static_cast<double>(ctx.phi()) /
                  (static_cast<double>(d) *
                   std::max(1.0, std::log2(static_cast<double>(g.n()) / d)));
   Value map_rounds = "-";
   if (run_map_check) {
-    election::ElectionRun run = election::run_map(g);
+    election::ElectionRun run = election::run_map(ctx);
     map_rounds = run.ok() && run.metrics.rounds == run.phi
                      ? Value(run.metrics.rounds)
                      : Value("VIOLATED");
   }
-  return {Row{name, g.n(), d, p.election_index, Value::real(ratio, 3),
+  return {Row{name, g.n(), d, ctx.phi(), Value::real(ratio, 3),
               map_rounds}};
 }
 

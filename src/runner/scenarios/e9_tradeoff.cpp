@@ -43,7 +43,12 @@ std::vector<Row> workload_cell() {
 std::vector<Row> algorithm_cell(std::size_t index) {
   runner::PortfolioAlgorithm algo =
       runner::election_portfolio(/*c=*/2).at(index);
-  election::ElectionRun run = algo.run(workload());
+  // Cells stay independent (the runner parallelizes them), so each builds
+  // its own graph + context — but within the cell the context computes the
+  // profile and diameter exactly once, which the harness reuses.
+  portgraph::PortGraph g = workload();
+  election::ElectionContext ctx(g);
+  election::ElectionRun run = algo.run(ctx);
   return {Row{algo.name, algo.model, run.metrics.rounds, run.advice_bits,
               static_cast<std::int64_t>(run.verdict.leader),
               run.ok() ? "yes" : "NO"}};

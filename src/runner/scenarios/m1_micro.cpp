@@ -16,6 +16,7 @@
 #include "families/necklace.hpp"
 #include "portgraph/builders.hpp"
 #include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
 #include "sim/engine.hpp"
 #include "sim/full_info.hpp"
 #include "views/profile.hpp"
@@ -78,13 +79,28 @@ std::vector<Row> bm_view_intern() {
   return time_op("view_intern", "-", [&] { (void)repo.intern(kids); });
 }
 
-std::vector<Row> bm_view_compare() {
+std::vector<Row> bm_view_compare_ranked() {
+  // Profiles run through views::Refiner, so these views carry canonical
+  // ranks: compare() is the O(1) integer fast path (DESIGN.md §8).
   portgraph::PortGraph g = portgraph::random_connected(64, 64, 3);
   views::ViewRepo repo;
   views::ViewProfile p = views::compute_profile(g, repo, 6);
   views::ViewId a = p.view(6, 0);
   views::ViewId b = p.view(6, 1);
-  return time_op("view_compare", "depth=6",
+  return time_op("view_compare_ranked", "depth=6",
+                 [&] { (void)repo.compare(a, b); });
+}
+
+std::vector<Row> bm_view_compare_unranked() {
+  // The same views built per-node (no Refiner, no ranks): compare() takes
+  // the structural walk — the memoized pre-rank baseline path.
+  portgraph::PortGraph g = portgraph::random_connected(64, 64, 3);
+  views::ViewRepo repo;
+  std::vector<views::ViewId> level =
+      runner::scenarios::naive_unranked_level(g, repo, 6);
+  views::ViewId a = level[0];
+  views::ViewId b = level[1];
+  return time_op("view_compare_unranked", "depth=6",
                  [&] { (void)repo.compare(a, b); });
 }
 
@@ -135,7 +151,9 @@ runner::Scenario make_m1_views() {
     s.add_cell("profile/n=" + std::to_string(n), 0,
                [n] { return bm_profile_refinement(n); });
   s.add_cell("intern", 0, [] { return bm_view_intern(); });
-  s.add_cell("compare", 0, [] { return bm_view_compare(); });
+  s.add_cell("compare-ranked", 0, [] { return bm_view_compare_ranked(); });
+  s.add_cell("compare-unranked", 0,
+             [] { return bm_view_compare_unranked(); });
   s.add_cell("truncate", 0, [] { return bm_view_truncate(); });
   s.add_cell("com/64x8", 0, [] { return bm_com_rounds(64, 8); });
   s.add_cell("com/256x8", 0, [] { return bm_com_rounds(256, 8); });

@@ -1,0 +1,185 @@
+// V2 — canonical-rank ordering microbenchmark (DESIGN.md §8).
+//
+// Where V1 stresses view *construction* (batched refinement), V2 stresses
+// view *ordering*: every election algorithm bottoms out in "find the
+// canonically smallest equal-depth view" (argmin for the leader, the sort
+// inside BuildTrie, the per-round minimum of Generic). With canonical
+// ranks those queries are integer comparisons; without them they walk the
+// view DAG through the memoized structural compare. Each ordering kernel
+// therefore runs in two modes on the same level content:
+//
+//   ranked     — levels built through views::Refiner, which assigns
+//                canonical ranks as a byproduct of the batched dedup;
+//   structural — the identical levels built through the per-node intern
+//                loop (no ranks), i.e. the pre-rank baseline path.
+//
+// Kernels: argmin (min-rank scan vs dedup + compare loop) on the ring /
+// random / clique families, the trie-build sort kernel (ordering a
+// level's distinct views, exactly what BuildTrie's deep mode does per
+// class) on random graphs, and the end-to-end Generic(n) election whose
+// per-round minimum tracking rides the same comparisons (random only: the
+// ring is symmetric, hence infeasible, and Generic(n) on the 512-clique
+// would be dominated by refining the dense graph, not by ordering).
+//
+// Reported values (classes, witness nodes, rounds) are deterministic and
+// identical across modes — ids and canonical order do not depend on ranks;
+// wall-clock rides --bench-out (BENCH_order.json), where the ranked /
+// structural wall_ms ratio is the tracked speedup. Fixed repeat counts
+// keep cells comparable; serial execution keeps the timings honest.
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "election/harness.hpp"
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
+#include "util/prng.hpp"
+#include "views/profile.hpp"
+#include "views/refiner.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+/// Every node's depth-`depth` view via the batched refiner: records carry
+/// canonical ranks (the mode under test).
+std::vector<views::ViewId> ranked_level(const portgraph::PortGraph& g,
+                                        views::ViewRepo& repo, int depth) {
+  views::Refiner refiner(g, repo);
+  std::vector<views::ViewId> level, next;
+  refiner.init_level(level);
+  for (int t = 0; t < depth; ++t) {
+    refiner.advance(level, next);
+    level.swap(next);
+  }
+  return level;
+}
+
+std::vector<views::ViewId> build_level(const portgraph::PortGraph& g,
+                                       views::ViewRepo& repo, int depth,
+                                       bool ranked) {
+  return ranked ? ranked_level(g, repo, depth)
+                : runner::scenarios::naive_unranked_level(g, repo, depth);
+}
+
+std::vector<Row> argmin_cell(const std::string& family,
+                             const portgraph::PortGraph& g, int depth,
+                             bool ranked, int repeats) {
+  views::ViewRepo repo;
+  std::vector<views::ViewId> level = build_level(g, repo, depth, ranked);
+  portgraph::NodeId leader = -1;
+  for (int r = 0; r < repeats; ++r) leader = views::argmin_view(repo, level);
+  std::size_t classes = views::distinct_ids(level).size();
+  return {Row{"argmin", family, ranked ? "ranked" : "structural", g.n(),
+              depth, classes, repeats, static_cast<std::int64_t>(leader)}};
+}
+
+std::vector<Row> sort_cell(const std::string& family,
+                           const portgraph::PortGraph& g, int depth,
+                           bool ranked, int repeats) {
+  views::ViewRepo repo;
+  std::vector<views::ViewId> level = build_level(g, repo, depth, ranked);
+  std::vector<views::ViewId> distinct = views::distinct_ids(level);
+  // The BuildTrie kernel: order a class of equal-depth views canonically.
+  // A fixed-seed shuffle between repeats keeps std::sort honest (sorting
+  // an already-sorted vector would skew both modes the same way, but why
+  // risk it); the shuffle sequence is identical in both modes.
+  util::SplitMix64 rng(7);
+  views::ViewId smallest = views::kInvalidView;
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t i = distinct.size(); i > 1; --i)
+      std::swap(distinct[i - 1], distinct[rng.below(i)]);
+    std::sort(distinct.begin(), distinct.end(),
+              [&repo](views::ViewId a, views::ViewId b) {
+                return repo.compare(a, b) == std::strong_ordering::less;
+              });
+    smallest = distinct.front();
+  }
+  // The canonical minimum's witness node is mode-independent (ids are
+  // identical with and without ranks); report it instead of the raw id.
+  portgraph::NodeId witness = -1;
+  for (std::size_t v = 0; v < level.size(); ++v)
+    if (level[v] == smallest) {
+      witness = static_cast<portgraph::NodeId>(v);
+      break;
+    }
+  return {Row{"trie-sort", family, ranked ? "ranked" : "structural", g.n(),
+              depth, distinct.size(), repeats,
+              static_cast<std::int64_t>(witness)}};
+}
+
+std::vector<Row> generic_cell(const std::string& family,
+                              const portgraph::PortGraph& g, int repeats) {
+  // End-to-end SizeOnly(n) = Generic(n): the per-round minimum tracking
+  // and the final argmin ride the ranked comparisons (views built through
+  // run_full_info's refiner are ranked). No structural twin: the harness
+  // always refines through the Refiner.
+  election::ElectionRun run;
+  for (int r = 0; r < repeats; ++r) run = election::run_size_only(g);
+  // "result" is the elected leader; rounds land in the depth column slot
+  // as "-" (the kernel has no level depth) and classes are not meaningful.
+  return {Row{"generic-min", family, "ranked", g.n(), Value("-"), Value("-"),
+              repeats, static_cast<std::int64_t>(run.verdict.leader)}};
+}
+
+runner::Scenario make_v2() {
+  runner::Scenario s;
+  s.name = "v2";
+  s.summary =
+      "ordering microbenchmark: canonical-rank vs structural view ordering";
+  s.reference = "DESIGN.md §8 (canonical ranks)";
+  s.serial = true;  // concurrent cells would contend with the timed loops
+  s.tables.push_back(runner::TableSpec{
+      "V2",
+      "Canonical ordering kernels, ranked (views::Refiner assigns ranks; "
+      "ordering is integer comparison) vs structural (per-node interning, "
+      "no ranks; ordering walks the DAG through the memoized structural "
+      "compare — the pre-rank baseline). argmin scans a whole level for "
+      "the canonical minimum; trie-sort orders a level's distinct views "
+      "(the BuildTrie kernel); generic-min runs SizeOnly(n) end to end. "
+      "All reported values are deterministic and mode-independent; the "
+      "ranked/structural wall-clock ratio rides --bench-out "
+      "(BENCH_order.json). The symmetric ring collapses to one class — "
+      "the dedup best case; random and the port-numbered clique keep n "
+      "distinct classes.",
+      {"kernel", "family", "mode", "n", "depth", "classes", "repeats",
+       "result"}});
+
+  auto add_pair = [&s](const std::string& kernel, const std::string& family,
+                       std::function<portgraph::PortGraph()> build, int depth,
+                       int repeats, auto cell_fn) {
+    for (bool ranked : {true, false})
+      s.add_cell(kernel + "/" + family + (ranked ? "/ranked" : "/structural"),
+                 0, [family, build, depth, ranked, repeats, cell_fn] {
+                   return cell_fn(family, build(), depth, ranked, repeats);
+                 });
+  };
+
+  add_pair("argmin", "ring/n=16384", [] { return portgraph::ring(16384); },
+           24, 1024, [](auto&&... a) { return argmin_cell(a...); });
+  add_pair("argmin", "random/n=4096",
+           [] { return portgraph::random_connected(4096, 8192, 11); }, 4, 1024,
+           [](auto&&... a) { return argmin_cell(a...); });
+  add_pair("argmin", "clique/n=512", [] { return portgraph::clique(512); }, 2,
+           256, [](auto&&... a) { return argmin_cell(a...); });
+  add_pair("trie-sort", "random/n=4096",
+           [] { return portgraph::random_connected(4096, 8192, 11); }, 4, 24,
+           [](auto&&... a) { return sort_cell(a...); });
+  add_pair("trie-sort", "random/n=16384",
+           [] { return portgraph::random_connected(16384, 32768, 9); }, 4, 24,
+           [](auto&&... a) { return sort_cell(a...); });
+  s.add_cell("generic-min/random/n=256", 0, [] {
+    return generic_cell("random/n=256",
+                        portgraph::random_connected(256, 512, 9), 3);
+  });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("v2", make_v2);

@@ -49,8 +49,11 @@ RunMetrics run_full_info(const portgraph::PortGraph& graph,
   // Distinct ids of the current level, ascending: one sort-unique seeds
   // round 0; every later round reads the refiner's dedup output directly
   // (still valid — the next advance() happens after the metering).
-  std::vector<views::ViewId> seed_distinct;
-  if (meter_messages) seed_distinct = views::distinct_ids(level);
+  // Ranking the seed leaves (start() interned them outside the refiner)
+  // keeps the canonical-rank induction alive: every view of every later
+  // round gets a rank, so the programs' ordering queries stay O(1).
+  std::vector<views::ViewId> seed_distinct = views::distinct_ids(level);
+  repo.assign_ranks(seed_distinct);
   bool seeded = true;
   std::vector<std::size_t> distinct_bits;
 

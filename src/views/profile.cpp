@@ -1,11 +1,16 @@
 #include "views/profile.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "views/refiner.hpp"
 
 namespace anole::views {
 namespace {
+
+/// Debug stat behind profile_compute_count(): atomic because scenario
+/// cells call compute_profile from runner worker threads.
+std::atomic<std::uint64_t> g_profile_computes{0};
 
 /// Appends a freshly advanced level, honoring the history mode.
 void push_level(ViewProfile& profile, std::vector<ViewId>&& level,
@@ -19,9 +24,14 @@ void push_level(ViewProfile& profile, std::vector<ViewId>&& level,
 
 }  // namespace
 
+std::uint64_t profile_compute_count() {
+  return g_profile_computes.load(std::memory_order_relaxed);
+}
+
 ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
                             const ProfileOptions& opts) {
   ANOLE_CHECK_MSG(g.n() >= 1, "profile of an empty graph");
+  g_profile_computes.fetch_add(1, std::memory_order_relaxed);
   ViewProfile profile;
   profile.keep_history = opts.keep_history;
   std::size_t n = g.n();
@@ -69,10 +79,30 @@ void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
 portgraph::NodeId argmin_view(const ViewRepo& repo,
                               const std::vector<ViewId>& level) {
   ANOLE_CHECK(!level.empty());
-  // A level usually has far fewer distinct ids than entries (the class
-  // count of the refinement partition), and compare() walks view structure
-  // — so dedup first, compare only distinct representatives, then return
-  // the lowest-numbered witness of the canonical minimum.
+  // Ranked fast path: rank order is the canonical order, so a single O(n)
+  // min-rank scan replaces the dedup sort + compare loop — no distinct_ids
+  // sort, no structural walks. The strict `<` keeps the lowest-numbered
+  // witness of the canonical minimum, exactly like the fallback.
+  {
+    std::int32_t best_rank = repo.rank(level[0]);
+    std::size_t best_v = 0;
+    bool all_ranked = best_rank != kUnranked;
+    for (std::size_t v = 1; all_ranked && v < level.size(); ++v) {
+      std::int32_t r = repo.rank(level[v]);
+      if (r == kUnranked)
+        all_ranked = false;
+      else if (r < best_rank) {
+        best_rank = r;
+        best_v = v;
+      }
+    }
+    if (all_ranked) return static_cast<portgraph::NodeId>(best_v);
+  }
+  // Structural fallback (some view unranked): a level usually has far
+  // fewer distinct ids than entries (the class count of the refinement
+  // partition), and an unranked compare() walks view structure — so dedup
+  // first, compare only distinct representatives, then return the
+  // lowest-numbered witness of the canonical minimum.
   std::vector<ViewId> distinct = distinct_ids(level);
   ViewId best = distinct.front();
   for (std::size_t i = 1; i < distinct.size(); ++i) {

@@ -100,8 +100,15 @@ void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
 
 /// The node whose depth-t view is canonically smallest (ties impossible
 /// when t >= election index; otherwise the lowest-numbered witness).
-/// Dedups the level first, so compare() runs only on distinct ids.
+/// When every level entry carries a canonical rank (levels built through
+/// views::Refiner — DESIGN.md §8) this is a single O(n) min-rank scan;
+/// otherwise it dedups the level and compares distinct representatives.
 [[nodiscard]] portgraph::NodeId argmin_view(const ViewRepo& repo,
                                             const std::vector<ViewId>& level);
+
+/// Debug stat: total compute_profile() calls in this process. Tests use
+/// deltas of this counter to pin that per-graph contexts (election
+/// harness, portfolio scenarios) compute each graph's profile only once.
+[[nodiscard]] std::uint64_t profile_compute_count();
 
 }  // namespace anole::views

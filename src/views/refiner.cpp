@@ -64,6 +64,9 @@ std::size_t Refiner::init_level(std::vector<ViewId>& level) {
   for (std::size_t v = 0; v < n; ++v)
     level[v] = repo_->leaf(graph_->degree(static_cast<NodeId>(v)));
   distinct_ = distinct_ids(level);
+  // Depth-0 canonical ranks (= degree order) seed the per-level rank
+  // induction of assign_ranks (DESIGN.md §8).
+  repo_->assign_ranks(distinct_);
   return distinct_.size();
 }
 
@@ -131,6 +134,11 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
   // record interned before this refinement (e.g. a second run over the
   // same repo) — sort so distinct() is always ascending.
   std::sort(distinct_.begin(), distinct_.end());
+  // Canonical ranks for the new level, a byproduct of the dedup: with the
+  // previous level ranked, sorting the distinct signatures by integer keys
+  // reproduces the structural order, making every later ordering query on
+  // these views O(1) (DESIGN.md §8).
+  repo_->assign_ranks(distinct_);
   return distinct_.size();
 }
 

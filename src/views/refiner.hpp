@@ -19,7 +19,12 @@
 //      occurrence) and reusing the id for every duplicate;
 //   3. scatter: ids land in node order, and the level's class count (and
 //      the distinct id list) falls out of the dedup for free — no
-//      per-level unordered_set recount.
+//      per-level unordered_set recount;
+//   4. rank: the distinct ids are handed to ViewRepo::assign_ranks, which
+//      sorts them by integer keys over the previous level's ranks and
+//      stores each view's canonical rank — every later ordering query
+//      (compare, argmin, trie sorts, per-round minima) on these views is
+//      a single integer comparison (DESIGN.md §8).
 //
 // Determinism: the dedup/intern pass runs in ascending node order, so ids
 // are assigned in exactly the order the per-node loop would have assigned

@@ -129,6 +129,20 @@ std::span<const ChildRef> ViewRepo::children(ViewId v) const {
 
 std::strong_ordering ViewRepo::compare(ViewId a, ViewId b) const {
   if (a == b) return std::strong_ordering::equal;
+  const Record& ra = rec(a);
+  const Record& rb = rec(b);
+  ANOLE_CHECK_MSG(ra.depth == rb.depth, "comparing views of unequal depth");
+  // Ranked fast path: rank order reproduces the structural order exactly
+  // (DESIGN.md §8), and distinct ranked ids of one depth never share a
+  // rank — one integer comparison, no memo traffic.
+  if (ra.rank != kUnranked && rb.rank != kUnranked)
+    return ra.rank < rb.rank ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+  return compare_structural(a, b);
+}
+
+std::strong_ordering ViewRepo::compare_structural(ViewId a, ViewId b) const {
+  if (a == b) return std::strong_ordering::equal;
   ANOLE_CHECK_MSG(rec(a).depth == rec(b).depth,
                   "comparing views of unequal depth");
   // Verdicts are memoized under the normalized (smaller id, larger id) key;
@@ -184,6 +198,14 @@ std::strong_ordering ViewRepo::compare(ViewId a, ViewId b) const {
           break;
         }
         if (xa != xb) {
+          // A ranked child pair decides like a memo hit, O(1): the walk
+          // only ever descends where some view is unranked.
+          const Record& rxa = rec(xa);
+          const Record& rxb = rec(xb);
+          if (rxa.rank != kUnranked && rxb.rank != kUnranked) {
+            verdict = rxa.rank < rxb.rank ? -1 : +1;
+            break;
+          }
           if (std::int8_t hit = lookup(xa, xb); hit != 0) {
             verdict = hit;
             break;
@@ -205,6 +227,73 @@ std::strong_ordering ViewRepo::compare(ViewId a, ViewId b) const {
     return verdict < 0 ? std::strong_ordering::less
                        : std::strong_ordering::greater;
   }
+}
+
+void ViewRepo::assign_ranks(std::span<const ViewId> level_distinct) {
+  if (level_distinct.empty()) return;
+  const int d = rec(level_distinct.front()).depth;
+
+  // Fresh = unranked ids whose children are all ranked (depth 0 always
+  // qualifies). An id with an unranked child cannot be keyed and stays on
+  // the structural fallback — correctness never depends on being ranked.
+  std::vector<ViewId> fresh;
+  for (ViewId v : level_distinct) {
+    const Record& r = rec(v);
+    ANOLE_DCHECK(r.depth == d);
+    if (r.rank != kUnranked) continue;
+    bool keyable = true;
+    for (const auto& [port, child] : children(v)) {
+      if (rec(child).rank == kUnranked) {
+        keyable = false;
+        break;
+      }
+    }
+    if (keyable) fresh.push_back(v);
+  }
+  if (fresh.empty()) return;
+
+  // Key order (degree, [(rev_port, rank(child))]...) == structural order,
+  // by induction: child ranks order exactly as the children do (depth 0:
+  // the key is the degree, which IS the structural order on leaves). Two
+  // ranked ids shortcut to their ranks — needed when merging fresh ids
+  // into a depth that was already ranked (a second refinement over this
+  // repo, or a deeper sweep of another graph sharing it). Keys of distinct
+  // ids never tie: equal keys would mean equal degree and identical
+  // children (rank is injective per depth), i.e. the same record.
+  auto key_less = [this](ViewId a, ViewId b) {
+    const Record& ra = rec(a);
+    const Record& rb = rec(b);
+    if (ra.rank != kUnranked && rb.rank != kUnranked) return ra.rank < rb.rank;
+    if (ra.degree != rb.degree) return ra.degree < rb.degree;
+    std::span<const ChildRef> ca = children(a);
+    std::span<const ChildRef> cb = children(b);
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      if (ca[i].first != cb[i].first) return ca[i].first < cb[i].first;
+      std::int32_t rka = rec(ca[i].second).rank;
+      std::int32_t rkb = rec(cb[i].second).rank;
+      if (rka != rkb) return rka < rkb;
+    }
+    return false;  // equal keys ⇒ same id; callers pass distinct ids
+  };
+  std::sort(fresh.begin(), fresh.end(), key_less);
+
+  if (ranked_by_depth_.size() <= static_cast<std::size_t>(d))
+    ranked_by_depth_.resize(static_cast<std::size_t>(d) + 1);
+  std::vector<ViewId>& ranked = ranked_by_depth_[static_cast<std::size_t>(d)];
+  if (ranked.empty()) {
+    ranked = std::move(fresh);
+  } else {
+    // Merging preserves the relative order of the already-ranked ids, so
+    // re-numbering below shifts rank *values* without ever reordering —
+    // deeper records keyed on the old values stay canonically sorted.
+    std::vector<ViewId> merged(ranked.size() + fresh.size());
+    std::merge(ranked.begin(), ranked.end(), fresh.begin(), fresh.end(),
+               merged.begin(), key_less);
+    ranked = std::move(merged);
+  }
+  for (std::size_t i = 0; i < ranked.size(); ++i)
+    records_[static_cast<std::size_t>(ranked[i])].rank =
+        static_cast<std::int32_t>(i);
 }
 
 ViewId ViewRepo::truncate(ViewId v, int x) {

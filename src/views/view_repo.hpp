@@ -24,6 +24,19 @@
 // depth-1 bit encoding of Proposition 3.3 (needed by BuildTrie's bit
 // queries), and serialized-size accounting for message metering.
 //
+// Canonical ranks (DESIGN.md §8): views produced by batched refinement
+// (views::Refiner) additionally carry a per-depth integer *rank* equal to
+// their position in the canonical order among the ranked views of that
+// depth. Given ranks for depth-t views, the distinct depth-(t+1)
+// signatures of a level sort by the integer key
+// (degree, [(rev_port_j, rank(child_j))]...), which equals the structural
+// recursive order by induction — so ordering queries between two ranked
+// views are a single integer comparison instead of a DAG walk. Records
+// interned outside refinement (truncate, per-node protocol paths, manual
+// intern) keep rank == kUnranked and fall back to the structural walk;
+// mixed ranked/unranked comparisons are structural but use ranks as
+// shortcut verdicts at ranked child pairs.
+//
 // Size accounting is incremental (DESIGN.md §1): the DAG-wide maximum
 // degree and reverse port of every record are maintained at intern time
 // (max composes over shared substructure), and the distinct record/edge
@@ -57,6 +70,10 @@ namespace anole::views {
 
 using ViewId = std::int32_t;
 inline constexpr ViewId kInvalidView = -1;
+
+/// Rank value of records never ranked by batched refinement (see
+/// ViewRepo::assign_ranks): such views order through the structural walk.
+inline constexpr std::int32_t kUnranked = -1;
 
 /// (rev_port, child view id) — the edge label half not implied by position,
 /// plus the subtree.
@@ -94,12 +111,39 @@ class ViewRepo {
   [[nodiscard]] int depth(ViewId v) const { return rec(v).depth; }
   [[nodiscard]] std::span<const ChildRef> children(ViewId v) const;
 
-  /// Canonical structural order on views of equal depth: compares degree,
-  /// then children pairwise by (rev_port, recursive order). Total order;
-  /// a == b iff the ids are equal (hash-consing). Iterative (safe for
-  /// views of any depth); verdicts are memoized under a normalized key so
-  /// the mirrored query compare(b, a) is a lookup.
+  /// Canonical order on views of equal depth: compares degree, then
+  /// children pairwise by (rev_port, recursive order). Total order; a == b
+  /// iff the ids are equal (hash-consing). O(1) when both views carry a
+  /// canonical rank (rank order reproduces the structural order exactly —
+  /// DESIGN.md §8); otherwise falls back to the memoized structural walk
+  /// of compare_structural().
   [[nodiscard]] std::strong_ordering compare(ViewId a, ViewId b) const;
+
+  /// The reference structural walk behind compare(): iterative descent to
+  /// the first structural difference (safe for views of any depth), with
+  /// verdicts memoized under a normalized key so the mirrored query is a
+  /// lookup. Ranked child pairs met during the walk resolve by rank.
+  /// Exposed so tests can pin compare() == compare_structural() on ranked
+  /// views; production callers use compare().
+  [[nodiscard]] std::strong_ordering compare_structural(ViewId a,
+                                                        ViewId b) const;
+
+  /// Canonical rank of v among the ranked views of its depth, or kUnranked
+  /// when v was interned outside batched refinement. For two ranked views
+  /// of equal depth, rank order == compare() order.
+  [[nodiscard]] std::int32_t rank(ViewId v) const { return rec(v).rank; }
+
+  /// Assigns canonical ranks to the (equal-depth, distinct) ids of one
+  /// refinement level — the batched byproduct views::Refiner calls after
+  /// each dedup. Ids already ranked are untouched; ids with an unranked
+  /// child are skipped (they stay on the structural fallback). The fresh
+  /// ids are sorted by the integer key (degree, [(rev_port, child rank)])
+  /// — equal to the structural order by induction — and merged into the
+  /// depth's existing ranked sequence, re-numbering ranks so rank order
+  /// stays the canonical order across refinements of different graphs
+  /// sharing this repo. Never interns; ids and all prior compare verdicts
+  /// are unaffected.
+  void assign_ranks(std::span<const ViewId> level_distinct);
 
   /// The depth-x truncation of view v (x <= depth(v)). Iterative worklist
   /// with memoization; safe for views of any depth.
@@ -146,6 +190,10 @@ class ViewRepo {
     // shared substructure, so these equal the maxima over the reachable DAG.
     std::int32_t sub_max_degree = 0;
     std::int32_t sub_max_port = 0;
+    // Canonical rank within this record's depth (assign_ranks), or
+    // kUnranked. Values may be re-numbered when later levels merge in new
+    // views, but the relative order of ranked views never changes.
+    std::int32_t rank = kUnranked;
   };
 
   /// Lazily-computed distinct record/edge counts of the reachable DAG.
@@ -188,7 +236,11 @@ class ViewRepo {
   };
   std::vector<IndexSlot> index_;
   std::size_t index_used_ = 0;
-  // Memoization tables.
+  // ranked_by_depth_[d]: the ranked ids of depth d in canonical order —
+  // the merge target of assign_ranks. rec(ranked_by_depth_[d][i]).rank == i.
+  std::vector<std::vector<ViewId>> ranked_by_depth_;
+  // Memoization tables (compare_memo_ serves only the structural fallback:
+  // both-ranked pairs resolve by rank before any lookup).
   mutable std::unordered_map<std::uint64_t, std::int8_t> compare_memo_;
   std::unordered_map<std::uint64_t, ViewId> truncate_memo_;
   std::unordered_map<ViewId, coding::BitString> depth1_code_memo_;

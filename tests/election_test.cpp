@@ -270,5 +270,50 @@ TEST(Impossibility, EqualViewsForceEqualOutputs) {
   EXPECT_NE(profile.view(3, nk.left_leaf), profile.view(3, nk.right_leaf));
 }
 
+TEST(Harness, ContextRunsMatchStandaloneRuns) {
+  // One ElectionContext shared across every algorithm must report exactly
+  // what the per-graph convenience overloads report: verdicts, rounds and
+  // advice sizes depend only on graph structure + the canonical order,
+  // never on repo pre-state.
+  PortGraph g = families::necklace_member(5, 2, 1).graph;
+  ElectionContext ctx(g);
+  ASSERT_TRUE(ctx.feasible());
+  auto expect_same = [](const ElectionRun& a, const ElectionRun& b) {
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+    EXPECT_EQ(a.advice_bits, b.advice_bits);
+    EXPECT_EQ(a.verdict.leader, b.verdict.leader);
+    EXPECT_EQ(a.phi, b.phi);
+  };
+  expect_same(run_min_time(ctx), run_min_time(g));
+  expect_same(run_map(ctx), run_map(g));
+  expect_same(run_remark(ctx), run_remark(g));
+  expect_same(run_large_time(ctx, LargeTimeVariant::kCTimesPhi, 2),
+              run_large_time(g, LargeTimeVariant::kCTimesPhi, 2));
+  expect_same(run_size_only(ctx), run_size_only(g));
+}
+
+TEST(Harness, ContextComputesOneProfilePerGraph) {
+  // The per-graph context contract the portfolio scenarios (E7/E8/E9)
+  // rely on: after the context exists, running every algorithm triggers
+  // exactly ONE further compute_profile — the map baseline's profile of
+  // the *decoded* map graph, computed once and shared by all nodes via
+  // MapAdviceState. Everything else reuses the context's profile.
+  PortGraph g = families::necklace_member(5, 2, 1).graph;
+  ElectionContext ctx(g);
+  ASSERT_TRUE(ctx.feasible());
+  std::uint64_t before = views::profile_compute_count();
+  ElectionRun mt = run_min_time(ctx);
+  ElectionRun rk = run_remark(ctx);
+  ElectionRun so = run_size_only(ctx);
+  ElectionRun l1 = run_large_time(ctx, LargeTimeVariant::kPhiPlusC, 2);
+  ElectionRun l4 = run_large_time(ctx, LargeTimeVariant::kCPowPhi, 2);
+  ASSERT_TRUE(mt.ok() && rk.ok() && so.ok() && l1.ok() && l4.ok());
+  EXPECT_EQ(views::profile_compute_count() - before, 0u);
+  ElectionRun mp = run_map(ctx);
+  ASSERT_TRUE(mp.ok());
+  EXPECT_EQ(views::profile_compute_count() - before, 1u);
+}
+
 }  // namespace
 }  // namespace anole::election

@@ -200,5 +200,22 @@ TEST(Bfs, DistancesOnRing) {
   EXPECT_EQ(d[7], 1);
 }
 
+TEST(PortGraph, DiameterMemoSurvivesMutationAndCopy) {
+  // diameter() memoizes its all-sources BFS; mutating the graph must
+  // invalidate the cache, and copies must stay structurally equal (the
+  // cache is excluded from operator==).
+  PortGraph g = path(6);
+  EXPECT_EQ(g.diameter(), 5);
+  EXPECT_EQ(g.diameter(), 5);  // memo hit
+  PortGraph fresh = path(6);
+  EXPECT_TRUE(g == fresh);  // fresh never computed a diameter
+  // Close the path into a ring: the cached 5 must not leak through.
+  g.add_edge(0, 1, 5, 1);
+  EXPECT_EQ(g.diameter(), 3);
+  PortGraph copy = g;
+  EXPECT_EQ(copy.diameter(), 3);
+  EXPECT_TRUE(copy == g);
+}
+
 }  // namespace
 }  // namespace anole::portgraph

@@ -1,0 +1,261 @@
+// Tests for canonical rank ordering (DESIGN.md §8): ranks assigned during
+// batched refinement reproduce the structural canonical order exactly, on
+// every level, for every graph family; the O(1) compare fast path, the
+// argmin min-rank scan and the rank-driven BuildTrie sorts are
+// golden-equivalent to the structural pre-rank paths; mixed
+// ranked/unranked comparisons (views made by truncate or per-node
+// interning) stay correct; ranks survive repo sharing across graphs and
+// are independent of the gather/hash thread pool.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "advice/min_time.hpp"
+#include "families/hairy.hpp"
+#include "families/necklace.hpp"
+#include "portgraph/builders.hpp"
+#include "util/thread_pool.hpp"
+#include "views/profile.hpp"
+#include "views/refiner.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+
+// Per-node interning (the pre-Refiner path): produces the same ids as the
+// batched path but assigns no ranks — the structural-order reference and
+// the source of unranked views for the mixed-compare tests.
+std::vector<std::vector<ViewId>> naive_levels(const PortGraph& g,
+                                              ViewRepo& repo, int depth) {
+  std::size_t n = g.n();
+  std::vector<std::vector<ViewId>> levels;
+  std::vector<ViewId> level(n);
+  for (std::size_t v = 0; v < n; ++v)
+    level[v] = repo.leaf(g.degree(static_cast<NodeId>(v)));
+  levels.push_back(level);
+  std::vector<ChildRef> kids;
+  for (int t = 0; t < depth; ++t) {
+    std::vector<ViewId> next(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& row = g.neighbors(static_cast<NodeId>(v));
+      kids.clear();
+      for (const auto& he : row)
+        kids.emplace_back(he.rev_port,
+                          level[static_cast<std::size_t>(he.neighbor)]);
+      next[v] = repo.intern(kids);
+    }
+    level = next;
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+std::vector<PortGraph> property_graphs() {
+  std::vector<PortGraph> graphs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed)
+    graphs.push_back(portgraph::random_connected(24, 20, seed));
+  graphs.push_back(portgraph::ring(16));
+  graphs.push_back(portgraph::clique(7));
+  graphs.push_back(families::hairy_ring({2, 0, 3, 1, 0, 2, 1}).graph);
+  return graphs;
+}
+
+TEST(Rank, OrderMatchesStructuralCompareOnEveryLevel) {
+  // The property the O(1) fast path rests on: for any two distinct views
+  // of one refinement level, rank order == structural order, and compare()
+  // (which dispatches on ranks) agrees with compare_structural() (which
+  // never reads them as a top-level verdict).
+  for (const PortGraph& g : property_graphs()) {
+    ViewRepo repo;
+    ViewProfile p = compute_profile(g, repo, /*min_depth=*/4);
+    for (int t = 0; t <= p.computed_depth(); ++t) {
+      std::vector<ViewId> distinct = distinct_ids(p.ids[t]);
+      for (ViewId v : distinct)
+        ASSERT_NE(repo.rank(v), kUnranked)
+            << "refined level " << t << " left a view unranked";
+      for (std::size_t i = 0; i < distinct.size(); ++i)
+        for (std::size_t j = i + 1; j < distinct.size(); ++j) {
+          ViewId a = distinct[i];
+          ViewId b = distinct[j];
+          std::strong_ordering structural = repo.compare_structural(a, b);
+          EXPECT_EQ(repo.compare(a, b), structural) << "level " << t;
+          EXPECT_EQ(repo.rank(a) < repo.rank(b),
+                    structural == std::strong_ordering::less)
+              << "level " << t;
+          // Antisymmetry through the fast path.
+          EXPECT_EQ(repo.compare(b, a) == std::strong_ordering::less,
+                    structural == std::strong_ordering::greater);
+        }
+    }
+  }
+}
+
+TEST(Rank, MergeKeepsOrderAcrossGraphsSharingOneRepo) {
+  // Cross-feed runs (E2/E3/E5/E6) refine several graphs into one repo: the
+  // second refinement merges its fresh views into the existing per-depth
+  // rank sequences. Rank order must stay the structural order over the
+  // union.
+  ViewRepo repo;
+  ViewProfile p1 = compute_profile(portgraph::random_connected(20, 16, 9),
+                                   repo, /*min_depth=*/3);
+  ViewProfile p2 = compute_profile(portgraph::grid(4, 5), repo,
+                                   /*min_depth=*/3);
+  for (int t = 1; t <= 3; ++t) {
+    std::vector<ViewId> all = p1.ids[t];
+    all.insert(all.end(), p2.ids[t].begin(), p2.ids[t].end());
+    std::vector<ViewId> distinct = distinct_ids(all);
+    for (std::size_t i = 0; i < distinct.size(); ++i)
+      for (std::size_t j = i + 1; j < distinct.size(); ++j) {
+        ViewId a = distinct[i];
+        ViewId b = distinct[j];
+        ASSERT_NE(repo.rank(a), kUnranked);
+        ASSERT_NE(repo.rank(b), kUnranked);
+        EXPECT_EQ(repo.compare(a, b), repo.compare_structural(a, b))
+            << "depth " << t;
+      }
+  }
+}
+
+TEST(Rank, MixedRankedUnrankedCompareIsStructural) {
+  // Views interned outside refinement carry no rank; comparing them
+  // against ranked views must fall back to the structural walk and agree
+  // with the pure-structural verdict in both orientations.
+  ViewRepo repo;
+  PortGraph g1 = portgraph::random_connected(18, 14, 2);
+  ViewProfile p1 = compute_profile(g1, repo, /*min_depth=*/3);
+  PortGraph g2 = portgraph::path(17);
+  std::vector<std::vector<ViewId>> unranked = naive_levels(g2, repo, 3);
+
+  bool saw_mixed = false;
+  for (int t = 1; t <= 3; ++t) {
+    for (ViewId a : distinct_ids(p1.ids[t]))
+      for (ViewId b : distinct_ids(unranked[static_cast<std::size_t>(t)])) {
+        if (a == b) continue;
+        if (repo.rank(b) == kUnranked) saw_mixed = true;
+        std::strong_ordering structural = repo.compare_structural(a, b);
+        EXPECT_EQ(repo.compare(a, b), structural);
+        EXPECT_EQ(repo.compare(b, a) == std::strong_ordering::less,
+                  structural == std::strong_ordering::greater);
+      }
+  }
+  // The path's deep views differ from the random graph's: some must have
+  // escaped ranking, or this test exercised nothing.
+  EXPECT_TRUE(saw_mixed);
+}
+
+TEST(Rank, TruncatedViewsCompareCorrectly) {
+  // truncate() interns through the per-record path and leaves new records
+  // unranked; comparisons between truncations and ranked refined views of
+  // the same depth must still follow the structural order.
+  ViewRepo repo;
+  PortGraph g1 = portgraph::random_connected(18, 14, 4);
+  ViewProfile p1 = compute_profile(g1, repo, /*min_depth=*/4);
+  PortGraph g2 = portgraph::grid(3, 6);
+  std::vector<std::vector<ViewId>> alien = naive_levels(g2, repo, 4);
+
+  for (ViewId deep : distinct_ids(alien[4])) {
+    for (int x = 1; x <= 3; ++x) {
+      ViewId cut = repo.truncate(deep, x);
+      for (ViewId ranked : distinct_ids(p1.ids[static_cast<std::size_t>(x)])) {
+        if (cut == ranked) continue;
+        EXPECT_EQ(repo.compare(cut, ranked),
+                  repo.compare_structural(cut, ranked));
+        EXPECT_EQ(repo.compare(ranked, cut),
+                  repo.compare_structural(ranked, cut));
+      }
+    }
+  }
+}
+
+TEST(Rank, ArgminEquivalentToStructuralReference) {
+  // argmin_view's min-rank scan must pick exactly the node the structural
+  // dedup + compare loop picks — including the lowest-numbered-witness
+  // tie-break — and the unranked fallback must agree as well.
+  for (const PortGraph& g : property_graphs()) {
+    ViewRepo ranked_repo;
+    ViewProfile p = compute_profile(g, ranked_repo, /*min_depth=*/3);
+    ViewRepo unranked_repo;
+    std::vector<std::vector<ViewId>> unranked =
+        naive_levels(g, unranked_repo, 3);
+    for (int t = 0; t <= 3; ++t) {
+      const std::vector<ViewId>& level = p.ids[t];
+      // Structural reference: canonical minimum over distinct ids, first
+      // witness in node order.
+      std::vector<ViewId> distinct = distinct_ids(level);
+      ViewId best = distinct.front();
+      for (ViewId v : distinct)
+        if (ranked_repo.compare_structural(v, best) ==
+            std::strong_ordering::less)
+          best = v;
+      NodeId want = -1;
+      for (std::size_t v = 0; v < level.size(); ++v)
+        if (level[v] == best) {
+          want = static_cast<NodeId>(v);
+          break;
+        }
+      EXPECT_EQ(argmin_view(ranked_repo, level), want) << "level " << t;
+      EXPECT_EQ(argmin_view(unranked_repo,
+                            unranked[static_cast<std::size_t>(t)]),
+                want)
+          << "level " << t;
+    }
+  }
+}
+
+TEST(Rank, BuildTrieAdviceGoldenEquivalentToUnrankedPath) {
+  // The whole minimum-time advice (depth-1 trie, deep tries, labels, BFS
+  // tree) depends on views only through the canonical order, so computing
+  // it from a ranked profile and from a rank-free per-node profile must
+  // produce bit-identical advice.
+  std::vector<PortGraph> graphs;
+  graphs.push_back(portgraph::random_connected(20, 40, 6));
+  graphs.push_back(families::necklace_member(5, 3, 1).graph);
+  graphs.push_back(families::necklace_member(4, 4, 2).graph);
+  for (const PortGraph& g : graphs) {
+    ViewRepo ranked_repo;
+    ViewProfile ranked = compute_profile(g, ranked_repo, /*min_depth=*/1);
+    ASSERT_TRUE(ranked.feasible);
+
+    // Rank-free twin: same levels, same ids, no ranks anywhere.
+    ViewRepo plain_repo;
+    std::vector<std::vector<ViewId>> levels =
+        naive_levels(g, plain_repo, ranked.computed_depth());
+    ViewProfile plain;
+    plain.ids = levels;
+    for (const auto& level : levels)
+      plain.class_counts.push_back(distinct_ids(level).size());
+    plain.feasible = ranked.feasible;
+    plain.election_index = ranked.election_index;
+
+    coding::BitString want =
+        advice::compute_advice(g, plain_repo, plain).to_bits();
+    coding::BitString got =
+        advice::compute_advice(g, ranked_repo, ranked).to_bits();
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(Rank, IndependentOfGatherPool) {
+  // The rank assignment runs in the sequential dedup phase, so ranks (like
+  // ids) must not depend on the gather pool's thread count.
+  PortGraph g = portgraph::random_connected(5000, 4000, 13);
+  ViewRepo repo_seq;
+  ViewProfile p_seq = compute_profile(g, repo_seq, /*min_depth=*/2);
+  util::ThreadPool pool(3);
+  ViewRepo repo_par;
+  ViewProfile p_par = compute_profile(
+      g, repo_par,
+      ProfileOptions{.min_depth = 2, .keep_history = true, .pool = &pool});
+  ASSERT_EQ(p_seq.ids, p_par.ids);
+  for (int t = 0; t <= p_seq.computed_depth(); ++t)
+    for (ViewId v : distinct_ids(p_seq.ids[t]))
+      EXPECT_EQ(repo_seq.rank(v), repo_par.rank(v));
+}
+
+}  // namespace
+}  // namespace anole::views

@@ -135,9 +135,12 @@ int main(int argc, char** argv) {
   if (elect) {
     util::Table table({"algorithm", "time model", "rounds", "advice bits",
                        "ok"});
+    // One context for all eight rows: the repo, profile and diameter are
+    // computed once and shared across the whole portfolio.
+    election::ElectionContext ctx(g);
     for (const runner::PortfolioAlgorithm& algo :
          runner::election_portfolio(/*c=*/2)) {
-      election::ElectionRun run = algo.run(g);
+      election::ElectionRun run = algo.run(ctx);
       table.add_row({algo.name, algo.model,
                      util::Table::num(run.metrics.rounds),
                      util::Table::num(run.advice_bits),
