@@ -1,0 +1,123 @@
+#include "runner/bench_check.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace anole::runner {
+
+namespace {
+
+/// Extracts the JSON string value of `key` from one bench record line, or
+/// nullopt-like empty handling via the `ok` flag. Values written by
+/// json_escape may contain \" and \\ escapes; nothing else is expected.
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string& out) {
+  std::string needle = "\"" + key + "\": \"";
+  std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  out.clear();
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      out.push_back(line[++i]);
+      continue;
+    }
+    if (c == '"') return true;
+    out.push_back(c);
+  }
+  return false;  // unterminated string: malformed line
+}
+
+bool extract_number(const std::string& line, const std::string& key,
+                    double& out) {
+  std::string needle = "\"" + key + "\": ";
+  std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+}  // namespace
+
+BenchTable read_bench_records(std::istream& in) {
+  BenchTable table;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string scenario;
+    std::string cell;
+    double wall_ms = 0.0;
+    if (!extract_string(line, "scenario", scenario)) continue;
+    if (!extract_string(line, "cell", cell)) continue;
+    if (!extract_number(line, "wall_ms", wall_ms)) continue;
+    // Append-only history: the last record per key is the current one.
+    table[{std::move(scenario), std::move(cell)}] = wall_ms;
+  }
+  return table;
+}
+
+BenchComparison compare_bench(const BenchTable& baseline,
+                              const BenchTable& fresh, double tolerance_pct,
+                              std::span<const std::string> match) {
+  BenchComparison cmp;
+  auto matches = [&match](const std::string& label) {
+    if (match.empty()) return true;
+    for (const std::string& m : match)
+      if (label.find(m) != std::string::npos) return true;
+    return false;
+  };
+  for (const auto& [key, base_ms] : baseline) {
+    auto it = fresh.find(key);
+    std::string label = key.first + "/" + key.second;
+    if (it == fresh.end()) {
+      // An enforced cell that vanished is lost coverage, not a free pass:
+      // renaming a tracked cell must refresh the committed baseline too.
+      if (matches(label)) ++cmp.regressions;
+      cmp.dropped.push_back(std::move(label));
+      continue;
+    }
+    BenchComparison::Cell cell;
+    cell.scenario = key.first;
+    cell.cell = key.second;
+    cell.baseline_ms = base_ms;
+    cell.fresh_ms = it->second;
+    cell.enforced = matches(label);
+    cell.regressed = cell.enforced &&
+                     cell.fresh_ms > base_ms * (1.0 + tolerance_pct / 100.0);
+    if (cell.regressed) ++cmp.regressions;
+    cmp.cells.push_back(std::move(cell));
+  }
+  for (const auto& [key, ms] : fresh) {
+    (void)ms;
+    if (baseline.find(key) == baseline.end())
+      cmp.added.push_back(key.first + "/" + key.second);
+  }
+  return cmp;
+}
+
+void print_bench_comparison(const BenchComparison& cmp, double tolerance_pct,
+                            std::ostream& os) {
+  for (const auto& cell : cmp.cells) {
+    double ratio =
+        cell.baseline_ms <= 0.0 ? 0.0 : cell.fresh_ms / cell.baseline_ms;
+    os << (cell.regressed ? "REGRESSED " : (cell.enforced ? "ok        "
+                                                          : "info      "))
+       << cell.scenario << "/" << cell.cell << ": " << cell.baseline_ms
+       << " ms -> " << cell.fresh_ms << " ms (x" << ratio << ")\n";
+  }
+  for (const std::string& label : cmp.dropped)
+    os << "dropped   " << label
+       << " (in baseline only — fails if enforced)\n";
+  for (const std::string& label : cmp.added)
+    os << "new       " << label << " (in fresh only)\n";
+  if (cmp.ok())
+    os << "bench_check: OK (" << cmp.cells.size() << " shared cells, "
+       << "tolerance " << tolerance_pct << "%)\n";
+  else
+    os << "bench_check: " << cmp.regressions << " cell(s) regressed beyond "
+       << tolerance_pct << "%\n";
+}
+
+}  // namespace anole::runner

@@ -1,0 +1,73 @@
+#pragma once
+// Regression guard over --bench-out perf records (DESIGN.md §6/§9).
+//
+// anole_bench --bench-out appends one JSON-lines record per cell row
+// ({"scenario": ..., "cell": ..., "wall_ms": ..., ...}); the repo root
+// carries committed baseline files (BENCH_order.json, BENCH_stable.json)
+// and CI re-measures them on every build. tools/bench_check compares a
+// fresh bench file against a baseline with a relative tolerance and fails
+// the job when a tracked cell regressed — so a change that silently
+// un-does the ranked-compare or stable-quotient win is caught in CI, not
+// in the next profile session.
+//
+// Semantics, pinned by tests/bench_check_test.cpp:
+//   - records are keyed by (scenario, cell); the LAST record per key wins
+//     (bench files are append-only histories);
+//   - only keys present in BOTH files are timed-compared; fresh-only keys
+//     are reported as new (never fail). A baseline-only key is reported
+//     as dropped — and counts as a regression when it matches an enforced
+//     filter, because a tracked cell vanishing (renamed, deleted) is
+//     exactly the silent coverage loss the guard exists to catch; renames
+//     must refresh the committed baseline in the same change;
+//   - a cell regresses when fresh > baseline * (1 + tolerance_pct/100);
+//   - `match` substrings (case-sensitive, against "scenario/cell")
+//     restrict which keys are *enforced*; non-matching shared keys are
+//     still listed, informationally. Empty match list = enforce all.
+
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anole::runner {
+
+/// (scenario, cell) -> wall_ms of the last record with that key.
+using BenchTable = std::map<std::pair<std::string, std::string>, double>;
+
+/// Parses a --bench-out JSON-lines stream. Lines without the scenario,
+/// cell and wall_ms fields are skipped (the format is append-only and may
+/// grow fields; the guard only needs these three).
+[[nodiscard]] BenchTable read_bench_records(std::istream& in);
+
+struct BenchComparison {
+  struct Cell {
+    std::string scenario;
+    std::string cell;
+    double baseline_ms = 0.0;
+    double fresh_ms = 0.0;
+    bool enforced = false;   ///< matched the filter (or filter empty)
+    bool regressed = false;  ///< enforced and above tolerance
+  };
+  std::vector<Cell> cells;          ///< shared keys, file order of the map
+  std::vector<std::string> dropped; ///< "scenario/cell" only in baseline
+  std::vector<std::string> added;   ///< "scenario/cell" only in fresh
+  /// Timed regressions plus enforced dropped cells.
+  std::size_t regressions = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compares fresh records against a baseline. See file comment for the
+/// exact semantics of tolerance and match filters.
+[[nodiscard]] BenchComparison compare_bench(
+    const BenchTable& baseline, const BenchTable& fresh, double tolerance_pct,
+    std::span<const std::string> match);
+
+/// Human-readable report of a comparison (one line per shared cell, then
+/// the dropped/added lists and a verdict line).
+void print_bench_comparison(const BenchComparison& cmp, double tolerance_pct,
+                            std::ostream& os);
+
+}  // namespace anole::runner

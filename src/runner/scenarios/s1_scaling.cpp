@@ -98,7 +98,10 @@ runner::Scenario make_s1() {
                  return s1_cell(family, build(), rounds);
                });
   };
-  for (std::size_t n : {1024, 4096, 16384})
+  // The 65536 cell rides the stable-phase quotient (DESIGN.md §9): after
+  // the ring partition freezes, each metered round interns and prices one
+  // view instead of re-hashing all n nodes.
+  for (std::size_t n : {1024, 4096, 16384, 65536})
     add("ring", n, 32, [n] { return portgraph::ring(n); });
   for (std::size_t n : {32, 64, 128})
     add("clique", n, 6, [n] { return portgraph::clique(n); });

@@ -6,7 +6,9 @@
 // workloads that shape its cost profile:
 //
 //   ring    — one class per level: dedup collapses the whole level to a
-//             single intern; swept deep (min_depth) at n = 65536;
+//             single intern; swept deep (min_depth) at n = 65536 — past
+//             stabilization the sweep rides the quotient advancer
+//             (DESIGN.md §9; the V3 scenario stresses that phase alone);
 //   path    — the deep-refinement extreme: phi ~ n/2 levels, the O(n·t)
 //             history the keep_history=false mode exists for;
 //   random  — shallow profiles over wide levels, the typical workload;

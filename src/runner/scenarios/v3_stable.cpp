@@ -1,0 +1,155 @@
+// V3 — stable-phase quotient refinement benchmark (DESIGN.md §9).
+//
+// V1 stresses the batched refinement substrate; V3 stresses what happens
+// *after* the refinement partition stabilizes: the quotient advancer pays
+// O(classes) per level instead of O(n + m), so depths that used to cost a
+// full gather/hash/dedup sweep per level — thousands of levels on a
+// symmetric ring — collapse to interning C views each. Two tables:
+//
+//   stable-profile — deep keep_history=false sweeps (compute_profile with
+//       min_depth far past stabilization). "stable depth" is the level at
+//       which the class count first repeats (the quotient freeze point);
+//       every level past it is a quotient round. Before the quotient,
+//       the ring n=65536 / depth=16384 cell alone cost Θ(n·depth) ≈ 10^9
+//       node-levels — it exists because it is now affordable.
+//
+//   stable-com — deep metered COM runs (run_full_info): the round loop
+//       advances the quotient, meters the C distinct views per round, and
+//       only the undecided nodes' on_view hooks touch per-node state.
+//
+// Every reported value is deterministic and thread-count independent;
+// wall-clock rides --bench-out (BENCH_stable.json, guarded in CI by
+// tools/bench_check against the committed repo-root baseline).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
+#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
+#include "views/profile.hpp"
+#include "views/view_repo.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+/// COM for a fixed number of rounds, then a (content-free) decision —
+/// the S1 program, here driven deep into the stable phase.
+class ComForRounds final : public sim::FullInfoProgram {
+ public:
+  explicit ComForRounds(int target) : target_(target) {}
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+ protected:
+  void on_view(int rounds) override {
+    if (rounds >= target_) done_ = true;
+  }
+
+ private:
+  int target_;
+  bool done_ = false;
+};
+
+/// First depth whose class count repeats the previous one — the level at
+/// which the refiner froze the quotient. -1 if the sweep never stabilized.
+int stable_depth(const std::vector<std::size_t>& class_counts) {
+  for (std::size_t t = 1; t < class_counts.size(); ++t)
+    if (class_counts[t] == class_counts[t - 1]) return static_cast<int>(t);
+  return -1;
+}
+
+std::vector<Row> profile_cell(const std::string& family,
+                              const portgraph::PortGraph& g, int min_depth) {
+  views::ViewRepo repo;
+  std::unique_ptr<util::ThreadPool> pool =
+      runner::scenarios::intra_cell_pool(g.n());
+  views::ViewProfile p = views::compute_profile(
+      g, repo,
+      views::ProfileOptions{.min_depth = min_depth,
+                            .keep_history = false,
+                            .pool = pool.get()});
+  int frozen_at = stable_depth(p.class_counts);
+  int quotient_levels =
+      frozen_at < 0 ? 0 : p.computed_depth() - frozen_at;
+  return {Row{family, g.n(), p.computed_depth(), p.class_counts.back(),
+              frozen_at, quotient_levels, repo.size()}};
+}
+
+std::vector<Row> com_cell(const std::string& family,
+                          const portgraph::PortGraph& g, int rounds) {
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  programs.reserve(g.n());
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<ComForRounds>(rounds));
+  std::unique_ptr<util::ThreadPool> pool =
+      runner::scenarios::intra_cell_pool(g.n());
+  sim::RunMetrics m = sim::run_full_info(g, repo, programs, rounds + 1,
+                                         /*meter_messages=*/true, pool.get());
+  std::size_t last_distinct = m.distinct_views_per_round.empty()
+                                  ? 0
+                                  : m.distinct_views_per_round.back();
+  return {Row{family, g.n(), m.rounds, m.total_message_bits,
+              m.max_message_bits, last_distinct, repo.size()}};
+}
+
+runner::Scenario make_v3() {
+  runner::Scenario s;
+  s.name = "v3";
+  s.summary =
+      "stable-phase benchmark: O(classes) quotient rounds after partition "
+      "stabilization";
+  s.reference = "DESIGN.md §9 (stable-phase quotient refinement)";
+  s.tables.push_back(runner::TableSpec{
+      "V3a",
+      "Deep refinement sweeps past stabilization (keep_history=false): "
+      "levels computed (\"rounds\"), the fixed-point class count, the "
+      "depth at which the partition froze, the number of O(classes) "
+      "quotient levels, and the hash-consed repo size — which stays tiny "
+      "because each quotient level interns exactly C records. All values "
+      "deterministic; wall-clock rides --bench-out (BENCH_stable.json).",
+      {"family", "n", "rounds", "classes", "stable depth", "quotient levels",
+       "repo records"}});
+  s.tables.push_back(runner::TableSpec{
+      "V3b",
+      "Deep metered COM through the quotient (run_full_info): total/max "
+      "message bits, distinct outgoing views in the last round, and the "
+      "repo size. Byte-identical to Engine::run and across --threads.",
+      {"family", "n", "rounds", "total bits", "max msg bits",
+       "distinct views", "repo records"}});
+
+  auto add_profile = [&s](std::string family, std::size_t n, int min_depth,
+                          std::function<portgraph::PortGraph()> build) {
+    s.add_cell("stable-profile/" + family + "/n=" + std::to_string(n) +
+                   "/depth=" + std::to_string(min_depth),
+               0, [family, min_depth, build = std::move(build)] {
+                 return profile_cell(family, build(), min_depth);
+               });
+  };
+  auto add_com = [&s](std::string family, std::size_t n, int rounds,
+                      std::function<portgraph::PortGraph()> build) {
+    s.add_cell("stable-com/" + family + "/n=" + std::to_string(n) +
+                   "/rounds=" + std::to_string(rounds),
+               1, [family, rounds, build = std::move(build)] {
+                 return com_cell(family, build(), rounds);
+               });
+  };
+  add_profile("ring", 4096, 4096, [] { return portgraph::ring(4096); });
+  add_profile("ring", 16384, 8192, [] { return portgraph::ring(16384); });
+  add_profile("ring", 65536, 16384, [] { return portgraph::ring(65536); });
+  add_com("ring", 4096, 2048, [] { return portgraph::ring(4096); });
+  add_com("ring", 16384, 512, [] { return portgraph::ring(16384); });
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("v3", make_v3);

@@ -16,6 +16,7 @@
 // (in the LOCAL model a decision is not a crash). The engine runs until
 // every node has produced an output or `max_rounds` is exceeded.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -120,6 +121,34 @@ class DecisionTracker {
   void note(int round);
 
   [[nodiscard]] bool all_decided() const { return undecided_.empty(); }
+
+  /// Fused round tail for run_full_info: runs `fn(v)` (the advance_to
+  /// hook) for every still-undecided node in ascending node order, checks
+  /// has_output() immediately after, and drops nodes that decided —
+  /// one pass over the programs per round instead of an advance pass plus
+  /// a note() scan. Decided nodes are never touched again: their output
+  /// is already captured, and in the batched COM path their outgoing view
+  /// lives in the level/quotient, not in program state, so skipping them
+  /// changes no metric bit. Equivalent to fn-for-all-undecided followed
+  /// by note(round): programs share no mutable state (anonymity), so no
+  /// program's has_output() can depend on a later node's hook.
+  template <typename Fn>
+  void advance_then_note(int round, const Fn& fn) {
+    // Explicit in-order loop (not remove_if: the hooks' side effects —
+    // on_view may intern into the shared repo — must run in ascending
+    // node order, which the standard guarantees only here).
+    std::size_t keep = 0;
+    for (std::uint32_t v : undecided_) {
+      fn(v);
+      if (!programs_[v]->has_output()) {
+        undecided_[keep++] = v;
+        continue;
+      }
+      metrics_->decision_round[v] = round;
+      metrics_->outputs[v] = programs_[v]->output();
+    }
+    undecided_.resize(keep);
+  }
 
  private:
   std::span<const std::unique_ptr<NodeProgram>> programs_;

@@ -6,6 +6,33 @@
 #include "views/refiner.hpp"
 
 namespace anole::sim {
+namespace {
+
+/// Prices one metered round through the frozen quotient: the same sums
+/// internal::meter_round computes from the per-node outbox, regrouped by
+/// class. Every node of class c sends the class's current view through
+/// deg(v) ports, so round bits = Σ_c size(view_c) · Σ_{v∈c} deg(v); the
+/// per-class degree sums are frozen with the partition. All terms are the
+/// exact size_t values of the per-node sum, only reassociated — the
+/// metrics stay byte-identical (pinned by tests/stable_test.cpp).
+void meter_round_quotient(const views::Refiner& refiner,
+                          const views::ViewRepo& repo,
+                          std::span<const std::size_t> class_degree_sum,
+                          std::size_t degree_sum, RunMetrics& metrics) {
+  std::size_t classes = refiner.classes();
+  std::size_t round_bits = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::size_t bits = repo.serialized_size_bits(refiner.class_view(c));
+    metrics.max_message_bits = std::max(metrics.max_message_bits, bits);
+    round_bits += bits * class_degree_sum[c];
+  }
+  metrics.message_count += degree_sum;
+  metrics.total_message_bits += round_bits;
+  metrics.bits_per_round.push_back(round_bits);
+  metrics.distinct_views_per_round.push_back(classes);
+}
+
+}  // namespace
 
 RunMetrics run_full_info(const portgraph::PortGraph& graph,
                          views::ViewRepo& repo,
@@ -28,6 +55,9 @@ RunMetrics run_full_info(const portgraph::PortGraph& graph,
   }
 
   auto wall_start = std::chrono::steady_clock::now();
+  // Levels land in the repo one per round: size the storage for a deep
+  // run up front so no round stalls on a rehash (DESIGN.md §9).
+  repo.reserve_for(n, g.m(), std::min(max_rounds, 1024));
   RunMetrics metrics;
   metrics.decision_round.assign(n, -1);
   metrics.outputs.resize(n);
@@ -57,34 +87,70 @@ RunMetrics run_full_info(const portgraph::PortGraph& graph,
   bool seeded = true;
   std::vector<std::size_t> distinct_bits;
 
+  // Once the refiner freezes the quotient (partition stabilization —
+  // DESIGN.md §9) the per-node level vector is never materialized again:
+  // rounds advance the C classes, metering prices the C distinct views
+  // through the frozen per-class degree sums, and only the undecided
+  // nodes' on_view hooks read their view through the O(1) class index.
+  bool quotient_mode = false;
+  std::vector<std::size_t> class_degree_sum;
+
   int round = 0;
   while (!decisions.all_decided()) {
     if (round >= max_rounds) {
       metrics.timed_out = true;
       break;
     }
-    // Every node's outgoing message is its current view: `level` IS the
-    // round's outbox — the shared metering helper prices it exactly as
+    // Every node's outgoing message is its current view: `level` (or the
+    // quotient's class state) IS the round's outbox — priced exactly as
     // Engine::run does.
     if (meter_messages) {
-      internal::meter_round(g, repo, level,
-                            seeded ? std::span<const views::ViewId>(
-                                         seed_distinct)
-                                   : refiner.distinct(),
-                            distinct_bits, metrics);
+      if (quotient_mode) {
+        meter_round_quotient(refiner, repo, class_degree_sum, degree_sum,
+                             metrics);
+      } else {
+        internal::meter_round(g, repo, level,
+                              seeded ? std::span<const views::ViewId>(
+                                           seed_distinct)
+                                     : refiner.distinct(),
+                              distinct_bits, metrics);
+      }
     } else {
       metrics.message_count += degree_sum;
     }
 
-    refiner.advance(level, next);
-    level.swap(next);
+    if (quotient_mode) {
+      refiner.advance_quotient();
+    } else {
+      refiner.advance(level, next);
+      level.swap(next);
+      if (refiner.stable()) {
+        quotient_mode = true;
+        class_degree_sum.assign(refiner.classes(), 0);
+        std::span<const std::uint32_t> class_of = refiner.class_of();
+        for (std::size_t v = 0; v < n; ++v)
+          class_degree_sum[class_of[v]] += static_cast<std::size_t>(
+              g.degree(static_cast<portgraph::NodeId>(v)));
+      }
+    }
     seeded = false;
     // on_view hooks may touch the shared repo: sequential, in node order
-    // (the same order Engine::run delivers inboxes).
-    for (std::size_t v = 0; v < n; ++v)
-      fips[v]->advance_to(level[v], round + 1);
+    // (the same order Engine::run delivers inboxes). Only the undecided
+    // nodes are advanced — a decided node's output is already captured,
+    // and its outgoing view lives in the level/quotient, not in program
+    // state, so the skip changes no metric bit. The fused pass advances
+    // each node and checks its decision in one touch.
+    if (quotient_mode) {
+      decisions.advance_then_note(round + 1, [&](std::uint32_t v) {
+        fips[v]->advance_to(
+            refiner.node_view(static_cast<portgraph::NodeId>(v)), round + 1);
+      });
+    } else {
+      decisions.advance_then_note(round + 1, [&](std::uint32_t v) {
+        fips[v]->advance_to(level[v], round + 1);
+      });
+    }
     ++round;
-    decisions.note(round);
   }
   metrics.rounds = round;
   metrics.wall_ms = std::chrono::duration<double, std::milli>(

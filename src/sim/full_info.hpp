@@ -32,12 +32,16 @@ class FullInfoProgram;
 /// FullInfoProgram, rounds are advanced by batched level refinement
 /// (views::Refiner) — dedup the level's signatures, intern each distinct
 /// one once, hand every node its next view — instead of one inbox build +
-/// intern per node. Metrics (decision rounds, outputs, message counts and
-/// bits, per-round breakdowns) are byte-identical to Engine::run on the
-/// same inputs, and independent of `pool` (which only parallelizes the
-/// refiner's gather/hash phase). If some program is NOT a FullInfoProgram
-/// the call falls back to Engine::run — so callers may wire it in
-/// unconditionally.
+/// intern per node. Once the refinement partition stabilizes the run
+/// switches to the quotient advancer (DESIGN.md §9): each round interns
+/// exactly C = classes() views, metering prices those C views through
+/// frozen per-class degree sums, and only the still-undecided nodes' O(1)
+/// class-index lookups touch per-node state. Metrics (decision rounds,
+/// outputs, message counts and bits, per-round breakdowns) are
+/// byte-identical to Engine::run on the same inputs, and independent of
+/// `pool` (which only parallelizes the refiner's gather/hash phase). If
+/// some program is NOT a FullInfoProgram the call falls back to
+/// Engine::run — so callers may wire it in unconditionally.
 RunMetrics run_full_info(const portgraph::PortGraph& graph,
                          views::ViewRepo& repo,
                          std::span<const std::unique_ptr<NodeProgram>> programs,
@@ -66,7 +70,12 @@ class FullInfoProgram : public NodeProgram {
 
  protected:
   /// Hook invoked whenever the node's knowledge grows: after `rounds`
-  /// rounds of COM the node holds B^rounds — available as view().
+  /// rounds of COM the node holds B^rounds — available as view(). Not
+  /// invoked again once has_output() is true: run_full_info advances only
+  /// the still-undecided nodes (a decided node's outgoing view lives in
+  /// the level/quotient, its output is already captured, and metrics are
+  /// unaffected — but post-decision side effects in on_view would run
+  /// under Engine::run and not here, so don't have any).
   virtual void on_view(int rounds) = 0;
 
   [[nodiscard]] views::ViewRepo& repo() const { return *repo_; }

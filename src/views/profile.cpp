@@ -32,6 +32,7 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
                             const ProfileOptions& opts) {
   ANOLE_CHECK_MSG(g.n() >= 1, "profile of an empty graph");
   g_profile_computes.fetch_add(1, std::memory_order_relaxed);
+  repo.reserve_for(g.n(), g.m(), opts.min_depth);
   ViewProfile profile;
   profile.keep_history = opts.keep_history;
   std::size_t n = g.n();
@@ -41,6 +42,10 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
   std::size_t classes = refiner.init_level(level);
   push_level(profile, std::move(level), classes);
 
+  // True while ids.back() lags behind the refiner's quotient state (deep
+  // keep_history=false sweeps advance the quotient without materializing
+  // per-node levels); one scatter on exit catches it up.
+  bool last_level_stale = false;
   for (;;) {
     int t = profile.computed_depth();
     classes = profile.class_counts.back();
@@ -53,10 +58,18 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
     bool done = (profile.feasible || stabilized) && t >= opts.min_depth;
     if (done) break;
 
+    if (refiner.stable() && !profile.keep_history) {
+      // Stable phase, deepest-level-only mode: O(classes) per round —
+      // no gather, no dedup, not even the O(n) scatter (DESIGN.md §9).
+      profile.class_counts.push_back(refiner.advance_quotient());
+      last_level_stale = true;
+      continue;
+    }
     std::vector<ViewId> next;
     std::size_t next_classes = refiner.advance(profile.ids.back(), next);
     push_level(profile, std::move(next), next_classes);
   }
+  if (last_level_stale) refiner.scatter(profile.ids.back());
   return profile;
 }
 
@@ -68,12 +81,20 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
 void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
                     ViewProfile& profile, int depth, util::ThreadPool* pool) {
   if (profile.computed_depth() >= depth) return;
+  repo.reserve_for(g.n(), g.m(), depth - profile.computed_depth());
   Refiner refiner(g, repo, pool);
+  bool last_level_stale = false;
   while (profile.computed_depth() < depth) {
+    if (refiner.stable() && !profile.keep_history) {
+      profile.class_counts.push_back(refiner.advance_quotient());
+      last_level_stale = true;
+      continue;
+    }
     std::vector<ViewId> next;
     std::size_t classes = refiner.advance(profile.ids.back(), next);
     push_level(profile, std::move(next), classes);
   }
+  if (last_level_stale) refiner.scatter(profile.ids.back());
 }
 
 portgraph::NodeId argmin_view(const ViewRepo& repo,

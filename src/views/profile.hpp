@@ -13,7 +13,11 @@
 // Levels are advanced by views::Refiner (batched dedup-before-intern, see
 // refiner.hpp and DESIGN.md §7): each level's class count is a byproduct
 // of the batched dedup, and the optional thread pool parallelizes the
-// gather/hash phase without changing a single id.
+// gather/hash phase without changing a single id. Once the partition
+// stabilizes the refiner's quotient advancer takes over (DESIGN.md §9):
+// deep min_depth sweeps with keep_history = false pay O(classes) per
+// level past stabilization — no per-node gather, hash, dedup or even
+// scatter until the final level is materialized.
 
 #include <vector>
 

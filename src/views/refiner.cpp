@@ -1,6 +1,7 @@
 #include "views/refiner.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/thread_pool.hpp"
 
@@ -12,6 +13,10 @@ using portgraph::NodeId;
 // Below this many nodes a level is advanced sequentially even when a pool
 // is available: submitting tasks costs more than the gather saves.
 constexpr std::size_t kMinParallelNodes = 2048;
+
+/// Debug/test switch behind set_stable_quotient_enabled(); atomic because
+/// scenario cells construct Refiners from runner worker threads.
+std::atomic<bool> g_quotient_enabled{true};
 
 /// Runs fn(begin, end) over [0, n) — chunked across `pool` when it pays,
 /// inline otherwise. fn must only touch per-node state in its range.
@@ -42,11 +47,20 @@ std::size_t table_capacity_for(std::size_t n) {
 
 }  // namespace
 
+void set_stable_quotient_enabled(bool enabled) {
+  g_quotient_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool stable_quotient_enabled() {
+  return g_quotient_enabled.load(std::memory_order_relaxed);
+}
+
 Refiner::Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
                  util::ThreadPool* pool)
     : graph_(&g), repo_(&repo), pool_(pool) {
   std::size_t n = g.n();
   ANOLE_CHECK_MSG(n >= 1, "refining an empty graph");
+  quotient_enabled_ = stable_quotient_enabled();
   offset_.resize(n + 1);
   offset_[0] = 0;
   for (std::size_t v = 0; v < n; ++v) {
@@ -60,6 +74,7 @@ Refiner::Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
 
 std::size_t Refiner::init_level(std::vector<ViewId>& level) {
   std::size_t n = graph_->n();
+  quotient_frozen_ = false;  // a re-init starts a new refinement sequence
   level.resize(n);
   for (std::size_t v = 0; v < n; ++v)
     level[v] = repo_->leaf(graph_->degree(static_cast<NodeId>(v)));
@@ -68,6 +83,113 @@ std::size_t Refiner::init_level(std::vector<ViewId>& level) {
   // induction of assign_ranks (DESIGN.md §8).
   repo_->assign_ranks(distinct_);
   return distinct_.size();
+}
+
+std::size_t Refiner::count_distinct(const std::vector<ViewId>& level) {
+  return count_distinct_ids(level, id_table_);
+}
+
+bool Refiner::matches_quotient(const std::vector<ViewId>& prev) const {
+  if (prev.size() != class_of_.size()) return false;
+  // Representative probes first: a foreign level (another refinement
+  // sequence, a fresh depth) nearly always differs at some rep, so the
+  // common mismatch is detected in O(classes).
+  for (std::size_t c = 0; c < rep_.size(); ++c)
+    if (prev[rep_[c]] != class_ids_[c]) return false;
+  // Full verification: the stable path must never scatter stale class ids
+  // over a level it did not produce, in any build mode. This O(n) pass
+  // rides next to advance()'s O(n) scatter (callers that want O(classes)
+  // rounds use advance_quotient(), which needs no caller level at all).
+  for (std::size_t v = 0; v < prev.size(); ++v)
+    if (prev[v] != class_ids_[class_of_[v]]) return false;
+  return true;
+}
+
+void Refiner::freeze_quotient(const std::vector<ViewId>& level) {
+  const portgraph::PortGraph& g = *graph_;
+  std::size_t n = level.size();
+  constexpr std::uint32_t kNoClass = 0xffffffffu;
+  // Classes are numbered in ascending first-node order — the order the
+  // dedup pass (and hence the per-node intern loop) meets each distinct
+  // signature, so quotient interns replay the full pass's id assignment.
+  std::vector<std::uint32_t> remap(distinct_.size(), kNoClass);
+  class_of_.resize(n);
+  rep_.clear();
+  class_ids_.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(distinct_.begin(), distinct_.end(), level[v]) -
+        distinct_.begin());
+    if (remap[idx] == kNoClass) {
+      remap[idx] = static_cast<std::uint32_t>(rep_.size());
+      rep_.push_back(static_cast<std::uint32_t>(v));
+      class_ids_.push_back(level[v]);
+    }
+    class_of_[v] = remap[idx];
+  }
+  // Frozen class-expressed signatures: the partition is a fixed point, so
+  // a node's signature, with each child named by its *class* instead of
+  // its per-level id, never changes again. One representative per class.
+  std::size_t classes = rep_.size();
+  qoffset_.assign(classes + 1, 0);
+  std::size_t max_degree = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::size_t degree = static_cast<std::size_t>(
+        g.degree(static_cast<NodeId>(rep_[c])));
+    max_degree = std::max(max_degree, degree);
+    qoffset_[c + 1] = qoffset_[c] + static_cast<std::uint32_t>(degree);
+  }
+  qarena_.resize(qoffset_[classes]);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const auto& row = g.neighbors(static_cast<NodeId>(rep_[c]));
+    ChildRef* sig = qarena_.data() + qoffset_[c];
+    for (std::size_t p = 0; p < row.size(); ++p)
+      sig[p] = ChildRef{row[p].rev_port,
+                        static_cast<ViewId>(
+                            class_of_[static_cast<std::size_t>(row[p].neighbor)])};
+  }
+  sig_scratch_.resize(max_degree);
+  quotient_frozen_ = true;
+}
+
+std::size_t Refiner::advance_quotient() {
+  ANOLE_CHECK_MSG(quotient_frozen_,
+                  "advance_quotient without a stabilized partition");
+  std::size_t classes = class_ids_.size();
+  int depth = repo_->depth(class_ids_[0]) + 1;
+  new_class_ids_.resize(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::size_t degree = qoffset_[c + 1] - qoffset_[c];
+    const ChildRef* frozen = qarena_.data() + qoffset_[c];
+    for (std::size_t p = 0; p < degree; ++p)
+      sig_scratch_[p] =
+          ChildRef{frozen[p].first,
+                   class_ids_[static_cast<std::size_t>(frozen[p].second)]};
+    std::span<const ChildRef> sig(sig_scratch_.data(), degree);
+    std::uint64_t h =
+        ViewRepo::signature_hash(static_cast<int>(degree), depth, sig);
+    new_class_ids_[c] =
+        repo_->intern_hashed(static_cast<int>(degree), depth, sig, h);
+  }
+  class_ids_.swap(new_class_ids_);
+  distinct_.assign(class_ids_.begin(), class_ids_.end());
+  std::sort(distinct_.begin(), distinct_.end());
+  // The fixed-point argument guarantees distinct classes keep distinct
+  // views at every deeper level; a merge here would mean the partition was
+  // not actually stable — loud stop, the results would be meaningless.
+  ANOLE_CHECK_MSG(std::adjacent_find(distinct_.begin(), distinct_.end()) ==
+                      distinct_.end(),
+                  "stable classes merged — partition was not a fixed point");
+  repo_->assign_ranks(distinct_);
+  ++quotient_rounds_;
+  return classes;
+}
+
+void Refiner::scatter(std::vector<ViewId>& level) const {
+  ANOLE_CHECK_MSG(quotient_frozen_, "scatter without a stabilized partition");
+  std::size_t n = class_of_.size();
+  level.resize(n);
+  for (std::size_t v = 0; v < n; ++v) level[v] = class_ids_[class_of_[v]];
 }
 
 std::size_t Refiner::advance(const std::vector<ViewId>& prev,
@@ -80,6 +202,22 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
   // Same loud stop ViewRepo::intern gives the per-node path: a degree-0
   // node has no inner views, so advancing past depth 0 is invalid.
   ANOLE_CHECK_MSG(!has_degree0_, "advance of a degree-0 (isolated) node");
+
+  if (quotient_frozen_) {
+    if (matches_quotient(prev)) {
+      std::size_t classes = advance_quotient();
+      scatter(next);
+      return classes;
+    }
+    // A level this refiner did not produce: the frozen quotient says
+    // nothing about it. Drop it and let detection re-run below.
+    quotient_frozen_ = false;
+  }
+
+  // Stabilization detection input: the class count of the level we are
+  // advancing FROM, counted from prev itself (never trusted from state).
+  std::size_t prev_classes = quotient_enabled_ ? count_distinct(prev) : 0;
+
   int depth = repo_->depth(prev[0]) + 1;
   next.resize(n);
 
@@ -139,6 +277,12 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
   // reproduces the structural order, making every later ordering query on
   // these views O(1) (DESIGN.md §8).
   repo_->assign_ranks(distinct_);
+
+  // Equal consecutive class counts ⇒ the partition is a fixed point
+  // (refinement only ever splits classes): freeze the quotient so every
+  // later round interns exactly C views (DESIGN.md §9).
+  if (quotient_enabled_ && distinct_.size() == prev_classes)
+    freeze_quotient(next);
   return distinct_.size();
 }
 

@@ -1,5 +1,6 @@
 #pragma once
-// Batched level-synchronous view refinement (DESIGN.md §7).
+// Batched level-synchronous view refinement (DESIGN.md §7) with a
+// stable-phase quotient advancer (DESIGN.md §9).
 //
 // Advancing every node from B^t to B^{t+1} is one step of partition
 // refinement (Proposition 2.1): node v's next view is determined by its
@@ -26,12 +27,30 @@
 //      (compare, argmin, trie sorts, per-round minima) on these views is
 //      a single integer comparison (DESIGN.md §8).
 //
+// Stabilization (DESIGN.md §9): the partition refines monotonically, so
+// when two consecutive levels have the same class count the partition is
+// a *fixed point* — the node→class map never changes again, and every
+// later level has exactly the same C classes. advance() detects this
+// (it counts prev's distinct ids itself, so the detection never trusts
+// the caller) and freezes a quotient: the per-node class index, one
+// representative node per class (its first node), and each class's
+// signature with children expressed as *class* indices. From then on a
+// round interns exactly C views — one per class, in first-occurrence
+// order, so ids stay byte-identical to the full pass — and the per-node
+// level is reproduced by an O(n) scatter through the frozen class index.
+// Callers that only need the distinct ids (quotient-mode run_full_info,
+// keep_history=false profile sweeps) call advance_quotient() directly
+// and skip even the scatter: a stable round costs O(C + Σ deg(rep)),
+// with the n-node gather/hash and the 2m-entry dedup gone entirely.
+//
 // Determinism: the dedup/intern pass runs in ascending node order, so ids
 // are assigned in exactly the order the per-node loop would have assigned
 // them — profiles built through a Refiner are id-identical to the naive
 // path and independent of the pool's thread count (the parallel phase only
-// fills disjoint slots; it never interns). tests/refiner_test.cpp pins
-// both properties.
+// fills disjoint slots; it never interns). The quotient path preserves
+// this: representatives are interned in ascending first-node order, which
+// is the order the full dedup pass meets each distinct signature.
+// tests/refiner_test.cpp and tests/stable_test.cpp pin all of it.
 //
 // A Refiner borrows its graph, repo and pool; all must outlive it. Like
 // the repo it serves, a Refiner is not thread-safe — one per cell.
@@ -49,6 +68,13 @@ class ThreadPool;
 
 namespace anole::views {
 
+/// Process-wide debug/test switch for the stable-phase quotient advancer
+/// (read once per Refiner, at construction). Tests force it off to pin
+/// byte-equality of the quotient path against the always-full path;
+/// production code leaves it on.
+void set_stable_quotient_enabled(bool enabled);
+[[nodiscard]] bool stable_quotient_enabled();
+
 class Refiner {
  public:
   /// `pool == nullptr` (or a tiny level) keeps the gather phase sequential.
@@ -58,18 +84,69 @@ class Refiner {
           util::ThreadPool* pool = nullptr);
 
   /// Fills `level` with every node's depth-0 view id; returns the level's
-  /// class count (number of distinct degrees).
+  /// class count (number of distinct degrees). Resets any frozen quotient.
   std::size_t init_level(std::vector<ViewId>& level);
 
   /// Advances a whole level: next[v] = id of B^{t+1}(v) from prev[u] =
   /// id of B^t(u). Returns the new level's class count. `prev` and `next`
-  /// must be distinct vectors; prev.size() must be n.
+  /// must be distinct vectors; prev.size() must be n. When a quotient is
+  /// frozen and `prev` is the level this refiner last produced, the round
+  /// runs through the quotient (C interns + one scatter); a `prev` that
+  /// does not match drops the quotient and re-runs detection from scratch.
   std::size_t advance(const std::vector<ViewId>& prev,
                       std::vector<ViewId>& next);
 
-  /// The distinct ids of the level most recently produced by init_level()
-  /// or advance(), in ascending id order.
+  /// The distinct ids of the level most recently produced by init_level(),
+  /// advance() or advance_quotient(), in ascending id order.
   [[nodiscard]] std::span<const ViewId> distinct() const { return distinct_; }
+
+  // ---------------------------------------------------- stable phase
+  /// True once advance() has detected partition stabilization and frozen
+  /// the quotient (class index + class signatures).
+  [[nodiscard]] bool stable() const { return quotient_frozen_; }
+
+  /// Class count of the frozen partition. Requires stable().
+  [[nodiscard]] std::size_t classes() const { return class_ids_.size(); }
+
+  /// Advances one round through the frozen quotient WITHOUT materializing
+  /// the per-node level: interns exactly classes() views (in the same
+  /// order, with the same ids, as the full pass would) and refreshes
+  /// distinct() and the canonical ranks. Returns the class count.
+  /// Requires stable(). Consumers needing per-node ids call scatter().
+  std::size_t advance_quotient();
+
+  /// Reproduces the current per-node level from the frozen class index:
+  /// level[v] = id of B^t(v) for the most recently advanced t. O(n).
+  /// Requires stable().
+  void scatter(std::vector<ViewId>& level) const;
+
+  /// The current view of one node, via the frozen class index. O(1).
+  /// Requires stable().
+  [[nodiscard]] ViewId node_view(portgraph::NodeId v) const {
+    ANOLE_DCHECK(quotient_frozen_);
+    return class_ids_[class_of_[static_cast<std::size_t>(v)]];
+  }
+
+  /// The current view of class c (classes are numbered in ascending
+  /// first-node order). Requires stable().
+  [[nodiscard]] ViewId class_view(std::size_t c) const {
+    ANOLE_DCHECK(quotient_frozen_);
+    return class_ids_[c];
+  }
+
+  /// The frozen node→class index. Requires stable().
+  [[nodiscard]] std::span<const std::uint32_t> class_of() const {
+    ANOLE_DCHECK(quotient_frozen_);
+    return class_of_;
+  }
+
+  /// Debug counter: rounds advanced through the frozen quotient (either
+  /// advance_quotient() directly or advance()'s stable path). Tests pair
+  /// it with ViewRepo::size() deltas to pin "a stable round interns
+  /// exactly C views".
+  [[nodiscard]] std::uint64_t quotient_advances() const {
+    return quotient_rounds_;
+  }
 
  private:
   struct Slot {
@@ -77,6 +154,22 @@ class Refiner {
     std::uint32_t node = 0;          ///< first node with this signature
     ViewId id = kInvalidView;        ///< kInvalidView marks an empty slot
   };
+
+  /// Number of distinct values in `level` — the class count of the level
+  /// the caller is advancing FROM, counted directly so stabilization
+  /// detection never trusts the caller to pass this refiner's own output.
+  [[nodiscard]] std::size_t count_distinct(const std::vector<ViewId>& level);
+
+  /// Freezes the quotient from the just-produced `level` (whose distinct
+  /// ids are in distinct_): class index in first-occurrence node order,
+  /// representatives, and class-expressed signatures.
+  void freeze_quotient(const std::vector<ViewId>& level);
+
+  /// Whether `prev` is exactly the per-node image of the frozen quotient's
+  /// current state — O(classes) representative probes for the common
+  /// foreign-level case, then a full O(n) verification (the stable
+  /// advance() path is O(n) anyway for its scatter).
+  [[nodiscard]] bool matches_quotient(const std::vector<ViewId>& prev) const;
 
   const portgraph::PortGraph* graph_;
   ViewRepo* repo_;
@@ -87,6 +180,23 @@ class Refiner {
   std::vector<std::uint64_t> hash_;    ///< per-node signature hash
   std::vector<Slot> table_;            ///< level-local dedup table
   std::vector<ViewId> distinct_;
+  std::vector<ViewId> id_table_;       ///< scratch for count_distinct
+
+  // Stable-phase quotient (valid iff quotient_frozen_). class_of_ maps
+  // each node to its class, classes numbered by ascending first node;
+  // qarena_ holds each class's signature with the child id field reused
+  // as a *class index* (frozen — partition fixed point); class_ids_ is
+  // the per-class ViewId of the current level.
+  bool quotient_enabled_ = true;
+  bool quotient_frozen_ = false;
+  std::vector<std::uint32_t> class_of_;
+  std::vector<std::uint32_t> rep_;      ///< first node of each class
+  std::vector<std::uint32_t> qoffset_;  ///< C+1 prefix sums of rep degrees
+  std::vector<ChildRef> qarena_;        ///< class-expressed signatures
+  std::vector<ViewId> class_ids_;
+  std::vector<ViewId> new_class_ids_;   ///< scratch for advance_quotient
+  std::vector<ChildRef> sig_scratch_;   ///< one materialized signature
+  std::uint64_t quotient_rounds_ = 0;
 };
 
 }  // namespace anole::views

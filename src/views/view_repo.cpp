@@ -23,11 +23,56 @@ constexpr std::size_t kIndexInitialCapacity = 1024;
 
 }  // namespace
 
+namespace {
+
+/// Open-addressing dedup over raw ids, shared by distinct_ids and
+/// count_distinct_ids: inserts every id of `ids` into `table` (resized to
+/// a power of two >= 2n and cleared), calling on_fresh(id) for each first
+/// occurrence. Ids are dense small ints, so spread them before masking.
+template <typename OnFresh>
+void dedup_ids(std::span<const ViewId> ids, std::vector<ViewId>& table,
+               const OnFresh& on_fresh) {
+  std::size_t cap = 16;
+  while (cap < 2 * ids.size()) cap *= 2;
+  table.assign(cap, kInvalidView);
+  std::size_t mask = cap - 1;
+  for (ViewId id : ids) {
+    std::size_t i =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) *
+         0x9e3779b97f4a7c15ULL >>
+         32) &
+        mask;
+    for (;;) {
+      if (table[i] == id) break;
+      if (table[i] == kInvalidView) {
+        table[i] = id;
+        on_fresh(id);
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<ViewId> distinct_ids(std::span<const ViewId> ids) {
-  std::vector<ViewId> out(ids.begin(), ids.end());
+  // Hash-dedup before sorting: levels usually have far fewer distinct ids
+  // than entries (the refinement class count), so collecting the C values
+  // in O(n) expected and sorting only those beats sorting all n.
+  std::vector<ViewId> table;
+  std::vector<ViewId> out;
+  out.reserve(ids.size());  // one allocation; only C slots ever touched
+  dedup_ids(ids, table, [&out](ViewId id) { out.push_back(id); });
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+std::size_t count_distinct_ids(std::span<const ViewId> ids,
+                               std::vector<ViewId>& table) {
+  std::size_t count = 0;
+  dedup_ids(ids, table, [&count](ViewId) { ++count; });
+  return count;
 }
 
 std::uint64_t ViewRepo::signature_hash(int degree, int depth,
@@ -65,9 +110,12 @@ ViewId ViewRepo::intern_impl(int degree, int depth,
 }
 
 void ViewRepo::index_grow() {
+  index_rebuild(index_.empty() ? kIndexInitialCapacity : index_.size() * 2);
+}
+
+void ViewRepo::index_rebuild(std::size_t capacity) {
   std::vector<IndexSlot> old = std::move(index_);
-  index_.assign(old.empty() ? kIndexInitialCapacity : old.size() * 2,
-                IndexSlot{});
+  index_.assign(capacity, IndexSlot{});
   std::size_t mask = index_.size() - 1;
   for (const IndexSlot& slot : old) {
     if (slot.id == kInvalidView) continue;
@@ -75,6 +123,31 @@ void ViewRepo::index_grow() {
     while (index_[i].id != kInvalidView) i = (i + 1) & mask;
     index_[i] = slot;
   }
+}
+
+void ViewRepo::index_reserve(std::size_t expected_used) {
+  std::size_t cap = index_.empty() ? kIndexInitialCapacity : index_.size();
+  while (expected_used * 4 >= cap * 3) cap *= 2;
+  if (cap > index_.size()) index_rebuild(cap);
+}
+
+void ViewRepo::reserve_for(std::size_t n, std::size_t m, int depth_hint) {
+  std::size_t depth =
+      depth_hint > 0 ? static_cast<std::size_t>(depth_hint) : 0;
+  // Pre-stabilization levels dominate allocation: each can intern up to n
+  // fresh records carrying up to 2m child refs in total; a handful of such
+  // levels is the common shape before the partition fixes. The stable
+  // phase then adds only C records (and C rep-degree child spans) per
+  // level — covered by a small per-level tail.
+  std::size_t expect_records = 2 * n + 16 * depth + 64;
+  std::size_t expect_children = 4 * m + 32 * depth + 64;
+  records_.reserve(records_.size() + expect_records);
+  child_pool_.reserve(child_pool_.size() + expect_children);
+  // The index rebuild zeroes its slots (the only up-front page touch
+  // here), so size it for one full level of fresh records: even a
+  // worst-case workload then pays at most a couple of doublings, while
+  // symmetric workloads (tiny repos) don't zero megabytes for nothing.
+  index_reserve(index_used_ + n + 16 * depth + 64);
 }
 
 ViewId ViewRepo::intern_hashed(int degree, int depth,

@@ -82,7 +82,16 @@ using ChildRef = std::pair<portgraph::Port, ViewId>;
 /// The ascending distinct ids of a level/outbox vector — the id set of one
 /// refinement class partition. One definition for every caller that needs
 /// a per-level distinct set (metering, argmin, level-0 class counts).
+/// O(n) expected (open-addressing dedup) plus a sort of the C values.
 [[nodiscard]] std::vector<ViewId> distinct_ids(std::span<const ViewId> ids);
+
+/// Number of distinct values in `ids` — the class count of the level —
+/// without materializing the set. `table` is reusable open-addressing
+/// scratch (sized and cleared internally): hot per-round callers
+/// (views::Refiner's stabilization detection) pass a member vector to
+/// avoid a per-call allocation. Same probe as distinct_ids.
+[[nodiscard]] std::size_t count_distinct_ids(std::span<const ViewId> ids,
+                                             std::vector<ViewId>& table);
 
 /// Exact aggregate statistics of the DAG reachable from one view record
 /// (the record itself included). These determine the serialized message
@@ -173,6 +182,16 @@ class ViewRepo {
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
+  /// Pre-reserves record storage, the child pool and the interning index
+  /// for a refinement workload over a graph with n nodes and m edges,
+  /// sweeping about `depth_hint` levels — so deep sweeps never stall on a
+  /// mid-run rehash or reallocation. The estimate is sized for the
+  /// pre-stabilization phase (a few full levels of up to n records / 2m
+  /// child refs) plus a small per-level tail for the stable phase
+  /// (DESIGN.md §9), where a level adds only C ≪ n records. Reserving is
+  /// purely an optimization: over- or under-shooting never changes ids.
+  void reserve_for(std::size_t n, std::size_t m, int depth_hint);
+
   /// The stable signature hash the interning index keys on. Exposed so
   /// views::Refiner can precompute level hashes (in parallel) and hand them
   /// back through the batched intern path without rehashing.
@@ -220,6 +239,13 @@ class ViewRepo {
 
   /// Doubles the open-addressing index and re-places every occupied slot.
   void index_grow();
+
+  /// Rebuilds the index at `capacity` slots (a power of two >= current).
+  void index_rebuild(std::size_t capacity);
+
+  /// Grows the index once, up front, so `expected_used` occupied slots
+  /// stay under the 3/4 load factor without incremental rehashes.
+  void index_reserve(std::size_t expected_used);
 
   /// Marks v visited in the current epoch; returns false if already marked.
   [[nodiscard]] bool mark_visited(ViewId v) const;

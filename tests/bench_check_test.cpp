@@ -1,0 +1,127 @@
+// Tests for the bench regression guard (src/runner/bench_check.hpp):
+// JSON-lines parsing (last record per key wins, malformed lines skipped,
+// escaped labels), tolerance boundary semantics, match filters, and the
+// dropped/added bookkeeping for cells present in only one file.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/bench_check.hpp"
+
+namespace anole::runner {
+namespace {
+
+BenchTable parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_bench_records(in);
+}
+
+TEST(BenchCheck, ParsesRecordsAndLastWins) {
+  BenchTable t = parse(
+      "{\"scenario\": \"v2\", \"cell\": \"argmin/ring\", \"wall_ms\": 17.5, "
+      "\"n\": 16384}\n"
+      "{\"scenario\": \"v3\", \"cell\": \"stable-com/ring\", \"wall_ms\": "
+      "4.25}\n"
+      "not json at all\n"
+      "{\"scenario\": \"v2\", \"cell\": \"argmin/ring\", \"wall_ms\": 12.0}\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ((t[{"v2", "argmin/ring"}]), 12.0);  // append-only: last
+  EXPECT_DOUBLE_EQ((t[{"v3", "stable-com/ring"}]), 4.25);
+}
+
+TEST(BenchCheck, SkipsRecordsMissingFields) {
+  BenchTable t = parse(
+      "{\"scenario\": \"s1\", \"cell\": \"ring/n=1024\"}\n"          // no wall
+      "{\"cell\": \"x\", \"wall_ms\": 3.0}\n"                         // no scen
+      "{\"scenario\": \"s1\", \"wall_ms\": 3.0}\n");                  // no cell
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BenchCheck, UnescapesLabels) {
+  BenchTable t = parse(
+      "{\"scenario\": \"v2\", \"cell\": \"odd \\\"label\\\"\", "
+      "\"wall_ms\": 1.0}\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ((t[{"v2", "odd \"label\""}]), 1.0);
+}
+
+TEST(BenchCheck, ToleranceBoundary) {
+  BenchTable base{{{"v3", "a"}, 100.0}, {{"v3", "b"}, 100.0},
+                  {{"v3", "c"}, 100.0}};
+  BenchTable fresh{{{"v3", "a"}, 130.0},   // exactly at tolerance: ok
+                   {{"v3", "b"}, 130.01},  // just over: regressed
+                   {{"v3", "c"}, 10.0}};   // faster: ok
+  BenchComparison cmp = compare_bench(base, fresh, 30.0, {});
+  ASSERT_EQ(cmp.cells.size(), 3u);
+  EXPECT_FALSE(cmp.cells[0].regressed);
+  EXPECT_TRUE(cmp.cells[1].regressed);
+  EXPECT_FALSE(cmp.cells[2].regressed);
+  EXPECT_EQ(cmp.regressions, 1u);
+  EXPECT_FALSE(cmp.ok());
+}
+
+TEST(BenchCheck, MatchFilterRestrictsEnforcement) {
+  BenchTable base{{{"v2", "argmin/ring/ranked"}, 10.0},
+                  {{"v2", "argmin/ring/structural"}, 10.0},
+                  {{"v3", "stable-com/ring"}, 10.0}};
+  BenchTable fresh{{{"v2", "argmin/ring/ranked"}, 100.0},
+                   {{"v2", "argmin/ring/structural"}, 100.0},
+                   {{"v3", "stable-com/ring"}, 100.0}};
+  std::vector<std::string> match{"ranked", "stable"};
+  BenchComparison cmp = compare_bench(base, fresh, 30.0, match);
+  ASSERT_EQ(cmp.cells.size(), 3u);
+  // All three slowed 10x, but only the ranked + stable cells are enforced.
+  EXPECT_EQ(cmp.regressions, 2u);
+  for (const auto& cell : cmp.cells) {
+    bool tracked = cell.cell.find("ranked") != std::string::npos ||
+                   cell.cell.find("stable") != std::string::npos;
+    EXPECT_EQ(cell.enforced, tracked) << cell.cell;
+    EXPECT_EQ(cell.regressed, tracked) << cell.cell;
+  }
+}
+
+TEST(BenchCheck, DroppedEnforcedCellFailsAddedNeverDoes) {
+  BenchTable base{{{"v3", "stable-com/old"}, 10.0},
+                  {{"v2", "untracked/old"}, 10.0}};
+  BenchTable fresh{{{"v3", "stable-com/new"}, 10.0}};
+  std::vector<std::string> match{"stable"};
+  BenchComparison cmp = compare_bench(base, fresh, 30.0, match);
+  EXPECT_TRUE(cmp.cells.empty());
+  ASSERT_EQ(cmp.dropped.size(), 2u);
+  ASSERT_EQ(cmp.added.size(), 1u);
+  EXPECT_EQ(cmp.added[0], "v3/stable-com/new");
+  // The enforced (stable) cell vanished: lost coverage fails the guard.
+  // The untracked drop and the new cell are informational.
+  EXPECT_EQ(cmp.regressions, 1u);
+  EXPECT_FALSE(cmp.ok());
+
+  // With no filter, every dropped cell is enforced.
+  BenchComparison all = compare_bench(base, fresh, 30.0, {});
+  EXPECT_EQ(all.regressions, 2u);
+
+  // A pure addition (baseline subset of fresh) never fails.
+  BenchComparison grow = compare_bench(
+      BenchTable{{{"v3", "stable-com/new"}, 10.0}}, fresh, 30.0, {});
+  EXPECT_TRUE(grow.ok());
+}
+
+TEST(BenchCheck, ReportMentionsVerdict) {
+  BenchTable base{{{"v3", "a"}, 10.0}};
+  BenchTable fresh{{{"v3", "a"}, 100.0}};
+  BenchComparison cmp = compare_bench(base, fresh, 30.0, {});
+  std::ostringstream os;
+  print_bench_comparison(cmp, 30.0, os);
+  EXPECT_NE(os.str().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(os.str().find("1 cell(s) regressed"), std::string::npos);
+
+  BenchComparison ok_cmp = compare_bench(base, base, 30.0, {});
+  std::ostringstream ok_os;
+  print_bench_comparison(ok_cmp, 30.0, ok_os);
+  EXPECT_NE(ok_os.str().find("bench_check: OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anole::runner

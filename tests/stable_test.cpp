@@ -1,0 +1,493 @@
+// Tests for the stable-phase quotient advancer (DESIGN.md §9): once the
+// refinement partition stabilizes, a round interns exactly C views — and
+// nothing else about the pipeline changes. Pinned here:
+//   - quotient profiles are id-identical to the naive per-node intern
+//     reference (and to the quotient-disabled batched path) well past
+//     stabilization, on ring/random/clique/hairy/path graphs;
+//   - a stable round interns exactly C records (debug counter + repo size
+//     deltas, driving the Refiner directly);
+//   - run_full_info metrics and per-node view histories are byte-identical
+//     with the quotient forced on vs off, and to Engine::run;
+//   - pool invariance holds across the stable phase;
+//   - extend_profile rides the quotient without changing a level.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "families/hairy.hpp"
+#include "portgraph/builders.hpp"
+#include "sim/engine.hpp"
+#include "sim/full_info.hpp"
+#include "util/thread_pool.hpp"
+#include "views/profile.hpp"
+#include "views/refiner.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+
+/// Restores the process-wide quotient switch on scope exit, so a failing
+/// assertion never leaks a disabled fast path into other tests.
+class QuotientSwitch {
+ public:
+  explicit QuotientSwitch(bool enabled) { set_stable_quotient_enabled(enabled); }
+  ~QuotientSwitch() { set_stable_quotient_enabled(true); }
+};
+
+/// The pre-Refiner reference: one ViewRepo::intern per node per level.
+/// Same loop as refiner_test.cpp, kept deliberately naive.
+std::vector<std::vector<ViewId>> naive_levels(const PortGraph& g,
+                                              ViewRepo& repo, int depth) {
+  std::size_t n = g.n();
+  std::vector<std::vector<ViewId>> levels;
+  std::vector<ViewId> level(n);
+  for (std::size_t v = 0; v < n; ++v)
+    level[v] = repo.leaf(g.degree(static_cast<NodeId>(v)));
+  levels.push_back(level);
+  std::vector<ChildRef> kids;
+  for (int t = 0; t < depth; ++t) {
+    const std::vector<ViewId>& prev = levels.back();
+    std::vector<ViewId> next(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& row = g.neighbors(static_cast<NodeId>(v));
+      kids.clear();
+      for (const auto& he : row)
+        kids.emplace_back(he.rev_port,
+                          prev[static_cast<std::size_t>(he.neighbor)]);
+      next[v] = repo.intern(kids);
+    }
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+std::vector<PortGraph> stable_phase_graphs() {
+  std::vector<PortGraph> graphs;
+  graphs.push_back(portgraph::ring(48));
+  graphs.push_back(portgraph::ring(17));
+  graphs.push_back(portgraph::path(21));
+  graphs.push_back(portgraph::clique(6));
+  graphs.push_back(portgraph::grid(4, 6));
+  for (std::uint64_t seed = 1; seed <= 4; ++seed)
+    graphs.push_back(portgraph::random_connected(26, 22, seed));
+  graphs.push_back(families::hairy_ring({2, 0, 3, 1, 0, 2, 1}).graph);
+  return graphs;
+}
+
+TEST(StablePhase, QuotientProfilesIdenticalToNaiveFarPastStabilization) {
+  // min_depth far beyond any of these graphs' stabilization depth: most of
+  // the sweep runs through the frozen quotient, and every level must still
+  // be id-identical (as integers) to the per-node reference.
+  const int min_depth = 24;
+  for (const PortGraph& g : stable_phase_graphs()) {
+    ViewRepo repo_naive;
+    std::vector<std::vector<ViewId>> want =
+        naive_levels(g, repo_naive, min_depth);
+    ViewRepo repo_quot;
+    ViewProfile got = compute_profile(g, repo_quot, min_depth);
+    ASSERT_GE(got.computed_depth(), min_depth);
+    for (int t = 0; t <= min_depth; ++t)
+      EXPECT_EQ(got.ids[static_cast<std::size_t>(t)],
+                want[static_cast<std::size_t>(t)])
+          << "level " << t;
+    // Identical records in identical order on both repos.
+    EXPECT_EQ(repo_quot.size(), repo_naive.size());
+  }
+}
+
+TEST(StablePhase, QuotientOnOffProfilesIdentical) {
+  const int min_depth = 20;
+  for (const PortGraph& g : stable_phase_graphs()) {
+    ViewRepo repo_on;
+    ViewRepo repo_off;
+    ViewProfile on = compute_profile(g, repo_on, min_depth);
+    ViewProfile off;
+    {
+      QuotientSwitch off_switch(false);
+      off = compute_profile(g, repo_off, min_depth);
+    }
+    EXPECT_EQ(on.class_counts, off.class_counts);
+    EXPECT_EQ(on.feasible, off.feasible);
+    EXPECT_EQ(on.election_index, off.election_index);
+    ASSERT_EQ(on.ids.size(), off.ids.size());
+    for (std::size_t t = 0; t < on.ids.size(); ++t)
+      EXPECT_EQ(on.ids[t], off.ids[t]) << "level " << t;
+    EXPECT_EQ(repo_on.size(), repo_off.size());
+  }
+}
+
+TEST(StablePhase, KeepHistoryFalseMatchesFullHistoryAcrossStablePhase) {
+  // The deep-sweep mode skips even the O(n) scatter until the end; the
+  // final level and every class count must still match the full mode.
+  for (const PortGraph& g : stable_phase_graphs()) {
+    ViewRepo repo_full;
+    ViewRepo repo_last;
+    ViewProfile full = compute_profile(g, repo_full, 30);
+    ViewProfile last = compute_profile(
+        g, repo_last, ProfileOptions{.min_depth = 30, .keep_history = false});
+    EXPECT_EQ(last.class_counts, full.class_counts);
+    EXPECT_EQ(last.computed_depth(), full.computed_depth());
+    ASSERT_EQ(last.ids.size(), 1u);
+    EXPECT_EQ(last.last_level(), full.last_level());
+    EXPECT_EQ(repo_last.size(), repo_full.size());
+  }
+}
+
+TEST(StablePhase, StableRoundInternsExactlyCViews) {
+  // The debug-counter contract: past stabilization, one round = exactly C
+  // fresh records, pinned by repo size deltas while driving the Refiner by
+  // hand — with the quotient counter proving the fast path actually ran.
+  PortGraph g = portgraph::ring(64);
+  ViewRepo repo;
+  Refiner refiner(g, repo);
+  std::vector<ViewId> level;
+  std::vector<ViewId> next;
+  refiner.init_level(level);
+  int guard = 0;
+  while (!refiner.stable()) {
+    ASSERT_LT(guard++, 64) << "ring(64) never stabilized";
+    refiner.advance(level, next);
+    level.swap(next);
+  }
+  std::size_t classes = refiner.classes();
+  EXPECT_GE(classes, 1u);
+  std::uint64_t quotient_rounds = refiner.quotient_advances();
+  for (int round = 0; round < 16; ++round) {
+    std::size_t before = repo.size();
+    std::size_t got = refiner.advance(level, next);
+    level.swap(next);
+    EXPECT_EQ(got, classes);
+    EXPECT_EQ(repo.size(), before + classes) << "round " << round;
+  }
+  EXPECT_EQ(refiner.quotient_advances(), quotient_rounds + 16);
+
+  // advance_quotient without per-node scatter: same contract.
+  for (int round = 0; round < 8; ++round) {
+    std::size_t before = repo.size();
+    EXPECT_EQ(refiner.advance_quotient(), classes);
+    EXPECT_EQ(repo.size(), before + classes);
+  }
+  // The scattered level agrees with the class index.
+  refiner.scatter(level);
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(level[v], refiner.node_view(static_cast<NodeId>(v)));
+    EXPECT_EQ(level[v], refiner.class_view(refiner.class_of()[v]));
+  }
+}
+
+TEST(StablePhase, ForeignLevelDropsTheQuotientSafely) {
+  // Feeding advance() a level the refiner did not produce must not go
+  // through the frozen quotient — it re-detects from scratch and still
+  // produces the exact per-node result.
+  PortGraph g = portgraph::ring(24);
+  ViewRepo repo;
+  Refiner refiner(g, repo);
+  std::vector<ViewId> level;
+  std::vector<ViewId> next;
+  refiner.init_level(level);
+  for (int t = 0; t < 6; ++t) {
+    refiner.advance(level, next);
+    level.swap(next);
+  }
+  ASSERT_TRUE(refiner.stable());
+  // A fresh depth-0 level: same graph, new sequence. The refiner must not
+  // scatter stale class ids over it.
+  std::vector<ViewId> fresh(g.n());
+  for (std::size_t v = 0; v < g.n(); ++v)
+    fresh[v] = repo.leaf(g.degree(static_cast<NodeId>(v)));
+  std::vector<ViewId> out;
+  refiner.advance(fresh, out);
+  ViewRepo repo_ref;
+  std::vector<std::vector<ViewId>> want = naive_levels(g, repo_ref, 1);
+  ASSERT_EQ(out.size(), want[1].size());
+  for (std::size_t v = 0; v < g.n(); ++v)
+    EXPECT_EQ(repo.depth(out[v]), 1) << "node " << v;
+}
+
+TEST(StablePhase, ForeignLevelAgreeingAtRepresentativesStillFallsBack) {
+  // Adversarial misuse: a level that matches the frozen quotient at every
+  // representative node but differs elsewhere. matches_quotient verifies
+  // all n entries in every build mode, so this must take the full path
+  // and produce exactly the per-node result.
+  portgraph::PortGraph ring = portgraph::ring(24);
+  ViewRepo repo;
+  Refiner refiner(ring, repo);
+  std::vector<ViewId> level;
+  std::vector<ViewId> next;
+  refiner.init_level(level);
+  for (int t = 0; t < 6; ++t) {
+    refiner.advance(level, next);
+    level.swap(next);
+  }
+  ASSERT_TRUE(refiner.stable());
+  int depth = repo.depth(level[0]);
+
+  // Same-depth views of a different shape, interned into the same repo: a
+  // path's end node has degree 1, so its view can never equal a ring view.
+  portgraph::PortGraph path = portgraph::path(24);
+  ViewProfile pp = compute_profile(path, repo, depth);
+  // Representatives are each class's first node (class_of is numbered in
+  // first-occurrence order); poison the last non-representative.
+  std::span<const std::uint32_t> class_of = refiner.class_of();
+  std::vector<bool> seen(refiner.classes(), false);
+  std::vector<ViewId> mixed = level;  // agrees at every representative...
+  std::size_t poisoned = 0;
+  for (std::size_t v = 0; v < mixed.size(); ++v) {
+    if (!seen[class_of[v]]) {
+      seen[class_of[v]] = true;  // v is a representative — leave it alone
+      continue;
+    }
+    poisoned = v;  // keep scanning: take the last non-representative
+  }
+  ASSERT_GT(poisoned, 0u);
+  mixed[poisoned] = pp.view(depth, 0);  // ...but not at node `poisoned`
+  ASSERT_NE(mixed, level);
+
+  // The per-node reference over the same repo (interning is idempotent,
+  // so computing it first cannot change what advance() produces).
+  std::vector<ViewId> want(mixed.size());
+  std::vector<ChildRef> kids;
+  for (std::size_t v = 0; v < mixed.size(); ++v) {
+    const auto& row = ring.neighbors(static_cast<NodeId>(v));
+    kids.clear();
+    for (const auto& he : row)
+      kids.emplace_back(he.rev_port,
+                        mixed[static_cast<std::size_t>(he.neighbor)]);
+    want[v] = repo.intern(kids);
+  }
+  std::vector<ViewId> got;
+  std::size_t classes = refiner.advance(mixed, got);
+  EXPECT_EQ(got, want) << "poisoned node " << poisoned;
+  EXPECT_GT(classes, 1u);  // the poisoned node's neighbors split off
+}
+
+TEST(StablePhase, PoolInvariantAcrossStablePhase) {
+  PortGraph g = portgraph::random_connected(6000, 9000, 11);
+  util::ThreadPool pool(4);
+  ViewRepo repo_seq;
+  ViewRepo repo_par;
+  ViewProfile a =
+      compute_profile(g, repo_seq, ProfileOptions{.min_depth = 12});
+  ViewProfile b = compute_profile(
+      g, repo_par, ProfileOptions{.min_depth = 12, .pool = &pool});
+  EXPECT_EQ(a.class_counts, b.class_counts);
+  ASSERT_EQ(a.ids.size(), b.ids.size());
+  for (std::size_t t = 0; t < a.ids.size(); ++t)
+    EXPECT_EQ(a.ids[t], b.ids[t]) << "level " << t;
+}
+
+TEST(StablePhase, ExtendProfileRidesTheQuotient) {
+  for (bool keep_history : {true, false}) {
+    PortGraph g = portgraph::ring(40);
+    ViewRepo repo;
+    ViewRepo repo_ref;
+    ViewProfile p = compute_profile(
+        g, repo, ProfileOptions{.keep_history = keep_history});
+    int target = p.computed_depth() + 25;  // deep into the stable phase
+    extend_profile(g, repo, p, target);
+    EXPECT_EQ(p.computed_depth(), target);
+    std::vector<std::vector<ViewId>> want =
+        naive_levels(g, repo_ref, target);
+    EXPECT_EQ(p.last_level(), want.back());
+    EXPECT_EQ(p.class_counts.size(), want.size());
+    EXPECT_EQ(repo.size(), repo_ref.size());
+  }
+}
+
+TEST(StablePhase, ReserveForChangesNoIds) {
+  PortGraph g = portgraph::random_connected(40, 36, 5);
+  ViewRepo plain;
+  ViewRepo reserved;
+  reserved.reserve_for(g.n(), g.m(), 12);
+  ViewProfile a = compute_profile(g, plain, 12);
+  ViewProfile b = compute_profile(g, reserved, 12);
+  ASSERT_EQ(a.ids.size(), b.ids.size());
+  for (std::size_t t = 0; t < a.ids.size(); ++t)
+    EXPECT_EQ(a.ids[t], b.ids[t]);
+  EXPECT_EQ(plain.size(), reserved.size());
+}
+
+}  // namespace
+}  // namespace anole::views
+
+namespace anole::sim {
+namespace {
+
+using portgraph::PortGraph;
+using views::ViewId;
+
+/// COM for `target` rounds, recording every view seen (same program as
+/// refiner_test.cpp, here driven deep into the stable phase).
+class ComRecorder final : public FullInfoProgram {
+ public:
+  explicit ComRecorder(int target) : target_(target) {}
+  [[nodiscard]] bool has_output() const override {
+    return rounds_seen_ >= target_;
+  }
+  [[nodiscard]] std::vector<int> output() const override {
+    return {rounds_seen_};
+  }
+  const std::vector<ViewId>& history() const { return history_; }
+
+ protected:
+  void on_view(int rounds) override {
+    rounds_seen_ = rounds;
+    history_.push_back(view());
+  }
+
+ private:
+  int target_;
+  int rounds_seen_ = 0;
+  std::vector<ViewId> history_;
+};
+
+void expect_metrics_equal(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.decision_round, b.decision_round);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.message_count, b.message_count);
+  EXPECT_EQ(a.total_message_bits, b.total_message_bits);
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits);
+  EXPECT_EQ(a.bits_per_round, b.bits_per_round);
+  EXPECT_EQ(a.distinct_views_per_round, b.distinct_views_per_round);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+}
+
+struct ComRun {
+  RunMetrics metrics;
+  std::vector<std::vector<ViewId>> histories;
+};
+
+enum class Mode { kEngine, kQuotientOff, kQuotientOn };
+
+ComRun run_with(const PortGraph& g, int target, int max_rounds, bool meter,
+                Mode mode, util::ThreadPool* pool = nullptr) {
+  views::QuotientSwitch quotient(mode == Mode::kQuotientOn);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  std::vector<ComRecorder*> raw;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    auto p = std::make_unique<ComRecorder>(target);
+    raw.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  ComRun out;
+  out.metrics = mode == Mode::kEngine
+                    ? Engine(g, repo).run(programs, max_rounds, meter)
+                    : run_full_info(g, repo, programs, max_rounds, meter, pool);
+  for (ComRecorder* p : raw) out.histories.push_back(p->history());
+  return out;
+}
+
+TEST(StablePhaseCom, RunFullInfoByteIdenticalQuotientOnOffAndEngine) {
+  // Deep targets: most rounds run through the frozen quotient, and every
+  // metric — including every metered bit of every round — plus every
+  // node's view history must match the quotient-disabled batched path and
+  // the per-node engine exactly.
+  std::vector<PortGraph> graphs;
+  graphs.push_back(portgraph::ring(32));
+  graphs.push_back(portgraph::ring(9));
+  graphs.push_back(portgraph::clique(6));
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    graphs.push_back(portgraph::random_connected(18, 14, seed));
+  for (const PortGraph& g : graphs) {
+    for (bool meter : {false, true}) {
+      ComRun engine = run_with(g, 18, 20, meter, Mode::kEngine);
+      ComRun off = run_with(g, 18, 20, meter, Mode::kQuotientOff);
+      ComRun on = run_with(g, 18, 20, meter, Mode::kQuotientOn);
+      expect_metrics_equal(on.metrics, engine.metrics);
+      expect_metrics_equal(on.metrics, off.metrics);
+      EXPECT_EQ(on.histories, engine.histories);
+      EXPECT_EQ(on.histories, off.histories);
+    }
+  }
+}
+
+TEST(StablePhaseCom, StaggeredDecisionsAcrossTheStablePhase) {
+  // Nodes decide at different rounds deep in the stable phase: the
+  // shrinking undecided list must capture each output exactly once, with
+  // metrics byte-identical to the engine.
+  PortGraph g = portgraph::ring(20);
+  for (bool meter : {false, true}) {
+    RunMetrics want;
+    RunMetrics got;
+    for (bool batched : {false, true}) {
+      views::ViewRepo repo;
+      std::vector<std::unique_ptr<NodeProgram>> programs;
+      for (std::size_t v = 0; v < g.n(); ++v)
+        programs.push_back(
+            std::make_unique<ComRecorder>(static_cast<int>(v % 13)));
+      RunMetrics m = batched
+                         ? run_full_info(g, repo, programs, 20, meter)
+                         : Engine(g, repo).run(programs, 20, meter);
+      (batched ? got : want) = m;
+    }
+    expect_metrics_equal(got, want);
+    EXPECT_EQ(got.rounds, 12);
+    for (std::size_t v = 0; v < g.n(); ++v)
+      EXPECT_EQ(got.decision_round[v], static_cast<int>(v % 13));
+  }
+}
+
+TEST(StablePhaseCom, TimeoutInsideStablePhaseMatchesEngine) {
+  PortGraph g = portgraph::ring(16);
+  ComRun engine = run_with(g, 100, 24, true, Mode::kEngine);
+  ComRun on = run_with(g, 100, 24, true, Mode::kQuotientOn);
+  EXPECT_TRUE(on.metrics.timed_out);
+  expect_metrics_equal(on.metrics, engine.metrics);
+  EXPECT_EQ(on.histories, engine.histories);
+}
+
+TEST(StablePhaseCom, ThreadCountInvariantAcrossStablePhase) {
+  util::ThreadPool pool(4);
+  {
+    // Deep metered ring: stabilizes immediately, so almost every round is
+    // a quotient round (metering stays cheap — one distinct view).
+    PortGraph g = portgraph::ring(4096);
+    ComRun seq = run_with(g, 64, 66, true, Mode::kQuotientOn, nullptr);
+    ComRun par = run_with(g, 64, 66, true, Mode::kQuotientOn, &pool);
+    expect_metrics_equal(par.metrics, seq.metrics);
+    EXPECT_EQ(par.histories, seq.histories);
+  }
+  {
+    // Non-symmetric graph, unmetered (deep metered random levels price
+    // thousands of large DAGs — covered at small scale elsewhere).
+    PortGraph g = portgraph::random_connected(5000, 7500, 21);
+    ComRun seq = run_with(g, 10, 12, false, Mode::kQuotientOn, nullptr);
+    ComRun par = run_with(g, 10, 12, false, Mode::kQuotientOn, &pool);
+    expect_metrics_equal(par.metrics, seq.metrics);
+    EXPECT_EQ(par.histories, seq.histories);
+  }
+}
+
+TEST(StablePhaseCom, DeepRingRunsThroughTheQuotient) {
+  // 512 rounds on a 256-ring: the quotient is what makes this cheap. The
+  // exact metering identities of the symmetric ring pin the stable-phase
+  // meter: one distinct view per round, every node's message priced as
+  // size x degree.
+  constexpr std::size_t kN = 256;
+  constexpr int kRounds = 512;
+  PortGraph g = portgraph::ring(kN);
+  views::ViewRepo repo;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < kN; ++v)
+    programs.push_back(std::make_unique<ComRecorder>(kRounds));
+  RunMetrics m = run_full_info(g, repo, programs, kRounds + 1, true);
+  EXPECT_FALSE(m.timed_out);
+  EXPECT_EQ(m.rounds, kRounds);
+  EXPECT_EQ(m.message_count, 2 * kN * kRounds);
+  ASSERT_EQ(m.distinct_views_per_round.size(),
+            static_cast<std::size_t>(kRounds));
+  for (std::size_t d : m.distinct_views_per_round) EXPECT_EQ(d, 1u);
+  // One record per level: the stable phase interned exactly C = 1 views
+  // per round.
+  EXPECT_EQ(repo.size(), static_cast<std::size_t>(kRounds) + 1);
+}
+
+}  // namespace
+}  // namespace anole::sim

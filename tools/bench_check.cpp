@@ -1,0 +1,128 @@
+// bench_check — perf regression guard over --bench-out records.
+//
+// Compares a fresh bench-out file (JSON lines appended by
+// `anole_bench --bench-out FILE`) against a committed baseline and fails
+// when a tracked cell's wall time regressed beyond the tolerance. CI runs
+// it after the release-bench sweeps, enforcing the ranked (V2) and
+// stable-phase (V3) cells against the repo-root baselines — see
+// src/runner/bench_check.hpp for the exact semantics.
+//
+// Usage:
+//   bench_check --baseline FILE --fresh FILE [--tolerance PCT]
+//               [--match SUBSTR ...]
+//
+// Multiple --baseline / --fresh flags merge their records (later files
+// win on key collisions, matching the append-only channel). Exit status:
+// 0 no regression, 1 regression(s), 2 usage/IO errors.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/bench_check.hpp"
+
+using namespace anole;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: bench_check --baseline FILE --fresh FILE\n"
+        "                   [--tolerance PCT] [--match SUBSTR ...]\n"
+        "\n"
+        "  --baseline   committed bench-out file(s) to compare against\n"
+        "  --fresh      freshly measured bench-out file(s)\n"
+        "  --tolerance  allowed relative slowdown in percent (default 30)\n"
+        "  --match      only enforce cells whose scenario/cell label\n"
+        "               contains SUBSTR (repeatable; default: all)\n";
+  return code;
+}
+
+bool read_into(const std::string& path, runner::BenchTable& table) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_check: cannot open " << path << '\n';
+    return false;
+  }
+  runner::BenchTable t = runner::read_bench_records(in);
+  for (auto& [key, ms] : t) table[key] = ms;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> baseline_paths;
+  std::vector<std::string> fresh_paths;
+  std::vector<std::string> match;
+  double tolerance = 30.0;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "missing value for " << arg << '\n';
+        std::exit(usage(std::cerr, 2));
+      }
+      return args[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_paths.push_back(next());
+    } else if (arg == "--fresh") {
+      fresh_paths.push_back(next());
+    } else if (arg == "--match") {
+      match.push_back(next());
+    } else if (arg == "--tolerance") {
+      const std::string& value = next();
+      try {
+        std::size_t pos = 0;
+        tolerance = std::stod(value, &pos);
+        if (pos != value.size() || tolerance < 0.0)
+          throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        std::cerr << "--tolerance expects a non-negative percent, got '"
+                  << value << "'\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return usage(std::cerr, 2);
+    }
+  }
+  if (baseline_paths.empty() || fresh_paths.empty()) {
+    std::cerr << "need at least one --baseline and one --fresh file\n";
+    return usage(std::cerr, 2);
+  }
+
+  runner::BenchTable baseline;
+  runner::BenchTable fresh;
+  for (const std::string& path : baseline_paths)
+    if (!read_into(path, baseline)) return 2;
+  for (const std::string& path : fresh_paths)
+    if (!read_into(path, fresh)) return 2;
+  // A guard that guards nothing must say so, not pass: an empty table
+  // means a corrupted/emptied file (records are skipped silently when
+  // fields are missing), and zero enforced cells means the --match
+  // filters no longer select anything.
+  if (baseline.empty() || fresh.empty()) {
+    std::cerr << "bench_check: no bench records parsed from the "
+              << (baseline.empty() ? "baseline" : "fresh") << " file(s)\n";
+    return 2;
+  }
+
+  runner::BenchComparison cmp =
+      runner::compare_bench(baseline, fresh, tolerance, match);
+  runner::print_bench_comparison(cmp, tolerance, std::cout);
+  std::size_t enforced = 0;
+  for (const auto& cell : cmp.cells)
+    if (cell.enforced) ++enforced;
+  if (enforced == 0 && cmp.regressions == 0) {
+    std::cerr << "bench_check: no enforced cells — the match filters "
+                 "selected nothing to check\n";
+    return 2;
+  }
+  return cmp.ok() ? 0 : 1;
+}
