@@ -58,10 +58,33 @@ Trie build_deep(ViewRepo& repo, Labeler& labeler, std::vector<ViewId>& s) {
   // index and subview. Profile views carry canonical ranks, so this sort
   // (and the subview compare below) is integer comparison, not a DAG walk
   // (DESIGN.md §8) — V2's trie-sort cells benchmark exactly this kernel.
+  // Ranks are extracted ONCE under a seqlock snapshot and the sort runs
+  // on plain (rank, id) pairs; any unranked view (or a renumber racing
+  // the scan — DESIGN.md §10) drops to the compare() path, which shields
+  // itself per pair.
   std::vector<ViewId> sorted = s;
-  std::sort(sorted.begin(), sorted.end(), [&repo](ViewId a, ViewId b) {
-    return repo.compare(a, b) == std::strong_ordering::less;
-  });
+  bool by_rank = false;
+  {
+    ViewRepo::RankReader ranks(repo);
+    std::uint64_t token = repo.rank_snapshot();
+    std::vector<std::pair<std::int32_t, ViewId>> keyed;
+    keyed.reserve(s.size());
+    for (ViewId b : s) {
+      std::int32_t r = ranks.rank(b);
+      if (r == views::kUnranked) break;
+      keyed.emplace_back(r, b);
+    }
+    if (keyed.size() == s.size() && repo.rank_snapshot_valid(token)) {
+      std::sort(keyed.begin(), keyed.end());
+      for (std::size_t i = 0; i < keyed.size(); ++i)
+        sorted[i] = keyed[i].second;
+      by_rank = true;
+    }
+  }
+  if (!by_rank)
+    std::sort(sorted.begin(), sorted.end(), [&repo](ViewId a, ViewId b) {
+      return repo.compare(a, b) == std::strong_ordering::less;
+    });
   ViewId u = sorted[0], v = sorted[1];
   std::span<const views::ChildRef> cu = repo.children(u);
   std::span<const views::ChildRef> cv = repo.children(v);

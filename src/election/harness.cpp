@@ -38,7 +38,7 @@ ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages) {
   ANOLE_CHECK_MSG(ctx.profile.keep_history,
                   "run_min_time needs a context with level history");
   advice::MinTimeAdvice adv =
-      advice::compute_advice(ctx.g, ctx.repo, ctx.profile);
+      advice::compute_advice(ctx.g, ctx.repo(), ctx.profile);
   coding::BitString bits = adv.to_bits();
   // Round-trip through the binary string: the nodes run on what the oracle
   // actually transmits.
@@ -48,7 +48,7 @@ ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages) {
   ProgramList programs;
   for (std::size_t v = 0; v < ctx.g.n(); ++v)
     programs.push_back(std::make_unique<ElectProgram>(decoded));
-  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
                                  ctx.phi() + 1, meter_messages);
   run.advice_bits = bits.size();
   run.phi = ctx.phi();
@@ -73,7 +73,7 @@ ElectionRun run_large_time(ElectionContext& ctx, LargeTimeVariant variant,
   ProgramList programs;
   for (std::size_t v = 0; v < ctx.g.n(); ++v)
     programs.push_back(std::make_unique<GenericProgram>(p));
-  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
                                  diameter + static_cast<int>(p) + 2);
   run.advice_bits = bits.size();
   run.phi = ctx.phi();
@@ -98,7 +98,7 @@ ElectionRun run_map(ElectionContext& ctx) {
   ProgramList programs;
   for (std::size_t v = 0; v < ctx.g.n(); ++v)
     programs.push_back(std::make_unique<MapProgram>(state));
-  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
                                  ctx.phi() + 1);
   run.advice_bits = bits.size();
   run.phi = ctx.phi();
@@ -124,7 +124,7 @@ ElectionRun run_remark(ElectionContext& ctx) {
     programs.push_back(std::make_unique<RemarkProgram>(
         RemarkProgram::from_advice(bits)));
   }
-  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
                                  diameter + static_cast<int>(phi) + 1);
   run.advice_bits = bits.size();
   run.phi = ctx.phi();
@@ -146,7 +146,7 @@ ElectionRun run_size_only(ElectionContext& ctx) {
   ProgramList programs;
   for (std::size_t v = 0; v < ctx.g.n(); ++v)
     programs.push_back(std::make_unique<GenericProgram>(p));
-  ElectionRun run = run_programs(ctx.g, ctx.repo, std::move(programs),
+  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
                                  diameter + static_cast<int>(p) + 2);
   run.advice_bits = bits.size();
   run.phi = ctx.phi();

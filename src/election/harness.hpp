@@ -13,10 +13,12 @@
 // structure and the canonical view order, never on repo pre-state.
 
 #include <cstdint>
+#include <memory>
 
 #include "election/generic.hpp"
 #include "election/verify.hpp"
 #include "sim/engine.hpp"
+#include "util/thread_pool.hpp"
 #include "views/profile.hpp"
 
 namespace anole::election {
@@ -25,26 +27,50 @@ namespace anole::election {
 /// same graph: one repo, one profile (full history by default, so
 /// ComputeAdvice's level walks work), one diameter computation (memoized
 /// inside PortGraph). Borrow semantics: the graph must outlive the
-/// context. Not thread-safe — one context per scenario cell.
+/// context.
+///
+/// By default a context owns a private ViewRepo. A sweep can instead pass
+/// one shared repo (and optionally a thread pool for the parallel intern
+/// stage): ViewRepo is thread-safe, structurally equal views interned for
+/// different graphs share records, and the rank-merge machinery (DESIGN.md
+/// §8) keeps the canonical order coherent across graphs — every run's
+/// verdict, rounds and advice bits depend only on the graph structure and
+/// that order, never on repo pre-state. The context itself (its profile,
+/// its memoized diameter) is still single-threaded — one context per cell.
 struct ElectionContext {
   /// keep_history = false retains only the deepest level (use when no
   /// algorithm needing level history — run_min_time — will run).
+  /// `shared_repo == nullptr` makes the context own a private repo; a
+  /// non-null repo must outlive the context. `pool` parallelizes the
+  /// profile's refinement (gather + intern), nothing else.
   explicit ElectionContext(const portgraph::PortGraph& graph,
-                           bool keep_history = true)
+                           bool keep_history = true,
+                           views::ViewRepo* shared_repo = nullptr,
+                           util::ThreadPool* pool = nullptr)
       : g(graph),
+        owned_repo_(shared_repo == nullptr ? std::make_unique<views::ViewRepo>()
+                                           : nullptr),
+        repo_(shared_repo != nullptr ? shared_repo : owned_repo_.get()),
         profile(views::compute_profile(
-            graph, repo,
+            graph, *repo_,
             views::ProfileOptions{.min_depth = keep_history ? 1 : 0,
-                                  .keep_history = keep_history})) {}
+                                  .keep_history = keep_history,
+                                  .pool = pool})) {}
   ElectionContext(const ElectionContext&) = delete;
   ElectionContext& operator=(const ElectionContext&) = delete;
 
   [[nodiscard]] bool feasible() const { return profile.feasible; }
   [[nodiscard]] int phi() const { return profile.election_index; }
   [[nodiscard]] int diameter() const { return g.diameter(); }
+  [[nodiscard]] views::ViewRepo& repo() const { return *repo_; }
 
   const portgraph::PortGraph& g;
-  views::ViewRepo repo;
+
+ private:
+  std::unique_ptr<views::ViewRepo> owned_repo_;  ///< null when sharing
+  views::ViewRepo* repo_;  ///< the repo every algorithm interns through
+
+ public:
   views::ViewProfile profile;
 };
 

@@ -67,11 +67,13 @@ ScenarioOutcome ExperimentRunner::run(const Scenario& scenario) const {
       execute_cell(scenario, scenario.cells[i], outcome.cells[i]);
   } else {
     util::ThreadPool pool(options_.threads);
-    for (std::size_t i = 0; i < scenario.cells.size(); ++i)
-      pool.submit([&scenario, &outcome, i] {
-        execute_cell(scenario, scenario.cells[i], outcome.cells[i]);
-      });
-    pool.wait_idle();
+    pool.parallel_for(0, scenario.cells.size(), /*grain=*/1,
+                      [&scenario, &outcome](std::size_t begin,
+                                            std::size_t end, std::size_t) {
+                        for (std::size_t i = begin; i < end; ++i)
+                          execute_cell(scenario, scenario.cells[i],
+                                       outcome.cells[i]);
+                      });
   }
   outcome.wall_ms = ms_since(start);
   return outcome;

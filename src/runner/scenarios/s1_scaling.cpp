@@ -54,25 +54,50 @@ class ComForRounds final : public sim::FullInfoProgram {
   bool done_ = false;
 };
 
-std::vector<Row> s1_cell(const std::string& family,
-                         const portgraph::PortGraph& g, int rounds) {
-  views::ViewRepo repo;
+Row s1_row(const std::string& family, const portgraph::PortGraph& g,
+           int rounds, views::ViewRepo& repo, util::ThreadPool* pool) {
   std::vector<std::unique_ptr<sim::NodeProgram>> programs;
   programs.reserve(g.n());
   for (std::size_t v = 0; v < g.n(); ++v)
     programs.push_back(std::make_unique<ComForRounds>(rounds));
+  sim::RunMetrics m = sim::run_full_info(g, repo, programs, rounds + 1,
+                                         /*meter_messages=*/true, pool);
+  std::size_t last_distinct = m.distinct_views_per_round.empty()
+                                  ? 0
+                                  : m.distinct_views_per_round.back();
+  return Row{family, g.n(), m.rounds, m.total_message_bits,
+             m.max_message_bits, last_distinct, repo.size()};
+}
+
+std::vector<Row> s1_cell(const std::string& family,
+                         const portgraph::PortGraph& g, int rounds) {
+  views::ViewRepo repo;
   // Batched refinement per round (DESIGN.md §7); the big cells also get
   // intra-cell parallelism for the gather/hash phase. All reported values
   // are pool-independent, so the table stays byte-identical.
   std::unique_ptr<util::ThreadPool> pool =
       runner::scenarios::intra_cell_pool(g.n());
-  sim::RunMetrics m = sim::run_full_info(g, repo, programs, rounds + 1,
-                                         /*meter_messages=*/true, pool.get());
-  std::size_t last_distinct = m.distinct_views_per_round.empty()
-                                  ? 0
-                                  : m.distinct_views_per_round.back();
-  return {Row{family, g.n(), m.rounds, m.total_message_bits,
-              m.max_message_bits, last_distinct, repo.size()}};
+  return {s1_row(family, g, rounds, repo, pool.get())};
+}
+
+// Shared-repo sweep (DESIGN.md §10): every graph in the cell interns into
+// ONE concurrent ViewRepo through one pool. The graphs run sequentially
+// inside the cell so the cumulative "repo records" column is meaningful —
+// the record SET (and hence size()) is schedule-independent even though
+// raw ids are not, so the whole row block stays byte-identical across
+// --threads.
+std::vector<Row> s1_shared_cell() {
+  views::ViewRepo repo;
+  std::unique_ptr<util::ThreadPool> pool =
+      runner::scenarios::intra_cell_pool(16384);
+  std::vector<Row> rows;
+  for (std::size_t n : {1024, 4096, 16384})
+    rows.push_back(s1_row("ring", portgraph::ring(n), 32, repo, pool.get()));
+  for (std::size_t n : {64, 256, 1024})
+    rows.push_back(s1_row("random",
+                          portgraph::random_connected(n, 2 * n, 9), 8, repo,
+                          pool.get()));
+  return rows;
 }
 
 runner::Scenario make_s1() {
@@ -90,6 +115,15 @@ runner::Scenario make_s1() {
       "is tracked via --bench-out (BENCH_scale.json).",
       {"family", "n", "rounds", "total bits", "max msg bits",
        "distinct views", "repo records"}});
+  s.tables.push_back(runner::TableSpec{
+      "S1shared",
+      "One concurrent ViewRepo shared by every graph of the sweep "
+      "(DESIGN.md §10): structurally equal views interned for different "
+      "graphs share records, so \"repo records\" is cumulative and grows "
+      "sublinearly in the number of graphs. Values are byte-identical "
+      "across --threads (the record set is schedule-independent).",
+      {"family", "n", "rounds", "total bits", "max msg bits",
+       "distinct views", "repo records"}});
 
   auto add = [&s](std::string family, std::size_t n, int rounds,
                   std::function<portgraph::PortGraph()> build) {
@@ -98,16 +132,18 @@ runner::Scenario make_s1() {
                  return s1_cell(family, build(), rounds);
                });
   };
-  // The 65536 cell rides the stable-phase quotient (DESIGN.md §9): after
+  // The 65536+ cells ride the stable-phase quotient (DESIGN.md §9): after
   // the ring partition freezes, each metered round interns and prices one
-  // view instead of re-hashing all n nodes.
-  for (std::size_t n : {1024, 4096, 16384, 65536})
+  // view instead of re-hashing all n nodes. The 2^20 cell exists because
+  // the sharded concurrent repo (DESIGN.md §10) made it affordable.
+  for (std::size_t n : {1024, 4096, 16384, 65536, 1048576})
     add("ring", n, 32, [n] { return portgraph::ring(n); });
   for (std::size_t n : {32, 64, 128})
     add("clique", n, 6, [n] { return portgraph::clique(n); });
   for (std::size_t n : {64, 256, 1024})
     add("random", n, 8,
         [n] { return portgraph::random_connected(n, 2 * n, 9); });
+  s.add_cell("shared/sweep", 1, [] { return s1_shared_cell(); });
   return s;
 }
 

@@ -49,6 +49,34 @@ std::vector<Row> v1_cell(const std::string& family,
               repo.size()}};
 }
 
+// Thread-scaling cell (DESIGN.md §10): a fixed sweep of graphs refined
+// into ONE shared concurrent ViewRepo with an explicit K-worker pool.
+// Every reported value is identical across K — the table IS the flatness
+// check — while the per-cell wall time rides --bench-out, giving CI a
+// thread-scaling curve (BENCH_refine.json) next to the serial cells.
+std::vector<Row> scale_cell(std::size_t threads) {
+  views::ViewRepo repo;
+  util::ThreadPool pool(threads);
+  std::size_t levels = 0;
+  std::size_t classes = 0;
+  std::size_t graphs = 0;
+  auto sweep = [&](const portgraph::PortGraph& g, int min_depth) {
+    views::ViewProfile p = views::compute_profile(
+        g, repo,
+        views::ProfileOptions{.min_depth = min_depth,
+                              .keep_history = false,
+                              .pool = &pool});
+    levels += static_cast<std::size_t>(p.computed_depth());
+    classes += p.class_counts.back();
+    ++graphs;
+  };
+  sweep(portgraph::ring(32768), 16);
+  sweep(portgraph::random_connected(16384, 32768, 9), 0);
+  sweep(portgraph::random_connected(16384, 32768, 11), 0);
+  sweep(portgraph::clique(512), 2);
+  return {Row{threads, graphs, levels, classes, repo.size()}};
+}
+
 runner::Scenario make_v1() {
   runner::Scenario s;
   s.name = "v1";
@@ -64,6 +92,15 @@ runner::Scenario make_v1() {
       "deterministic and thread-count independent. Wall-clock throughput "
       "is tracked via --bench-out.",
       {"family", "n", "rounds", "classes", "phi", "repo records"}});
+  s.tables.push_back(runner::TableSpec{
+      "V1scale",
+      "Thread-scaling of the shared-repo refinement sweep (DESIGN.md §10): "
+      "the same four graphs refined into one concurrent ViewRepo with a "
+      "K-worker pool, K = 1/2/4/8. Every value must be identical row to "
+      "row — raw ids differ across schedules, the partition, class counts "
+      "and record set do not. Wall-clock per K rides --bench-out "
+      "(BENCH_refine.json, guarded by bench_check).",
+      {"threads", "graphs", "levels", "classes", "repo records"}});
 
   auto add = [&s](std::string label, std::string family, int min_depth,
                   std::function<portgraph::PortGraph()> build) {
@@ -78,6 +115,9 @@ runner::Scenario make_v1() {
   add("random/n=16384", "random", 0,
       [] { return portgraph::random_connected(16384, 32768, 9); });
   add("clique/n=512", "clique", 2, [] { return portgraph::clique(512); });
+  for (std::size_t k : {1, 2, 4, 8})
+    s.add_cell("scale/threads=" + std::to_string(k), 1,
+               [k] { return scale_cell(k); });
   return s;
 }
 

@@ -145,6 +145,10 @@ runner::Scenario make_v3() {
   add_profile("ring", 4096, 4096, [] { return portgraph::ring(4096); });
   add_profile("ring", 16384, 8192, [] { return portgraph::ring(16384); });
   add_profile("ring", 65536, 16384, [] { return portgraph::ring(65536); });
+  // 2^20 nodes: the early O(n) levels run through the sharded concurrent
+  // repo's parallel intern (DESIGN.md §10); past stabilization each level
+  // interns a single record.
+  add_profile("ring", 1048576, 4096, [] { return portgraph::ring(1048576); });
   add_com("ring", 4096, 2048, [] { return portgraph::ring(4096); });
   add_com("ring", 16384, 512, [] { return portgraph::ring(16384); });
   return s;

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -79,6 +80,30 @@ void ThreadPool::worker_loop() {
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain, const RangeFn& fn) {
+  ANOLE_CHECK(fn != nullptr);
+  if (begin >= end) return;
+  std::size_t range = end - begin;
+  if (grain == 0) grain = 1;
+  // At least `grain` indices per chunk, at most size()*4 chunks: enough
+  // slack for dynamic balancing without flooding the queue with
+  // micro-tasks.
+  std::size_t per_chunk = std::max(grain, (range + size() * 4 - 1) /
+                                              (size() * 4));
+  std::size_t chunks = (range + per_chunk - 1) / per_chunk;
+  if (chunks <= 1) {
+    fn(begin, end, 0);
+    return;
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t lo = begin + c * per_chunk;
+    std::size_t hi = std::min(end, lo + per_chunk);
+    submit([&fn, lo, hi, c] { fn(lo, hi, c); });
+  }
+  wait_idle();  // rethrows the first chunk exception, if any
 }
 
 void ThreadPool::parallel_for(std::size_t count,

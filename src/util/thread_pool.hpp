@@ -39,6 +39,22 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// A contiguous chunk of a parallel_for range.
+  using RangeFn =
+      std::function<void(std::size_t begin, std::size_t end,
+                         std::size_t chunk)>;
+
+  /// Splits [begin, end) into chunks of at least `grain` indices (at most
+  /// 4 per worker, so a slow chunk can't serialize the tail), runs
+  /// fn(chunk_begin, chunk_end, chunk_index) across the pool and waits.
+  /// The chunk index is dense in [0, chunk_count) — callers keeping
+  /// per-chunk state (e.g. one ViewRepo::InternArena per chunk) key on it.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  /// Must not be called from inside a pool task (wait_idle would deadlock
+  /// on the caller's own in-flight entry).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const RangeFn& fn);
+
   /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
   /// Exceptions thrown by fn propagate to the caller (first one wins).
   static void parallel_for(std::size_t count,

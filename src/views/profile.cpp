@@ -103,21 +103,35 @@ portgraph::NodeId argmin_view(const ViewRepo& repo,
   // Ranked fast path: rank order is the canonical order, so a single O(n)
   // min-rank scan replaces the dedup sort + compare loop — no distinct_ids
   // sort, no structural walks. The strict `<` keeps the lowest-numbered
-  // witness of the canonical minimum, exactly like the fallback.
-  {
-    std::int32_t best_rank = repo.rank(level[0]);
+  // witness of the canonical minimum, exactly like the fallback. The scan
+  // reads many ranks that must be mutually consistent, so it runs under a
+  // rank seqlock snapshot: if a concurrent assign_ranks renumbered
+  // mid-scan the snapshot fails to validate and the scan retries, then
+  // drops to the structural fallback (always correct — compare() shields
+  // itself per pair).
+  ViewRepo::RankReader ranks(repo);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::uint64_t token = repo.rank_snapshot();
+    ViewId best_id = level[0];
+    std::int32_t best_rank = ranks.rank(best_id);
     std::size_t best_v = 0;
     bool all_ranked = best_rank != kUnranked;
     for (std::size_t v = 1; all_ranked && v < level.size(); ++v) {
-      std::int32_t r = repo.rank(level[v]);
+      // Repeats of the current minimum (ALL of a symmetric level) skip
+      // the rank load; the strict `<` below never updates on them anyway.
+      if (level[v] == best_id) continue;
+      std::int32_t r = ranks.rank(level[v]);
       if (r == kUnranked)
         all_ranked = false;
       else if (r < best_rank) {
         best_rank = r;
         best_v = v;
+        best_id = level[v];
       }
     }
-    if (all_ranked) return static_cast<portgraph::NodeId>(best_v);
+    if (!all_ranked) break;
+    if (repo.rank_snapshot_valid(token))
+      return static_cast<portgraph::NodeId>(best_v);
   }
   // Structural fallback (some view unranked): a level usually has far
   // fewer distinct ids than entries (the class count of the refinement

@@ -18,25 +18,22 @@ constexpr std::size_t kMinParallelNodes = 2048;
 /// scenario cells construct Refiners from runner worker threads.
 std::atomic<bool> g_quotient_enabled{true};
 
-/// Runs fn(begin, end) over [0, n) — chunked across `pool` when it pays,
-/// inline otherwise. fn must only touch per-node state in its range.
+/// True when a level of n nodes is worth chunking across `pool`.
+bool worth_parallel(util::ThreadPool* pool, std::size_t n) {
+  return pool != nullptr && pool->size() > 1 && n >= kMinParallelNodes;
+}
+
+/// Runs fn(begin, end, chunk) over [0, n) — through the pool's
+/// parallel_for when it pays, inline (as chunk 0) otherwise. fn must only
+/// touch per-node state in its range, plus per-chunk state keyed on the
+/// chunk index.
 template <typename Fn>
 void for_node_ranges(util::ThreadPool* pool, std::size_t n, const Fn& fn) {
-  if (pool == nullptr || pool->size() <= 1 || n < kMinParallelNodes) {
-    fn(0, n);
+  if (!worth_parallel(pool, n)) {
+    fn(std::size_t{0}, n, std::size_t{0});
     return;
   }
-  // A few chunks per worker evens out load without flooding the queue.
-  std::size_t chunks = std::min(pool->size() * 4,
-                                (n + kMinParallelNodes - 1) / kMinParallelNodes);
-  std::size_t per_chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    std::size_t begin = c * per_chunk;
-    std::size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    pool->submit([&fn, begin, end] { fn(begin, end); });
-  }
-  pool->wait_idle();
+  pool->parallel_for(0, n, kMinParallelNodes, fn);
 }
 
 std::size_t table_capacity_for(std::size_t n) {
@@ -87,6 +84,11 @@ std::size_t Refiner::init_level(std::vector<ViewId>& level) {
 
 std::size_t Refiner::count_distinct(const std::vector<ViewId>& level) {
   return count_distinct_ids(level, id_table_);
+}
+
+void Refiner::ensure_arenas(std::size_t count) {
+  while (arenas_.size() < count)
+    arenas_.push_back(std::make_unique<ViewRepo::InternArena>(*repo_));
 }
 
 bool Refiner::matches_quotient(const std::vector<ViewId>& prev) const {
@@ -223,7 +225,8 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
 
   // Gather + hash: disjoint arena ranges per node, so the phase is safe to
   // chunk across the pool and its result is independent of thread count.
-  for_node_ranges(pool_, n, [&](std::size_t begin, std::size_t end) {
+  for_node_ranges(pool_, n, [&](std::size_t begin, std::size_t end,
+                                std::size_t /*chunk*/) {
     for (std::size_t v = begin; v < end; ++v) {
       const auto& row = g.neighbors(static_cast<NodeId>(v));
       ChildRef* sig = arena_.data() + offset_[v];
@@ -235,43 +238,67 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
     }
   });
 
-  // Dedup + intern, sequential in node order: ids are assigned exactly as
-  // the per-node intern loop would assign them (determinism contract).
-  table_.assign(table_capacity_for(n), Slot{});
-  distinct_.clear();
-  std::size_t mask = table_.size() - 1;
-  for (std::size_t v = 0; v < n; ++v) {
-    std::uint64_t h = hash_[v];
-    std::span<const ChildRef> sig(arena_.data() + offset_[v],
-                                  offset_[v + 1] - offset_[v]);
-    std::size_t i = h & mask;
-    for (;;) {
-      Slot& slot = table_[i];
-      if (slot.id == kInvalidView) {
-        ViewId id = repo_->intern_hashed(static_cast<int>(sig.size()), depth,
-                                         sig, h);
-        slot = Slot{h, static_cast<std::uint32_t>(v), id};
-        distinct_.push_back(id);
-        next[v] = id;
-        break;
-      }
-      if (slot.hash == h) {
-        std::span<const ChildRef> seen(
-            arena_.data() + offset_[slot.node],
-            offset_[slot.node + 1] - offset_[slot.node]);
-        if (seen.size() == sig.size() &&
-            std::equal(seen.begin(), seen.end(), sig.begin())) {
-          next[v] = slot.id;
+  if (!worth_parallel(pool_, n)) {
+    // Dedup + intern, sequential in node order: ids are assigned exactly
+    // as the per-node intern loop would assign them (the serial
+    // determinism contract). The level-local table resolves duplicate
+    // nodes without touching the repo's sharded index.
+    table_.assign(table_capacity_for(n), Slot{});
+    distinct_.clear();
+    std::size_t mask = table_.size() - 1;
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t h = hash_[v];
+      std::span<const ChildRef> sig(arena_.data() + offset_[v],
+                                    offset_[v + 1] - offset_[v]);
+      std::size_t i = h & mask;
+      for (;;) {
+        Slot& slot = table_[i];
+        if (slot.id == kInvalidView) {
+          ViewId id = repo_->intern_hashed(static_cast<int>(sig.size()), depth,
+                                           sig, h);
+          slot = Slot{h, static_cast<std::uint32_t>(v), id};
+          distinct_.push_back(id);
+          next[v] = id;
           break;
         }
+        if (slot.hash == h) {
+          std::span<const ChildRef> seen(
+              arena_.data() + offset_[slot.node],
+              offset_[slot.node + 1] - offset_[slot.node]);
+          if (seen.size() == sig.size() &&
+              std::equal(seen.begin(), seen.end(), sig.begin())) {
+            next[v] = slot.id;
+            break;
+          }
+        }
+        i = (i + 1) & mask;
       }
-      i = (i + 1) & mask;
     }
+    // Fresh records get ascending ids already, but a signature may match a
+    // record interned before this refinement (e.g. a second run over the
+    // same repo) — sort so distinct() is always ascending.
+    std::sort(distinct_.begin(), distinct_.end());
+  } else {
+    // Concurrent dedup + intern: the repo's sharded index IS the dedup
+    // table. Each chunk interns its node range straight into the repo
+    // through its own persistent arena; the winner of each fresh
+    // signature's publish race decides the raw id, so ids depend on the
+    // schedule — the record set, the partition and everything derived
+    // from ranks do not (DESIGN.md §10).
+    ensure_arenas(pool_->size() * 4);
+    pool_->parallel_for(
+        0, n, kMinParallelNodes,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          ViewRepo::InternArena& arena = *arenas_[chunk];
+          for (std::size_t v = begin; v < end; ++v) {
+            std::span<const ChildRef> sig(arena_.data() + offset_[v],
+                                          offset_[v + 1] - offset_[v]);
+            next[v] = repo_->intern_hashed(static_cast<int>(sig.size()),
+                                           depth, sig, hash_[v], &arena);
+          }
+        });
+    distinct_ = distinct_ids(next);
   }
-  // Fresh records get ascending ids already, but a signature may match a
-  // record interned before this refinement (e.g. a second run over the
-  // same repo) — sort so distinct() is always ascending.
-  std::sort(distinct_.begin(), distinct_.end());
   // Canonical ranks for the new level, a byproduct of the dedup: with the
   // previous level ranked, sorting the distinct signatures by integer keys
   // reproduces the structural order, making every later ordering query on

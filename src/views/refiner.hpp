@@ -14,13 +14,18 @@
 //      precomputed offset (prefix sums of degrees) and its signature hash
 //      is computed — embarrassingly parallel across the optional
 //      util::ThreadPool, each worker writing disjoint node ranges;
-//   2. dedup + intern: one sequential pass in node order probes a
-//      level-local open-addressing table with the precomputed hashes,
-//      interning each distinct signature exactly once (at its first
-//      occurrence) and reusing the id for every duplicate;
+//   2. dedup + intern: without a pool (or on a small level), one
+//      sequential pass in node order probes a level-local open-addressing
+//      table with the precomputed hashes, interning each distinct
+//      signature exactly once (at its first occurrence) and reusing the
+//      id for every duplicate. With a pool, the level is partitioned
+//      across the workers and every node interns straight into the
+//      concurrent ViewRepo — the repo's sharded index IS the dedup table
+//      (the bddapron unique-table shape), each worker batching its id and
+//      child allocation through a persistent ViewRepo::InternArena;
 //   3. scatter: ids land in node order, and the level's class count (and
-//      the distinct id list) falls out of the dedup for free — no
-//      per-level unordered_set recount;
+//      the distinct id list) falls out of the dedup (or one
+//      distinct_ids() pass in the parallel case);
 //   4. rank: the distinct ids are handed to ViewRepo::assign_ranks, which
 //      sorts them by integer keys over the previous level's ranks and
 //      stores each view's canonical rank — every later ordering query
@@ -43,19 +48,26 @@
 // and skip even the scatter: a stable round costs O(C + Σ deg(rep)),
 // with the n-node gather/hash and the 2m-entry dedup gone entirely.
 //
-// Determinism: the dedup/intern pass runs in ascending node order, so ids
-// are assigned in exactly the order the per-node loop would have assigned
-// them — profiles built through a Refiner are id-identical to the naive
-// path and independent of the pool's thread count (the parallel phase only
-// fills disjoint slots; it never interns). The quotient path preserves
-// this: representatives are interned in ascending first-node order, which
-// is the order the full dedup pass meets each distinct signature.
-// tests/refiner_test.cpp and tests/stable_test.cpp pin all of it.
+// Determinism (DESIGN.md §10): without a pool the dedup/intern pass runs
+// in ascending node order, so ids are assigned in exactly the order the
+// per-node loop would have assigned them — serial profiles are
+// id-identical to the naive path. With a pool, raw id VALUES depend on
+// which worker claims each fresh signature first; everything observable
+// above ids does not: the partition (which nodes share an id), the class
+// counts, the record set and ViewRepo::size(), the canonical rank of
+// every view, every compare()/argmin verdict, and all metered sizes are
+// byte-identical across thread counts. The quotient path interns
+// representatives in ascending first-node order — the order the full
+// dedup pass meets each distinct signature — so the serial id contract
+// survives stabilization too. tests/refiner_test.cpp, tests/stable_test.cpp
+// and tests/concurrent_repo_test.cpp pin all of it.
 //
-// A Refiner borrows its graph, repo and pool; all must outlive it. Like
-// the repo it serves, a Refiner is not thread-safe — one per cell.
+// A Refiner borrows its graph, repo and pool; all must outlive it. The
+// repo may be shared (it is thread-safe, and many cells sharing one repo
+// is the intended sweep shape); the Refiner itself is not — one per cell.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -77,9 +89,9 @@ void set_stable_quotient_enabled(bool enabled);
 
 class Refiner {
  public:
-  /// `pool == nullptr` (or a tiny level) keeps the gather phase sequential.
-  /// The pool must not be shared with concurrent wait_idle() users while a
-  /// refinement is in flight.
+  /// `pool == nullptr` (or a tiny level) keeps the gather AND intern
+  /// phases sequential (deterministic ids). The pool must not be shared
+  /// with concurrent wait_idle() users while a refinement is in flight.
   Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
           util::ThreadPool* pool = nullptr);
 
@@ -171,9 +183,15 @@ class Refiner {
   /// advance() path is O(n) anyway for its scatter).
   [[nodiscard]] bool matches_quotient(const std::vector<ViewId>& prev) const;
 
+  /// Grows the per-chunk arena pool to at least `count` entries (each a
+  /// persistent ViewRepo::InternArena, reused across levels so the id
+  /// blocks a chunk claims are not abandoned every round).
+  void ensure_arenas(std::size_t count);
+
   const portgraph::PortGraph* graph_;
   ViewRepo* repo_;
   util::ThreadPool* pool_;
+  std::vector<std::unique_ptr<ViewRepo::InternArena>> arenas_;
   bool has_degree0_ = false;           ///< advance() must reject such graphs
   std::vector<std::uint32_t> offset_;  ///< n+1 prefix sums of degrees
   std::vector<ChildRef> arena_;        ///< gathered signatures, 2m entries

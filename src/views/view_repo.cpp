@@ -1,8 +1,12 @@
 #include "views/view_repo.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
+#include <thread>
 
 #include "coding/codec.hpp"
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace anole::views {
@@ -18,8 +22,20 @@ std::uint64_t pack_key(std::uint32_t hi, std::uint32_t lo) {
   return (static_cast<std::uint64_t>(hi) << 32) | lo;
 }
 
-// Initial capacity of the open-addressing interning index (power of two).
-constexpr std::size_t kIndexInitialCapacity = 1024;
+// Initial slot count of one shard's interning table (power of two). Shards
+// allocate their table on first insert, so small repos touch few shards.
+constexpr std::size_t kShardInitialCapacity = 64;
+
+// Ids claimed per InternArena block refill: large enough that parallel
+// workers rarely touch the shared counter, small enough that the id gap an
+// abandoned arena leaves is negligible.
+constexpr ViewId kArenaIdBlock = 128;
+
+// ChildRefs per child-storage chunk (64 KiB chunks).
+constexpr std::size_t kChildChunkRefs = 8192;
+
+// Retries of a rank seqlock read before giving up on the fast path.
+constexpr int kRankReadAttempts = 4;
 
 }  // namespace
 
@@ -86,131 +102,334 @@ std::uint64_t ViewRepo::signature_hash(int degree, int depth,
   return h;
 }
 
-ViewId ViewRepo::leaf(int degree) {
-  ANOLE_CHECK(degree >= 0);
-  return intern_impl(degree, 0, {});
+ViewRepo::ViewRepo() = default;
+
+ViewRepo::~ViewRepo() {
+  for (auto& seg : segments_)
+    delete[] seg.load(std::memory_order_relaxed);
 }
 
-ViewId ViewRepo::intern(std::span<const ChildRef> children) {
-  ANOLE_CHECK_MSG(!children.empty(), "intern of a degree-0 inner view");
-  int child_depth = depth(children.front().second);
-  for (const auto& [port, child] : children) {
-    ANOLE_CHECK(port >= 0);
-    ANOLE_CHECK_MSG(depth(child) == child_depth,
-                    "children at mixed depths in intern()");
-  }
-  return intern_impl(static_cast<int>(children.size()), child_depth + 1,
-                     children);
-}
+// ------------------------------------------------------------ records
 
-ViewId ViewRepo::intern_impl(int degree, int depth,
-                             std::span<const ChildRef> children) {
-  return intern_hashed(degree, depth, children,
-                       signature_hash(degree, depth, children));
-}
-
-void ViewRepo::index_grow() {
-  index_rebuild(index_.empty() ? kIndexInitialCapacity : index_.size() * 2);
-}
-
-void ViewRepo::index_rebuild(std::size_t capacity) {
-  std::vector<IndexSlot> old = std::move(index_);
-  index_.assign(capacity, IndexSlot{});
-  std::size_t mask = index_.size() - 1;
-  for (const IndexSlot& slot : old) {
-    if (slot.id == kInvalidView) continue;
-    std::size_t i = slot.hash & mask;
-    while (index_[i].id != kInvalidView) i = (i + 1) & mask;
-    index_[i] = slot;
+void ViewRepo::ensure_segments(std::size_t hi) {
+  ANOLE_CHECK_MSG(hi <= seg_first(kNumSegments), "view id space exhausted");
+  for (std::size_t k = 0; k < kNumSegments && seg_first(k) < hi; ++k) {
+    if (segments_[k].load(std::memory_order_acquire) != nullptr) continue;
+    std::scoped_lock lock(seg_mu_);
+    if (segments_[k].load(std::memory_order_relaxed) == nullptr)
+      segments_[k].store(new Record[kSegBase << k],
+                         std::memory_order_release);
   }
 }
 
-void ViewRepo::index_reserve(std::size_t expected_used) {
-  std::size_t cap = index_.empty() ? kIndexInitialCapacity : index_.size();
-  while (expected_used * 4 >= cap * 3) cap *= 2;
-  if (cap > index_.size()) index_rebuild(cap);
-}
-
-void ViewRepo::reserve_for(std::size_t n, std::size_t m, int depth_hint) {
-  std::size_t depth =
-      depth_hint > 0 ? static_cast<std::size_t>(depth_hint) : 0;
-  // Pre-stabilization levels dominate allocation: each can intern up to n
-  // fresh records carrying up to 2m child refs in total; a handful of such
-  // levels is the common shape before the partition fixes. The stable
-  // phase then adds only C records (and C rep-degree child spans) per
-  // level — covered by a small per-level tail.
-  std::size_t expect_records = 2 * n + 16 * depth + 64;
-  std::size_t expect_children = 4 * m + 32 * depth + 64;
-  records_.reserve(records_.size() + expect_records);
-  child_pool_.reserve(child_pool_.size() + expect_children);
-  // The index rebuild zeroes its slots (the only up-front page touch
-  // here), so size it for one full level of fresh records: even a
-  // worst-case workload then pays at most a couple of doublings, while
-  // symmetric workloads (tiny repos) don't zero megabytes for nothing.
-  index_reserve(index_used_ + n + 16 * depth + 64);
-}
-
-ViewId ViewRepo::intern_hashed(int degree, int depth,
-                               std::span<const ChildRef> children,
-                               std::uint64_t hash) {
-  ANOLE_DCHECK(hash == signature_hash(degree, depth, children));
-  if (index_.empty()) index_grow();
-  std::size_t mask = index_.size() - 1;
-  std::size_t i = hash & mask;
-  while (index_[i].id != kInvalidView) {
-    if (index_[i].hash == hash) {
-      const Record& r = records_[static_cast<std::size_t>(index_[i].id)];
-      if (r.degree == degree && r.depth == depth &&
-          r.child_count == children.size()) {
-        std::span<const ChildRef> existing(child_pool_.data() + r.child_begin,
-                                           r.child_count);
-        if (std::equal(existing.begin(), existing.end(), children.begin()))
-          return index_[i].id;
-      }
-    }
-    i = (i + 1) & mask;
-  }
-  Record r;
+void ViewRepo::write_record(ViewId id, int degree, int depth,
+                            std::span<const ChildRef> children,
+                            ChildRef* storage) {
+  std::copy(children.begin(), children.end(), storage);
+  Record& r = mutable_rec(id);
+  r.kids = storage;
   r.degree = degree;
   r.depth = depth;
-  r.child_begin = static_cast<std::uint32_t>(child_pool_.size());
-  r.child_count = static_cast<std::uint32_t>(children.size());
+  r.child_count = static_cast<std::int32_t>(children.size());
   // Max over the reachable DAG composes record-by-record: children are
-  // already interned, so their DAG maxima are final.
+  // already interned (and published to this thread), so their DAG maxima
+  // are final.
   r.sub_max_degree = degree;
   r.sub_max_port = 0;
   for (const auto& [port, child] : children) {
-    const Record& c = records_[static_cast<std::size_t>(child)];
+    const Record& c = rec(child);
     r.sub_max_degree = std::max(r.sub_max_degree, c.sub_max_degree);
     r.sub_max_port =
         std::max({r.sub_max_port, static_cast<std::int32_t>(port),
                   c.sub_max_port});
   }
-  child_pool_.insert(child_pool_.end(), children.begin(), children.end());
-  records_.push_back(r);
-  ViewId id = static_cast<ViewId>(records_.size() - 1);
-  index_[i] = IndexSlot{hash, id};
-  // Keep the load factor under 3/4 so probe chains stay short.
-  if (++index_used_ * 4 >= index_.size() * 3) index_grow();
-  return id;
+  // An unwound duplicate can hand this slot out again: reset the rank.
+  r.rank.store(kUnranked, std::memory_order_relaxed);
 }
 
-std::span<const ChildRef> ViewRepo::children(ViewId v) const {
-  const Record& r = rec(v);
-  return {child_pool_.data() + r.child_begin, r.child_count};
+ViewId ViewRepo::arena_claim_id(InternArena& arena) {
+  if (arena.next_id_ == arena.id_end_) {
+    ViewId start = next_id_.fetch_add(kArenaIdBlock,
+                                      std::memory_order_relaxed);
+    ANOLE_CHECK_MSG(
+        start <= std::numeric_limits<ViewId>::max() - kArenaIdBlock,
+        "view id space exhausted");
+    ensure_segments(static_cast<std::size_t>(start) + kArenaIdBlock);
+    arena.next_id_ = start;
+    arena.id_end_ = start + kArenaIdBlock;
+  }
+  return arena.next_id_++;
+}
+
+ChildRef* ViewRepo::arena_claim_children(InternArena& arena,
+                                         std::size_t count) {
+  if (count == 0) return nullptr;
+  if (arena.child_left_ < count) {
+    std::size_t chunk = std::max(kChildChunkRefs, count);
+    std::scoped_lock lock(chunk_mu_);
+    child_chunks_.push_back(std::make_unique<ChildRef[]>(chunk));
+    arena.child_next_ = child_chunks_.back().get();
+    arena.child_left_ = chunk;
+  }
+  ChildRef* out = arena.child_next_;
+  arena.child_next_ += count;
+  arena.child_left_ -= count;
+  return out;
+}
+
+ChildRef* ViewRepo::shared_claim_children(std::size_t count) {
+  if (count == 0) return nullptr;
+  std::scoped_lock lock(chunk_mu_);
+  if (shared_child_left_ < count) {
+    std::size_t chunk = std::max(kChildChunkRefs, count);
+    child_chunks_.push_back(std::make_unique<ChildRef[]>(chunk));
+    shared_child_next_ = child_chunks_.back().get();
+    shared_child_left_ = chunk;
+  }
+  ChildRef* out = shared_child_next_;
+  shared_child_next_ += count;
+  shared_child_left_ -= count;
+  return out;
+}
+
+// ------------------------------------------------------ sharded index
+
+ViewId ViewRepo::probe_table(const IndexTable& t, std::uint64_t hash,
+                             int degree, int depth,
+                             std::span<const ChildRef> children) const {
+  // Inserts keep every table under 3/4 full, and retired tables receive no
+  // new entries, so the probe always terminates at an empty slot.
+  for (std::size_t i = hash & t.mask;; i = (i + 1) & t.mask) {
+    const IndexSlot& slot = t.slots[i];
+    ViewId id = slot.id.load(std::memory_order_acquire);
+    if (id == kInvalidView) return kInvalidView;
+    // The acquire on the id makes the hash (stored before the publish) and
+    // the whole record visible.
+    if (slot.hash.load(std::memory_order_relaxed) == hash &&
+        record_equals(id, degree, depth, children))
+      return id;
+  }
+}
+
+bool ViewRepo::record_equals(ViewId id, int degree, int depth,
+                             std::span<const ChildRef> children) const {
+  const Record& r = rec(id);
+  if (r.degree != degree || r.depth != depth ||
+      static_cast<std::size_t>(r.child_count) != children.size())
+    return false;
+  return std::equal(children.begin(), children.end(), r.kids);
+}
+
+ViewRepo::IndexTable* ViewRepo::shard_rebuild(Shard& sh,
+                                              std::size_t capacity) {
+  auto fresh = std::make_unique<IndexTable>(capacity);
+  if (const IndexTable* old = sh.table.load(std::memory_order_relaxed)) {
+    for (const IndexSlot& slot : old->slots) {
+      ViewId id = slot.id.load(std::memory_order_relaxed);
+      if (id == kInvalidView) continue;
+      std::uint64_t h = slot.hash.load(std::memory_order_relaxed);
+      std::size_t i = h & fresh->mask;
+      while (fresh->slots[i].id.load(std::memory_order_relaxed) !=
+             kInvalidView)
+        i = (i + 1) & fresh->mask;
+      fresh->slots[i].hash.store(h, std::memory_order_relaxed);
+      fresh->slots[i].id.store(id, std::memory_order_relaxed);
+    }
+  }
+  IndexTable* out = fresh.get();
+  // Old tables are retired, not freed: a concurrent lock-free reader may
+  // still probe one. A stale table yields at worst a miss, which the
+  // insert path re-checks under the shard mutex. Geometric growth bounds
+  // the retired memory by about the live table's size.
+  sh.tables.push_back(std::move(fresh));
+  sh.table.store(out, std::memory_order_release);
+  return out;
+}
+
+// --------------------------------------------------------- interning
+
+ViewId ViewRepo::leaf(int degree) {
+  ANOLE_CHECK(degree >= 0);
+  return intern_impl(degree, 0, {}, nullptr);
+}
+
+ViewId ViewRepo::intern(std::span<const ChildRef> children) {
+  return intern_impl(-1, -1, children, nullptr);
+}
+
+ViewId ViewRepo::intern(std::span<const ChildRef> children,
+                        InternArena& arena) {
+  ANOLE_DCHECK(arena.repo_ == this);
+  return intern_impl(-1, -1, children, &arena);
+}
+
+ViewId ViewRepo::intern_impl(int degree, int depth,
+                             std::span<const ChildRef> children,
+                             InternArena* arena) {
+  if (depth < 0) {  // inner-view entry points: derive and validate
+    ANOLE_CHECK_MSG(!children.empty(), "intern of a degree-0 inner view");
+    int child_depth = this->depth(children.front().second);
+    for (const auto& [port, child] : children) {
+      ANOLE_CHECK(port >= 0);
+      ANOLE_CHECK_MSG(this->depth(child) == child_depth,
+                      "children at mixed depths in intern()");
+    }
+    degree = static_cast<int>(children.size());
+    depth = child_depth + 1;
+  }
+  return intern_hashed(degree, depth, children,
+                       signature_hash(degree, depth, children), arena);
+}
+
+ViewId ViewRepo::intern_hashed(int degree, int depth,
+                               std::span<const ChildRef> children,
+                               std::uint64_t hash, InternArena* arena) {
+  ANOLE_DCHECK(hash == signature_hash(degree, depth, children));
+  Shard& sh = shard_for(hash);
+
+  // Hot path: lock-free probe of the shard's current table.
+  if (const IndexTable* t = sh.table.load(std::memory_order_acquire)) {
+    ViewId hit = probe_table(*t, hash, degree, depth, children);
+    if (hit != kInvalidView) return hit;
+  }
+
+  // Miss. With an arena, build the record speculatively OUTSIDE the shard
+  // mutex (the expensive part: child copy + DAG maxima), then publish under
+  // it; losing the publish race to an equal record unwinds the arena's
+  // cursors so nothing is wasted. Without an arena, allocate inside the
+  // lock — no speculation, so serial interning keeps the historical dense
+  // sequential ids.
+  ViewId speculative = kInvalidView;
+  ViewId spec_prev_next = 0;
+  ChildRef* spec_prev_child = nullptr;
+  std::size_t spec_prev_left = 0;
+  if (arena != nullptr) {
+    spec_prev_child = arena->child_next_;
+    spec_prev_left = arena->child_left_;
+    speculative = arena_claim_id(*arena);
+    spec_prev_next = speculative;
+    ChildRef* storage = arena_claim_children(*arena, children.size());
+    write_record(speculative, degree, depth, children, storage);
+  }
+
+  std::scoped_lock lock(sh.mu);
+  IndexTable* t = sh.table.load(std::memory_order_relaxed);
+  if (t == nullptr || (sh.used + 1) * 4 >= (t->mask + 1) * 3)
+    t = shard_rebuild(
+        sh, t == nullptr ? kShardInitialCapacity : (t->mask + 1) * 2);
+  for (std::size_t i = hash & t->mask;; i = (i + 1) & t->mask) {
+    IndexSlot& slot = t->slots[i];
+    ViewId existing = slot.id.load(std::memory_order_relaxed);
+    if (existing != kInvalidView) {
+      if (slot.hash.load(std::memory_order_relaxed) == hash &&
+          record_equals(existing, degree, depth, children)) {
+        // A racer interned it first: return its id and give the
+        // speculative allocation back to the arena.
+        if (arena != nullptr) {
+          arena->next_id_ = spec_prev_next;
+          if (arena->child_next_ ==
+              spec_prev_child + children.size()) {  // same chunk: rewind
+            arena->child_next_ = spec_prev_child;
+            arena->child_left_ = spec_prev_left;
+          }
+        }
+        return existing;
+      }
+      continue;
+    }
+    ViewId id = speculative;
+    if (id == kInvalidView) {
+      id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      ANOLE_CHECK_MSG(id < std::numeric_limits<ViewId>::max(),
+                      "view id space exhausted");
+      ensure_segments(static_cast<std::size_t>(id) + 1);
+      ChildRef* storage = shared_claim_children(children.size());
+      write_record(id, degree, depth, children, storage);
+    }
+    slot.hash.store(hash, std::memory_order_relaxed);
+    // The release publish: every field of the record (and its children)
+    // is written before this store, so any thread that probes the id can
+    // read the record without synchronization.
+    slot.id.store(id, std::memory_order_release);
+    ++sh.used;
+    record_count_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+}
+
+void ViewRepo::reserve_for(std::size_t n, std::size_t m, int depth_hint) {
+  (void)m;  // records and child chunks are demand-allocated geometrically
+  std::size_t depth =
+      depth_hint > 0 ? static_cast<std::size_t>(depth_hint) : 0;
+  // Pre-stabilization levels dominate: each can intern up to n fresh
+  // records; the stable phase adds only C records per level — covered by a
+  // small per-level tail. Spread the expectation across shards (hashing
+  // balances them) and size each table for 3/4 load.
+  std::size_t expect_fresh = n + 16 * depth + 64;
+  std::size_t per_shard = expect_fresh / kShards + 16;
+  for (Shard& sh : shards_) {
+    std::scoped_lock lock(sh.mu);
+    std::size_t want_used = sh.used + per_shard;
+    std::size_t cap = kShardInitialCapacity;
+    while (want_used * 4 >= cap * 3) cap *= 2;
+    IndexTable* t = sh.table.load(std::memory_order_relaxed);
+    std::size_t cur = t == nullptr ? 0 : t->mask + 1;
+    // Grow toward the expectation; shrink a table left 4x over-sized by an
+    // earlier too-optimistic reservation (the rebuild respects current
+    // occupancy, so this is always safe).
+    if (cap > cur || cap * 4 < cur) shard_rebuild(sh, cap);
+  }
+}
+
+// ------------------------------------------------------------- ranks
+
+bool ViewRepo::ranked_pair(const Record& a, const Record& b,
+                           std::int32_t& ra, std::int32_t& rb) const {
+  for (int attempt = 0; attempt < kRankReadAttempts; ++attempt) {
+    std::uint64_t token = rank_epoch_.load(std::memory_order_acquire);
+    if ((token & 1) != 0) continue;  // renumber in flight
+    std::int32_t x = a.rank.load(std::memory_order_relaxed);
+    std::int32_t y = b.rank.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rank_epoch_.load(std::memory_order_relaxed) != token) continue;
+    if (x == kUnranked || y == kUnranked) return false;
+    ra = x;
+    rb = y;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t ViewRepo::rank_snapshot() const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::uint64_t token = rank_epoch_.load(std::memory_order_acquire);
+    if ((token & 1) == 0) return token;
+    std::this_thread::yield();
+  }
+  return rank_epoch_.load(std::memory_order_acquire);
+}
+
+bool ViewRepo::rank_snapshot_valid(std::uint64_t token) const {
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return (token & 1) == 0 &&
+         rank_epoch_.load(std::memory_order_relaxed) == token;
 }
 
 std::strong_ordering ViewRepo::compare(ViewId a, ViewId b) const {
   if (a == b) return std::strong_ordering::equal;
-  const Record& ra = rec(a);
-  const Record& rb = rec(b);
-  ANOLE_CHECK_MSG(ra.depth == rb.depth, "comparing views of unequal depth");
+  const Record& fa = rec(a);
+  const Record& fb = rec(b);
+  ANOLE_CHECK_MSG(fa.depth == fb.depth, "comparing views of unequal depth");
   // Ranked fast path: rank order reproduces the structural order exactly
   // (DESIGN.md §8), and distinct ranked ids of one depth never share a
-  // rank — one integer comparison, no memo traffic.
-  if (ra.rank != kUnranked && rb.rank != kUnranked)
-    return ra.rank < rb.rank ? std::strong_ordering::less
-                             : std::strong_ordering::greater;
+  // rank — one integer comparison, no memo traffic. The seqlock read
+  // shields against a concurrent renumber; on any doubt the structural
+  // walk (always correct) decides.
+  std::int32_t ra = kUnranked;
+  std::int32_t rb = kUnranked;
+  if (ranked_pair(fa, fb, ra, rb))
+    return ra < rb ? std::strong_ordering::less
+                   : std::strong_ordering::greater;
   return compare_structural(a, b);
 }
 
@@ -220,24 +439,18 @@ std::strong_ordering ViewRepo::compare_structural(ViewId a, ViewId b) const {
                   "comparing views of unequal depth");
   // Verdicts are memoized under the normalized (smaller id, larger id) key;
   // the stored sign is relative to that orientation, so one entry serves
-  // both compare(a, b) and the mirrored compare(b, a).
+  // both compare(a, b) and the mirrored compare(b, a). The memo map is the
+  // only shared-mutable state here — guarded by compare_mu_; the walk
+  // itself touches immutable record structure.
   auto lookup = [this](ViewId x, ViewId y) -> std::int8_t {
     bool swapped = x > y;
+    std::scoped_lock lock(compare_mu_);
     auto it = compare_memo_.find(swapped ? pack_key(static_cast<std::uint32_t>(y),
                                                     static_cast<std::uint32_t>(x))
                                          : pack_key(static_cast<std::uint32_t>(x),
                                                     static_cast<std::uint32_t>(y)));
     if (it == compare_memo_.end()) return 0;
     return swapped ? static_cast<std::int8_t>(-it->second) : it->second;
-  };
-  auto store = [this](ViewId x, ViewId y, std::int8_t sign) {
-    if (x > y) {
-      std::swap(x, y);
-      sign = static_cast<std::int8_t>(-sign);
-    }
-    compare_memo_.emplace(pack_key(static_cast<std::uint32_t>(x),
-                                   static_cast<std::uint32_t>(y)),
-                          sign);
   };
   if (std::int8_t hit = lookup(a, b); hit != 0)
     return hit < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
@@ -254,11 +467,11 @@ std::strong_ordering ViewRepo::compare_structural(ViewId a, ViewId b) const {
   std::vector<Frame> stack{{a, b, 0}};
   for (;;) {
     Frame& f = stack.back();
-    const Record& ra = rec(f.a);
-    const Record& rb = rec(f.b);
+    const Record& fa = rec(f.a);
+    const Record& fb = rec(f.b);
     std::int8_t verdict = 0;
-    if (ra.degree != rb.degree) {
-      verdict = ra.degree < rb.degree ? -1 : +1;
+    if (fa.degree != fb.degree) {
+      verdict = fa.degree < fb.degree ? -1 : +1;
     } else {
       std::span<const ChildRef> ca = children(f.a);
       std::span<const ChildRef> cb = children(f.b);
@@ -272,11 +485,12 @@ std::strong_ordering ViewRepo::compare_structural(ViewId a, ViewId b) const {
         }
         if (xa != xb) {
           // A ranked child pair decides like a memo hit, O(1): the walk
-          // only ever descends where some view is unranked.
-          const Record& rxa = rec(xa);
-          const Record& rxb = rec(xb);
-          if (rxa.rank != kUnranked && rxb.rank != kUnranked) {
-            verdict = rxa.rank < rxb.rank ? -1 : +1;
+          // only ever descends where some view is unranked (or a renumber
+          // is in flight, in which case descending stays correct).
+          std::int32_t rxa = kUnranked;
+          std::int32_t rxb = kUnranked;
+          if (ranked_pair(rec(xa), rec(xb), rxa, rxb)) {
+            verdict = rxa < rxb ? -1 : +1;
             break;
           }
           if (std::int8_t hit = lookup(xa, xb); hit != 0) {
@@ -296,7 +510,21 @@ std::strong_ordering ViewRepo::compare_structural(ViewId a, ViewId b) const {
     // distinct ids at equal depth must differ somewhere.
     ANOLE_CHECK_MSG(verdict != 0,
                     "distinct ids compared equal — interning broken");
-    for (const Frame& fr : stack) store(fr.a, fr.b, verdict);
+    {
+      std::scoped_lock lock(compare_mu_);
+      for (const Frame& fr : stack) {
+        ViewId x = fr.a;
+        ViewId y = fr.b;
+        std::int8_t sign = verdict;
+        if (x > y) {
+          std::swap(x, y);
+          sign = static_cast<std::int8_t>(-sign);
+        }
+        compare_memo_.emplace(pack_key(static_cast<std::uint32_t>(x),
+                                       static_cast<std::uint32_t>(y)),
+                              sign);
+      }
+    }
     return verdict < 0 ? std::strong_ordering::less
                        : std::strong_ordering::greater;
   }
@@ -304,7 +532,15 @@ std::strong_ordering ViewRepo::compare_structural(ViewId a, ViewId b) const {
 
 void ViewRepo::assign_ranks(std::span<const ViewId> level_distinct) {
   if (level_distinct.empty()) return;
+  // rank_mu_ serializes rankers: inside it, rank values only change under
+  // the seqlock bracket below, so the plain relaxed reads of this phase
+  // are stable.
+  std::scoped_lock lock(rank_mu_);
   const int d = rec(level_distinct.front()).depth;
+
+  auto rank_of = [this](ViewId v) {
+    return rec(v).rank.load(std::memory_order_relaxed);
+  };
 
   // Fresh = unranked ids whose children are all ranked (depth 0 always
   // qualifies). An id with an unranked child cannot be keyed and stays on
@@ -313,10 +549,10 @@ void ViewRepo::assign_ranks(std::span<const ViewId> level_distinct) {
   for (ViewId v : level_distinct) {
     const Record& r = rec(v);
     ANOLE_DCHECK(r.depth == d);
-    if (r.rank != kUnranked) continue;
+    if (rank_of(v) != kUnranked) continue;
     bool keyable = true;
     for (const auto& [port, child] : children(v)) {
-      if (rec(child).rank == kUnranked) {
+      if (rank_of(child) == kUnranked) {
         keyable = false;
         break;
       }
@@ -333,17 +569,19 @@ void ViewRepo::assign_ranks(std::span<const ViewId> level_distinct) {
   // repo, or a deeper sweep of another graph sharing it). Keys of distinct
   // ids never tie: equal keys would mean equal degree and identical
   // children (rank is injective per depth), i.e. the same record.
-  auto key_less = [this](ViewId a, ViewId b) {
-    const Record& ra = rec(a);
-    const Record& rb = rec(b);
-    if (ra.rank != kUnranked && rb.rank != kUnranked) return ra.rank < rb.rank;
-    if (ra.degree != rb.degree) return ra.degree < rb.degree;
+  auto key_less = [this, &rank_of](ViewId a, ViewId b) {
+    std::int32_t ra = rank_of(a);
+    std::int32_t rb = rank_of(b);
+    if (ra != kUnranked && rb != kUnranked) return ra < rb;
+    const Record& rra = rec(a);
+    const Record& rrb = rec(b);
+    if (rra.degree != rrb.degree) return rra.degree < rrb.degree;
     std::span<const ChildRef> ca = children(a);
     std::span<const ChildRef> cb = children(b);
     for (std::size_t i = 0; i < ca.size(); ++i) {
       if (ca[i].first != cb[i].first) return ca[i].first < cb[i].first;
-      std::int32_t rka = rec(ca[i].second).rank;
-      std::int32_t rkb = rec(cb[i].second).rank;
+      std::int32_t rka = rank_of(ca[i].second);
+      std::int32_t rkb = rank_of(cb[i].second);
       if (rka != rkb) return rka < rkb;
     }
     return false;  // equal keys ⇒ same id; callers pass distinct ids
@@ -364,10 +602,17 @@ void ViewRepo::assign_ranks(std::span<const ViewId> level_distinct) {
                merged.begin(), key_less);
     ranked = std::move(merged);
   }
+  // The renumber mutates ranks concurrent readers may be comparing:
+  // bracket it with the seqlock so they either retry into a consistent
+  // snapshot or fall back to the structural walk.
+  rank_epoch_.fetch_add(1, std::memory_order_acq_rel);
   for (std::size_t i = 0; i < ranked.size(); ++i)
-    records_[static_cast<std::size_t>(ranked[i])].rank =
-        static_cast<std::int32_t>(i);
+    mutable_rec(ranked[i]).rank.store(static_cast<std::int32_t>(i),
+                                      std::memory_order_relaxed);
+  rank_epoch_.fetch_add(1, std::memory_order_release);
 }
+
+// ---------------------------------------------------------- traversals
 
 ViewId ViewRepo::truncate(ViewId v, int x) {
   {
@@ -378,6 +623,10 @@ ViewId ViewRepo::truncate(ViewId v, int x) {
     if (x == r.depth) return v;
     if (x == 0) return leaf(r.degree);
   }
+  // One mutex around the whole rebuild serializes concurrent truncators —
+  // simple, and the memo makes repeat work cheap. The nested leaf/intern
+  // calls take only shard/chunk locks, never truncate_mu_.
+  std::scoped_lock lock(truncate_mu_);
   if (auto it = truncate_memo_.find(pack_key(static_cast<std::uint32_t>(v),
                                              static_cast<std::uint32_t>(x)));
       it != truncate_memo_.end())
@@ -386,8 +635,8 @@ ViewId ViewRepo::truncate(ViewId v, int x) {
   // Iterative post-order worklist. A frame rebuilds one record at its
   // target depth; trivial child targets (own depth, zero) resolve inline,
   // memo hits resolve by lookup, everything else pushes a frame. Frames
-  // hold their own child vectors because intern()/leaf() reallocate the
-  // child pool, invalidating spans into it.
+  // hold their own child vectors so a frame's progress survives the
+  // interning of its descendants.
   struct Frame {
     ViewId id;
     int target;
@@ -397,7 +646,7 @@ ViewId ViewRepo::truncate(ViewId v, int x) {
   stack.push_back(Frame{v, x, {}});
   for (;;) {
     Frame& f = stack.back();
-    if (f.kids.size() == rec(f.id).child_count) {
+    if (f.kids.size() == static_cast<std::size_t>(rec(f.id).child_count)) {
       ViewId out = intern(f.kids);
       truncate_memo_.emplace(pack_key(static_cast<std::uint32_t>(f.id),
                                       static_cast<std::uint32_t>(f.target)),
@@ -414,8 +663,7 @@ ViewId ViewRepo::truncate(ViewId v, int x) {
       continue;
     }
     if (target == 0) {
-      int child_degree = child.degree;  // leaf() may reallocate records_
-      f.kids.emplace_back(c.first, leaf(child_degree));
+      f.kids.emplace_back(c.first, leaf(child.degree));
       continue;
     }
     auto it = truncate_memo_.find(pack_key(static_cast<std::uint32_t>(c.second),
@@ -429,7 +677,8 @@ ViewId ViewRepo::truncate(ViewId v, int x) {
 }
 
 void ViewRepo::begin_epoch() const {
-  visit_mark_.resize(records_.size(), 0);
+  visit_mark_.resize(
+      static_cast<std::size_t>(next_id_.load(std::memory_order_relaxed)), 0);
   if (++visit_epoch_ == 0) {  // wrapped: stale marks could alias, clear all
     std::fill(visit_mark_.begin(), visit_mark_.end(), 0u);
     visit_epoch_ = 1;
@@ -445,7 +694,10 @@ bool ViewRepo::mark_visited(ViewId v) const {
 
 DagStats ViewRepo::stats(ViewId v) const {
   const Record& root = rec(v);
-  if (count_memo_.size() < records_.size()) count_memo_.resize(records_.size());
+  std::scoped_lock lock(stats_mu_);
+  std::size_t high_water =
+      static_cast<std::size_t>(next_id_.load(std::memory_order_relaxed));
+  if (count_memo_.size() < high_water) count_memo_.resize(high_water);
   CountEntry& entry = count_memo_[static_cast<std::size_t>(v)];
   if (entry.records == 0) {
     // One iterative traversal per id, ever; the reusable epoch marker
@@ -461,10 +713,8 @@ DagStats ViewRepo::stats(ViewId v) const {
       visit_stack_.pop_back();
       const Record& r = rec(cur);
       ++records;
-      edges += r.child_count;
-      std::span<const ChildRef> kids(child_pool_.data() + r.child_begin,
-                                     r.child_count);
-      for (const auto& [port, child] : kids)
+      edges += static_cast<std::uint64_t>(r.child_count);
+      for (const auto& [port, child] : children(cur))
         if (mark_visited(child)) visit_stack_.push_back(child);
     }
     entry.records = records;
@@ -492,6 +742,7 @@ std::size_t ViewRepo::serialized_size_bits(ViewId v) const {
 
 const coding::BitString& ViewRepo::encode_depth1(ViewId v) {
   ANOLE_CHECK_MSG(depth(v) == 1, "encode_depth1 needs a depth-1 view");
+  std::scoped_lock lock(depth1_mu_);
   auto it = depth1_code_memo_.find(v);
   if (it != depth1_code_memo_.end()) return it->second;
   std::vector<coding::BitString> triples;

@@ -32,32 +32,41 @@
 // (degree, [(rev_port_j, rank(child_j))]...), which equals the structural
 // recursive order by induction — so ordering queries between two ranked
 // views are a single integer comparison instead of a DAG walk. Records
-// interned outside refinement (truncate, per-node protocol paths, manual
-// intern) keep rank == kUnranked and fall back to the structural walk;
-// mixed ranked/unranked comparisons are structural but use ranks as
-// shortcut verdicts at ranked child pairs.
+// interned outside refinement keep rank == kUnranked and fall back to the
+// structural walk; mixed ranked/unranked comparisons are structural but
+// use ranks as shortcut verdicts at ranked child pairs.
+//
+// Concurrency (DESIGN.md §10): a ViewRepo is THREAD-SAFE. The interning
+// index is striped into shards keyed by the top bits of the signature
+// hash; the hot lookup path is lock-free (an acquire-load of the shard's
+// current table, then a linear probe over (hash, id) slots), and only the
+// insertion of a fresh record takes the shard's mutex. Records live in
+// segmented storage whose segments never move once published, so ViewIds
+// and child spans stay valid without any locking; a fresh record is fully
+// written (children included) before its id is release-stored into the
+// index, so any thread that can see an id can read its record. Id
+// allocation is one atomic fetch-add per record by default — dense and,
+// under a single thread, identical to the historical sequential ids — or
+// block-batched through an InternArena for the parallel refinement path
+// (ids may then interleave across threads; every consumer of the repo is
+// id-agnostic and keyed on counts, ranks or structure). Ranks are
+// renumbered under a seqlock so concurrent ordering queries either see a
+// consistent snapshot or fall back to the (memoized, mutex-guarded)
+// structural walk. The memo tables (compare, truncate, depth-1 codes,
+// DAG stats) are guarded by small internal mutexes.
 //
 // Size accounting is incremental (DESIGN.md §1): the DAG-wide maximum
 // degree and reverse port of every record are maintained at intern time
 // (max composes over shared substructure), and the distinct record/edge
 // counts are computed at most once per id by an iterative epoch-marked
-// traversal and memoized. Metered simulations therefore pay O(reachable
-// DAG) once per distinct view ever queried, and O(1) per query after that
-// — instead of one full traversal with a heap-allocated seen-map per node
-// per round.
-//
-// The interning index is a flat open-addressing table (DESIGN.md §7): one
-// contiguous allocation of (hash, id) slots probed linearly, instead of
-// the former chained unordered_map<hash, vector<ViewId>> whose every probe
-// chased bucket and vector nodes. views::Refiner drives the batched
-// level-refinement path through intern_hashed(), passing signature hashes
-// it precomputed (possibly in parallel) so the index never rehashes a
-// signature the refiner already hashed.
-//
-// A ViewRepo is NOT thread-safe; every experiment cell owns its own repo.
+// traversal and memoized.
 
+#include <atomic>
+#include <bit>
 #include <compare>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -65,6 +74,7 @@
 
 #include "coding/bitstring.hpp"
 #include "portgraph/port_graph.hpp"
+#include "util/check.hpp"
 
 namespace anole::views {
 
@@ -105,42 +115,88 @@ struct DagStats {
 
 class ViewRepo {
  public:
-  ViewRepo() = default;
+  /// A per-thread interning handle: claims ids in blocks and child storage
+  /// in chunks, so a worker interning a partition of one level never
+  /// contends on the repo's allocation counters. Purely a throughput
+  /// device — interning through an arena is exactly-once-deduped like any
+  /// other intern; only the raw id values can differ from the sequential
+  /// order. An arena may be reused across levels (views::Refiner keeps one
+  /// per worker chunk); unspent ids are abandoned at destruction (a small
+  /// bounded gap in the id space, invisible to every consumer). An arena
+  /// must not be used from two threads at once.
+  class InternArena {
+   public:
+    explicit InternArena(ViewRepo& repo) : repo_(&repo) {}
+    InternArena(const InternArena&) = delete;
+    InternArena& operator=(const InternArena&) = delete;
+
+   private:
+    friend class ViewRepo;
+    ViewRepo* repo_;
+    ViewId next_id_ = 0;
+    ViewId id_end_ = 0;
+    ChildRef* child_next_ = nullptr;
+    std::size_t child_left_ = 0;
+  };
+
+  ViewRepo();
+  ~ViewRepo();
   ViewRepo(const ViewRepo&) = delete;
   ViewRepo& operator=(const ViewRepo&) = delete;
 
-  /// Interns the depth-0 view of a node with the given degree.
+  /// Interns the depth-0 view of a node with the given degree. Thread-safe.
   [[nodiscard]] ViewId leaf(int degree);
 
   /// Interns a depth-(d+1) view from children of equal depth d, listed in
   /// port order (child j is reached through port j; degree = children size).
+  /// Thread-safe; the arena overload batches allocation for parallel
+  /// callers (see InternArena).
   [[nodiscard]] ViewId intern(std::span<const ChildRef> children);
+  [[nodiscard]] ViewId intern(std::span<const ChildRef> children,
+                              InternArena& arena);
 
   [[nodiscard]] int degree(ViewId v) const { return rec(v).degree; }
   [[nodiscard]] int depth(ViewId v) const { return rec(v).depth; }
-  [[nodiscard]] std::span<const ChildRef> children(ViewId v) const;
+  [[nodiscard]] std::span<const ChildRef> children(ViewId v) const {
+    const Record& r = rec(v);
+    return {r.kids, static_cast<std::size_t>(r.child_count)};
+  }
 
   /// Canonical order on views of equal depth: compares degree, then
   /// children pairwise by (rev_port, recursive order). Total order; a == b
   /// iff the ids are equal (hash-consing). O(1) when both views carry a
   /// canonical rank (rank order reproduces the structural order exactly —
   /// DESIGN.md §8); otherwise falls back to the memoized structural walk
-  /// of compare_structural().
+  /// of compare_structural(). The rank fast path validates against the
+  /// rank seqlock, so a concurrent assign_ranks renumbering can only send
+  /// a query to the (always correct) structural fallback, never corrupt
+  /// its verdict.
   [[nodiscard]] std::strong_ordering compare(ViewId a, ViewId b) const;
 
   /// The reference structural walk behind compare(): iterative descent to
   /// the first structural difference (safe for views of any depth), with
   /// verdicts memoized under a normalized key so the mirrored query is a
-  /// lookup. Ranked child pairs met during the walk resolve by rank.
-  /// Exposed so tests can pin compare() == compare_structural() on ranked
-  /// views; production callers use compare().
+  /// lookup. Ranked child pairs met during the walk resolve by rank (when
+  /// the seqlock validates the pair). Exposed so tests can pin
+  /// compare() == compare_structural() on ranked views.
   [[nodiscard]] std::strong_ordering compare_structural(ViewId a,
                                                         ViewId b) const;
 
   /// Canonical rank of v among the ranked views of its depth, or kUnranked
   /// when v was interned outside batched refinement. For two ranked views
-  /// of equal depth, rank order == compare() order.
-  [[nodiscard]] std::int32_t rank(ViewId v) const { return rec(v).rank; }
+  /// of equal depth, rank order == compare() order. Callers reading MANY
+  /// ranks that must be mutually consistent (argmin scans) bracket the
+  /// reads with rank_snapshot()/rank_snapshot_valid().
+  [[nodiscard]] std::int32_t rank(ViewId v) const {
+    return rec(v).rank.load(std::memory_order_relaxed);
+  }
+
+  /// Seqlock bracket for multi-rank readers: take a snapshot token, read
+  /// ranks via rank(), then validate. An invalid snapshot means a
+  /// concurrent assign_ranks renumbered mid-read — retry or use the
+  /// structural fallback. A token from a quiescent repo always validates.
+  [[nodiscard]] std::uint64_t rank_snapshot() const;
+  [[nodiscard]] bool rank_snapshot_valid(std::uint64_t token) const;
 
   /// Assigns canonical ranks to the (equal-depth, distinct) ids of one
   /// refinement level — the batched byproduct views::Refiner calls after
@@ -151,16 +207,18 @@ class ViewRepo {
   /// depth's existing ranked sequence, re-numbering ranks so rank order
   /// stays the canonical order across refinements of different graphs
   /// sharing this repo. Never interns; ids and all prior compare verdicts
-  /// are unaffected.
+  /// are unaffected. Thread-safe (serialized internally; readers are
+  /// protected by the rank seqlock).
   void assign_ranks(std::span<const ViewId> level_distinct);
 
   /// The depth-x truncation of view v (x <= depth(v)). Iterative worklist
-  /// with memoization; safe for views of any depth.
+  /// with memoization; safe for views of any depth. Thread-safe.
   [[nodiscard]] ViewId truncate(ViewId v, int x);
 
   /// Exact statistics of the DAG reachable from v. Max degree/port are
   /// O(1) (maintained at intern time); record/edge counts are computed at
   /// most once per id and memoized, so repeated queries are O(1).
+  /// Thread-safe.
   [[nodiscard]] DagStats stats(ViewId v) const;
 
   /// Number of distinct records reachable from v (DAG size).
@@ -178,42 +236,200 @@ class ViewRepo {
   /// Concat over ports j of Concat(bin(j), bin(a_j), bin(b_j)) where a_j is
   /// the reverse port and b_j the neighbor degree. BuildTrie's depth-1
   /// queries ("length < t", "j-th bit is 1") inspect exactly these bits.
+  /// The returned reference stays valid for the repo's lifetime.
   [[nodiscard]] const coding::BitString& encode_depth1(ViewId v);
 
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  /// Number of distinct records interned so far. Deterministic for a fixed
+  /// workload regardless of thread count (the record *set* is; only raw id
+  /// values can vary under concurrent interning).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return record_count_.load(std::memory_order_relaxed);
+  }
 
-  /// Pre-reserves record storage, the child pool and the interning index
-  /// for a refinement workload over a graph with n nodes and m edges,
-  /// sweeping about `depth_hint` levels — so deep sweeps never stall on a
-  /// mid-run rehash or reallocation. The estimate is sized for the
-  /// pre-stabilization phase (a few full levels of up to n records / 2m
-  /// child refs) plus a small per-level tail for the stable phase
-  /// (DESIGN.md §9), where a level adds only C ≪ n records. Reserving is
-  /// purely an optimization: over- or under-shooting never changes ids.
+  /// Pre-sizes the per-shard interning tables for a refinement workload
+  /// over a graph with n nodes and m edges sweeping about `depth_hint`
+  /// levels, so deep sweeps never stall on a mid-run rehash. Sizing is
+  /// shrink-safe: a later reservation (or none) lets an over-grown shard
+  /// rebuild back down once its occupancy allows, so one huge depth_hint
+  /// no longer inflates the index for the rest of the repo's life. Record
+  /// segments and child chunks are demand-allocated (geometric segments —
+  /// nothing to over-reserve). Reserving is purely an optimization: it
+  /// never changes ids and is safe concurrently with interning.
   void reserve_for(std::size_t n, std::size_t m, int depth_hint);
 
   /// The stable signature hash the interning index keys on. Exposed so
-  /// views::Refiner can precompute level hashes (in parallel) and hand them
-  /// back through the batched intern path without rehashing.
+  /// views::Refiner can precompute level hashes (in parallel) and hand
+  /// them back through the batched intern path without rehashing.
   [[nodiscard]] static std::uint64_t signature_hash(
       int degree, int depth, std::span<const ChildRef> children);
 
  private:
   friend class Refiner;
+
   struct Record {
-    int degree = 0;
-    int depth = 0;
-    std::uint32_t child_begin = 0;
-    std::uint32_t child_count = 0;
+    const ChildRef* kids = nullptr;  ///< contiguous, never moves
+    std::int32_t degree = 0;
+    std::int32_t depth = 0;
+    std::int32_t child_count = 0;
     // Incremental DAG-wide maxima, fixed at intern time: max composes over
     // shared substructure, so these equal the maxima over the reachable DAG.
     std::int32_t sub_max_degree = 0;
     std::int32_t sub_max_port = 0;
     // Canonical rank within this record's depth (assign_ranks), or
     // kUnranked. Values may be re-numbered when later levels merge in new
-    // views, but the relative order of ranked views never changes.
-    std::int32_t rank = kUnranked;
+    // views, but the relative order of ranked views never changes; readers
+    // use relaxed loads under the rank seqlock.
+    std::atomic<std::int32_t> rank{kUnranked};
   };
+
+  // ------------------------------------------------ segmented records
+  // Geometric segments: segment k holds kSegBase * 2^k records starting at
+  // id kSegBase * (2^k - 1). Segments are allocated on demand under
+  // seg_mu_ and published with a release store; they never move, so rec()
+  // needs only an acquire load of the owning segment pointer.
+  // Segment 0 is deliberately generous (64K records, 2MB, allocated on
+  // first intern): every id below it takes the branch-predicted fast path
+  // in rec(), and most workloads — including every ordering kernel the V2
+  // cells time — never leave it.
+  static constexpr std::size_t kSegBaseLog2 = 16;  // 65536 records in seg 0
+  static constexpr std::size_t kSegBase = std::size_t{1} << kSegBaseLog2;
+  static constexpr std::size_t kNumSegments = 16;  // covers > 2^31 ids
+
+  [[nodiscard]] const Record& rec(ViewId v) const {
+    ANOLE_DCHECK(v >= 0 &&
+                 v < next_id_.load(std::memory_order_relaxed));
+    std::size_t id = static_cast<std::size_t>(v);
+    // Segment-0 fast path: most workloads never outgrow the first 4096
+    // records, and the branch is perfectly predicted in scan loops —
+    // skipping the bit_width address chain there recovers most of the
+    // flat-vector speed the segmented layout gave up.
+    if (id < kSegBase) [[likely]]
+      return segments_[0].load(std::memory_order_acquire)[id];
+    std::size_t k = seg_index(id);
+    const Record* seg = segments_[k].load(std::memory_order_acquire);
+    return seg[id - seg_first(k)];
+  }
+  [[nodiscard]] Record& mutable_rec(ViewId v) {
+    return const_cast<Record&>(rec(v));
+  }
+  /// Segment holding `id` (geometric: segment k holds kSegBase<<k
+  /// records) and the first id of segment k. Inline — rec() is the
+  /// hottest address computation in the repo.
+  [[nodiscard]] static std::size_t seg_index(std::size_t id) {
+    return static_cast<std::size_t>(
+        std::bit_width((id >> kSegBaseLog2) + 1) - 1);
+  }
+  [[nodiscard]] static std::size_t seg_first(std::size_t k) {
+    return kSegBase * ((std::size_t{1} << k) - 1);
+  }
+  /// Allocates any missing segments so ids < `hi` are addressable.
+  void ensure_segments(std::size_t hi);
+
+  // ------------------------------------------------- sharded index
+  struct IndexSlot {
+    std::atomic<std::uint64_t> hash{0};
+    std::atomic<ViewId> id{kInvalidView};
+  };
+  struct IndexTable {
+    explicit IndexTable(std::size_t capacity)
+        : mask(capacity - 1), slots(capacity) {}
+    std::size_t mask;
+    std::vector<IndexSlot> slots;
+  };
+  struct alignas(64) Shard {
+    std::atomic<IndexTable*> table{nullptr};
+    std::mutex mu;
+    std::size_t used = 0;  ///< occupied slots; guarded by mu
+    // Every table ever built for this shard, the live one included:
+    // retiring instead of freeing keeps lock-free readers safe against a
+    // concurrent rebuild (a stale table yields at worst a miss, which the
+    // insert path re-checks under mu). Guarded by mu; freed at destruction.
+    std::vector<std::unique_ptr<IndexTable>> tables;
+  };
+  static constexpr std::size_t kShardBits = 6;  // 64 shards
+  static constexpr std::size_t kShards = std::size_t{1} << kShardBits;
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) const {
+    return shards_[hash >> (64 - kShardBits)];
+  }
+  /// Lock-free probe of one table; kInvalidView on miss.
+  [[nodiscard]] ViewId probe_table(const IndexTable& t, std::uint64_t hash,
+                                   int degree, int depth,
+                                   std::span<const ChildRef> children) const;
+  /// Rebuilds `sh`'s table at `capacity` slots (callers hold sh.mu).
+  IndexTable* shard_rebuild(Shard& sh, std::size_t capacity);
+
+  [[nodiscard]] bool record_equals(ViewId id, int degree, int depth,
+                                   std::span<const ChildRef> children) const;
+
+  // --------------------------------------------------- interning core
+  [[nodiscard]] ViewId intern_impl(int degree, int depth,
+                                   std::span<const ChildRef> children,
+                                   InternArena* arena);
+
+  /// Interns a record whose signature hash the caller already computed
+  /// (must equal signature_hash(degree, depth, children)). The batched
+  /// entry point used by Refiner. arena == nullptr allocates the id with
+  /// one atomic fetch-add (dense sequential ids under a single thread).
+  [[nodiscard]] ViewId intern_hashed(int degree, int depth,
+                                     std::span<const ChildRef> children,
+                                     std::uint64_t hash,
+                                     InternArena* arena = nullptr);
+
+  /// Claims one id (refilling the arena's block when empty).
+  [[nodiscard]] ViewId arena_claim_id(InternArena& arena);
+  /// Claims contiguous child storage from the arena's current chunk.
+  [[nodiscard]] ChildRef* arena_claim_children(InternArena& arena,
+                                               std::size_t count);
+  /// Child storage for an arena-less intern (guarded by chunk_mu_).
+  [[nodiscard]] ChildRef* shared_claim_children(std::size_t count);
+
+  /// Fills the record for `id` (fields + child copy + DAG maxima).
+  void write_record(ViewId id, int degree, int depth,
+                    std::span<const ChildRef> children, ChildRef* storage);
+
+  /// One consistent seqlock read of two ranks; false when either is
+  /// unranked or a renumber kept interfering (callers then use the
+  /// structural path). Takes the records, not the ids, so hot callers
+  /// resolve each segment lookup exactly once.
+  [[nodiscard]] bool ranked_pair(const Record& a, const Record& b,
+                                 std::int32_t& ra, std::int32_t& rb) const;
+
+  // ------------------------------------------------------ traversals
+  /// Marks v visited in the current epoch; returns false if already
+  /// marked. Callers hold stats_mu_.
+  [[nodiscard]] bool mark_visited(ViewId v) const;
+  void begin_epoch() const;
+
+  // ---------------------------------------------------------- members
+  mutable Shard shards_[kShards];
+  std::atomic<Record*> segments_[kNumSegments] = {};
+  std::mutex seg_mu_;                ///< segment allocation
+  std::atomic<ViewId> next_id_{0};   ///< id high-water mark
+  std::atomic<std::size_t> record_count_{0};
+
+  std::mutex chunk_mu_;  ///< child chunk list + shared cursor
+  std::vector<std::unique_ptr<ChildRef[]>> child_chunks_;
+  ChildRef* shared_child_next_ = nullptr;
+  std::size_t shared_child_left_ = 0;
+
+  // Rank state: ranked_by_depth_[d] is the ranked ids of depth d in
+  // canonical order (rec(ranked_by_depth_[d][i]).rank == i), mutated only
+  // under rank_mu_; rank_epoch_ is the seqlock readers validate against
+  // (odd while a renumber is in flight).
+  std::mutex rank_mu_;
+  std::vector<std::vector<ViewId>> ranked_by_depth_;
+  mutable std::atomic<std::uint64_t> rank_epoch_{0};
+
+  // Memoization tables, each behind a small mutex (unordered_map never
+  // invalidates node references, so encode_depth1 can hand out stable
+  // references while other threads insert).
+  mutable std::mutex compare_mu_;
+  mutable std::unordered_map<std::uint64_t, std::int8_t> compare_memo_;
+  std::mutex truncate_mu_;
+  std::unordered_map<std::uint64_t, ViewId> truncate_memo_;
+  std::mutex depth1_mu_;
+  std::unordered_map<ViewId, coding::BitString> depth1_code_memo_;
 
   /// Lazily-computed distinct record/edge counts of the reachable DAG.
   /// records == 0 marks a not-yet-computed entry (every DAG has >= 1).
@@ -221,61 +437,40 @@ class ViewRepo {
     std::uint64_t records = 0;
     std::uint64_t edges = 0;
   };
-
-  [[nodiscard]] const Record& rec(ViewId v) const {
-    ANOLE_DCHECK(v >= 0 && static_cast<std::size_t>(v) < records_.size());
-    return records_[static_cast<std::size_t>(v)];
-  }
-
-  [[nodiscard]] ViewId intern_impl(int degree, int depth,
-                                   std::span<const ChildRef> children);
-
-  /// Interns a record whose signature hash the caller already computed
-  /// (must equal signature_hash(degree, depth, children)). The batched
-  /// entry point used by Refiner; intern_impl forwards here.
-  [[nodiscard]] ViewId intern_hashed(int degree, int depth,
-                                     std::span<const ChildRef> children,
-                                     std::uint64_t hash);
-
-  /// Doubles the open-addressing index and re-places every occupied slot.
-  void index_grow();
-
-  /// Rebuilds the index at `capacity` slots (a power of two >= current).
-  void index_rebuild(std::size_t capacity);
-
-  /// Grows the index once, up front, so `expected_used` occupied slots
-  /// stay under the 3/4 load factor without incremental rehashes.
-  void index_reserve(std::size_t expected_used);
-
-  /// Marks v visited in the current epoch; returns false if already marked.
-  [[nodiscard]] bool mark_visited(ViewId v) const;
-  void begin_epoch() const;
-
-  std::vector<Record> records_;
-  std::vector<ChildRef> child_pool_;
-  // Interning index: flat open-addressing table (linear probing, power-of-
-  // two capacity). id == kInvalidView marks an empty slot; the signature
-  // hash is stored so probes compare one word before touching the record.
-  struct IndexSlot {
-    std::uint64_t hash = 0;
-    ViewId id = kInvalidView;
-  };
-  std::vector<IndexSlot> index_;
-  std::size_t index_used_ = 0;
-  // ranked_by_depth_[d]: the ranked ids of depth d in canonical order —
-  // the merge target of assign_ranks. rec(ranked_by_depth_[d][i]).rank == i.
-  std::vector<std::vector<ViewId>> ranked_by_depth_;
-  // Memoization tables (compare_memo_ serves only the structural fallback:
-  // both-ranked pairs resolve by rank before any lookup).
-  mutable std::unordered_map<std::uint64_t, std::int8_t> compare_memo_;
-  std::unordered_map<std::uint64_t, ViewId> truncate_memo_;
-  std::unordered_map<ViewId, coding::BitString> depth1_code_memo_;
+  mutable std::mutex stats_mu_;
   mutable std::vector<CountEntry> count_memo_;
-  // Reusable epoch-marked visited set + traversal stack: replaces the
-  // per-call heap-allocated seen-maps of the pre-incremental traversals.
+  // Reusable epoch-marked visited set + traversal stack (under stats_mu_).
   mutable std::vector<std::uint32_t> visit_mark_;
   mutable std::uint32_t visit_epoch_ = 0;
   mutable std::vector<ViewId> visit_stack_;
+
+ public:
+  /// Bulk rank reads for tight scans (argmin, sort-key extraction): the
+  /// segment pointers are resolved ONCE at construction, so each read is
+  /// plain array math plus one relaxed atomic load — the per-call
+  /// acquire load of rec() cannot be hoisted out of a scan loop by the
+  /// compiler, and costs ~3x on a pure min-rank pass. Only valid for ids
+  /// interned before construction; for a mutually consistent multi-rank
+  /// read, bracket the scan with rank_snapshot()/rank_snapshot_valid()
+  /// exactly as with rank().
+  class RankReader {
+   public:
+    explicit RankReader(const ViewRepo& repo) {
+      for (std::size_t k = 0; k < kNumSegments; ++k)
+        segs_[k] = repo.segments_[k].load(std::memory_order_acquire);
+    }
+    [[nodiscard]] std::int32_t rank(ViewId v) const {
+      std::size_t id = static_cast<std::size_t>(v);
+      if (id < kSegBase) [[likely]]
+        return segs_[0][id].rank.load(std::memory_order_relaxed);
+      std::size_t k = seg_index(id);
+      return segs_[k][id - seg_first(k)].rank.load(
+          std::memory_order_relaxed);
+    }
+
+   private:
+    const Record* segs_[kNumSegments];
+  };
 };
 
 }  // namespace anole::views

@@ -1,0 +1,228 @@
+// Tests for the sharded concurrent ViewRepo (DESIGN.md §10): N threads
+// hammering ONE repo with maximally overlapping signature sets must agree
+// on every id (hash-consing is exactly-once under races), reproduce the
+// serial record set up to id renaming, keep the read-side API (compare,
+// stats, truncate, serialized_size_bits) consistent while writers intern,
+// and assign rank images that are byte-identical across thread counts.
+// reserve_for's shrink-safety (satellite of the same change) is pinned
+// here too.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <compare>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "portgraph/builders.hpp"
+#include "portgraph/port_graph.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::PortGraph;
+
+// Per-node view levels through the public intern API, optionally through a
+// per-caller InternArena. All threads of the hammer tests run this same
+// loop over the same graph — every signature is contended by every thread.
+std::vector<std::vector<ViewId>> build_levels(const PortGraph& g,
+                                              ViewRepo& repo, int depth,
+                                              ViewRepo::InternArena* arena) {
+  std::size_t n = g.n();
+  std::vector<std::vector<ViewId>> levels;
+  std::vector<ViewId> level(n);
+  for (std::size_t v = 0; v < n; ++v)
+    level[v] = repo.leaf(g.degree(static_cast<NodeId>(v)));
+  levels.push_back(level);
+  std::vector<ChildRef> kids;
+  for (int t = 0; t < depth; ++t) {
+    std::vector<ViewId> next(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& row = g.neighbors(static_cast<NodeId>(v));
+      kids.clear();
+      for (const auto& he : row)
+        kids.emplace_back(he.rev_port,
+                          level[static_cast<std::size_t>(he.neighbor)]);
+      next[v] = arena ? repo.intern(kids, *arena) : repo.intern(kids);
+    }
+    level = next;
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+// The partition a level's ids induce over nodes, as the index of each
+// node's first same-id witness: id-renaming invariant, so comparable
+// across repos whose raw ids differ.
+std::vector<std::size_t> partition_of(const std::vector<ViewId>& level) {
+  std::vector<std::size_t> part(level.size());
+  for (std::size_t v = 0; v < level.size(); ++v) {
+    std::size_t first = v;
+    for (std::size_t u = 0; u < v; ++u)
+      if (level[u] == level[v]) {
+        first = u;
+        break;
+      }
+    part[v] = first;
+  }
+  return part;
+}
+
+PortGraph hammer_graph() { return portgraph::random_connected(400, 700, 7); }
+constexpr int kDepth = 4;
+
+TEST(ConcurrentRepo, OverlappingInternsAgreeOnEveryId) {
+  // Every thread interns the views of EVERY node — the worst duplicate
+  // race the dedup path can see. Hash-consing must hand all threads the
+  // same id for the same signature, so the per-thread level vectors must
+  // come out element-wise equal, and the repo must hold exactly the
+  // serial record count.
+  PortGraph g = hammer_graph();
+  ViewRepo serial_repo;
+  auto serial = build_levels(g, serial_repo, kDepth, nullptr);
+
+  for (unsigned workers : {2u, 4u, 8u}) {
+    ViewRepo repo;
+    std::vector<std::vector<std::vector<ViewId>>> per_thread(workers);
+    std::barrier sync(static_cast<std::ptrdiff_t>(workers));
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < workers; ++w)
+      threads.emplace_back([&, w] {
+        // Odd workers intern through a private arena (block-allocated
+        // ids), even workers through the shared path — both must dedup
+        // against each other.
+        ViewRepo::InternArena arena(repo);
+        sync.arrive_and_wait();
+        per_thread[w] = build_levels(g, repo, kDepth,
+                                     (w % 2 == 1) ? &arena : nullptr);
+      });
+    for (std::thread& t : threads) t.join();
+
+    for (unsigned w = 1; w < workers; ++w)
+      ASSERT_EQ(per_thread[0], per_thread[w]) << "workers=" << workers;
+    ASSERT_EQ(repo.size(), serial_repo.size()) << "workers=" << workers;
+    for (int t = 0; t <= kDepth; ++t) {
+      EXPECT_EQ(partition_of(per_thread[0][static_cast<std::size_t>(t)]),
+                partition_of(serial[static_cast<std::size_t>(t)]))
+          << "level " << t;
+      // Structure survives the renaming: node 0's view at each level has
+      // the serial degree/depth/DAG shape.
+      ViewId a = per_thread[0][static_cast<std::size_t>(t)][0];
+      ViewId b = serial[static_cast<std::size_t>(t)][0];
+      EXPECT_EQ(repo.degree(a), serial_repo.degree(b));
+      EXPECT_EQ(repo.depth(a), serial_repo.depth(b));
+      EXPECT_EQ(repo.stats(a).records, serial_repo.stats(b).records);
+      EXPECT_EQ(repo.serialized_size_bits(a),
+                serial_repo.serialized_size_bits(b));
+    }
+  }
+}
+
+TEST(ConcurrentRepo, RankImageIdenticalAcrossThreadCounts) {
+  // DESIGN.md §10's determinism contract, exercised straight through the
+  // repo (no Refiner): hammer with K threads, rank each level's distinct
+  // set, and require the node-by-node rank image to match the serial run
+  // exactly — rank VALUES, not just order.
+  PortGraph g = hammer_graph();
+  std::vector<std::vector<std::vector<std::int32_t>>> images;
+  for (unsigned workers : {1u, 2u, 4u}) {
+    ViewRepo repo;
+    std::vector<std::vector<std::vector<ViewId>>> per_thread(workers);
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < workers; ++w)
+      threads.emplace_back([&, w] {
+        ViewRepo::InternArena arena(repo);
+        per_thread[w] = build_levels(g, repo, kDepth, w > 0 ? &arena : nullptr);
+      });
+    for (std::thread& t : threads) t.join();
+    std::vector<std::vector<std::int32_t>> image;
+    for (int t = 0; t <= kDepth; ++t) {
+      const std::vector<ViewId>& level =
+          per_thread[0][static_cast<std::size_t>(t)];
+      repo.assign_ranks(distinct_ids(level));
+      std::vector<std::int32_t> ranks(level.size());
+      for (std::size_t v = 0; v < level.size(); ++v) {
+        ranks[v] = repo.rank(level[v]);
+        ASSERT_NE(ranks[v], kUnranked);
+      }
+      image.push_back(std::move(ranks));
+    }
+    images.push_back(std::move(image));
+  }
+  EXPECT_EQ(images[0], images[1]);
+  EXPECT_EQ(images[0], images[2]);
+}
+
+TEST(ConcurrentRepo, ReadersStayConsistentWhileWritersIntern) {
+  // Half the threads keep interning fresh deep views; the other half run
+  // the read-side API on already-published ids. Every read must return
+  // the value the serial repo returns — no torn records, no stale
+  // segment/table views.
+  PortGraph g = portgraph::random_connected(120, 200, 5);
+  ViewRepo repo;
+  auto base = build_levels(g, repo, 2, nullptr);
+  ViewRepo serial_repo;
+  auto serial = build_levels(g, serial_repo, 2, nullptr);
+  ViewId probe = base[2][0];
+  ViewId other = base[2][1];
+  ViewId serial_probe = serial[2][0];
+  std::strong_ordering want_cmp =
+      serial_repo.compare_structural(serial[2][0], serial[2][1]);
+  std::size_t want_records = serial_repo.stats(serial_probe).records;
+  std::size_t want_bits = serial_repo.serialized_size_bits(serial_probe);
+  ViewId want_cut = repo.truncate(probe, 1);  // pre-publish the truncation
+
+  std::atomic<bool> failed{false};
+  constexpr unsigned kWriters = 2;
+  constexpr unsigned kReaders = 2;
+  std::barrier sync(kWriters + kReaders);
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < kWriters; ++w)
+    threads.emplace_back([&] {
+      PortGraph h = portgraph::random_connected(300, 500, 21);
+      sync.arrive_and_wait();
+      ViewRepo::InternArena arena(repo);
+      (void)build_levels(h, repo, 3, &arena);
+    });
+  for (unsigned r = 0; r < kReaders; ++r)
+    threads.emplace_back([&] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < 2000 && !failed.load(); ++i) {
+        bool ok = repo.compare(probe, other) == want_cmp &&
+                  repo.compare_structural(probe, other) == want_cmp &&
+                  repo.stats(probe).records == want_records &&
+                  repo.serialized_size_bits(probe) == want_bits &&
+                  repo.truncate(probe, 1) == want_cut;
+        if (!ok) failed.store(true);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(ConcurrentRepo, ReserveForOverThenUnderReservationKeepsIds) {
+  // Satellite contract: reserve_for may grow the shard tables up front
+  // and a later smaller reservation may shrink them back — neither pass
+  // may lose or rename an existing record.
+  PortGraph g = portgraph::random_connected(200, 350, 3);
+  ViewRepo repo;
+  auto before = build_levels(g, repo, 3, nullptr);
+  std::size_t count = repo.size();
+  // Vast over-reservation, then a tiny one (shrink path): re-interning
+  // the same signatures must find the same ids either way.
+  repo.reserve_for(1 << 20, 1 << 21, 8);
+  auto after_grow = build_levels(g, repo, 3, nullptr);
+  EXPECT_EQ(before, after_grow);
+  EXPECT_EQ(repo.size(), count);
+  repo.reserve_for(1, 1, 0);
+  auto after_shrink = build_levels(g, repo, 3, nullptr);
+  EXPECT_EQ(before, after_shrink);
+  EXPECT_EQ(repo.size(), count);
+}
+
+}  // namespace
+}  // namespace anole::views
