@@ -20,6 +20,7 @@
 #include "sim/engine.hpp"
 #include "sim/full_info.hpp"
 #include "views/profile.hpp"
+#include "views/sig_hash.hpp"
 
 namespace {
 
@@ -126,6 +127,72 @@ std::vector<Row> bm_com_rounds(std::size_t n, int rounds) {
       });
 }
 
+// The SoA gather + batched-hash kernels (DESIGN.md §11) in isolation:
+// the exact per-level hot loop of Refiner::advance — child-key gather,
+// per-entry mix, per-node reduction — over columns flattened from a real
+// graph, with a dense synthetic key column standing in for the previous
+// level's canonical ranks. Reported as memory throughput (GB/s) and node
+// rate (Mnodes/s); bytes per iteration count the streams the kernels
+// actually touch: per entry 4 (nbr) + 8 (premix) + 4 (key gather) +
+// 4 (child write) + 8 (emix write, read back by the reduction) = 28, per
+// node 8 (hash write) + 4 (offsets).
+std::vector<Row> bm_gather_hash(const std::string& family,
+                                const portgraph::PortGraph& g) {
+  using Clock = std::chrono::steady_clock;
+  std::size_t n = g.n();
+  std::vector<std::uint32_t> offset(n + 1, 0);
+  int uniform_degree = g.degree(0);
+  for (std::size_t v = 0; v < n; ++v) {
+    int degree = g.degree(static_cast<portgraph::NodeId>(v));
+    if (degree != uniform_degree) uniform_degree = 0;
+    offset[v + 1] = offset[v] + static_cast<std::uint32_t>(degree);
+  }
+  std::size_t entries = offset[n];
+  std::vector<std::uint32_t> nbr(entries);
+  std::vector<std::uint64_t> premix(entries);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& row = g.neighbors(static_cast<portgraph::NodeId>(v));
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      nbr[offset[v] + p] = static_cast<std::uint32_t>(row[p].neighbor);
+      premix[offset[v] + p] = views::sig_hash::entry_premix(
+          p, static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(row[p].rev_port)));
+    }
+  }
+  std::vector<views::ViewId> key(n);
+  for (std::size_t v = 0; v < n; ++v)
+    key[v] = static_cast<views::ViewId>(v % 97);  // dense, rank-like
+  std::vector<views::ViewId> child(entries);
+  std::vector<std::uint64_t> emix(entries);
+  std::vector<std::uint64_t> hash(n);
+  auto op = [&] {
+    views::sig_hash::gather_mix(nbr.data(), key.data(), premix.data(),
+                                child.data(), emix.data(), entries);
+    views::sig_hash::reduce_nodes(offset.data(), 0, n, emix.data(),
+                                  /*depth=*/3, uniform_degree, hash.data());
+  };
+  op();  // warm-up
+  std::int64_t iters = 0;
+  Clock::time_point start = Clock::now();
+  double elapsed_ms = 0;
+  while (elapsed_ms < kBudgetMs && iters < kMaxIters) {
+    op();
+    ++iters;
+    elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+  }
+  double seconds = elapsed_ms / 1e3;
+  double bytes = static_cast<double>(iters) *
+                 (28.0 * static_cast<double>(entries) +
+                  12.0 * static_cast<double>(n));
+  double gb_per_sec = bytes / seconds / 1e9;
+  double mnodes_per_sec =
+      static_cast<double>(iters) * static_cast<double>(n) / seconds / 1e6;
+  return {Row{"gather_hash", family + "/n=" + std::to_string(n), iters,
+              Value::real(gb_per_sec, 2), Value::real(mnodes_per_sec, 1)}};
+}
+
 std::vector<Row> bm_serialized_size() {
   portgraph::PortGraph g = portgraph::random_connected(128, 128, 5);
   views::ViewRepo repo;
@@ -147,6 +214,14 @@ runner::Scenario make_m1_views() {
       "view substrate operations: refinement throughput, interning, "
       "canonical comparison, truncation, full COM simulation rounds",
       kMicroColumns});
+  s.tables.push_back(runner::TableSpec{
+      "M1c",
+      "SoA gather + batched-hash kernels (DESIGN.md §11) in isolation: "
+      "sig_hash::gather_mix + reduce_nodes over columns flattened from a "
+      "real graph. GB/s counts the streams the kernels touch (28 B/entry "
+      "+ 12 B/node — see the cell comment); Mnodes/s is level-advance "
+      "node throughput of the hash phase alone.",
+      {"benchmark", "arg", "iterations", "GB/s", "Mnodes/s"}});
   for (std::size_t n : {32, 128, 512})
     s.add_cell("profile/n=" + std::to_string(n), 0,
                [n] { return bm_profile_refinement(n); });
@@ -159,6 +234,16 @@ runner::Scenario make_m1_views() {
   s.add_cell("com/256x8", 0, [] { return bm_com_rounds(256, 8); });
   s.add_cell("com/256x16", 0, [] { return bm_com_rounds(256, 16); });
   s.add_cell("serialized_size", 0, [] { return bm_serialized_size(); });
+  s.add_cell("gather_hash/ring", 1, [] {
+    return bm_gather_hash("ring", portgraph::ring(1 << 18));
+  });
+  s.add_cell("gather_hash/torus", 1, [] {
+    return bm_gather_hash("torus", portgraph::torus(256, 256));
+  });
+  s.add_cell("gather_hash/random", 1, [] {
+    return bm_gather_hash("random",
+                          portgraph::random_connected(65536, 131072, 9));
+  });
   return s;
 }
 

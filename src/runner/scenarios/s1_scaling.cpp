@@ -12,7 +12,11 @@
 //             best case (n messages, one size computation);
 //   clique  — dense and feasible (phi = 1): n distinct views per round,
 //             the largest per-view DAGs;
-//   random  — sparse connected graphs, the typical workload.
+//   random  — sparse connected graphs, the typical workload;
+//   torus   — uniform degree 4, vertex-transitive (rows*cols classes
+//             collapse fast): the quotient metering path on a 2D family;
+//   hypercube — uniform degree log2 n, the runtime-degree hash reduction
+//             under metering load.
 //
 // Every value reported is deterministic (byte-identical across --threads,
 // like all paper tables); wall-clock throughput is tracked separately via
@@ -28,6 +32,7 @@
 #include "runner/scenarios/common.hpp"
 #include "sim/engine.hpp"
 #include "sim/full_info.hpp"
+#include "views/refiner.hpp"
 #include "views/view_repo.hpp"
 
 namespace {
@@ -55,13 +60,15 @@ class ComForRounds final : public sim::FullInfoProgram {
 };
 
 Row s1_row(const std::string& family, const portgraph::PortGraph& g,
-           int rounds, views::ViewRepo& repo, util::ThreadPool* pool) {
+           int rounds, views::ViewRepo& repo, util::ThreadPool* pool,
+           views::Refiner* refiner = nullptr) {
   std::vector<std::unique_ptr<sim::NodeProgram>> programs;
   programs.reserve(g.n());
   for (std::size_t v = 0; v < g.n(); ++v)
     programs.push_back(std::make_unique<ComForRounds>(rounds));
   sim::RunMetrics m = sim::run_full_info(g, repo, programs, rounds + 1,
-                                         /*meter_messages=*/true, pool);
+                                         /*meter_messages=*/true, pool,
+                                         refiner);
   std::size_t last_distinct = m.distinct_views_per_round.empty()
                                   ? 0
                                   : m.distinct_views_per_round.back();
@@ -90,13 +97,20 @@ std::vector<Row> s1_shared_cell() {
   views::ViewRepo repo;
   std::unique_ptr<util::ThreadPool> pool =
       runner::scenarios::intra_cell_pool(16384);
+  // One refiner serves the whole sweep (run_full_info re-attaches it per
+  // graph), recycling its SoA columns and dedup table; the attach() trim
+  // keeps the 16384-node footprint from riding along into the 64-node
+  // graphs. Metrics are identical to per-run refiners.
+  portgraph::PortGraph seed = portgraph::ring(4);
+  views::Refiner refiner(seed, repo);
   std::vector<Row> rows;
   for (std::size_t n : {1024, 4096, 16384})
-    rows.push_back(s1_row("ring", portgraph::ring(n), 32, repo, pool.get()));
+    rows.push_back(
+        s1_row("ring", portgraph::ring(n), 32, repo, pool.get(), &refiner));
   for (std::size_t n : {64, 256, 1024})
     rows.push_back(s1_row("random",
                           portgraph::random_connected(n, 2 * n, 9), 8, repo,
-                          pool.get()));
+                          pool.get(), &refiner));
   return rows;
 }
 
@@ -143,6 +157,9 @@ runner::Scenario make_s1() {
   for (std::size_t n : {64, 256, 1024})
     add("random", n, 8,
         [n] { return portgraph::random_connected(n, 2 * n, 9); });
+  add("torus", 64 * 64, 16, [] { return portgraph::torus(64, 64); });
+  add("hypercube", std::size_t{1} << 12, 8,
+      [] { return portgraph::hypercube(12); });
   s.add_cell("shared/sweep", 1, [] { return s1_shared_cell(); });
   return s;
 }

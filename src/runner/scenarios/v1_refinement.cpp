@@ -12,7 +12,17 @@
 //   path    — the deep-refinement extreme: phi ~ n/2 levels, the O(n·t)
 //             history the keep_history=false mode exists for;
 //   random  — shallow profiles over wide levels, the typical workload;
-//   clique  — the densest signatures (n-1 children each).
+//   clique  — the densest signatures (n-1 children each);
+//   torus   — uniform degree 4 with a 2D symmetry group: few classes,
+//             wide levels, the SoA reduce kernel's degree-4 fast path;
+//   hypercube — uniform degree d = log2 n, the runtime-degree reduction.
+//
+// The presoa cells time the raw pre-stabilization SoA pipeline
+// (DESIGN.md §11) in isolation: a serial Refiner with the stable-phase
+// quotient disabled instance-locally, a fixed number of advance() rounds
+// — gather + batched hash + prefetched dedup every round, no quotient
+// shortcut. Their wall time is the bench_check-guarded regression floor
+// for the structure-of-arrays refactor (BENCH_refine.json).
 //
 // Every reported value is deterministic and pool-independent; wall-clock
 // throughput rides the --bench-out channel ("n" / "rounds" columns feed
@@ -27,6 +37,7 @@
 #include "runner/scenario.hpp"
 #include "runner/scenarios/common.hpp"
 #include "views/profile.hpp"
+#include "views/refiner.hpp"
 
 namespace {
 
@@ -49,14 +60,51 @@ std::vector<Row> v1_cell(const std::string& family,
               repo.size()}};
 }
 
+// Raw pre-stabilization pipeline cell (DESIGN.md §11): a serial Refiner
+// with the quotient advancer disabled *instance-locally* (the global
+// switch stays untouched — cells run concurrently), advanced a fixed
+// number of rounds. Every round pays the full gather + batched hash +
+// prefetched dedup, which is exactly the work the SoA refactor targets;
+// the reported values are deterministic, the wall time rides --bench-out
+// and is guarded by bench_check.
+std::vector<Row> presoa_cell(const std::string& family,
+                             const portgraph::PortGraph& g, int rounds,
+                             int reps) {
+  // The cell wall time includes the one-time graph build, so the
+  // refinement sequence repeats (fresh repo each rep) until the pipeline
+  // dominates the guarded number — a regression in the hot loop moves the
+  // cell well past bench_check's tolerance, a slow graph builder does not.
+  std::size_t classes = 0;
+  std::size_t records = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    views::ViewRepo repo;
+    views::Refiner refiner(g, repo);
+    refiner.set_quotient_enabled(false);
+    std::vector<views::ViewId> level;
+    std::vector<views::ViewId> next;
+    classes = refiner.init_level(level);
+    for (int r = 0; r < rounds; ++r) {
+      classes = refiner.advance(level, next);
+      level.swap(next);
+    }
+    records = repo.size();
+  }
+  return {Row{family, g.n(), rounds, classes, Value("-"), records}};
+}
+
 // Thread-scaling cell (DESIGN.md §10): a fixed sweep of graphs refined
 // into ONE shared concurrent ViewRepo with an explicit K-worker pool.
 // Every reported value is identical across K — the table IS the flatness
 // check — while the per-cell wall time rides --bench-out, giving CI a
 // thread-scaling curve (BENCH_refine.json) next to the serial cells.
+// The sweep reuses ONE refiner across its graphs (ProfileOptions::refiner)
+// — the attach() path the SoA columns are recycled through.
 std::vector<Row> scale_cell(std::size_t threads) {
   views::ViewRepo repo;
   util::ThreadPool pool(threads);
+  // The seed graph only feeds the constructor; each sweep step re-attaches.
+  portgraph::PortGraph seed = portgraph::ring(4);
+  views::Refiner refiner(seed, repo);
   std::size_t levels = 0;
   std::size_t classes = 0;
   std::size_t graphs = 0;
@@ -65,7 +113,8 @@ std::vector<Row> scale_cell(std::size_t threads) {
         g, repo,
         views::ProfileOptions{.min_depth = min_depth,
                               .keep_history = false,
-                              .pool = &pool});
+                              .pool = &pool,
+                              .refiner = &refiner});
     levels += static_cast<std::size_t>(p.computed_depth());
     classes += p.class_counts.back();
     ++graphs;
@@ -89,7 +138,9 @@ runner::Scenario make_v1() {
       "where feasible, and the hash-consed repo size. Profiles run with "
       "keep_history=false (only the deepest level retained) and an "
       "intra-cell pool for the gather/hash phase; all values are "
-      "deterministic and thread-count independent. Wall-clock throughput "
+      "deterministic and thread-count independent. The presoa rows time "
+      "the raw pre-stabilization SoA pipeline instead (serial, quotient "
+      "disabled, fixed rounds — DESIGN.md §11). Wall-clock throughput "
       "is tracked via --bench-out.",
       {"family", "n", "rounds", "classes", "phi", "repo records"}});
   s.tables.push_back(runner::TableSpec{
@@ -115,6 +166,17 @@ runner::Scenario make_v1() {
   add("random/n=16384", "random", 0,
       [] { return portgraph::random_connected(16384, 32768, 9); });
   add("clique/n=512", "clique", 2, [] { return portgraph::clique(512); });
+  add("torus/256x256", "torus", 8,
+      [] { return portgraph::torus(256, 256); });
+  add("hypercube/d=16", "hypercube", 4,
+      [] { return portgraph::hypercube(16); });
+  s.add_cell("presoa/ring-n=1048576", 0, [] {
+    return presoa_cell("ring", portgraph::ring(1 << 20), 8, 3);
+  });
+  s.add_cell("presoa/random-n=65536", 0, [] {
+    return presoa_cell("random",
+                       portgraph::random_connected(65536, 131072, 9), 3, 3);
+  });
   for (std::size_t k : {1, 2, 4, 8})
     s.add_cell("scale/threads=" + std::to_string(k), 1,
                [k] { return scale_cell(k); });

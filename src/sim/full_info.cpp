@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "views/refiner.hpp"
 
@@ -38,7 +39,7 @@ RunMetrics run_full_info(const portgraph::PortGraph& graph,
                          views::ViewRepo& repo,
                          std::span<const std::unique_ptr<NodeProgram>> programs,
                          int max_rounds, bool meter_messages,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool, views::Refiner* reuse) {
   const portgraph::PortGraph& g = graph;
   ANOLE_CHECK_MSG(programs.size() == g.n(),
                   "need one program per node: " << programs.size() << " vs "
@@ -72,7 +73,17 @@ RunMetrics run_full_info(const portgraph::PortGraph& graph,
     degree_sum +=
         static_cast<std::size_t>(g.degree(static_cast<portgraph::NodeId>(v)));
 
-  views::Refiner refiner(g, repo, pool);
+  // A caller-provided refiner is rebound to this graph (recycling its
+  // columns, tables and arenas across a sweep of runs); otherwise a local
+  // one lives for just this run.
+  std::optional<views::Refiner> local;
+  if (reuse != nullptr) {
+    ANOLE_CHECK_MSG(&reuse->repo() == &repo,
+                    "reused refiner interns into a different repo");
+    reuse->attach(g);
+    reuse->set_pool(pool);
+  }
+  views::Refiner& refiner = reuse != nullptr ? *reuse : local.emplace(g, repo, pool);
   std::vector<views::ViewId> level(n);
   for (std::size_t v = 0; v < n; ++v) level[v] = fips[v]->view();
   std::vector<views::ViewId> next(n);

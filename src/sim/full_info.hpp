@@ -24,6 +24,10 @@ namespace anole::util {
 class ThreadPool;
 }  // namespace anole::util
 
+namespace anole::views {
+class Refiner;
+}  // namespace anole::views
+
 namespace anole::sim {
 
 class FullInfoProgram;
@@ -42,11 +46,17 @@ class FullInfoProgram;
 /// `pool` (which only parallelizes the refiner's gather/hash phase). If
 /// some program is NOT a FullInfoProgram the call falls back to
 /// Engine::run — so callers may wire it in unconditionally.
+///
+/// `refiner`, when given, is reused instead of constructing one per call
+/// (it must intern into `repo`): the refiner is attach()ed to `graph` and
+/// takes `pool`, recycling its SoA columns, dedup table and arenas across
+/// a sweep of runs. Metrics are identical either way.
 RunMetrics run_full_info(const portgraph::PortGraph& graph,
                          views::ViewRepo& repo,
                          std::span<const std::unique_ptr<NodeProgram>> programs,
                          int max_rounds, bool meter_messages = false,
-                         util::ThreadPool* pool = nullptr);
+                         util::ThreadPool* pool = nullptr,
+                         views::Refiner* refiner = nullptr);
 
 class FullInfoProgram : public NodeProgram {
  public:
@@ -87,7 +97,7 @@ class FullInfoProgram : public NodeProgram {
   friend RunMetrics run_full_info(
       const portgraph::PortGraph&, views::ViewRepo&,
       std::span<const std::unique_ptr<NodeProgram>>, int, bool,
-      util::ThreadPool*);
+      util::ThreadPool*, views::Refiner*);
 
   /// Batched-refinement equivalent of deliver(): the interned next view is
   /// handed over directly, skipping the per-node inbox and intern.

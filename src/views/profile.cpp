@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "views/refiner.hpp"
 
@@ -36,10 +37,22 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
   ViewProfile profile;
   profile.keep_history = opts.keep_history;
   std::size_t n = g.n();
-  Refiner refiner(g, repo, opts.pool);
+  // A caller-provided refiner is rebound to this graph (recycling its
+  // columns, tables and arenas across a sweep); otherwise a local one
+  // lives for just this call. Either way the same repo is interned into.
+  std::optional<Refiner> local;
+  Refiner* refiner = opts.refiner;
+  if (refiner != nullptr) {
+    ANOLE_CHECK_MSG(&refiner->repo() == &repo,
+                    "reused refiner interns into a different repo");
+    refiner->attach(g);
+    refiner->set_pool(opts.pool);
+  } else {
+    refiner = &local.emplace(g, repo, opts.pool);
+  }
 
   std::vector<ViewId> level;
-  std::size_t classes = refiner.init_level(level);
+  std::size_t classes = refiner->init_level(level);
   push_level(profile, std::move(level), classes);
 
   // True while ids.back() lags behind the refiner's quotient state (deep
@@ -58,18 +71,18 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
     bool done = (profile.feasible || stabilized) && t >= opts.min_depth;
     if (done) break;
 
-    if (refiner.stable() && !profile.keep_history) {
+    if (refiner->stable() && !profile.keep_history) {
       // Stable phase, deepest-level-only mode: O(classes) per round —
       // no gather, no dedup, not even the O(n) scatter (DESIGN.md §9).
-      profile.class_counts.push_back(refiner.advance_quotient());
+      profile.class_counts.push_back(refiner->advance_quotient());
       last_level_stale = true;
       continue;
     }
     std::vector<ViewId> next;
-    std::size_t next_classes = refiner.advance(profile.ids.back(), next);
+    std::size_t next_classes = refiner->advance(profile.ids.back(), next);
     push_level(profile, std::move(next), next_classes);
   }
-  if (last_level_stale) refiner.scatter(profile.ids.back());
+  if (last_level_stale) refiner->scatter(profile.ids.back());
   return profile;
 }
 

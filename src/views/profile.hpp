@@ -30,6 +30,8 @@ class ThreadPool;
 
 namespace anole::views {
 
+class Refiner;
+
 struct ViewProfile {
   /// ids[t][v] = ViewId of B^t(v); levels 0..computed_depth. When the
   /// profile was built with keep_history = false, only the *last* level is
@@ -83,6 +85,13 @@ struct ProfileOptions {
   /// Optional pool for the Refiner's gather/hash phase. Output (ids and
   /// counts alike) is identical for any pool, including none.
   util::ThreadPool* pool = nullptr;
+  /// Optional Refiner to reuse instead of constructing one per call: it is
+  /// attach()ed to the graph (which trims over-sized scratch) and takes
+  /// `pool` for this computation. Must intern into the same `repo` the
+  /// profile call receives. Sweeps over many graphs pass one refiner so
+  /// the SoA columns, dedup table and arenas are recycled rather than
+  /// re-allocated per cell. Output is identical either way.
+  Refiner* refiner = nullptr;
 };
 
 /// Computes B^t for t = 0,1,... until the partition stabilizes or all views

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "util/thread_pool.hpp"
+#include "views/sig_hash.hpp"
 
 namespace anole::views {
 namespace {
@@ -14,32 +16,71 @@ using portgraph::NodeId;
 // is available: submitting tasks costs more than the gather saves.
 constexpr std::size_t kMinParallelNodes = 2048;
 
+// Serial pipeline block, in nodes: each block is gathered, hashed AND
+// deduped before the next block starts, so a block's per-entry terms
+// (emix_), child keys and per-node hashes are produced and consumed
+// while still in L2 instead of round-tripping 16+ bytes per entry
+// through DRAM on million-node levels.
+constexpr std::size_t kSerialBlockNodes = 8192;
+
+// Default dedup-scan prefetch distance, in nodes: far enough ahead to
+// cover DRAM latency at the scan's consumption rate, near enough that the
+// lines are still resident when the scan arrives.
+constexpr int kDefaultPrefetchNodes = 8;
+
 /// Debug/test switch behind set_stable_quotient_enabled(); atomic because
 /// scenario cells construct Refiners from runner worker threads.
 std::atomic<bool> g_quotient_enabled{true};
+
+std::atomic<int> g_prefetch_nodes{kDefaultPrefetchNodes};
 
 /// True when a level of n nodes is worth chunking across `pool`.
 bool worth_parallel(util::ThreadPool* pool, std::size_t n) {
   return pool != nullptr && pool->size() > 1 && n >= kMinParallelNodes;
 }
 
-/// Runs fn(begin, end, chunk) over [0, n) — through the pool's
-/// parallel_for when it pays, inline (as chunk 0) otherwise. fn must only
-/// touch per-node state in its range, plus per-chunk state keyed on the
-/// chunk index.
-template <typename Fn>
-void for_node_ranges(util::ThreadPool* pool, std::size_t n, const Fn& fn) {
-  if (!worth_parallel(pool, n)) {
-    fn(std::size_t{0}, n, std::size_t{0});
-    return;
-  }
-  pool->parallel_for(0, n, kMinParallelNodes, fn);
-}
-
 std::size_t table_capacity_for(std::size_t n) {
   std::size_t cap = 16;
   while (cap < 2 * n) cap *= 2;
   return cap;
+}
+
+/// Resizes `vec` to `need`, first dropping its allocation when the held
+/// capacity exceeds 4x the need — the attach()-time trim that keeps a
+/// sweep's Refiner from carrying its largest graph's footprint through
+/// every smaller cell. The +64 floor leaves small buffers alone.
+template <typename V>
+void trim_to(V& vec, std::size_t need) {
+  if (vec.capacity() > 4 * need + 64) {
+    V fresh;
+    fresh.reserve(need);
+    vec.swap(fresh);
+  }
+  vec.resize(need);
+}
+
+/// Same trim for scratch that is (re)sized on first use per level — just
+/// release the stale allocation, never resize.
+template <typename V>
+void release_oversized(V& vec, std::size_t need) {
+  if (vec.capacity() > 4 * need + 64) V().swap(vec);
+}
+
+/// Equality of two degree-length column slices (4-byte elements). The
+/// dedup hit path runs this millions of times per level on tiny spans;
+/// std::equal lowers to an out-of-line memcmp call at runtime sizes, so
+/// word-compare inline instead (a single u64 compare for the ubiquitous
+/// degree 2).
+inline bool cols_equal(const std::int32_t* a, const std::int32_t* b,
+                       std::size_t count) {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    std::uint64_t wa, wb;
+    std::memcpy(&wa, a + i, sizeof(wa));
+    std::memcpy(&wb, b + i, sizeof(wb));
+    if (wa != wb) return false;
+  }
+  return i == count || a[i] == b[i];
 }
 
 }  // namespace
@@ -52,21 +93,96 @@ bool stable_quotient_enabled() {
   return g_quotient_enabled.load(std::memory_order_relaxed);
 }
 
+void set_dedup_prefetch_distance(int nodes) {
+  g_prefetch_nodes.store(nodes, std::memory_order_relaxed);
+}
+
+int dedup_prefetch_distance() {
+  return g_prefetch_nodes.load(std::memory_order_relaxed);
+}
+
 Refiner::Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
                  util::ThreadPool* pool)
-    : graph_(&g), repo_(&repo), pool_(pool) {
+    : repo_(&repo), pool_(pool) {
+  quotient_enabled_ = stable_quotient_enabled();
+  attach(g);
+}
+
+void Refiner::attach(const portgraph::PortGraph& g) {
+  graph_ = &g;
   std::size_t n = g.n();
   ANOLE_CHECK_MSG(n >= 1, "refining an empty graph");
-  quotient_enabled_ = stable_quotient_enabled();
-  offset_.resize(n + 1);
+  quotient_frozen_ = false;  // new graph, new refinement sequence
+  has_degree0_ = false;
+
+  trim_to(offset_, n + 1);
   offset_[0] = 0;
+  uniform_degree_ = g.degree(0);
+  max_degree_ = 0;
   for (std::size_t v = 0; v < n; ++v) {
     int degree = g.degree(static_cast<NodeId>(v));
     has_degree0_ = has_degree0_ || degree == 0;
+    if (degree != uniform_degree_) uniform_degree_ = 0;
+    max_degree_ = std::max(max_degree_, degree);
     offset_[v + 1] = offset_[v] + static_cast<std::uint32_t>(degree);
   }
-  arena_.resize(offset_[n]);
-  hash_.resize(n);
+  std::size_t entries = offset_[n];
+  trim_to(nbr_, entries);
+  trim_to(port_col_, entries);
+  trim_to(premix_, entries);
+  trim_to(child_col_, entries);
+  trim_to(emix_, entries);
+  trim_to(hash_, n);
+  trim_to(prev_key_, n);
+  trim_to(sig_ids_, static_cast<std::size_t>(max_degree_));
+  // The static columns: neighbor ids and reverse ports flattened out of
+  // the adjacency rows, plus the position-salted hash premix — a pure
+  // function of (position, rev_port), so one column serves every level.
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& row = g.neighbors(static_cast<NodeId>(v));
+    std::uint32_t base = offset_[v];
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      nbr_[base + p] = static_cast<std::uint32_t>(row[p].neighbor);
+      port_col_[base + p] = row[p].rev_port;
+      premix_[base + p] = sig_hash::entry_premix(
+          p, static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(row[p].rev_port)));
+    }
+  }
+  // Scratch that is sized on first use per level: release what a bigger
+  // previous graph left >4x over-sized.
+  std::size_t cap = table_capacity_for(n);
+  release_oversized(table_, cap);
+  if (table_.size() != cap) {
+    // Size the dedup table here, at setup time, so the first advance of
+    // the new graph does not eat a multi-MB clear inside its timed work.
+    table_.assign(cap, Slot{});
+    used_slots_.clear();
+  }
+  release_oversized(used_slots_, n);
+  release_oversized(id_table_, table_capacity_for(n));
+  release_oversized(distinct_, n);
+  release_oversized(class_of_, n);
+  release_oversized(rep_, n);
+  release_oversized(qoffset_, n + 1);
+  release_oversized(qport_, entries);
+  release_oversized(qchild_, entries);
+  release_oversized(class_ids_, n);
+  release_oversized(new_class_ids_, n);
+}
+
+std::size_t Refiner::scratch_bytes() const {
+  auto bytes = [](const auto& vec) {
+    return vec.capacity() *
+           sizeof(typename std::decay_t<decltype(vec)>::value_type);
+  };
+  return bytes(offset_) + bytes(nbr_) + bytes(port_col_) + bytes(premix_) +
+         bytes(child_col_) + bytes(emix_) + bytes(hash_) + bytes(prev_key_) +
+         bytes(sig_ids_) + bytes(table_) + bytes(used_slots_) +
+         bytes(distinct_) +
+         bytes(id_table_) + bytes(class_of_) + bytes(rep_) + bytes(qoffset_) +
+         bytes(qport_) + bytes(qchild_) + bytes(class_ids_) +
+         bytes(new_class_ids_);
 }
 
 std::size_t Refiner::init_level(std::vector<ViewId>& level) {
@@ -108,7 +224,6 @@ bool Refiner::matches_quotient(const std::vector<ViewId>& prev) const {
 }
 
 void Refiner::freeze_quotient(const std::vector<ViewId>& level) {
-  const portgraph::PortGraph& g = *graph_;
   std::size_t n = level.size();
   constexpr std::uint32_t kNoClass = 0xffffffffu;
   // Classes are numbered in ascending first-node order — the order the
@@ -129,28 +244,25 @@ void Refiner::freeze_quotient(const std::vector<ViewId>& level) {
     }
     class_of_[v] = remap[idx];
   }
-  // Frozen class-expressed signatures: the partition is a fixed point, so
-  // a node's signature, with each child named by its *class* instead of
-  // its per-level id, never changes again. One representative per class.
+  // Frozen class-expressed signatures in SoA form: the partition is a
+  // fixed point, so a node's signature, with each child named by its
+  // *class* instead of its per-level id, never changes again. One
+  // representative per class, sliced straight out of the static columns.
   std::size_t classes = rep_.size();
   qoffset_.assign(classes + 1, 0);
-  std::size_t max_degree = 0;
+  for (std::size_t c = 0; c < classes; ++c)
+    qoffset_[c + 1] = qoffset_[c] + (offset_[rep_[c] + 1] - offset_[rep_[c]]);
+  qport_.resize(qoffset_[classes]);
+  qchild_.resize(qoffset_[classes]);
   for (std::size_t c = 0; c < classes; ++c) {
-    std::size_t degree = static_cast<std::size_t>(
-        g.degree(static_cast<NodeId>(rep_[c])));
-    max_degree = std::max(max_degree, degree);
-    qoffset_[c + 1] = qoffset_[c] + static_cast<std::uint32_t>(degree);
+    std::uint32_t gbase = offset_[rep_[c]];
+    std::uint32_t qbase = qoffset_[c];
+    std::uint32_t degree = qoffset_[c + 1] - qbase;
+    for (std::uint32_t p = 0; p < degree; ++p) {
+      qport_[qbase + p] = port_col_[gbase + p];
+      qchild_[qbase + p] = class_of_[nbr_[gbase + p]];
+    }
   }
-  qarena_.resize(qoffset_[classes]);
-  for (std::size_t c = 0; c < classes; ++c) {
-    const auto& row = g.neighbors(static_cast<NodeId>(rep_[c]));
-    ChildRef* sig = qarena_.data() + qoffset_[c];
-    for (std::size_t p = 0; p < row.size(); ++p)
-      sig[p] = ChildRef{row[p].rev_port,
-                        static_cast<ViewId>(
-                            class_of_[static_cast<std::size_t>(row[p].neighbor)])};
-  }
-  sig_scratch_.resize(max_degree);
   quotient_frozen_ = true;
 }
 
@@ -161,17 +273,16 @@ std::size_t Refiner::advance_quotient() {
   int depth = repo_->depth(class_ids_[0]) + 1;
   new_class_ids_.resize(classes);
   for (std::size_t c = 0; c < classes; ++c) {
-    std::size_t degree = qoffset_[c + 1] - qoffset_[c];
-    const ChildRef* frozen = qarena_.data() + qoffset_[c];
+    std::uint32_t base = qoffset_[c];
+    std::size_t degree = qoffset_[c + 1] - base;
     for (std::size_t p = 0; p < degree; ++p)
-      sig_scratch_[p] =
-          ChildRef{frozen[p].first,
-                   class_ids_[static_cast<std::size_t>(frozen[p].second)]};
-    std::span<const ChildRef> sig(sig_scratch_.data(), degree);
+      sig_ids_[p] = class_ids_[qchild_[base + p]];
+    std::span<const portgraph::Port> ports(qport_.data() + base, degree);
+    std::span<const ViewId> ids(sig_ids_.data(), degree);
     std::uint64_t h =
-        ViewRepo::signature_hash(static_cast<int>(degree), depth, sig);
+        ViewRepo::signature_hash(static_cast<int>(degree), depth, ports, ids);
     new_class_ids_[c] =
-        repo_->intern_hashed(static_cast<int>(degree), depth, sig, h);
+        repo_->intern_hashed(static_cast<int>(degree), depth, ports, ids, h);
   }
   class_ids_.swap(new_class_ids_);
   distinct_.assign(class_ids_.begin(), class_ids_.end());
@@ -194,10 +305,128 @@ void Refiner::scatter(std::vector<ViewId>& level) const {
   for (std::size_t v = 0; v < n; ++v) level[v] = class_ids_[class_of_[v]];
 }
 
+bool Refiner::try_rank_keys(const std::vector<ViewId>& prev) {
+  std::size_t n = prev.size();
+  prev_key_.resize(n);
+  // Ids in prev were all interned before this call, so the bulk reader's
+  // segment snapshot covers them. A consistent snapshot is required for
+  // injectivity (rank equality ⟺ id equality per depth): a concurrent
+  // assign_ranks renumbering mid-read could alias two distinct views
+  // onto one rank value, so an invalidated snapshot retries once and
+  // then falls back to the (always equivalent) id keys.
+  ViewRepo::RankReader ranks(*repo_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::uint64_t token = repo_->rank_snapshot();
+    // Runs of equal ids are the norm once the partition coarsens (a
+    // nearly-stable level is long stretches of one class), so memoize the
+    // last id's rank instead of re-walking the record segment per node.
+    ViewId memo_id = kInvalidView;
+    std::int32_t memo_rank = kUnranked;
+    for (std::size_t v = 0; v < n; ++v) {
+      ViewId id = prev[v];
+      if (id != memo_id) {
+        std::int32_t r = ranks.rank(id);
+        if (r == kUnranked) return false;  // foreign unranked view: id keys
+        memo_id = id;
+        memo_rank = r;
+      }
+      prev_key_[v] = memo_rank;
+    }
+    if (repo_->rank_snapshot_valid(token)) return true;
+  }
+  return false;
+}
+
+void Refiner::dedup_prepare(std::size_t n) {
+  // Clearing: a full rebuild only when the capacity changes; otherwise
+  // just empty the slots the previous level wrote (C of them — for a
+  // nearly-stable million-node level that is a handful of stores instead
+  // of a multi-MB memset every round).
+  std::size_t cap = table_capacity_for(n);
+  if (table_.size() != cap) {
+    table_.assign(cap, Slot{});
+  } else {
+    for (std::uint32_t i : used_slots_) table_[i].id = kInvalidView;
+  }
+  used_slots_.clear();
+  distinct_.clear();
+}
+
+void Refiner::dedup_block(const std::vector<ViewId>& prev, int depth,
+                          bool rank_keyed, std::size_t begin, std::size_t end,
+                          std::vector<ViewId>& next) {
+  // Sequential in node order (blocks arrive in order): ids are assigned
+  // exactly as the per-node intern loop would assign them (the serial
+  // determinism contract). The level-local table resolves duplicate nodes
+  // without touching the repo's sharded index. Earlier blocks' column
+  // ranges stay valid, so cross-block duplicate compares read them as a
+  // flat level.
+  std::size_t mask = table_.size() - 1;
+  const std::size_t pf = static_cast<std::size_t>(
+      std::max(0, dedup_prefetch_distance()));
+  for (std::size_t v = begin; v < end; ++v) {
+    if (pf != 0 && v + pf < end) {
+      // Pull the lines the scan will need pf nodes from now: the home
+      // table slot of that node's probe and the start of its child-key
+      // column span — the two data-dependent loads of an iteration.
+      ANOLE_PREFETCH(&table_[hash_[v + pf] & mask]);
+      ANOLE_PREFETCH(child_col_.data() + offset_[v + pf]);
+    }
+    std::uint64_t h = hash_[v];
+    std::uint32_t off = offset_[v];
+    std::size_t degree = offset_[v + 1] - off;
+    std::size_t i = h & mask;
+    for (;;) {
+      Slot& slot = table_[i];
+      if (slot.id == kInvalidView) {
+        std::span<const portgraph::Port> ports(port_col_.data() + off, degree);
+        ViewId id;
+        if (rank_keyed) {
+          // The columns hold the level-local rank keys; the repo's index
+          // is keyed on id signatures, so a FRESH signature (one per
+          // class, not per node) re-derives its id column and hash from
+          // prev before interning.
+          for (std::size_t p = 0; p < degree; ++p)
+            sig_ids_[p] = prev[nbr_[off + p]];
+          std::span<const ViewId> ids(sig_ids_.data(), degree);
+          std::uint64_t hid = ViewRepo::signature_hash(
+              static_cast<int>(degree), depth, ports, ids);
+          id = repo_->intern_hashed(static_cast<int>(degree), depth, ports,
+                                    ids, hid);
+        } else {
+          std::span<const ViewId> ids(child_col_.data() + off, degree);
+          id = repo_->intern_hashed(static_cast<int>(degree), depth, ports,
+                                    ids, h);
+        }
+        slot = Slot{h, static_cast<std::uint32_t>(v), id};
+        used_slots_.push_back(static_cast<std::uint32_t>(i));
+        distinct_.push_back(id);
+        next[v] = id;
+        break;
+      }
+      if (slot.hash == h) {
+        std::uint32_t soff = offset_[slot.node];
+        std::size_t sdeg = offset_[slot.node + 1] - soff;
+        // SoA compare, children first: equal-degree signatures in one
+        // level share the port layout far more often than the child keys,
+        // so the child column usually decides within its first line.
+        if (sdeg == degree &&
+            cols_equal(child_col_.data() + off, child_col_.data() + soff,
+                       degree) &&
+            cols_equal(port_col_.data() + off, port_col_.data() + soff,
+                       degree)) {
+          next[v] = slot.id;
+          break;
+        }
+      }
+      i = (i + 1) & mask;
+    }
+  }
+}
+
 std::size_t Refiner::advance(const std::vector<ViewId>& prev,
                              std::vector<ViewId>& next) {
-  const portgraph::PortGraph& g = *graph_;
-  std::size_t n = g.n();
+  std::size_t n = graph_->n();
   ANOLE_CHECK_MSG(prev.size() == n,
                   "level size " << prev.size() << " vs n = " << n);
   ANOLE_CHECK_MSG(&prev != &next, "advance needs distinct level vectors");
@@ -223,65 +452,59 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
   int depth = repo_->depth(prev[0]) + 1;
   next.resize(n);
 
-  // Gather + hash: disjoint arena ranges per node, so the phase is safe to
-  // chunk across the pool and its result is independent of thread count.
-  for_node_ranges(pool_, n, [&](std::size_t begin, std::size_t end,
-                                std::size_t /*chunk*/) {
-    for (std::size_t v = begin; v < end; ++v) {
-      const auto& row = g.neighbors(static_cast<NodeId>(v));
-      ChildRef* sig = arena_.data() + offset_[v];
-      for (std::size_t p = 0; p < row.size(); ++p)
-        sig[p] = ChildRef{row[p].rev_port,
-                          prev[static_cast<std::size_t>(row[p].neighbor)]};
-      hash_[v] = ViewRepo::signature_hash(static_cast<int>(row.size()), depth,
-                                          {sig, row.size()});
-    }
-  });
+  // Key column selection: the serial dedup keys on the previous level's
+  // canonical ranks — dense small integers, injective per depth, so the
+  // columns dedup identically to ids while staying cache-compact. The
+  // parallel path (and the fallback when a rank read fails) keys on raw
+  // ids, because the repo's sharded index — its dedup table — is hashed
+  // on id signatures and reuses hash_ directly.
+  bool parallel = worth_parallel(pool_, n);
+  bool rank_keyed = !parallel && try_rank_keys(prev);
+  const ViewId* key = rank_keyed ? prev_key_.data() : prev.data();
 
-  if (!worth_parallel(pool_, n)) {
-    // Dedup + intern, sequential in node order: ids are assigned exactly
-    // as the per-node intern loop would assign them (the serial
-    // determinism contract). The level-local table resolves duplicate
-    // nodes without touching the repo's sharded index.
-    table_.assign(table_capacity_for(n), Slot{});
-    distinct_.clear();
-    std::size_t mask = table_.size() - 1;
-    for (std::size_t v = 0; v < n; ++v) {
-      std::uint64_t h = hash_[v];
-      std::span<const ChildRef> sig(arena_.data() + offset_[v],
-                                    offset_[v + 1] - offset_[v]);
-      std::size_t i = h & mask;
-      for (;;) {
-        Slot& slot = table_[i];
-        if (slot.id == kInvalidView) {
-          ViewId id = repo_->intern_hashed(static_cast<int>(sig.size()), depth,
-                                           sig, h);
-          slot = Slot{h, static_cast<std::uint32_t>(v), id};
-          distinct_.push_back(id);
-          next[v] = id;
-          break;
-        }
-        if (slot.hash == h) {
-          std::span<const ChildRef> seen(
-              arena_.data() + offset_[slot.node],
-              offset_[slot.node + 1] - offset_[slot.node]);
-          if (seen.size() == sig.size() &&
-              std::equal(seen.begin(), seen.end(), sig.begin())) {
-            next[v] = slot.id;
-            break;
-          }
-        }
-        i = (i + 1) & mask;
-      }
+  if (!parallel) {
+    // The fused serial pipeline: gather + hash + dedup each block of
+    // nodes before the next block starts, so a block's column slices
+    // (child keys, per-entry terms, hashes) are consumed while still in
+    // L2 — the level streams through DRAM once, not three times. Blocks
+    // run in ascending node order, preserving the serial id contract.
+    // sig_hash::gather_mix is the explicitly vectorizable hot loop.
+    dedup_prepare(n);
+    for (std::size_t b = 0; b < n; b += kSerialBlockNodes) {
+      std::size_t end = std::min(n, b + kSerialBlockNodes);
+      std::uint32_t e0 = offset_[b];
+      sig_hash::gather_mix(nbr_.data() + e0, key, premix_.data() + e0,
+                           child_col_.data() + e0, emix_.data() + e0,
+                           offset_[end] - e0);
+      sig_hash::reduce_nodes(offset_.data(), b, end, emix_.data(), depth,
+                             uniform_degree_, hash_.data());
+      dedup_block(prev, depth, rank_keyed, b, end, next);
     }
-    // Fresh records get ascending ids already, but a signature may match a
-    // record interned before this refinement (e.g. a second run over the
-    // same repo) — sort so distinct() is always ascending.
+    // Fresh records get ascending ids already, but a signature may match
+    // a record interned before this refinement (e.g. a second run over
+    // the same repo) — sort so distinct() is always ascending.
     std::sort(distinct_.begin(), distinct_.end());
   } else {
+    // Gather + hash, flat over the entry columns: disjoint ranges per
+    // chunk (entry spans align to node boundaries), so the phase is safe
+    // to chunk across the pool and its result is independent of thread
+    // count.
+    pool_->parallel_for(0, n, kMinParallelNodes,
+                        [&](std::size_t begin, std::size_t end,
+                            std::size_t /*chunk*/) {
+                          std::uint32_t e0 = offset_[begin];
+                          sig_hash::gather_mix(
+                              nbr_.data() + e0, key, premix_.data() + e0,
+                              child_col_.data() + e0, emix_.data() + e0,
+                              offset_[end] - e0);
+                          sig_hash::reduce_nodes(offset_.data(), begin, end,
+                                                 emix_.data(), depth,
+                                                 uniform_degree_, hash_.data());
+                        });
     // Concurrent dedup + intern: the repo's sharded index IS the dedup
     // table. Each chunk interns its node range straight into the repo
-    // through its own persistent arena; the winner of each fresh
+    // through its own persistent arena — handing over the SoA column
+    // slices, never an AoS signature; the winner of each fresh
     // signature's publish race decides the raw id, so ids depend on the
     // schedule — the record set, the partition and everything derived
     // from ranks do not (DESIGN.md §10).
@@ -291,10 +514,14 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
         [&](std::size_t begin, std::size_t end, std::size_t chunk) {
           ViewRepo::InternArena& arena = *arenas_[chunk];
           for (std::size_t v = begin; v < end; ++v) {
-            std::span<const ChildRef> sig(arena_.data() + offset_[v],
-                                          offset_[v + 1] - offset_[v]);
-            next[v] = repo_->intern_hashed(static_cast<int>(sig.size()),
-                                           depth, sig, hash_[v], &arena);
+            std::uint32_t off = offset_[v];
+            std::size_t degree = offset_[v + 1] - off;
+            next[v] = repo_->intern_hashed(
+                static_cast<int>(degree), depth,
+                std::span<const portgraph::Port>(port_col_.data() + off,
+                                                 degree),
+                std::span<const ViewId>(child_col_.data() + off, degree),
+                hash_[v], &arena);
           }
         });
     distinct_ = distinct_ids(next);

@@ -1,5 +1,6 @@
 #pragma once
-// Batched level-synchronous view refinement (DESIGN.md §7) with a
+// Batched level-synchronous view refinement (DESIGN.md §7) over a
+// structure-of-arrays signature pipeline (DESIGN.md §11), with a
 // stable-phase quotient advancer (DESIGN.md §9).
 //
 // Advancing every node from B^t to B^{t+1} is one step of partition
@@ -8,21 +9,39 @@
 // *distinct* signatures per level — the refinement class count — is
 // usually far below n. The per-node path (one ViewRepo::intern per node
 // per level) pays a hash + probe + child-span compare for every node
-// anyway; a Refiner advances the whole level at once instead:
+// anyway; a Refiner advances the whole level at once instead, over flat
+// per-level columns rather than an array-of-structs arena:
 //
-//   1. gather: every node's signature is written into a flat arena at a
-//      precomputed offset (prefix sums of degrees) and its signature hash
-//      is computed — embarrassingly parallel across the optional
-//      util::ThreadPool, each worker writing disjoint node ranges;
+//   0. attach (once per graph): the adjacency is flattened into static
+//      columns indexed by the degree prefix sums — neighbor ids `nbr_`,
+//      reverse ports `port_col_`, and the position-salted hash premix
+//      `premix_` (sig_hash::entry_premix, a pure function of position
+//      and rev_port, so it never changes between levels);
+//   1. gather + hash: one fused pass per level writes the child-key
+//      column child_col_[j] = key[nbr_[j]] and the per-entry hash term
+//      emix_[j], then reduces per node to hash_[v]
+//      (sig_hash::gather_mix / reduce_nodes — the explicitly
+//      vectorizable kernels). The pass is flat over entries, chunked
+//      across the optional util::ThreadPool on node boundaries, each
+//      worker writing disjoint column ranges. On the serial path `key`
+//      is the previous level's *canonical ranks* (dense small integers —
+//      rank equality is id equality per depth, DESIGN.md §8), read under
+//      one rank-seqlock snapshot; if any prev view is unranked or the
+//      snapshot fails to validate, the key falls back to the raw ids —
+//      either key dedups identically;
 //   2. dedup + intern: without a pool (or on a small level), one
 //      sequential pass in node order probes a level-local open-addressing
-//      table with the precomputed hashes, interning each distinct
-//      signature exactly once (at its first occurrence) and reusing the
-//      id for every duplicate. With a pool, the level is partitioned
-//      across the workers and every node interns straight into the
-//      concurrent ViewRepo — the repo's sharded index IS the dedup table
-//      (the bddapron unique-table shape), each worker batching its id and
-//      child allocation through a persistent ViewRepo::InternArena;
+//      table with the precomputed hashes, software-prefetching the table
+//      slot and child-column lines of the node K slots ahead
+//      (set_dedup_prefetch_distance), interning each distinct signature
+//      exactly once (at its first occurrence) through the SoA
+//      intern_hashed overload — no AoS signature is ever materialized.
+//      With a pool, the level is partitioned across the workers and every
+//      node interns straight into the concurrent ViewRepo — the repo's
+//      sharded index IS the dedup table (the bddapron unique-table
+//      shape), each worker batching its id and child allocation through
+//      a persistent ViewRepo::InternArena (ids as keys: the repo's index
+//      is hashed on id signatures);
 //   3. scatter: ids land in node order, and the level's class count (and
 //      the distinct id list) falls out of the dedup (or one
 //      distinct_ids() pass in the parallel case);
@@ -39,32 +58,40 @@
 // (it counts prev's distinct ids itself, so the detection never trusts
 // the caller) and freezes a quotient: the per-node class index, one
 // representative node per class (its first node), and each class's
-// signature with children expressed as *class* indices. From then on a
-// round interns exactly C views — one per class, in first-occurrence
-// order, so ids stay byte-identical to the full pass — and the per-node
-// level is reproduced by an O(n) scatter through the frozen class index.
-// Callers that only need the distinct ids (quotient-mode run_full_info,
-// keep_history=false profile sweeps) call advance_quotient() directly
-// and skip even the scatter: a stable round costs O(C + Σ deg(rep)),
-// with the n-node gather/hash and the 2m-entry dedup gone entirely.
+// signature in the same SoA form (rev_port column + child *class index*
+// column). From then on a round interns exactly C views — one per class,
+// in first-occurrence order, so ids stay byte-identical to the full pass
+// — and the per-node level is reproduced by an O(n) scatter through the
+// frozen class index. Callers that only need the distinct ids
+// (quotient-mode run_full_info, keep_history=false profile sweeps) call
+// advance_quotient() directly and skip even the scatter: a stable round
+// costs O(C + Σ deg(rep)), with the n-node gather/hash and the 2m-entry
+// dedup gone entirely.
 //
 // Determinism (DESIGN.md §10): without a pool the dedup/intern pass runs
-// in ascending node order, so ids are assigned in exactly the order the
-// per-node loop would have assigned them — serial profiles are
-// id-identical to the naive path. With a pool, raw id VALUES depend on
+// in ascending node order, so ids are assigned exactly as the per-node
+// loop would have assigned them — serial profiles are id-identical to
+// the naive path, whichever key column (ranks or ids) the dedup used and
+// whatever the prefetch distance. With a pool, raw id VALUES depend on
 // which worker claims each fresh signature first; everything observable
 // above ids does not: the partition (which nodes share an id), the class
 // counts, the record set and ViewRepo::size(), the canonical rank of
 // every view, every compare()/argmin verdict, and all metered sizes are
-// byte-identical across thread counts. The quotient path interns
-// representatives in ascending first-node order — the order the full
-// dedup pass meets each distinct signature — so the serial id contract
-// survives stabilization too. tests/refiner_test.cpp, tests/stable_test.cpp
-// and tests/concurrent_repo_test.cpp pin all of it.
+// byte-identical across thread counts — and across SIMD-on/SIMD-off
+// builds (the scalar kernels are bit-identical). The quotient path
+// interns representatives in ascending first-node order — the order the
+// full dedup pass meets each distinct signature — so the serial id
+// contract survives stabilization too. tests/refiner_test.cpp,
+// tests/stable_test.cpp, tests/concurrent_repo_test.cpp and
+// tests/soa_hash_test.cpp pin all of it.
 //
 // A Refiner borrows its graph, repo and pool; all must outlive it. The
 // repo may be shared (it is thread-safe, and many cells sharing one repo
 // is the intended sweep shape); the Refiner itself is not — one per cell.
+// attach() rebinds a Refiner to another graph of the same repo, trimming
+// scratch that the new graph leaves >4x over-sized, so one Refiner can
+// serve a whole sweep without carrying the largest cell's footprint
+// through the smallest.
 
 #include <cstdint>
 #include <memory>
@@ -81,11 +108,19 @@ class ThreadPool;
 namespace anole::views {
 
 /// Process-wide debug/test switch for the stable-phase quotient advancer
-/// (read once per Refiner, at construction). Tests force it off to pin
-/// byte-equality of the quotient path against the always-full path;
-/// production code leaves it on.
+/// (read once per Refiner, at construction; override per instance with
+/// set_quotient_enabled). Tests force it off to pin byte-equality of the
+/// quotient path against the always-full path; production code leaves it
+/// on.
 void set_stable_quotient_enabled(bool enabled);
 [[nodiscard]] bool stable_quotient_enabled();
+
+/// How many nodes ahead the serial dedup scan prefetches each node's
+/// table slot and child-column lines (0 disables). Purely a throughput
+/// knob — output is identical for any distance (tests/soa_hash_test.cpp
+/// pins 0 vs the default). Process-wide, read once per advance.
+void set_dedup_prefetch_distance(int nodes);
+[[nodiscard]] int dedup_prefetch_distance();
 
 class Refiner {
  public:
@@ -94,6 +129,30 @@ class Refiner {
   /// with concurrent wait_idle() users while a refinement is in flight.
   Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
           util::ThreadPool* pool = nullptr);
+
+  /// Rebinds this refiner to another graph interning into the SAME repo:
+  /// rebuilds the static adjacency columns, drops any frozen quotient,
+  /// and trims every scratch buffer whose capacity exceeds 4x what the
+  /// new graph needs (a sweep stepping down from n=2^20 to n=512 does
+  /// not carry ~50 MB of dead column capacity along). The graph must
+  /// outlive the refiner, as with the constructor.
+  void attach(const portgraph::PortGraph& g);
+
+  /// Replaces the pool used by later advances (attach keeps the old one).
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Per-instance override of the stable-phase quotient switch (defaults
+  /// to the process-wide flag at construction). Call before advancing —
+  /// disabling drops any frozen quotient. Scenario cells that time the
+  /// raw pre-stabilization pipeline disable it instance-locally instead
+  /// of racing on the global flag.
+  void set_quotient_enabled(bool enabled) {
+    quotient_enabled_ = enabled;
+    quotient_frozen_ = quotient_frozen_ && enabled;
+  }
+
+  /// The repo this refiner interns into (reuse sanity checks).
+  [[nodiscard]] ViewRepo& repo() const { return *repo_; }
 
   /// Fills `level` with every node's depth-0 view id; returns the level's
   /// class count (number of distinct degrees). Resets any frozen quotient.
@@ -160,6 +219,11 @@ class Refiner {
     return quotient_rounds_;
   }
 
+  /// Debug stat: total bytes of capacity held by the per-graph scratch
+  /// (columns, tables, quotient state). Tests pin the attach() trim with
+  /// deltas of this after a big→small rebind.
+  [[nodiscard]] std::size_t scratch_bytes() const;
+
  private:
   struct Slot {
     std::uint64_t hash = 0;
@@ -172,9 +236,30 @@ class Refiner {
   /// detection never trusts the caller to pass this refiner's own output.
   [[nodiscard]] std::size_t count_distinct(const std::vector<ViewId>& level);
 
+  /// Fills prev_key_ with the canonical ranks of prev under one validated
+  /// rank-seqlock snapshot; false (leaving the caller on the id key) when
+  /// any view is unranked or a concurrent renumber kept interfering.
+  [[nodiscard]] bool try_rank_keys(const std::vector<ViewId>& prev);
+
+  /// Readies the level-local dedup table for a fresh pass over n nodes
+  /// (full rebuild only on capacity change, else clears the slots the
+  /// previous level wrote) and empties distinct_.
+  void dedup_prepare(std::size_t n);
+
+  /// The serial dedup + intern pass over the gathered columns of nodes
+  /// [begin, end) (node order, level-local table, prefetched scan) — one
+  /// block of the fused serial pipeline, called while the block's columns
+  /// are still cache-resident. `rank_keyed` says the columns hold ranks:
+  /// fresh signatures then re-derive their id columns from `prev` before
+  /// interning. Requires dedup_prepare() for the level; the caller sorts
+  /// distinct_ after the last block.
+  void dedup_block(const std::vector<ViewId>& prev, int depth,
+                   bool rank_keyed, std::size_t begin, std::size_t end,
+                   std::vector<ViewId>& next);
+
   /// Freezes the quotient from the just-produced `level` (whose distinct
   /// ids are in distinct_): class index in first-occurrence node order,
-  /// representatives, and class-expressed signatures.
+  /// representatives, and class-expressed SoA signature columns.
   void freeze_quotient(const std::vector<ViewId>& level);
 
   /// Whether `prev` is exactly the per-node image of the frozen quotient's
@@ -188,32 +273,49 @@ class Refiner {
   /// blocks a chunk claims are not abandoned every round).
   void ensure_arenas(std::size_t count);
 
-  const portgraph::PortGraph* graph_;
+  const portgraph::PortGraph* graph_ = nullptr;
   ViewRepo* repo_;
   util::ThreadPool* pool_;
   std::vector<std::unique_ptr<ViewRepo::InternArena>> arenas_;
   bool has_degree0_ = false;           ///< advance() must reject such graphs
+  int uniform_degree_ = 0;             ///< all nodes' degree, or 0 if mixed
+  int max_degree_ = 0;
+
+  // Static per-graph SoA adjacency columns (attach): entry j of node v
+  // lives at offset_[v] + j in each of nbr_/port_col_/premix_.
   std::vector<std::uint32_t> offset_;  ///< n+1 prefix sums of degrees
-  std::vector<ChildRef> arena_;        ///< gathered signatures, 2m entries
-  std::vector<std::uint64_t> hash_;    ///< per-node signature hash
+  std::vector<std::uint32_t> nbr_;     ///< flattened neighbor node ids, 2m
+  std::vector<portgraph::Port> port_col_;  ///< reverse ports, 2m
+  std::vector<std::uint64_t> premix_;  ///< sig_hash::entry_premix, 2m
+
+  // Per-level SoA columns (step 1 output): the child-key column and the
+  // per-entry hash terms, plus the per-node hashes and the rank-key image
+  // of the previous level.
+  std::vector<ViewId> child_col_;        ///< gathered child keys, 2m
+  std::vector<std::uint64_t> emix_;      ///< per-entry hash terms, 2m
+  std::vector<std::uint64_t> hash_;      ///< per-node signature hash
+  std::vector<ViewId> prev_key_;         ///< prev translated to ranks
+  std::vector<ViewId> sig_ids_;          ///< one signature's ids (scratch)
+
   std::vector<Slot> table_;            ///< level-local dedup table
+  std::vector<std::uint32_t> used_slots_;  ///< slots written last level
   std::vector<ViewId> distinct_;
   std::vector<ViewId> id_table_;       ///< scratch for count_distinct
 
   // Stable-phase quotient (valid iff quotient_frozen_). class_of_ maps
   // each node to its class, classes numbered by ascending first node;
-  // qarena_ holds each class's signature with the child id field reused
-  // as a *class index* (frozen — partition fixed point); class_ids_ is
-  // the per-class ViewId of the current level.
+  // qport_/qchild_ hold each class's signature in SoA form with the
+  // child column carrying *class indices* (frozen — partition fixed
+  // point); class_ids_ is the per-class ViewId of the current level.
   bool quotient_enabled_ = true;
   bool quotient_frozen_ = false;
   std::vector<std::uint32_t> class_of_;
   std::vector<std::uint32_t> rep_;      ///< first node of each class
   std::vector<std::uint32_t> qoffset_;  ///< C+1 prefix sums of rep degrees
-  std::vector<ChildRef> qarena_;        ///< class-expressed signatures
+  std::vector<portgraph::Port> qport_;  ///< class signature rev_ports
+  std::vector<std::uint32_t> qchild_;   ///< class signature child classes
   std::vector<ViewId> class_ids_;
   std::vector<ViewId> new_class_ids_;   ///< scratch for advance_quotient
-  std::vector<ChildRef> sig_scratch_;   ///< one materialized signature
   std::uint64_t quotient_rounds_ = 0;
 };
 

@@ -1,0 +1,127 @@
+#pragma once
+// Column-wise signature hashing for the SoA refinement pipeline
+// (DESIGN.md §11).
+//
+// The interning index keys every record on a hash of its signature
+// (degree, depth, [(rev_port_j, child_j)]). The historical hash was a
+// serial mix chain — each entry's contribution depended on the running
+// value, so a level of signatures could only be hashed one entry after
+// another. The SoA pipeline hashes whole levels column-wise instead, so
+// the hash is restructured as a position-salted commutative sum:
+//
+//   hash = finalize(seed(degree, depth) + Σ_j entry_value(premix_j, child_j))
+//   premix_j = entry_premix(j, rev_port_j)          — static per graph entry
+//   entry_value(p, c) = mix64(p + c * kChildMul)    — independent per entry
+//
+// Every entry's term depends only on that entry (position, rev_port,
+// child), so terms for a whole column batch compute with no cross-entry
+// dependency — the inner loop vectorizes — and the per-position salt in
+// the premix keeps permuted signatures from systematically colliding
+// (residual collisions are resolved by the index's record compare, as
+// with any hash). ViewRepo::signature_hash delegates to these helpers,
+// so single AoS interns, the SoA batch path, and truncate()'s rebuilds
+// all key the index identically — the whole point: a view interned
+// through any path lands on the same index slot.
+//
+// Kernels: gather_mix_{simd,scalar} are bit-identical by construction
+// (same pure integer math per element, no cross-element state); both are
+// always compiled, and -DANOLE_NO_SIMD only switches the gather_mix
+// dispatch (and silences the vectorize pragmas). tests/soa_hash_test.cpp
+// pins the equivalences.
+
+#include <cstddef>
+#include <cstdint>
+
+/// Read-intent software prefetch (no-op off GCC/Clang). The dedup scan
+/// uses it to pull the next nodes' table slot and child-column lines in
+/// while the current node probes (views::Refiner, DESIGN.md §11).
+#if defined(__GNUC__) || defined(__clang__)
+#define ANOLE_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define ANOLE_PREFETCH(addr) ((void)0)
+#endif
+
+namespace anole::views::sig_hash {
+
+// Odd 64-bit multipliers keeping the five signature components (degree,
+// depth, position, rev_port, child) in distinct linear subspaces before
+// the non-linear mix64.
+inline constexpr std::uint64_t kDegreeMul = 0x9e3779b97f4a7c15ULL;
+inline constexpr std::uint64_t kDepthMul = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr std::uint64_t kPosMul = 0x165667b19e3779f9ULL;
+inline constexpr std::uint64_t kPortMul = 0x27d4eb2f165667c5ULL;
+inline constexpr std::uint64_t kChildMul = 0x2545f4914f6cdd1dULL;
+
+/// SplitMix64 finalizer: full-avalanche 64-bit permutation.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The static (child-independent) half of one entry's term. Position and
+/// reverse port never change for a given graph entry, so refiners
+/// precompute one premix column at attach time.
+[[nodiscard]] constexpr std::uint64_t entry_premix(std::size_t pos,
+                                                   std::uint64_t rev_port) {
+  return static_cast<std::uint64_t>(pos) * kPosMul + rev_port * kPortMul;
+}
+
+/// One entry's full term. `child` is the child key (a ViewId, or a
+/// canonical rank for the level-local dedup columns) zero-extended.
+[[nodiscard]] constexpr std::uint64_t entry_value(std::uint64_t premix,
+                                                  std::uint64_t child) {
+  return mix64(premix + child * kChildMul);
+}
+
+/// The degree/depth half of the signature, added once per node.
+[[nodiscard]] constexpr std::uint64_t sig_seed(std::uint64_t degree,
+                                               std::uint64_t depth) {
+  return degree * kDegreeMul ^ depth * kDepthMul;
+}
+
+/// Final avalanche over the accumulated sum; the index shards on the top
+/// bits of the result.
+[[nodiscard]] constexpr std::uint64_t finalize(std::uint64_t acc) {
+  return mix64(acc);
+}
+
+/// The fused per-level hot loop over one contiguous entry range:
+///   child_out[j] = key[nbr[j]];
+///   emix_out[j]  = entry_value(premix[j], child_out[j]).
+/// `key` maps a node id to its child key for this level (the previous
+/// level's view ids, or their canonical ranks). No cross-entry
+/// dependency: the simd variant strip-mines 8 entries per iteration
+/// under an explicit vectorize pragma with a scalar tail; the scalar
+/// variant is a plain loop. Identical outputs, always (same per-element
+/// integer math) — pinned by tests/soa_hash_test.cpp.
+void gather_mix_simd(const std::uint32_t* nbr, const std::int32_t* key,
+                     const std::uint64_t* premix, std::int32_t* child_out,
+                     std::uint64_t* emix_out, std::size_t count);
+void gather_mix_scalar(const std::uint32_t* nbr, const std::int32_t* key,
+                       const std::uint64_t* premix, std::int32_t* child_out,
+                       std::uint64_t* emix_out, std::size_t count);
+
+inline void gather_mix(const std::uint32_t* nbr, const std::int32_t* key,
+                       const std::uint64_t* premix, std::int32_t* child_out,
+                       std::uint64_t* emix_out, std::size_t count) {
+#if defined(ANOLE_NO_SIMD)
+  gather_mix_scalar(nbr, key, premix, child_out, emix_out, count);
+#else
+  gather_mix_simd(nbr, key, premix, child_out, emix_out, count);
+#endif
+}
+
+/// Per-node reduction over the mixed entry column:
+///   hash_out[v] = finalize(sig_seed(deg(v), depth) + Σ emix[offsets[v]..))
+/// for v in [node_begin, node_end). `uniform_degree` > 0 asserts every
+/// node has that degree (regular families: ring, torus, hypercube,
+/// clique) and selects an unrolled fixed-stride path; 0 means mixed.
+void reduce_nodes(const std::uint32_t* offsets, std::size_t node_begin,
+                  std::size_t node_end, const std::uint64_t* emix, int depth,
+                  int uniform_degree, std::uint64_t* hash_out);
+
+}  // namespace anole::views::sig_hash

@@ -8,14 +8,10 @@
 #include "coding/codec.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "views/sig_hash.hpp"
 
 namespace anole::views {
 namespace {
-
-std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
 
 /// Packs two 32-bit payloads into one memo key.
 std::uint64_t pack_key(std::uint32_t hi, std::uint32_t lo) {
@@ -91,16 +87,79 @@ std::size_t count_distinct_ids(std::span<const ViewId> ids,
   return count;
 }
 
+// The order-safe hash of views/sig_hash.hpp: every entry contributes an
+// independent position-salted term, so the AoS reference below, the SoA
+// overload, and the refiner's column-batched kernels all compute the
+// same value for the same signature — one index, many layouts.
 std::uint64_t ViewRepo::signature_hash(int degree, int depth,
                                        std::span<const ChildRef> children) {
-  std::uint64_t h = hash_mix(static_cast<std::uint64_t>(degree),
-                             static_cast<std::uint64_t>(depth));
-  for (const auto& [port, child] : children) {
-    h = hash_mix(h, static_cast<std::uint64_t>(port));
-    h = hash_mix(h, static_cast<std::uint64_t>(child));
-  }
-  return h;
+  std::uint64_t acc = sig_hash::sig_seed(static_cast<std::uint64_t>(degree),
+                                         static_cast<std::uint64_t>(depth));
+  for (std::size_t p = 0; p < children.size(); ++p)
+    acc += sig_hash::entry_value(
+        sig_hash::entry_premix(
+            p, static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(children[p].first))),
+        static_cast<std::uint32_t>(children[p].second));
+  return sig_hash::finalize(acc);
 }
+
+std::uint64_t ViewRepo::signature_hash(int degree, int depth,
+                                       std::span<const portgraph::Port> rev_ports,
+                                       std::span<const ViewId> kids) {
+  ANOLE_DCHECK(rev_ports.size() == kids.size());
+  std::uint64_t acc = sig_hash::sig_seed(static_cast<std::uint64_t>(degree),
+                                         static_cast<std::uint64_t>(depth));
+  for (std::size_t p = 0; p < kids.size(); ++p)
+    acc += sig_hash::entry_value(
+        sig_hash::entry_premix(
+            p, static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(rev_ports[p]))),
+        static_cast<std::uint32_t>(kids[p]));
+  return sig_hash::finalize(acc);
+}
+
+namespace {
+
+/// Signature layout adapters for the templated interning core: the same
+/// probe/compare/copy code runs over an AoS child span or a pair of SoA
+/// columns, resolved at compile time (no per-entry virtual dispatch in
+/// the hottest loops of the repo).
+struct AosSig {
+  std::span<const ChildRef> kids;
+  [[nodiscard]] std::size_t size() const { return kids.size(); }
+  [[nodiscard]] portgraph::Port port(std::size_t i) const {
+    return kids[i].first;
+  }
+  [[nodiscard]] ViewId child(std::size_t i) const { return kids[i].second; }
+  [[nodiscard]] bool equals(const ChildRef* stored) const {
+    return std::equal(kids.begin(), kids.end(), stored);
+  }
+  void copy_to(ChildRef* storage) const {
+    std::copy(kids.begin(), kids.end(), storage);
+  }
+};
+
+struct SoaSig {
+  const portgraph::Port* ports;
+  const ViewId* kids;
+  std::size_t count;
+  [[nodiscard]] std::size_t size() const { return count; }
+  [[nodiscard]] portgraph::Port port(std::size_t i) const { return ports[i]; }
+  [[nodiscard]] ViewId child(std::size_t i) const { return kids[i]; }
+  [[nodiscard]] bool equals(const ChildRef* stored) const {
+    for (std::size_t i = 0; i < count; ++i)
+      if (stored[i].first != ports[i] || stored[i].second != kids[i])
+        return false;
+    return true;
+  }
+  void copy_to(ChildRef* storage) const {
+    for (std::size_t i = 0; i < count; ++i)
+      storage[i] = ChildRef{ports[i], kids[i]};
+  }
+};
+
+}  // namespace
 
 ViewRepo::ViewRepo() = default;
 
@@ -122,25 +181,25 @@ void ViewRepo::ensure_segments(std::size_t hi) {
   }
 }
 
-void ViewRepo::write_record(ViewId id, int degree, int depth,
-                            std::span<const ChildRef> children,
+template <typename Sig>
+void ViewRepo::write_record(ViewId id, int degree, int depth, const Sig& sig,
                             ChildRef* storage) {
-  std::copy(children.begin(), children.end(), storage);
+  sig.copy_to(storage);
   Record& r = mutable_rec(id);
   r.kids = storage;
   r.degree = degree;
   r.depth = depth;
-  r.child_count = static_cast<std::int32_t>(children.size());
+  r.child_count = static_cast<std::int32_t>(sig.size());
   // Max over the reachable DAG composes record-by-record: children are
   // already interned (and published to this thread), so their DAG maxima
   // are final.
   r.sub_max_degree = degree;
   r.sub_max_port = 0;
-  for (const auto& [port, child] : children) {
-    const Record& c = rec(child);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Record& c = rec(sig.child(i));
     r.sub_max_degree = std::max(r.sub_max_degree, c.sub_max_degree);
     r.sub_max_port =
-        std::max({r.sub_max_port, static_cast<std::int32_t>(port),
+        std::max({r.sub_max_port, static_cast<std::int32_t>(sig.port(i)),
                   c.sub_max_port});
   }
   // An unwound duplicate can hand this slot out again: reset the rank.
@@ -194,9 +253,9 @@ ChildRef* ViewRepo::shared_claim_children(std::size_t count) {
 
 // ------------------------------------------------------ sharded index
 
+template <typename Sig>
 ViewId ViewRepo::probe_table(const IndexTable& t, std::uint64_t hash,
-                             int degree, int depth,
-                             std::span<const ChildRef> children) const {
+                             int degree, int depth, const Sig& sig) const {
   // Inserts keep every table under 3/4 full, and retired tables receive no
   // new entries, so the probe always terminates at an empty slot.
   for (std::size_t i = hash & t.mask;; i = (i + 1) & t.mask) {
@@ -206,18 +265,19 @@ ViewId ViewRepo::probe_table(const IndexTable& t, std::uint64_t hash,
     // The acquire on the id makes the hash (stored before the publish) and
     // the whole record visible.
     if (slot.hash.load(std::memory_order_relaxed) == hash &&
-        record_equals(id, degree, depth, children))
+        record_equals(id, degree, depth, sig))
       return id;
   }
 }
 
+template <typename Sig>
 bool ViewRepo::record_equals(ViewId id, int degree, int depth,
-                             std::span<const ChildRef> children) const {
+                             const Sig& sig) const {
   const Record& r = rec(id);
   if (r.degree != degree || r.depth != depth ||
-      static_cast<std::size_t>(r.child_count) != children.size())
+      static_cast<std::size_t>(r.child_count) != sig.size())
     return false;
-  return std::equal(children.begin(), children.end(), r.kids);
+  return sig.equals(r.kids);
 }
 
 ViewRepo::IndexTable* ViewRepo::shard_rebuild(Shard& sh,
@@ -285,11 +345,28 @@ ViewId ViewRepo::intern_hashed(int degree, int depth,
                                std::span<const ChildRef> children,
                                std::uint64_t hash, InternArena* arena) {
   ANOLE_DCHECK(hash == signature_hash(degree, depth, children));
+  return intern_hashed_impl(degree, depth, AosSig{children}, hash, arena);
+}
+
+ViewId ViewRepo::intern_hashed(int degree, int depth,
+                               std::span<const portgraph::Port> rev_ports,
+                               std::span<const ViewId> kids,
+                               std::uint64_t hash, InternArena* arena) {
+  ANOLE_DCHECK(rev_ports.size() == kids.size());
+  ANOLE_DCHECK(hash == signature_hash(degree, depth, rev_ports, kids));
+  return intern_hashed_impl(
+      degree, depth, SoaSig{rev_ports.data(), kids.data(), kids.size()}, hash,
+      arena);
+}
+
+template <typename Sig>
+ViewId ViewRepo::intern_hashed_impl(int degree, int depth, const Sig& sig,
+                                    std::uint64_t hash, InternArena* arena) {
   Shard& sh = shard_for(hash);
 
   // Hot path: lock-free probe of the shard's current table.
   if (const IndexTable* t = sh.table.load(std::memory_order_acquire)) {
-    ViewId hit = probe_table(*t, hash, degree, depth, children);
+    ViewId hit = probe_table(*t, hash, degree, depth, sig);
     if (hit != kInvalidView) return hit;
   }
 
@@ -308,8 +385,8 @@ ViewId ViewRepo::intern_hashed(int degree, int depth,
     spec_prev_left = arena->child_left_;
     speculative = arena_claim_id(*arena);
     spec_prev_next = speculative;
-    ChildRef* storage = arena_claim_children(*arena, children.size());
-    write_record(speculative, degree, depth, children, storage);
+    ChildRef* storage = arena_claim_children(*arena, sig.size());
+    write_record(speculative, degree, depth, sig, storage);
   }
 
   std::scoped_lock lock(sh.mu);
@@ -322,13 +399,13 @@ ViewId ViewRepo::intern_hashed(int degree, int depth,
     ViewId existing = slot.id.load(std::memory_order_relaxed);
     if (existing != kInvalidView) {
       if (slot.hash.load(std::memory_order_relaxed) == hash &&
-          record_equals(existing, degree, depth, children)) {
+          record_equals(existing, degree, depth, sig)) {
         // A racer interned it first: return its id and give the
         // speculative allocation back to the arena.
         if (arena != nullptr) {
           arena->next_id_ = spec_prev_next;
           if (arena->child_next_ ==
-              spec_prev_child + children.size()) {  // same chunk: rewind
+              spec_prev_child + sig.size()) {  // same chunk: rewind
             arena->child_next_ = spec_prev_child;
             arena->child_left_ = spec_prev_left;
           }
@@ -343,8 +420,8 @@ ViewId ViewRepo::intern_hashed(int degree, int depth,
       ANOLE_CHECK_MSG(id < std::numeric_limits<ViewId>::max(),
                       "view id space exhausted");
       ensure_segments(static_cast<std::size_t>(id) + 1);
-      ChildRef* storage = shared_claim_children(children.size());
-      write_record(id, degree, depth, children, storage);
+      ChildRef* storage = shared_claim_children(sig.size());
+      write_record(id, degree, depth, sig, storage);
     }
     slot.hash.store(hash, std::memory_order_relaxed);
     // The release publish: every field of the record (and its children)
@@ -586,7 +663,46 @@ void ViewRepo::assign_ranks(std::span<const ViewId> level_distinct) {
     }
     return false;  // equal keys ⇒ same id; callers pass distinct ids
   };
-  std::sort(fresh.begin(), fresh.end(), key_less);
+  // The sort dominates refinement rounds whose class count approaches n
+  // (random graphs), and key_less pays several dependent record loads per
+  // comparison. Precompute a 64-bit prefix of each key — saturated degree,
+  // first rev_port, first child rank, each strictly monotone in its field
+  // — so almost every comparison resolves on one contiguous load;
+  // saturated or equal prefixes (equal head, deeper difference) fall back
+  // to the exact comparator, which re-checks from the start. Monotone
+  // saturation keeps the prefix order a coarsening of the key order, so
+  // the pair (prefix, key_less) sorts exactly like key_less alone.
+  auto key_prefix = [this, &rank_of](ViewId v) {
+    const Record& r = rec(v);
+    std::uint64_t deg16 = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(r.degree), 0xffffu);
+    std::uint64_t port16 = 0;
+    std::uint64_t rank32 = 0;
+    if (r.child_count > 0) {
+      port16 = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              r.kids[0].first)),
+          0xffffu);
+      // +1 biases kUnranked (-1) to 0; fresh ids have ranked children, but
+      // the bias keeps the mapping monotone regardless.
+      rank32 = static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(rank_of(r.kids[0].second) + 1));
+    }
+    return (deg16 << 48) | (port16 << 32) | rank32;
+  };
+  struct Keyed {
+    std::uint64_t prefix;
+    ViewId id;
+  };
+  std::vector<Keyed> keyed(fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    keyed[i] = Keyed{key_prefix(fresh[i]), fresh[i]};
+  std::sort(keyed.begin(), keyed.end(),
+            [&key_less](const Keyed& a, const Keyed& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              return key_less(a.id, b.id);
+            });
+  for (std::size_t i = 0; i < fresh.size(); ++i) fresh[i] = keyed[i].id;
 
   if (ranked_by_depth_.size() <= static_cast<std::size_t>(d))
     ranked_by_depth_.resize(static_cast<std::size_t>(d) + 1);

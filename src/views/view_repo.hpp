@@ -257,11 +257,20 @@ class ViewRepo {
   /// never changes ids and is safe concurrently with interning.
   void reserve_for(std::size_t n, std::size_t m, int depth_hint);
 
-  /// The stable signature hash the interning index keys on. Exposed so
-  /// views::Refiner can precompute level hashes (in parallel) and hand
-  /// them back through the batched intern path without rehashing.
+  /// The stable signature hash the interning index keys on — a
+  /// position-salted commutative sum (views/sig_hash.hpp) so whole levels
+  /// hash column-wise. Exposed so views::Refiner can precompute level
+  /// hashes (in parallel, batched) and hand them back through the batched
+  /// intern path without rehashing. The AoS form is the reference for
+  /// single interns; the SoA overload yields the identical value for the
+  /// identical signature (pinned by tests/soa_hash_test.cpp) — it must,
+  /// because truncate()'s AoS rebuilds and the batch path land in the
+  /// same index.
   [[nodiscard]] static std::uint64_t signature_hash(
       int degree, int depth, std::span<const ChildRef> children);
+  [[nodiscard]] static std::uint64_t signature_hash(
+      int degree, int depth, std::span<const portgraph::Port> rev_ports,
+      std::span<const ViewId> kids);
 
  private:
   friend class Refiner;
@@ -352,15 +361,19 @@ class ViewRepo {
   [[nodiscard]] Shard& shard_for(std::uint64_t hash) const {
     return shards_[hash >> (64 - kShardBits)];
   }
-  /// Lock-free probe of one table; kInvalidView on miss.
+  /// Lock-free probe of one table; kInvalidView on miss. `Sig` is either
+  /// of the signature adapters in view_repo.cpp (AoS span or SoA column
+  /// pair) — one templated core, two layouts, zero per-entry indirection.
+  template <typename Sig>
   [[nodiscard]] ViewId probe_table(const IndexTable& t, std::uint64_t hash,
                                    int degree, int depth,
-                                   std::span<const ChildRef> children) const;
+                                   const Sig& sig) const;
   /// Rebuilds `sh`'s table at `capacity` slots (callers hold sh.mu).
   IndexTable* shard_rebuild(Shard& sh, std::size_t capacity);
 
+  template <typename Sig>
   [[nodiscard]] bool record_equals(ViewId id, int degree, int depth,
-                                   std::span<const ChildRef> children) const;
+                                   const Sig& sig) const;
 
   // --------------------------------------------------- interning core
   [[nodiscard]] ViewId intern_impl(int degree, int depth,
@@ -368,13 +381,25 @@ class ViewRepo {
                                    InternArena* arena);
 
   /// Interns a record whose signature hash the caller already computed
-  /// (must equal signature_hash(degree, depth, children)). The batched
-  /// entry point used by Refiner. arena == nullptr allocates the id with
-  /// one atomic fetch-add (dense sequential ids under a single thread).
+  /// (must equal the signature's signature_hash). The batched entry
+  /// points used by Refiner: the AoS span form, and the SoA form taking
+  /// the rev_port and child-id columns directly so the refiner never
+  /// materializes an AoS signature (record storage is written straight
+  /// from the columns). arena == nullptr allocates the id with one atomic
+  /// fetch-add (dense sequential ids under a single thread).
   [[nodiscard]] ViewId intern_hashed(int degree, int depth,
                                      std::span<const ChildRef> children,
                                      std::uint64_t hash,
                                      InternArena* arena = nullptr);
+  [[nodiscard]] ViewId intern_hashed(int degree, int depth,
+                                     std::span<const portgraph::Port> rev_ports,
+                                     std::span<const ViewId> kids,
+                                     std::uint64_t hash,
+                                     InternArena* arena = nullptr);
+  template <typename Sig>
+  [[nodiscard]] ViewId intern_hashed_impl(int degree, int depth,
+                                          const Sig& sig, std::uint64_t hash,
+                                          InternArena* arena);
 
   /// Claims one id (refilling the arena's block when empty).
   [[nodiscard]] ViewId arena_claim_id(InternArena& arena);
@@ -385,8 +410,9 @@ class ViewRepo {
   [[nodiscard]] ChildRef* shared_claim_children(std::size_t count);
 
   /// Fills the record for `id` (fields + child copy + DAG maxima).
-  void write_record(ViewId id, int degree, int depth,
-                    std::span<const ChildRef> children, ChildRef* storage);
+  template <typename Sig>
+  void write_record(ViewId id, int degree, int depth, const Sig& sig,
+                    ChildRef* storage);
 
   /// One consistent seqlock read of two ranks; false when either is
   /// unranked or a renumber kept interfering (callers then use the

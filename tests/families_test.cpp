@@ -7,6 +7,8 @@
 
 #include <set>
 
+#include "portgraph/builders.hpp"
+#include "runner/portfolio.hpp"
 #include "families/cliques.hpp"
 #include "families/hairy.hpp"
 #include "families/locks.hpp"
@@ -359,6 +361,72 @@ TEST(Hairy, PropositionGraphIsFeasible) {
   ViewRepo repo;
   ViewProfile profile = compute_profile(g.graph, repo);
   EXPECT_TRUE(profile.feasible);
+}
+
+// ------------------------------------------------- regular grid families
+// Torus and hypercube feed the S1/V1 scenario sweeps as the regular
+// mid-degree workloads; pin the structural facts those sweeps rely on.
+
+TEST(GridFamilies, TorusRegularityAndDiameter) {
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{5, 8},
+                            {3, 3},
+                            {4, 7}}) {
+    PortGraph g = portgraph::torus(rows, cols);
+    ASSERT_EQ(g.n(), rows * cols);
+    for (std::size_t v = 0; v < g.n(); ++v)
+      EXPECT_EQ(g.degree(static_cast<NodeId>(v)), 4);
+    // Wrap-around grid distance: farthest cell is half way in each
+    // dimension.
+    EXPECT_EQ(g.diameter(),
+              static_cast<int>(rows / 2 + cols / 2))
+        << rows << "x" << cols;
+    // Consistently oriented: vertex-transitive, so refinement collapses
+    // to one class per level and the graph is infeasible.
+    ViewRepo repo;
+    ViewProfile p = compute_profile(g, repo);
+    EXPECT_FALSE(p.feasible);
+    EXPECT_EQ(p.class_counts.back(), 1u);
+  }
+}
+
+TEST(GridFamilies, HypercubeRegularityAndDiameter) {
+  for (std::size_t d : {2, 3, 4, 5}) {
+    PortGraph g = portgraph::hypercube(d);
+    ASSERT_EQ(g.n(), std::size_t{1} << d);
+    for (std::size_t v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(g.degree(static_cast<NodeId>(v)), static_cast<int>(d));
+      // Port i crosses dimension i: an involution at every node.
+      for (portgraph::Port i = 0; i < static_cast<portgraph::Port>(d); ++i) {
+        NodeId u = g.at(static_cast<NodeId>(v), i).neighbor;
+        EXPECT_EQ(g.at(u, i).neighbor, static_cast<NodeId>(v));
+      }
+    }
+    EXPECT_EQ(g.diameter(), static_cast<int>(d));
+    ViewRepo repo;
+    ViewProfile p = compute_profile(g, repo);
+    EXPECT_FALSE(p.feasible);
+    EXPECT_EQ(p.class_counts.back(), 1u);
+  }
+}
+
+// Election smoke on the grid families: the bare graphs are infeasible, so
+// hang one leaf off node 0 — the unique degree-5 (resp. d+1) node breaks
+// the symmetry and every algorithm of the portfolio must elect.
+TEST(GridFamilies, PendantGridElectionSmoke) {
+  for (bool cube : {false, true}) {
+    PortGraph g = cube ? portgraph::hypercube(3) : portgraph::torus(3, 4);
+    NodeId leaf = g.add_node();
+    g.add_edge(0, g.degree(0), leaf, 0);
+    g.validate();
+    election::ElectionContext ctx(g);
+    ASSERT_TRUE(ctx.feasible()) << (cube ? "hypercube" : "torus");
+    for (const runner::PortfolioAlgorithm& alg : runner::election_portfolio()) {
+      election::ElectionRun run = alg.run(ctx);
+      EXPECT_TRUE(run.verdict.ok)
+          << (cube ? "hypercube" : "torus") << " via " << alg.name << ": "
+          << run.verdict.error;
+    }
+  }
 }
 
 }  // namespace
