@@ -33,6 +33,12 @@ int main() {
       programs.push_back(std::make_unique<election::ElectProgram>(adv));
     sim::AsyncEngine engine(g, repo);
     sim::AsyncMetrics metrics = engine.run(programs, 50, schedule);
+    if (metrics.timed_out) {
+      std::cout << "schedule " << schedule << ": TIMED OUT after "
+                << metrics.deliveries << " deliveries (max round "
+                << metrics.max_round << ")\n";
+      return 1;
+    }
     election::VerifyResult verdict =
         election::verify_election(g, metrics.outputs);
     bool identical = reference.empty() || metrics.outputs == reference;

@@ -1,6 +1,7 @@
 #include "election/harness.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "advice/min_time.hpp"
 #include "election/baselines.hpp"
@@ -31,12 +32,23 @@ ElectionRun run_programs(const PortGraph& g, views::ViewRepo& repo,
   return run;
 }
 
+/// Runs a freshly built ProgramSet and fills the bookkeeping every
+/// entry point shares.
+ElectionRun run_set(ElectionContext& ctx, ProgramSet set,
+                    bool meter_messages = false) {
+  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(set.programs),
+                                 set.max_rounds, meter_messages);
+  run.advice_bits = set.advice_bits;
+  run.phi = ctx.phi();
+  return run;
+}
+
 }  // namespace
 
-ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages) {
-  ANOLE_CHECK_MSG(ctx.feasible(), "run_min_time on an infeasible graph");
+ProgramSet make_min_time_programs(ElectionContext& ctx) {
+  ANOLE_CHECK_MSG(ctx.feasible(), "min-time programs on an infeasible graph");
   ANOLE_CHECK_MSG(ctx.profile.keep_history,
-                  "run_min_time needs a context with level history");
+                  "min-time programs need a context with level history");
   advice::MinTimeAdvice adv =
       advice::compute_advice(ctx.g, ctx.repo(), ctx.profile);
   coding::BitString bits = adv.to_bits();
@@ -45,14 +57,81 @@ ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages) {
   auto decoded = std::make_shared<const advice::MinTimeAdvice>(
       advice::MinTimeAdvice::from_bits(bits));
 
-  ProgramList programs;
+  ProgramSet set;
   for (std::size_t v = 0; v < ctx.g.n(); ++v)
-    programs.push_back(std::make_unique<ElectProgram>(decoded));
-  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
-                                 ctx.phi() + 1, meter_messages);
-  run.advice_bits = bits.size();
-  run.phi = ctx.phi();
-  return run;
+    set.programs.push_back(std::make_unique<ElectProgram>(decoded));
+  set.max_rounds = ctx.phi() + 1;
+  set.advice_bits = bits.size();
+  return set;
+}
+
+ProgramSet make_large_time_programs(ElectionContext& ctx,
+                                    LargeTimeVariant variant,
+                                    std::uint64_t c) {
+  ANOLE_CHECK(c >= 2);
+  ANOLE_CHECK_MSG(ctx.feasible(),
+                  "large-time programs on an infeasible graph");
+  std::uint64_t phi = static_cast<std::uint64_t>(ctx.phi());
+  coding::BitString bits = large_time_advice(variant, phi);
+  std::uint64_t p = large_time_parameter(variant, bits);
+  ANOLE_CHECK_MSG(p >= phi, "P_i < phi — advice decoding broken");
+
+  ProgramSet set;
+  for (std::size_t v = 0; v < ctx.g.n(); ++v)
+    set.programs.push_back(std::make_unique<GenericProgram>(p));
+  set.max_rounds = ctx.diameter() + static_cast<int>(p) + 2;
+  set.advice_bits = bits.size();
+  return set;
+}
+
+ProgramSet make_map_programs(ElectionContext& ctx) {
+  ANOLE_CHECK_MSG(ctx.feasible(), "map programs on an infeasible graph");
+  coding::BitString bits = map_advice(ctx.g);
+  auto state = std::make_shared<MapAdviceState>();
+  state->map = portgraph::decode_graph(bits);
+  state->phi = ctx.phi();
+
+  ProgramSet set;
+  for (std::size_t v = 0; v < ctx.g.n(); ++v)
+    set.programs.push_back(std::make_unique<MapProgram>(state));
+  set.max_rounds = ctx.phi() + 1;
+  set.advice_bits = bits.size();
+  return set;
+}
+
+ProgramSet make_remark_programs(ElectionContext& ctx) {
+  ANOLE_CHECK_MSG(ctx.feasible(), "remark programs on an infeasible graph");
+  int diameter = ctx.diameter();
+  std::uint64_t phi = static_cast<std::uint64_t>(ctx.phi());
+  coding::BitString bits =
+      remark_advice(static_cast<std::uint64_t>(diameter), phi);
+
+  ProgramSet set;
+  for (std::size_t v = 0; v < ctx.g.n(); ++v) {
+    set.programs.push_back(std::make_unique<RemarkProgram>(
+        RemarkProgram::from_advice(bits)));
+  }
+  set.max_rounds = diameter + static_cast<int>(phi) + 1;
+  set.advice_bits = bits.size();
+  return set;
+}
+
+ProgramSet make_size_only_programs(ElectionContext& ctx) {
+  ANOLE_CHECK_MSG(ctx.feasible(),
+                  "size-only programs on an infeasible graph");
+  coding::BitString bits = coding::bin(ctx.g.n());
+  std::uint64_t p = coding::parse_bin(bits);
+
+  ProgramSet set;
+  for (std::size_t v = 0; v < ctx.g.n(); ++v)
+    set.programs.push_back(std::make_unique<GenericProgram>(p));
+  set.max_rounds = ctx.diameter() + static_cast<int>(p) + 2;
+  set.advice_bits = bits.size();
+  return set;
+}
+
+ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages) {
+  return run_set(ctx, make_min_time_programs(ctx), meter_messages);
 }
 
 ElectionRun run_min_time(const PortGraph& g, bool meter_messages) {
@@ -62,22 +141,8 @@ ElectionRun run_min_time(const PortGraph& g, bool meter_messages) {
 
 ElectionRun run_large_time(ElectionContext& ctx, LargeTimeVariant variant,
                            std::uint64_t c) {
-  ANOLE_CHECK(c >= 2);
-  ANOLE_CHECK_MSG(ctx.feasible(), "run_large_time on an infeasible graph");
-  std::uint64_t phi = static_cast<std::uint64_t>(ctx.phi());
-  coding::BitString bits = large_time_advice(variant, phi);
-  std::uint64_t p = large_time_parameter(variant, bits);
-  ANOLE_CHECK_MSG(p >= phi, "P_i < phi — advice decoding broken");
-
-  int diameter = ctx.diameter();
-  ProgramList programs;
-  for (std::size_t v = 0; v < ctx.g.n(); ++v)
-    programs.push_back(std::make_unique<GenericProgram>(p));
-  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
-                                 diameter + static_cast<int>(p) + 2);
-  run.advice_bits = bits.size();
-  run.phi = ctx.phi();
-  run.diameter = diameter;
+  ElectionRun run = run_set(ctx, make_large_time_programs(ctx, variant, c));
+  run.diameter = ctx.diameter();
   return run;
 }
 
@@ -89,20 +154,7 @@ ElectionRun run_large_time(const PortGraph& g, LargeTimeVariant variant,
 }
 
 ElectionRun run_map(ElectionContext& ctx) {
-  ANOLE_CHECK_MSG(ctx.feasible(), "run_map on an infeasible graph");
-  coding::BitString bits = map_advice(ctx.g);
-  auto state = std::make_shared<MapAdviceState>();
-  state->map = portgraph::decode_graph(bits);
-  state->phi = ctx.phi();
-
-  ProgramList programs;
-  for (std::size_t v = 0; v < ctx.g.n(); ++v)
-    programs.push_back(std::make_unique<MapProgram>(state));
-  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
-                                 ctx.phi() + 1);
-  run.advice_bits = bits.size();
-  run.phi = ctx.phi();
-  return run;
+  return run_set(ctx, make_map_programs(ctx));
 }
 
 ElectionRun run_map(const PortGraph& g) {
@@ -113,22 +165,8 @@ ElectionRun run_map(const PortGraph& g) {
 }
 
 ElectionRun run_remark(ElectionContext& ctx) {
-  ANOLE_CHECK_MSG(ctx.feasible(), "run_remark on an infeasible graph");
-  int diameter = ctx.diameter();
-  std::uint64_t phi = static_cast<std::uint64_t>(ctx.phi());
-  coding::BitString bits =
-      remark_advice(static_cast<std::uint64_t>(diameter), phi);
-
-  ProgramList programs;
-  for (std::size_t v = 0; v < ctx.g.n(); ++v) {
-    programs.push_back(std::make_unique<RemarkProgram>(
-        RemarkProgram::from_advice(bits)));
-  }
-  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
-                                 diameter + static_cast<int>(phi) + 1);
-  run.advice_bits = bits.size();
-  run.phi = ctx.phi();
-  run.diameter = diameter;
+  ElectionRun run = run_set(ctx, make_remark_programs(ctx));
+  run.diameter = ctx.diameter();
   return run;
 }
 
@@ -138,19 +176,8 @@ ElectionRun run_remark(const PortGraph& g) {
 }
 
 ElectionRun run_size_only(ElectionContext& ctx) {
-  ANOLE_CHECK_MSG(ctx.feasible(), "run_size_only on an infeasible graph");
-  coding::BitString bits = coding::bin(ctx.g.n());
-  std::uint64_t p = coding::parse_bin(bits);
-
-  int diameter = ctx.diameter();
-  ProgramList programs;
-  for (std::size_t v = 0; v < ctx.g.n(); ++v)
-    programs.push_back(std::make_unique<GenericProgram>(p));
-  ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(programs),
-                                 diameter + static_cast<int>(p) + 2);
-  run.advice_bits = bits.size();
-  run.phi = ctx.phi();
-  run.diameter = diameter;
+  ElectionRun run = run_set(ctx, make_size_only_programs(ctx));
+  run.diameter = ctx.diameter();
   return run;
 }
 

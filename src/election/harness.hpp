@@ -56,6 +56,15 @@ struct ElectionContext {
             views::ProfileOptions{.min_depth = keep_history ? 1 : 0,
                                   .keep_history = keep_history,
                                   .pool = pool})) {}
+
+  /// Wraps an externally maintained profile without recomputing anything —
+  /// the fault loop (sim::run_with_faults) keeps one profile current
+  /// across epochs via views::repair_profile and builds a context per
+  /// epoch around it. The profile is copied; it must describe `graph`,
+  /// be interned in `repo`, and carry level history.
+  ElectionContext(const portgraph::PortGraph& graph, views::ViewRepo& repo,
+                  const views::ViewProfile& ready_profile)
+      : g(graph), repo_(&repo), profile(ready_profile) {}
   ElectionContext(const ElectionContext&) = delete;
   ElectionContext& operator=(const ElectionContext&) = delete;
 
@@ -83,6 +92,30 @@ struct ElectionRun {
 
   [[nodiscard]] bool ok() const { return verdict.ok && !metrics.timed_out; }
 };
+
+/// Program construction split out of the run_* entry points, so drivers
+/// other than the synchronous engine — AsyncEngine under an adversarial
+/// schedule, sim::run_with_faults across fault epochs — can run the very
+/// same protocol instances the harness would. `max_rounds` is the round
+/// budget the matching run_* entry point allots: the synchronous time
+/// bound within which the protocol is guaranteed to decide on a static
+/// graph.
+struct ProgramSet {
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  int max_rounds = 0;
+  std::size_t advice_bits = 0;
+};
+
+/// The builders behind run_min_time / run_large_time / run_map /
+/// run_remark / run_size_only, one call each. All require ctx.feasible();
+/// make_min_time_programs additionally needs level history.
+[[nodiscard]] ProgramSet make_min_time_programs(ElectionContext& ctx);
+[[nodiscard]] ProgramSet make_large_time_programs(ElectionContext& ctx,
+                                                  LargeTimeVariant variant,
+                                                  std::uint64_t c);
+[[nodiscard]] ProgramSet make_map_programs(ElectionContext& ctx);
+[[nodiscard]] ProgramSet make_remark_programs(ElectionContext& ctx);
+[[nodiscard]] ProgramSet make_size_only_programs(ElectionContext& ctx);
 
 /// Theorem 3.1: ComputeAdvice + Elect. Elects in exactly phi rounds.
 /// The context form needs level history (ElectionContext's default).

@@ -46,4 +46,45 @@ VerifyResult verify_election(const portgraph::PortGraph& g,
   return result;
 }
 
+SafetyResult verify_safety_under_faults(
+    const portgraph::PortGraph& g,
+    const std::vector<std::vector<int>>& outputs,
+    const std::vector<int>& decision_round) {
+  SafetyResult result;
+  if (outputs.size() != g.n() || decision_round.size() != g.n()) {
+    result.error = "outputs/decision_round size mismatch";
+    return result;
+  }
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    if (decision_round[v] < 0) continue;  // undecided: nothing to check
+    auto nodes = g.walk(static_cast<NodeId>(v), outputs[v]);
+    if (!nodes) {
+      std::ostringstream oss;
+      oss << "decided node " << v << ": output does not code a valid walk";
+      result.error = oss.str();
+      return result;
+    }
+    std::unordered_set<NodeId> seen(nodes->begin(), nodes->end());
+    if (seen.size() != nodes->size()) {
+      std::ostringstream oss;
+      oss << "decided node " << v << ": path is not simple";
+      result.error = oss.str();
+      return result;
+    }
+    ++result.decided;
+    NodeId end = nodes->back();
+    if (result.leader < 0) {
+      result.leader = end;
+    } else if (end != result.leader) {
+      std::ostringstream oss;
+      oss << "two leaders: node " << v << " elected " << end
+          << " but earlier decided nodes elected " << result.leader;
+      result.error = oss.str();
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
 }  // namespace anole::election

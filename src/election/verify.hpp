@@ -22,4 +22,25 @@ struct VerifyResult {
     const portgraph::PortGraph& g,
     const std::vector<std::vector<int>>& outputs);
 
+/// Safety verdict for runs a fault (or an adversarial schedule cap) may
+/// have interrupted before everyone decided: "at most one leader, ever".
+struct SafetyResult {
+  bool ok = false;
+  /// The common leader of all decided nodes; -1 when nobody decided yet
+  /// (vacuously safe: ok stays true).
+  portgraph::NodeId leader = -1;
+  std::size_t decided = 0;  ///< nodes whose output was checked
+  std::string error;
+};
+
+/// The fault-model safety contract (DESIGN.md §12): every node that HAS
+/// decided (decision_round[v] >= 0) must have output a valid simple path,
+/// and all such paths must end at one common node — even when most nodes
+/// are still undecided. Undecided nodes are ignored entirely. Unlike
+/// verify_election, partial decision sets pass as long as they agree.
+[[nodiscard]] SafetyResult verify_safety_under_faults(
+    const portgraph::PortGraph& g,
+    const std::vector<std::vector<int>>& outputs,
+    const std::vector<int>& decision_round);
+
 }  // namespace anole::election

@@ -251,4 +251,46 @@ PortGraph disjoint_union(const PortGraph& a, const PortGraph& b) {
   return g;
 }
 
+AliveSubgraph alive_subgraph(const PortGraph& g,
+                             const std::vector<bool>& alive) {
+  ANOLE_CHECK(alive.size() == g.n());
+  AliveSubgraph sub;
+  sub.to_sub.assign(g.n(), -1);
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    if (!alive[v]) continue;
+    sub.to_sub[v] = static_cast<NodeId>(sub.to_full.size());
+    sub.to_full.push_back(static_cast<NodeId>(v));
+  }
+  sub.graph = PortGraph(sub.to_full.size());
+  // Port compaction first (both endpoints' compacted ports are needed to
+  // add an edge), then one add_edge per surviving edge, lower sub id first.
+  sub.sub_port.resize(g.n());
+  auto survives = [&](const HalfEdge& he) {
+    return he.neighbor >= 0 && alive[static_cast<std::size_t>(he.neighbor)];
+  };
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    if (!alive[v]) continue;
+    sub.sub_port[v].assign(
+        static_cast<std::size_t>(g.degree(static_cast<NodeId>(v))), -1);
+    Port next = 0;
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p)
+      if (survives(g.at(static_cast<NodeId>(v), p)))
+        sub.sub_port[v][static_cast<std::size_t>(p)] = next++;
+  }
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    if (!alive[v]) continue;
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      const HalfEdge& he = g.at(static_cast<NodeId>(v), p);
+      if (!survives(he)) continue;
+      NodeId sv = sub.to_sub[v];
+      NodeId su = sub.to_sub[static_cast<std::size_t>(he.neighbor)];
+      if (su < sv) continue;  // added from the other side
+      sub.graph.add_edge(sv, sub.sub_port[v][static_cast<std::size_t>(p)], su,
+                         sub.sub_port[static_cast<std::size_t>(he.neighbor)]
+                                     [static_cast<std::size_t>(he.rev_port)]);
+    }
+  }
+  return sub;
+}
+
 }  // namespace anole::portgraph

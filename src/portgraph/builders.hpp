@@ -72,4 +72,22 @@ namespace anole::portgraph {
 [[nodiscard]] PortGraph caterpillar(std::size_t spine,
                                     const std::vector<int>& leg_count);
 
+/// The port-compacted restriction of `g` to its alive nodes, as produced
+/// for each fault epoch by sim::FaultInjector: crashed nodes (and any
+/// masked/crashed-endpoint slots, which crash_node leaves as placeholders)
+/// are dropped, alive nodes are renumbered in ascending id order, and each
+/// alive node's surviving ports are renumbered 0..d'-1 preserving their
+/// relative order. The node and port maps let fault events addressed in
+/// full-graph coordinates be translated into subgraph edits (and subgraph
+/// leaders be reported as full-graph nodes).
+struct AliveSubgraph {
+  PortGraph graph;
+  std::vector<NodeId> to_full;  ///< sub id -> full id
+  std::vector<NodeId> to_sub;   ///< full id -> sub id, -1 when crashed
+  /// sub_port[full v][full p] = port in `graph` at to_sub[v], -1 if dropped.
+  std::vector<std::vector<Port>> sub_port;
+};
+[[nodiscard]] AliveSubgraph alive_subgraph(const PortGraph& g,
+                                           const std::vector<bool>& alive);
+
 }  // namespace anole::portgraph

@@ -47,6 +47,48 @@ std::pair<Port, Port> PortGraph::add_edge_auto(NodeId u, NodeId v) {
   return {pu, pv};
 }
 
+std::vector<PortGraph::RemovedEdge> PortGraph::crash_node(NodeId v) {
+  ANOLE_CHECK(v >= 0 && static_cast<std::size_t>(v) < adj_.size());
+  std::vector<RemovedEdge> removed;
+  auto& row = adj_[static_cast<std::size_t>(v)];
+  for (std::size_t p = 0; p < row.size(); ++p) {
+    HalfEdge& he = row[p];
+    if (he.neighbor < 0) continue;
+    removed.push_back(RemovedEdge{v, static_cast<Port>(p), he.neighbor,
+                                  he.rev_port});
+    adj_[static_cast<std::size_t>(he.neighbor)]
+        [static_cast<std::size_t>(he.rev_port)] = HalfEdge{};
+    he = HalfEdge{};
+  }
+  diameter_cache_ = -1;
+  return removed;
+}
+
+void PortGraph::rewire_edge(NodeId u1, Port p1, NodeId u2, Port p2) {
+  ANOLE_CHECK(u1 >= 0 && static_cast<std::size_t>(u1) < adj_.size());
+  ANOLE_CHECK(u2 >= 0 && static_cast<std::size_t>(u2) < adj_.size());
+  ANOLE_CHECK(p1 >= 0 && p1 < degree(u1) && p2 >= 0 && p2 < degree(u2));
+  HalfEdge e1 = adj_[static_cast<std::size_t>(u1)][static_cast<std::size_t>(p1)];
+  HalfEdge e2 = adj_[static_cast<std::size_t>(u2)][static_cast<std::size_t>(p2)];
+  ANOLE_CHECK_MSG(e1.neighbor >= 0 && e2.neighbor >= 0,
+                  "rewire_edge on an unassigned port");
+  NodeId v1 = e1.neighbor;
+  NodeId v2 = e2.neighbor;
+  ANOLE_CHECK_MSG(u1 != u2 && v1 != v2 && u1 != v2 && u2 != v1,
+                  "rewire_edge endpoints must be pairwise distinct");
+  ANOLE_CHECK_MSG(!port_to(u1, u2) && !port_to(v1, v2),
+                  "rewire_edge would create a multi-edge");
+  adj_[static_cast<std::size_t>(u1)][static_cast<std::size_t>(p1)] =
+      HalfEdge{u2, p2};
+  adj_[static_cast<std::size_t>(u2)][static_cast<std::size_t>(p2)] =
+      HalfEdge{u1, p1};
+  adj_[static_cast<std::size_t>(v1)][static_cast<std::size_t>(e1.rev_port)] =
+      HalfEdge{v2, e2.rev_port};
+  adj_[static_cast<std::size_t>(v2)][static_cast<std::size_t>(e2.rev_port)] =
+      HalfEdge{v1, e1.rev_port};
+  diameter_cache_ = -1;
+}
+
 std::optional<Port> PortGraph::port_to(NodeId u, NodeId v) const {
   const auto& row = adj_[static_cast<std::size_t>(u)];
   for (std::size_t p = 0; p < row.size(); ++p)

@@ -40,6 +40,16 @@ class PortGraph {
     return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
   }
 
+  /// Number of currently *assigned* ports at `v`. Equals degree() on a
+  /// validated graph; differs after crash_node, which masks slots in place
+  /// (surviving ports keep their numbers) instead of shrinking the row.
+  [[nodiscard]] int assigned_degree(NodeId v) const {
+    int d = 0;
+    for (const HalfEdge& he : adj_[static_cast<std::size_t>(v)])
+      if (he.neighbor >= 0) ++d;
+    return d;
+  }
+
   /// The half-edge reached through port `p` at node `v`.
   [[nodiscard]] const HalfEdge& at(NodeId v, Port p) const {
     const auto& row = adj_[static_cast<std::size_t>(v)];
@@ -69,6 +79,36 @@ class PortGraph {
 
   /// Port at `u` leading to `v`, if the edge exists.
   [[nodiscard]] std::optional<Port> port_to(NodeId u, NodeId v) const;
+
+  /// One edge removed by crash_node, recorded with both endpoints' ports —
+  /// exactly what add_edge(u, pu, v, pv) needs to restore it on recovery.
+  struct RemovedEdge {
+    NodeId u = -1;
+    Port pu = -1;
+    NodeId v = -1;
+    Port pv = -1;
+  };
+
+  /// Crash-fault mutation (sim/faults.hpp): masks every assigned edge
+  /// incident to `v` IN PLACE — both half-edge slots of each edge become
+  /// placeholders (-1) — so every surviving node keeps its port numbers
+  /// and row sizes. Returns the removed edges for later recovery via
+  /// add_edge. The graph no longer validate()s while any slot is masked;
+  /// run protocols on a port-compacted copy (builders.hpp
+  /// alive_subgraph). Invalidates the memoized diameter.
+  std::vector<RemovedEdge> crash_node(NodeId v);
+
+  /// Degree-preserving rewiring: a 2-swap replacing the two edges out of
+  /// (u1,p1) and (u2,p2) — say {u1,v1} entered at q1 and {u2,v2} entered
+  /// at q2 — with the cross edges u1(p1)-u2(p2) and v1(q1)-v2(q2). Every
+  /// endpoint keeps its port number, so all degrees and port contiguity
+  /// are preserved (the incremental view-repair precondition, DESIGN.md
+  /// §12). Requires both slots assigned, the four endpoints pairwise
+  /// distinct, and neither replacement edge already present (else
+  /// self-loop/multi-edge). May disconnect the graph — callers that need
+  /// connectivity (sim::FaultPlan's generator) must check. Invalidates
+  /// the memoized diameter.
+  void rewire_edge(NodeId u1, Port p1, NodeId u2, Port p2);
 
   /// Verifies the model invariants: no self-loops, no multi-edges, port
   /// numbers contiguous 0..deg-1, two-sided consistency, connectivity.

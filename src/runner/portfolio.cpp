@@ -10,19 +10,38 @@ std::vector<PortfolioAlgorithm> election_portfolio(std::uint64_t c) {
       return election::run_large_time(ctx, v, c);
     };
   };
+  auto large_make = [c](LargeTimeVariant v) {
+    return [v, c](ElectionContext& ctx) {
+      return election::make_large_time_programs(ctx, v, c);
+    };
+  };
   return {
       {"Elect (Thm 3.1)", "phi",
-       [](ElectionContext& ctx) { return election::run_min_time(ctx); }},
+       [](ElectionContext& ctx) { return election::run_min_time(ctx); },
+       [](ElectionContext& ctx) {
+         return election::make_min_time_programs(ctx);
+       }},
       {"Map baseline", "phi",
-       [](ElectionContext& ctx) { return election::run_map(ctx); }},
+       [](ElectionContext& ctx) { return election::run_map(ctx); },
+       [](ElectionContext& ctx) { return election::make_map_programs(ctx); }},
       {"Remark(D,phi)", "D+phi",
-       [](ElectionContext& ctx) { return election::run_remark(ctx); }},
-      {"Election1", "D+phi+c", large(LargeTimeVariant::kPhiPlusC)},
-      {"Election2", "D+c*phi", large(LargeTimeVariant::kCTimesPhi)},
-      {"Election3", "D+phi^c", large(LargeTimeVariant::kPhiPowC)},
-      {"Election4", "D+c^phi", large(LargeTimeVariant::kCPowPhi)},
+       [](ElectionContext& ctx) { return election::run_remark(ctx); },
+       [](ElectionContext& ctx) {
+         return election::make_remark_programs(ctx);
+       }},
+      {"Election1", "D+phi+c", large(LargeTimeVariant::kPhiPlusC),
+       large_make(LargeTimeVariant::kPhiPlusC)},
+      {"Election2", "D+c*phi", large(LargeTimeVariant::kCTimesPhi),
+       large_make(LargeTimeVariant::kCTimesPhi)},
+      {"Election3", "D+phi^c", large(LargeTimeVariant::kPhiPowC),
+       large_make(LargeTimeVariant::kPhiPowC)},
+      {"Election4", "D+c^phi", large(LargeTimeVariant::kCPowPhi),
+       large_make(LargeTimeVariant::kCPowPhi)},
       {"SizeOnly(n)", "D+n+1",
-       [](ElectionContext& ctx) { return election::run_size_only(ctx); }},
+       [](ElectionContext& ctx) { return election::run_size_only(ctx); },
+       [](ElectionContext& ctx) {
+         return election::make_size_only_programs(ctx);
+       }},
   };
 }
 

@@ -22,6 +22,10 @@ struct PortfolioAlgorithm {
   /// instead of recomputing the refinement per row. Callers running a
   /// single algorithm build a throwaway context via run_on().
   std::function<election::ElectionRun(election::ElectionContext&)> run;
+  /// Builds this algorithm's per-node programs + round budget without
+  /// running them — for drivers other than the synchronous engine (the A1
+  /// adversarial schedules, sim::run_with_faults epochs).
+  std::function<election::ProgramSet(election::ElectionContext&)> make;
 
   /// Convenience: one-shot context for this algorithm alone.
   [[nodiscard]] election::ElectionRun run_on(

@@ -1,0 +1,179 @@
+// A1 — adversarial schedules and fault epochs (DESIGN.md §12).
+//
+// The paper's protocols are specified for the synchronous fault-free
+// LOCAL model; the async machinery (sim/async.hpp) and the fault
+// subsystem (sim/faults.hpp) probe how far that specification actually
+// carries. Two tables:
+//
+//   A1a — every portfolio algorithm under every delivery adversary, on
+//       feasible graphs, with the *full* synchronous round budget: the
+//       alpha-synchronizer must reproduce the synchronous outputs
+//       bit-identically whatever the adversary does ("identical"), the
+//       async run must elect the same single leader ("safe"), and the
+//       delivery factor reports the adversary's message cost relative to
+//       the synchronous baseline of 2m messages per round.
+//
+//   A1b — seeded fault plans (crash-only / rewire-only / mixed) driven
+//       through sim::run_with_faults with the Theorem 3.1 protocol: per
+//       plan, the number of inter-fault epochs, how many were served by
+//       *incremental* view repair rather than a recompute (with the
+//       recomputed/reused view split), how many the fault cap
+//       interrupted, and the two safety verdicts — at most one leader
+//       ever (sync) and async/sync output agreement under the epoch's
+//       adversary.
+//
+// Every reported value is deterministic and thread-count independent;
+// wall-clock rides --bench-out (BENCH_async.json, guarded in CI by
+// tools/bench_check against the committed repo-root baseline).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "portgraph/builders.hpp"
+#include "runner/portfolio.hpp"
+#include "runner/scenario.hpp"
+#include "sim/async.hpp"
+#include "sim/faults.hpp"
+#include "views/view_repo.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+using runner::Value;
+
+constexpr sim::AdversaryKind kAdversaries[] = {
+    sim::AdversaryKind::kRoundRobin,
+    sim::AdversaryKind::kRandom,
+    sim::AdversaryKind::kCentralizer,
+    sim::AdversaryKind::kWorstCaseGreedy,
+};
+
+std::vector<Row> adversary_cell(const std::string& family,
+                                const portgraph::PortGraph& g,
+                                sim::AdversaryKind kind) {
+  std::vector<Row> rows;
+  election::ElectionContext ctx(g);
+  double sync_msgs_per_round = 2.0 * static_cast<double>(g.m());
+  for (const runner::PortfolioAlgorithm& alg :
+       runner::election_portfolio()) {
+    election::ElectionRun sync = alg.run(ctx);
+    election::ProgramSet set = alg.make(ctx);
+    sim::AsyncEngine async(g, ctx.repo());
+    // The adversary can race a node ahead of the laggards, but never by
+    // more than the graph distance (a node at local round r implies every
+    // node is at round >= r - dist), so the synchronous budget plus D + 1
+    // can never be hit before everyone decides.
+    sim::AsyncMetrics am =
+        async.run(set.programs, set.max_rounds + ctx.diameter() + 1, kind,
+                  /*adversary_seed=*/1);
+    bool identical = !am.timed_out && am.outputs == sync.metrics.outputs &&
+                     am.decision_round == sync.metrics.decision_round;
+    bool safe = !am.timed_out &&
+                election::verify_election(g, am.outputs).ok;
+    double factor =
+        sync.metrics.rounds > 0
+            ? static_cast<double>(am.deliveries) /
+                  (sync_msgs_per_round * sync.metrics.rounds)
+            : 0.0;
+    rows.push_back(Row{family, alg.name, sim::adversary_name(kind), g.n(),
+                       sync.metrics.rounds, am.max_round, am.deliveries,
+                       Value::real(factor, 2), identical, safe});
+  }
+  return rows;
+}
+
+std::vector<Row> fault_cell(const std::string& plan_name,
+                            const portgraph::PortGraph& g, int crashes,
+                            int rewires, sim::AdversaryKind kind,
+                            std::uint64_t seed) {
+  sim::FaultPlan plan =
+      sim::FaultPlan::random(g, /*horizon=*/60, crashes, rewires, seed);
+  views::ViewRepo repo;
+  sim::FaultRunOptions opts;
+  opts.adversary = kind;
+  opts.adversary_seed = seed;
+  sim::FaultRunResult r = sim::run_with_faults(
+      g, repo, plan,
+      [](election::ElectionContext& ctx) {
+        return election::make_min_time_programs(ctx);
+      },
+      opts);
+  std::size_t interrupted = 0;
+  std::size_t infeasible = 0;
+  for (const sim::EpochReport& ep : r.epochs) {
+    if (ep.interrupted) ++interrupted;
+    if (!ep.feasible) ++infeasible;
+  }
+  return {Row{plan_name, sim::adversary_name(kind), g.n(),
+              plan.events.size(), r.epochs.size(), r.incremental_epochs,
+              r.recomputed_views, r.reused_views, interrupted, infeasible,
+              r.safe, r.async_ok}};
+}
+
+runner::Scenario make_a1() {
+  runner::Scenario s;
+  s.name = "a1";
+  s.summary =
+      "adversarial delivery schedules and fault epochs: synchronizer "
+      "equivalence, safety under faults, incremental view repair";
+  s.reference = "DESIGN.md §12 (faults + asynchrony)";
+  s.tables.push_back(runner::TableSpec{
+      "A1a",
+      "Portfolio under the four delivery adversaries with the full "
+      "synchronous round budget. \"identical\" = outputs AND decision "
+      "rounds byte-equal to the synchronous run (the alpha-synchronizer "
+      "guarantee); \"safe\" = the async run elected one leader; "
+      "\"delivery factor\" = adversary deliveries / (2m x sync rounds), "
+      "the message overhead of asynchrony. All columns deterministic; "
+      "wall-clock rides --bench-out (BENCH_async.json).",
+      {"family", "algorithm", "adversary", "n", "rounds", "async rounds",
+       "deliveries", "delivery factor", "identical", "safe"}});
+  s.tables.push_back(runner::TableSpec{
+      "A1b",
+      "Seeded fault plans through sim::run_with_faults (Theorem 3.1 "
+      "protocol per epoch, async cross-check per epoch). \"incremental\" "
+      "counts epochs whose view profile was patched by "
+      "views::repair_profile instead of recomputed, with the "
+      "recomputed/reused per-node view split; \"safe\" = at most one "
+      "leader among decided nodes in every epoch; \"async ok\" = every "
+      "epoch's adversarial rerun agreed with its synchronous run.",
+      {"plan", "adversary", "n", "events", "epochs", "incremental",
+       "recomputed views", "reused views", "interrupted", "infeasible",
+       "safe", "async ok"}});
+
+  auto add_adversary = [&s](std::string family,
+                            std::function<portgraph::PortGraph()> build) {
+    for (sim::AdversaryKind kind : kAdversaries) {
+      s.add_cell(
+          "adversary/" + family + "/" + sim::adversary_name(kind), 0,
+          [family, build, kind] { return adversary_cell(family, build(), kind); });
+    }
+  };
+  add_adversary("random(24,+16,seed7)",
+                [] { return portgraph::random_connected(24, 16, 7); });
+  add_adversary("lollipop(6,6)", [] { return portgraph::lollipop(6, 6); });
+
+  auto add_fault = [&s](std::string plan_name, int crashes, int rewires,
+                        std::uint64_t seed) {
+    for (sim::AdversaryKind kind : kAdversaries) {
+      s.add_cell("faults/" + plan_name + "/" + sim::adversary_name(kind), 1,
+                 [plan_name, crashes, rewires, seed, kind] {
+                   return fault_cell(plan_name,
+                                     portgraph::random_connected(24, 16, 7),
+                                     crashes, rewires, kind, seed);
+                 });
+    }
+  };
+  add_fault("crash(3)", 3, 0, 11);
+  add_fault("rewire(4)", 0, 4, 12);
+  add_fault("mixed(2c,3r)", 2, 3, 13);
+  return s;
+}
+
+}  // namespace
+
+ANOLE_REGISTER_SCENARIO("a1", make_a1);

@@ -26,9 +26,19 @@ struct Link {
 
 }  // namespace
 
+const char* adversary_name(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kRoundRobin: return "round-robin";
+    case AdversaryKind::kRandom: return "random";
+    case AdversaryKind::kCentralizer: return "centralizer";
+    case AdversaryKind::kWorstCaseGreedy: return "worst-case-greedy";
+  }
+  return "?";
+}
+
 AsyncMetrics AsyncEngine::run(
     std::span<const std::unique_ptr<NodeProgram>> programs, int max_rounds,
-    std::uint64_t adversary_seed) {
+    AdversaryKind kind, std::uint64_t adversary_seed) {
   const portgraph::PortGraph& g = *graph_;
   ANOLE_CHECK_MSG(programs.size() == g.n(), "need one program per node");
   std::size_t n = g.n();
@@ -38,13 +48,16 @@ AsyncMetrics AsyncEngine::run(
   metrics.decision_round.assign(n, -1);
   metrics.outputs.resize(n);
 
-  // One directed link per half-edge; links[v] are v's *outgoing* links in
-  // port order.
+  // One directed link per half-edge, flattened in (node, port) order —
+  // the fixed order every deterministic adversary breaks ties (and
+  // round-robins) in. flat[i] indexes into links.
   std::vector<std::vector<Link>> links(n);
+  std::vector<std::pair<std::size_t, std::size_t>> flat;
   for (std::size_t v = 0; v < n; ++v) {
     for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
       const auto& he = g.at(static_cast<NodeId>(v), p);
       links[v].push_back(Link{he.neighbor, he.rev_port, {}});
+      flat.emplace_back(v, static_cast<std::size_t>(p));
     }
   }
 
@@ -85,6 +98,61 @@ AsyncMetrics AsyncEngine::run(
           Stamped{round[v], out, static_cast<Port>(p)});
   };
 
+  // The adversary's choice of the next delivery, as an index into `flat`
+  // (-1 when nothing is in flight). Tie-breaking is the flat order for
+  // every deterministic kind.
+  std::size_t rr_cursor = 0;
+  auto pick_link = [&]() -> std::ptrdiff_t {
+    switch (kind) {
+      case AdversaryKind::kRoundRobin: {
+        for (std::size_t step = 0; step < flat.size(); ++step) {
+          std::size_t i = (rr_cursor + step) % flat.size();
+          if (!links[flat[i].first][flat[i].second].fifo.empty()) {
+            rr_cursor = (i + 1) % flat.size();
+            return static_cast<std::ptrdiff_t>(i);
+          }
+        }
+        return -1;
+      }
+      case AdversaryKind::kRandom: {
+        std::vector<std::size_t> busy;
+        for (std::size_t i = 0; i < flat.size(); ++i)
+          if (!links[flat[i].first][flat[i].second].fifo.empty())
+            busy.push_back(i);
+        if (busy.empty()) return -1;
+        return static_cast<std::ptrdiff_t>(busy[adversary.below(busy.size())]);
+      }
+      case AdversaryKind::kCentralizer: {
+        std::ptrdiff_t best = -1;
+        int best_round = -1;
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+          const Link& link = links[flat[i].first][flat[i].second];
+          if (link.fifo.empty()) continue;
+          int r = round[static_cast<std::size_t>(link.to)];
+          if (r > best_round) {
+            best_round = r;
+            best = static_cast<std::ptrdiff_t>(i);
+          }
+        }
+        return best;
+      }
+      case AdversaryKind::kWorstCaseGreedy: {
+        std::ptrdiff_t best = -1;
+        int best_stamp = -1;
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+          const Link& link = links[flat[i].first][flat[i].second];
+          if (link.fifo.empty()) continue;
+          if (link.fifo.front().round > best_stamp) {
+            best_stamp = link.fifo.front().round;
+            best = static_cast<std::ptrdiff_t>(i);
+          }
+        }
+        return best;
+      }
+    }
+    return -1;
+  };
+
   for (std::size_t v = 0; v < n; ++v) {
     programs[v]->start(*repo_, g.degree(static_cast<NodeId>(v)));
     note_decision(v);
@@ -93,18 +161,13 @@ AsyncMetrics AsyncEngine::run(
     for (std::size_t v = 0; v < n; ++v) broadcast(v);
 
   std::vector<Message> inbox;
-  while (!all_decided()) {
-    // Adversary: pick a uniformly random non-empty link and deliver its
-    // head message (FIFO per link, otherwise fully adversarial).
-    std::vector<std::pair<std::size_t, std::size_t>> busy;
-    for (std::size_t v = 0; v < n; ++v)
-      for (std::size_t p = 0; p < links[v].size(); ++p)
-        if (!links[v][p].fifo.empty()) busy.emplace_back(v, p);
-    if (busy.empty()) {
+  while (!all_decided() && !metrics.timed_out) {
+    std::ptrdiff_t choice = pick_link();
+    if (choice < 0) {
       metrics.timed_out = true;  // deadlock: nothing in flight, undecided
       break;
     }
-    auto [sv, sp] = busy[adversary.below(busy.size())];
+    auto [sv, sp] = flat[static_cast<std::size_t>(choice)];
     Link& link = links[sv][sp];
     Stamped msg = link.fifo.front();
     link.fifo.pop_front();
@@ -133,12 +196,16 @@ AsyncMetrics AsyncEngine::run(
       metrics.max_round = std::max(metrics.max_round, round[tv]);
       note_decision(tv);
       if (round[tv] > max_rounds) {
+        // Cap overrun: stop at a consistent point — the receiver completed
+        // its round, the decision (if any) is recorded, deliveries and
+        // max_round are exact. Same exit path as deadlock.
         metrics.timed_out = true;
-        return metrics;
+        break;
       }
       if (!all_decided()) broadcast(tv);
     }
   }
+  metrics.local_rounds = std::move(round);
   return metrics;
 }
 

@@ -5,14 +5,15 @@
 //
 // The AsyncEngine runs the *same* NodeProgram protocol objects as the
 // synchronous Engine, but message deliveries are scheduled one at a time
-// by a seeded adversary (any interleaving that respects per-link FIFO).
-// Every message carries its sender's round number as a time-stamp; each
-// node buffers incoming stamped messages and only advances its local
-// round r -> r+1 once it holds a round-r message from every neighbor —
-// the classical alpha-synchronizer discipline. Consequently each node
-// observes exactly the same per-round inboxes as in the synchronous run,
-// and the outputs are bit-identical regardless of the adversary's choices
-// (asserted by tests across many seeds).
+// by an adversary (any interleaving that respects per-link FIFO). Every
+// message carries its sender's round number as a time-stamp; each node
+// buffers incoming stamped messages and only advances its local round
+// r -> r+1 once it holds a round-r message from every neighbor — the
+// classical alpha-synchronizer discipline. Consequently each node observes
+// exactly the same per-round inboxes as in the synchronous run, and the
+// outputs are bit-identical regardless of the adversary's choices
+// (asserted by tests across 100 seeds and all four adversaries, and by
+// the A1 scenario).
 
 #include <cstdint>
 
@@ -20,14 +21,46 @@
 
 namespace anole::sim {
 
+/// The delivery schedulers the engine can run under. All are deterministic
+/// given the seed (only kRandom consumes it), so every A1 cell and test is
+/// reproducible.
+enum class AdversaryKind {
+  /// Cycles through the directed links in a fixed order, delivering the
+  /// next non-empty link's head — the fairest schedule, minimal skew.
+  kRoundRobin,
+  /// Picks a uniformly random non-empty link (seeded) — the historical
+  /// default.
+  kRandom,
+  /// Always feeds the node whose local round is highest — races one node
+  /// maximally ahead of the rest, the worst case for round skew.
+  kCentralizer,
+  /// Always delivers the in-flight message with the *largest* time-stamp,
+  /// starving the oldest rounds as long as possible — maximizes
+  /// synchronizer buffering.
+  kWorstCaseGreedy,
+};
+
+[[nodiscard]] const char* adversary_name(AdversaryKind kind);
+
 struct AsyncMetrics {
   /// Highest local round any node completed.
   int max_round = 0;
-  /// Local round at which each node decided.
+  /// Local round at which each node decided (-1 = still undecided — only
+  /// possible when timed_out).
   std::vector<int> decision_round;
   std::vector<std::vector<int>> outputs;
   /// Total point-to-point deliveries performed by the adversary.
   std::size_t deliveries = 0;
+  /// Final local round of every node. Each node's round only ever
+  /// increments (monotonicity — pinned by tests), so this is also the
+  /// number of complete inboxes it consumed.
+  std::vector<int> local_rounds;
+  /// True iff the run stopped before every node decided: either some node
+  /// hit the `max_rounds` cap or nothing was in flight (deadlock — cannot
+  /// happen for protocols that broadcast every round). All other fields
+  /// are still filled consistently up to the stopping point; outputs of
+  /// undecided nodes are empty and their decision_round is -1. Callers
+  /// MUST check this before trusting outputs.
   bool timed_out = false;
 };
 
@@ -36,11 +69,19 @@ class AsyncEngine {
   AsyncEngine(const portgraph::PortGraph& graph, views::ViewRepo& repo)
       : graph_(&graph), repo_(&repo) {}
 
-  /// Runs until every node has decided, with the adversary drawing the
-  /// next delivery uniformly from all in-flight messages (seeded).
-  /// `max_rounds` caps the per-node local round as a safety net.
+  /// Runs until every node has decided or some node's local round would
+  /// exceed `max_rounds` (then timed_out is set and the partial state is
+  /// reported — never silently). `adversary_seed` feeds kRandom; the
+  /// other adversaries are deterministic and ignore it.
   AsyncMetrics run(std::span<const std::unique_ptr<NodeProgram>> programs,
-                   int max_rounds, std::uint64_t adversary_seed);
+                   int max_rounds, AdversaryKind kind,
+                   std::uint64_t adversary_seed);
+
+  /// Historical entry point: the seeded uniform-random adversary.
+  AsyncMetrics run(std::span<const std::unique_ptr<NodeProgram>> programs,
+                   int max_rounds, std::uint64_t adversary_seed) {
+    return run(programs, max_rounds, AdversaryKind::kRandom, adversary_seed);
+  }
 
  private:
   const portgraph::PortGraph* graph_;

@@ -1,0 +1,344 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "sim/full_info.hpp"
+#include "util/prng.hpp"
+#include "views/refiner.hpp"
+
+namespace anole::sim {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+
+namespace {
+
+/// Connectivity of the alive node set (optionally pretending `skip` is
+/// crashed too), walking only assigned slots between alive nodes. The
+/// plain PortGraph::connected() is useless here: crashed nodes are
+/// isolated by construction.
+bool alive_connected(const PortGraph& g, const std::vector<bool>& alive,
+                     NodeId skip = -1) {
+  NodeId start = -1;
+  std::size_t want = 0;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    if (!alive[v] || static_cast<NodeId>(v) == skip) continue;
+    if (start < 0) start = static_cast<NodeId>(v);
+    ++want;
+  }
+  if (want <= 1) return true;
+  std::vector<bool> seen(g.n(), false);
+  seen[static_cast<std::size_t>(start)] = true;
+  std::deque<NodeId> queue{start};
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (const portgraph::HalfEdge& he : g.neighbors(v)) {
+      if (he.neighbor < 0 || he.neighbor == skip) continue;
+      if (seen[static_cast<std::size_t>(he.neighbor)]) continue;
+      seen[static_cast<std::size_t>(he.neighbor)] = true;
+      ++reached;
+      queue.push_back(he.neighbor);
+    }
+  }
+  return reached == want;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(const PortGraph& g, int horizon, int crashes,
+                            int rewires, std::uint64_t seed) {
+  FaultPlan plan;
+  util::SplitMix64 rng(seed);
+  PortGraph work = g;  // simulate the plan while emitting it
+  std::size_t n = g.n();
+  std::vector<bool> alive(n, true);
+  std::size_t alive_count = n;
+  int remaining_c = crashes;
+  int remaining_r = rewires;
+  // Spread events over the horizon, leaving room for the trailing
+  // recoveries (at most one per crash).
+  int slots = crashes * 2 + rewires + 1;
+  int gap = std::max(1, horizon / slots);
+  int round = 0;
+  auto next_round = [&]() {
+    round += 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(gap)));
+    return round;
+  };
+
+  while (remaining_c + remaining_r > 0) {
+    bool do_crash =
+        rng.below(static_cast<std::uint64_t>(remaining_c + remaining_r)) <
+        static_cast<std::uint64_t>(remaining_c);
+    if (do_crash) {
+      --remaining_c;
+      if (alive_count <= 4) continue;  // keep a nontrivial network running
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        NodeId v = static_cast<NodeId>(rng.below(n));
+        if (!alive[static_cast<std::size_t>(v)]) continue;
+        if (!alive_connected(work, alive, v)) continue;  // would cut survivors
+        work.crash_node(v);
+        alive[static_cast<std::size_t>(v)] = false;
+        --alive_count;
+        plan.events.push_back(
+            {.kind = FaultEvent::Kind::kCrash, .round = next_round(),
+             .node = v});
+        break;
+      }
+    } else {
+      --remaining_r;
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        NodeId u1 = static_cast<NodeId>(rng.below(n));
+        NodeId u2 = static_cast<NodeId>(rng.below(n));
+        if (!alive[static_cast<std::size_t>(u1)] ||
+            !alive[static_cast<std::size_t>(u2)])
+          continue;
+        if (work.degree(u1) == 0 || work.degree(u2) == 0) continue;
+        Port p1 = static_cast<Port>(
+            rng.below(static_cast<std::uint64_t>(work.degree(u1))));
+        Port p2 = static_cast<Port>(
+            rng.below(static_cast<std::uint64_t>(work.degree(u2))));
+        // Masked slots point at crashed neighbors; assigned slots of alive
+        // nodes always point at alive nodes, so v1/v2 need no alive check.
+        if (work.at(u1, p1).neighbor < 0 || work.at(u2, p2).neighbor < 0)
+          continue;
+        NodeId v1 = work.at(u1, p1).neighbor;
+        NodeId v2 = work.at(u2, p2).neighbor;
+        if (u1 == u2 || v1 == v2 || u1 == v2 || u2 == v1) continue;
+        if (work.port_to(u1, u2) || work.port_to(v1, v2)) continue;
+        PortGraph trial = work;
+        trial.rewire_edge(u1, p1, u2, p2);
+        if (!alive_connected(trial, alive)) continue;
+        work = std::move(trial);
+        plan.events.push_back(
+            {.kind = FaultEvent::Kind::kRewire, .round = next_round(),
+             .u1 = u1, .p1 = p1, .u2 = u2, .p2 = p2});
+        break;
+      }
+    }
+  }
+  // Bring everyone back at the end, in ascending id order.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (alive[v]) continue;
+    plan.events.push_back({.kind = FaultEvent::Kind::kRecover,
+                           .round = next_round(),
+                           .node = static_cast<NodeId>(v)});
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const PortGraph& g, FaultPlan plan)
+    : work_(g),
+      alive_(g.n(), true),
+      alive_count_(g.n()),
+      plan_(std::move(plan)) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    int prev = i == 0 ? 0 : plan_.events[i - 1].round;
+    ANOLE_CHECK_MSG(plan_.events[i].round > prev,
+                    "fault plan rounds must be strictly increasing and >= 1");
+  }
+}
+
+FaultInjector::Applied FaultInjector::apply_through(int round) {
+  Applied out;
+  while (next_ < plan_.events.size() && plan_.events[next_].round <= round) {
+    apply(plan_.events[next_], out);
+    ++next_;
+    ++out.events;
+  }
+  std::sort(out.dirty.begin(), out.dirty.end());
+  out.dirty.erase(std::unique(out.dirty.begin(), out.dirty.end()),
+                  out.dirty.end());
+  return out;
+}
+
+void FaultInjector::apply(const FaultEvent& ev, Applied& out) {
+  using Kind = FaultEvent::Kind;
+  switch (ev.kind) {
+    case Kind::kCrash: {
+      NodeId v = ev.node;
+      ANOLE_CHECK_MSG(alive_[static_cast<std::size_t>(v)],
+                      "crash of already-crashed node " << v);
+      std::vector<PortGraph::RemovedEdge> removed = work_.crash_node(v);
+      for (const PortGraph::RemovedEdge& e : removed) out.dirty.push_back(e.v);
+      out.dirty.push_back(v);
+      stash_.insert(stash_.end(), removed.begin(), removed.end());
+      alive_[static_cast<std::size_t>(v)] = false;
+      --alive_count_;
+      out.alive_changed = true;
+      break;
+    }
+    case Kind::kRecover: {
+      NodeId v = ev.node;
+      ANOLE_CHECK_MSG(!alive_[static_cast<std::size_t>(v)],
+                      "recovery of alive node " << v);
+      alive_[static_cast<std::size_t>(v)] = true;
+      ++alive_count_;
+      // Restore stashed edges incident to v whose partner is also alive;
+      // edges to still-crashed partners stay stashed for THEIR recovery.
+      std::size_t keep = 0;
+      for (const PortGraph::RemovedEdge& e : stash_) {
+        bool restorable = (e.u == v || e.v == v) &&
+                          alive_[static_cast<std::size_t>(e.u)] &&
+                          alive_[static_cast<std::size_t>(e.v)];
+        if (!restorable) {
+          stash_[keep++] = e;
+          continue;
+        }
+        work_.add_edge(e.u, e.pu, e.v, e.pv);
+        out.dirty.push_back(e.u);
+        out.dirty.push_back(e.v);
+      }
+      stash_.resize(keep);
+      out.dirty.push_back(v);
+      out.alive_changed = true;
+      break;
+    }
+    case Kind::kRewire: {
+      // Capture the far endpoints before the swap rewrites them.
+      NodeId v1 = work_.at(ev.u1, ev.p1).neighbor;
+      NodeId v2 = work_.at(ev.u2, ev.p2).neighbor;
+      work_.rewire_edge(ev.u1, ev.p1, ev.u2, ev.p2);
+      out.dirty.push_back(ev.u1);
+      out.dirty.push_back(v1);
+      out.dirty.push_back(ev.u2);
+      out.dirty.push_back(v2);
+      out.rewires.push_back(ev);
+      break;
+    }
+  }
+}
+
+FaultRunResult run_with_faults(
+    const PortGraph& g, views::ViewRepo& repo, const FaultPlan& plan,
+    const std::function<election::ProgramSet(election::ElectionContext&)>&
+        make_programs,
+    const FaultRunOptions& opts) {
+  FaultRunResult result;
+  FaultInjector injector(g, plan);
+  int round = 0;
+  std::unique_ptr<portgraph::AliveSubgraph> sub;
+  views::ViewProfile profile;
+  bool profile_valid = false;
+  std::optional<views::Refiner> refiner;
+  std::vector<NodeId> pending_dirty;  // in subgraph coordinates
+  std::size_t epoch_index = 0;
+
+  for (;;) {
+    if (!sub) {
+      sub = std::make_unique<portgraph::AliveSubgraph>(
+          portgraph::alive_subgraph(injector.graph(), injector.alive()));
+      ANOLE_CHECK_MSG(sub->graph.connected(),
+                      "fault plan disconnected the alive subgraph");
+      profile_valid = false;
+    }
+
+    EpochReport ep;
+    ep.start_round = round;
+    ep.alive = injector.alive_count();
+
+    if (!refiner) refiner.emplace(sub->graph, repo);
+    if (!profile_valid) {
+      // Full (re)compute — epoch 0 and every epoch after a crash/recover.
+      // min_depth = 1 + keep_history give repair_profile levels to patch.
+      profile = views::compute_profile(
+          sub->graph, repo,
+          views::ProfileOptions{.min_depth = 1, .keep_history = true,
+                                .refiner = &*refiner});
+      profile_valid = true;
+    } else if (!pending_dirty.empty()) {
+      ep.repair = views::repair_profile(sub->graph, repo, profile,
+                                        pending_dirty, &*refiner);
+      pending_dirty.clear();
+    }
+
+    election::ElectionContext ctx(sub->graph, repo, profile);
+    int next = injector.next_fault_round();
+    int budget = next < 0 ? opts.settle_rounds : next - round;
+    ep.budget = budget;
+
+    if (!ctx.feasible()) {
+      // A fault can make the survivor graph symmetric: no advice-based
+      // protocol applies, nobody decides — vacuously safe.
+      ep.feasible = false;
+      ep.safety.ok = true;
+    } else {
+      election::ProgramSet set = make_programs(ctx);
+      int effective = std::min(budget, set.max_rounds);
+      ep.budget = effective;
+      ep.metrics = run_full_info(sub->graph, repo, set.programs, effective);
+      ep.interrupted = ep.metrics.timed_out;
+      ep.safety = election::verify_safety_under_faults(
+          sub->graph, ep.metrics.outputs, ep.metrics.decision_round);
+      if (ep.safety.leader >= 0)
+        ep.leader_full = sub->to_full[static_cast<std::size_t>(
+            ep.safety.leader)];
+      if (opts.adversary) {
+        // Same protocol, adversarial delivery order, same round cap: the
+        // synchronizer must agree with the synchronous run on every node
+        // both runs decided.
+        election::ProgramSet aset = make_programs(ctx);
+        AsyncEngine async(sub->graph, repo);
+        AsyncMetrics am =
+            async.run(aset.programs, effective, *opts.adversary,
+                      util::derive_seed(opts.adversary_seed, epoch_index));
+        ep.async_deliveries = am.deliveries;
+        election::SafetyResult async_safety =
+            election::verify_safety_under_faults(sub->graph, am.outputs,
+                                                 am.decision_round);
+        ep.async_ok = async_safety.ok;
+        for (std::size_t v = 0; v < sub->graph.n(); ++v) {
+          if (ep.metrics.decision_round[v] >= 0 && am.decision_round[v] >= 0 &&
+              am.outputs[v] != ep.metrics.outputs[v])
+            ep.async_ok = false;
+        }
+      }
+    }
+
+    result.safe = result.safe && ep.safety.ok;
+    result.async_ok = result.async_ok && ep.async_ok;
+    if (ep.repair.incremental) ++result.incremental_epochs;
+    result.recomputed_views += ep.repair.recomputed_views;
+    result.reused_views += ep.repair.reused_views;
+    result.epochs.push_back(std::move(ep));
+    ++epoch_index;
+
+    if (next < 0) break;
+    FaultInjector::Applied applied = injector.apply_through(next);
+    round = next;
+    if (applied.alive_changed) {
+      sub.reset();  // port compaction changed: rebuild + full recompute
+      pending_dirty.clear();
+    } else {
+      // Degree-preserving batch: replay the swaps on the subgraph IN
+      // PLACE (rewires never renumber ports, so the AliveSubgraph maps
+      // stay valid across the whole batch) and queue the dirty rows for
+      // incremental repair at the top of the next epoch.
+      for (const FaultEvent& ev : applied.rewires) {
+        NodeId su1 = sub->to_sub[static_cast<std::size_t>(ev.u1)];
+        Port sp1 = sub->sub_port[static_cast<std::size_t>(ev.u1)]
+                                [static_cast<std::size_t>(ev.p1)];
+        NodeId su2 = sub->to_sub[static_cast<std::size_t>(ev.u2)];
+        Port sp2 = sub->sub_port[static_cast<std::size_t>(ev.u2)]
+                                [static_cast<std::size_t>(ev.p2)];
+        ANOLE_CHECK_MSG(su1 >= 0 && sp1 >= 0 && su2 >= 0 && sp2 >= 0,
+                        "rewire touches a crashed node or masked port");
+        sub->graph.rewire_edge(su1, sp1, su2, sp2);
+      }
+      ANOLE_CHECK_MSG(sub->graph.connected(),
+                      "fault plan disconnected the alive subgraph");
+      for (NodeId v : applied.dirty) {
+        NodeId sv = sub->to_sub[static_cast<std::size_t>(v)];
+        if (sv >= 0) pending_dirty.push_back(sv);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace anole::sim

@@ -1,0 +1,197 @@
+#pragma once
+// Fault injection over a running election (DESIGN.md §12).
+//
+// The paper's model is fault-free; this subsystem asks the robustness
+// question a deployment would: what do the advice-based protocols do when
+// the topology changes under them? A FaultPlan is a seeded, strictly
+// increasing schedule of three event kinds on a global round timeline:
+//
+//   kCrash    node v fails: every incident edge is masked in place
+//             (PortGraph::crash_node) — survivors keep their port numbers;
+//   kRecover  a crashed node returns and its stashed edges to currently
+//             alive partners are restored with their original ports;
+//   kRewire   a degree-preserving 2-swap (PortGraph::rewire_edge) — the
+//             adversary re-plugs two cables without any node noticing a
+//             degree change.
+//
+// FaultInjector owns the evolving full graph + alive set and applies plan
+// events up to a round on demand, reporting exactly which adjacency rows
+// each batch dirtied. run_with_faults drives the whole loop: between
+// consecutive fault rounds (an *epoch*) it runs a freshly built protocol
+// instance (election::ProgramSet) on the port-compacted alive subgraph,
+// capped at the rounds remaining until the next fault, and checks the
+// safety contract — at most one leader among the nodes that decided,
+// election::verify_safety_under_faults — after every epoch. Across
+// epochs the view profile of the alive subgraph is maintained
+// *incrementally*: rewire-only batches patch the profile through
+// views::repair_profile (+ Refiner::invalidate) instead of recomputing
+// the refinement from scratch; crash/recover batches rebuild the
+// subgraph and fall back to a full compute. Optionally every epoch is
+// re-run under an adversarial AsyncEngine schedule and the outputs are
+// cross-checked against the synchronous run (the alpha-synchronizer
+// makes them bit-identical on the nodes both runs decided).
+//
+// Everything is deterministic in (plan seed, adversary seed): the A1
+// scenario and tests replay byte-identical histories.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "election/harness.hpp"
+#include "election/verify.hpp"
+#include "portgraph/builders.hpp"
+#include "portgraph/port_graph.hpp"
+#include "sim/async.hpp"
+#include "sim/engine.hpp"
+#include "views/repair.hpp"
+
+namespace anole::sim {
+
+struct FaultEvent {
+  enum class Kind { kCrash, kRecover, kRewire };
+  Kind kind = Kind::kCrash;
+  /// Global round at which the event fires (strictly increasing within a
+  /// plan; the first event is at round >= 1).
+  int round = 0;
+  /// Crash / recover target (unused for kRewire).
+  portgraph::NodeId node = -1;
+  /// kRewire anchors: the two half-edges (u1,p1) and (u2,p2) whose edges
+  /// are 2-swapped — see PortGraph::rewire_edge for the exact semantics.
+  portgraph::NodeId u1 = -1;
+  portgraph::Port p1 = -1;
+  portgraph::NodeId u2 = -1;
+  portgraph::Port p2 = -1;
+};
+
+struct FaultPlan {
+  /// Events sorted by strictly increasing round.
+  std::vector<FaultEvent> events;
+
+  /// Seeded random plan with `crashes` crash events and `rewires` rewire
+  /// events spread over roughly `horizon` rounds, followed by recovery of
+  /// every still-crashed node. The generator simulates the plan while
+  /// building it and only emits events that keep the alive subgraph
+  /// connected and the model invariants intact (a crash never isolates
+  /// survivors; a rewire never creates a self-loop or multi-edge); an
+  /// event for which no valid target is found after bounded attempts is
+  /// simply dropped, so the realized counts may fall short on very small
+  /// or dense graphs. Deterministic in `seed`.
+  [[nodiscard]] static FaultPlan random(const portgraph::PortGraph& g,
+                                        int horizon, int crashes, int rewires,
+                                        std::uint64_t seed);
+};
+
+/// Owns the evolving full graph: applies plan events in order, stashes
+/// crashed edges for recovery, and reports per-batch dirt. The *full*
+/// graph never port-compacts — crashed slots are masked in place — so
+/// full-graph coordinates stay stable for the whole run; protocols run on
+/// portgraph::alive_subgraph copies.
+class FaultInjector {
+ public:
+  FaultInjector(const portgraph::PortGraph& g, FaultPlan plan);
+
+  /// The full graph with all events up to the last apply_through applied
+  /// (masked slots where crashes removed edges).
+  [[nodiscard]] const portgraph::PortGraph& graph() const { return work_; }
+  [[nodiscard]] const std::vector<bool>& alive() const { return alive_; }
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  /// Round of the next unapplied event, -1 when the plan is exhausted.
+  [[nodiscard]] int next_fault_round() const {
+    return next_ < plan_.events.size()
+               ? plan_.events[next_].round
+               : -1;
+  }
+
+  /// What a batch of events did — everything run_with_faults needs to
+  /// decide between incremental repair and a full rebuild.
+  struct Applied {
+    int events = 0;
+    /// True iff some crash/recover changed the alive set (the alive
+    /// subgraph must be rebuilt; incremental repair does not apply).
+    bool alive_changed = false;
+    /// Full-graph ids of every adjacency row the batch edited (deduped,
+    /// ascending). For a rewire-only batch these are the four endpoints
+    /// of each swap — the dirty set views::repair_profile needs.
+    std::vector<portgraph::NodeId> dirty;
+    /// The rewire events applied, in order — so the caller can replay
+    /// them on its port-compacted alive subgraph via the AliveSubgraph
+    /// maps.
+    std::vector<FaultEvent> rewires;
+  };
+
+  /// Applies every still-pending event with event.round <= round.
+  Applied apply_through(int round);
+
+ private:
+  void apply(const FaultEvent& ev, Applied& out);
+
+  portgraph::PortGraph work_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_;
+  /// Edges removed by crashes, with original ports, awaiting recovery.
+  std::vector<portgraph::PortGraph::RemovedEdge> stash_;
+  FaultPlan plan_;
+  std::size_t next_ = 0;
+};
+
+struct FaultRunOptions {
+  /// Round budget of the final epoch, after the last fault (every earlier
+  /// epoch is capped by the next fault round instead).
+  int settle_rounds = 256;
+  /// When set, every epoch is additionally executed under this AsyncEngine
+  /// adversary (same programs rebuilt, same round cap) and the outputs are
+  /// cross-checked against the synchronous epoch.
+  std::optional<AdversaryKind> adversary;
+  /// Seed for the async adversary (varied per epoch).
+  std::uint64_t adversary_seed = 1;
+};
+
+/// One inter-fault window: the protocol ran from scratch on the alive
+/// subgraph for `budget` rounds (or until everyone decided).
+struct EpochReport {
+  int start_round = 0;  ///< global round at which the epoch began
+  int budget = 0;       ///< rounds the protocol was allowed
+  std::size_t alive = 0;
+  /// False when the epoch's alive subgraph was infeasible (symmetric);
+  /// no protocol ran and safety is vacuous.
+  bool feasible = true;
+  /// True when the fault cap interrupted the run before everyone decided.
+  bool interrupted = false;
+  /// The §12 safety contract verdict for the synchronous run.
+  election::SafetyResult safety;
+  /// safety.leader translated to full-graph coordinates (-1 = none).
+  portgraph::NodeId leader_full = -1;
+  /// True when no async cross-check ran or it agreed with the sync run.
+  bool async_ok = true;
+  /// Deliveries performed by the async adversary (0 without cross-check).
+  std::size_t async_deliveries = 0;
+  /// How the epoch's view profile was obtained (incremental vs rebuild).
+  views::RepairStats repair;
+  RunMetrics metrics;  ///< the synchronous run's metrics
+};
+
+struct FaultRunResult {
+  std::vector<EpochReport> epochs;
+  bool safe = true;      ///< every epoch's safety verdict held
+  bool async_ok = true;  ///< every async cross-check agreed
+  std::size_t incremental_epochs = 0;  ///< epochs served by view repair
+  std::size_t recomputed_views = 0;  ///< total frontier interns across repairs
+  std::size_t reused_views = 0;      ///< total entries repair did NOT touch
+};
+
+/// Runs `plan` against the protocol family built by `make_programs` (for
+/// the portfolio rows, PortfolioAlgorithm::make) on `g`, as described in
+/// the header comment. The plan must keep the alive subgraph connected at
+/// every step (FaultPlan::random guarantees it; hand-written plans are
+/// checked). All views intern into `repo`.
+[[nodiscard]] FaultRunResult run_with_faults(
+    const portgraph::PortGraph& g, views::ViewRepo& repo,
+    const FaultPlan& plan,
+    const std::function<election::ProgramSet(election::ElectionContext&)>&
+        make_programs,
+    const FaultRunOptions& opts = {});
+
+}  // namespace anole::sim

@@ -171,6 +171,47 @@ void Refiner::attach(const portgraph::PortGraph& g) {
   release_oversized(new_class_ids_, n);
 }
 
+bool Refiner::invalidate(const portgraph::PortGraph& g,
+                         std::span<const portgraph::NodeId> dirty) {
+  if (graph_ != &g) return false;
+  // Degree preservation first, touching nothing: a failed precondition
+  // must leave the refiner exactly as it was (the caller re-attaches
+  // through the full-recompute path).
+  for (portgraph::NodeId v : dirty) {
+    if (v < 0 || static_cast<std::size_t>(v) >= g.n()) return false;
+    std::size_t sv = static_cast<std::size_t>(v);
+    if (static_cast<std::uint32_t>(g.degree(v)) != offset_[sv + 1] - offset_[sv])
+      return false;
+    for (const portgraph::HalfEdge& he : g.neighbors(v))
+      if (he.neighbor < 0) return false;  // masked slot: crash, not rewire
+  }
+  // The dirty-class index: which frozen classes the edit touches. Taken
+  // BEFORE the quotient is dropped — it describes the pre-edit partition,
+  // the one any not-yet-repaired deep level still reflects.
+  last_dirty_classes_.clear();
+  if (quotient_frozen_) {
+    for (portgraph::NodeId v : dirty)
+      last_dirty_classes_.push_back(class_of_[static_cast<std::size_t>(v)]);
+    std::sort(last_dirty_classes_.begin(), last_dirty_classes_.end());
+    last_dirty_classes_.erase(
+        std::unique(last_dirty_classes_.begin(), last_dirty_classes_.end()),
+        last_dirty_classes_.end());
+  }
+  for (portgraph::NodeId v : dirty) {
+    const auto& row = g.neighbors(v);
+    std::uint32_t base = offset_[static_cast<std::size_t>(v)];
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      nbr_[base + p] = static_cast<std::uint32_t>(row[p].neighbor);
+      port_col_[base + p] = row[p].rev_port;
+      premix_[base + p] = sig_hash::entry_premix(
+          p, static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(row[p].rev_port)));
+    }
+  }
+  quotient_frozen_ = false;  // the partition may be coarser or finer now
+  return true;
+}
+
 std::size_t Refiner::scratch_bytes() const {
   auto bytes = [](const auto& vec) {
     return vec.capacity() *

@@ -138,6 +138,31 @@ class Refiner {
   /// outlive the refiner, as with the constructor.
   void attach(const portgraph::PortGraph& g);
 
+  /// Incremental view-repair hook (DESIGN.md §12). Call after the attached
+  /// graph object was edited IN PLACE by degree-preserving edits
+  /// (PortGraph::rewire_edge) whose touched adjacency rows are exactly
+  /// `dirty`: patches the static SoA columns of those rows only, records
+  /// which frozen-quotient classes the edit dirtied (last_dirty_classes),
+  /// drops the quotient (the partition may now differ), and returns true —
+  /// the refiner is ready to advance levels of the edited graph, and
+  /// views::repair_profile can recompute only the dirty frontier per
+  /// level. Returns false, leaving the refiner completely untouched, when
+  /// the preconditions fail: `g` is not the attached graph object, some
+  /// dirty row changed degree (crash/recover), or some dirty slot is
+  /// masked. The caller must then fall back to a full recompute
+  /// (compute_profile, which re-attaches).
+  bool invalidate(const portgraph::PortGraph& g,
+                  std::span<const portgraph::NodeId> dirty);
+
+  /// The frozen-quotient classes containing a node of the last successful
+  /// invalidate()'s dirty set, ascending (empty when no quotient was
+  /// frozen at that point). This is the §12 dirty-class index: classes NOT
+  /// listed here have byte-identical signatures before and after the edit,
+  /// which is what caps how far a repair frontier can spread per level.
+  [[nodiscard]] std::span<const std::uint32_t> last_dirty_classes() const {
+    return last_dirty_classes_;
+  }
+
   /// Replaces the pool used by later advances (attach keeps the old one).
   void set_pool(util::ThreadPool* pool) { pool_ = pool; }
 
@@ -317,6 +342,7 @@ class Refiner {
   std::vector<ViewId> class_ids_;
   std::vector<ViewId> new_class_ids_;   ///< scratch for advance_quotient
   std::uint64_t quotient_rounds_ = 0;
+  std::vector<std::uint32_t> last_dirty_classes_;  ///< see invalidate()
 };
 
 }  // namespace anole::views

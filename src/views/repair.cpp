@@ -1,0 +1,208 @@
+#include "views/repair.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "views/refiner.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+
+using portgraph::NodeId;
+using portgraph::Port;
+
+namespace {
+
+std::atomic<bool> g_repair_check{false};
+
+/// Re-derives feasibility and the election index from the class counts —
+/// the edit can move phi in either direction.
+void recompute_verdict(ViewProfile& profile, std::size_t n) {
+  profile.feasible = false;
+  profile.election_index = -1;
+  for (std::size_t t = 0; t < profile.class_counts.size(); ++t) {
+    if (profile.class_counts[t] == n) {
+      profile.feasible = true;
+      profile.election_index = static_cast<int>(t);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void set_repair_check_enabled(bool enabled) {
+  g_repair_check.store(enabled, std::memory_order_relaxed);
+}
+
+bool repair_check_enabled() {
+  return g_repair_check.load(std::memory_order_relaxed);
+}
+
+RepairStats repair_profile(const portgraph::PortGraph& g, ViewRepo& repo,
+                           ViewProfile& profile,
+                           std::span<const NodeId> dirty, Refiner* refiner) {
+  RepairStats stats;
+  std::size_t n = g.n();
+  int old_depth = profile.computed_depth();
+
+  bool can_incremental = profile.keep_history && !profile.ids.empty() &&
+                         profile.ids[0].size() == n && old_depth >= 0;
+  if (can_incremental) {
+    for (NodeId v : dirty) {
+      if (v < 0 || static_cast<std::size_t>(v) >= n) {
+        can_incremental = false;
+        break;
+      }
+      // Degree preservation: the node's depth-0 view (a leaf labeled by
+      // its old degree) must still describe it. Masked slots mean a crash
+      // edit slipped through — not repairable either.
+      if (repo.degree(profile.ids[0][static_cast<std::size_t>(v)]) !=
+          g.degree(v)) {
+        can_incremental = false;
+        break;
+      }
+      for (const portgraph::HalfEdge& he : g.neighbors(v)) {
+        if (he.neighbor < 0) {
+          can_incremental = false;
+          break;
+        }
+      }
+      if (!can_incremental) break;
+    }
+  }
+  if (!can_incremental) {
+    profile = compute_profile(
+        g, repo,
+        ProfileOptions{.min_depth = std::max(old_depth, 0),
+                       .keep_history = profile.keep_history,
+                       .refiner = refiner});
+    return stats;  // incremental == false: full fallback
+  }
+
+  // Patch the refiner's static columns in place when it is still attached
+  // to this (edited) graph object — the cheap path a fault loop reusing
+  // one refiner across epochs hits. Otherwise it re-attaches lazily below,
+  // only if extension levels are actually needed.
+  if (refiner != nullptr)
+    ANOLE_CHECK_MSG(&refiner->repo() == &repo,
+                    "repair refiner interns into a different repo");
+  bool refiner_ready =
+      refiner != nullptr && refiner->invalidate(g, dirty);
+
+  // The dirty frontier: nodes whose view changes at the current level.
+  // Level t's frontier is level t-1's grown by one neighbor hop (B^t(v)
+  // depends on the radius-t ball, so a node further than t hops from
+  // every edited row keeps its exact view — and, hash-consed, its id).
+  std::vector<bool> in_frontier(n, false);
+  std::vector<NodeId> frontier;
+  for (NodeId v : dirty) {
+    if (!in_frontier[static_cast<std::size_t>(v)]) {
+      in_frontier[static_cast<std::size_t>(v)] = true;
+      frontier.push_back(v);
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+
+  std::vector<ChildRef> kids;
+  for (int t = 1; t <= old_depth; ++t) {
+    if (t >= 2) {
+      std::vector<NodeId> fresh;
+      for (NodeId v : frontier) {
+        for (const portgraph::HalfEdge& he : g.neighbors(v)) {
+          if (!in_frontier[static_cast<std::size_t>(he.neighbor)]) {
+            in_frontier[static_cast<std::size_t>(he.neighbor)] = true;
+            fresh.push_back(he.neighbor);
+          }
+        }
+      }
+      frontier.insert(frontier.end(), fresh.begin(), fresh.end());
+      std::sort(frontier.begin(), frontier.end());
+    }
+    const std::vector<ViewId>& prev =
+        profile.ids[static_cast<std::size_t>(t) - 1];
+    std::vector<ViewId>& cur = profile.ids[static_cast<std::size_t>(t)];
+    for (NodeId v : frontier) {
+      kids.clear();
+      for (Port p = 0; p < g.degree(v); ++p) {
+        const portgraph::HalfEdge& he = g.at(v, p);
+        kids.emplace_back(he.rev_port,
+                          prev[static_cast<std::size_t>(he.neighbor)]);
+      }
+      cur[static_cast<std::size_t>(v)] = repo.intern(kids);
+    }
+    stats.recomputed_views += frontier.size();
+    stats.reused_views += n - frontier.size();
+    // Class count and canonical ranks of the merged (reused + repaired)
+    // level — exactly what a full recompute's Refiner round would have
+    // produced for it.
+    std::vector<ViewId> distinct = distinct_ids(cur);
+    profile.class_counts[static_cast<std::size_t>(t)] = distinct.size();
+    repo.assign_ranks(distinct);
+  }
+  recompute_verdict(profile, n);
+
+  // The old depth satisfied compute_profile's stopping rule for the OLD
+  // graph; the edit may have un-stabilized the partition (or pushed
+  // feasibility deeper), so extend with fresh full rounds until the rule
+  // holds again. This is where the quotient machinery re-engages: the
+  // refiner's advance detects stabilization on the extended levels as
+  // usual.
+  std::optional<Refiner> local;
+  Refiner* ext = nullptr;
+  auto ensure_refiner = [&]() -> Refiner* {
+    if (ext != nullptr) return ext;
+    if (refiner != nullptr) {
+      if (!refiner_ready) refiner->attach(g);
+      ext = refiner;
+    } else {
+      ext = &local.emplace(g, repo, nullptr);
+    }
+    return ext;
+  };
+  for (;;) {
+    int t = profile.computed_depth();
+    std::size_t classes = profile.class_counts.back();
+    bool stabilized =
+        t >= 1 &&
+        classes == profile.class_counts[static_cast<std::size_t>(t) - 1];
+    if (profile.feasible || stabilized) break;
+    std::vector<ViewId> next;
+    std::size_t next_classes =
+        ensure_refiner()->advance(profile.ids.back(), next);
+    profile.ids.push_back(std::move(next));
+    profile.class_counts.push_back(next_classes);
+    ++stats.extended_levels;
+    if (next_classes == n) {
+      profile.feasible = true;
+      profile.election_index = profile.computed_depth();
+    }
+  }
+  stats.incremental = true;
+
+  if (repair_check_enabled()) {
+    // Equality assertion path: the repaired profile must be byte-identical
+    // to a from-scratch recompute of the edited graph at the same depth.
+    // Same repo, so equal views imply equal ids — any divergence is a
+    // repair bug, not an interning artifact.
+    ViewProfile full = compute_profile(
+        g, repo,
+        ProfileOptions{.min_depth = profile.computed_depth(),
+                       .keep_history = true});
+    ANOLE_CHECK_MSG(full.class_counts == profile.class_counts,
+                    "repair check: class counts diverge from recompute");
+    ANOLE_CHECK_MSG(full.ids.size() == profile.ids.size(),
+                    "repair check: level count diverges from recompute");
+    for (std::size_t t = 0; t < full.ids.size(); ++t)
+      ANOLE_CHECK_MSG(full.ids[t] == profile.ids[t],
+                      "repair check: ids diverge at level " << t);
+    ANOLE_CHECK_MSG(full.feasible == profile.feasible &&
+                        full.election_index == profile.election_index,
+                    "repair check: verdict diverges from recompute");
+  }
+  return stats;
+}
+
+}  // namespace anole::views

@@ -1,0 +1,74 @@
+#pragma once
+// Incremental view repair after an in-place topology edit (DESIGN.md §12).
+//
+// A fault epoch edits a handful of adjacency rows (PortGraph::rewire_edge
+// keeps every degree and port number; only the touched endpoints' rows
+// change). The views of everything far from the edit are untouched:
+// B^t(v) depends only on the radius-t ball around v, so if no node of
+// dirty_0 (the edited rows) is within distance t of v, B^t(v) is
+// byte-identical before and after. repair_profile exploits this level by
+// level — the dirty frontier at depth t is dirty_{t-1} grown by one
+// neighbor hop, and only frontier nodes are re-interned; every other
+// node's entry is *reused* from the old profile (hash-consing keeps old
+// ids valid: they still name exactly the same view trees). Class counts,
+// feasibility and the election index are then recomputed from the merged
+// levels, and the profile is extended with fresh Refiner rounds if the
+// edit un-stabilized the partition (or broke feasibility) at the old
+// depth.
+//
+// The repaired profile is byte-identical — ids, class counts, ranks,
+// feasibility, election index — to compute_profile on the edited graph
+// (min_depth = the old depth): reused entries intern to the same record a
+// recompute would find, recomputed entries intern through the same repo.
+// set_repair_check_enabled(true) makes every incremental repair ALSO run
+// the full recompute and assert exactly that, level by level — the
+// equality path the repair tests (and paranoid callers) run under.
+//
+// When the edit was NOT degree-preserving (crash/recover epochs change
+// node counts and degrees) the repair falls back to a full
+// compute_profile; RepairStats::incremental says which path ran.
+
+#include <span>
+
+#include "portgraph/port_graph.hpp"
+#include "views/profile.hpp"
+
+namespace anole::views {
+
+class Refiner;
+
+struct RepairStats {
+  /// False when a precondition failed and the profile was fully recomputed.
+  bool incremental = false;
+  /// Per-node view recomputations performed (interns of frontier nodes).
+  std::size_t recomputed_views = 0;
+  /// Node-level entries kept from the old profile (zero on the fallback).
+  std::size_t reused_views = 0;
+  /// Fresh levels appended past the old depth (edit un-stabilized the
+  /// partition at the old depth, or feasibility moved deeper).
+  std::size_t extended_levels = 0;
+};
+
+/// Process-wide test switch: when enabled, every *incremental* repair also
+/// runs the full recompute into the same repo and asserts per-level id
+/// equality (plus class counts / feasibility / election index). Expensive
+/// — double work per repair — and meant for tests; defaults to off.
+void set_repair_check_enabled(bool enabled);
+[[nodiscard]] bool repair_check_enabled();
+
+/// Repairs `profile` (previously computed for `g` before the edit) so it
+/// is byte-identical to a fresh compute_profile of the edited `g` with
+/// min_depth = the old computed depth. `dirty` lists every node whose
+/// adjacency row the edit touched (rewire_edge: all four endpoints).
+/// Incremental requirements: the profile kept history, its node count
+/// matches, and every dirty node kept its degree — otherwise the full
+/// fallback runs. `refiner`, when given, must intern into `repo`; if it
+/// is currently attached to this graph object its columns are patched via
+/// Refiner::invalidate (no O(m) re-attach) and it advances any extension
+/// levels; otherwise a local refiner serves the call.
+RepairStats repair_profile(const portgraph::PortGraph& g, ViewRepo& repo,
+                           ViewProfile& profile,
+                           std::span<const portgraph::NodeId> dirty,
+                           Refiner* refiner = nullptr);
+
+}  // namespace anole::views

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "advice/min_time.hpp"
@@ -13,6 +14,7 @@
 #include "election/verify.hpp"
 #include "portgraph/builders.hpp"
 #include "sim/async.hpp"
+#include "sim/full_info.hpp"
 #include "views/profile.hpp"
 
 namespace anole::sim {
@@ -111,6 +113,127 @@ TEST(Async, RoundCapReportsTimeout) {
   AsyncEngine engine(g, repo);
   AsyncMetrics metrics = engine.run(programs, 5, 1);
   EXPECT_TRUE(metrics.timed_out);
+  // The partial state must still be reported consistently — a timeout is
+  // a diagnosis, not a silent empty result.
+  EXPECT_GT(metrics.deliveries, 0u);
+  // The overrunning node finishes the round that tripped the cap, so the
+  // reported maximum is at most max_rounds + 1.
+  EXPECT_LE(metrics.max_round, 5 + 1);
+  ASSERT_EQ(metrics.local_rounds.size(), g.n());
+  ASSERT_EQ(metrics.decision_round.size(), g.n());
+  ASSERT_EQ(metrics.outputs.size(), g.n());
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    EXPECT_GE(metrics.local_rounds[v], 0);
+    EXPECT_LE(metrics.local_rounds[v], metrics.max_round);
+    // Nobody can decide: Generic(1000) needs ~1000 rounds.
+    EXPECT_EQ(metrics.decision_round[v], -1);
+    EXPECT_TRUE(metrics.outputs[v].empty());
+  }
+}
+
+/// COM for a fixed number of rounds, then a content-free decision — lets
+/// the schedule sweeps cover the paper's *infeasible* families (ring,
+/// torus) where no election protocol applies but the synchronizer
+/// equivalence must still hold.
+class ComForRounds final : public FullInfoProgram {
+ public:
+  explicit ComForRounds(int target) : target_(target) {}
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+ protected:
+  void on_view(int rounds) override {
+    if (rounds >= target_) done_ = true;
+  }
+
+ private:
+  int target_;
+  bool done_ = false;
+};
+
+std::vector<std::unique_ptr<NodeProgram>> com_programs(const PortGraph& g,
+                                                       int rounds) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<ComForRounds>(rounds));
+  return programs;
+}
+
+void expect_local_rounds_consistent(const PortGraph& g,
+                                    const AsyncMetrics& metrics) {
+  ASSERT_EQ(metrics.local_rounds.size(), g.n());
+  int max_seen = 0;
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    // A node's round only ever increments, so its decision round can
+    // never exceed its final local round.
+    EXPECT_GE(metrics.local_rounds[v], metrics.decision_round[v]);
+    max_seen = std::max(max_seen, metrics.local_rounds[v]);
+  }
+  EXPECT_EQ(max_seen, metrics.max_round);
+}
+
+TEST(Async, HundredSeedSweepMatchesSynchronousOnThreeFamilies) {
+  struct Case {
+    const char* name;
+    PortGraph g;
+    std::vector<std::unique_ptr<NodeProgram>> (*make)(const PortGraph&,
+                                                      views::ViewRepo&);
+  };
+  // ring and torus are infeasible (vertex-transitive): COM for a fixed
+  // round count exercises the synchronizer there; the random graph runs
+  // the real Theorem 3.1 election.
+  auto make_com = [](const PortGraph& g, views::ViewRepo&) {
+    return com_programs(g, 6);
+  };
+  auto make_elect = [](const PortGraph& g, views::ViewRepo& repo) {
+    return elect_programs(g, repo);
+  };
+  Case cases[] = {
+      {"ring(12)", portgraph::ring(12), +make_com},
+      {"torus(3,4)", portgraph::torus(3, 4), +make_com},
+      {"random(12,+8,seed7)", portgraph::random_connected(12, 8, 7),
+       +make_elect},
+  };
+  for (Case& c : cases) {
+    views::ViewRepo repo;
+    auto sync_programs = c.make(c.g, repo);
+    Engine sync_engine(c.g, repo);
+    RunMetrics sync = sync_engine.run(sync_programs, 60);
+    ASSERT_FALSE(sync.timed_out) << c.name;
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+      auto programs = c.make(c.g, repo);
+      AsyncEngine engine(c.g, repo);
+      AsyncMetrics metrics =
+          engine.run(programs, 60, AdversaryKind::kRandom, seed);
+      ASSERT_FALSE(metrics.timed_out) << c.name << " seed " << seed;
+      ASSERT_EQ(metrics.outputs, sync.outputs) << c.name << " seed " << seed;
+      ASSERT_EQ(metrics.decision_round, sync.decision_round)
+          << c.name << " seed " << seed;
+      expect_local_rounds_consistent(c.g, metrics);
+    }
+  }
+}
+
+TEST(Async, AllAdversariesMatchSynchronous) {
+  PortGraph g = portgraph::random_connected(14, 9, 3);
+  views::ViewRepo repo;
+  auto sync_programs = elect_programs(g, repo);
+  Engine sync_engine(g, repo);
+  RunMetrics sync = sync_engine.run(sync_programs, 50);
+  ASSERT_FALSE(sync.timed_out);
+
+  for (AdversaryKind kind :
+       {AdversaryKind::kRoundRobin, AdversaryKind::kRandom,
+        AdversaryKind::kCentralizer, AdversaryKind::kWorstCaseGreedy}) {
+    auto programs = elect_programs(g, repo);
+    AsyncEngine engine(g, repo);
+    AsyncMetrics metrics = engine.run(programs, 50, kind, 5);
+    ASSERT_FALSE(metrics.timed_out) << adversary_name(kind);
+    EXPECT_EQ(metrics.outputs, sync.outputs) << adversary_name(kind);
+    EXPECT_EQ(metrics.decision_round, sync.decision_round)
+        << adversary_name(kind);
+    expect_local_rounds_consistent(g, metrics);
+  }
 }
 
 }  // namespace

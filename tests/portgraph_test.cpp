@@ -217,5 +217,94 @@ TEST(PortGraph, DiameterMemoSurvivesMutationAndCopy) {
   EXPECT_TRUE(copy == g);
 }
 
+TEST(PortGraph, RewireEdgeSwapsEndpointsAndInvalidatesDiameter) {
+  // Lollipop: clique {0..3} + path 0-4-5-6-7, diameter 5 (pendant 7 to a
+  // far clique node). Swapping the edges {6,7} and {1,2} into 6-1 and 7-2
+  // moves the pendant next to the clique: the diameter drops to 4, which
+  // the memoized value must not survive.
+  PortGraph g = lollipop(4, 4);
+  EXPECT_EQ(g.diameter(), 5);
+  Port p1 = *g.port_to(6, 7);
+  Port p2 = *g.port_to(1, 2);
+  g.rewire_edge(6, p1, 1, p2);
+  g.validate();  // degrees and port contiguity intact, still connected
+  EXPECT_EQ(g.at(6, p1).neighbor, 1);
+  EXPECT_EQ(g.at(1, p2).neighbor, 6);
+  EXPECT_TRUE(g.port_to(7, 2).has_value());
+  EXPECT_FALSE(g.port_to(6, 7).has_value());
+  EXPECT_EQ(g.diameter(), 4);  // stale cache would still say 5
+}
+
+TEST(PortGraph, RewireEdgeRejectsOverlapAndMultiEdge) {
+  PortGraph g = ring(6);
+  // {0,1} and {1,2} share endpoint 1.
+  EXPECT_THROW(g.rewire_edge(0, *g.port_to(0, 1), 1, *g.port_to(1, 2)),
+               std::logic_error);
+  // Swapping {0,1} and {2,1}: far endpoints coincide (v1 == v2 == 1).
+  EXPECT_THROW(g.rewire_edge(0, *g.port_to(0, 1), 2, *g.port_to(2, 1)),
+               std::logic_error);
+  PortGraph c = clique(5);
+  // Every replacement edge already exists in a clique.
+  EXPECT_THROW(c.rewire_edge(0, *c.port_to(0, 1), 2, *c.port_to(2, 3)),
+               std::logic_error);
+}
+
+TEST(PortGraph, CrashNodeMasksInPlaceAndRecovers) {
+  PortGraph g = wheel(4);  // hub 4 + rim ring 0-1-2-3
+  PortGraph original = g;
+  EXPECT_EQ(g.diameter(), 2);
+  std::vector<PortGraph::RemovedEdge> removed = g.crash_node(1);
+  ASSERT_EQ(removed.size(), 3u);  // rim neighbors 0, 2 and the hub
+  // Survivors keep their row sizes and port numbers; only slots mask.
+  EXPECT_EQ(g.degree(0), original.degree(0));
+  EXPECT_EQ(g.assigned_degree(0), original.degree(0) - 1);
+  EXPECT_EQ(g.assigned_degree(1), 0);
+  EXPECT_EQ(g.m(), original.m() - 3);
+  for (const PortGraph::RemovedEdge& e : removed) {
+    EXPECT_EQ(e.u, 1);
+    EXPECT_EQ(g.at(e.u, e.pu).neighbor, -1);
+    EXPECT_EQ(g.at(e.v, e.pv).neighbor, -1);
+  }
+  // Node 1 is unreachable: a stale cached diameter of 2 would mask the
+  // disconnection.
+  EXPECT_THROW(static_cast<void>(g.diameter()), std::logic_error);
+  // Recovery restores the exact original wiring, ports and all.
+  for (const PortGraph::RemovedEdge& e : removed)
+    g.add_edge(e.u, e.pu, e.v, e.pv);
+  EXPECT_TRUE(g == original);
+  g.validate();
+  EXPECT_EQ(g.diameter(), 2);
+}
+
+TEST(Builders, AliveSubgraphCompactsPortsInOrder) {
+  PortGraph g = wheel(4);
+  g.crash_node(1);
+  std::vector<bool> alive(g.n(), true);
+  alive[1] = false;
+  AliveSubgraph sub = alive_subgraph(g, alive);
+  sub.graph.validate();
+  ASSERT_EQ(sub.graph.n(), 4u);
+  EXPECT_EQ(sub.to_sub[1], -1);
+  for (NodeId sv = 0; sv < static_cast<NodeId>(sub.graph.n()); ++sv)
+    EXPECT_EQ(sub.to_sub[static_cast<std::size_t>(sub.to_full
+                  [static_cast<std::size_t>(sv)])], sv);
+  // The hub (full id 4) lost exactly its edge to 1.
+  EXPECT_EQ(sub.graph.degree(sub.to_sub[4]), 3);
+  // Surviving ports are renumbered 0..d'-1 preserving relative order, and
+  // sub_port maps exactly the surviving slots.
+  for (std::size_t v = 0; v < g.n(); ++v) {
+    if (!alive[v]) continue;
+    Port next = 0;
+    for (Port p = 0; p < g.degree(static_cast<NodeId>(v)); ++p) {
+      if (g.at(static_cast<NodeId>(v), p).neighbor < 0) {
+        EXPECT_EQ(sub.sub_port[v][static_cast<std::size_t>(p)], -1);
+      } else {
+        EXPECT_EQ(sub.sub_port[v][static_cast<std::size_t>(p)], next);
+        ++next;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace anole::portgraph

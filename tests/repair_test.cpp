@@ -1,0 +1,151 @@
+// Tests for incremental view repair (views/repair.hpp, DESIGN.md §12):
+// after degree-preserving in-place edits, repair_profile must produce a
+// profile byte-identical — per-level ids, class counts, feasibility,
+// election index — to a from-scratch recompute of the edited graph. The
+// repair-check switch makes repair_profile itself assert exactly that,
+// so these sweeps fail loudly inside the repair if equality ever breaks.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "portgraph/builders.hpp"
+#include "portgraph/port_graph.hpp"
+#include "util/prng.hpp"
+#include "views/profile.hpp"
+#include "views/refiner.hpp"
+#include "views/repair.hpp"
+
+namespace anole::views {
+namespace {
+
+using portgraph::NodeId;
+using portgraph::Port;
+using portgraph::PortGraph;
+
+struct RepairCheckGuard {
+  RepairCheckGuard() { set_repair_check_enabled(true); }
+  ~RepairCheckGuard() { set_repair_check_enabled(false); }
+};
+
+/// Applies one random valid connectivity-preserving rewire to `g` and
+/// returns the four dirtied rows, or nullopt if none was found.
+std::optional<std::array<NodeId, 4>> random_rewire(PortGraph& g,
+                                                   util::SplitMix64& rng) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    NodeId u1 = static_cast<NodeId>(rng.below(g.n()));
+    NodeId u2 = static_cast<NodeId>(rng.below(g.n()));
+    if (g.degree(u1) == 0 || g.degree(u2) == 0) continue;
+    Port p1 = static_cast<Port>(
+        rng.below(static_cast<std::uint64_t>(g.degree(u1))));
+    Port p2 = static_cast<Port>(
+        rng.below(static_cast<std::uint64_t>(g.degree(u2))));
+    NodeId v1 = g.at(u1, p1).neighbor;
+    NodeId v2 = g.at(u2, p2).neighbor;
+    if (u1 == u2 || v1 == v2 || u1 == v2 || u2 == v1) continue;
+    if (g.port_to(u1, u2) || g.port_to(v1, v2)) continue;
+    PortGraph trial = g;
+    trial.rewire_edge(u1, p1, u2, p2);
+    if (!trial.connected()) continue;
+    g = std::move(trial);
+    return std::array<NodeId, 4>{u1, v1, u2, v2};
+  }
+  return std::nullopt;
+}
+
+TEST(Repair, FiftyRandomEditSequencesMatchRecompute) {
+  RepairCheckGuard guard;
+  std::size_t incremental = 0;
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    util::SplitMix64 rng(1000 + seq);
+    PortGraph g = portgraph::random_connected(18, 12, seq);
+    ViewRepo repo;
+    Refiner refiner(g, repo);
+    ViewProfile profile = compute_profile(
+        g, repo,
+        ProfileOptions{.min_depth = 1, .keep_history = true,
+                       .refiner = &refiner});
+    for (int edit = 0; edit < 3; ++edit) {
+      std::optional<std::array<NodeId, 4>> dirty = random_rewire(g, rng);
+      if (!dirty) break;
+      // repair_check is on: repair_profile itself recomputes from scratch
+      // and asserts per-level id equality, class counts and verdict.
+      RepairStats stats =
+          repair_profile(g, repo, profile, *dirty, &refiner);
+      ASSERT_TRUE(stats.incremental) << "seq " << seq << " edit " << edit;
+      ASSERT_GT(stats.recomputed_views, 0u);
+      if (profile.computed_depth() >= 2)
+        ASSERT_GT(stats.reused_views, 0u);
+      ++incremental;
+    }
+  }
+  // The sweep must actually have exercised the incremental path.
+  EXPECT_GT(incremental, 100u);
+}
+
+TEST(Repair, HistorylessProfileFallsBackToFullRecompute) {
+  PortGraph g = portgraph::random_connected(18, 12, 3);
+  ViewRepo repo;
+  ViewProfile profile = compute_profile(
+      g, repo, ProfileOptions{.min_depth = 1, .keep_history = false});
+  util::SplitMix64 rng(77);
+  std::optional<std::array<NodeId, 4>> dirty = random_rewire(g, rng);
+  ASSERT_TRUE(dirty.has_value());
+  RepairStats stats = repair_profile(g, repo, profile, *dirty);
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_EQ(stats.recomputed_views, 0u);
+  // The fallback still leaves a correct profile of the EDITED graph.
+  ViewProfile fresh = compute_profile(
+      g, repo,
+      ProfileOptions{.min_depth = profile.computed_depth(),
+                     .keep_history = false});
+  EXPECT_EQ(profile.class_counts, fresh.class_counts);
+  EXPECT_EQ(profile.ids.back(), fresh.ids.back());
+  EXPECT_EQ(profile.feasible, fresh.feasible);
+  EXPECT_EQ(profile.election_index, fresh.election_index);
+}
+
+TEST(Repair, DegreeChangeFallsBackToFullRecompute) {
+  // A crash/recover cycle that ends in a *valid* graph with different
+  // degrees: add an edge between two non-adjacent nodes. Degrees of the
+  // two endpoints grow, so the dirty rows fail the degree-preservation
+  // precondition and repair must recompute.
+  PortGraph g = portgraph::path(6);
+  ViewRepo repo;
+  ViewProfile profile = compute_profile(
+      g, repo, ProfileOptions{.min_depth = 1, .keep_history = true});
+  g.add_edge(0, 1, 5, 1);  // close the path into a ring
+  std::vector<NodeId> dirty{0, 5};
+  RepairStats stats = repair_profile(g, repo, profile, dirty);
+  EXPECT_FALSE(stats.incremental);
+  ViewProfile fresh = compute_profile(
+      g, repo,
+      ProfileOptions{.min_depth = profile.computed_depth(),
+                     .keep_history = true});
+  EXPECT_EQ(profile.class_counts, fresh.class_counts);
+  EXPECT_EQ(profile.ids, fresh.ids);
+}
+
+TEST(Repair, RefinerInvalidateRejectsForeignGraphAndDegreeChange) {
+  PortGraph g = portgraph::random_connected(14, 8, 2);
+  ViewRepo repo;
+  Refiner refiner(g, repo);
+  PortGraph other = portgraph::ring(14);
+  std::vector<NodeId> dirty{0};
+  // Different graph object: refiner must refuse and stay untouched.
+  EXPECT_FALSE(refiner.invalidate(other, dirty));
+  // Attached object edited degree-preservingly: accepted.
+  util::SplitMix64 rng(5);
+  std::optional<std::array<NodeId, 4>> rows = random_rewire(g, rng);
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_TRUE(refiner.invalidate(g, *rows));
+  // Masked slot (crash edit): refused.
+  g.crash_node(0);
+  std::vector<NodeId> crashed{0};
+  EXPECT_FALSE(refiner.invalidate(g, crashed));
+}
+
+}  // namespace
+}  // namespace anole::views
