@@ -13,6 +13,55 @@ BitString BitString::from_string(const std::string& s) {
   return b;
 }
 
+BitString BitString::from_words(std::vector<std::uint64_t> words,
+                                std::size_t bits) {
+  ANOLE_CHECK_MSG(words.size() == (bits + 63) / 64,
+                  "from_words: " << words.size() << " words cannot back "
+                                 << bits << " bits");
+  if (bits % 64 != 0) {
+    std::uint64_t tail = words.back() >> (bits % 64);
+    ANOLE_CHECK_MSG(tail == 0, "from_words: nonzero bits past the end");
+  }
+  BitString b;
+  b.words_ = std::move(words);
+  b.size_ = bits;
+  return b;
+}
+
+void BitString::append_words(std::span<const std::uint64_t> words) {
+  if (words.empty()) return;
+  if (size_ % 64 == 0) {
+    words_.insert(words_.end(), words.begin(), words.end());
+    size_ += 64 * words.size();
+    return;
+  }
+  for (std::uint64_t w : words) append_word(w, 64);
+}
+
+void BitString::append_bytes(const void* data, std::size_t n) {
+  if (n == 0) return;
+  const auto* src = static_cast<const unsigned char*>(data);
+  if (size_ % 8 == 0) {
+    std::size_t byte_pos = size_ / 8;
+    words_.resize((size_ + 8 * n + 63) / 64, 0);
+    std::memcpy(reinterpret_cast<unsigned char*>(words_.data()) + byte_pos,
+                src, n);
+    size_ += 8 * n;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) append_word(src[i], 8);
+}
+
+void BitString::append(const BitString& other) {
+  if (other.size_ == 0) return;
+  std::size_t whole = other.size_ / 64;
+  append_words({other.words_.data(), whole});
+  if (other.size_ % 64 != 0) {
+    append_word(other.words_[whole],
+                static_cast<unsigned>(other.size_ % 64));
+  }
+}
+
 bool BitString::operator==(const BitString& other) const {
   if (size_ != other.size_) return false;
   // Trailing bits of the last word are zero by construction on both sides.

@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,15 +23,52 @@ class BitString {
   /// Builds from a string of '0'/'1' characters (test convenience).
   static BitString from_string(const std::string& s);
 
+  /// Adopts `words` as the backing storage of a `bits`-long string.
+  /// Bits past `bits` in the last word must be zero (the invariant every
+  /// mutator maintains); checked here because words() / operator== rely
+  /// on it.
+  static BitString from_words(std::vector<std::uint64_t> words,
+                              std::size_t bits);
+
+  /// Pre-allocates room for `bits` bits (capacity only; size unchanged).
+  void reserve(std::size_t bits) { words_.reserve((bits + 63) / 64); }
+
   void push_back(bool bit) {
     if (size_ % 64 == 0) words_.push_back(0);
     if (bit) words_.back() |= (UINT64_C(1) << (size_ % 64));
     ++size_;
   }
 
-  void append(const BitString& other) {
-    for (std::size_t i = 0; i < other.size(); ++i) push_back(other[i]);
+  /// Appends the low `bits` bits of `value` (logical order: value's bit 0
+  /// first, so a later BitReader::read_word(bits) returns `value`).
+  /// Equivalent to `bits` push_back calls but one or two word ops.
+  void append_word(std::uint64_t value, unsigned bits) {
+    ANOLE_DCHECK(bits <= 64);
+    if (bits == 0) return;
+    if (bits < 64) value &= (UINT64_C(1) << bits) - 1;
+    unsigned off = static_cast<unsigned>(size_ % 64);
+    if (off == 0) {
+      words_.push_back(value);
+    } else {
+      words_.back() |= value << off;
+      if (bits > 64 - off) words_.push_back(value >> (64 - off));
+    }
+    size_ += bits;
   }
+
+  /// Appends 64 * words.size() bits. When the write position is
+  /// word-aligned this is a straight memcpy into the backing store —
+  /// the fast path the snapshot writer is built on.
+  void append_words(std::span<const std::uint64_t> words);
+
+  /// Appends 8 * n bits from raw memory, byte k of `data` landing at bit
+  /// offset 8k (little-endian within each backing word, matching the
+  /// word layout). memcpy fast path when the write position is
+  /// byte-aligned.
+  void append_bytes(const void* data, std::size_t n);
+
+  /// Word-at-a-time concatenation (replaces the historical per-bit loop).
+  void append(const BitString& other);
 
   bool operator[](std::size_t i) const {
     ANOLE_DCHECK(i < size_);
@@ -47,6 +86,13 @@ class BitString {
 
   std::string to_string() const;
 
+  /// Raw backing words (bit i lives at words()[i/64] bit i%64; bits past
+  /// size() in the last word are zero). For bulk I/O — snapshot blobs,
+  /// checksums — without a per-bit copy.
+  std::span<const std::uint64_t> words() const noexcept {
+    return {words_.data(), words_.size()};
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   std::size_t size_ = 0;
@@ -60,6 +106,21 @@ class BitReader {
   bool read_bit() {
     ANOLE_CHECK_MSG(pos_ < bits_->size(), "BitReader past end");
     return (*bits_)[pos_++];
+  }
+
+  /// Reads `bits` bits into the low bits of the result (inverse of
+  /// BitString::append_word) in one or two word ops.
+  std::uint64_t read_word(unsigned bits) {
+    ANOLE_DCHECK(bits <= 64);
+    ANOLE_CHECK_MSG(bits <= remaining(), "BitReader past end");
+    if (bits == 0) return 0;
+    std::span<const std::uint64_t> w = bits_->words();
+    unsigned off = static_cast<unsigned>(pos_ % 64);
+    std::uint64_t out = w[pos_ / 64] >> off;
+    if (bits > 64 - off) out |= w[pos_ / 64 + 1] << (64 - off);
+    if (bits < 64) out &= (UINT64_C(1) << bits) - 1;
+    pos_ += bits;
+    return out;
   }
 
   bool at_end() const noexcept { return pos_ >= bits_->size(); }

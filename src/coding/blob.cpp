@@ -1,0 +1,39 @@
+#include "coding/blob.hpp"
+
+#include <fstream>
+
+namespace anole::coding {
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= UINT64_C(0x100000001b3);
+  }
+  return h;
+}
+
+std::uint64_t BlobWriter::body_checksum() const {
+  return fnv1a64(body_.words().data(), body_.size() / 8);
+}
+
+void BlobWriter::finish(const std::string& path,
+                        std::span<const std::uint64_t> header) const {
+  ANOLE_CHECK_MSG(header.size() == header_words_,
+                  "BlobWriter::finish: " << header.size()
+                                         << " header words, expected "
+                                         << header_words_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw BlobError("blob: cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(8 * header.size()));
+  std::span<const std::uint64_t> body = body_.words();
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body_.size() / 8));
+  out.flush();
+  if (!out) throw BlobError("blob: write to '" + path + "' failed");
+}
+
+}  // namespace anole::coding

@@ -1,0 +1,136 @@
+#pragma once
+// Flat binary blob writer/reader for persistent snapshots (DESIGN.md §13).
+//
+// A blob is a little-endian file of 64-bit words: a fixed-size header
+// whose slots the caller fills at finish() time (section offsets are only
+// known then), followed by a body accumulated through bulk word-aligned
+// BitString appends. The reader is a bounds-checked view over raw bytes —
+// it works identically over a heap buffer and an mmap'ed file, and every
+// out-of-range access throws BlobError instead of invoking UB, which is
+// what makes "load fails with a clear error on truncated files" cheap to
+// guarantee.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "coding/bitstring.hpp"
+
+namespace anole::coding {
+
+/// Thrown on malformed blobs (truncation, bad magic/version, checksum
+/// mismatch, out-of-range section offsets).
+class BlobError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a over raw bytes; the checksum used by snapshot headers/bodies.
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = UINT64_C(0xcbf29ce484222325));
+
+/// Accumulates a blob body word-by-word (or in bulk byte runs) and writes
+/// header + body to a file. All offsets reported by offset() are file
+/// offsets (header included), so they can go straight into header slots.
+class BlobWriter {
+ public:
+  /// Reserves `header_words` u64 slots at the start of the file; the
+  /// caller supplies their values at finish().
+  explicit BlobWriter(std::size_t header_words, std::size_t reserve_bytes = 0)
+      : header_words_(header_words) {
+    body_.reserve(8 * reserve_bytes);
+  }
+
+  void u64(std::uint64_t v) { body_.append_word(v, 64); }
+
+  /// Appends `n` raw bytes, then zero-pads to the next word boundary so
+  /// every section starts 8-byte aligned.
+  void bytes(const void* data, std::size_t n) {
+    body_.append_bytes(data, n);
+    pad_to_word();
+  }
+
+  /// File offset of the next write (multiple of 8 by construction).
+  std::size_t offset() const noexcept {
+    return 8 * header_words_ + body_.size() / 8;
+  }
+
+  /// FNV-1a over every body byte written so far.
+  std::uint64_t body_checksum() const;
+
+  /// Writes header words then the body to `path` (truncating). Throws
+  /// BlobError on I/O failure. header.size() must equal header_words.
+  void finish(const std::string& path,
+              std::span<const std::uint64_t> header) const;
+
+ private:
+  void pad_to_word() {
+    if (std::size_t rem = body_.size() % 64; rem != 0) {
+      body_.append_word(0, static_cast<unsigned>(64 - rem));
+    }
+  }
+
+  std::size_t header_words_;
+  BitString body_;
+};
+
+/// Bounds-checked reads over a raw byte span (heap buffer or mmap).
+class BlobReader {
+ public:
+  BlobReader(const void* data, std::size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+  std::size_t size() const noexcept { return size_; }
+
+  std::uint64_t u64_at(std::size_t offset) const {
+    const void* p = bytes_at(offset, 8);
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+
+  const void* bytes_at(std::size_t offset, std::size_t n) const {
+    if (offset > size_ || n > size_ - offset) {
+      throw BlobError("blob: read of " + std::to_string(n) + " bytes at " +
+                      std::to_string(offset) + " past end (" +
+                      std::to_string(size_) + " bytes)");
+    }
+    return data_ + offset;
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+};
+
+/// Sequential bounds-checked word cursor over a BlobReader, for parsing
+/// variable-length sections.
+class BlobCursor {
+ public:
+  BlobCursor(const BlobReader& reader, std::size_t offset)
+      : reader_(&reader), offset_(offset) {}
+
+  std::uint64_t u64() {
+    std::uint64_t v = reader_->u64_at(offset_);
+    offset_ += 8;
+    return v;
+  }
+
+  /// Returns a pointer to `n` bytes and advances past them plus padding
+  /// to the next word boundary (mirrors BlobWriter::bytes).
+  const void* bytes(std::size_t n) {
+    const void* p = reader_->bytes_at(offset_, n);
+    offset_ += (n + 7) / 8 * 8;
+    return p;
+  }
+
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  const BlobReader* reader_;
+  std::size_t offset_;
+};
+
+}  // namespace anole::coding

@@ -1,10 +1,14 @@
 #include "runner/scenarios/common.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "advice/min_time.hpp"
 #include "election/elect_program.hpp"
@@ -13,6 +17,39 @@
 #include "views/profile.hpp"
 
 namespace anole::runner::scenarios {
+
+namespace {
+
+// Written once by anole_bench's single-threaded flag parsing, before any
+// cell runs; read by the (serial) W1 cells.
+std::string g_snapshot_out_prefix;  // NOLINT(cert-err58-cpp)
+std::string g_snapshot_in_prefix;   // NOLINT(cert-err58-cpp)
+
+std::string default_snapshot_prefix() {
+  return (std::filesystem::temp_directory_path() /
+          ("anole-w1-" + std::to_string(::getpid())))
+      .string();
+}
+
+}  // namespace
+
+void set_snapshot_out_prefix(std::string prefix) {
+  g_snapshot_out_prefix = std::move(prefix);
+}
+
+void set_snapshot_in_prefix(std::string prefix) {
+  g_snapshot_in_prefix = std::move(prefix);
+}
+
+std::string snapshot_out_prefix() {
+  if (!g_snapshot_out_prefix.empty()) return g_snapshot_out_prefix;
+  return default_snapshot_prefix();
+}
+
+std::string snapshot_in_prefix() {
+  if (!g_snapshot_in_prefix.empty()) return g_snapshot_in_prefix;
+  return snapshot_out_prefix();
+}
 
 std::vector<views::ViewId> naive_unranked_level(const portgraph::PortGraph& g,
                                                 views::ViewRepo& repo,

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "portgraph/port_graph.hpp"
@@ -28,6 +29,18 @@ namespace anole::runner::scenarios {
 /// the refiner's (same interning order), only the ranks are absent.
 [[nodiscard]] std::vector<views::ViewId> naive_unranked_level(
     const portgraph::PortGraph& g, views::ViewRepo& repo, int depth);
+
+/// Where the W1 snapshot cells write (`--snapshot-out PREFIX`) and read
+/// (`--snapshot-in PREFIX`) their `<prefix>-<family>.snap` blobs. Set by
+/// anole_bench before any scenario runs (single-threaded CLI setup, no
+/// locking); empty out-prefix means a per-process temp path, empty
+/// in-prefix means "read back what this run wrote". CI splits the two to
+/// pin cross-process compatibility: one job's --snapshot-out is a later
+/// step's --snapshot-in.
+void set_snapshot_out_prefix(std::string prefix);
+void set_snapshot_in_prefix(std::string prefix);
+[[nodiscard]] std::string snapshot_out_prefix();  ///< resolved, never empty
+[[nodiscard]] std::string snapshot_in_prefix();   ///< resolved, never empty
 
 /// Pool for a cell's own gather/hash phase (views::Refiner), or nullptr
 /// when the graph is too small to benefit. Capped at a few workers: cells

@@ -193,6 +193,58 @@ std::vector<Row> bm_gather_hash(const std::string& family,
               Value::real(gb_per_sec, 2), Value::real(mnodes_per_sec, 1)}};
 }
 
+// BitString bulk word ops (coding/bitstring.hpp) vs the per-bit loop they
+// replaced on the snapshot-writer path (DESIGN.md §13): appending and
+// reading 1 MiB of payload at a deliberately unaligned bit offset, so the
+// bulk path exercises its cross-word shifting, not just memcpy.
+std::vector<Row> bm_bitstring_append(bool bulk) {
+  constexpr std::size_t kWords = (1u << 20) / 8;
+  std::vector<std::uint64_t> payload(kWords);
+  for (std::size_t i = 0; i < kWords; ++i)
+    payload[i] = 0x9e3779b97f4a7c15ull * (i + 1);
+  return time_op(bulk ? "bitstring_append_bulk" : "bitstring_append_bits",
+                 "1MiB,off=17", [&] {
+                   coding::BitString bits;
+                   bits.reserve(17 + 64 * kWords);
+                   for (int i = 0; i < 17; ++i) bits.push_back(true);
+                   if (bulk) {
+                     for (std::uint64_t w : payload) bits.append_word(w, 64);
+                   } else {
+                     for (std::uint64_t w : payload)
+                       for (unsigned b = 0; b < 64; ++b)
+                         bits.push_back(((w >> b) & 1u) != 0);
+                   }
+                   (void)bits.size();
+                 });
+}
+
+std::vector<Row> bm_bitstring_read(bool bulk) {
+  constexpr std::size_t kWords = (1u << 20) / 8;
+  coding::BitString bits;
+  bits.reserve(17 + 64 * kWords);
+  for (int i = 0; i < 17; ++i) bits.push_back(true);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    std::uint64_t w = 0x9e3779b97f4a7c15ull * (i + 1);
+    bits.append_word(w, 64);
+    expected ^= w;
+  }
+  return time_op(bulk ? "bitstring_read_bulk" : "bitstring_read_bits",
+                 "1MiB,off=17", [&] {
+                   coding::BitReader reader(bits);
+                   for (int i = 0; i < 17; ++i) (void)reader.read_bit();
+                   std::uint64_t sink = 0;
+                   if (bulk) {
+                     for (std::size_t i = 0; i < kWords; ++i)
+                       sink ^= reader.read_word(64);
+                   } else {
+                     for (std::size_t i = 0; i < 64 * kWords; ++i)
+                       sink ^= (reader.read_bit() ? 1ull : 0ull) << (i & 63);
+                   }
+                   ANOLE_CHECK(sink == expected);  // keeps the loop alive too
+                 });
+}
+
 std::vector<Row> bm_serialized_size() {
   portgraph::PortGraph g = portgraph::random_connected(128, 128, 5);
   views::ViewRepo repo;
@@ -234,6 +286,14 @@ runner::Scenario make_m1_views() {
   s.add_cell("com/256x8", 0, [] { return bm_com_rounds(256, 8); });
   s.add_cell("com/256x16", 0, [] { return bm_com_rounds(256, 16); });
   s.add_cell("serialized_size", 0, [] { return bm_serialized_size(); });
+  s.add_cell("bitstring-append-bits", 0,
+             [] { return bm_bitstring_append(false); });
+  s.add_cell("bitstring-append-bulk", 0,
+             [] { return bm_bitstring_append(true); });
+  s.add_cell("bitstring-read-bits", 0,
+             [] { return bm_bitstring_read(false); });
+  s.add_cell("bitstring-read-bulk", 0,
+             [] { return bm_bitstring_read(true); });
   s.add_cell("gather_hash/ring", 1, [] {
     return bm_gather_hash("ring", portgraph::ring(1 << 18));
   });

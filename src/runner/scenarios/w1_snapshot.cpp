@@ -1,0 +1,243 @@
+// W1 — persistent ViewRepo snapshots: cold vs warm sweeps (DESIGN.md §13).
+//
+// The claim under test: once a deep keep_history=false sweep has been run
+// to depth D0 and saved, a *warm* sweep to D > D0 — mmap-attach the
+// snapshot, resume the stabilized quotient from its anchor, extend — costs
+// the extension rounds only, not the attach + depth-0 interning + full
+// refinement the cold run pays, while producing byte-identical output
+// (class counts, feasibility, election index, last-level ids, canonical
+// ranks, argmin verdicts — the warm rows carry an explicit `match` column
+// checked against the cold run of the same cell grid).
+//
+// Cell order matters and the scenario is serial (cells time themselves and
+// share per-family state): prep builds the graph and refines to D0,
+// save writes the blob, cold re-runs from scratch to D on a fresh repo,
+// load-copy / mmap-attach time the two load modes alone, warm times
+// attach + resume + extend to D. Wall-clock rides --bench-out
+// (BENCH_snapshot.json; the warm cells are guarded in CI by
+// tools/bench_check --match warm against the committed baseline).
+//
+// Snapshot paths come from anole_bench --snapshot-out / --snapshot-in
+// (runner/scenarios/common.hpp): CI points a later job's --snapshot-in at
+// an earlier job's --snapshot-out artifact, which pins cross-process blob
+// compatibility, not just same-process round-trips.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "portgraph/builders.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
+#include "views/profile.hpp"
+#include "views/snapshot.hpp"
+#include "views/view_repo.hpp"
+
+namespace {
+
+using namespace anole;
+using runner::Row;
+
+struct FamilySpec {
+  std::string key;
+  int d0;  ///< prep/save depth (past stabilization for every family)
+  int d;   ///< cold/warm target depth
+  portgraph::PortGraph (*build)();
+};
+
+// Deep keep_history=false extensions: D - D0 quotient rounds each. The
+// ring is the headline cell (n = 2^20, 256 extension rounds vs a 16640-
+// round cold sweep); random is feasibility-shaped (stabilizes with n
+// classes); the torus is the 2-D symmetric case.
+const FamilySpec kFamilies[] = {
+    {"ring", 16384, 16640,
+     [] { return portgraph::ring(std::size_t{1} << 20); }},
+    {"random", 6, 8,
+     [] {
+       return portgraph::random_connected(std::size_t{65536},
+                                          std::size_t{65536} + 131072, 7);
+     }},
+    {"torus", 4096, 4224, [] { return portgraph::torus(512, 512); }},
+};
+
+/// Everything the serial cells of one family hand forward. The cold
+/// outputs are kept verbatim so the warm cell's `match` column is an
+/// exact comparison, not a summary hash.
+struct FamilyState {
+  portgraph::PortGraph graph;
+  std::unique_ptr<views::ViewRepo> prep_repo;  ///< dropped after save
+  views::SweepAnchor anchor;
+  std::uint64_t prep_records = 0;
+  std::uint64_t snap_bytes = 0;
+  std::vector<std::size_t> cold_counts;
+  std::vector<views::ViewId> cold_level;
+  std::vector<std::int32_t> cold_ranks;
+  bool cold_feasible = false;
+  int cold_election = -1;
+  portgraph::NodeId cold_argmin = -1;
+  std::uint64_t cold_records = 0;
+  views::LoadedSnapshot warm_snap;  ///< kept for the verify cell
+  views::ViewProfile warm_profile;
+};
+
+std::string snap_out_path(const std::string& key) {
+  return runner::scenarios::snapshot_out_prefix() + "-" + key + ".snap";
+}
+
+std::string snap_in_path(const std::string& key) {
+  return runner::scenarios::snapshot_in_prefix() + "-" + key + ".snap";
+}
+
+/// The rank sequence of a level — the per-node canonical-order image,
+/// comparable across repos (cold repo vs loaded-snapshot repo).
+std::vector<std::int32_t> rank_seq(const views::ViewRepo& repo,
+                                   const std::vector<views::ViewId>& level) {
+  std::vector<std::int32_t> out(level.size());
+  for (std::size_t v = 0; v < level.size(); ++v) out[v] = repo.rank(level[v]);
+  return out;
+}
+
+std::vector<Row> prep_cell(const FamilySpec& spec, FamilyState& st) {
+  st.graph = spec.build();
+  st.prep_repo = std::make_unique<views::ViewRepo>();
+  views::ViewProfile p = views::compute_profile(
+      st.graph, *st.prep_repo,
+      views::ProfileOptions{.min_depth = spec.d0, .keep_history = false});
+  st.anchor =
+      views::make_anchor(st.graph, p.last_level(), p.class_counts);
+  st.prep_records = st.prep_repo->size();
+  return {Row{"prep", spec.key, st.graph.n(), p.computed_depth(),
+              p.class_counts.back(), st.prep_records, "-"}};
+}
+
+std::vector<Row> save_cell(const FamilySpec& spec, FamilyState& st) {
+  std::string path = snap_out_path(spec.key);
+  views::save_snapshot(path, *st.prep_repo,
+                       std::span<const views::SweepAnchor>(&st.anchor, 1));
+  st.snap_bytes = std::filesystem::file_size(path);
+  st.prep_repo.reset();  // the cold run must not warm any cache off it
+  return {Row{"save", spec.key, st.prep_records, st.snap_bytes}};
+}
+
+std::vector<Row> cold_cell(const FamilySpec& spec, FamilyState& st) {
+  views::ViewRepo repo;
+  views::ViewProfile p = views::compute_profile(
+      st.graph, repo,
+      views::ProfileOptions{.min_depth = spec.d, .keep_history = false});
+  st.cold_counts = p.class_counts;
+  st.cold_level = p.last_level();
+  st.cold_ranks = rank_seq(repo, st.cold_level);
+  st.cold_feasible = p.feasible;
+  st.cold_election = p.election_index;
+  st.cold_argmin = views::argmin_view(repo, st.cold_level);
+  st.cold_records = repo.size();
+  return {Row{"cold", spec.key, st.graph.n(), p.computed_depth(),
+              p.class_counts.back(), st.cold_records, "-"}};
+}
+
+std::vector<Row> load_copy_cell(const FamilySpec& spec, FamilyState& st) {
+  views::LoadedSnapshot s =
+      views::load_snapshot(snap_in_path(spec.key), views::LoadMode::Copy);
+  return {Row{"load-copy", spec.key, s.repo->size(), st.snap_bytes}};
+}
+
+std::vector<Row> mmap_attach_cell(const FamilySpec& spec, FamilyState& st) {
+  views::LoadedSnapshot s =
+      views::load_snapshot(snap_in_path(spec.key), views::LoadMode::Mmap);
+  return {Row{"mmap-attach", spec.key, s.repo->size(), st.snap_bytes}};
+}
+
+std::vector<Row> warm_cell(const FamilySpec& spec, FamilyState& st) {
+  // The timed span is the whole warm path: mmap attach, anchor lookup
+  // (including the fingerprint guard), quotient resume, extension rounds.
+  // The O(n) byte-equality audit against the cold run lives in the next
+  // cell so it cannot leak into this wall-clock — the headline number.
+  st.warm_snap =
+      views::load_snapshot(snap_in_path(spec.key), views::LoadMode::Mmap);
+  const views::SweepAnchor* anchor =
+      st.warm_snap.anchor_for(views::graph_fingerprint(st.graph));
+  ANOLE_CHECK_MSG(anchor != nullptr, "no anchor for " << spec.key);
+  st.warm_profile = views::compute_profile(
+      st.graph, *st.warm_snap.repo,
+      views::ProfileOptions{.min_depth = spec.d,
+                            .keep_history = false,
+                            .warm = anchor});
+  return {Row{"warm", spec.key, st.graph.n(),
+              st.warm_profile.computed_depth(),
+              st.warm_profile.class_counts.back(),
+              st.warm_snap.repo->size(), "-"}};
+}
+
+std::vector<Row> verify_cell(const FamilySpec& spec, FamilyState& st) {
+  const views::ViewProfile& p = st.warm_profile;
+  views::ViewRepo& repo = *st.warm_snap.repo;
+  bool match = p.class_counts == st.cold_counts &&
+               p.feasible == st.cold_feasible &&
+               p.election_index == st.cold_election &&
+               p.last_level() == st.cold_level &&
+               rank_seq(repo, p.last_level()) == st.cold_ranks &&
+               views::argmin_view(repo, p.last_level()) == st.cold_argmin &&
+               repo.size() == st.cold_records;
+  Row row{"verify", spec.key, st.graph.n(), p.computed_depth(),
+          p.class_counts.back(), repo.size(),
+          std::string(match ? "ok" : "MISMATCH")};
+  st = FamilyState{};  // this family is done; release graph, levels, repo
+  return {row};
+}
+
+runner::Scenario make_w1() {
+  runner::Scenario s;
+  s.name = "w1";
+  s.summary =
+      "snapshot lifecycle: save/load/mmap-attach timings and warm-start "
+      "sweeps vs cold recomputation";
+  s.reference = "DESIGN.md §13 (persistent ViewRepo snapshots)";
+  // Cells time themselves through the runner's per-cell wall clock and
+  // share per-family state in declaration order.
+  s.deterministic = false;
+  s.serial = true;
+  s.tables.push_back(runner::TableSpec{
+      "W1a",
+      "Cold vs warm deep sweeps (keep_history=false). `prep` refines to "
+      "D0 and anchors the stabilized partition; `cold` recomputes from "
+      "scratch to D; `warm` mmap-attaches the saved snapshot and extends "
+      "the anchored quotient to the same D; `verify` audits the warm run "
+      "against the cold one — class counts, feasibility, election index, "
+      "last-level ids, canonical ranks, argmin verdict and record count "
+      "must all be equal (`match` = ok). Wall-clock per cell rides "
+      "--bench-out; the headline ratio is cold/<fam> vs warm/<fam>.",
+      {"op", "family", "n", "rounds", "classes", "records", "match"}});
+  s.tables.push_back(runner::TableSpec{
+      "W1b",
+      "Snapshot lifecycle operations: blob save, full-copy load (body "
+      "checksum verified) and mmap attach (header-verified, "
+      "copy-on-write child-pointer patch only). Records and file bytes "
+      "are deterministic; the op wall-clock rides --bench-out and is the "
+      "load-scales-with-mapping evidence.",
+      {"op", "family", "records", "bytes"}});
+
+  for (const FamilySpec& spec : kFamilies) {
+    auto st = std::make_shared<FamilyState>();
+    s.add_cell("prep/" + spec.key, 0,
+               [&spec, st] { return prep_cell(spec, *st); });
+    s.add_cell("save/" + spec.key, 1,
+               [&spec, st] { return save_cell(spec, *st); });
+    s.add_cell("cold/" + spec.key, 0,
+               [&spec, st] { return cold_cell(spec, *st); });
+    s.add_cell("load-copy/" + spec.key, 1,
+               [&spec, st] { return load_copy_cell(spec, *st); });
+    s.add_cell("mmap-attach/" + spec.key, 1,
+               [&spec, st] { return mmap_attach_cell(spec, *st); });
+    s.add_cell("warm/" + spec.key, 0,
+               [&spec, st] { return warm_cell(spec, *st); });
+    s.add_cell("verify/" + spec.key, 0,
+               [&spec, st] { return verify_cell(spec, *st); });
+  }
+  return s;
+}
+
+ANOLE_REGISTER_SCENARIO("w1", make_w1);
+
+}  // namespace

@@ -51,6 +51,14 @@ class FullInfoProgram;
 /// (it must intern into `repo`): the refiner is attach()ed to `graph` and
 /// takes `pool`, recycling its SoA columns, dedup table and arenas across
 /// a sweep of runs. Metrics are identical either way.
+///
+/// Warm start (DESIGN.md §13): pass a `repo` loaded from a snapshot of
+/// the same graph and every intern of an already-stored level is an index
+/// hit returning the stored id — the run re-derives levels but allocates
+/// no records and renumbers no ranks (assign_ranks over an already-ranked
+/// depth is a no-op), so repo.size() is unchanged when max_rounds stays
+/// within the stored depth and all metric bits match a cold run exactly
+/// (tests/snapshot_test.cpp pins both).
 RunMetrics run_full_info(const portgraph::PortGraph& graph,
                          views::ViewRepo& repo,
                          std::span<const std::unique_ptr<NodeProgram>> programs,

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "views/refiner.hpp"
+#include "views/snapshot.hpp"
 
 namespace anole::views {
 namespace {
@@ -33,7 +34,6 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
                             const ProfileOptions& opts) {
   ANOLE_CHECK_MSG(g.n() >= 1, "profile of an empty graph");
   g_profile_computes.fetch_add(1, std::memory_order_relaxed);
-  repo.reserve_for(g.n(), g.m(), opts.min_depth);
   ViewProfile profile;
   profile.keep_history = opts.keep_history;
   std::size_t n = g.n();
@@ -45,23 +45,59 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
   if (refiner != nullptr) {
     ANOLE_CHECK_MSG(&refiner->repo() == &repo,
                     "reused refiner interns into a different repo");
-    refiner->attach(g);
     refiner->set_pool(opts.pool);
   } else {
-    refiner = &local.emplace(g, repo, opts.pool);
+    refiner = &local.emplace(repo, opts.pool);
   }
-
-  std::vector<ViewId> level;
-  std::size_t classes = refiner->init_level(level);
-  push_level(profile, std::move(level), classes);
 
   // True while ids.back() lags behind the refiner's quotient state (deep
   // keep_history=false sweeps advance the quotient without materializing
   // per-node levels); one scatter on exit catches it up.
   bool last_level_stale = false;
+
+  if (opts.warm != nullptr) {
+    // Warm start off a snapshot anchor (DESIGN.md §13): restore the
+    // per-depth counts, replay feasibility detection over them, and put
+    // the refiner exactly where the cold run would stand at the anchor's
+    // depth. The repo is the loaded snapshot — its index, ranks and
+    // high-water mark already cover everything stored, so reserve_for is
+    // skipped and resuming costs O(n), not O(records).
+    const SweepAnchor& anchor = *opts.warm;
+    ANOLE_CHECK_MSG(!opts.keep_history,
+                    "warm start requires keep_history = false");
+    ANOLE_CHECK_MSG(anchor.fingerprint == graph_fingerprint(g),
+                    "warm-start anchor is for a different graph");
+    ANOLE_CHECK_MSG(anchor.class_of.size() == n,
+                    "anchor is over " << anchor.class_of.size()
+                                      << " nodes, graph has " << n);
+    profile.class_counts = anchor.class_counts;
+    for (std::size_t t = 0; t < profile.class_counts.size(); ++t) {
+      if (profile.class_counts[t] == n) {
+        profile.feasible = true;
+        profile.election_index = static_cast<int>(t);
+        break;
+      }
+    }
+    profile.ids.emplace_back();
+    if (anchor.stabilized()) {
+      // Quotient resume: no column build, no re-intern of stored levels;
+      // the level vector stays unmaterialized until the exit scatter.
+      refiner->resume_stable(g, anchor);
+      last_level_stale = true;
+    } else {
+      refiner->attach(g);
+      anchor.expand_level(profile.ids.back());
+    }
+  } else {
+    repo.reserve_for(g.n(), g.m(), opts.min_depth);
+    refiner->attach(g);
+    std::vector<ViewId> level;
+    std::size_t classes = refiner->init_level(level);
+    push_level(profile, std::move(level), classes);
+  }
   for (;;) {
     int t = profile.computed_depth();
-    classes = profile.class_counts.back();
+    std::size_t classes = profile.class_counts.back();
     if (classes == n && profile.election_index < 0) {
       profile.feasible = true;
       profile.election_index = t;

@@ -31,6 +31,7 @@ class ThreadPool;
 namespace anole::views {
 
 class Refiner;
+struct SweepAnchor;  // views/snapshot.hpp
 
 struct ViewProfile {
   /// ids[t][v] = ViewId of B^t(v); levels 0..computed_depth. When the
@@ -92,6 +93,16 @@ struct ProfileOptions {
   /// the SoA columns, dedup table and arenas are recycled rather than
   /// re-allocated per cell. Output is identical either way.
   Refiner* refiner = nullptr;
+  /// Warm start (DESIGN.md §13): resume from a snapshot anchor instead of
+  /// refining from depth 0. Requires keep_history = false, a `repo` the
+  /// anchor's ids live in (i.e. the loaded snapshot repo), and an anchor
+  /// whose fingerprint matches `g` — checked, loud failure on mismatch.
+  /// The restored class counts replay feasibility/election detection, a
+  /// stabilized anchor resumes through the quotient fast path (no column
+  /// build, no re-interning of stored levels), and every output — ids,
+  /// ranks, counts, compare verdicts — is byte-identical to a cold
+  /// serial run of the same min_depth (tests/snapshot_test.cpp pins it).
+  const SweepAnchor* warm = nullptr;
 };
 
 /// Computes B^t for t = 0,1,... until the partition stabilizes or all views

@@ -6,6 +6,7 @@
 
 #include "util/thread_pool.hpp"
 #include "views/sig_hash.hpp"
+#include "views/snapshot.hpp"
 
 namespace anole::views {
 namespace {
@@ -108,13 +109,37 @@ Refiner::Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
   attach(g);
 }
 
-void Refiner::attach(const portgraph::PortGraph& g) {
-  graph_ = &g;
-  std::size_t n = g.n();
-  ANOLE_CHECK_MSG(n >= 1, "refining an empty graph");
-  quotient_frozen_ = false;  // new graph, new refinement sequence
-  has_degree0_ = false;
+Refiner::Refiner(ViewRepo& repo, util::ThreadPool* pool)
+    : repo_(&repo), pool_(pool) {
+  quotient_enabled_ = stable_quotient_enabled();
+}
 
+void Refiner::attach(const portgraph::PortGraph& g) {
+  quotient_frozen_ = false;  // new graph, new refinement sequence
+  bind_graph(g);
+  rebuild_columns();
+  std::size_t n = g.n();
+  std::size_t entries = offset_[n];
+  release_oversized(distinct_, n);
+  release_oversized(class_of_, n);
+  release_oversized(rep_, n);
+  release_oversized(qoffset_, n + 1);
+  release_oversized(qport_, entries);
+  release_oversized(qchild_, entries);
+  release_oversized(class_ids_, n);
+  release_oversized(new_class_ids_, n);
+}
+
+void Refiner::bind_graph(const portgraph::PortGraph& g) {
+  graph_ = &g;
+  columns_ready_ = false;
+  ANOLE_CHECK_MSG(g.n() >= 1, "refining an empty graph");
+}
+
+void Refiner::rebuild_columns() {
+  const portgraph::PortGraph& g = *graph_;
+  std::size_t n = g.n();
+  has_degree0_ = false;
   trim_to(offset_, n + 1);
   offset_[0] = 0;
   uniform_degree_ = g.degree(0);
@@ -126,6 +151,7 @@ void Refiner::attach(const portgraph::PortGraph& g) {
     max_degree_ = std::max(max_degree_, degree);
     offset_[v + 1] = offset_[v] + static_cast<std::uint32_t>(degree);
   }
+  trim_to(sig_ids_, static_cast<std::size_t>(max_degree_));
   std::size_t entries = offset_[n];
   trim_to(nbr_, entries);
   trim_to(port_col_, entries);
@@ -134,7 +160,6 @@ void Refiner::attach(const portgraph::PortGraph& g) {
   trim_to(emix_, entries);
   trim_to(hash_, n);
   trim_to(prev_key_, n);
-  trim_to(sig_ids_, static_cast<std::size_t>(max_degree_));
   // The static columns: neighbor ids and reverse ports flattened out of
   // the adjacency rows, plus the position-salted hash premix — a pure
   // function of (position, rev_port), so one column serves every level.
@@ -161,19 +186,93 @@ void Refiner::attach(const portgraph::PortGraph& g) {
   }
   release_oversized(used_slots_, n);
   release_oversized(id_table_, table_capacity_for(n));
-  release_oversized(distinct_, n);
-  release_oversized(class_of_, n);
-  release_oversized(rep_, n);
-  release_oversized(qoffset_, n + 1);
-  release_oversized(qport_, entries);
-  release_oversized(qchild_, entries);
-  release_oversized(class_ids_, n);
-  release_oversized(new_class_ids_, n);
+  columns_ready_ = true;
+}
+
+void Refiner::resume_stable(const portgraph::PortGraph& g,
+                            const SweepAnchor& a) {
+  ANOLE_CHECK_MSG(quotient_enabled_,
+                  "resume_stable with the quotient advancer disabled");
+  ANOLE_CHECK_MSG(a.stabilized(),
+                  "resume_stable needs a stabilized anchor (depth "
+                      << a.depth() << ", " << a.classes() << " classes)");
+  quotient_frozen_ = false;
+  bind_graph(g);
+  std::size_t n = g.n();
+  ANOLE_CHECK_MSG(a.class_of.size() == n,
+                  "anchor is over " << a.class_of.size()
+                                    << " nodes, graph has " << n);
+  std::size_t classes = a.class_ids.size();
+  ANOLE_CHECK_MSG(classes >= 1, "anchor with no classes");
+
+  // The anchor stores the partition in first-occurrence numbering — the
+  // numbering freeze_quotient produces — so installing it verbatim makes
+  // the resumed quotient intern classes in exactly the order the cold
+  // run's frozen quotient would, which is what keeps serial ids
+  // byte-identical across the save/load boundary (DESIGN.md §13).
+  class_of_.assign(a.class_of.begin(), a.class_of.end());
+  class_ids_.assign(a.class_ids.begin(), a.class_ids.end());
+  rep_.clear();
+  rep_.reserve(classes);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint32_t c = class_of_[v];
+    ANOLE_CHECK_MSG(c < classes, "anchor class " << c << " out of range");
+    if (c == rep_.size())
+      rep_.push_back(static_cast<std::uint32_t>(v));
+    else
+      ANOLE_CHECK_MSG(c < rep_.size(),
+                      "anchor classes not in first-occurrence order");
+  }
+  ANOLE_CHECK_MSG(rep_.size() == classes,
+                  "anchor has " << classes << " classes but only "
+                                << rep_.size() << " occur");
+  // Degree facts from the representatives alone: the view partition
+  // refines the degree partition (degree is part of the depth-0 view),
+  // so every degree in the graph is realized by some rep — O(classes)
+  // where the cold attach scans all n row headers.
+  has_degree0_ = false;
+  uniform_degree_ = g.degree(static_cast<NodeId>(rep_[0]));
+  max_degree_ = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    int degree = g.degree(static_cast<NodeId>(rep_[c]));
+    has_degree0_ = has_degree0_ || degree == 0;
+    if (degree != uniform_degree_) uniform_degree_ = 0;
+    max_degree_ = std::max(max_degree_, degree);
+  }
+  ANOLE_CHECK_MSG(!has_degree0_, "resume over a degree-0 (isolated) node");
+  trim_to(sig_ids_, static_cast<std::size_t>(max_degree_));
+  // Class-expressed signatures straight off the adjacency rows (the flat
+  // columns are not built on this path — that is the point of resuming).
+  qoffset_.assign(classes + 1, 0);
+  for (std::size_t c = 0; c < classes; ++c)
+    qoffset_[c + 1] =
+        qoffset_[c] + static_cast<std::uint32_t>(
+                          g.degree(static_cast<NodeId>(rep_[c])));
+  qport_.resize(qoffset_[classes]);
+  qchild_.resize(qoffset_[classes]);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const auto& row = g.neighbors(static_cast<NodeId>(rep_[c]));
+    std::uint32_t qbase = qoffset_[c];
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      qport_[qbase + p] = row[p].rev_port;
+      qchild_[qbase + p] =
+          class_of_[static_cast<std::size_t>(row[p].neighbor)];
+    }
+  }
+  distinct_.assign(class_ids_.begin(), class_ids_.end());
+  std::sort(distinct_.begin(), distinct_.end());
+  ANOLE_CHECK_MSG(std::adjacent_find(distinct_.begin(), distinct_.end()) ==
+                      distinct_.end(),
+                  "anchor classes share a view id");
+  quotient_frozen_ = true;
 }
 
 bool Refiner::invalidate(const portgraph::PortGraph& g,
                          std::span<const portgraph::NodeId> dirty) {
   if (graph_ != &g) return false;
+  // A warm-started refiner has no flat columns to patch; repairing one is
+  // not worth the rebuild — the caller's full-recompute fallback is.
+  if (!columns_ready_) return false;
   // Degree preservation first, touching nothing: a failed precondition
   // must leave the refiner exactly as it was (the caller re-attaches
   // through the full-recompute path).
@@ -227,6 +326,7 @@ std::size_t Refiner::scratch_bytes() const {
 }
 
 std::size_t Refiner::init_level(std::vector<ViewId>& level) {
+  ANOLE_CHECK_MSG(graph_ != nullptr, "init_level before attach");
   std::size_t n = graph_->n();
   quotient_frozen_ = false;  // a re-init starts a new refinement sequence
   level.resize(n);
@@ -467,6 +567,7 @@ void Refiner::dedup_block(const std::vector<ViewId>& prev, int depth,
 
 std::size_t Refiner::advance(const std::vector<ViewId>& prev,
                              std::vector<ViewId>& next) {
+  ANOLE_CHECK_MSG(graph_ != nullptr, "advance before attach");
   std::size_t n = graph_->n();
   ANOLE_CHECK_MSG(prev.size() == n,
                   "level size " << prev.size() << " vs n = " << n);
@@ -485,6 +586,9 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
     // nothing about it. Drop it and let detection re-run below.
     quotient_frozen_ = false;
   }
+  // Everything below runs over the flat columns; a warm-started refiner
+  // builds them here, the first time its quotient fast path is left.
+  ensure_columns();
 
   // Stabilization detection input: the class count of the level we are
   // advancing FROM, counted from prev itself (never trusted from state).

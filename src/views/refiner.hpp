@@ -107,6 +107,8 @@ class ThreadPool;
 
 namespace anole::views {
 
+struct SweepAnchor;  // views/snapshot.hpp
+
 /// Process-wide debug/test switch for the stable-phase quotient advancer
 /// (read once per Refiner, at construction; override per instance with
 /// set_quotient_enabled). Tests force it off to pin byte-equality of the
@@ -130,6 +132,11 @@ class Refiner {
   Refiner(const portgraph::PortGraph& g, ViewRepo& repo,
           util::ThreadPool* pool = nullptr);
 
+  /// Unbound form: no graph yet. Call attach() or resume_stable() before
+  /// any level work. Warm starts construct the refiner this way so a
+  /// snapshot resume never pays the full-column build it will not use.
+  explicit Refiner(ViewRepo& repo, util::ThreadPool* pool = nullptr);
+
   /// Rebinds this refiner to another graph interning into the SAME repo:
   /// rebuilds the static adjacency columns, drops any frozen quotient,
   /// and trims every scratch buffer whose capacity exceeds 4x what the
@@ -137,6 +144,19 @@ class Refiner {
   /// not carry ~50 MB of dead column capacity along). The graph must
   /// outlive the refiner, as with the constructor.
   void attach(const portgraph::PortGraph& g);
+
+  /// Warm start (DESIGN.md §13): binds `g` and installs a *stabilized*
+  /// snapshot anchor as this refiner's frozen quotient, exactly as if the
+  /// refiner had computed to the anchor's depth itself — class index,
+  /// representatives and class-expressed signature columns rebuilt from
+  /// the anchor's first-occurrence numbering (the numbering
+  /// freeze_quotient produces, so resumed quotient interns replay the
+  /// cold run's id assignment byte-for-byte on the serial path). The
+  /// anchor's class_ids must be live records of this refiner's repo (a
+  /// loaded snapshot guarantees that). Skips the full-column build
+  /// entirely: resuming costs O(n + Σ deg(rep)), and the columns are
+  /// built lazily only if a later advance() leaves the quotient path.
+  void resume_stable(const portgraph::PortGraph& g, const SweepAnchor& a);
 
   /// Incremental view-repair hook (DESIGN.md §12). Call after the attached
   /// graph object was edited IN PLACE by degree-preserving edits
@@ -298,10 +318,26 @@ class Refiner {
   /// blocks a chunk claims are not abandoned every round).
   void ensure_arenas(std::size_t count);
 
+  /// Binds `g` and marks every graph-derived column stale. O(1): even
+  /// the degree scan is deferred, so a quotient resume touches only the
+  /// class representatives' rows, never all n row headers.
+  void bind_graph(const portgraph::PortGraph& g);
+
+  /// Degree scan (has_degree0_ / uniform_degree_ / max_degree_), offset_
+  /// prefix sums, the static SoA columns, per-level scratch and the
+  /// dedup table for the bound graph. The expensive part of attach();
+  /// deferred on warm starts until a non-quotient advance needs it.
+  void rebuild_columns();
+
+  void ensure_columns() {
+    if (!columns_ready_) rebuild_columns();
+  }
+
   const portgraph::PortGraph* graph_ = nullptr;
   ViewRepo* repo_;
   util::ThreadPool* pool_;
   std::vector<std::unique_ptr<ViewRepo::InternArena>> arenas_;
+  bool columns_ready_ = false;         ///< static columns match graph_
   bool has_degree0_ = false;           ///< advance() must reject such graphs
   int uniform_degree_ = 0;             ///< all nodes' degree, or 0 if mixed
   int max_degree_ = 0;

@@ -1,0 +1,757 @@
+// Persistent ViewRepo snapshots: blob layout, save, Copy/Mmap load,
+// inspection (DESIGN.md §13).
+//
+// File layout (little-endian, every section 8-byte aligned):
+//
+//   header (16 u64 words):
+//     [0] magic "ANOLEVRS"        [1] format version
+//     [2] endianness tag          [3] total file bytes
+//     [4] body checksum (FNV-1a over bytes 128..end)
+//     [5] id high-water mark      [6] live record count
+//     [7] child-pool refs         [8] index shard count
+//     [9..14] file offsets of the records / children / index / ranks /
+//             stats / anchors sections
+//     [15] header checksum (FNV-1a over words 0..14)
+//
+//   records:  high-water RecordDisk entries (32 bytes, bit-compatible
+//             with the in-memory Record except the first 8 bytes hold a
+//             child-pool offset instead of a pointer). Arena id gaps are
+//             stored as default records — degree 0, rank -1, never in
+//             the index — so ids stay exactly what they were.
+//   children: the child pool, rewritten contiguously in id order.
+//   index:    per shard: capacity, used, then `used` (hash, id) pairs —
+//             enough to rebuild each shard independently (in parallel).
+//   ranks:    per depth: count, then the ranked ids in canonical order.
+//   stats:    sparse (id, records, edges) triples of memoized DagStats.
+//   anchors:  per anchor: fingerprint, n, depths, classes, the per-depth
+//             class counts, class ids and the node->class map.
+
+#include "views/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <unordered_map>
+
+#include "coding/blob.hpp"
+#include "util/check.hpp"
+
+namespace anole::views {
+namespace {
+
+using coding::BlobCursor;
+using coding::BlobError;
+using coding::BlobReader;
+using coding::BlobWriter;
+using coding::fnv1a64;
+
+constexpr std::uint64_t kMagic = UINT64_C(0x535256454C4F4E41);  // "ANOLEVRS"
+constexpr std::uint64_t kFormatVersion = 1;
+constexpr std::uint64_t kEndianTag = UINT64_C(0x0102030405060708);
+constexpr std::size_t kHeaderWords = 16;
+constexpr std::size_t kHeaderBytes = 8 * kHeaderWords;
+
+enum HeaderWord : std::size_t {
+  kHMagic = 0,
+  kHVersion,
+  kHEndian,
+  kHFileBytes,
+  kHBodyChecksum,
+  kHNextId,
+  kHRecordCount,
+  kHChildRefs,
+  kHShards,
+  kHOffRecords,
+  kHOffChildren,
+  kHOffIndex,
+  kHOffRanks,
+  kHOffStats,
+  kHOffAnchors,
+  kHHeaderChecksum,
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw BlobError("snapshot: " + what);
+}
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail("cannot open '" + path + "'");
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<unsigned char> buf(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(buf.data()), size);
+  if (!in) fail("cannot read '" + path + "'");
+  return buf;
+}
+
+}  // namespace
+
+// Full private access to ViewRepo for the snapshot lifecycle; befriended
+// in view_repo.hpp. Everything here runs either on a quiescent repo
+// (save) or on a repo that has not been published to any thread yet
+// (load), so plain/relaxed accesses are sufficient throughout.
+struct SnapshotAccess {
+  using Record = ViewRepo::Record;
+  using IndexTable = ViewRepo::IndexTable;
+  using IndexSlot = ViewRepo::IndexSlot;
+  using Shard = ViewRepo::Shard;
+
+  // The on-disk record. Bit-compatible with the in-memory Record: the
+  // child-pool offset occupies the pointer's 8 bytes, so LoadMode::Mmap
+  // turns a disk record into a live one by patching that single field.
+  struct RecordDisk {
+    std::uint64_t child_offset = 0;
+    std::int32_t degree = 0;
+    std::int32_t depth = 0;
+    std::int32_t child_count = 0;
+    std::int32_t sub_max_degree = 0;
+    std::int32_t sub_max_port = 0;
+    std::int32_t rank = kUnranked;
+  };
+  static_assert(sizeof(RecordDisk) == 32);
+  static_assert(sizeof(Record) == 32 && alignof(Record) == 8,
+                "snapshot format v1 requires the 32-byte record layout");
+  static_assert(offsetof(RecordDisk, degree) == 8 &&
+                offsetof(RecordDisk, rank) == 28);
+  static_assert(std::atomic<std::int32_t>::is_always_lock_free &&
+                sizeof(std::atomic<std::int32_t>) == 4);
+  static_assert(std::is_standard_layout_v<ChildRef> &&
+                std::is_trivially_destructible_v<ChildRef> &&
+                sizeof(ChildRef) == 8 && alignof(ChildRef) <= 8);
+
+  struct Parsed {
+    std::uint64_t version = 0;
+    std::size_t next_id = 0;
+    std::uint64_t record_count = 0;
+    std::uint64_t child_refs = 0;
+    std::size_t off_records = 0;
+    std::size_t off_children = 0;
+    std::size_t off_index = 0;
+    std::size_t off_ranks = 0;
+    std::size_t off_stats = 0;
+    std::size_t off_anchors = 0;
+  };
+
+  // ------------------------------------------------------------- save
+
+  static void save(const ViewRepo& repo, const std::string& path,
+                   std::span<const SweepAnchor> anchors) {
+    const std::size_t next =
+        static_cast<std::size_t>(repo.next_id_.load(std::memory_order_acquire));
+
+    // Pass 1: total child refs (the child pool is rewritten contiguously
+    // in id order; record child offsets are the prefix sums).
+    std::uint64_t child_refs = 0;
+    for (std::size_t id = 0; id < next; ++id)
+      child_refs += static_cast<std::uint64_t>(
+          repo.rec(static_cast<ViewId>(id)).child_count);
+
+    BlobWriter w(kHeaderWords, 40 * next + 16 * child_refs);
+    std::uint64_t header[kHeaderWords] = {};
+    header[kHMagic] = kMagic;
+    header[kHVersion] = kFormatVersion;
+    header[kHEndian] = kEndianTag;
+    header[kHNextId] = next;
+    header[kHRecordCount] = repo.record_count_.load(std::memory_order_relaxed);
+    header[kHChildRefs] = child_refs;
+    header[kHShards] = ViewRepo::kShards;
+
+    // Records, staged a batch at a time (bounded transient memory).
+    header[kHOffRecords] = w.offset();
+    {
+      constexpr std::size_t kBatch = 1 << 16;
+      std::vector<RecordDisk> batch;
+      batch.reserve(std::min(next, kBatch));
+      std::uint64_t coff = 0;
+      for (std::size_t id = 0; id < next; ++id) {
+        const Record& r = repo.rec(static_cast<ViewId>(id));
+        RecordDisk d;
+        d.child_offset = coff;
+        d.degree = r.degree;
+        d.depth = r.depth;
+        d.child_count = r.child_count;
+        d.sub_max_degree = r.sub_max_degree;
+        d.sub_max_port = r.sub_max_port;
+        d.rank = r.rank.load(std::memory_order_relaxed);
+        coff += static_cast<std::uint64_t>(r.child_count);
+        batch.push_back(d);
+        if (batch.size() == kBatch) {
+          w.bytes(batch.data(), 32 * batch.size());
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) w.bytes(batch.data(), 32 * batch.size());
+    }
+
+    header[kHOffChildren] = w.offset();
+    for (std::size_t id = 0; id < next; ++id) {
+      const Record& r = repo.rec(static_cast<ViewId>(id));
+      if (r.child_count > 0)
+        w.bytes(r.kids, 8 * static_cast<std::size_t>(r.child_count));
+    }
+
+    header[kHOffIndex] = w.offset();
+    w.u64(ViewRepo::kShards);
+    for (const Shard& sh : repo.shards_) {
+      const IndexTable* t = sh.table.load(std::memory_order_acquire);
+      w.u64(t == nullptr ? 0 : t->mask + 1);
+      w.u64(sh.used);
+      if (t == nullptr) continue;
+      for (const IndexSlot& slot : t->slots) {
+        ViewId id = slot.id.load(std::memory_order_relaxed);
+        if (id == kInvalidView) continue;
+        w.u64(slot.hash.load(std::memory_order_relaxed));
+        w.u64(static_cast<std::uint64_t>(id));
+      }
+    }
+
+    header[kHOffRanks] = w.offset();
+    w.u64(repo.ranked_by_depth_.size());
+    for (const std::vector<ViewId>& ranked : repo.ranked_by_depth_) {
+      w.u64(ranked.size());
+      w.bytes(ranked.data(), 4 * ranked.size());
+    }
+
+    header[kHOffStats] = w.offset();
+    {
+      std::uint64_t entries = 0;
+      std::size_t memo = std::min(repo.count_memo_.size(), next);
+      for (std::size_t id = 0; id < memo; ++id)
+        if (repo.count_memo_[id].records != 0) ++entries;
+      w.u64(entries);
+      for (std::size_t id = 0; id < memo; ++id) {
+        const ViewRepo::CountEntry& e = repo.count_memo_[id];
+        if (e.records == 0) continue;
+        w.u64(id);
+        w.u64(e.records);
+        w.u64(e.edges);
+      }
+    }
+
+    header[kHOffAnchors] = w.offset();
+    w.u64(anchors.size());
+    for (const SweepAnchor& a : anchors) {
+      ANOLE_CHECK_MSG(a.class_ids.size() == a.class_counts.back(),
+                      "anchor class_ids disagree with its class_counts");
+      w.u64(a.fingerprint);
+      w.u64(a.class_of.size());
+      w.u64(a.class_counts.size());
+      w.u64(a.class_ids.size());
+      std::vector<std::uint64_t> counts(a.class_counts.begin(),
+                                        a.class_counts.end());
+      w.bytes(counts.data(), 8 * counts.size());
+      w.bytes(a.class_ids.data(), 4 * a.class_ids.size());
+      w.bytes(a.class_of.data(), 4 * a.class_of.size());
+    }
+
+    header[kHFileBytes] = w.offset();
+    header[kHBodyChecksum] = w.body_checksum();
+    header[kHHeaderChecksum] = fnv1a64(header, 8 * (kHeaderWords - 1));
+    w.finish(path, header);
+  }
+
+  // ------------------------------------------------- header validation
+
+  static Parsed parse_header(const BlobReader& r, bool verify_body) {
+    if (r.size() < kHeaderBytes) fail("file truncated (no header)");
+    if (r.u64_at(8 * kHMagic) != kMagic) fail("bad magic (not a snapshot)");
+    std::uint64_t version = r.u64_at(8 * kHVersion);
+    if (version != kFormatVersion)
+      fail("format version " + std::to_string(version) + " unsupported (want " +
+           std::to_string(kFormatVersion) + ")");
+    if (r.u64_at(8 * kHEndian) != kEndianTag)
+      fail("endianness mismatch (snapshot written on a different byte order)");
+    std::uint64_t header[kHeaderWords - 1];
+    for (std::size_t i = 0; i + 1 < kHeaderWords; ++i) header[i] = r.u64_at(8 * i);
+    if (fnv1a64(header, sizeof(header)) != r.u64_at(8 * kHHeaderChecksum))
+      fail("header checksum mismatch");
+    if (r.u64_at(8 * kHFileBytes) != r.size())
+      fail("file truncated (header records " +
+           std::to_string(r.u64_at(8 * kHFileBytes)) + " bytes, have " +
+           std::to_string(r.size()) + ")");
+    if (r.u64_at(8 * kHShards) != ViewRepo::kShards)
+      fail("shard count mismatch");
+
+    Parsed p;
+    p.version = version;
+    std::uint64_t next = r.u64_at(8 * kHNextId);
+    if (next > ViewRepo::seg_first(ViewRepo::kNumSegments) ||
+        next > static_cast<std::uint64_t>(std::numeric_limits<ViewId>::max()))
+      fail("id high-water mark out of range");
+    p.next_id = static_cast<std::size_t>(next);
+    p.record_count = r.u64_at(8 * kHRecordCount);
+    if (p.record_count > next) fail("record count exceeds id high-water mark");
+    p.child_refs = r.u64_at(8 * kHChildRefs);
+    p.off_records = static_cast<std::size_t>(r.u64_at(8 * kHOffRecords));
+    p.off_children = static_cast<std::size_t>(r.u64_at(8 * kHOffChildren));
+    p.off_index = static_cast<std::size_t>(r.u64_at(8 * kHOffIndex));
+    p.off_ranks = static_cast<std::size_t>(r.u64_at(8 * kHOffRanks));
+    p.off_stats = static_cast<std::size_t>(r.u64_at(8 * kHOffStats));
+    p.off_anchors = static_cast<std::size_t>(r.u64_at(8 * kHOffAnchors));
+    const std::size_t offs[] = {p.off_records, p.off_children, p.off_index,
+                                p.off_ranks,   p.off_stats,    p.off_anchors};
+    std::size_t prev = kHeaderBytes;
+    for (std::size_t off : offs) {
+      if (off % 8 != 0 || off < prev || off > r.size())
+        fail("section offsets corrupt");
+      prev = off;
+    }
+    if (p.off_records + 32 * p.next_id > p.off_children ||
+        p.off_children + 8 * p.child_refs > p.off_index)
+      fail("section extents corrupt");
+
+    if (verify_body &&
+        fnv1a64(r.bytes_at(kHeaderBytes, r.size() - kHeaderBytes),
+                r.size() - kHeaderBytes) != r.u64_at(8 * kHBodyChecksum))
+      fail("body checksum mismatch (file corrupt)");
+    return p;
+  }
+
+  // ------------------------------------------------------------- load
+
+  static void check_record(const RecordDisk& d, std::uint64_t child_refs) {
+    if (d.degree < 0 || d.depth < 0 || d.child_count < 0 ||
+        d.child_offset > child_refs ||
+        static_cast<std::uint64_t>(d.child_count) >
+            child_refs - d.child_offset)
+      fail("record fields corrupt");
+  }
+
+  static void load_records_copy(const BlobReader& r, const Parsed& p,
+                                ViewRepo& repo) {
+    if (p.next_id == 0) return;
+    repo.ensure_segments(p.next_id);
+    repo.next_id_.store(static_cast<ViewId>(p.next_id),
+                        std::memory_order_relaxed);
+    ChildRef* pool = nullptr;
+    if (p.child_refs > 0) {
+      auto chunk = std::make_unique<ChildRef[]>(p.child_refs);
+      std::memcpy(chunk.get(), r.bytes_at(p.off_children, 8 * p.child_refs),
+                  8 * p.child_refs);
+      pool = chunk.get();
+      repo.child_chunks_.push_back(std::move(chunk));
+    }
+    const auto* disk = static_cast<const unsigned char*>(
+        r.bytes_at(p.off_records, 32 * p.next_id));
+    for (std::size_t id = 0; id < p.next_id; ++id) {
+      RecordDisk d;
+      std::memcpy(&d, disk + 32 * id, 32);
+      check_record(d, p.child_refs);
+      Record& rec = repo.mutable_rec(static_cast<ViewId>(id));
+      rec.kids = d.child_count > 0 ? pool + d.child_offset : nullptr;
+      rec.degree = d.degree;
+      rec.depth = d.depth;
+      rec.child_count = d.child_count;
+      rec.sub_max_degree = d.sub_max_degree;
+      rec.sub_max_port = d.sub_max_port;
+      rec.rank.store(d.rank, std::memory_order_relaxed);
+    }
+  }
+
+  static void load_records_mmap(const BlobReader& r, const Parsed& p,
+                                ViewRepo& repo, unsigned char* base) {
+    if (p.next_id == 0) return;
+    repo.next_id_.store(static_cast<ViewId>(p.next_id),
+                        std::memory_order_relaxed);
+    // The record array is contiguous by id in the blob, so segment k of a
+    // fully-covered range is simply `recs + seg_first(k)`. Patching kids
+    // dirties record pages copy-on-write; the child pool stays clean.
+    (void)r.bytes_at(p.off_records, 32 * p.next_id);  // bounds re-check
+    Record* recs = reinterpret_cast<Record*>(base + p.off_records);
+    const ChildRef* pool =
+        reinterpret_cast<const ChildRef*>(base + p.off_children);
+    for (std::size_t id = 0; id < p.next_id; ++id) {
+      Record& rec = recs[id];
+      RecordDisk d;
+      std::memcpy(&d, &rec, 32);  // pre-patch bytes: child_offset view
+      check_record(d, p.child_refs);
+      rec.kids = d.child_count > 0 ? pool + d.child_offset : nullptr;
+    }
+    for (std::size_t k = 0; k < ViewRepo::kNumSegments; ++k) {
+      std::size_t first = ViewRepo::seg_first(k);
+      if (first >= p.next_id) break;
+      std::size_t len = ViewRepo::kSegBase << k;
+      if (first + len <= p.next_id) {
+        repo.segments_[k].store(recs + first, std::memory_order_release);
+        repo.mapped_segments_ |= std::uint32_t{1} << k;
+      } else {
+        // Partial top segment: promote to heap so interning past the
+        // stored high-water mark works without touching the mapping size.
+        Record* seg = new Record[len];
+        for (std::size_t i = 0; first + i < p.next_id; ++i) {
+          const Record& src = recs[first + i];
+          seg[i].kids = src.kids;
+          seg[i].degree = src.degree;
+          seg[i].depth = src.depth;
+          seg[i].child_count = src.child_count;
+          seg[i].sub_max_degree = src.sub_max_degree;
+          seg[i].sub_max_port = src.sub_max_port;
+          seg[i].rank.store(src.rank.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+        }
+        repo.segments_[k].store(seg, std::memory_order_release);
+      }
+    }
+  }
+
+  static void load_index(const BlobReader& r, const Parsed& p, ViewRepo& repo,
+                         util::ThreadPool* pool) {
+    BlobCursor cur(r, p.off_index);
+    if (cur.u64() != ViewRepo::kShards) fail("index shard count corrupt");
+    struct ShardDisk {
+      std::uint64_t capacity = 0;
+      std::uint64_t used = 0;
+      const unsigned char* pairs = nullptr;
+    };
+    std::vector<ShardDisk> disk(ViewRepo::kShards);
+    for (ShardDisk& sd : disk) {
+      sd.capacity = cur.u64();
+      sd.used = cur.u64();
+      if (sd.capacity == 0) {
+        if (sd.used != 0) fail("index shard corrupt (entries, no table)");
+        continue;
+      }
+      if (!std::has_single_bit(sd.capacity) ||
+          sd.capacity > (std::uint64_t{1} << 28) ||
+          sd.used * 4 >= sd.capacity * 3)
+        fail("index shard sizing corrupt");
+      sd.pairs =
+          static_cast<const unsigned char*>(cur.bytes(16 * sd.used));
+    }
+    auto rebuild = [&](std::size_t s) {
+      const ShardDisk& sd = disk[s];
+      if (sd.capacity == 0) return;
+      Shard& sh = repo.shards_[s];
+      std::scoped_lock lock(sh.mu);
+      // Size from `used`, not the stored capacity: the saving repo may
+      // have reserve_for()d far past its final population, and zeroing
+      // those empty slots would dominate the whole mmap attach. Linear
+      // probing gives the same hits at any capacity; interning past the
+      // snapshot grows the table as usual.
+      std::size_t cap = 64;
+      while (sd.used * 4 >= cap * 3) cap *= 2;
+      IndexTable* t = repo.shard_rebuild(sh, cap);
+      for (std::uint64_t i = 0; i < sd.used; ++i) {
+        std::uint64_t hash, id;
+        std::memcpy(&hash, sd.pairs + 16 * i, 8);
+        std::memcpy(&id, sd.pairs + 16 * i + 8, 8);
+        if (id >= p.next_id) fail("index entry id out of range");
+        std::size_t slot = hash & t->mask;
+        while (t->slots[slot].id.load(std::memory_order_relaxed) !=
+               kInvalidView)
+          slot = (slot + 1) & t->mask;
+        t->slots[slot].hash.store(hash, std::memory_order_relaxed);
+        t->slots[slot].id.store(static_cast<ViewId>(id),
+                                std::memory_order_relaxed);
+      }
+      sh.used = static_cast<std::size_t>(sd.used);
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      pool->parallel_for(0, ViewRepo::kShards, 1,
+                         [&](std::size_t b, std::size_t e, std::size_t) {
+                           for (std::size_t s = b; s < e; ++s) rebuild(s);
+                         });
+    } else {
+      for (std::size_t s = 0; s < ViewRepo::kShards; ++s) rebuild(s);
+    }
+  }
+
+  static void load_ranks(const BlobReader& r, const Parsed& p,
+                         ViewRepo& repo) {
+    BlobCursor cur(r, p.off_ranks);
+    std::uint64_t depths = cur.u64();
+    if (depths > std::uint64_t{1} << 32) fail("rank depth count corrupt");
+    repo.ranked_by_depth_.resize(static_cast<std::size_t>(depths));
+    for (std::vector<ViewId>& ranked : repo.ranked_by_depth_) {
+      std::uint64_t count = cur.u64();
+      if (count > p.next_id) fail("ranked id count corrupt");
+      ranked.resize(static_cast<std::size_t>(count));
+      std::memcpy(ranked.data(), cur.bytes(4 * count), 4 * count);
+      for (ViewId id : ranked)
+        if (id < 0 || static_cast<std::size_t>(id) >= p.next_id)
+          fail("ranked id out of range");
+    }
+  }
+
+  static void load_stats(const BlobReader& r, const Parsed& p,
+                         ViewRepo& repo) {
+    BlobCursor cur(r, p.off_stats);
+    std::uint64_t entries = cur.u64();
+    if (entries > p.next_id) fail("stats entry count corrupt");
+    if (entries == 0) return;
+    repo.count_memo_.resize(p.next_id);
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      std::uint64_t id = cur.u64();
+      if (id >= p.next_id) fail("stats entry id out of range");
+      ViewRepo::CountEntry& e = repo.count_memo_[static_cast<std::size_t>(id)];
+      e.records = cur.u64();
+      e.edges = cur.u64();
+    }
+  }
+
+  static std::vector<SweepAnchor> load_anchors(const BlobReader& r,
+                                               const Parsed& p) {
+    BlobCursor cur(r, p.off_anchors);
+    std::uint64_t count = cur.u64();
+    if (count > 1 << 20) fail("anchor count corrupt");
+    std::vector<SweepAnchor> anchors(static_cast<std::size_t>(count));
+    for (SweepAnchor& a : anchors) {
+      a.fingerprint = cur.u64();
+      std::uint64_t n = cur.u64();
+      std::uint64_t depths = cur.u64();
+      std::uint64_t classes = cur.u64();
+      if (n > std::uint64_t{1} << 31 || depths == 0 ||
+          depths > std::uint64_t{1} << 31 || classes > n ||
+          classes > p.next_id)
+        fail("anchor shape corrupt");
+      a.class_counts.resize(static_cast<std::size_t>(depths));
+      const void* counts = cur.bytes(8 * depths);
+      static_assert(sizeof(std::size_t) == 8);
+      std::memcpy(a.class_counts.data(), counts, 8 * depths);
+      if (a.class_counts.back() != classes)
+        fail("anchor class count corrupt");
+      a.class_ids.resize(static_cast<std::size_t>(classes));
+      std::memcpy(a.class_ids.data(), cur.bytes(4 * classes), 4 * classes);
+      for (ViewId id : a.class_ids)
+        if (id < 0 || static_cast<std::size_t>(id) >= p.next_id)
+          fail("anchor class id out of range");
+      a.class_of.resize(static_cast<std::size_t>(n));
+      std::memcpy(a.class_of.data(), cur.bytes(4 * n), 4 * n);
+      for (std::uint32_t c : a.class_of)
+        if (c >= classes) fail("anchor class map out of range");
+    }
+    return anchors;
+  }
+
+  static LoadedSnapshot load(const std::string& path, LoadMode mode,
+                             util::ThreadPool* pool) {
+    LoadedSnapshot out;
+    out.repo = std::make_unique<ViewRepo>();
+    if (mode == LoadMode::Copy) {
+      std::vector<unsigned char> buf = read_file(path);
+      BlobReader r(buf.data(), buf.size());
+      Parsed p = parse_header(r, /*verify_body=*/true);
+      load_records_copy(r, p, *out.repo);
+      load_index(r, p, *out.repo, pool);
+      load_ranks(r, p, *out.repo);
+      load_stats(r, p, *out.repo);
+      out.anchors = load_anchors(r, p);
+      out.repo->record_count_.store(p.record_count,
+                                    std::memory_order_relaxed);
+      return out;
+    }
+
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) fail("cannot open '" + path + "'");
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      fail("cannot stat '" + path + "'");
+    }
+    std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size < kHeaderBytes) {
+      ::close(fd);
+      fail("file truncated (no header)");
+    }
+    // MAP_PRIVATE + PROT_WRITE: pointer patching and later rank updates
+    // dirty pages copy-on-write; the file is never written through.
+    void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE,
+                        fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) fail("mmap of '" + path + "' failed");
+    try {
+      BlobReader r(base, size);
+      // Mmap attach stays O(sections + shards + anchors): the header
+      // checksum and section bounds are verified, the body checksum —
+      // which would read every page — is Copy-mode (and inspect) only.
+      Parsed p = parse_header(r, /*verify_body=*/false);
+      load_records_mmap(r, p, *out.repo,
+                        static_cast<unsigned char*>(base));
+      load_index(r, p, *out.repo, pool);
+      load_ranks(r, p, *out.repo);
+      load_stats(r, p, *out.repo);
+      out.anchors = load_anchors(r, p);
+      out.repo->record_count_.store(p.record_count,
+                                    std::memory_order_relaxed);
+      out.repo->mmap_base_ = base;
+      out.repo->mmap_len_ = size;
+    } catch (...) {
+      // Detach any segment already aimed into the mapping so the repo
+      // destructor neither delete[]s mapped memory nor double-unmaps.
+      for (std::size_t k = 0; k < ViewRepo::kNumSegments; ++k) {
+        if (out.repo->mapped_segments_ & (std::uint32_t{1} << k))
+          out.repo->segments_[k].store(nullptr, std::memory_order_relaxed);
+      }
+      out.repo->mapped_segments_ = 0;
+      out.repo->next_id_.store(0, std::memory_order_relaxed);
+      ::munmap(base, size);
+      throw;
+    }
+    return out;
+  }
+
+  // ---------------------------------------------------------- inspect
+
+  static SnapshotInfo inspect(const std::string& path) {
+    std::vector<unsigned char> buf = read_file(path);
+    BlobReader r(buf.data(), buf.size());
+    Parsed p = parse_header(r, /*verify_body=*/true);
+    SnapshotInfo info;
+    info.file_bytes = buf.size();
+    info.format_version = p.version;
+    info.high_water = p.next_id;
+    info.records = p.record_count;
+    info.child_refs = p.child_refs;
+
+    const auto* disk = static_cast<const unsigned char*>(
+        r.bytes_at(p.off_records, 32 * p.next_id));
+    for (std::size_t id = 0; id < p.next_id; ++id) {
+      RecordDisk d;
+      std::memcpy(&d, disk + 32 * id, 32);
+      // Arena id gaps are default records; a true degree-0 leaf is
+      // indistinguishable and counted as a gap (no refinement workload
+      // produces one — degree-0 graphs are rejected upstream).
+      if (d.degree == 0 && d.depth == 0 && d.child_count == 0 &&
+          d.rank == kUnranked)
+        continue;
+      std::size_t depth = static_cast<std::size_t>(d.depth);
+      if (info.records_per_depth.size() <= depth)
+        info.records_per_depth.resize(depth + 1);
+      ++info.records_per_depth[depth];
+    }
+
+    BlobCursor ranks(r, p.off_ranks);
+    std::uint64_t depths = ranks.u64();
+    if (depths > std::uint64_t{1} << 32) fail("rank depth count corrupt");
+    info.ranked_per_depth.resize(static_cast<std::size_t>(depths));
+    for (std::uint64_t d = 0; d < depths; ++d) {
+      std::uint64_t count = ranks.u64();
+      if (count > p.next_id) fail("ranked id count corrupt");
+      info.ranked_per_depth[static_cast<std::size_t>(d)] = count;
+      (void)ranks.bytes(4 * count);
+    }
+
+    BlobCursor stats(r, p.off_stats);
+    info.stats_entries = stats.u64();
+
+    for (const SweepAnchor& a : load_anchors(r, p)) {
+      SnapshotInfo::AnchorInfo ai;
+      ai.fingerprint = a.fingerprint;
+      ai.n = a.class_of.size();
+      ai.depth = a.depth();
+      ai.classes = a.classes();
+      ai.stabilized = a.stabilized();
+      info.anchors.push_back(ai);
+    }
+    return info;
+  }
+};
+
+// ------------------------------------------------------- public surface
+
+std::uint64_t graph_fingerprint(const portgraph::PortGraph& g) {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v;
+    h *= UINT64_C(0x100000001b3);
+    return h ^ (h >> 29);
+  };
+  std::size_t n = static_cast<std::size_t>(g.n());
+  std::uint64_t h = UINT64_C(0xcbf29ce484222325);
+  h = mix(h, n);
+  // Deliberately NOT g.m(): counting edges walks every adjacency row —
+  // an O(n + m) pointer chase that costs more than the whole mmap attach
+  // on million-node graphs. The sampled rows below cover edge structure.
+  // One strided row sample carries the whole structural signal: for each
+  // sampled node its position, degree and full adjacency row (neighbor
+  // and reverse port per edge) are mixed in. Degree and adjacency share
+  // the sample — and therefore the cache misses — because this guard is
+  // paid twice per warm start (anchor lookup and the in-profile check)
+  // and must stay far below the mmap attach it protects. Every row is
+  // sampled for n <= 4096; ~4096 strided rows above. Four independent
+  // mixing lanes, folded at the end, keep the scan memory-bound instead
+  // of multiply-latency-bound.
+  std::size_t stride = n <= 4096 ? 1 : n / 4096;
+  std::uint64_t lane[4] = {h, mix(h, 1), mix(h, 2), mix(h, 3)};
+  std::size_t k = 0;
+  for (std::size_t v = 0; v < n; v += stride, k = (k + 1) & 3) {
+    const auto& row = g.neighbors(static_cast<portgraph::NodeId>(v));
+    std::uint64_t lh = mix(lane[k], v);
+    lh = mix(lh, row.size());
+    for (const portgraph::HalfEdge& e : row) {
+      lh = mix(lh, static_cast<std::uint64_t>(e.neighbor));
+      lh = mix(lh, static_cast<std::uint64_t>(e.rev_port));
+    }
+    lane[k] = lh;
+  }
+  for (std::uint64_t l : lane) h = mix(h, l);
+  return h;
+}
+
+void SweepAnchor::expand_level(std::vector<ViewId>& level) const {
+  level.resize(class_of.size());
+  for (std::size_t v = 0; v < class_of.size(); ++v)
+    level[v] = class_ids[class_of[v]];
+}
+
+SweepAnchor make_anchor(const portgraph::PortGraph& g,
+                        const std::vector<ViewId>& last_level,
+                        std::vector<std::size_t> class_counts) {
+  ANOLE_CHECK_MSG(last_level.size() == static_cast<std::size_t>(g.n()),
+                  "make_anchor: level size " << last_level.size()
+                                             << " != n " << g.n());
+  ANOLE_CHECK(!class_counts.empty());
+  SweepAnchor a;
+  a.fingerprint = graph_fingerprint(g);
+  a.class_counts = std::move(class_counts);
+  a.class_of.resize(last_level.size());
+  // First-occurrence class numbering — the same numbering
+  // Refiner::freeze_quotient produces, which is what lets resume_stable
+  // rebuild the identical frozen quotient (DESIGN.md §13).
+  std::unordered_map<ViewId, std::uint32_t> index;
+  index.reserve(a.class_counts.back() * 2);
+  for (std::size_t v = 0; v < last_level.size(); ++v) {
+    auto [it, fresh] = index.try_emplace(
+        last_level[v], static_cast<std::uint32_t>(a.class_ids.size()));
+    if (fresh) a.class_ids.push_back(last_level[v]);
+    a.class_of[v] = it->second;
+  }
+  ANOLE_CHECK_MSG(a.class_ids.size() == a.class_counts.back(),
+                  "make_anchor: level has " << a.class_ids.size()
+                                            << " classes, counts say "
+                                            << a.class_counts.back());
+  return a;
+}
+
+void save_snapshot(const std::string& path, const ViewRepo& repo,
+                   std::span<const SweepAnchor> anchors) {
+  SnapshotAccess::save(repo, path, anchors);
+}
+
+LoadedSnapshot load_snapshot(const std::string& path, LoadMode mode,
+                             util::ThreadPool* pool) {
+  return SnapshotAccess::load(path, mode, pool);
+}
+
+SnapshotInfo inspect_snapshot(const std::string& path) {
+  return SnapshotAccess::inspect(path);
+}
+
+void ViewRepo::save(const std::string& path) const {
+  SnapshotAccess::save(*this, path, {});
+}
+
+std::unique_ptr<ViewRepo> ViewRepo::load(const std::string& path,
+                                         LoadMode mode) {
+  return SnapshotAccess::load(path, mode, nullptr).repo;
+}
+
+}  // namespace anole::views

@@ -1,0 +1,130 @@
+#pragma once
+// Persistent ViewRepo snapshots (DESIGN.md §13).
+//
+// A snapshot is one flat, relocatable, versioned blob holding everything a
+// ViewRepo owns — records, the child pool, the sharded intern index,
+// per-depth canonical ranks, memoized DagStats — plus zero or more *sweep
+// anchors*: the frozen partition of a stabilized (or mid-flight)
+// refinement sweep, enough for views::Refiner / compute_profile to resume
+// from the deepest stored level with ids, ranks, compare verdicts and all
+// metric bits byte-identical to a cold run.
+//
+// The on-disk record is bit-compatible with the in-memory one except for
+// its first 8 bytes, which hold a child-pool *offset* instead of a
+// pointer — that single field is what makes the blob relocatable, and
+// patching it back to a pointer is the only write LoadMode::Mmap performs
+// on record pages (copy-on-write; the child pool itself stays clean and
+// page-shared across processes).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "portgraph/port_graph.hpp"
+#include "util/thread_pool.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+
+/// Order-insensitive-enough structural fingerprint of a port graph: n,
+/// and the position, degree and full adjacency content (neighbor and
+/// reverse port per edge) of a deterministic row sample — every row for
+/// n <= 4096, ~4096 strided rows above. Guards warm starts against
+/// attaching an anchor to the wrong graph; it is a mistake detector, not
+/// a cryptographic commitment. Sub-O(n) on large graphs so the guard —
+/// paid twice per warm start — stays far below the cost of the mmap
+/// attach it protects.
+[[nodiscard]] std::uint64_t graph_fingerprint(const portgraph::PortGraph& g);
+
+/// The resume point of one refinement sweep over one graph: the class
+/// partition of the deepest computed level, in first-occurrence node
+/// order (the same numbering Refiner::freeze_quotient produces), plus the
+/// per-depth class counts that led there. `class_of[v]` is v's class,
+/// `class_ids[c]` the interned view of class c at the deepest level, so
+/// the level vector itself is reproducible as class_ids[class_of[v]] and
+/// is not stored node-by-node.
+struct SweepAnchor {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::size_t> class_counts;  ///< classes at depth 0..depth()
+  std::vector<ViewId> class_ids;          ///< first-occurrence order
+  std::vector<std::uint32_t> class_of;    ///< node -> class, n entries
+
+  [[nodiscard]] int depth() const {
+    return static_cast<int>(class_counts.size()) - 1;
+  }
+  [[nodiscard]] std::size_t classes() const { return class_ids.size(); }
+  /// True when the partition had fixed (two equal trailing counts) — the
+  /// precondition for the quotient-resume fast path.
+  [[nodiscard]] bool stabilized() const {
+    std::size_t d = class_counts.size();
+    return d >= 2 && class_counts[d - 1] == class_counts[d - 2];
+  }
+  /// Materializes the deepest level: level[v] = class_ids[class_of[v]].
+  void expand_level(std::vector<ViewId>& level) const;
+};
+
+/// Builds the anchor of a finished keep_history=false profile sweep
+/// (profile.last_level() must be the deepest level over `g`).
+[[nodiscard]] SweepAnchor make_anchor(const portgraph::PortGraph& g,
+                                      const std::vector<ViewId>& last_level,
+                                      std::vector<std::size_t> class_counts);
+
+/// Writes repo + anchors to `path`. The repo must be quiescent (no
+/// concurrent interning or rank assignment). Throws coding::BlobError on
+/// I/O failure.
+void save_snapshot(const std::string& path, const ViewRepo& repo,
+                   std::span<const SweepAnchor> anchors);
+
+struct LoadedSnapshot {
+  std::unique_ptr<ViewRepo> repo;
+  std::vector<SweepAnchor> anchors;
+
+  /// The stored anchor matching a graph fingerprint, or nullptr.
+  [[nodiscard]] const SweepAnchor* anchor_for(std::uint64_t fp) const {
+    for (const SweepAnchor& a : anchors)
+      if (a.fingerprint == fp) return &a;
+    return nullptr;
+  }
+};
+
+/// Loads a snapshot. Copy mode verifies the full body checksum and owns
+/// heap segments; Mmap mode verifies the header checksum and section
+/// bounds, maps the file MAP_PRIVATE, aims fully-covered segments into
+/// the mapping (patching child pointers copy-on-write) and heap-copies
+/// only the partial top segment — attach cost scales with the mapping,
+/// not the record count. Interning into an Mmap repo allocates fresh heap
+/// segments past the stored high-water mark (promotion), so warm-start
+/// extension works unchanged. `pool`, when given, rebuilds the intern
+/// index shard-by-shard in parallel. Throws coding::BlobError on
+/// truncated, corrupt or version-mismatched files.
+[[nodiscard]] LoadedSnapshot load_snapshot(const std::string& path,
+                                           LoadMode mode,
+                                           util::ThreadPool* pool = nullptr);
+
+/// Everything anole_inspect prints about a snapshot, computed from the
+/// blob alone — no repo is built and nothing is recomputed. Verifies the
+/// full body checksum.
+struct SnapshotInfo {
+  std::uint64_t file_bytes = 0;
+  std::uint64_t format_version = 0;
+  std::uint64_t high_water = 0;  ///< id space, arena gaps included
+  std::uint64_t records = 0;     ///< live records (gaps excluded)
+  std::uint64_t child_refs = 0;
+  std::uint64_t stats_entries = 0;  ///< memoized DagStats entries
+  std::vector<std::uint64_t> records_per_depth;
+  std::vector<std::uint64_t> ranked_per_depth;
+  struct AnchorInfo {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t n = 0;
+    int depth = 0;
+    std::uint64_t classes = 0;
+    bool stabilized = false;
+  };
+  std::vector<AnchorInfo> anchors;
+};
+
+[[nodiscard]] SnapshotInfo inspect_snapshot(const std::string& path);
+
+}  // namespace anole::views

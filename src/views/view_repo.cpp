@@ -1,5 +1,7 @@
 #include "views/view_repo.hpp"
 
+#include <sys/mman.h>
+
 #include <algorithm>
 #include <bit>
 #include <limits>
@@ -164,8 +166,13 @@ struct SoaSig {
 ViewRepo::ViewRepo() = default;
 
 ViewRepo::~ViewRepo() {
-  for (auto& seg : segments_)
-    delete[] seg.load(std::memory_order_relaxed);
+  // Segments aimed into a snapshot mapping (LoadMode::Mmap) are owned by
+  // the mapping, not the heap.
+  for (std::size_t k = 0; k < kNumSegments; ++k) {
+    if ((mapped_segments_ & (std::uint32_t{1} << k)) == 0)
+      delete[] segments_[k].load(std::memory_order_relaxed);
+  }
+  if (mmap_base_ != nullptr) ::munmap(mmap_base_, mmap_len_);
 }
 
 // ------------------------------------------------------------ records

@@ -113,6 +113,16 @@ struct DagStats {
   int max_port = 0;         ///< largest reverse port on any edge (0 if none)
 };
 
+/// How ViewRepo::load materializes a snapshot (DESIGN.md §13).
+enum class LoadMode {
+  /// Read the file into heap segments; verifies the full body checksum.
+  Copy,
+  /// Map the file MAP_PRIVATE and aim segment pointers into the mapping;
+  /// O(sections) attach — record pages are patched copy-on-write, new
+  /// interns promote to heap segments. Verifies header + bounds only.
+  Mmap,
+};
+
 class ViewRepo {
  public:
   /// A per-thread interning handle: claims ids in blocks and child storage
@@ -272,8 +282,22 @@ class ViewRepo {
       int degree, int depth, std::span<const portgraph::Port> rev_ports,
       std::span<const ViewId> kids);
 
+  /// Persists the whole repo (records, child pool, ranks, memoized DAG
+  /// stats, intern index) as one flat relocatable blob, with no sweep
+  /// anchors. The repo must be quiescent (no concurrent interning).
+  /// Thin wrapper over views::save_snapshot — see views/snapshot.hpp for
+  /// the anchor-carrying form and the format documentation.
+  void save(const std::string& path) const;
+
+  /// Loads a snapshot written by save()/save_snapshot (anchors, if any,
+  /// are ignored — use views::load_snapshot to get them). Throws
+  /// coding::BlobError on truncated/corrupt/version-mismatched files.
+  [[nodiscard]] static std::unique_ptr<ViewRepo> load(const std::string& path,
+                                                      LoadMode mode);
+
  private:
   friend class Refiner;
+  friend struct SnapshotAccess;  // views/snapshot.cpp (DESIGN.md §13)
 
   struct Record {
     const ChildRef* kids = nullptr;  ///< contiguous, never moves
@@ -430,6 +454,15 @@ class ViewRepo {
   // ---------------------------------------------------------- members
   mutable Shard shards_[kShards];
   std::atomic<Record*> segments_[kNumSegments] = {};
+  // Snapshot mmap state (LoadMode::Mmap): segments whose bit is set in
+  // mapped_segments_ point into [mmap_base_, mmap_base_ + mmap_len_) and
+  // are unmapped — not delete[]d — at destruction. The child pool of a
+  // mapped repo also lives in the mapping (records reference it by
+  // pointer; its pages stay clean/shared). Set only during load, before
+  // the repo is published to any other thread.
+  void* mmap_base_ = nullptr;
+  std::size_t mmap_len_ = 0;
+  std::uint32_t mapped_segments_ = 0;
   std::mutex seg_mu_;                ///< segment allocation
   std::atomic<ViewId> next_id_{0};   ///< id high-water mark
   std::atomic<std::size_t> record_count_{0};

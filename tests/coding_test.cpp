@@ -56,6 +56,99 @@ TEST(BitString, CrossesWordBoundary) {
                                           i % 3 == 0);
 }
 
+TEST(BitString, AppendWordMatchesPerBitPushes) {
+  util::SplitMix64 rng(41);
+  // Every (starting offset mod 64) x (append width) combination, against
+  // a per-bit reference build of the identical stream.
+  BitString bulk, reference;
+  for (int step = 0; step < 300; ++step) {
+    std::uint64_t value = rng();
+    unsigned bits = static_cast<unsigned>(rng() % 65);
+    bulk.append_word(value, bits);
+    for (unsigned b = 0; b < bits; ++b)
+      reference.push_back(((value >> b) & 1u) != 0);
+    ASSERT_EQ(bulk, reference) << "step " << step << " bits " << bits;
+  }
+}
+
+TEST(BitString, AppendWordReadWordRoundTrip) {
+  util::SplitMix64 rng(43);
+  std::vector<std::pair<std::uint64_t, unsigned>> pieces;
+  BitString b;
+  for (int i = 0; i < 200; ++i) {
+    unsigned bits = static_cast<unsigned>(rng() % 65);
+    std::uint64_t value =
+        bits == 64 ? rng() : (rng() & ((UINT64_C(1) << bits) - 1));
+    pieces.emplace_back(value, bits);
+    b.append_word(value, bits);
+  }
+  BitReader reader(b);
+  for (const auto& [value, bits] : pieces)
+    EXPECT_EQ(reader.read_word(bits), value);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(BitString, AppendWordsAlignedAndUnaligned) {
+  std::vector<std::uint64_t> payload = {0x0123456789abcdefull,
+                                        0xfedcba9876543210ull,
+                                        0xdeadbeefcafef00dull};
+  BitString aligned;
+  aligned.append_words(payload);
+  EXPECT_EQ(aligned.size(), 192u);
+  ASSERT_EQ(aligned.words().size(), 3u);
+  EXPECT_EQ(aligned.words()[0], payload[0]);
+  EXPECT_EQ(aligned.words()[2], payload[2]);
+
+  BitString unaligned, reference;
+  unaligned.push_back(true);
+  reference.push_back(true);
+  unaligned.append_words(payload);
+  for (std::uint64_t w : payload)
+    for (unsigned b = 0; b < 64; ++b)
+      reference.push_back(((w >> b) & 1u) != 0);
+  EXPECT_EQ(unaligned, reference);
+}
+
+TEST(BitString, AppendBytesByteAlignedFastPath) {
+  const unsigned char raw[5] = {0xde, 0xad, 0xbe, 0xef, 0x01};
+  // Byte-aligned but not word-aligned start (8 bits in).
+  BitString b;
+  b.append_word(0xaa, 8);
+  b.append_bytes(raw, sizeof(raw));
+  EXPECT_EQ(b.size(), 48u);
+  BitReader reader(b);
+  EXPECT_EQ(reader.read_word(8), 0xaau);
+  for (unsigned char byte : raw) EXPECT_EQ(reader.read_word(8), byte);
+}
+
+TEST(BitString, AppendBitStringBulkMatchesPerBit) {
+  util::SplitMix64 rng(47);
+  for (unsigned off = 0; off < 3; ++off) {
+    BitString head;
+    for (unsigned i = 0; i < off * 21 + 1; ++i)
+      head.push_back((rng() & 1u) != 0);
+    BitString tail;
+    for (unsigned i = 0; i < 131; ++i)
+      tail.push_back((rng() & 1u) != 0);
+    BitString reference = head;
+    for (std::size_t i = 0; i < tail.size(); ++i)
+      reference.push_back(tail[i]);
+    head.append(tail);
+    EXPECT_EQ(head, reference);
+  }
+}
+
+TEST(BitString, FromWordsRoundTripAndTailCheck) {
+  BitString b;
+  b.append_word(0x1ffff, 17);
+  std::vector<std::uint64_t> words(b.words().begin(), b.words().end());
+  BitString rebuilt = BitString::from_words(words, b.size());
+  EXPECT_EQ(rebuilt, b);
+  // Nonzero bits past `bits` violate the tail invariant — loud stop.
+  EXPECT_THROW((void)BitString::from_words({~UINT64_C(0)}, 17),
+               std::logic_error);
+}
+
 TEST(BitReader, SequentialRead) {
   BitString b = BitString::from_string("101");
   BitReader r(b);

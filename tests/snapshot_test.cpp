@@ -1,0 +1,540 @@
+// Tests for persistent ViewRepo snapshots (DESIGN.md §13): blob
+// round-trips (Copy and Mmap byte-equality), corruption detection,
+// warm-start resume equality against cold runs (serial id identity and
+// --threads partition identity), promotion past mmapped segments, and
+// run_full_info over a loaded repo.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/blob.hpp"
+#include "portgraph/builders.hpp"
+#include "sim/full_info.hpp"
+#include "util/thread_pool.hpp"
+#include "views/profile.hpp"
+#include "views/snapshot.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole::views {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique temp path per test, removed on destruction.
+class TempSnap {
+ public:
+  explicit TempSnap(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("anole-snap-test-" + tag + "-" +
+                std::to_string(::getpid()) + ".snap"))
+                  .string()) {}
+  ~TempSnap() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Structural equality of one record across two repos (the loaded repo
+/// must reproduce every public observation bit-for-bit).
+void expect_record_equal(const ViewRepo& a, const ViewRepo& b, ViewId id) {
+  ASSERT_EQ(a.degree(id), b.degree(id)) << "id " << id;
+  ASSERT_EQ(a.depth(id), b.depth(id)) << "id " << id;
+  ASSERT_EQ(a.rank(id), b.rank(id)) << "id " << id;
+  std::span<const ChildRef> ka = a.children(id);
+  std::span<const ChildRef> kb = b.children(id);
+  ASSERT_EQ(ka.size(), kb.size()) << "id " << id;
+  for (std::size_t j = 0; j < ka.size(); ++j)
+    ASSERT_EQ(ka[j], kb[j]) << "id " << id << " child " << j;
+}
+
+/// The first-occurrence class image of a level: two levels are the same
+/// partition iff these images are equal, whatever the raw ids are (the
+/// cross-thread-count comparison, DESIGN.md §10).
+std::vector<std::uint32_t> partition_image(const std::vector<ViewId>& level) {
+  std::vector<std::uint32_t> image(level.size());
+  std::unordered_map<ViewId, std::uint32_t> seen;
+  for (std::size_t v = 0; v < level.size(); ++v) {
+    auto [it, fresh] =
+        seen.emplace(level[v], static_cast<std::uint32_t>(seen.size()));
+    image[v] = it->second;
+    (void)fresh;
+  }
+  return image;
+}
+
+TEST(Snapshot, CopyRoundTripByteEqualityAcrossFamilies) {
+  struct Case {
+    const char* tag;
+    portgraph::PortGraph graph;
+    int depth;
+  };
+  Case cases[] = {
+      {"ring", portgraph::ring(64), 40},
+      {"torus", portgraph::torus(4, 6), 16},
+      {"random", portgraph::random_connected(96, 140, 5), 4},
+      {"grid", portgraph::grid(5, 7), 8},
+  };
+  for (Case& c : cases) {
+    ViewRepo repo;
+    ViewProfile p = compute_profile(c.graph, repo, c.depth);
+    TempSnap snap(std::string("copy-") + c.tag);
+    repo.save(snap.path());
+    std::unique_ptr<ViewRepo> loaded =
+        ViewRepo::load(snap.path(), LoadMode::Copy);
+    ASSERT_EQ(loaded->size(), repo.size()) << c.tag;
+    // Serial build → no arena gaps → ids are dense [0, size).
+    for (ViewId id = 0; id < static_cast<ViewId>(repo.size()); ++id)
+      expect_record_equal(repo, *loaded, id);
+    // Memoized DagStats and compare verdicts survive the trip.
+    for (portgraph::NodeId v : {0, 1, 2}) {
+      ViewId id = p.view(c.depth, v);
+      EXPECT_EQ(loaded->stats(id).records, repo.stats(id).records) << c.tag;
+      EXPECT_EQ(loaded->stats(id).edges, repo.stats(id).edges) << c.tag;
+    }
+    ViewId a = p.view(c.depth, 0);
+    ViewId b =
+        p.view(c.depth, static_cast<portgraph::NodeId>(c.graph.n() / 2));
+    EXPECT_EQ(loaded->compare(a, b), repo.compare(a, b)) << c.tag;
+    // The rebuilt intern index: re-interning an existing signature must
+    // hit, not allocate.
+    std::vector<ChildRef> kids(repo.children(a).begin(),
+                               repo.children(a).end());
+    std::size_t before = loaded->size();
+    EXPECT_EQ(loaded->intern(kids), a) << c.tag;
+    EXPECT_EQ(loaded->size(), before) << c.tag;
+  }
+}
+
+TEST(Snapshot, PoolBuiltRepoWithArenaGapsRoundTrips) {
+  portgraph::PortGraph g = portgraph::random_connected(4096, 6100, 3);
+  util::ThreadPool pool(4);
+  ViewRepo repo;
+  ViewProfile p = compute_profile(
+      g, repo, ProfileOptions{.min_depth = 3, .pool = &pool});
+  TempSnap snap("gaps");
+  repo.save(snap.path());
+  std::unique_ptr<ViewRepo> loaded =
+      ViewRepo::load(snap.path(), LoadMode::Copy);
+  ASSERT_EQ(loaded->size(), repo.size());
+  // Ids are sparse (arena gaps); walk the ones the profile holds.
+  for (int t = 0; t <= p.computed_depth(); ++t)
+    for (std::size_t v = 0; v < g.n(); v += 97)
+      expect_record_equal(repo, *loaded,
+                          p.view(t, static_cast<portgraph::NodeId>(v)));
+  // Index hits for existing signatures, across the gap pattern.
+  ViewId id = p.view(p.computed_depth(), 1234);
+  std::vector<ChildRef> kids(repo.children(id).begin(),
+                             repo.children(id).end());
+  std::size_t before = loaded->size();
+  EXPECT_EQ(loaded->intern(kids), id);
+  EXPECT_EQ(loaded->size(), before);
+}
+
+TEST(Snapshot, MmapMatchesCopy) {
+  portgraph::PortGraph g = portgraph::ring(128);
+  ViewRepo repo;
+  ViewProfile p = compute_profile(g, repo, 50);
+  TempSnap snap("mmap");
+  save_snapshot(snap.path(), repo, {});
+  LoadedSnapshot copy = load_snapshot(snap.path(), LoadMode::Copy);
+  LoadedSnapshot mapped = load_snapshot(snap.path(), LoadMode::Mmap);
+  ASSERT_EQ(copy.repo->size(), mapped.repo->size());
+  for (ViewId id = 0; id < static_cast<ViewId>(copy.repo->size()); ++id)
+    expect_record_equal(*copy.repo, *mapped.repo, id);
+  ViewId last = p.view(50, 0);
+  EXPECT_EQ(mapped.repo->stats(last).records, copy.repo->stats(last).records);
+  // Interning into the mapped repo works (promotion contract) and dedups
+  // against the mapped records.
+  std::size_t before = mapped.repo->size();
+  std::vector<ChildRef> kids(copy.repo->children(last).begin(),
+                             copy.repo->children(last).end());
+  EXPECT_EQ(mapped.repo->intern(kids), last);
+  EXPECT_EQ(mapped.repo->size(), before);
+}
+
+TEST(Snapshot, ParallelIndexRebuildMatchesSerial) {
+  portgraph::PortGraph g = portgraph::random_connected(2048, 3000, 17);
+  ViewRepo repo;
+  ViewProfile p = compute_profile(g, repo, 3);
+  TempSnap snap("parshards");
+  save_snapshot(snap.path(), repo, {});
+  util::ThreadPool pool(4);
+  LoadedSnapshot par = load_snapshot(snap.path(), LoadMode::Mmap, &pool);
+  ASSERT_EQ(par.repo->size(), repo.size());
+  for (std::size_t v = 0; v < g.n(); v += 61) {
+    ViewId id = p.view(3, static_cast<portgraph::NodeId>(v));
+    std::vector<ChildRef> kids(repo.children(id).begin(),
+                               repo.children(id).end());
+    EXPECT_EQ(par.repo->intern(kids), id);
+  }
+  EXPECT_EQ(par.repo->size(), repo.size());
+}
+
+// ------------------------------------------------------- damaged blobs
+
+class DamagedSnapshot : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    portgraph::PortGraph g = portgraph::ring(48);
+    ViewRepo repo;
+    (void)compute_profile(g, repo, 20);
+    snap_ = std::make_unique<TempSnap>("damage");
+    repo.save(snap_->path());
+    std::ifstream in(snap_->path(), std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GE(bytes_.size(), 128u);
+  }
+
+  void rewrite(const std::vector<char>& bytes) {
+    std::ofstream out(snap_->path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Patches header word `w` and recomputes the header checksum, so the
+  /// damage under test is reached instead of masked by the checksum line.
+  void patch_header_word(std::size_t w, std::uint64_t value) {
+    std::vector<char> bytes = bytes_;
+    std::memcpy(bytes.data() + 8 * w, &value, 8);
+    std::uint64_t csum = coding::fnv1a64(bytes.data(), 8 * 15);
+    std::memcpy(bytes.data() + 8 * 15, &csum, 8);
+    rewrite(bytes);
+  }
+
+  void expect_both_modes_throw() {
+    EXPECT_THROW((void)load_snapshot(snap_->path(), LoadMode::Copy),
+                 coding::BlobError);
+    EXPECT_THROW((void)load_snapshot(snap_->path(), LoadMode::Mmap),
+                 coding::BlobError);
+  }
+
+  std::unique_ptr<TempSnap> snap_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(DamagedSnapshot, TruncatedToGarbageHeader) {
+  rewrite(std::vector<char>(bytes_.begin(), bytes_.begin() + 100));
+  expect_both_modes_throw();
+}
+
+TEST_F(DamagedSnapshot, TruncatedBody) {
+  rewrite(std::vector<char>(bytes_.begin(),
+                            bytes_.begin() +
+                                static_cast<long>(bytes_.size() / 2)));
+  expect_both_modes_throw();
+}
+
+TEST_F(DamagedSnapshot, EmptyFile) {
+  rewrite({});
+  expect_both_modes_throw();
+}
+
+TEST_F(DamagedSnapshot, BadMagic) {
+  std::vector<char> bytes = bytes_;
+  bytes[0] ^= 0x5a;
+  rewrite(bytes);
+  expect_both_modes_throw();
+}
+
+TEST_F(DamagedSnapshot, VersionMismatch) {
+  patch_header_word(1, 999);  // future format version, valid checksum
+  expect_both_modes_throw();
+}
+
+TEST_F(DamagedSnapshot, WrongEndianTag) {
+  patch_header_word(2, UINT64_C(0x0807060504030201));
+  expect_both_modes_throw();
+}
+
+TEST_F(DamagedSnapshot, FlippedBodyByteFailsCopyChecksum) {
+  std::vector<char> bytes = bytes_;
+  bytes[bytes.size() - 9] ^= 0x01;  // inside the body, past the header
+  rewrite(bytes);
+  EXPECT_THROW((void)load_snapshot(snap_->path(), LoadMode::Copy),
+               coding::BlobError);
+}
+
+TEST_F(DamagedSnapshot, CorruptHeaderChecksum) {
+  std::vector<char> bytes = bytes_;
+  bytes[8 * 15] ^= 0x01;
+  rewrite(bytes);
+  expect_both_modes_throw();
+}
+
+// --------------------------------------------------------- warm starts
+
+TEST(SnapshotWarm, SerialWarmExtendIsByteIdenticalToCold) {
+  struct Case {
+    const char* tag;
+    portgraph::PortGraph graph;
+    int d0;
+    int d;
+  };
+  Case cases[] = {
+      {"ring", portgraph::ring(4096), 64, 96},
+      {"torus", portgraph::torus(16, 16), 16, 24},
+      {"random", portgraph::random_connected(512, 800, 9), 4, 7},
+  };
+  for (Case& c : cases) {
+    // Prep to D0 and snapshot with an anchor.
+    ViewRepo prep;
+    ViewProfile pp = compute_profile(
+        c.graph, prep,
+        ProfileOptions{.min_depth = c.d0, .keep_history = false});
+    SweepAnchor anchor = make_anchor(c.graph, pp.last_level(),
+                                     pp.class_counts);
+    TempSnap snap(std::string("warm-") + c.tag);
+    save_snapshot(snap.path(), prep,
+                  std::span<const SweepAnchor>(&anchor, 1));
+
+    // Cold: fresh repo straight to D.
+    ViewRepo cold_repo;
+    ViewProfile cold = compute_profile(
+        c.graph, cold_repo,
+        ProfileOptions{.min_depth = c.d, .keep_history = false});
+
+    // Warm: mmap-attach and extend to the same D.
+    LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Mmap);
+    const SweepAnchor* stored = s.anchor_for(graph_fingerprint(c.graph));
+    ASSERT_NE(stored, nullptr) << c.tag;
+    ViewProfile warm = compute_profile(
+        c.graph, *s.repo,
+        ProfileOptions{.min_depth = c.d,
+                       .keep_history = false,
+                       .warm = stored});
+
+    // Byte identity: ids, counts, feasibility, ranks, compare verdicts.
+    EXPECT_EQ(warm.class_counts, cold.class_counts) << c.tag;
+    EXPECT_EQ(warm.feasible, cold.feasible) << c.tag;
+    EXPECT_EQ(warm.election_index, cold.election_index) << c.tag;
+    ASSERT_EQ(warm.last_level(), cold.last_level()) << c.tag;
+    EXPECT_EQ(s.repo->size(), cold_repo.size()) << c.tag;
+    for (std::size_t v = 0; v < c.graph.n(); v += 31) {
+      ViewId id = cold.last_level()[v];
+      EXPECT_EQ(s.repo->rank(id), cold_repo.rank(id)) << c.tag;
+    }
+    EXPECT_EQ(argmin_view(*s.repo, warm.last_level()),
+              argmin_view(cold_repo, cold.last_level()))
+        << c.tag;
+  }
+}
+
+TEST(SnapshotWarm, WarmMatchesColdUnderThreadPool) {
+  portgraph::PortGraph g = portgraph::random_connected(4096, 6200, 21);
+  util::ThreadPool pool(4);
+  ViewRepo prep;
+  ViewProfile pp = compute_profile(
+      g, prep,
+      ProfileOptions{.min_depth = 5, .keep_history = false, .pool = &pool});
+  SweepAnchor anchor = make_anchor(g, pp.last_level(), pp.class_counts);
+  TempSnap snap("warm-pool");
+  save_snapshot(snap.path(), prep, std::span<const SweepAnchor>(&anchor, 1));
+
+  ViewRepo cold_repo;
+  ViewProfile cold = compute_profile(
+      g, cold_repo,
+      ProfileOptions{.min_depth = 8, .keep_history = false, .pool = &pool});
+
+  LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Mmap, &pool);
+  ViewProfile warm = compute_profile(
+      g, *s.repo,
+      ProfileOptions{.min_depth = 8,
+                     .keep_history = false,
+                     .pool = &pool,
+                     .warm = s.anchor_for(graph_fingerprint(g))});
+
+  // With a pool, raw id values are schedule-dependent; everything above
+  // them must match (DESIGN.md §10): counts, the partition itself, the
+  // record set size, feasibility and the argmin verdict.
+  EXPECT_EQ(warm.class_counts, cold.class_counts);
+  EXPECT_EQ(warm.feasible, cold.feasible);
+  EXPECT_EQ(warm.election_index, cold.election_index);
+  EXPECT_EQ(partition_image(warm.last_level()),
+            partition_image(cold.last_level()));
+  EXPECT_EQ(s.repo->size(), cold_repo.size());
+  EXPECT_EQ(argmin_view(*s.repo, warm.last_level()),
+            argmin_view(cold_repo, cold.last_level()));
+}
+
+TEST(SnapshotWarm, NonStabilizedAnchorResumesThroughFullPipeline) {
+  // A feasible graph's profile can finish without the trailing counts
+  // ever repeating (all-distinct before the fixed point): its anchor is
+  // NOT stabilized, and the warm path must fall back to expanding the
+  // stored level and advancing through the full pipeline.
+  portgraph::PortGraph g = portgraph::random_connected(256, 420, 11);
+  ViewRepo prep;
+  ViewProfile pp =
+      compute_profile(g, prep, ProfileOptions{.keep_history = false});
+  SweepAnchor anchor = make_anchor(g, pp.last_level(), pp.class_counts);
+  ASSERT_TRUE(pp.feasible);
+  ASSERT_FALSE(anchor.stabilized());
+  TempSnap snap("midflight");
+  save_snapshot(snap.path(), prep, std::span<const SweepAnchor>(&anchor, 1));
+
+  int d = pp.computed_depth() + 3;
+  ViewRepo cold_repo;
+  ViewProfile cold = compute_profile(
+      g, cold_repo, ProfileOptions{.min_depth = d, .keep_history = false});
+
+  LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Copy);
+  ViewProfile warm = compute_profile(
+      g, *s.repo,
+      ProfileOptions{.min_depth = d,
+                     .keep_history = false,
+                     .warm = s.anchor_for(anchor.fingerprint)});
+  EXPECT_EQ(warm.class_counts, cold.class_counts);
+  EXPECT_EQ(warm.last_level(), cold.last_level());
+  EXPECT_EQ(s.repo->size(), cold_repo.size());
+}
+
+TEST(SnapshotWarm, PromotionPastFullyMappedSegment) {
+  // Push the prep repo past one full 64K segment so the mmap load aims
+  // segment 0 into the mapping; the warm extension then interns past the
+  // stored high-water mark — heap promotion — while dedup, compare and
+  // rank reads keep hitting the mapped records.
+  portgraph::PortGraph g = portgraph::random_connected(8192, 12500, 13);
+  ViewRepo prep;
+  ViewProfile pp = compute_profile(
+      g, prep, ProfileOptions{.min_depth = 9, .keep_history = false});
+  ASSERT_GT(prep.size(), std::size_t{1} << 16);
+  SweepAnchor anchor = make_anchor(g, pp.last_level(), pp.class_counts);
+  TempSnap snap("promote");
+  save_snapshot(snap.path(), prep, std::span<const SweepAnchor>(&anchor, 1));
+
+  ViewRepo cold_repo;
+  ViewProfile cold = compute_profile(
+      g, cold_repo, ProfileOptions{.min_depth = 11, .keep_history = false});
+
+  LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Mmap);
+  ViewProfile warm = compute_profile(
+      g, *s.repo,
+      ProfileOptions{.min_depth = 11,
+                     .keep_history = false,
+                     .warm = s.anchor_for(graph_fingerprint(g))});
+  EXPECT_EQ(warm.class_counts, cold.class_counts);
+  EXPECT_EQ(warm.last_level(), cold.last_level());
+  EXPECT_EQ(s.repo->size(), cold_repo.size());
+}
+
+// ------------------------------------------------- run_full_info warm
+
+class ComForRounds final : public sim::FullInfoProgram {
+ public:
+  explicit ComForRounds(int target) : target_(target) {}
+  [[nodiscard]] bool has_output() const override { return done_; }
+  [[nodiscard]] std::vector<int> output() const override { return {}; }
+
+ protected:
+  void on_view(int rounds) override {
+    if (rounds >= target_) done_ = true;
+  }
+
+ private:
+  int target_;
+  bool done_ = false;
+};
+
+sim::RunMetrics metered_com(const portgraph::PortGraph& g, ViewRepo& repo,
+                            int rounds) {
+  std::vector<std::unique_ptr<sim::NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<ComForRounds>(rounds));
+  return sim::run_full_info(g, repo, programs, rounds + 1,
+                            /*meter_messages=*/true);
+}
+
+TEST(SnapshotWarm, RunFullInfoOverLoadedRepoAllocatesNothing) {
+  portgraph::PortGraph g = portgraph::torus(8, 8);
+  int rounds = 12;
+  ViewRepo prep;
+  (void)compute_profile(
+      g, prep, ProfileOptions{.min_depth = rounds, .keep_history = false});
+  TempSnap snap("fullinfo");
+  prep.save(snap.path());
+
+  ViewRepo cold_repo;
+  sim::RunMetrics cold = metered_com(g, cold_repo, rounds);
+
+  std::unique_ptr<ViewRepo> warm_repo =
+      ViewRepo::load(snap.path(), LoadMode::Mmap);
+  std::size_t before = warm_repo->size();
+  sim::RunMetrics warm = metered_com(g, *warm_repo, rounds);
+
+  // Every intern hits the loaded index: no records allocated, and all
+  // metric bits identical to the cold run.
+  EXPECT_EQ(warm_repo->size(), before);
+  EXPECT_EQ(warm.rounds, cold.rounds);
+  EXPECT_EQ(warm.decision_round, cold.decision_round);
+  EXPECT_EQ(warm.outputs, cold.outputs);
+  EXPECT_EQ(warm.message_count, cold.message_count);
+  EXPECT_EQ(warm.total_message_bits, cold.total_message_bits);
+  EXPECT_EQ(warm.max_message_bits, cold.max_message_bits);
+  EXPECT_EQ(warm.bits_per_round, cold.bits_per_round);
+  EXPECT_EQ(warm.distinct_views_per_round, cold.distinct_views_per_round);
+  EXPECT_EQ(warm.timed_out, cold.timed_out);
+}
+
+// ----------------------------------------------------------- inspect
+
+TEST(Snapshot, InspectReportsSectionsWithoutRecompute) {
+  portgraph::PortGraph g = portgraph::ring(96);
+  ViewRepo repo;
+  ViewProfile p = compute_profile(
+      g, repo, ProfileOptions{.min_depth = 30, .keep_history = false});
+  SweepAnchor anchor = make_anchor(g, p.last_level(), p.class_counts);
+  TempSnap snap("inspect");
+  save_snapshot(snap.path(), repo, std::span<const SweepAnchor>(&anchor, 1));
+
+  SnapshotInfo info = inspect_snapshot(snap.path());
+  EXPECT_EQ(info.format_version, 1u);
+  EXPECT_EQ(info.file_bytes, fs::file_size(snap.path()));
+  EXPECT_EQ(info.records, repo.size());
+  EXPECT_GE(info.high_water, info.records);
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : info.records_per_depth) sum += c;
+  EXPECT_EQ(sum, info.records);
+  ASSERT_EQ(info.anchors.size(), 1u);
+  EXPECT_EQ(info.anchors[0].fingerprint, anchor.fingerprint);
+  EXPECT_EQ(info.anchors[0].n, g.n());
+  EXPECT_EQ(info.anchors[0].depth, anchor.depth());
+  EXPECT_EQ(info.anchors[0].classes, anchor.classes());
+  EXPECT_TRUE(info.anchors[0].stabilized);
+}
+
+TEST(Snapshot, AnchorFingerprintGuardsWrongGraph) {
+  portgraph::PortGraph g = portgraph::ring(64);
+  portgraph::PortGraph other = portgraph::ring(66);
+  ViewRepo repo;
+  ViewProfile p = compute_profile(
+      g, repo, ProfileOptions{.min_depth = 8, .keep_history = false});
+  SweepAnchor anchor = make_anchor(g, p.last_level(), p.class_counts);
+  TempSnap snap("wronggraph");
+  save_snapshot(snap.path(), repo, std::span<const SweepAnchor>(&anchor, 1));
+  LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Copy);
+  EXPECT_EQ(s.anchor_for(graph_fingerprint(other)), nullptr);
+  const SweepAnchor* stored = s.anchor_for(graph_fingerprint(g));
+  ASSERT_NE(stored, nullptr);
+  // Resuming against the wrong graph is a loud stop, not silent garbage.
+  EXPECT_THROW(
+      (void)compute_profile(
+          other, *s.repo,
+          ProfileOptions{.min_depth = 9, .keep_history = false,
+                         .warm = stored}),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace anole::views

@@ -11,6 +11,7 @@
 //   anole_bench --scenario <name|all> [--scenario <name> ...]
 //               [--threads N] [--format text|json|csv] [--out FILE]
 //               [--timing] [--bench-out FILE]
+//               [--snapshot-out PREFIX] [--snapshot-in PREFIX]
 //
 // Exit status: 0 on success, 1 if any cell failed, 2 on usage errors.
 
@@ -22,6 +23,7 @@
 #include "runner/bench_out.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
+#include "runner/scenarios/common.hpp"
 #include "runner/sinks.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +36,7 @@ int usage(std::ostream& os, int code) {
         "       anole_bench --scenario <name|all> [--scenario <name> ...]\n"
         "                   [--threads N] [--format text|json|csv]\n"
         "                   [--out FILE] [--timing] [--bench-out FILE]\n"
+        "                   [--snapshot-out PREFIX] [--snapshot-in PREFIX]\n"
         "\n"
         "  --list       list registered scenarios and exit\n"
         "  --scenario   scenario to run ('all' = every registered one)\n"
@@ -44,7 +47,13 @@ int usage(std::ostream& os, int code) {
         "  --timing     include wall-clock fields (non-deterministic)\n"
         "  --bench-out  append one JSON-lines perf record per cell row to\n"
         "               FILE (scenario, cell, wall_ms, n, rounds, bits) —\n"
-        "               the perf trajectory channel (see DESIGN.md)\n";
+        "               the perf trajectory channel (see DESIGN.md)\n"
+        "  --snapshot-out PREFIX  where the w1 scenario writes its\n"
+        "               <PREFIX>-<family>.snap blobs (default: a\n"
+        "               per-process temp path)\n"
+        "  --snapshot-in PREFIX   where the w1 load/warm cells read\n"
+        "               snapshots from (default: what --snapshot-out\n"
+        "               resolved to, i.e. read back this run's blobs)\n";
   return code;
 }
 
@@ -102,6 +111,10 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--bench-out") {
       bench_out_path = next();
+    } else if (arg == "--snapshot-out") {
+      runner::scenarios::set_snapshot_out_prefix(next());
+    } else if (arg == "--snapshot-in") {
+      runner::scenarios::set_snapshot_in_prefix(next());
     } else if (arg == "--timing") {
       timing = true;
     } else if (arg == "--help" || arg == "-h") {

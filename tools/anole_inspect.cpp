@@ -11,6 +11,11 @@
 //     families: random <n> <extra> <seed> | grid <r> <c> | ring <n> |
 //               necklace <k> <phi> <index> | gk <k> <seed> |
 //               hairy <s1,s2,...> | lollipop <head> <tail>
+//   anole_inspect --snapshot-in FILE
+//     reports a ViewRepo snapshot blob (DESIGN.md §13) from its sections
+//     alone — records, child refs, per-depth record/rank histograms,
+//     memoized stats, sweep anchors. Verifies the body checksum; nothing
+//     is recomputed and no repo is built.
 
 #include <fstream>
 #include <iostream>
@@ -27,6 +32,7 @@
 #include "runner/portfolio.hpp"
 #include "util/table.hpp"
 #include "views/profile.hpp"
+#include "views/snapshot.hpp"
 
 using namespace anole;
 
@@ -39,8 +45,52 @@ int usage() {
          "[--dump]\n"
          "families: random <n> <extra> <seed> | grid <r> <c> | ring <n> |\n"
          "          necklace <k> <phi> <index> | gk <k> <seed> |\n"
-         "          hairy <s1,s2,...> | lollipop <head> <tail>\n";
+         "          hairy <s1,s2,...> | lollipop <head> <tail>\n"
+         "       anole_inspect --snapshot-in FILE\n";
   return 2;
+}
+
+/// --snapshot-in: everything the blob's sections say, nothing recomputed.
+int inspect_snapshot_file(const std::string& path) {
+  views::SnapshotInfo info;
+  try {
+    info = views::inspect_snapshot(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << "file bytes       : " << info.file_bytes << '\n'
+            << "format version   : " << info.format_version << '\n'
+            << "id high-water    : " << info.high_water << '\n'
+            << "records          : " << info.records << '\n'
+            << "child refs       : " << info.child_refs << '\n'
+            << "stats entries    : " << info.stats_entries << '\n'
+            << "max depth        : "
+            << (info.records_per_depth.empty()
+                    ? 0
+                    : info.records_per_depth.size() - 1)
+            << '\n';
+  util::Table depths({"depth", "records", "ranked"});
+  for (std::size_t d = 0; d < info.records_per_depth.size(); ++d) {
+    std::uint64_t ranked =
+        d < info.ranked_per_depth.size() ? info.ranked_per_depth[d] : 0;
+    depths.add_row({util::Table::num(d),
+                    util::Table::num(info.records_per_depth[d]),
+                    util::Table::num(ranked)});
+  }
+  depths.print(std::cout, "\nrecords per depth:");
+  if (!info.anchors.empty()) {
+    util::Table anchors({"fingerprint", "n", "depth", "classes", "stable"});
+    for (const views::SnapshotInfo::AnchorInfo& a : info.anchors) {
+      std::ostringstream fp;
+      fp << std::hex << a.fingerprint;
+      anchors.add_row({fp.str(), util::Table::num(a.n),
+                       util::Table::num(a.depth), util::Table::num(a.classes),
+                       a.stabilized ? "yes" : "no"});
+    }
+    anchors.print(std::cout, "\nsweep anchors:");
+  }
+  return 0;
 }
 
 std::vector<int> parse_csv(const std::string& s) {
@@ -79,6 +129,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   bool family_mode = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--snapshot-in") {
+      if (i + 1 >= args.size() || args.size() != 2) return usage();
+      return inspect_snapshot_file(args[i + 1]);
+    }
     if (args[i] == "--elect")
       elect = true;
     else if (args[i] == "--dump")
