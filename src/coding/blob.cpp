@@ -1,8 +1,31 @@
 #include "coding/blob.hpp"
 
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 
 namespace anole::coding {
+namespace {
+
+/// write(2) until all of `n` bytes landed (short writes are legal).
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
 
 std::uint64_t fnv1a64(const void* data, std::size_t bytes,
                       std::uint64_t seed) {
@@ -25,15 +48,36 @@ void BlobWriter::finish(const std::string& path,
                   "BlobWriter::finish: " << header.size()
                                          << " header words, expected "
                                          << header_words_);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw BlobError("blob: cannot open '" + path + "' for writing");
-  out.write(reinterpret_cast<const char*>(header.data()),
-            static_cast<std::streamsize>(8 * header.size()));
+  // Crash-safe write: header + body go to a temp file in the SAME
+  // directory (rename across filesystems is not atomic), the temp is
+  // fsync'ed, then renamed over `path`. A reader therefore only ever
+  // sees the old complete file or the new complete file — a crash or
+  // kill mid-save can at worst leave a stray .tmp sibling behind, never
+  // a half-written blob at the target path. O_EXCL keeps two concurrent
+  // savers of the same path from interleaving into one temp file.
+  std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_TRUNC, 0644);
+  if (fd < 0 && errno == EEXIST) {
+    // A stale temp from a crashed earlier save by a process that reused
+    // our pid; it was never renamed, so it is dead weight — replace it.
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+  if (fd < 0)
+    throw BlobError("blob: cannot open '" + tmp + "' for writing: " +
+                    std::strerror(errno));
   std::span<const std::uint64_t> body = body_.words();
-  out.write(reinterpret_cast<const char*>(body.data()),
-            static_cast<std::streamsize>(body_.size() / 8));
-  out.flush();
-  if (!out) throw BlobError("blob: write to '" + path + "' failed");
+  bool ok = write_all(fd, header.data(), 8 * header.size()) &&
+            write_all(fd, body.data(), body_.size() / 8) &&
+            ::fsync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) {
+    int saved = errno;
+    ::unlink(tmp.c_str());  // never leave temp droppings on failure
+    throw BlobError("blob: write to '" + path + "' failed: " +
+                    std::strerror(saved));
+  }
 }
 
 }  // namespace anole::coding

@@ -60,8 +60,13 @@ class BlobWriter {
   /// FNV-1a over every body byte written so far.
   std::uint64_t body_checksum() const;
 
-  /// Writes header words then the body to `path` (truncating). Throws
-  /// BlobError on I/O failure. header.size() must equal header_words.
+  /// Writes header words then the body to `path`, crash-safely: the
+  /// bytes land in a temp file in the same directory, are fsync'ed, and
+  /// are atomically renamed over `path` — a killed save never leaves a
+  /// half-written blob at the target (at worst a stray `.tmp.<pid>`
+  /// sibling). Throws BlobError on I/O failure, in which case `path` is
+  /// untouched and the temp file is removed. header.size() must equal
+  /// header_words.
   void finish(const std::string& path,
               std::span<const std::uint64_t> header) const;
 

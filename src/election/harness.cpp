@@ -19,13 +19,15 @@ using ProgramList = std::vector<std::unique_ptr<sim::NodeProgram>>;
 
 ElectionRun run_programs(const PortGraph& g, views::ViewRepo& repo,
                          ProgramList programs, int max_rounds,
-                         bool meter_messages = false) {
+                         bool meter_messages = false,
+                         const util::CancelToken* cancel = nullptr) {
   // Every protocol in the portfolio is COM-style (a FullInfoProgram), so
   // rounds advance through batched refinement; run_full_info falls back to
   // the general engine by itself if that ever stops being true.
   ElectionRun run;
   run.metrics = sim::run_full_info(g, repo, programs, max_rounds,
-                                   meter_messages);
+                                   meter_messages, /*pool=*/nullptr,
+                                   /*refiner=*/nullptr, cancel);
   run.verdict = run.metrics.timed_out
                     ? VerifyResult{false, -1, "simulation timed out"}
                     : verify_election(g, run.metrics.outputs);
@@ -35,9 +37,10 @@ ElectionRun run_programs(const PortGraph& g, views::ViewRepo& repo,
 /// Runs a freshly built ProgramSet and fills the bookkeeping every
 /// entry point shares.
 ElectionRun run_set(ElectionContext& ctx, ProgramSet set,
-                    bool meter_messages = false) {
+                    bool meter_messages = false,
+                    const util::CancelToken* cancel = nullptr) {
   ElectionRun run = run_programs(ctx.g, ctx.repo(), std::move(set.programs),
-                                 set.max_rounds, meter_messages);
+                                 set.max_rounds, meter_messages, cancel);
   run.advice_bits = set.advice_bits;
   run.phi = ctx.phi();
   return run;
@@ -130,8 +133,13 @@ ProgramSet make_size_only_programs(ElectionContext& ctx) {
   return set;
 }
 
-ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages) {
-  return run_set(ctx, make_min_time_programs(ctx), meter_messages);
+ElectionRun run_min_time(ElectionContext& ctx, bool meter_messages,
+                         const util::CancelToken* cancel) {
+  // Advice construction is not round-structured, so the checkpoint
+  // brackets it: once before (a query arriving already expired never
+  // builds tries) and per simulated round after.
+  if (cancel != nullptr) cancel->check();
+  return run_set(ctx, make_min_time_programs(ctx), meter_messages, cancel);
 }
 
 ElectionRun run_min_time(const PortGraph& g, bool meter_messages) {

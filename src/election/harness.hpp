@@ -18,6 +18,7 @@
 #include "election/generic.hpp"
 #include "election/verify.hpp"
 #include "sim/engine.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 #include "views/profile.hpp"
 
@@ -119,8 +120,13 @@ struct ProgramSet {
 
 /// Theorem 3.1: ComputeAdvice + Elect. Elects in exactly phi rounds.
 /// The context form needs level history (ElectionContext's default).
+/// `cancel`, when given, is polled per simulated round (DESIGN.md §14);
+/// an expired token aborts with util::CancelledError, leaving the
+/// context and its repo fully usable.
 [[nodiscard]] ElectionRun run_min_time(ElectionContext& ctx,
-                                       bool meter_messages = false);
+                                       bool meter_messages = false,
+                                       const util::CancelToken* cancel =
+                                           nullptr);
 [[nodiscard]] ElectionRun run_min_time(const portgraph::PortGraph& g,
                                        bool meter_messages = false);
 

@@ -65,6 +65,16 @@ void write_bench_records(const ScenarioOutcome& outcome, std::ostream& os) {
       }
       os << "}\n";
     }
+    // Perf side-channel (report_perf): one record per measurement, keyed
+    // "<cell>/<name>" so bench_check can guard latency quantiles and
+    // per-query costs without the structured sinks ever seeing a
+    // nondeterministic value.
+    for (const PerfRecord& perf : cell.perf) {
+      os << "{\"scenario\": \"" << json_escape(outcome.name)
+         << "\", \"cell\": \"" << json_escape(cell.label) << "/"
+         << json_escape(perf.name)
+         << "\", \"wall_ms\": " << format_ms(perf.value) << "}\n";
+    }
   }
 }
 

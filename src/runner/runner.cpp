@@ -16,10 +16,19 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
+/// The cell outcome this worker thread is currently filling; the target
+/// of report_perf(). Thread-local is sufficient: a cell executes wholly
+/// on one worker, and nested cells don't exist.
+thread_local CellOutcome* t_current_cell = nullptr;
+
 void execute_cell(const Scenario& scenario, const Cell& cell,
                   CellOutcome& out) {
   out.label = cell.label;
   out.table = cell.table;
+  t_current_cell = &out;
+  struct CurrentCellReset {
+    ~CurrentCellReset() { t_current_cell = nullptr; }
+  } reset;
   Clock::time_point start = Clock::now();
   try {
     out.rows = cell.run();
@@ -44,6 +53,11 @@ void execute_cell(const Scenario& scenario, const Cell& cell,
 }
 
 }  // namespace
+
+void report_perf(const std::string& name, double value) {
+  if (t_current_cell != nullptr)
+    t_current_cell->perf.push_back(PerfRecord{name, value});
+}
 
 std::size_t ScenarioOutcome::failures() const {
   std::size_t count = 0;

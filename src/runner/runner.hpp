@@ -26,10 +26,22 @@ struct RunOptions {
   std::size_t threads = 1;
 };
 
+/// One named measurement a cell reported through report_perf(): a
+/// wall-clock-class figure (latency quantile, per-query cost) that is
+/// real but NOT deterministic. Perf records ride the bench side-channel
+/// only — write_bench_records emits them as extra "<cell>/<name>"
+/// records for bench_check — and never appear in the structured sinks,
+/// whose output must stay byte-identical across thread counts.
+struct PerfRecord {
+  std::string name;    ///< suffix, e.g. "p99_ms"
+  double value = 0.0;  ///< milliseconds-like: lower must mean better
+};
+
 struct CellOutcome {
   std::string label;
   std::size_t table = 0;
   std::vector<Row> rows;
+  std::vector<PerfRecord> perf;  ///< see report_perf()
   double wall_ms = 0.0;
   std::string error;  ///< empty iff the cell completed
 
@@ -57,5 +69,13 @@ class ExperimentRunner {
  private:
   RunOptions options_;
 };
+
+/// Attaches a perf measurement to the cell currently executing on this
+/// thread (each cell runs wholly on one worker, so a thread_local
+/// current-cell pointer identifies it). No-op outside a cell, so helpers
+/// shared with non-runner callers need no guards. `value` must be a
+/// lower-is-better, milliseconds-like figure — bench_check treats every
+/// record's value as a wall time.
+void report_perf(const std::string& name, double value);
 
 }  // namespace anole::runner

@@ -1,0 +1,612 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "coding/blob.hpp"
+#include "views/snapshot.hpp"
+
+namespace anole::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Anchor-replay min-time verdict (DESIGN.md §14). Conclusive cases are
+/// exact: class_counts[t] == n pins phi (all views distinct first at t);
+/// a stabilized final count < n is a fixed point that never reaches n
+/// (infeasible). A non-stabilized anchor below n is inconclusive.
+std::optional<std::pair<bool, int>> anchor_min_time(
+    const views::SweepAnchor& a) {
+  const std::size_t n = a.class_of.size();
+  for (std::size_t t = 0; t < a.class_counts.size(); ++t) {
+    if (a.class_counts[t] == n)
+      return std::make_pair(true, static_cast<int>(t));
+  }
+  if (a.stabilized()) return std::make_pair(false, -1);
+  return std::nullopt;
+}
+
+/// Anchor-replay compare verdict for B^t(u) =? B^t(v), D = anchor depth.
+/// Equal classes at D: exact "equal" for t <= D (equal-at-deeper implies
+/// equal-at-shallower) and, once stabilized, for every t (fixed point).
+/// Different classes at D: differ-at-deeper does NOT transfer down, but
+/// equal consecutive counts pin the partition — with s the first depth
+/// whose count equals count(D), the partition is identical on [s, D] and
+/// (by refinement) differs forever past D, so "differ" is exact for
+/// t >= s. Everything else is inconclusive.
+std::optional<bool> anchor_compare(const views::SweepAnchor& a,
+                                   portgraph::NodeId u, portgraph::NodeId v,
+                                   int t) {
+  const std::size_t n = a.class_of.size();
+  if (u < 0 || v < 0 || static_cast<std::size_t>(u) >= n ||
+      static_cast<std::size_t>(v) >= n || t < 0) {
+    return std::nullopt;
+  }
+  const int depth = a.depth();
+  const bool same = a.class_of[static_cast<std::size_t>(u)] ==
+                    a.class_of[static_cast<std::size_t>(v)];
+  if (same) {
+    if (t <= depth || a.stabilized()) return true;
+    return std::nullopt;
+  }
+  const std::size_t deepest = a.class_counts.back();
+  int s = depth;
+  while (s > 0 && a.class_counts[static_cast<std::size_t>(s) - 1] == deepest)
+    --s;
+  if (t >= s) return false;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kElect:
+      return "elect";
+    case QueryKind::kMinTime:
+      return "min_time";
+    case QueryKind::kCompare:
+      return "compare";
+    case QueryKind::kAdvice:
+      return "advice";
+  }
+  return "unknown";
+}
+
+ClassCounters ServiceStats::totals() const {
+  ClassCounters sum;
+  for (const ClassCounters& c : by_class) {
+    sum.enqueued += c.enqueued;
+    sum.shed += c.shed;
+    sum.exact += c.exact;
+    sum.degraded += c.degraded;
+    sum.timeout += c.timeout;
+    sum.failed += c.failed;
+  }
+  return sum;
+}
+
+Service::Service(ServiceOptions opts) : opts_(std::move(opts)) {
+  if (opts_.pool != nullptr) {
+    pool_ = opts_.pool;
+  } else {
+    owned_pool_ =
+        std::make_unique<util::ThreadPool>(std::max<std::size_t>(
+            1, opts_.workers));
+    pool_ = owned_pool_.get();
+  }
+  if (!opts_.snapshot_path.empty()) {
+    try {
+      snapshot_ = std::make_unique<views::LoadedSnapshot>(
+          // Copy mode verifies the FULL body checksum, so a corrupted
+          // snapshot reliably throws here instead of surfacing later as
+          // a wrong record — the precondition for "downgrade, never a
+          // wrong answer".
+          views::load_snapshot(opts_.snapshot_path, views::LoadMode::Copy));
+      repo_ = snapshot_->repo.get();
+    } catch (const std::exception& e) {
+      snapshot_.reset();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.cold_downgrades;
+      }
+      if (opts_.log) {
+        opts_.log(std::string("snapshot downgrade: '") + opts_.snapshot_path +
+                  "' unusable (" + e.what() + "); starting cold");
+      }
+    }
+  }
+  if (repo_ == nullptr) {
+    cold_repo_ = std::make_unique<views::ViewRepo>();
+    repo_ = cold_repo_.get();
+  }
+}
+
+Service::~Service() {
+  drain();
+  // An owned pool joins in its destructor; an external pool has no
+  // remaining tasks from us past drain().
+}
+
+std::size_t Service::workers() const { return pool_->size(); }
+
+std::size_t Service::add_graph(const portgraph::PortGraph& g) {
+  auto entry = std::make_unique<GraphEntry>();
+  entry->g = &g;
+  entry->fingerprint = views::graph_fingerprint(g);
+  entry->anchor =
+      snapshot_ != nullptr ? snapshot_->anchor_for(entry->fingerprint)
+                           : nullptr;
+  graphs_.push_back(std::move(entry));
+  return graphs_.size() - 1;
+}
+
+double Service::retry_hint_locked() const {
+  const std::uint64_t backlog = admitted_ - finished_;
+  const double per_worker =
+      static_cast<double>(backlog + 1) / static_cast<double>(pool_->size());
+  return std::max(1.0, ewma_serve_ms_ * per_worker);
+}
+
+std::shared_ptr<PendingQuery> Service::submit(const Query& q) {
+  double deadline_ms =
+      q.deadline_ms > 0.0 ? q.deadline_ms : opts_.default_deadline_ms;
+  Clock::time_point deadline =
+      deadline_ms > 0.0
+          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   deadline_ms))
+          : Clock::time_point::max();
+  auto pending = std::make_shared<PendingQuery>(q, deadline);
+  pending->submitted = Clock::now();
+
+  const std::size_t klass =
+      static_cast<std::size_t>(q.kind) < kQueryKinds
+          ? static_cast<std::size_t>(q.kind)
+          : static_cast<std::size_t>(QueryKind::kMinTime);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t in_flight = admitted_ - finished_;
+    if (in_flight >= opts_.max_queue) {
+      // Admission control: shed synchronously, never enqueue past the
+      // bound. The hint is the expected wait were the client admitted
+      // right now — backlog times the serve-time EWMA over the workers.
+      ++stats_.by_class[klass].shed;
+      pending->answer.status = AnswerStatus::kShed;
+      pending->answer.retry_after_ms = retry_hint_locked();
+      pending->answer.serve_ms = 0.0;
+      pending->state.store(1, std::memory_order_release);
+      pending->done = true;
+      return pending;
+    }
+    ++admitted_;
+    ++stats_.by_class[klass].enqueued;
+    stats_.max_in_flight =
+        std::max(stats_.max_in_flight, static_cast<std::size_t>(in_flight + 1));
+  }
+  // Plain submit, NOT the token-skipping overload: an admitted query must
+  // always produce an answer (degraded or timeout), so its task has to
+  // run even when the deadline lapses in the queue.
+  pool_->submit([this, pending] { execute(pending); });
+  return pending;
+}
+
+void Service::wait(PendingQuery& pending) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&pending] { return pending.done; });
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return finished_ == admitted_; });
+}
+
+Answer Service::ask(const Query& q) {
+  std::shared_ptr<PendingQuery> pending = submit(q);
+  wait(*pending);
+  return pending->answer;
+}
+
+void Service::finish(const std::shared_ptr<PendingQuery>& pending,
+                     Answer answer) {
+  answer.serve_ms = ms_since(pending->submitted);
+  const std::size_t klass =
+      static_cast<std::size_t>(pending->query.kind) < kQueryKinds
+          ? static_cast<std::size_t>(pending->query.kind)
+          : static_cast<std::size_t>(QueryKind::kMinTime);
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassCounters& c = stats_.by_class[klass];
+  switch (answer.status) {
+    case AnswerStatus::kExact:
+      ++c.exact;
+      break;
+    case AnswerStatus::kDegraded:
+      ++c.degraded;
+      break;
+    case AnswerStatus::kTimeout:
+      ++c.timeout;
+      answer.retry_after_ms = retry_hint_locked();
+      break;
+    case AnswerStatus::kFailed:
+      ++c.failed;
+      break;
+    case AnswerStatus::kShed:
+      break;  // unreachable: shed queries never reach execute()
+  }
+  if (answer.status == AnswerStatus::kExact ||
+      answer.status == AnswerStatus::kDegraded) {
+    constexpr double kAlpha = 0.2;
+    ewma_serve_ms_ =
+        (1.0 - kAlpha) * ewma_serve_ms_ + kAlpha * answer.serve_ms;
+  }
+  pending->answer = std::move(answer);
+  ++finished_;
+  pending->done = true;
+  cv_done_.notify_all();
+}
+
+void Service::execute(const std::shared_ptr<PendingQuery>& pending) {
+  int expected = 0;
+  if (!pending->state.compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel)) {
+    return;  // already finalized (defensive; shed handles never dispatch)
+  }
+  const Query& q = pending->query;
+  Answer answer;
+  if (q.graph >= graphs_.size()) {
+    answer.status = AnswerStatus::kFailed;
+    answer.error = "unknown graph index " + std::to_string(q.graph);
+    finish(pending, std::move(answer));
+    return;
+  }
+  GraphEntry& entry = *graphs_[q.graph];
+  // Deadline triage. A query that expired in the queue skips the exact
+  // ladder entirely; one that expires mid-compute lands here through
+  // CancelledError. Either way the degraded rungs — memoized answers and
+  // stabilized snapshot anchors, all provably equal to the exact
+  // recompute — are the last chance before an honest timeout.
+  bool pressed = pending->token.expired();
+  if (!pressed) {
+    try {
+      answer = serve(entry, q, pending->token);
+      finish(pending, std::move(answer));
+      return;
+    } catch (const util::CancelledError&) {
+      pressed = true;
+    } catch (const std::exception& e) {
+      answer.status = AnswerStatus::kFailed;
+      answer.error = e.what();
+      finish(pending, std::move(answer));
+      return;
+    }
+  }
+  if (pressed) {
+    try {
+      std::optional<Answer> degraded = serve_degraded(entry, q);
+      if (degraded.has_value()) {
+        answer = std::move(*degraded);
+        answer.status = AnswerStatus::kDegraded;
+      } else {
+        answer = Answer{};
+        answer.status = AnswerStatus::kTimeout;
+      }
+    } catch (const std::exception& e) {
+      answer = Answer{};
+      answer.status = AnswerStatus::kFailed;
+      answer.error = e.what();
+    }
+  }
+  finish(pending, std::move(answer));
+}
+
+const views::ViewProfile& Service::ensure_profile(
+    GraphEntry& entry, const util::CancelToken* token) {
+  if (!entry.profile.has_value()) {
+    views::ProfileOptions popts;
+    // Full history: the compare/advice rungs index arbitrary levels, the
+    // min-time program builder walks them, and repair_profile's
+    // incremental path requires it. (Anchors can't warm a history
+    // profile — warm starts are keep_history = false — so the anchor
+    // serves the replay rungs instead.)
+    popts.min_depth = 1;
+    popts.keep_history = true;
+    popts.cancel = token;
+    entry.profile = views::compute_profile(*entry.g, *repo_, popts);
+  }
+  if (!entry.min_time.has_value()) {
+    entry.min_time = MinTimeInfo{entry.profile->feasible,
+                                 entry.profile->election_index};
+  }
+  return *entry.profile;
+}
+
+Answer Service::serve(GraphEntry& entry, const Query& q,
+                      const util::CancelToken& token) {
+  std::unique_lock<std::mutex> lock(entry.mu);
+  Answer answer;
+  answer.status = AnswerStatus::kExact;
+  switch (q.kind) {
+    case QueryKind::kMinTime: {
+      if (!entry.min_time.has_value() && entry.anchor != nullptr) {
+        if (auto replay = anchor_min_time(*entry.anchor)) {
+          entry.min_time = MinTimeInfo{replay->first, replay->second};
+          answer.rung = AnswerRung::kAnchor;
+        }
+      }
+      if (entry.min_time.has_value()) {
+        if (answer.rung != AnswerRung::kAnchor) answer.rung = AnswerRung::kMemo;
+      } else {
+        ensure_profile(entry, &token);
+        answer.rung = AnswerRung::kComputed;
+      }
+      answer.feasible = entry.min_time->feasible;
+      answer.phi = entry.min_time->phi;
+      return answer;
+    }
+    case QueryKind::kCompare: {
+      const std::size_t n = static_cast<std::size_t>(entry.g->n());
+      if (q.u < 0 || q.v < 0 || static_cast<std::size_t>(q.u) >= n ||
+          static_cast<std::size_t>(q.v) >= n || q.depth < 0) {
+        answer.status = AnswerStatus::kFailed;
+        answer.error = "compare: node or depth out of range";
+        return answer;
+      }
+      if (!entry.profile.has_value() && entry.anchor != nullptr) {
+        if (auto verdict = anchor_compare(*entry.anchor, q.u, q.v, q.depth)) {
+          answer.rung = AnswerRung::kAnchor;
+          answer.equal = *verdict;
+          return answer;
+        }
+      }
+      const views::ViewProfile& profile = ensure_profile(entry, &token);
+      answer.rung = AnswerRung::kComputed;
+      const int cd = profile.computed_depth();
+      // The profile is computed until the partition stabilizes or all
+      // views are distinct, so the verdict at cd transfers to every
+      // deeper depth: equal classes stay merged past a fixed point, and
+      // distinct views never re-merge under refinement.
+      const int t = std::min(q.depth, cd);
+      answer.equal = profile.view(t, q.u) == profile.view(t, q.v);
+      return answer;
+    }
+    case QueryKind::kAdvice: {
+      const std::size_t n = static_cast<std::size_t>(entry.g->n());
+      if (q.u < 0 || static_cast<std::size_t>(q.u) >= n || q.depth < 0) {
+        answer.status = AnswerStatus::kFailed;
+        answer.error = "advice: node or depth out of range";
+        return answer;
+      }
+      if (!entry.profile.has_value() && entry.anchor != nullptr &&
+          q.depth <= entry.anchor->depth()) {
+        const views::SweepAnchor& a = *entry.anchor;
+        views::ViewId deep =
+            a.class_ids[a.class_of[static_cast<std::size_t>(q.u)]];
+        answer.rung = AnswerRung::kAnchor;
+        answer.view_bits =
+            repo_->serialized_size_bits(repo_->truncate(deep, q.depth));
+        return answer;
+      }
+      const views::ViewProfile& profile = ensure_profile(entry, &token);
+      if (q.depth > profile.computed_depth()) {
+        views::extend_profile(*entry.g, *repo_, *entry.profile, q.depth,
+                              /*pool=*/nullptr, &token);
+      }
+      answer.rung = AnswerRung::kComputed;
+      answer.view_bits =
+          repo_->serialized_size_bits(entry.profile->view(q.depth, q.u));
+      return answer;
+    }
+    case QueryKind::kElect: {
+      if (!entry.elect.has_value()) {
+        // An anchor that proves infeasibility answers elect without ever
+        // computing the profile (and memoizes as min_time for later).
+        if (!entry.min_time.has_value() && entry.anchor != nullptr) {
+          if (auto replay = anchor_min_time(*entry.anchor);
+              replay.has_value() && !replay->first) {
+            entry.min_time = MinTimeInfo{false, -1};
+            answer.rung = AnswerRung::kAnchor;
+            answer.feasible = false;
+            answer.leader = -1;
+            return answer;
+          }
+        }
+        const views::ViewProfile& profile = ensure_profile(entry, &token);
+        if (!profile.feasible) {
+          // Exact answer, not an error: no algorithm can elect here.
+          answer.rung = AnswerRung::kComputed;
+          answer.feasible = false;
+          answer.leader = -1;
+          return answer;
+        }
+        election::ElectionContext ctx(*entry.g, *repo_, profile);
+        election::ElectionRun run =
+            election::run_min_time(ctx, /*meter_messages=*/false, &token);
+        if (!run.verdict.ok) {
+          answer.status = AnswerStatus::kFailed;
+          answer.error = "elect verification failed: " + run.verdict.error;
+          return answer;
+        }
+        ElectMemo memo;
+        memo.leader = run.verdict.leader;
+        memo.rounds = run.metrics.rounds;
+        memo.advice_bits = run.advice_bits;
+        memo.metrics =
+            std::make_shared<sim::RunMetrics>(std::move(run.metrics));
+        entry.elect = std::move(memo);
+        answer.rung = AnswerRung::kComputed;
+      } else {
+        answer.rung = AnswerRung::kMemo;
+      }
+      answer.feasible = true;
+      answer.phi = entry.min_time.has_value() ? entry.min_time->phi : -1;
+      answer.leader = entry.elect->leader;
+      answer.rounds = entry.elect->rounds;
+      answer.advice_bits = entry.elect->advice_bits;
+      answer.within_budget =
+          q.budget_bits == 0 || entry.elect->advice_bits <= q.budget_bits;
+      answer.metrics = entry.elect->metrics;
+      return answer;
+    }
+  }
+  answer.status = AnswerStatus::kFailed;
+  answer.error = "unknown query kind";
+  return answer;
+}
+
+std::optional<Answer> Service::serve_degraded(GraphEntry& entry,
+                                              const Query& q) {
+  Answer answer;
+  answer.status = AnswerStatus::kExact;  // caller downgrades to kDegraded
+  // try_lock only: a pressed query must not convoy behind a slow exact
+  // compute on the same graph. On failure the lock-free anchor rungs are
+  // the only option (the anchor pointer is stable while queries are in
+  // flight — repair_graph requires a quiescent graph).
+  std::unique_lock<std::mutex> lock(entry.mu, std::try_to_lock);
+  switch (q.kind) {
+    case QueryKind::kMinTime: {
+      if (lock.owns_lock() && entry.min_time.has_value()) {
+        answer.rung = AnswerRung::kMemo;
+        answer.feasible = entry.min_time->feasible;
+        answer.phi = entry.min_time->phi;
+        return answer;
+      }
+      if (entry.anchor != nullptr) {
+        if (auto replay = anchor_min_time(*entry.anchor)) {
+          answer.rung = AnswerRung::kAnchor;
+          answer.feasible = replay->first;
+          answer.phi = replay->second;
+          return answer;
+        }
+      }
+      return std::nullopt;
+    }
+    case QueryKind::kCompare: {
+      if (lock.owns_lock() && entry.profile.has_value()) {
+        const views::ViewProfile& profile = *entry.profile;
+        const std::size_t n = static_cast<std::size_t>(entry.g->n());
+        if (q.u >= 0 && q.v >= 0 && static_cast<std::size_t>(q.u) < n &&
+            static_cast<std::size_t>(q.v) < n && q.depth >= 0) {
+          const int t = std::min(q.depth, profile.computed_depth());
+          answer.rung = AnswerRung::kMemo;
+          answer.equal = profile.view(t, q.u) == profile.view(t, q.v);
+          return answer;
+        }
+        return std::nullopt;
+      }
+      if (entry.anchor != nullptr) {
+        if (auto verdict = anchor_compare(*entry.anchor, q.u, q.v, q.depth)) {
+          answer.rung = AnswerRung::kAnchor;
+          answer.equal = *verdict;
+          return answer;
+        }
+      }
+      return std::nullopt;
+    }
+    case QueryKind::kAdvice: {
+      if (lock.owns_lock() && entry.profile.has_value() &&
+          q.depth <= entry.profile->computed_depth() && q.u >= 0 &&
+          static_cast<std::size_t>(q.u) <
+              static_cast<std::size_t>(entry.g->n()) &&
+          q.depth >= 0) {
+        answer.rung = AnswerRung::kMemo;
+        answer.view_bits =
+            repo_->serialized_size_bits(entry.profile->view(q.depth, q.u));
+        return answer;
+      }
+      if (entry.anchor != nullptr && q.depth >= 0 &&
+          q.depth <= entry.anchor->depth() && q.u >= 0 &&
+          static_cast<std::size_t>(q.u) < entry.anchor->class_of.size()) {
+        const views::SweepAnchor& a = *entry.anchor;
+        views::ViewId deep =
+            a.class_ids[a.class_of[static_cast<std::size_t>(q.u)]];
+        answer.rung = AnswerRung::kAnchor;
+        answer.view_bits =
+            repo_->serialized_size_bits(repo_->truncate(deep, q.depth));
+        return answer;
+      }
+      return std::nullopt;
+    }
+    case QueryKind::kElect: {
+      if (lock.owns_lock()) {
+        if (entry.elect.has_value()) {
+          answer.rung = AnswerRung::kMemo;
+          answer.feasible = true;
+          answer.phi = entry.min_time.has_value() ? entry.min_time->phi : -1;
+          answer.leader = entry.elect->leader;
+          answer.rounds = entry.elect->rounds;
+          answer.advice_bits = entry.elect->advice_bits;
+          answer.within_budget = q.budget_bits == 0 ||
+                                 entry.elect->advice_bits <= q.budget_bits;
+          answer.metrics = entry.elect->metrics;
+          return answer;
+        }
+        if (entry.min_time.has_value() && !entry.min_time->feasible) {
+          answer.rung = AnswerRung::kMemo;
+          answer.feasible = false;
+          answer.leader = -1;
+          return answer;
+        }
+      }
+      // Infeasibility is the only elect verdict an anchor alone settles:
+      // a memoized leader needs the full Theorem 3.1 run.
+      if (entry.anchor != nullptr) {
+        if (auto replay = anchor_min_time(*entry.anchor);
+            replay.has_value() && !replay->first) {
+          answer.rung = AnswerRung::kAnchor;
+          answer.feasible = false;
+          answer.leader = -1;
+          return answer;
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+views::RepairStats Service::repair_graph(
+    std::size_t index, std::span<const portgraph::NodeId> dirty) {
+  GraphEntry& entry = *graphs_.at(index);
+  std::lock_guard<std::mutex> lock(entry.mu);
+  // The topology changed under us: refresh the fingerprint so stale
+  // snapshot anchors stop matching (they describe the pre-edit graph).
+  entry.fingerprint = views::graph_fingerprint(*entry.g);
+  entry.anchor = snapshot_ != nullptr
+                     ? snapshot_->anchor_for(entry.fingerprint)
+                     : nullptr;
+  entry.elect.reset();  // the leader may change under a rewire
+  views::RepairStats stats;
+  if (entry.profile.has_value()) {
+    stats = views::repair_profile(*entry.g, *repo_, *entry.profile, dirty);
+    entry.min_time = MinTimeInfo{entry.profile->feasible,
+                                 entry.profile->election_index};
+  } else {
+    entry.min_time.reset();  // nothing cached; next query recomputes
+  }
+  return stats;
+}
+
+void Service::invalidate_graph(std::size_t index) {
+  GraphEntry& entry = *graphs_.at(index);
+  std::lock_guard<std::mutex> lock(entry.mu);
+  entry.profile.reset();
+  entry.min_time.reset();
+  entry.elect.reset();
+  entry.fingerprint = views::graph_fingerprint(*entry.g);
+  entry.anchor = snapshot_ != nullptr
+                     ? snapshot_->anchor_for(entry.fingerprint)
+                     : nullptr;
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace anole::service

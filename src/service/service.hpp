@@ -1,0 +1,284 @@
+#pragma once
+// Hardened election-index query service (DESIGN.md §14).
+//
+// A Service owns one (optionally snapshot-warm-started) shared ViewRepo
+// plus per-graph cached state — the view profile / ElectionContext, the
+// memoized min-time and elect answers — and answers four query classes
+// over a registered graph corpus on a util::ThreadPool:
+//
+//   kElect     elect with an advice budget (Theorem 3.1 pipeline)
+//   kMinTime   feasibility + election index phi
+//   kCompare   are B^t(u) and B^t(v) equal?
+//   kAdvice    serialized size of B^t(u) (advice truncation cost)
+//
+// Three robustness layers wrap the computation:
+//
+//   1. Deadlines/cancellation — every query carries a util::CancelToken
+//      with its deadline, threaded through compute_profile /
+//      run_full_info / Refiner advances and polled at level/round
+//      granularity. An expired query aborts mid-sweep WITHOUT poisoning
+//      the shared repo: hash-consing keeps every completed intern a
+//      valid record, so the next identical query replays them as index
+//      hits with byte-identical answers.
+//
+//   2. Admission control — at most `max_queue` admitted-but-unfinished
+//      queries; everything beyond is shed at submit time with a
+//      Retry-After-style hint derived from the current backlog and an
+//      EWMA of recent serve times. Per-class enqueue/shed/exact/
+//      degraded/timeout/failure counters are exported.
+//
+//   3. Degradation ladder — a deadline-pressed query falls back from
+//      exact computation to the deepest cached/snapshot source that can
+//      still answer *exactly*: the memoized answer for elect, the
+//      stabilized snapshot-anchor partition for min-time/compare/advice.
+//      Every rung is provably equal to the exact recompute (fixed-point
+//      and refinement-monotonicity arguments — DESIGN.md §14), so a
+//      degraded answer is never a wrong answer; a query no rung can
+//      serve times out instead. A corrupted or missing snapshot at
+//      construction degrades to a cold recompute with a logged
+//      downgrade, never an error surfaced as a wrong answer.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "election/harness.hpp"
+#include "portgraph/port_graph.hpp"
+#include "sim/engine.hpp"
+#include "util/cancel.hpp"
+#include "util/thread_pool.hpp"
+#include "views/repair.hpp"
+#include "views/snapshot.hpp"
+
+namespace anole::service {
+
+enum class QueryKind : int {
+  kElect = 0,
+  kMinTime = 1,
+  kCompare = 2,
+  kAdvice = 3,
+};
+inline constexpr std::size_t kQueryKinds = 4;
+[[nodiscard]] const char* query_kind_name(QueryKind kind);
+
+struct Query {
+  QueryKind kind = QueryKind::kMinTime;
+  std::size_t graph = 0;        ///< index from Service::add_graph
+  portgraph::NodeId u = 0;      ///< kCompare / kAdvice subject
+  portgraph::NodeId v = 0;      ///< kCompare second node
+  int depth = 0;                ///< kCompare / kAdvice depth t
+  std::size_t budget_bits = 0;  ///< kElect advice budget; 0 = unlimited
+  /// Per-query deadline; <= 0 means the service default, and a service
+  /// default of 0 means no deadline at all.
+  double deadline_ms = 0.0;
+};
+
+enum class AnswerStatus : int {
+  kExact = 0,     ///< served, full-fidelity path
+  kDegraded = 1,  ///< served from a cached/snapshot rung under pressure
+  kShed = 2,      ///< rejected at admission (queue bound)
+  kTimeout = 3,   ///< deadline expired and no rung could answer
+  kFailed = 4,    ///< computation error (answer.error says what)
+};
+
+/// Which source produced a served answer (DESIGN.md §14 ladder).
+enum class AnswerRung : int {
+  kComputed = 0,  ///< fresh/extended profile or simulation
+  kMemo = 1,      ///< per-graph memoized exact answer
+  kAnchor = 2,    ///< stabilized snapshot anchor partition
+};
+
+struct Answer {
+  AnswerStatus status = AnswerStatus::kFailed;
+  AnswerRung rung = AnswerRung::kComputed;
+  // kMinTime / kElect:
+  bool feasible = false;
+  int phi = -1;
+  // kElect:
+  portgraph::NodeId leader = -1;
+  int rounds = -1;
+  std::size_t advice_bits = 0;
+  bool within_budget = false;
+  /// Simulation metrics of the elect run that produced this answer
+  /// (shared with the memo, so degraded elect answers carry them too);
+  /// null for other kinds. Fault-crossover cells feed outputs +
+  /// decision_round to election::verify_safety_under_faults.
+  std::shared_ptr<const sim::RunMetrics> metrics;
+  // kCompare:
+  bool equal = false;
+  // kAdvice:
+  std::size_t view_bits = 0;
+  /// kShed: suggested client backoff before retrying.
+  double retry_after_ms = 0.0;
+  /// Wall time from submit to answer, for the driver's latency stats.
+  double serve_ms = 0.0;
+  std::string error;  ///< non-empty iff status == kFailed
+};
+
+/// One in-flight query: the handle submit() returns. The answer is valid
+/// once the service marked the query done (wait()/drain()). cancel()
+/// requests cooperative cancellation — the query will still be answered,
+/// via the degraded ladder or a timeout.
+class PendingQuery {
+ public:
+  PendingQuery(const Query& q, util::CancelToken::Clock::time_point deadline)
+      : query(q), token(deadline) {}
+
+  void cancel() noexcept { token.cancel(); }
+
+  Query query;
+  util::CancelToken token;
+  Answer answer;
+  /// 0 = queued, 1 = claimed by a worker (or finalized). The claim CAS
+  /// guarantees exactly one producer for `answer`.
+  std::atomic<int> state{0};
+  bool done = false;  ///< guarded by the service mutex
+  std::chrono::steady_clock::time_point submitted{};
+};
+
+struct ClassCounters {
+  std::uint64_t enqueued = 0;  ///< admitted past the queue bound
+  std::uint64_t shed = 0;
+  std::uint64_t exact = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t failed = 0;
+};
+
+struct ServiceStats {
+  ClassCounters by_class[kQueryKinds];
+  std::size_t max_in_flight = 0;   ///< high-water mark vs max_queue
+  std::uint64_t cold_downgrades = 0;  ///< snapshot failures absorbed
+
+  [[nodiscard]] ClassCounters totals() const;
+};
+
+struct ServiceOptions {
+  /// Admission bound: admitted-but-unfinished queries (queued + running).
+  std::size_t max_queue = 64;
+  /// Deadline applied when Query::deadline_ms <= 0; 0 disables.
+  double default_deadline_ms = 0.0;
+  /// Snapshot to warm-start the repo from; "" starts cold. Load failures
+  /// (missing file, coding::BlobError) degrade to cold with a logged
+  /// downgrade — never a construction failure.
+  std::string snapshot_path;
+  /// Pool the query tasks run on. nullptr: the service owns a pool of
+  /// `workers` threads. An external pool must outlive the service and
+  /// must not be wait_idle()'d by others while queries are in flight.
+  util::ThreadPool* pool = nullptr;
+  std::size_t workers = 2;
+  /// Downgrade/diagnostic log sink; default drops messages.
+  std::function<void(const std::string&)> log;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Registers a corpus graph; returns the index queries address it by.
+  /// The graph must outlive the service. Snapshot anchors are matched by
+  /// structural fingerprint at registration time.
+  std::size_t add_graph(const portgraph::PortGraph& g);
+
+  /// Admission + dispatch. Never blocks on computation: a query past the
+  /// queue bound is shed synchronously (the returned handle is already
+  /// done, status kShed with a retry hint); an admitted query is
+  /// executed on the pool.
+  std::shared_ptr<PendingQuery> submit(const Query& q);
+
+  /// Blocks until this handle's answer is ready.
+  void wait(PendingQuery& pending);
+
+  /// Blocks until every admitted query has been answered.
+  void drain();
+
+  /// Synchronous convenience: submit + wait.
+  Answer ask(const Query& q);
+
+  /// Incremental crossover with the fault subsystem (DESIGN.md §12/§14):
+  /// after `dirty` adjacency rows of graph `index` were edited in place
+  /// (degree-preserving rewires), patch the cached profile through
+  /// views::repair_profile instead of recomputing, refresh the
+  /// fingerprint (stale snapshot anchors stop matching), and drop the
+  /// memoized answers. Call only while no query on this graph is in
+  /// flight. Returns the repair stats (incremental=false means the
+  /// fallback recompute ran).
+  views::RepairStats repair_graph(std::size_t index,
+                                  std::span<const portgraph::NodeId> dirty);
+
+  /// Drops all cached state for graph `index` (full cold recompute on
+  /// next use) and refreshes its fingerprint.
+  void invalidate_graph(std::size_t index);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] views::ViewRepo& repo() { return *repo_; }
+  /// True when the snapshot loaded and anchors are available.
+  [[nodiscard]] bool warm() const { return snapshot_ != nullptr; }
+  [[nodiscard]] std::size_t queue_bound() const { return opts_.max_queue; }
+  [[nodiscard]] std::size_t workers() const;
+
+ private:
+  struct MinTimeInfo {
+    bool feasible = false;
+    int phi = -1;
+  };
+  struct ElectMemo {
+    portgraph::NodeId leader = -1;
+    int rounds = -1;
+    std::size_t advice_bits = 0;
+    std::shared_ptr<const sim::RunMetrics> metrics;
+  };
+  struct GraphEntry {
+    const portgraph::PortGraph* g = nullptr;
+    std::uint64_t fingerprint = 0;
+    const views::SweepAnchor* anchor = nullptr;  ///< matching, or null
+    std::mutex mu;  ///< serializes cached-state access per graph
+    std::optional<views::ViewProfile> profile;   ///< history profile
+    std::optional<MinTimeInfo> min_time;
+    std::optional<ElectMemo> elect;
+  };
+
+  void execute(const std::shared_ptr<PendingQuery>& pending);
+  /// The full ladder, cheap rungs first. Throws util::CancelledError out
+  /// of the compute rung when the token expires mid-sweep.
+  Answer serve(GraphEntry& entry, const Query& q,
+               const util::CancelToken& token);
+  /// Cheap rungs only (memo/anchor, try_lock — never blocks behind a
+  /// long compute): what an expired query can still be answered from.
+  std::optional<Answer> serve_degraded(GraphEntry& entry, const Query& q);
+  /// Ensures entry.profile (and min_time) under entry.mu.
+  const views::ViewProfile& ensure_profile(GraphEntry& entry,
+                                           const util::CancelToken* token);
+  void finish(const std::shared_ptr<PendingQuery>& pending, Answer answer);
+  [[nodiscard]] double retry_hint_locked() const;
+
+  ServiceOptions opts_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
+  /// Loaded snapshot (owns the warm repo + anchors); null on cold start.
+  std::unique_ptr<views::LoadedSnapshot> snapshot_;
+  std::unique_ptr<views::ViewRepo> cold_repo_;  ///< owned on cold start
+  views::ViewRepo* repo_ = nullptr;
+  std::vector<std::unique_ptr<GraphEntry>> graphs_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_done_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t finished_ = 0;  ///< of admitted (shed never count)
+  double ewma_serve_ms_ = 1.0;
+  ServiceStats stats_;
+};
+
+}  // namespace anole::service

@@ -39,7 +39,8 @@ RunMetrics run_full_info(const portgraph::PortGraph& graph,
                          views::ViewRepo& repo,
                          std::span<const std::unique_ptr<NodeProgram>> programs,
                          int max_rounds, bool meter_messages,
-                         util::ThreadPool* pool, views::Refiner* reuse) {
+                         util::ThreadPool* pool, views::Refiner* reuse,
+                         const util::CancelToken* cancel) {
   const portgraph::PortGraph& g = graph;
   ANOLE_CHECK_MSG(programs.size() == g.n(),
                   "need one program per node: " << programs.size() << " vs "
@@ -84,6 +85,9 @@ RunMetrics run_full_info(const portgraph::PortGraph& graph,
     reuse->set_pool(pool);
   }
   views::Refiner& refiner = reuse != nullptr ? *reuse : local.emplace(g, repo, pool);
+  // Round-granularity cancellation: each round's advance (full or
+  // quotient) polls the token before doing any work.
+  refiner.set_cancel(cancel);
   std::vector<views::ViewId> level(n);
   for (std::size_t v = 0; v < n; ++v) level[v] = fips[v]->view();
   std::vector<views::ViewId> next(n);

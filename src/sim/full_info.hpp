@@ -21,6 +21,7 @@
 #include "sim/engine.hpp"
 
 namespace anole::util {
+class CancelToken;
 class ThreadPool;
 }  // namespace anole::util
 
@@ -59,12 +60,18 @@ class FullInfoProgram;
 /// depth is a no-op), so repo.size() is unchanged when max_rounds stays
 /// within the stored depth and all metric bits match a cold run exactly
 /// (tests/snapshot_test.cpp pins both).
+///
+/// `cancel`, when given, is polled once per round (through the refiner's
+/// level checkpoint — DESIGN.md §14); an expired token aborts the run
+/// with util::CancelledError. Partial rounds leave only valid
+/// hash-consed records behind, so the shared repo stays fully usable.
 RunMetrics run_full_info(const portgraph::PortGraph& graph,
                          views::ViewRepo& repo,
                          std::span<const std::unique_ptr<NodeProgram>> programs,
                          int max_rounds, bool meter_messages = false,
                          util::ThreadPool* pool = nullptr,
-                         views::Refiner* refiner = nullptr);
+                         views::Refiner* refiner = nullptr,
+                         const util::CancelToken* cancel = nullptr);
 
 class FullInfoProgram : public NodeProgram {
  public:
@@ -105,7 +112,7 @@ class FullInfoProgram : public NodeProgram {
   friend RunMetrics run_full_info(
       const portgraph::PortGraph&, views::ViewRepo&,
       std::span<const std::unique_ptr<NodeProgram>>, int, bool,
-      util::ThreadPool*, views::Refiner*);
+      util::ThreadPool*, views::Refiner*, const util::CancelToken*);
 
   /// Batched-refinement equivalent of deliver(): the interned next view is
   /// handed over directly, skipping the per-node inbox and intern.

@@ -1,0 +1,85 @@
+#pragma once
+// Cooperative cancellation for long-running sweeps (DESIGN.md §14).
+//
+// A CancelToken is a tiny shared flag + optional wall deadline that a
+// driver hands down into compute_profile / run_full_info / Refiner
+// advances. The compute kernels poll it at *level/round* granularity —
+// the natural safe points of the refinement pipeline — and bail out by
+// throwing CancelledError. Aborting mid-sweep is harmless by design:
+// every intern already completed is a valid hash-consed record of the
+// shared ViewRepo, so a later identical query simply re-walks the same
+// levels as index hits and re-derives byte-identical ids/ranks (pinned
+// by tests/service_test.cpp).
+//
+// The token is polled from worker threads while cancel() may be called
+// from a driver thread, hence the atomic flag. Deadlines use
+// steady_clock so suspend/clock-step never fires them spuriously.
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace anole::util {
+
+/// Thrown by CancelToken::check() when the token is cancelled or its
+/// deadline has passed. Catch it to distinguish "query gave up" from a
+/// genuine computation error.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("operation cancelled") {}
+  explicit CancelledError(const char* what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token with no deadline: expires only via cancel().
+  CancelToken() = default;
+
+  /// A token that additionally expires once `deadline` passes.
+  explicit CancelToken(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  /// Convenience: a token expiring `budget` from now.
+  static CancelToken after(Clock::duration budget) {
+    return CancelToken(Clock::now() + budget);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Thread-safe; idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when cancelled or past the deadline. This is the poll the
+  /// kernels pay once per level/round — one relaxed load plus (with a
+  /// deadline) one steady_clock read.
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled()) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Throws CancelledError when expired(); the cooperative checkpoint.
+  void check() const {
+    if (expired()) throw CancelledError();
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
+  /// Meaningful only when has_deadline(). Drivers read it to compute
+  /// remaining budget (e.g. Retry-After hints).
+  [[nodiscard]] Clock::time_point deadline() const noexcept {
+    return deadline_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace anole::util

@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 
 namespace anole::util {
@@ -28,11 +29,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit(nullptr, std::move(task));
+}
+
+void ThreadPool::submit(const CancelToken* token, std::function<void()> task) {
   ANOLE_CHECK(task != nullptr);
   {
     std::scoped_lock lock(mu_);
     ANOLE_CHECK_MSG(!stop_, "submit after shutdown");
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), token});
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -62,7 +67,7 @@ void ThreadPool::worker_loop() {
     }
   };
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -71,8 +76,11 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     InFlightGuard guard{this};
+    // An expired token skips the task entirely — it still completes for
+    // the in-flight accounting, so wait_idle never hangs on shed work.
+    if (task.token != nullptr && task.token->expired()) continue;
     try {
-      task();
+      task.fn();
     } catch (...) {
       // A throwing task must not escape the worker (std::terminate); the
       // first exception surfaces from wait_idle, the rest are dropped.

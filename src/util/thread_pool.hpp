@@ -18,6 +18,8 @@
 
 namespace anole::util {
 
+class CancelToken;
+
 class ThreadPool {
  public:
   /// Creates `threads` workers (0 means hardware_concurrency, min 1).
@@ -31,6 +33,14 @@ class ThreadPool {
   /// escapes its worker thread (which would std::terminate the process):
   /// the first exception is captured and rethrown from wait_idle().
   void submit(std::function<void()> task);
+
+  /// Token-aware form: a task whose token is already expired when a
+  /// worker dequeues it is *skipped* — it completes (for wait_idle
+  /// accounting; nothing leaks) without ever running. The token must
+  /// outlive the task. Queued-but-doomed work behind a missed deadline
+  /// thus drains at dequeue cost instead of compute cost. A null token
+  /// behaves exactly like the plain overload.
+  void submit(const CancelToken* token, std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed. If any task threw,
   /// rethrows the first captured exception (later ones are dropped); the
@@ -64,8 +74,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  struct Task {
+    std::function<void()> fn;
+    const CancelToken* token = nullptr;  ///< skip at dequeue when expired
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

@@ -49,6 +49,9 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
   } else {
     refiner = &local.emplace(repo, opts.pool);
   }
+  // Installed unconditionally (nullptr clears a stale token from a prior
+  // reuse of the same refiner). advance/advance_quotient do the polling.
+  refiner->set_cancel(opts.cancel);
 
   // True while ids.back() lags behind the refiner's quotient state (deep
   // keep_history=false sweeps advance the quotient without materializing
@@ -128,10 +131,12 @@ ViewProfile compute_profile(const portgraph::PortGraph& g, ViewRepo& repo,
 }
 
 void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
-                    ViewProfile& profile, int depth, util::ThreadPool* pool) {
+                    ViewProfile& profile, int depth, util::ThreadPool* pool,
+                    const util::CancelToken* cancel) {
   if (profile.computed_depth() >= depth) return;
   repo.reserve_for(g.n(), g.m(), depth - profile.computed_depth());
   Refiner refiner(g, repo, pool);
+  refiner.set_cancel(cancel);
   bool last_level_stale = false;
   while (profile.computed_depth() < depth) {
     if (refiner.stable() && !profile.keep_history) {

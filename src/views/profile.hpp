@@ -25,6 +25,7 @@
 #include "views/view_repo.hpp"
 
 namespace anole::util {
+class CancelToken;
 class ThreadPool;
 }  // namespace anole::util
 
@@ -103,6 +104,12 @@ struct ProfileOptions {
   /// ranks, counts, compare verdicts — is byte-identical to a cold
   /// serial run of the same min_depth (tests/snapshot_test.cpp pins it).
   const SweepAnchor* warm = nullptr;
+  /// Cooperative cancellation (DESIGN.md §14): polled once per level via
+  /// the refiner; an expired token aborts the sweep with
+  /// util::CancelledError. Safe mid-sweep — completed interns are valid
+  /// hash-consed records, and re-running the same computation later
+  /// replays them as index hits with byte-identical results.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Computes B^t for t = 0,1,... until the partition stabilizes or all views
@@ -117,10 +124,12 @@ struct ProfileOptions {
                                           ViewRepo& repo, int min_depth = 0);
 
 /// Extends an existing profile with levels up to `depth` (no-op if already
-/// computed that far). Honors the profile's history mode.
+/// computed that far). Honors the profile's history mode. `cancel`, when
+/// given, is polled per level exactly like ProfileOptions::cancel.
 void extend_profile(const portgraph::PortGraph& g, ViewRepo& repo,
                     ViewProfile& profile, int depth,
-                    util::ThreadPool* pool = nullptr);
+                    util::ThreadPool* pool = nullptr,
+                    const util::CancelToken* cancel = nullptr);
 
 /// The node whose depth-t view is canonically smallest (ties impossible
 /// when t >= election index; otherwise the lowest-numbered witness).

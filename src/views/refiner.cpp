@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 #include "views/sig_hash.hpp"
 #include "views/snapshot.hpp"
@@ -410,6 +411,7 @@ void Refiner::freeze_quotient(const std::vector<ViewId>& level) {
 std::size_t Refiner::advance_quotient() {
   ANOLE_CHECK_MSG(quotient_frozen_,
                   "advance_quotient without a stabilized partition");
+  if (cancel_ != nullptr) cancel_->check();
   std::size_t classes = class_ids_.size();
   int depth = repo_->depth(class_ids_[0]) + 1;
   new_class_ids_.resize(classes);
@@ -575,6 +577,10 @@ std::size_t Refiner::advance(const std::vector<ViewId>& prev,
   // Same loud stop ViewRepo::intern gives the per-node path: a degree-0
   // node has no inner views, so advancing past depth 0 is invalid.
   ANOLE_CHECK_MSG(!has_degree0_, "advance of a degree-0 (isolated) node");
+  // Level-granularity cancellation checkpoint (before any work or task
+  // submission for this level, so an expired query leaks nothing into
+  // the pool). The quotient path re-checks inside advance_quotient.
+  if (cancel_ != nullptr) cancel_->check();
 
   if (quotient_frozen_) {
     if (matches_quotient(prev)) {

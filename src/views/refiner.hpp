@@ -102,6 +102,7 @@
 #include "views/view_repo.hpp"
 
 namespace anole::util {
+class CancelToken;
 class ThreadPool;
 }  // namespace anole::util
 
@@ -185,6 +186,15 @@ class Refiner {
 
   /// Replaces the pool used by later advances (attach keeps the old one).
   void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Installs (or, with nullptr, removes) a cooperative cancellation
+  /// token: advance() and advance_quotient() poll it once per level and
+  /// throw util::CancelledError when it has expired — the level/round
+  /// checkpoint of DESIGN.md §14. Aborting between levels never corrupts
+  /// shared state: every completed intern is a valid hash-consed record,
+  /// and the refiner itself is per-query scratch. The token must outlive
+  /// the refinement it guards; attach keeps it, like the pool.
+  void set_cancel(const util::CancelToken* cancel) { cancel_ = cancel; }
 
   /// Per-instance override of the stable-phase quotient switch (defaults
   /// to the process-wide flag at construction). Call before advancing —
@@ -336,6 +346,7 @@ class Refiner {
   const portgraph::PortGraph* graph_ = nullptr;
   ViewRepo* repo_;
   util::ThreadPool* pool_;
+  const util::CancelToken* cancel_ = nullptr;  ///< polled per level
   std::vector<std::unique_ptr<ViewRepo::InternArena>> arenas_;
   bool columns_ready_ = false;         ///< static columns match graph_
   bool has_degree0_ = false;           ///< advance() must reject such graphs

@@ -1,0 +1,549 @@
+// Tests for the hardened election-index service (DESIGN.md §14):
+// cooperative cancellation stopping a million-node sweep within one level
+// and leaving the shared repo byte-identical for the next query,
+// admission control (shed + retry hints), the degradation ladder (memo
+// and snapshot-anchor rungs, every rung equal to the exact recompute),
+// snapshot downgrade on corruption, and the fault-repair crossover.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "election/harness.hpp"
+#include "election/verify.hpp"
+#include "portgraph/builders.hpp"
+#include "service/service.hpp"
+#include "sim/faults.hpp"
+#include "util/cancel.hpp"
+#include "views/profile.hpp"
+#include "views/snapshot.hpp"
+#include "views/view_repo.hpp"
+
+namespace anole {
+namespace {
+
+namespace fs = std::filesystem;
+
+using service::Answer;
+using service::AnswerRung;
+using service::AnswerStatus;
+using service::PendingQuery;
+using service::Query;
+using service::QueryKind;
+using service::Service;
+using service::ServiceOptions;
+
+/// A unique temp path per test, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("anole-service-test-" + tag + "-" +
+                std::to_string(::getpid()) + ".snap"))
+                  .string()) {}
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+/// The exact offline answer the service must agree with, recomputed from
+/// scratch in a private repo.
+struct Offline {
+  views::ViewRepo repo;
+  views::ViewProfile profile;
+
+  explicit Offline(const portgraph::PortGraph& g) {
+    views::ProfileOptions opts;
+    opts.min_depth = 1;
+    opts.keep_history = true;
+    profile = views::compute_profile(g, repo, opts);
+  }
+};
+
+// ------------------------------------------------ cancellation of sweeps
+
+TEST(ServiceCancel, ExpiredTokenStopsMillionNodeSweepWithinOneLevel) {
+  portgraph::PortGraph g = portgraph::ring(1 << 20);
+  util::CancelToken dead;
+  dead.cancel();
+  views::ViewRepo repo;
+  views::ProfileOptions opts;
+  opts.min_depth = 32;  // would force a deep sweep if not cancelled
+  opts.keep_history = true;
+  opts.cancel = &dead;
+  EXPECT_THROW((void)views::compute_profile(g, repo, opts),
+               util::CancelledError);
+  // The level-granularity checkpoint fires before any level-1 work: at
+  // most the depth-0 interns (one class on a ring) ever reach the repo.
+  EXPECT_LE(repo.size(), 4u);
+}
+
+TEST(ServiceCancel, PastDeadlineStopsSweepLikeCancel) {
+  portgraph::PortGraph g = portgraph::ring(1 << 20);
+  util::CancelToken late = util::CancelToken::after(std::chrono::seconds(0));
+  views::ViewRepo repo;
+  views::ProfileOptions opts;
+  opts.min_depth = 32;
+  opts.keep_history = true;
+  opts.cancel = &late;
+  EXPECT_THROW((void)views::compute_profile(g, repo, opts),
+               util::CancelledError);
+  EXPECT_LE(repo.size(), 4u);
+}
+
+TEST(ServiceCancel, CancelledSweepLeavesRepoByteIdentical) {
+  portgraph::PortGraph g = portgraph::random_connected(64, 96, 5);
+  // Repo 1 suffers a cancelled sweep between a shallow prefix and the
+  // full run; repo 2 only ever sees the full run.
+  views::ViewRepo repo1;
+  views::ProfileOptions shallow;
+  shallow.min_depth = 3;
+  shallow.keep_history = true;
+  (void)views::compute_profile(g, repo1, shallow);
+  util::CancelToken dead;
+  dead.cancel();
+  views::ProfileOptions deep;
+  deep.min_depth = 12;
+  deep.keep_history = true;
+  deep.cancel = &dead;
+  EXPECT_THROW((void)views::compute_profile(g, repo1, deep),
+               util::CancelledError);
+  deep.cancel = nullptr;
+  views::ViewProfile a = views::compute_profile(g, repo1, deep);
+  views::ViewRepo repo2;
+  views::ViewProfile b = views::compute_profile(g, repo2, deep);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.election_index, b.election_index);
+  EXPECT_EQ(a.class_counts, b.class_counts);
+  EXPECT_EQ(a.last_level(), b.last_level());
+  // Hash-consing makes the abort harmless: both repos hold the identical
+  // record sequence, down to the serialized byte.
+  TempFile f1("cancel-a"), f2("cancel-b");
+  repo1.save(f1.path());
+  repo2.save(f2.path());
+  EXPECT_EQ(read_bytes(f1.path()), read_bytes(f2.path()));
+}
+
+TEST(ServiceCancel, TimeoutDoesNotPoisonServiceRepo) {
+  portgraph::PortGraph g = portgraph::path(1024);
+  ServiceOptions o;
+  o.workers = 1;
+  Service svc(o);
+  svc.add_graph(g);
+  Query slow{QueryKind::kMinTime, 0};
+  slow.deadline_ms = 5.0;  // far below the full path(1024) sweep
+  Answer pressed = svc.ask(slow);
+  EXPECT_EQ(pressed.status, AnswerStatus::kTimeout);
+  EXPECT_GT(pressed.retry_after_ms, 0.0);
+  // The same query without a deadline now answers exactly, over the same
+  // repo the aborted sweep partially filled.
+  Answer full = svc.ask(Query{QueryKind::kMinTime, 0});
+  EXPECT_EQ(full.status, AnswerStatus::kExact);
+  Offline offline(g);
+  EXPECT_EQ(full.feasible, offline.profile.feasible);
+  EXPECT_EQ(full.phi, offline.profile.election_index);
+  // Byte-identical repo: the partial interns replayed as index hits.
+  TempFile fs_svc("poison-svc"), fs_off("poison-off");
+  svc.repo().save(fs_svc.path());
+  offline.repo.save(fs_off.path());
+  EXPECT_EQ(read_bytes(fs_svc.path()), read_bytes(fs_off.path()));
+}
+
+// ----------------------------------------------------- exactness ladder
+
+TEST(Service, ExactAnswersMatchOfflineRecompute) {
+  portgraph::PortGraph feasible = portgraph::random_connected(48, 64, 9);
+  portgraph::PortGraph lolli = portgraph::lollipop(8, 5);
+  portgraph::PortGraph sym = portgraph::ring(24);  // infeasible
+  const portgraph::PortGraph* graphs[] = {&feasible, &lolli, &sym};
+  ServiceOptions o;
+  o.workers = 2;
+  Service svc(o);
+  for (const portgraph::PortGraph* g : graphs) svc.add_graph(*g);
+
+  for (std::size_t gi = 0; gi < 3; ++gi) {
+    const portgraph::PortGraph& g = *graphs[gi];
+    Offline off(g);
+    Answer mt = svc.ask(Query{QueryKind::kMinTime, gi});
+    EXPECT_EQ(mt.status, AnswerStatus::kExact);
+    EXPECT_EQ(mt.feasible, off.profile.feasible) << "graph " << gi;
+    EXPECT_EQ(mt.phi, off.profile.election_index) << "graph " << gi;
+
+    const int cd = off.profile.computed_depth();
+    for (int depth : {0, 1, 2, 1000}) {
+      Query q{QueryKind::kCompare, gi};
+      q.u = 0;
+      q.v = static_cast<portgraph::NodeId>(g.n() - 1);
+      q.depth = depth;
+      Answer cmp = svc.ask(q);
+      EXPECT_EQ(cmp.status, AnswerStatus::kExact);
+      const int t = std::min(depth, cd);
+      EXPECT_EQ(cmp.equal, off.profile.view(t, q.u) == off.profile.view(t, q.v))
+          << "graph " << gi << " depth " << depth;
+    }
+
+    Query adv{QueryKind::kAdvice, gi};
+    adv.u = 1;
+    adv.depth = 2;
+    Answer advice = svc.ask(adv);
+    EXPECT_EQ(advice.status, AnswerStatus::kExact);
+    if (adv.depth > off.profile.computed_depth())
+      views::extend_profile(g, off.repo, off.profile, adv.depth);
+    EXPECT_EQ(advice.view_bits, off.repo.serialized_size_bits(
+                                    off.profile.view(adv.depth, adv.u)))
+        << "graph " << gi;
+  }
+
+  // Elect on the feasible graph: the leader is the Theorem 3.1 run's.
+  Offline off(feasible);
+  election::ElectionContext ctx(feasible, off.repo, off.profile);
+  election::ElectionRun run = election::run_min_time(ctx, false);
+  ASSERT_TRUE(run.verdict.ok);
+  Answer el = svc.ask(Query{QueryKind::kElect, 0});
+  EXPECT_EQ(el.status, AnswerStatus::kExact);
+  EXPECT_TRUE(el.feasible);
+  EXPECT_EQ(el.leader, run.verdict.leader);
+  EXPECT_EQ(el.advice_bits, run.advice_bits);
+  ASSERT_NE(el.metrics, nullptr);
+  EXPECT_EQ(el.metrics->rounds, run.metrics.rounds);
+  // Second elect replays the memo: same answer, kMemo rung.
+  Answer replay = svc.ask(Query{QueryKind::kElect, 0});
+  EXPECT_EQ(replay.rung, AnswerRung::kMemo);
+  EXPECT_EQ(replay.leader, el.leader);
+
+  // Elect on the symmetric ring: exact "no algorithm can elect".
+  Answer none = svc.ask(Query{QueryKind::kElect, 2});
+  EXPECT_EQ(none.status, AnswerStatus::kExact);
+  EXPECT_FALSE(none.feasible);
+  EXPECT_EQ(none.leader, -1);
+}
+
+TEST(Service, ElectBudgetRespected) {
+  portgraph::PortGraph g = portgraph::random_connected(48, 64, 9);
+  Service svc;
+  svc.add_graph(g);
+  Query unlimited{QueryKind::kElect, 0};
+  Answer a = svc.ask(unlimited);
+  ASSERT_EQ(a.status, AnswerStatus::kExact);
+  EXPECT_TRUE(a.within_budget);  // budget 0 = unlimited
+  Query exact_fit = unlimited;
+  exact_fit.budget_bits = a.advice_bits;
+  EXPECT_TRUE(svc.ask(exact_fit).within_budget);
+  if (a.advice_bits > 1) {
+    Query tight = unlimited;
+    tight.budget_bits = a.advice_bits - 1;
+    EXPECT_FALSE(svc.ask(tight).within_budget);
+  }
+}
+
+TEST(Service, MalformedQueriesFailCleanly) {
+  portgraph::PortGraph g = portgraph::ring(24);
+  Service svc;
+  svc.add_graph(g);
+  Answer unknown = svc.ask(Query{QueryKind::kMinTime, 7});
+  EXPECT_EQ(unknown.status, AnswerStatus::kFailed);
+  EXPECT_FALSE(unknown.error.empty());
+  Query oob{QueryKind::kCompare, 0};
+  oob.u = 5000;
+  Answer bad = svc.ask(oob);
+  EXPECT_EQ(bad.status, AnswerStatus::kFailed);
+  EXPECT_FALSE(bad.error.empty());
+  // The failures were counted, and the service still answers.
+  EXPECT_EQ(svc.stats().totals().failed, 2u);
+  EXPECT_EQ(svc.ask(Query{QueryKind::kMinTime, 0}).status,
+            AnswerStatus::kExact);
+}
+
+// ---------------------------------------------------- admission control
+
+TEST(Service, OverloadShedsWithRetryHint) {
+  portgraph::PortGraph slow_graph = portgraph::path(2048);
+  ServiceOptions o;
+  o.max_queue = 2;
+  o.workers = 1;
+  Service svc(o);
+  svc.add_graph(slow_graph);
+  // Two slow admitted queries pin in_flight at the bound (one computing,
+  // one queued behind it).
+  auto b1 = svc.submit(Query{QueryKind::kMinTime, 0});
+  auto b2 = svc.submit(Query{QueryKind::kMinTime, 0});
+  std::vector<std::shared_ptr<PendingQuery>> shed;
+  for (int i = 0; i < 5; ++i)
+    shed.push_back(svc.submit(Query{QueryKind::kMinTime, 0}));
+  for (const auto& h : shed) {
+    // Shed synchronously: the handle is already done, with a hint.
+    EXPECT_EQ(h->answer.status, AnswerStatus::kShed);
+    EXPECT_GT(h->answer.retry_after_ms, 0.0);
+  }
+  svc.drain();
+  svc.wait(*b1);
+  svc.wait(*b2);
+  EXPECT_EQ(b1->answer.status, AnswerStatus::kExact);
+  EXPECT_EQ(b2->answer.status, AnswerStatus::kExact);
+  service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.totals().shed, 5u);
+  EXPECT_EQ(stats.totals().enqueued, 2u);
+  EXPECT_LE(stats.max_in_flight, svc.queue_bound());
+  // Capacity freed: the next submit is admitted again.
+  Answer retry = svc.ask(Query{QueryKind::kMinTime, 0});
+  EXPECT_EQ(retry.status, AnswerStatus::kExact);
+}
+
+// --------------------------------------------------- degradation ladder
+
+TEST(Service, PressedQueriesServedExactlyFromCachedRungs) {
+  portgraph::PortGraph warm_graph = portgraph::random_connected(48, 64, 9);
+  portgraph::PortGraph slow_graph = portgraph::path(2048);
+  portgraph::PortGraph cold_graph = portgraph::lollipop(8, 5);
+  ServiceOptions o;
+  o.workers = 1;
+  o.max_queue = 64;
+  Service svc(o);
+  svc.add_graph(warm_graph);   // 0: every rung warmed below
+  svc.add_graph(slow_graph);   // 1: blocks the single worker
+  svc.add_graph(cold_graph);   // 2: no rung at all
+  // Warm the memo/profile rungs with unhurried exact queries.
+  Answer mt = svc.ask(Query{QueryKind::kMinTime, 0});
+  Answer el = svc.ask(Query{QueryKind::kElect, 0});
+  Query cq{QueryKind::kCompare, 0};
+  cq.u = 0;
+  cq.v = 1;
+  cq.depth = 1;
+  Answer cmp = svc.ask(cq);
+  Query aq{QueryKind::kAdvice, 0};
+  aq.u = 2;
+  aq.depth = 1;
+  Answer adv = svc.ask(aq);
+  ASSERT_EQ(mt.status, AnswerStatus::kExact);
+  ASSERT_EQ(el.status, AnswerStatus::kExact);
+
+  // Park the only worker on a long sweep, then cancel queries before a
+  // worker can ever claim them: each must be answered from a rung.
+  auto blocker = svc.submit(Query{QueryKind::kMinTime, 1});
+  auto p_mt = svc.submit(Query{QueryKind::kMinTime, 0});
+  p_mt->cancel();
+  auto p_el = svc.submit(Query{QueryKind::kElect, 0});
+  p_el->cancel();
+  auto p_cmp = svc.submit(cq);
+  p_cmp->cancel();
+  auto p_adv = svc.submit(aq);
+  p_adv->cancel();
+  auto p_cold = svc.submit(Query{QueryKind::kMinTime, 2});
+  p_cold->cancel();
+  svc.drain();
+  (void)blocker;
+
+  EXPECT_EQ(p_mt->answer.status, AnswerStatus::kDegraded);
+  EXPECT_EQ(p_mt->answer.rung, AnswerRung::kMemo);
+  EXPECT_EQ(p_mt->answer.feasible, mt.feasible);
+  EXPECT_EQ(p_mt->answer.phi, mt.phi);
+
+  EXPECT_EQ(p_el->answer.status, AnswerStatus::kDegraded);
+  EXPECT_EQ(p_el->answer.rung, AnswerRung::kMemo);
+  EXPECT_EQ(p_el->answer.leader, el.leader);
+  EXPECT_EQ(p_el->answer.advice_bits, el.advice_bits);
+  ASSERT_NE(p_el->answer.metrics, nullptr);
+
+  EXPECT_EQ(p_cmp->answer.status, AnswerStatus::kDegraded);
+  EXPECT_EQ(p_cmp->answer.equal, cmp.equal);
+
+  EXPECT_EQ(p_adv->answer.status, AnswerStatus::kDegraded);
+  EXPECT_EQ(p_adv->answer.view_bits, adv.view_bits);
+
+  // No rung for the cold graph: an honest timeout, never a guess.
+  EXPECT_EQ(p_cold->answer.status, AnswerStatus::kTimeout);
+  EXPECT_GT(p_cold->answer.retry_after_ms, 0.0);
+
+  service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.totals().degraded, 4u);
+  EXPECT_EQ(stats.totals().timeout, 1u);
+}
+
+TEST(Service, AnchorRungsServeWarmStartExactly) {
+  portgraph::PortGraph g = portgraph::random_connected(96, 128, 11);
+  portgraph::PortGraph sym = portgraph::ring(64);  // infeasible, stabilized
+  TempFile snap("anchor");
+  {
+    views::ViewRepo repo;
+    views::ProfileOptions opts;
+    opts.keep_history = false;
+    views::ViewProfile p = views::compute_profile(g, repo, opts);
+    views::ViewProfile ps = views::compute_profile(sym, repo, opts);
+    views::SweepAnchor anchors[] = {
+        views::make_anchor(g, p.last_level(), p.class_counts),
+        views::make_anchor(sym, ps.last_level(), ps.class_counts)};
+    views::save_snapshot(snap.path(), repo,
+                         std::span<const views::SweepAnchor>(anchors, 2));
+  }
+  ServiceOptions o;
+  o.workers = 1;
+  o.snapshot_path = snap.path();
+  Service svc(o);
+  EXPECT_TRUE(svc.warm());
+  EXPECT_EQ(svc.stats().cold_downgrades, 0u);
+  svc.add_graph(g);
+  svc.add_graph(sym);
+
+  Offline off(g);
+  // Min-time replays straight off the anchor — no profile sweep.
+  Answer mt = svc.ask(Query{QueryKind::kMinTime, 0});
+  EXPECT_EQ(mt.status, AnswerStatus::kExact);
+  EXPECT_EQ(mt.rung, AnswerRung::kAnchor);
+  EXPECT_EQ(mt.feasible, off.profile.feasible);
+  EXPECT_EQ(mt.phi, off.profile.election_index);
+
+  // Advice at an anchored depth truncates the stored class view.
+  Query aq{QueryKind::kAdvice, 0};
+  aq.u = 3;
+  aq.depth = 1;
+  Answer adv = svc.ask(aq);
+  EXPECT_EQ(adv.status, AnswerStatus::kExact);
+  EXPECT_EQ(adv.rung, AnswerRung::kAnchor);
+  EXPECT_EQ(adv.view_bits,
+            off.repo.serialized_size_bits(off.profile.view(1, 3)));
+
+  // Compare at the anchor's depth is conclusive (all views distinct
+  // there on a feasible graph); both verdict and rung are pinned.
+  Query cq{QueryKind::kCompare, 0};
+  cq.u = 0;
+  cq.v = 1;
+  cq.depth = off.profile.computed_depth();
+  Answer cmp = svc.ask(cq);
+  EXPECT_EQ(cmp.status, AnswerStatus::kExact);
+  EXPECT_EQ(cmp.rung, AnswerRung::kAnchor);
+  EXPECT_FALSE(cmp.equal);
+
+  // A stabilized infeasible anchor settles elect without any compute.
+  Answer none = svc.ask(Query{QueryKind::kElect, 1});
+  EXPECT_EQ(none.status, AnswerStatus::kExact);
+  EXPECT_EQ(none.rung, AnswerRung::kAnchor);
+  EXPECT_FALSE(none.feasible);
+  EXPECT_EQ(none.leader, -1);
+}
+
+TEST(Service, CorruptSnapshotDowngradesToColdNeverWrong) {
+  portgraph::PortGraph g = portgraph::random_connected(96, 128, 11);
+  TempFile snap("corrupt");
+  {
+    views::ViewRepo repo;
+    views::ProfileOptions opts;
+    opts.keep_history = false;
+    views::ViewProfile p = views::compute_profile(g, repo, opts);
+    views::SweepAnchor anchor =
+        views::make_anchor(g, p.last_level(), p.class_counts);
+    views::save_snapshot(snap.path(), repo,
+                         std::span<const views::SweepAnchor>(&anchor, 1));
+  }
+  std::vector<char> bytes = read_bytes(snap.path());
+  ASSERT_GE(bytes.size(), 16u);
+  bytes[bytes.size() - 9] ^= 0x40;  // body corruption, past the header
+  {
+    std::ofstream out(snap.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::vector<std::string> log;
+  ServiceOptions o;
+  o.workers = 1;
+  o.snapshot_path = snap.path();
+  o.log = [&log](const std::string& line) { log.push_back(line); };
+  Service svc(o);
+  EXPECT_FALSE(svc.warm());
+  EXPECT_EQ(svc.stats().cold_downgrades, 1u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].find("downgrade"), std::string::npos);
+  // Cold recompute, exact answer — a broken snapshot is never a wrong one.
+  svc.add_graph(g);
+  Offline off(g);
+  Answer mt = svc.ask(Query{QueryKind::kMinTime, 0});
+  EXPECT_EQ(mt.status, AnswerStatus::kExact);
+  EXPECT_EQ(mt.rung, AnswerRung::kComputed);
+  EXPECT_EQ(mt.feasible, off.profile.feasible);
+  EXPECT_EQ(mt.phi, off.profile.election_index);
+}
+
+TEST(Service, MissingSnapshotDowngradesToCold) {
+  portgraph::PortGraph g = portgraph::lollipop(8, 5);
+  std::vector<std::string> log;
+  ServiceOptions o;
+  o.snapshot_path = "/nonexistent/anole-service-test-missing.snap";
+  o.log = [&log](const std::string& line) { log.push_back(line); };
+  Service svc(o);
+  EXPECT_FALSE(svc.warm());
+  EXPECT_EQ(svc.stats().cold_downgrades, 1u);
+  EXPECT_EQ(log.size(), 1u);
+  svc.add_graph(g);
+  Offline off(g);
+  Answer mt = svc.ask(Query{QueryKind::kMinTime, 0});
+  EXPECT_EQ(mt.status, AnswerStatus::kExact);
+  EXPECT_EQ(mt.phi, off.profile.election_index);
+}
+
+// ------------------------------------------------- fault-repair crossover
+
+TEST(Service, RepairAfterRewireMatchesFromScratchRecompute) {
+  portgraph::PortGraph base = portgraph::random_connected(64, 96, 13);
+  sim::FaultPlan plan = sim::FaultPlan::random(base, /*horizon=*/32,
+                                               /*crashes=*/0, /*rewires=*/4,
+                                               /*seed=*/7);
+  sim::FaultInjector injector(base, plan);
+  ServiceOptions o;
+  o.workers = 1;
+  Service svc(o);
+  const std::size_t idx = svc.add_graph(injector.graph());
+
+  Answer before = svc.ask(Query{QueryKind::kMinTime, idx});
+  ASSERT_EQ(before.status, AnswerStatus::kExact);
+
+  sim::FaultInjector::Applied applied = injector.apply_through(32);
+  ASSERT_FALSE(applied.dirty.empty());
+  views::RepairStats repair = svc.repair_graph(idx, applied.dirty);
+  (void)repair;
+
+  // Every post-repair answer must equal a from-scratch recompute on a
+  // copy of the mutated graph.
+  portgraph::PortGraph mutated = injector.graph();
+  Offline off(mutated);
+  Answer mt = svc.ask(Query{QueryKind::kMinTime, idx});
+  EXPECT_EQ(mt.status, AnswerStatus::kExact);
+  EXPECT_EQ(mt.feasible, off.profile.feasible);
+  EXPECT_EQ(mt.phi, off.profile.election_index);
+  if (off.profile.feasible) {
+    election::ElectionContext ctx(mutated, off.repo, off.profile);
+    election::ElectionRun run = election::run_min_time(ctx, false);
+    ASSERT_TRUE(run.verdict.ok);
+    Answer el = svc.ask(Query{QueryKind::kElect, idx});
+    EXPECT_EQ(el.status, AnswerStatus::kExact);
+    EXPECT_EQ(el.leader, run.verdict.leader);
+    ASSERT_NE(el.metrics, nullptr);
+    election::SafetyResult safety = election::verify_safety_under_faults(
+        injector.graph(), el.metrics->outputs, el.metrics->decision_round);
+    EXPECT_TRUE(safety.ok) << safety.error;
+  }
+
+  // Dropping everything and recomputing cold agrees too.
+  svc.invalidate_graph(idx);
+  Answer cold = svc.ask(Query{QueryKind::kMinTime, idx});
+  EXPECT_EQ(cold.status, AnswerStatus::kExact);
+  EXPECT_EQ(cold.feasible, mt.feasible);
+  EXPECT_EQ(cold.phi, mt.phi);
+}
+
+}  // namespace
+}  // namespace anole

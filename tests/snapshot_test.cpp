@@ -536,5 +536,91 @@ TEST(Snapshot, AnchorFingerprintGuardsWrongGraph) {
       std::logic_error);
 }
 
+// ----------------------------------------------------- crash-safe saves
+
+TEST(SnapshotCrashSafe, FailedSaveLeavesPreviousSnapshotIntact) {
+  portgraph::PortGraph g = portgraph::ring(32);
+  ViewRepo repo;
+  (void)compute_profile(g, repo, 8);
+  TempSnap snap("crashsafe");
+  repo.save(snap.path());
+  std::vector<char> before;
+  {
+    std::ifstream in(snap.path(), std::ios::binary);
+    before.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+  }
+  // Force the save to fail before the rename: occupy the temp path with
+  // a directory, so neither the O_EXCL open nor the stale-temp fallback
+  // can create the file.
+  const std::string tmp =
+      snap.path() + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  fs::create_directory(tmp);
+  EXPECT_THROW(repo.save(snap.path()), coding::BlobError);
+  fs::remove(tmp);
+  // The damaged partial write never reached the target: the previous
+  // complete snapshot is still there, bit for bit, and loads.
+  std::vector<char> after;
+  {
+    std::ifstream in(snap.path(), std::ios::binary);
+    after.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  EXPECT_EQ(before, after);
+  LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Copy);
+  EXPECT_EQ(s.repo->size(), repo.size());
+}
+
+TEST(SnapshotCrashSafe, SuccessfulSaveLeavesNoStrayTemp) {
+  portgraph::PortGraph g = portgraph::ring(32);
+  ViewRepo repo;
+  (void)compute_profile(g, repo, 8);
+  TempSnap snap("notemp");
+  repo.save(snap.path());
+  const std::string stem = fs::path(snap.path()).filename().string();
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(snap.path()).parent_path())) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_FALSE(name.rfind(stem + ".tmp", 0) == 0)
+        << "stray temp left behind: " << name;
+  }
+  (void)load_snapshot(snap.path(), LoadMode::Copy);
+}
+
+TEST(SnapshotCrashSafe, StaleTempFromCrashedSaveIsReplaced) {
+  portgraph::PortGraph g = portgraph::ring(32);
+  ViewRepo repo;
+  (void)compute_profile(g, repo, 8);
+  TempSnap snap("staletmp");
+  const std::string tmp =
+      snap.path() + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream junk(tmp, std::ios::binary);
+    junk << "half-written garbage from a crashed save";
+  }
+  repo.save(snap.path());
+  // The temp was recycled and renamed over the target; nothing stale
+  // survives, and the target is a complete valid blob.
+  EXPECT_FALSE(fs::exists(tmp));
+  LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Copy);
+  EXPECT_EQ(s.repo->size(), repo.size());
+}
+
+TEST(SnapshotCrashSafe, SaveOverExistingReplacesAtomically) {
+  portgraph::PortGraph small = portgraph::ring(16);
+  portgraph::PortGraph big = portgraph::ring(48);
+  TempSnap snap("replace");
+  {
+    ViewRepo repo;
+    (void)compute_profile(small, repo, 6);
+    repo.save(snap.path());
+  }
+  ViewRepo repo;
+  (void)compute_profile(big, repo, 12);
+  repo.save(snap.path());
+  LoadedSnapshot s = load_snapshot(snap.path(), LoadMode::Copy);
+  EXPECT_EQ(s.repo->size(), repo.size());
+}
+
 }  // namespace
 }  // namespace anole::views

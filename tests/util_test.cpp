@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/prng.hpp"
@@ -240,6 +241,103 @@ TEST(ThreadPool, ReusableAfterWaitIdle) {
     pool.wait_idle();
     EXPECT_EQ(done.load(), 8 * (round + 1));
   }
+}
+
+// ------------------------------------------- cancellation (DESIGN.md §14)
+
+TEST(Cancel, TokenStartsLive) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(Cancel, CancelExpiresAndCheckThrows) {
+  util::CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.expired());
+  EXPECT_THROW(token.check(), util::CancelledError);
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.expired());
+}
+
+TEST(Cancel, PastDeadlineExpiresWithoutCancel) {
+  util::CancelToken token =
+      util::CancelToken::after(std::chrono::seconds(0));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.expired());
+  EXPECT_FALSE(token.cancelled());  // deadline, not an explicit cancel
+  EXPECT_THROW(token.check(), util::CancelledError);
+}
+
+TEST(Cancel, FutureDeadlineStaysLive) {
+  util::CancelToken token = util::CancelToken::after(std::chrono::hours(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.expired());
+  EXPECT_GT(token.deadline(), util::CancelToken::Clock::now());
+  token.cancel();  // cancel expires the token ahead of its deadline
+  EXPECT_TRUE(token.expired());
+}
+
+TEST(Cancel, CancelledErrorIsARuntimeError) {
+  // Callers distinguishing "gave up" from "broke" catch the subtype; a
+  // generic catch still sees a runtime_error with a message.
+  try {
+    throw util::CancelledError();
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "operation cancelled");
+  }
+}
+
+TEST(ThreadPool, ExpiredTokenTasksAreSkippedButAccounted) {
+  util::ThreadPool pool(2);
+  util::CancelToken dead;
+  dead.cancel();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i)
+    pool.submit(&dead, [&ran] { ran.fetch_add(1); });
+  pool.wait_idle();  // skipped tasks still complete: no hang, no leak
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, LiveAndNullTokenTasksRun) {
+  util::ThreadPool pool(2);
+  util::CancelToken live;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit(&live, [&ran] { ran.fetch_add(1); });
+  for (int i = 0; i < 8; ++i)
+    pool.submit(nullptr, [&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, WaitIdleStillRethrowsWithTokensInFlight) {
+  // Deadline-pressed queries must not mask real errors: a throwing task
+  // surfaces through wait_idle even when skipped token tasks surround it.
+  util::ThreadPool pool(2);
+  util::CancelToken live, dead;
+  dead.cancel();
+  std::atomic<int> ran{0};
+  pool.submit(&live, [] { throw std::runtime_error("token boom"); });
+  for (int i = 0; i < 8; ++i)
+    pool.submit(&dead, [&ran] { ran.fetch_add(1); });
+  for (int i = 0; i < 8; ++i)
+    pool.submit(&live, [&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // live tasks ran, dead ones were skipped
+  // The pool survives the mix and keeps working.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, CancelledErrorPropagatesThroughWaitIdle) {
+  util::ThreadPool pool(1);
+  pool.submit([] { throw util::CancelledError(); });
+  EXPECT_THROW(pool.wait_idle(), util::CancelledError);
 }
 
 }  // namespace

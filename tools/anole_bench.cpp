@@ -15,6 +15,7 @@
 //
 // Exit status: 0 on success, 1 if any cell failed, 2 on usage errors.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -66,6 +67,34 @@ int list_scenarios() {
   return 0;
 }
 
+/// Preflight for an explicit --snapshot-in PREFIX: the load/warm cells
+/// would otherwise only discover an unreadable prefix deep inside a cell,
+/// long after the sweep started. Requires the prefix directory to exist
+/// and — unless this run also writes the same prefix — at least one
+/// `<prefix>*.snap` blob to already be there.
+int check_snapshot_in(const std::string& prefix, bool also_written) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(prefix);
+  const fs::path dir = p.has_parent_path() ? p.parent_path() : fs::path(".");
+  if (!fs::is_directory(dir, ec)) {
+    std::cerr << "--snapshot-in: directory '" << dir.string()
+              << "' does not exist\n";
+    return 2;
+  }
+  if (also_written) return 0;  // this run writes the blobs before reading
+  const std::string stem = p.filename().string();
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= stem.size() + 5 && name.compare(0, stem.size(), stem) == 0 &&
+        name.compare(name.size() - 5, 5, ".snap") == 0)
+      return 0;
+  }
+  std::cerr << "--snapshot-in: no snapshot blobs match '" << prefix
+            << "*.snap' (run with --snapshot-out first?)\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +108,8 @@ int main(int argc, char** argv) {
   std::string bench_out_path;
   bool timing = false;
   bool list = false;
+  bool snapshot_out_given = false;
+  bool snapshot_in_given = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -112,8 +143,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--bench-out") {
       bench_out_path = next();
     } else if (arg == "--snapshot-out") {
+      snapshot_out_given = true;
       runner::scenarios::set_snapshot_out_prefix(next());
     } else if (arg == "--snapshot-in") {
+      snapshot_in_given = true;
       runner::scenarios::set_snapshot_in_prefix(next());
     } else if (arg == "--timing") {
       timing = true;
@@ -126,6 +159,14 @@ int main(int argc, char** argv) {
   }
 
   if (list) return list_scenarios();
+  if (snapshot_in_given) {
+    bool also_written =
+        snapshot_out_given && runner::scenarios::snapshot_out_prefix() ==
+                                  runner::scenarios::snapshot_in_prefix();
+    if (int rc = check_snapshot_in(runner::scenarios::snapshot_in_prefix(),
+                                   also_written))
+      return rc;
+  }
   if (selected.empty()) {
     std::cerr << "no scenario selected\n";
     return usage(std::cerr, 2);
@@ -178,19 +219,28 @@ int main(int argc, char** argv) {
   runner::ExperimentRunner exp_runner(runner::RunOptions{threads});
   std::size_t total_failures = 0;
   bool json_array = format == "json" && names.size() > 1;
-  if (json_array) os << "[\n";
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    runner::ScenarioOutcome outcome =
-        exp_runner.run(registry.make(names[i]));
-    total_failures += outcome.failures();
-    sink->emit(outcome, os);
-    if (bench_out.is_open()) runner::write_bench_records(outcome, bench_out);
-    if (json_array && i + 1 < names.size()) os << ",";
-    if (format == "text" && i + 1 < names.size()) os << '\n';
-    std::cerr << names[i] << ": " << outcome.cells.size() << " cells, "
-              << outcome.failures() << " failed\n";
+  // Cell bodies catch their own exceptions (a failed cell is a reported
+  // outcome, exit 1); this catch covers everything outside them — scenario
+  // construction, sink emission — with a one-line diagnostic instead of a
+  // raw terminate.
+  try {
+    if (json_array) os << "[\n";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      runner::ScenarioOutcome outcome =
+          exp_runner.run(registry.make(names[i]));
+      total_failures += outcome.failures();
+      sink->emit(outcome, os);
+      if (bench_out.is_open()) runner::write_bench_records(outcome, bench_out);
+      if (json_array && i + 1 < names.size()) os << ",";
+      if (format == "text" && i + 1 < names.size()) os << '\n';
+      std::cerr << names[i] << ": " << outcome.cells.size() << " cells, "
+                << outcome.failures() << " failed\n";
+    }
+    if (json_array) os << "]\n";
+  } catch (const std::exception& e) {
+    std::cerr << "anole_bench: error: " << e.what() << '\n';
+    return 1;
   }
-  if (json_array) os << "]\n";
 
   if (total_failures > 0) {
     std::cerr << total_failures << " cell(s) failed\n";

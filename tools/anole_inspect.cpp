@@ -17,9 +17,11 @@
 //     memoized stats, sweep anchors. Verifies the body checksum; nothing
 //     is recomputed and no repo is built.
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -38,16 +40,15 @@ using namespace anole;
 
 namespace {
 
-int usage() {
-  std::cerr
-      << "usage: anole_inspect <file|-> [--elect]\n"
+int usage(std::ostream& os = std::cerr, int code = 2) {
+  os << "usage: anole_inspect <file|-> [--elect]\n"
          "       anole_inspect --family <name> [params...] [--elect] "
          "[--dump]\n"
          "families: random <n> <extra> <seed> | grid <r> <c> | ring <n> |\n"
          "          necklace <k> <phi> <index> | gk <k> <seed> |\n"
          "          hairy <s1,s2,...> | lollipop <head> <tail>\n"
          "       anole_inspect --snapshot-in FILE\n";
-  return 2;
+  return code;
 }
 
 /// --snapshot-in: everything the blob's sections say, nothing recomputed.
@@ -93,17 +94,41 @@ int inspect_snapshot_file(const std::string& path) {
   return 0;
 }
 
+/// Strict non-negative integer parse: the whole token must be digits.
+/// Family parameters come straight from the command line, so a typo like
+/// "1O24" or "-3" gets a one-line diagnostic instead of a partial parse or
+/// an uncaught std::invalid_argument.
+std::uint64_t parse_number(const std::string& token, const char* what) {
+  try {
+    std::size_t pos = 0;
+    unsigned long long value = std::stoull(token, &pos);
+    if (pos != token.size() || token.front() == '-')
+      throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string(what) + " expects a non-negative " +
+                             "integer, got '" + token + "'");
+  }
+}
+
 std::vector<int> parse_csv(const std::string& s) {
   std::vector<int> out;
   std::istringstream ss(s);
   std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  while (std::getline(ss, item, ','))
+    out.push_back(static_cast<int>(parse_number(item, "hairy segment")));
   return out;
 }
 
 portgraph::PortGraph build_family(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("--family expects a family name");
   const std::string& name = args.at(0);
-  auto arg = [&](std::size_t i) { return std::stoull(args.at(i)); };
+  auto arg = [&](std::size_t i) {
+    if (i >= args.size())
+      throw std::runtime_error("family '" + name + "' needs " +
+                               std::to_string(i) + " parameter(s)");
+    return parse_number(args[i], ("family '" + name + "' parameter").c_str());
+  };
   if (name == "random")
     return portgraph::random_connected(arg(1), arg(2), arg(3));
   if (name == "grid") return portgraph::grid(arg(1), arg(2));
@@ -115,57 +140,17 @@ portgraph::PortGraph build_family(const std::vector<std::string>& args) {
         .graph;
   if (name == "gk")
     return families::g_family_member(static_cast<int>(arg(1)), arg(2)).graph;
-  if (name == "hairy") return families::hairy_ring(parse_csv(args.at(1))).graph;
+  if (name == "hairy") {
+    if (args.size() < 2)
+      throw std::runtime_error("family 'hairy' needs a segment list s1,s2,...");
+    return families::hairy_ring(parse_csv(args[1])).graph;
+  }
   throw std::runtime_error("unknown family: " + name);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) return usage();
-
-  bool elect = false, dump = false;
-  std::vector<std::string> positional;
-  bool family_mode = false;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--snapshot-in") {
-      if (i + 1 >= args.size() || args.size() != 2) return usage();
-      return inspect_snapshot_file(args[i + 1]);
-    }
-    if (args[i] == "--elect")
-      elect = true;
-    else if (args[i] == "--dump")
-      dump = true;
-    else if (args[i] == "--family")
-      family_mode = true;
-    else
-      positional.push_back(args[i]);
-  }
-
-  portgraph::PortGraph g;
-  try {
-    if (family_mode) {
-      g = build_family(positional);
-    } else if (positional.size() == 1 && positional[0] == "-") {
-      g = portgraph::from_edge_list(std::cin);
-    } else if (positional.size() == 1) {
-      std::ifstream in(positional[0]);
-      if (!in) {
-        std::cerr << "cannot open " << positional[0] << '\n';
-        return 1;
-      }
-      g = portgraph::from_edge_list(in);
-    } else {
-      return usage();
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-
-  if (dump) std::cout << portgraph::to_edge_list(g);
-
+/// The main report: refinement profile, graph stats, optional election
+/// portfolio. Throws on internal-invariant violations; main() catches.
+int analyze(const portgraph::PortGraph& g, bool elect) {
   views::ViewRepo repo;
   views::ViewProfile profile = views::compute_profile(g, repo);
   int min_deg = g.degree(0), max_deg = g.degree(0);
@@ -203,4 +188,72 @@ int main(int argc, char** argv) {
     table.print(std::cout, "\nelection portfolio:");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  bool elect = false, dump = false;
+  std::vector<std::string> positional;
+  bool family_mode = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--snapshot-in") {
+      if (i + 1 >= args.size() || args.size() != 2) return usage();
+      return inspect_snapshot_file(args[i + 1]);
+    }
+    if (args[i] == "--elect")
+      elect = true;
+    else if (args[i] == "--dump")
+      dump = true;
+    else if (args[i] == "--family")
+      family_mode = true;
+    else if (args[i] == "--help" || args[i] == "-h")
+      return usage(std::cout, 0);
+    else if (args[i].size() >= 2 && args[i][0] == '-' && args[i] != "-") {
+      std::cerr << "unknown flag: " << args[i] << '\n';
+      return usage();
+    } else
+      positional.push_back(args[i]);
+  }
+
+  portgraph::PortGraph g;
+  try {
+    if (family_mode) {
+      g = build_family(positional);
+    } else if (positional.size() == 1 && positional[0] == "-") {
+      g = portgraph::from_edge_list(std::cin);
+    } else if (positional.size() == 1) {
+      std::ifstream in(positional[0]);
+      if (!in) {
+        std::cerr << "cannot open " << positional[0] << '\n';
+        return 1;
+      }
+      g = portgraph::from_edge_list(in);
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  if (g.n() == 0) {
+    std::cerr << "error: graph is empty (no nodes)\n";
+    return 1;
+  }
+
+  if (dump) std::cout << portgraph::to_edge_list(g);
+
+  // The analysis asserts structural invariants (ANOLE_CHECK throws
+  // std::logic_error); surface those as a one-line diagnostic instead of
+  // an uncaught terminate.
+  try {
+    return analyze(g, elect);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
 }
